@@ -1,0 +1,92 @@
+//! Fig. 3.5 — Effectiveness of the probability estimates.
+//!
+//! Interaction cost (options evaluated during construction) per keyword
+//! query, under three probability estimates: the uniform Baseline,
+//! (ATF, Tequal), and (ATF, TLog). The paper's finding: ATF halves the cost
+//! against the baseline; the usage prior helps most on Lyrics, where one
+//! template dominates the log.
+
+use keybridge_bench::{imdb_fixture, lyrics_fixture, mean, print_table, Fixture};
+use keybridge_core::{ProbabilityConfig, TemplatePrior};
+
+fn run(fixture: &Fixture) {
+    let conditions: Vec<(&str, ProbabilityConfig, TemplatePrior)> = vec![
+        (
+            "Baseline",
+            ProbabilityConfig::baseline(),
+            TemplatePrior::Uniform,
+        ),
+        (
+            "(ATF, Tequal)",
+            ProbabilityConfig::default(),
+            TemplatePrior::Uniform,
+        ),
+        (
+            "(ATF, TLog)",
+            ProbabilityConfig::default(),
+            fixture.usage_prior(),
+        ),
+    ];
+
+    let mut per_condition: Vec<Vec<f64>> = vec![Vec::new(); conditions.len()];
+    let mut rows = Vec::new();
+    for q in &fixture.workload.queries {
+        let mut costs = Vec::with_capacity(conditions.len());
+        for (_, prob, prior) in &conditions {
+            let interp = fixture.interpreter(*prob, prior.clone());
+            match fixture.evaluate(&interp, q) {
+                Some(e) => costs.push(Some(e.steps)),
+                None => costs.push(None),
+            }
+        }
+        if costs.iter().all(Option::is_some) {
+            let costs: Vec<usize> = costs.into_iter().map(Option::unwrap).collect();
+            for (i, c) in costs.iter().enumerate() {
+                per_condition[i].push(*c as f64);
+            }
+            rows.push(
+                std::iter::once(q.keywords.join(" "))
+                    .chain(costs.iter().map(|c| c.to_string()))
+                    .collect::<Vec<String>>(),
+            );
+        }
+    }
+
+    // Per-query series (the figure's data points), then the summary.
+    print_table(
+        &format!(
+            "Fig. 3.5 ({}) interaction cost per query ({} evaluable queries)",
+            fixture.name,
+            rows.len()
+        ),
+        &["query", "Baseline", "ATF,Tequal", "ATF,TLog"],
+        &rows,
+    );
+    let summary: Vec<Vec<String>> = conditions
+        .iter()
+        .zip(&per_condition)
+        .map(|((name, _, _), costs)| {
+            let below10 = costs.iter().filter(|&&c| c < 10.0).count() as f64
+                / costs.len().max(1) as f64;
+            vec![
+                name.to_string(),
+                format!("{:.2}", mean(costs)),
+                format!(
+                    "{:.0}",
+                    costs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                ),
+                format!("{:.0}%", below10 * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 3.5 ({}) summary", fixture.name),
+        &["estimate", "mean cost", "max cost", "cost<10"],
+        &summary,
+    );
+}
+
+fn main() {
+    run(&imdb_fixture(21));
+    run(&lyrics_fixture(22));
+}

@@ -1,0 +1,76 @@
+//! Fig. 3.6 — Interaction cost of IQP and SQAK ranking vs IQP construction.
+//!
+//! Boxplot statistics (quartiles, whiskers) of three interaction costs per
+//! dataset: the rank of the intent under SQAK's TF-IDF ranking, under IQP's
+//! probabilistic ranking, and the number of options evaluated by IQP
+//! construction. The paper's finding: IQP ranking has a lower median than
+//! SQAK, and construction has a drastically lower *variance* than either.
+
+use keybridge_bench::{imdb_fixture, lyrics_fixture, print_table, Fixture};
+use keybridge_core::{sqak_score, ProbabilityConfig, TemplatePrior};
+use keybridge_iqp::quartiles;
+
+fn run(fixture: &Fixture) {
+    let interp = fixture.interpreter(ProbabilityConfig::default(), TemplatePrior::Uniform);
+    let mut rank_iqp: Vec<f64> = Vec::new();
+    let mut rank_sqak: Vec<f64> = Vec::new();
+    let mut construction: Vec<f64> = Vec::new();
+
+    for q in &fixture.workload.queries {
+        let Some(eval) = fixture.evaluate(&interp, q) else {
+            continue;
+        };
+        rank_iqp.push(eval.rank as f64);
+        construction.push(eval.steps as f64);
+
+        // Re-rank the same interpretation space with the SQAK scorer.
+        let mut scored: Vec<(f64, &keybridge_core::QueryInterpretation)> = eval
+            .ranked
+            .iter()
+            .map(|s| {
+                (
+                    sqak_score(&fixture.db, &fixture.index, &fixture.catalog, &s.interpretation),
+                    &s.interpretation,
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let intent = fixture.intent(q);
+        if let Some(pos) = scored
+            .iter()
+            .position(|(_, i)| intent.matches(i, &fixture.db, &fixture.catalog))
+        {
+            rank_sqak.push((pos + 1) as f64);
+        }
+    }
+
+    let stat = |name: &str, v: &mut Vec<f64>| -> Vec<String> {
+        let (q1, med, q3) = quartiles(v);
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        vec![
+            name.to_string(),
+            v.len().to_string(),
+            format!("{min:.0}"),
+            format!("{q1:.1}"),
+            format!("{med:.1}"),
+            format!("{q3:.1}"),
+            format!("{max:.0}"),
+        ]
+    };
+    let rows = vec![
+        stat("Rank (SQAK)", &mut rank_sqak),
+        stat("Rank (IQP)", &mut rank_iqp),
+        stat("Construction (IQP)", &mut construction),
+    ];
+    print_table(
+        &format!("Fig. 3.6 ({}) interaction-cost boxplot", fixture.name),
+        &["interface", "n", "min", "q1", "median", "q3", "max"],
+        &rows,
+    );
+}
+
+fn main() {
+    run(&imdb_fixture(21));
+    run(&lyrics_fixture(22));
+}

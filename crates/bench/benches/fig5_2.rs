@@ -1,0 +1,100 @@
+//! Fig. 5.2 — Efficiency of QCOs and interaction cost vs schema size.
+//!
+//! Schema sweep from 100 to 4,000 type tables. For 2-keyword ambiguous
+//! queries we measure (a) the information gain of the best first option —
+//! the §5.5.2 QCO efficiency — and (b) the full-session interaction cost,
+//! both with plain schema-level options and with ontology-based options.
+//! The paper's finding: plain options lose efficiency as the schema grows
+//! (cost climbs), while ontology options keep efficiency roughly constant.
+
+use keybridge_bench::{freebase_fixture, mean, print_table};
+use keybridge_core::KeywordQuery;
+use keybridge_freeq::{
+    qco_efficiency, FreeQSession, FreeQSessionConfig, LazyExplorer, TraversalConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let shapes = [(10usize, 10usize), (25, 20), (40, 25), (50, 40), (80, 50)];
+    let queries_per_shape = 8;
+    let mut rows = Vec::new();
+
+    for (di, &(domains, types)) in shapes.iter().enumerate() {
+        let fixture = freebase_fixture(domains, types, 3000 + domains * 40, 30 + di as u64);
+        let mut rng = StdRng::seed_from_u64(99 + di as u64);
+        let mut eff_plain = Vec::new();
+        let mut eff_onto = Vec::new();
+        let mut cost_plain = Vec::new();
+        let mut cost_onto = Vec::new();
+
+        for _ in 0..queries_per_shape {
+            let Some((keywords, _)) = fixture.sample_query(2, &mut rng) else {
+                continue;
+            };
+            let query = KeywordQuery::from_terms(keywords);
+            let explorer = LazyExplorer::new(
+                &fixture.fb.db,
+                &fixture.index,
+                TraversalConfig {
+                    top_n: 400,
+                    ..Default::default()
+                },
+            );
+            let tops = explorer.top_interpretations(&query);
+            if tops.len() < 10 {
+                continue;
+            }
+            let targets: Vec<keybridge_relstore::TableId> = tops[tops.len() * 3 / 4]
+                .bindings
+                .iter()
+                .map(|a| a.table)
+                .collect();
+            let probs = keybridge_freeq::LazyInterpretation::normalize(&tops);
+
+            // Efficiency of the best available option under each regime.
+            let best_eff = |ontology| {
+                keybridge_freeq::qco::derive_options(&tops, ontology)
+                    .into_iter()
+                    .map(|o| qco_efficiency(o, &tops, &probs, ontology))
+                    .fold(0.0f64, f64::max)
+            };
+            eff_plain.push(best_eff(None));
+            eff_onto.push(best_eff(Some(&fixture.ontology)));
+
+            // Interaction cost of a full session per regime.
+            if let Some(out) = FreeQSession::new(None, tops.clone(), FreeQSessionConfig::default())
+                .run_with_target(&targets)
+            {
+                cost_plain.push(out.steps as f64);
+            }
+            if let Some(out) = FreeQSession::new(
+                Some(&fixture.ontology),
+                tops,
+                FreeQSessionConfig::default(),
+            )
+            .run_with_target(&targets)
+            {
+                cost_onto.push(out.steps as f64);
+            }
+        }
+        rows.push(vec![
+            (domains * types).to_string(),
+            format!("{:.2}", mean(&eff_plain)),
+            format!("{:.2}", mean(&eff_onto)),
+            format!("{:.1}", mean(&cost_plain)),
+            format!("{:.1}", mean(&cost_onto)),
+        ]);
+    }
+    print_table(
+        "Fig. 5.2 QCO efficiency (bits) and interaction cost vs schema size",
+        &[
+            "#tables",
+            "eff plain",
+            "eff ontology",
+            "cost plain",
+            "cost ontology",
+        ],
+        &rows,
+    );
+}

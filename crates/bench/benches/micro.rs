@@ -1,0 +1,151 @@
+//! Criterion microbenches over the pipeline's hot paths, including the
+//! ablations DESIGN.md calls out: index construction, interpretation
+//! generation, probabilistic vs SQAK scoring, greedy option selection,
+//! diversification with and without the early-stop bound, join execution,
+//! and the lazy traversal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use keybridge_core::{
+    execute_interpretation, sqak_score, Interpreter, InterpreterConfig, KeywordQuery,
+    ProbabilityConfig, ProbabilityModel, TemplateCatalog, TemplatePrior,
+};
+use keybridge_datagen::{FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset};
+use keybridge_divq::{diversify, DivItem, DiversifyConfig};
+use keybridge_freeq::{LazyExplorer, TraversalConfig};
+use keybridge_index::InvertedIndex;
+use keybridge_iqp::{ConstructionSession, SessionConfig};
+use keybridge_relstore::ExecOptions;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = ImdbDataset::generate(ImdbConfig::default()).unwrap();
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).unwrap();
+    let interpreter = Interpreter::new(
+        &data.db,
+        &index,
+        &catalog,
+        InterpreterConfig::default(),
+    );
+    let query = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
+    let ranked = interpreter.ranked_interpretations(&query);
+
+    c.bench_function("index_build_imdb", |b| {
+        b.iter(|| InvertedIndex::build(&data.db))
+    });
+
+    c.bench_function("template_enumeration_imdb", |b| {
+        b.iter(|| TemplateCatalog::enumerate(&data.db, 4, 100_000).unwrap())
+    });
+
+    c.bench_function("interpretation_generation_2kw", |b| {
+        b.iter(|| interpreter.ranked_interpretations(&query))
+    });
+
+    // Ablation: ATF scoring vs SQAK TF-IDF scoring over the same space.
+    let model = ProbabilityModel::new(
+        &data.db,
+        &index,
+        &catalog,
+        TemplatePrior::Uniform,
+        ProbabilityConfig::default(),
+    );
+    c.bench_function("score_atf_joint", |b| {
+        b.iter(|| {
+            ranked
+                .iter()
+                .map(|s| model.log_score(&s.interpretation, 2))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("score_sqak", |b| {
+        b.iter(|| {
+            ranked
+                .iter()
+                .map(|s| sqak_score(&data.db, &index, &catalog, &s.interpretation))
+                .sum::<f64>()
+        })
+    });
+
+    if !ranked.is_empty() {
+        c.bench_function("session_next_option", |b| {
+            let session = ConstructionSession::new(&catalog, &ranked, SessionConfig::default());
+            b.iter(|| session.next_option())
+        });
+
+        c.bench_function("execute_interpretation_top1", |b| {
+            b.iter(|| {
+                execute_interpretation(
+                    &data.db,
+                    &index,
+                    &catalog,
+                    &ranked[0].interpretation,
+                    ExecOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Diversification: early-stop bound vs brute scan is verified equal in
+    // unit tests; here we measure the bounded version at realistic size.
+    let items: Vec<DivItem> = ranked
+        .iter()
+        .map(|s| DivItem {
+            relevance: s.probability,
+            atoms: s.interpretation.atoms(&catalog).into_iter().collect(),
+        })
+        .collect();
+    if items.len() >= 5 {
+        c.bench_function("diversify_top10", |b| {
+            b.iter_batched(
+                || items.clone(),
+                |items| diversify(&items, DiversifyConfig { lambda: 0.1, k: 10 }),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_freebase(c: &mut Criterion) {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 40,
+        types_per_domain: 25,
+        topics: 10_000,
+        rows_per_table: 25,
+        seed: 5,
+    })
+    .unwrap();
+    let index = InvertedIndex::build(&fb.db);
+    // A frequent keyword.
+    let kw = {
+        let mut best = ("tom".to_owned(), 0usize);
+        for (_, row) in fb.db.table(fb.topic).rows().take(200) {
+            for tok in row[1].as_text().unwrap_or("").split(' ') {
+                let n = index.attrs_containing(tok).len();
+                if n > best.1 {
+                    best = (tok.to_owned(), n);
+                }
+            }
+        }
+        best.0
+    };
+    let query = KeywordQuery::from_terms(vec![kw.clone(), kw]);
+    let explorer = LazyExplorer::new(
+        &fb.db,
+        &index,
+        TraversalConfig {
+            top_n: 200,
+            ..Default::default()
+        },
+    );
+    c.bench_function("lazy_traversal_top200_1000tables", |b| {
+        b.iter(|| explorer.top_interpretations(&query))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline, bench_freebase
+}
+criterion_main!(benches);

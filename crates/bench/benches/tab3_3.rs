@@ -1,0 +1,62 @@
+//! Table 3.3 — Performance of the greedy algorithm vs number of keywords.
+//!
+//! The §3.8.5 simulation with a fixed 10-table schema and 2–10 keywords.
+//! The paper's finding: the interpretation space grows exponentially with
+//! keyword count, but the options a user evaluates grow only linearly.
+
+use keybridge_bench::print_table;
+use keybridge_iqp::{SimConfig, SimSpace};
+use std::time::Duration;
+
+fn main() {
+    let thresholds = [10usize, 20, 30];
+    let runs = 20u64;
+    let mut rows = Vec::new();
+    for &n_keywords in &[2usize, 4, 6, 8, 10] {
+        let mut row = vec![n_keywords.to_string()];
+        let mut space_reported = false;
+        for &threshold in &thresholds {
+            let mut total_steps = 0usize;
+            let mut total_time = Duration::ZERO;
+            let mut completed = 0usize;
+            let mut space = 0u128;
+            for run in 0..runs {
+                let cfg = SimConfig::paper(10, n_keywords, threshold, run);
+                let sim = SimSpace::generate(cfg);
+                if let Some(report) = sim.run_construction(2000 + run) {
+                    space = report.space_size;
+                    total_steps += report.steps;
+                    total_time += report.option_time;
+                    completed += 1;
+                }
+            }
+            if !space_reported {
+                row.push(space.to_string());
+                space_reported = true;
+            }
+            let avg_steps = total_steps as f64 / completed.max(1) as f64;
+            let time_per_step = if total_steps > 0 {
+                total_time.as_secs_f64() * 1000.0 / total_steps as f64
+            } else {
+                0.0
+            };
+            row.push(format!("{avg_steps:.0}"));
+            row.push(format!("{time_per_step:.2} ms"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 3.3 greedy algorithm vs number of keywords (10 tables, 20 runs/cell)",
+        &[
+            "#keywords",
+            "#queries",
+            "T=10 steps",
+            "T=10 t/step",
+            "T=20 steps",
+            "T=20 t/step",
+            "T=30 steps",
+            "T=30 t/step",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,91 @@
+//! Table 5.3 — Ontologies of different size.
+//!
+//! The ontology layer comes in different granularities: the flat two-level
+//! domain ontology and grouped three-level variants with progressively
+//! coarser top layers. Columns: concepts, depth, average fan-out, covered
+//! tables — plus the interaction cost a 2-keyword session incurs under each,
+//! showing the granularity/efficiency trade-off the paper discusses.
+
+use keybridge_bench::{freebase_fixture, mean, print_table};
+use keybridge_core::KeywordQuery;
+use keybridge_freeq::{
+    FreeQSession, FreeQSessionConfig, LazyExplorer, SchemaOntology, TraversalConfig,
+};
+use keybridge_relstore::TableId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let fixture = freebase_fixture(60, 30, 20_000, 43);
+    let domains: Vec<(String, Vec<TableId>)> = fixture
+        .fb
+        .domains
+        .iter()
+        .map(|d| (d.name.clone(), d.tables.clone()))
+        .collect();
+    let variants: Vec<(&str, SchemaOntology)> = vec![
+        ("flat (domains)", SchemaOntology::from_domains(&domains)),
+        ("grouped x3", SchemaOntology::with_groups(&domains, 3)),
+        ("grouped x10", SchemaOntology::with_groups(&domains, 10)),
+        ("grouped x20", SchemaOntology::with_groups(&domains, 20)),
+    ];
+
+    // A fixed query set reused across variants.
+    let mut rng = StdRng::seed_from_u64(44);
+    let explorer = LazyExplorer::new(
+        &fixture.fb.db,
+        &fixture.index,
+        TraversalConfig {
+            top_n: 400,
+            ..Default::default()
+        },
+    );
+    let mut sessions = Vec::new();
+    for _ in 0..8 {
+        if let Some((keywords, _)) = fixture.sample_query(2, &mut rng) {
+            let query = KeywordQuery::from_terms(keywords);
+            let tops = explorer.top_interpretations(&query);
+            if tops.len() >= 10 {
+                let targets: Vec<TableId> = tops[tops.len() * 3 / 4]
+                    .bindings
+                    .iter()
+                    .map(|a| a.table)
+                    .collect();
+                sessions.push((tops, targets));
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (name, ontology) in &variants {
+        let mut costs = Vec::new();
+        for (tops, targets) in &sessions {
+            if let Some(out) =
+                FreeQSession::new(Some(ontology), tops.clone(), FreeQSessionConfig::default())
+                    .run_with_target(targets)
+            {
+                costs.push(out.steps as f64);
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            ontology.len().to_string(),
+            ontology.max_depth().to_string(),
+            format!("{:.1}", ontology.avg_fanout()),
+            ontology.table_count().to_string(),
+            format!("{:.1}", mean(&costs)),
+        ]);
+    }
+    print_table(
+        "Table 5.3 ontologies of different size (1,800 tables)",
+        &[
+            "ontology",
+            "concepts",
+            "depth",
+            "avg fanout",
+            "tables",
+            "session cost",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,483 @@
+//! Shared fixtures and helpers for the experiment harnesses.
+//!
+//! Every `[[bench]]` target in this crate regenerates one table or figure of
+//! the paper's evaluation and prints the same rows/series the paper reports.
+//! Run a single one with `cargo bench -p keybridge-bench --bench fig3_5`, or
+//! everything with `cargo bench`.
+
+use keybridge_core::{
+    IntentDescription, Interpreter, InterpreterConfig, KeywordQuery, ScoredInterpretation,
+    TemplateCatalog, TemplatePrior,
+};
+use keybridge_datagen::{
+    ImdbConfig, ImdbDataset, LyricsConfig, LyricsDataset, Workload, WorkloadConfig, WorkloadQuery,
+};
+use keybridge_index::InvertedIndex;
+use keybridge_iqp::{SessionConfig, SimulatedUser};
+
+/// A ready-to-query dataset: database + index + template catalog + workload.
+pub struct Fixture {
+    pub name: &'static str,
+    pub db: keybridge_relstore::Database,
+    pub index: InvertedIndex,
+    pub catalog: TemplateCatalog,
+    pub workload: Workload,
+}
+
+/// Number of keyword queries per dataset (the paper used 108 / 76).
+pub const IMDB_QUERIES: usize = 108;
+pub const LYRICS_QUERIES: usize = 76;
+
+/// The IMDB-like evaluation fixture of §3.8.1.
+pub fn imdb_fixture(seed: u64) -> Fixture {
+    let data = ImdbDataset::generate(ImdbConfig {
+        seed,
+        ..Default::default()
+    })
+    .expect("generation succeeds");
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
+    let workload = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: seed + 1,
+            n_queries: IMDB_QUERIES,
+            mc_fraction: 0.6,
+        },
+    );
+    Fixture {
+        name: "IMDB",
+        db: data.db,
+        index,
+        catalog,
+        workload,
+    }
+}
+
+/// The Lyrics-like evaluation fixture of §3.8.1.
+pub fn lyrics_fixture(seed: u64) -> Fixture {
+    let data = LyricsDataset::generate(LyricsConfig {
+        seed,
+        ..Default::default()
+    })
+    .expect("generation succeeds");
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
+    let workload = Workload::lyrics(
+        &data,
+        WorkloadConfig {
+            seed: seed + 1,
+            n_queries: LYRICS_QUERIES,
+            mc_fraction: 0.6,
+        },
+    );
+    Fixture {
+        name: "Lyrics",
+        db: data.db,
+        index,
+        catalog,
+        workload,
+    }
+}
+
+impl Fixture {
+    /// An interpreter with the given probability configuration and a
+    /// bench-friendly interpretation cap.
+    pub fn interpreter(
+        &self,
+        prob: keybridge_core::ProbabilityConfig,
+        prior: TemplatePrior,
+    ) -> Interpreter<'_> {
+        Interpreter::new(
+            &self.db,
+            &self.index,
+            &self.catalog,
+            InterpreterConfig {
+                max_interpretations: 3000,
+                prob,
+                prior,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The usage-based template prior mined from the workload (the `TLog`
+    /// condition of Fig. 3.5).
+    pub fn usage_prior(&self) -> TemplatePrior {
+        TemplatePrior::from_usage(
+            self.workload
+                .template_usage
+                .iter()
+                .map(|u| (u.tables.clone(), u.count)),
+        )
+    }
+
+    /// Schema-level ground truth for a workload query.
+    pub fn intent(&self, q: &WorkloadQuery) -> IntentDescription {
+        IntentDescription {
+            bindings: q
+                .intent
+                .bindings
+                .iter()
+                .map(|b| (b.keywords.clone(), b.table.clone(), b.attr.clone()))
+                .collect(),
+            tables: q.intent.tables.clone(),
+        }
+    }
+
+    /// Run one workload query end to end under an interpreter: ranked list,
+    /// target rank, and construction cost. `None` when the generator's
+    /// intent is outside the materialized interpretation space (the paper
+    /// likewise only evaluates queries whose intent exists).
+    pub fn evaluate(
+        &self,
+        interpreter: &Interpreter<'_>,
+        q: &WorkloadQuery,
+    ) -> Option<QueryEval> {
+        let query = KeywordQuery::from_terms(q.keywords.clone());
+        let ranked = interpreter.ranked_interpretations(&query);
+        if ranked.is_empty() {
+            return None;
+        }
+        let user = SimulatedUser {
+            db: &self.db,
+            catalog: &self.catalog,
+            intent: self.intent(q),
+        };
+        let rank = user.rank_of_target(&ranked)?;
+        let outcome = user.run(&ranked, SessionConfig::default())?;
+        Some(QueryEval {
+            candidates: ranked.len(),
+            rank,
+            steps: outcome.steps,
+            remaining: outcome.remaining,
+            target_retained: outcome.target_retained,
+            ranked,
+        })
+    }
+}
+
+/// Outcome of one evaluated workload query.
+pub struct QueryEval {
+    /// Size of the materialized interpretation space.
+    pub candidates: usize,
+    /// 1-based rank of the intent in the ranked list.
+    pub rank: usize,
+    /// Construction interaction cost (options evaluated).
+    pub steps: usize,
+    /// Candidates left in the final query window.
+    pub remaining: usize,
+    /// Whether construction kept the intent in the window.
+    pub target_retained: bool,
+    /// The ranked interpretations (for downstream metrics).
+    pub ranked: Vec<ScoredInterpretation>,
+}
+
+/// Print a fixed-width table: a header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Mean of a slice (NaN when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_core::ProbabilityConfig;
+
+    #[test]
+    fn fixtures_build_and_evaluate() {
+        // Smaller configs keep this test snappy while exercising the full
+        // evaluation path the benches use.
+        let data = ImdbDataset::generate(ImdbConfig::tiny(3)).unwrap();
+        let index = InvertedIndex::build(&data.db);
+        let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).unwrap();
+        let workload = Workload::imdb(
+            &data,
+            WorkloadConfig {
+                seed: 4,
+                n_queries: 15,
+                mc_fraction: 0.5,
+            },
+        );
+        let f = Fixture {
+            name: "tiny",
+            db: data.db,
+            index,
+            catalog,
+            workload,
+        };
+        let interp = f.interpreter(ProbabilityConfig::default(), TemplatePrior::Uniform);
+        let mut ok = 0;
+        for q in &f.workload.queries.clone() {
+            if let Some(e) = f.evaluate(&interp, q) {
+                assert!(e.rank >= 1 && e.rank <= e.candidates);
+                assert!(e.target_retained);
+                ok += 1;
+            }
+        }
+        assert!(ok > 0, "no query evaluated");
+        let prior = f.usage_prior();
+        assert!(matches!(prior, TemplatePrior::Usage { .. }));
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "x".into()]],
+        );
+        assert!(mean(&[]).is_nan());
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 4 helpers: executed interpretations with simulated assessments.
+// ---------------------------------------------------------------------------
+
+use keybridge_core::{execute_interpretation, BindingAtom, ResultKey};
+use keybridge_divq::{simulate_assessments, AssessConfig, EvalItem};
+use std::collections::BTreeSet;
+
+/// Per-query data for the Chapter 4 experiments: the top interpretations
+/// with probabilities, structural atoms, executed result keys, and graded
+/// relevance from the simulated assessor population.
+pub struct Ch4Data {
+    pub probs: Vec<f64>,
+    pub atoms: Vec<BTreeSet<BindingAtom>>,
+    pub keys: Vec<BTreeSet<ResultKey>>,
+    pub relevance: Vec<f64>,
+}
+
+impl Ch4Data {
+    /// Items in ranking order.
+    pub fn eval_items(&self) -> Vec<EvalItem> {
+        self.relevance
+            .iter()
+            .zip(&self.keys)
+            .map(|(r, k)| EvalItem {
+                relevance: *r,
+                keys: k.clone(),
+            })
+            .collect()
+    }
+
+    /// Entropy of the top-10 probabilities (the §4.6.1 ambiguity measure).
+    pub fn ambiguity(&self) -> f64 {
+        let top: Vec<f64> = self.probs.iter().take(10).copied().collect();
+        let total: f64 = top.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        for p in &top {
+            let p = p / total;
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+}
+
+/// Build Chapter 4 data for one workload query: rank, truncate to `top`,
+/// execute (dropping empty-result interpretations, §4.4.1), and assess.
+/// Returns `None` when fewer than `min_interps` interpretations survive.
+pub fn ch4_data(
+    fixture: &Fixture,
+    interpreter: &Interpreter<'_>,
+    q: &WorkloadQuery,
+    top: usize,
+    min_interps: usize,
+    assess_seed: u64,
+) -> Option<Ch4Data> {
+    let query = KeywordQuery::from_terms(q.keywords.clone());
+    // The DivQ pool: complete AND partial interpretations (§4.4.2).
+    let ranked = interpreter.ranked_with_partials(&query);
+    let mut probs = Vec::new();
+    let mut atoms = Vec::new();
+    let mut keys = Vec::new();
+    for s in ranked.iter().take(top) {
+        let Ok(result) = execute_interpretation(
+            &fixture.db,
+            &fixture.index,
+            &fixture.catalog,
+            &s.interpretation,
+            keybridge_relstore::ExecOptions {
+                limit: 500,
+                ..Default::default()
+            },
+        ) else {
+            continue;
+        };
+        if result.is_empty() {
+            continue; // zero-probability under the DivQ model
+        }
+        probs.push(s.probability);
+        atoms.push(s.interpretation.atoms(&fixture.catalog).into_iter().collect());
+        keys.push(result.keys);
+    }
+    if probs.len() < min_interps {
+        return None;
+    }
+    let pairs: Vec<(f64, BTreeSet<BindingAtom>)> = probs
+        .iter()
+        .copied()
+        .zip(atoms.iter().cloned())
+        .collect();
+    let relevance = simulate_assessments(
+        &pairs,
+        AssessConfig {
+            seed: assess_seed,
+            ..Default::default()
+        },
+    );
+    Some(Ch4Data {
+        probs,
+        atoms,
+        keys,
+        relevance,
+    })
+}
+
+/// The §4.6.1 query selection: the `n` single-concept and `n` multi-concept
+/// queries with the highest top-10 entropy, paired with their data.
+pub fn ch4_query_set(
+    fixture: &Fixture,
+    interpreter: &Interpreter<'_>,
+    n: usize,
+) -> (Vec<Ch4Data>, Vec<Ch4Data>) {
+    let mut sc: Vec<(f64, Ch4Data)> = Vec::new();
+    let mut mc: Vec<(f64, Ch4Data)> = Vec::new();
+    for (i, q) in fixture.workload.queries.iter().enumerate() {
+        let Some(data) = ch4_data(fixture, interpreter, q, 25, 2, 7000 + i as u64) else {
+            continue;
+        };
+        let ambiguity = data.ambiguity();
+        if q.multi_concept {
+            mc.push((ambiguity, data));
+        } else {
+            sc.push((ambiguity, data));
+        }
+    }
+    let take_top = |mut v: Vec<(f64, Ch4Data)>| -> Vec<Ch4Data> {
+        v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        v.into_iter().take(n).map(|(_, d)| d).collect()
+    };
+    (take_top(sc), take_top(mc))
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 5 helpers: Freebase-scale fixtures and query sampling.
+// ---------------------------------------------------------------------------
+
+use keybridge_datagen::{FreebaseConfig, FreebaseDataset};
+use keybridge_freeq::SchemaOntology;
+use keybridge_relstore::TableId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Freebase-scale fixture: flat schema, index, and the domain ontology.
+pub struct FreebaseFixture {
+    pub fb: FreebaseDataset,
+    pub index: InvertedIndex,
+    pub ontology: SchemaOntology,
+}
+
+/// Build a Freebase-like fixture of the given shape.
+pub fn freebase_fixture(
+    domains: usize,
+    types_per_domain: usize,
+    topics: usize,
+    seed: u64,
+) -> FreebaseFixture {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        seed,
+        domains,
+        types_per_domain,
+        topics,
+        rows_per_table: 25,
+    })
+    .expect("generation succeeds");
+    let index = InvertedIndex::build(&fb.db);
+    let domain_tables: Vec<(String, Vec<TableId>)> = fb
+        .domains
+        .iter()
+        .map(|d| (d.name.clone(), d.tables.clone()))
+        .collect();
+    let ontology = SchemaOntology::from_domains(&domain_tables);
+    FreebaseFixture {
+        fb,
+        index,
+        ontology,
+    }
+}
+
+impl FreebaseFixture {
+    /// Sample a keyword query with ground truth: `n_keywords` keywords, each
+    /// drawn from the `name` of a random row of a random type table; the
+    /// intended binding of keyword `i` is that table. Retries until every
+    /// keyword is ambiguous (occurs in ≥ 2 attributes).
+    pub fn sample_query(
+        &self,
+        n_keywords: usize,
+        rng: &mut StdRng,
+    ) -> Option<(Vec<String>, Vec<TableId>)> {
+        'outer: for _ in 0..200 {
+            let mut keywords = Vec::with_capacity(n_keywords);
+            let mut targets = Vec::with_capacity(n_keywords);
+            for _ in 0..n_keywords {
+                let d = &self.fb.domains[rng.gen_range(0..self.fb.domains.len())];
+                let t = d.tables[rng.gen_range(0..d.tables.len())];
+                let store = self.fb.db.table(t);
+                if store.is_empty() {
+                    continue 'outer;
+                }
+                let row = keybridge_relstore::RowId(rng.gen_range(0..store.len() as u32));
+                let name = store.row(row)[1].as_text().unwrap_or("");
+                let Some(tok) = name.split(' ').next().filter(|s| !s.is_empty()) else {
+                    continue 'outer;
+                };
+                if self.index.attrs_containing(tok).len() < 2 {
+                    continue 'outer;
+                }
+                keywords.push(tok.to_owned());
+                targets.push(t);
+            }
+            return Some((keywords, targets));
+        }
+        None
+    }
+}

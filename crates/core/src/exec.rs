@@ -1,0 +1,247 @@
+//! Materializing the results of a query interpretation (§2.2.6): translate
+//! the interpretation's value predicates into candidate row sets via the
+//! inverted index, run the template's join tree, and collect joining tuple
+//! trees with their primary keys (the "information nuggets" of Chapter 4).
+
+use crate::interp::BindingTarget;
+use crate::template::TemplateCatalog;
+use crate::QueryInterpretation;
+use keybridge_index::InvertedIndex;
+use keybridge_relstore::{
+    execute_join_tree, AttrRef, Candidates, Database, ExecOptions, JoinedRow, RelResult, RowId,
+    TableId,
+};
+use std::collections::BTreeSet;
+
+/// A tuple identifier: table plus primary-key value. The unit of result
+/// overlap in DivQ's metrics (one `ResultKey` = one information nugget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResultKey {
+    pub table: TableId,
+    pub pk: i64,
+}
+
+/// Materialized results of one interpretation.
+#[derive(Debug, Clone)]
+pub struct ExecutedResult {
+    /// Joining tuple trees: one row per template node, aligned with the
+    /// template's node order.
+    pub jtts: Vec<JoinedRow>,
+    /// The distinct *answer* tuples: rows of the non-free nodes (those
+    /// carrying a keyword predicate). These are the information nuggets /
+    /// subtopics of Chapter 4 — connector rows of free tables join the
+    /// answer together but do not identify it.
+    pub keys: BTreeSet<ResultKey>,
+    /// All distinct tuples appearing in any JTT, free nodes included.
+    pub all_keys: BTreeSet<ResultKey>,
+}
+
+impl ExecutedResult {
+    /// Number of JTTs.
+    pub fn len(&self) -> usize {
+        self.jtts.len()
+    }
+
+    /// Whether the interpretation returned no results.
+    pub fn is_empty(&self) -> bool {
+        self.jtts.is_empty()
+    }
+}
+
+/// Execute `interp` over `db`.
+pub fn execute_interpretation(
+    db: &Database,
+    index: &InvertedIndex,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+    opts: ExecOptions,
+) -> RelResult<ExecutedResult> {
+    let tpl = catalog.get(interp.template);
+    let n = tpl.tree.nodes.len();
+    let mut per_node: Vec<Option<Vec<RowId>>> = vec![None; n];
+
+    for b in &interp.bindings {
+        if let BindingTarget::Value { node, attr } = b.target {
+            let aref = AttrRef {
+                table: tpl.tree.nodes[node],
+                attr,
+            };
+            let rows = index.rows_with_all(&b.keywords, aref);
+            per_node[node] = Some(match per_node[node].take() {
+                // Two predicates on the same node: intersect.
+                Some(prev) => {
+                    let set: std::collections::HashSet<RowId> = rows.into_iter().collect();
+                    prev.into_iter().filter(|r| set.contains(r)).collect()
+                }
+                None => rows,
+            });
+        }
+    }
+
+    let mut bound = vec![false; n];
+    for b in &interp.bindings {
+        if matches!(b.target, BindingTarget::Value { .. }) {
+            bound[b.target.node()] = true;
+        }
+    }
+
+    let candidates = Candidates { per_node };
+    let jtts = execute_join_tree(db, &tpl.tree, &candidates, opts)?;
+    let mut keys = BTreeSet::new();
+    let mut all_keys = BTreeSet::new();
+    for jtt in &jtts {
+        for (node, row) in jtt.iter().enumerate() {
+            let table = tpl.tree.nodes[node];
+            let key = ResultKey {
+                table,
+                pk: db.pk_value(table, *row),
+            };
+            all_keys.insert(key);
+            if bound[node] {
+                keys.insert(key);
+            }
+        }
+    }
+    Ok(ExecutedResult {
+        jtts,
+        keys,
+        all_keys,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::KeywordBinding;
+    use crate::template::TemplateCatalog;
+    use keybridge_relstore::{SchemaBuilder, TableKind, Value};
+
+    fn setup() -> (Database, InvertedIndex, TemplateCatalog) {
+        let mut b = SchemaBuilder::new();
+        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("acts", TableKind::Relation)
+            .pk("id")
+            .int_attr("actor_id")
+            .int_attr("movie_id");
+        b.foreign_key("acts", "actor_id", "actor").unwrap();
+        b.foreign_key("acts", "movie_id", "movie").unwrap();
+        let mut db = Database::new(b.finish().unwrap());
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        let acts = db.schema().table_id("acts").unwrap();
+        for (id, n) in [(1, "tom hanks"), (2, "tom cruise")] {
+            db.insert(actor, vec![Value::Int(id), Value::text(n)]).unwrap();
+        }
+        for (id, t) in [(10, "the terminal"), (11, "top gun")] {
+            db.insert(movie, vec![Value::Int(id), Value::text(t)]).unwrap();
+        }
+        for (id, a, m) in [(100, 1, 10), (101, 2, 11)] {
+            db.insert(acts, vec![Value::Int(id), Value::Int(a), Value::Int(m)])
+                .unwrap();
+        }
+        let idx = InvertedIndex::build(&db);
+        let catalog = TemplateCatalog::enumerate(&db, 2, 100).unwrap();
+        (db, idx, catalog)
+    }
+
+    fn hanks_terminal(db: &Database, catalog: &TemplateCatalog) -> QueryInterpretation {
+        let sig = vec!["actor".to_owned(), "acts".to_owned(), "movie".to_owned()];
+        let tpl = catalog.iter().find(|t| t.signature(db) == sig).unwrap();
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        let actor_node = tpl.nodes_of_table(actor)[0];
+        let movie_node = tpl.nodes_of_table(movie)[0];
+        QueryInterpretation::new(
+            tpl.id,
+            vec![
+                KeywordBinding {
+                    keywords: vec!["hanks".into()],
+                    target: BindingTarget::Value {
+                        node: actor_node,
+                        attr: db.schema().resolve("actor", "name").unwrap().attr,
+                    },
+                },
+                KeywordBinding {
+                    keywords: vec!["terminal".into()],
+                    target: BindingTarget::Value {
+                        node: movie_node,
+                        attr: db.schema().resolve("movie", "title").unwrap().attr,
+                    },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn executes_and_collects_keys() {
+        let (db, idx, catalog) = setup();
+        let interp = hanks_terminal(&db, &catalog);
+        let res =
+            execute_interpretation(&db, &idx, &catalog, &interp, ExecOptions::default()).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(!res.is_empty());
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        assert!(res.keys.contains(&ResultKey { table: actor, pk: 1 }));
+        assert!(res.keys.contains(&ResultKey { table: movie, pk: 10 }));
+        assert_eq!(res.keys.len(), 2); // the bound actor + movie tuples
+        assert_eq!(res.all_keys.len(), 3); // plus the free acts tuple
+    }
+
+    #[test]
+    fn mismatched_predicates_yield_empty() {
+        let (db, idx, catalog) = setup();
+        // "cruise" + "terminal" never join.
+        let sig = vec!["actor".to_owned(), "acts".to_owned(), "movie".to_owned()];
+        let tpl = catalog.iter().find(|t| t.signature(&db) == sig).unwrap();
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        let interp = QueryInterpretation::new(
+            tpl.id,
+            vec![
+                KeywordBinding {
+                    keywords: vec!["cruise".into()],
+                    target: BindingTarget::Value {
+                        node: tpl.nodes_of_table(actor)[0],
+                        attr: db.schema().resolve("actor", "name").unwrap().attr,
+                    },
+                },
+                KeywordBinding {
+                    keywords: vec!["terminal".into()],
+                    target: BindingTarget::Value {
+                        node: tpl.nodes_of_table(movie)[0],
+                        attr: db.schema().resolve("movie", "title").unwrap().attr,
+                    },
+                },
+            ],
+        );
+        let res =
+            execute_interpretation(&db, &idx, &catalog, &interp, ExecOptions::default()).unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn single_table_execution() {
+        let (db, idx, catalog) = setup();
+        let actor = db.schema().table_id("actor").unwrap();
+        let tpl = catalog
+            .iter()
+            .find(|t| t.tree.nodes == vec![actor])
+            .unwrap();
+        let interp = QueryInterpretation::new(
+            tpl.id,
+            vec![KeywordBinding {
+                keywords: vec!["tom".into()],
+                target: BindingTarget::Value {
+                    node: 0,
+                    attr: db.schema().resolve("actor", "name").unwrap().attr,
+                },
+            }],
+        );
+        let res =
+            execute_interpretation(&db, &idx, &catalog, &interp, ExecOptions::default()).unwrap();
+        assert_eq!(res.len(), 2); // both toms
+        assert_eq!(res.keys.len(), 2);
+    }
+}

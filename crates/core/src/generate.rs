@@ -1,0 +1,519 @@
+//! Interpretation generation (§3.5.2): compose keyword interpretations with
+//! query templates into complete, minimal query interpretations.
+
+use crate::interp::{BindingTarget, KeywordBinding, QueryInterpretation};
+use crate::keyword::KeywordQuery;
+use crate::prob::{ProbabilityConfig, ProbabilityModel, TemplatePrior};
+use crate::template::TemplateCatalog;
+use keybridge_index::{InvertedIndex, SchemaTarget};
+use keybridge_relstore::{AttrRef, Database};
+use std::collections::{HashMap, HashSet};
+
+/// Generation and scoring knobs.
+#[derive(Debug, Clone)]
+pub struct InterpreterConfig {
+    /// Hard cap on generated interpretations per query (the interpretation
+    /// space grows polynomially with schema size and exponentially with
+    /// query length; §3.8.5).
+    pub max_interpretations: usize,
+    /// Require every value predicate to match at least one row (the DivQ
+    /// non-empty-result necessary condition, §4.4.1).
+    pub require_nonempty_predicates: bool,
+    /// Allow keywords to be interpreted as table/attribute names.
+    pub allow_schema_bindings: bool,
+    /// Probability model knobs.
+    pub prob: ProbabilityConfig,
+    /// Template prior.
+    pub prior: TemplatePrior,
+}
+
+impl Default for InterpreterConfig {
+    fn default() -> Self {
+        InterpreterConfig {
+            max_interpretations: 20_000,
+            require_nonempty_predicates: true,
+            allow_schema_bindings: true,
+            prob: ProbabilityConfig::default(),
+            prior: TemplatePrior::Uniform,
+        }
+    }
+}
+
+/// An interpretation with its score under the probability model.
+#[derive(Debug, Clone)]
+pub struct ScoredInterpretation {
+    pub interpretation: QueryInterpretation,
+    /// `ln P(Q|K)` up to the per-query constant.
+    pub log_score: f64,
+    /// Probability normalized over the generated candidate set.
+    pub probability: f64,
+}
+
+/// One candidate target for a single keyword, before template localization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TermCandidate {
+    Value(AttrRef),
+    TableName(keybridge_relstore::TableId),
+    AttrName(AttrRef),
+}
+
+/// The interpretation generator.
+pub struct Interpreter<'a> {
+    db: &'a Database,
+    index: &'a InvertedIndex,
+    catalog: &'a TemplateCatalog,
+    config: InterpreterConfig,
+}
+
+impl<'a> Interpreter<'a> {
+    pub fn new(
+        db: &'a Database,
+        index: &'a InvertedIndex,
+        catalog: &'a TemplateCatalog,
+        config: InterpreterConfig,
+    ) -> Self {
+        Interpreter {
+            db,
+            index,
+            catalog,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &InterpreterConfig {
+        &self.config
+    }
+
+    /// The template catalog in use.
+    pub fn catalog(&self) -> &TemplateCatalog {
+        self.catalog
+    }
+
+    /// Candidate interpretations of each distinct term, schema-level.
+    fn term_candidates(&self, query: &KeywordQuery) -> HashMap<String, Vec<TermCandidate>> {
+        let mut out = HashMap::new();
+        for term in query.distinct_terms() {
+            let mut cands = Vec::new();
+            for attr in self.index.attrs_containing(term) {
+                cands.push(TermCandidate::Value(attr));
+            }
+            if self.config.allow_schema_bindings {
+                for m in self.index.schema_matches(term) {
+                    match m {
+                        SchemaTarget::Table(t) => cands.push(TermCandidate::TableName(*t)),
+                        SchemaTarget::Attribute(a) => cands.push(TermCandidate::AttrName(*a)),
+                    }
+                }
+            }
+            // Deterministic order.
+            cands.sort_by_key(|c| match c {
+                TermCandidate::Value(a) => (0u8, a.table.0, a.attr.0),
+                TermCandidate::AttrName(a) => (1, a.table.0, a.attr.0),
+                TermCandidate::TableName(t) => (2, t.0, 0),
+            });
+            cands.dedup();
+            out.insert(term.to_owned(), cands);
+        }
+        out
+    }
+
+    /// Enumerate complete, minimal interpretations of `query` (Def. 3.5.4),
+    /// capped at `max_interpretations`.
+    pub fn enumerate_interpretations(&self, query: &KeywordQuery) -> Vec<QueryInterpretation> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let candidates = self.term_candidates(query);
+        let terms = query.terms();
+        let mut results: HashSet<QueryInterpretation> = HashSet::new();
+
+        'template: for tpl in self.catalog.iter() {
+            // Localize candidates to template nodes.
+            let mut local: Vec<Vec<BindingTarget>> = Vec::with_capacity(terms.len());
+            for term in terms {
+                let mut targets = Vec::new();
+                for cand in &candidates[term.as_str()] {
+                    match cand {
+                        TermCandidate::Value(a) => {
+                            for node in tpl.nodes_of_table(a.table) {
+                                targets.push(BindingTarget::Value { node, attr: a.attr });
+                            }
+                        }
+                        TermCandidate::TableName(t) => {
+                            for node in tpl.nodes_of_table(*t) {
+                                targets.push(BindingTarget::TableName { node });
+                            }
+                        }
+                        TermCandidate::AttrName(a) => {
+                            for node in tpl.nodes_of_table(a.table) {
+                                targets.push(BindingTarget::AttrName { node, attr: a.attr });
+                            }
+                        }
+                    }
+                }
+                if targets.is_empty() {
+                    continue 'template; // term uninterpretable here
+                }
+                local.push(targets);
+            }
+
+            // DFS over per-term targets.
+            let mut assignment: Vec<BindingTarget> = Vec::with_capacity(terms.len());
+            self.dfs(tpl, terms, &local, &mut assignment, &mut results);
+            if results.len() >= self.config.max_interpretations {
+                break;
+            }
+        }
+
+        let mut v: Vec<QueryInterpretation> = results.into_iter().collect();
+        // Deterministic output order (callers re-rank anyway).
+        v.sort_by(|a, b| {
+            a.template
+                .cmp(&b.template)
+                .then_with(|| a.bindings.cmp(&b.bindings))
+        });
+        v.truncate(self.config.max_interpretations);
+        v
+    }
+
+    fn dfs(
+        &self,
+        tpl: &crate::template::QueryTemplate,
+        terms: &[String],
+        local: &[Vec<BindingTarget>],
+        assignment: &mut Vec<BindingTarget>,
+        results: &mut HashSet<QueryInterpretation>,
+    ) {
+        if results.len() >= self.config.max_interpretations {
+            return;
+        }
+        let i = assignment.len();
+        if i == terms.len() {
+            // Group terms by target into bindings.
+            let mut groups: HashMap<BindingTarget, Vec<String>> = HashMap::new();
+            for (t, target) in terms.iter().zip(assignment.iter()) {
+                groups.entry(target.clone()).or_default().push(t.clone());
+            }
+            let bindings: Vec<KeywordBinding> = groups
+                .into_iter()
+                .map(|(target, keywords)| KeywordBinding { keywords, target })
+                .collect();
+            let interp = QueryInterpretation::new(tpl.id, bindings);
+            if !interp.is_minimal(self.catalog) {
+                return;
+            }
+            if self.config.require_nonempty_predicates && !self.predicates_nonempty(tpl, &interp)
+            {
+                return;
+            }
+            results.insert(interp);
+            return;
+        }
+        for target in &local[i] {
+            assignment.push(target.clone());
+            self.dfs(tpl, terms, local, assignment, results);
+            assignment.pop();
+            if results.len() >= self.config.max_interpretations {
+                return;
+            }
+        }
+    }
+
+    /// Necessary non-emptiness condition: each value-bag predicate matches
+    /// at least one row of its attribute.
+    fn predicates_nonempty(
+        &self,
+        tpl: &crate::template::QueryTemplate,
+        interp: &QueryInterpretation,
+    ) -> bool {
+        for b in &interp.bindings {
+            if let BindingTarget::Value { node, attr } = b.target {
+                let aref = AttrRef {
+                    table: tpl.tree.nodes[node],
+                    attr,
+                };
+                if self.index.rows_with_all(&b.keywords, aref).is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerate, score, normalize, and sort interpretations, best first.
+    /// Ties break on canonical interpretation order for determinism.
+    pub fn ranked_interpretations(&self, query: &KeywordQuery) -> Vec<ScoredInterpretation> {
+        let interps = self.enumerate_interpretations(query);
+        self.rank(query, interps)
+    }
+
+    /// Like [`Self::ranked_interpretations`], but the candidate space also
+    /// contains *partial* interpretations — interpretations of every
+    /// non-empty keyword subset, charged `P_u` per unmapped keyword
+    /// (Eq. 3.6 / §4.4.2). This is the DivQ candidate pool: partial
+    /// interpretations interleave with complete ones and their results
+    /// overlap, which is exactly the redundancy diversification removes
+    /// (Table 4.1's "A director CHRISTOPHER GUEST" at rank 2).
+    ///
+    /// Queries longer than 12 keywords fall back to complete-only ranking
+    /// (the subset lattice would explode).
+    pub fn ranked_with_partials(&self, query: &KeywordQuery) -> Vec<ScoredInterpretation> {
+        let n = query.len();
+        if n == 0 || n > 12 {
+            return self.ranked_interpretations(query);
+        }
+        let terms = query.terms();
+        let mut all: HashSet<QueryInterpretation> = HashSet::new();
+        for mask in 1u32..(1u32 << n) {
+            let subset: Vec<String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| terms[i].clone())
+                .collect();
+            let sub = KeywordQuery::from_terms(subset);
+            all.extend(self.enumerate_interpretations(&sub));
+            if all.len() >= self.config.max_interpretations {
+                break;
+            }
+        }
+        let mut v: Vec<QueryInterpretation> = all.into_iter().collect();
+        v.sort_by(|a, b| {
+            a.template
+                .cmp(&b.template)
+                .then_with(|| a.bindings.cmp(&b.bindings))
+        });
+        v.truncate(self.config.max_interpretations);
+        self.rank(query, v)
+    }
+
+    /// Score and sort a pre-enumerated interpretation list.
+    pub fn rank(
+        &self,
+        query: &KeywordQuery,
+        interps: Vec<QueryInterpretation>,
+    ) -> Vec<ScoredInterpretation> {
+        let model = ProbabilityModel::new(
+            self.db,
+            self.index,
+            self.catalog,
+            self.config.prior.clone(),
+            self.config.prob,
+        );
+        let logs: Vec<f64> = interps
+            .iter()
+            .map(|i| model.log_score(i, query.len()))
+            .collect();
+        let probs = ProbabilityModel::normalize(&logs);
+        let mut scored: Vec<ScoredInterpretation> = interps
+            .into_iter()
+            .zip(logs)
+            .zip(probs)
+            .map(|((interpretation, log_score), probability)| ScoredInterpretation {
+                interpretation,
+                log_score,
+                probability,
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.log_score
+                .partial_cmp(&a.log_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.interpretation.template.cmp(&b.interpretation.template))
+                .then_with(|| a.interpretation.bindings.cmp(&b.interpretation.bindings))
+        });
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_datagen::{ImdbConfig, ImdbDataset};
+    use keybridge_index::Tokenizer;
+
+    struct Fixture {
+        data: ImdbDataset,
+        index: InvertedIndex,
+        catalog: TemplateCatalog,
+    }
+
+    fn fixture() -> Fixture {
+        let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
+        let index = InvertedIndex::build(&data.db);
+        let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+        Fixture {
+            data,
+            index,
+            catalog,
+        }
+    }
+
+    fn first_actor_tokens(f: &Fixture) -> (String, String) {
+        let row = f.data.db.table(f.data.actor).row(keybridge_relstore::RowId(0));
+        let name = row[1].as_text().unwrap();
+        let toks = Tokenizer::new().tokenize(name);
+        (toks[0].clone(), toks[1].clone())
+    }
+
+    #[test]
+    fn generates_complete_minimal_interpretations() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let all = interp.enumerate_interpretations(&q);
+        assert!(!all.is_empty());
+        for i in &all {
+            assert!(i.is_complete(&q), "incomplete: {i:?}");
+            assert!(i.is_minimal(&f.catalog), "non-minimal: {i:?}");
+        }
+    }
+
+    #[test]
+    fn ranked_prefers_cooccurring_name() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first.clone(), last.clone()]);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let ranked = interp.ranked_interpretations(&q);
+        assert!(!ranked.is_empty());
+        // The top interpretation should put both tokens in one person-name
+        // attribute (actor or director), thanks to the joint-ATF boost.
+        let top = &ranked[0];
+        let tpl = f.catalog.get(top.interpretation.template);
+        let together = top.interpretation.bindings.iter().any(|b| {
+            b.keywords.len() == 2
+                && matches!(b.target, BindingTarget::Value { node, attr }
+                    if f.data.db.schema().table(tpl.tree.nodes[node]).attr(attr).name == "name")
+        });
+        assert!(together, "top: {:?}", top.interpretation);
+        // Probabilities normalized.
+        let sum: f64 = ranked.iter().map(|s| s.probability).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Sorted descending.
+        for w in ranked.windows(2) {
+            assert!(w[0].log_score >= w[1].log_score);
+        }
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        assert!(interp
+            .enumerate_interpretations(&KeywordQuery::from_terms(vec![]))
+            .is_empty());
+    }
+
+    #[test]
+    fn unknown_keyword_yields_nothing() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let q = KeywordQuery::from_terms(vec!["zzzzqqqq".into()]);
+        assert!(interp.enumerate_interpretations(&q).is_empty());
+    }
+
+    #[test]
+    fn schema_keyword_binds_table_name() {
+        let f = fixture();
+        let (_, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec!["actor".into(), last]);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let all = interp.enumerate_interpretations(&q);
+        assert!(all.iter().any(|i| i
+            .bindings
+            .iter()
+            .any(|b| matches!(b.target, BindingTarget::TableName { .. }))));
+    }
+
+    #[test]
+    fn cap_respected() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let cfg = InterpreterConfig {
+            max_interpretations: 3,
+            ..Default::default()
+        };
+        let interp = Interpreter::new(&f.data.db, &f.index, &f.catalog, cfg);
+        assert!(interp.enumerate_interpretations(&q).len() <= 3);
+    }
+
+    #[test]
+    fn partials_extend_the_complete_space() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let cfg = InterpreterConfig {
+            prob: keybridge_core_test_unmapped(),
+            ..Default::default()
+        };
+        let interp = Interpreter::new(&f.data.db, &f.index, &f.catalog, cfg);
+        let complete = interp.ranked_interpretations(&q);
+        let with_partials = interp.ranked_with_partials(&q);
+        assert!(with_partials.len() > complete.len());
+        // Partials are incomplete; completes still present and minimal.
+        let n_complete = with_partials
+            .iter()
+            .filter(|s| s.interpretation.is_complete(&q))
+            .count();
+        assert_eq!(n_complete, complete.len());
+        // Probabilities remain a distribution.
+        let sum: f64 = with_partials.iter().map(|s| s.probability).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// A `P_u` large enough for partials to be visible in rankings.
+    fn keybridge_core_test_unmapped() -> crate::ProbabilityConfig {
+        crate::ProbabilityConfig {
+            unmapped_prob: 1e-4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn space_grows_with_query_length() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig {
+                require_nonempty_predicates: false,
+                ..Default::default()
+            },
+        );
+        let q1 = KeywordQuery::from_terms(vec![last.clone()]);
+        let q2 = KeywordQuery::from_terms(vec![first, last]);
+        let n1 = interp.enumerate_interpretations(&q1).len();
+        let n2 = interp.enumerate_interpretations(&q2).len();
+        assert!(n1 > 0);
+        assert!(n2 >= n1, "space should not shrink with more keywords: {n1} vs {n2}");
+    }
+}

@@ -1,0 +1,252 @@
+//! The query hierarchy (Fig. 3.2, §3.5.3): complete and partial
+//! interpretations of one keyword query connected by subsumption.
+//!
+//! The hierarchy is the shape IQP expands incrementally: level `j` holds the
+//! interpretations consuming `j` keyword occurrences; an interpretation at a
+//! lower level *subsumes* those at higher levels that extend it. The bottom
+//! is small (single-keyword partials), the top is the complete
+//! interpretation space — "like an upside-down trapezoid".
+
+use crate::generate::Interpreter;
+use crate::interp::QueryInterpretation;
+use crate::keyword::KeywordQuery;
+use crate::template::TemplateCatalog;
+use keybridge_relstore::Database;
+use std::collections::HashMap;
+
+/// The materialized hierarchy of one keyword query.
+#[derive(Debug, Clone)]
+pub struct QueryHierarchy {
+    /// `levels[j]` = interpretations consuming exactly `j + 1` keywords.
+    levels: Vec<Vec<QueryInterpretation>>,
+}
+
+/// Schema-level subsumption (Def. 3.5.7): `general` is a sub-query of
+/// `specific` when every binding atom of `general` appears in `specific`
+/// and `general`'s table multiset is contained in `specific`'s. Node
+/// identity is erased, consistent with the option semantics of IQP.
+pub fn subsumes(
+    general: &QueryInterpretation,
+    specific: &QueryInterpretation,
+    db: &Database,
+    catalog: &TemplateCatalog,
+) -> bool {
+    // Atom containment (multiset).
+    let mut have: HashMap<crate::interp::BindingAtom, usize> = HashMap::new();
+    for a in specific.atoms(catalog) {
+        *have.entry(a).or_default() += 1;
+    }
+    for a in general.atoms(catalog) {
+        match have.get_mut(&a) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => return false,
+        }
+    }
+    // Table-multiset containment.
+    let sig_g = catalog.get(general.template).signature(db);
+    let sig_s = catalog.get(specific.template).signature(db);
+    let mut counts: HashMap<&str, isize> = HashMap::new();
+    for t in &sig_s {
+        *counts.entry(t.as_str()).or_default() += 1;
+    }
+    for t in &sig_g {
+        let c = counts.entry(t.as_str()).or_default();
+        *c -= 1;
+        if *c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+impl QueryHierarchy {
+    /// Materialize the hierarchy of `query` bottom-up: level `j` holds all
+    /// minimal interpretations of every `j+1`-keyword sub-query. Intended
+    /// for the medium scale of Chapters 3–4; the FreeQ crate explores
+    /// hierarchies lazily at large scale.
+    pub fn build(interpreter: &Interpreter<'_>, query: &KeywordQuery) -> Self {
+        let n = query.len();
+        let mut levels: Vec<Vec<QueryInterpretation>> = vec![Vec::new(); n];
+        if n == 0 || n > 12 {
+            return QueryHierarchy { levels };
+        }
+        let terms = query.terms();
+        let mut seen: Vec<std::collections::HashSet<QueryInterpretation>> =
+            vec![Default::default(); n];
+        for mask in 1u32..(1u32 << n) {
+            let size = mask.count_ones() as usize;
+            let subset: Vec<String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| terms[i].clone())
+                .collect();
+            let sub = KeywordQuery::from_terms(subset);
+            for interp in interpreter.enumerate_interpretations(&sub) {
+                if seen[size - 1].insert(interp.clone()) {
+                    levels[size - 1].push(interp);
+                }
+            }
+        }
+        for level in &mut levels {
+            level.sort_by(|a, b| {
+                a.template
+                    .cmp(&b.template)
+                    .then_with(|| a.bindings.cmp(&b.bindings))
+            });
+        }
+        QueryHierarchy { levels }
+    }
+
+    /// Number of levels (= keyword count of the query).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Interpretations consuming exactly `keywords` keywords (1-based).
+    pub fn level(&self, keywords: usize) -> &[QueryInterpretation] {
+        static EMPTY: Vec<QueryInterpretation> = Vec::new();
+        self.levels.get(keywords.wrapping_sub(1)).unwrap_or(&EMPTY)
+    }
+
+    /// The top level: complete interpretations.
+    pub fn top(&self) -> &[QueryInterpretation] {
+        self.levels.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of interpretations across levels.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the hierarchy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(Vec::is_empty)
+    }
+
+    /// The complete interpretations subsumed by `partial` (the queries the
+    /// user keeps when accepting `partial` as a construction option).
+    pub fn extensions_of(
+        &self,
+        partial: &QueryInterpretation,
+        db: &Database,
+        catalog: &TemplateCatalog,
+    ) -> Vec<&QueryInterpretation> {
+        self.top()
+            .iter()
+            .filter(|c| subsumes(partial, c, db, catalog))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::InterpreterConfig;
+    use keybridge_datagen::{ImdbConfig, ImdbDataset};
+    use keybridge_index::InvertedIndex;
+
+    struct Fixture {
+        data: ImdbDataset,
+        index: InvertedIndex,
+        catalog: TemplateCatalog,
+    }
+
+    fn fixture() -> Fixture {
+        let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
+        let index = InvertedIndex::build(&data.db);
+        let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+        Fixture {
+            data,
+            index,
+            catalog,
+        }
+    }
+
+    fn two_keyword_query(f: &Fixture) -> KeywordQuery {
+        let row = f.data.db.table(f.data.actor).row(keybridge_relstore::RowId(0));
+        let name = row[1].as_text().unwrap();
+        let toks: Vec<String> = name.split(' ').map(str::to_owned).collect();
+        KeywordQuery::from_terms(toks)
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        let f = fixture();
+        let q = two_keyword_query(&f);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let h = QueryHierarchy::build(&interp, &q);
+        assert_eq!(h.depth(), 2);
+        assert!(!h.is_empty());
+        assert!(!h.top().is_empty());
+        // Fig. 3.2: the top level is at least as wide as the bottom is
+        // narrow — and every top entry is complete.
+        for c in h.top() {
+            assert!(c.is_complete(&q));
+        }
+        for p in h.level(1) {
+            assert!(!p.is_complete(&q));
+        }
+        assert_eq!(h.len(), h.level(1).len() + h.level(2).len());
+    }
+
+    #[test]
+    fn partials_subsume_their_extensions() {
+        let f = fixture();
+        let q = two_keyword_query(&f);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let h = QueryHierarchy::build(&interp, &q);
+        let mut found_extension = false;
+        for p in h.level(1) {
+            for c in h.extensions_of(p, &f.data.db, &f.catalog) {
+                assert!(subsumes(p, c, &f.data.db, &f.catalog));
+                found_extension = true;
+            }
+        }
+        assert!(found_extension, "no partial subsumed any complete");
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_ordered() {
+        let f = fixture();
+        let q = two_keyword_query(&f);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let h = QueryHierarchy::build(&interp, &q);
+        if let Some(c) = h.top().first() {
+            assert!(subsumes(c, c, &f.data.db, &f.catalog));
+        }
+        // A complete interpretation never subsumes a 1-keyword partial.
+        if let (Some(c), Some(p)) = (h.top().first(), h.level(1).first()) {
+            assert!(!subsumes(c, p, &f.data.db, &f.catalog));
+        }
+    }
+
+    #[test]
+    fn empty_query_empty_hierarchy() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let h = QueryHierarchy::build(&interp, &KeywordQuery::from_terms(vec![]));
+        assert!(h.is_empty());
+        assert_eq!(h.depth(), 0);
+        assert!(h.top().is_empty());
+        assert!(h.level(5).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! Query interpretations (Defs. 3.5.3–3.5.5): assignments of keywords to the
+//! elements of a query template.
+
+use crate::keyword::KeywordQuery;
+use crate::template::{QueryTemplate, TemplateCatalog, TemplateId};
+use keybridge_relstore::{AttrId, AttrRef, Database};
+use std::collections::HashMap;
+
+/// What a keyword bag is bound to inside a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BindingTarget {
+    /// `keywords ⊂ attr` containment predicate on a template node.
+    Value { node: usize, attr: AttrId },
+    /// The keyword names the node's table ("actor").
+    TableName { node: usize },
+    /// The keyword names an attribute of the node ("title").
+    AttrName { node: usize, attr: AttrId },
+}
+
+impl BindingTarget {
+    /// The template node this target lives on.
+    pub fn node(&self) -> usize {
+        match self {
+            BindingTarget::Value { node, .. }
+            | BindingTarget::TableName { node }
+            | BindingTarget::AttrName { node, .. } => *node,
+        }
+    }
+}
+
+/// One keyword binding: a bag of keywords mapped to one target.
+/// Value targets may carry several keywords (the `{tom, hanks} ⊂ name`
+/// predicate); name targets always carry exactly one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeywordBinding {
+    pub keywords: Vec<String>,
+    pub target: BindingTarget,
+}
+
+/// The kind of a schema-level binding atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BindingAtomKind {
+    Value,
+    TableName,
+    AttrName,
+}
+
+/// A *schema-level* fact about one keyword's interpretation: "keyword k is
+/// bound to attribute A (as a value / as a name)" with template-node identity
+/// erased. Atoms are what query construction options assert and what
+/// subsumption tests compare (§3.5.3); collapsing node identity is the
+/// approximation that lets one option ("hanks is an actor's name") prune
+/// every template in one step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BindingAtom {
+    pub keyword: String,
+    pub kind: BindingAtomKind,
+    /// The bound attribute for `Value`/`AttrName`; for `TableName` the
+    /// table's id is stored in `attr.table` and `attr.attr` is `AttrId(0)`.
+    pub attr: AttrRef,
+}
+
+/// A structured query interpreting (part of) a keyword query (Def. 3.5.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryInterpretation {
+    pub template: TemplateId,
+    /// Bindings sorted by target for canonical comparison.
+    pub bindings: Vec<KeywordBinding>,
+}
+
+impl QueryInterpretation {
+    /// Create an interpretation, normalizing binding order.
+    pub fn new(template: TemplateId, mut bindings: Vec<KeywordBinding>) -> Self {
+        for b in &mut bindings {
+            b.keywords.sort();
+        }
+        bindings.sort();
+        QueryInterpretation { template, bindings }
+    }
+
+    /// Total number of keyword occurrences the interpretation consumes.
+    pub fn keyword_count(&self) -> usize {
+        self.bindings.iter().map(|b| b.keywords.len()).sum()
+    }
+
+    /// Whether the interpretation consumes every keyword of `query`
+    /// (a *complete* interpretation; otherwise *partial*).
+    pub fn is_complete(&self, query: &KeywordQuery) -> bool {
+        if self.keyword_count() != query.len() {
+            return false;
+        }
+        let mut have: HashMap<&str, usize> = HashMap::new();
+        for b in &self.bindings {
+            for k in &b.keywords {
+                *have.entry(k.as_str()).or_default() += 1;
+            }
+        }
+        have == query.term_counts()
+    }
+
+    /// The interpretation's schema-level atoms, one per keyword occurrence.
+    pub fn atoms(&self, catalog: &TemplateCatalog) -> Vec<BindingAtom> {
+        let tpl = catalog.get(self.template);
+        let mut out = Vec::with_capacity(self.keyword_count());
+        for b in &self.bindings {
+            let table = tpl.tree.nodes[b.target.node()];
+            let (kind, attr) = match b.target {
+                BindingTarget::Value { attr, .. } => {
+                    (BindingAtomKind::Value, AttrRef { table, attr })
+                }
+                BindingTarget::TableName { .. } => (
+                    BindingAtomKind::TableName,
+                    AttrRef {
+                        table,
+                        attr: AttrId(0),
+                    },
+                ),
+                BindingTarget::AttrName { attr, .. } => {
+                    (BindingAtomKind::AttrName, AttrRef { table, attr })
+                }
+            };
+            for k in &b.keywords {
+                out.push(BindingAtom {
+                    keyword: k.clone(),
+                    kind,
+                    attr,
+                });
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Whether this interpretation contains `atom` (subsumption test for
+    /// query construction options, Def. 3.5.7 at the atom granularity).
+    pub fn contains_atom(&self, catalog: &TemplateCatalog, atom: &BindingAtom) -> bool {
+        self.atoms(catalog).contains(atom)
+    }
+
+    /// Whether the minimality condition (Def. 3.5.4(2)) holds: pruning any
+    /// unused leaf of the template would yield a smaller valid query, so
+    /// every leaf node must carry at least one binding.
+    pub fn is_minimal(&self, catalog: &TemplateCatalog) -> bool {
+        let tpl = catalog.get(self.template);
+        let n = tpl.tree.nodes.len();
+        let mut used = vec![false; n];
+        for b in &self.bindings {
+            used[b.target.node()] = true;
+        }
+        (0..n).all(|i| !tpl.is_leaf(i) || used[i])
+    }
+}
+
+/// A schema-level description of an *intended* interpretation, used to match
+/// candidate interpretations against workload ground truth without depending
+/// on the workload generator's types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentDescription {
+    /// `(keywords, table name, attribute name)` triples.
+    pub bindings: Vec<(Vec<String>, String, String)>,
+    /// Sorted multiset of table names of the intended join tree.
+    pub tables: Vec<String>,
+}
+
+impl IntentDescription {
+    /// Whether `interp` realizes this intent: same template signature and the
+    /// same keyword→attribute assignment (aggregated per attribute, so it is
+    /// insensitive to how keywords split across occurrences of a table).
+    pub fn matches(
+        &self,
+        interp: &QueryInterpretation,
+        db: &Database,
+        catalog: &TemplateCatalog,
+    ) -> bool {
+        let tpl: &QueryTemplate = catalog.get(interp.template);
+        if tpl.signature(db) != self.tables {
+            return false;
+        }
+        // Aggregate keyword multisets per (table, attr) on both sides.
+        let mut want: HashMap<(String, String), Vec<String>> = HashMap::new();
+        for (kws, table, attr) in &self.bindings {
+            want.entry((table.clone(), attr.clone()))
+                .or_default()
+                .extend(kws.iter().cloned());
+        }
+        let mut got: HashMap<(String, String), Vec<String>> = HashMap::new();
+        for b in &interp.bindings {
+            let table = tpl.tree.nodes[b.target.node()];
+            let tdef = db.schema().table(table);
+            let key = match b.target {
+                BindingTarget::Value { attr, .. } => {
+                    (tdef.name.clone(), tdef.attr(attr).name.clone())
+                }
+                // Name bindings never occur in generated intents.
+                _ => return false,
+            };
+            got.entry(key).or_default().extend(b.keywords.iter().cloned());
+        }
+        if want.len() != got.len() {
+            return false;
+        }
+        for (k, mut v) in want {
+            let Some(mut g) = got.remove(&k) else {
+                return false;
+            };
+            v.sort();
+            g.sort();
+            if v != g {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_relstore::{SchemaBuilder, TableKind};
+
+    fn setup() -> (Database, TemplateCatalog) {
+        let mut b = SchemaBuilder::new();
+        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("acts", TableKind::Relation)
+            .pk("id")
+            .int_attr("actor_id")
+            .int_attr("movie_id");
+        b.foreign_key("acts", "actor_id", "actor").unwrap();
+        b.foreign_key("acts", "movie_id", "movie").unwrap();
+        let db = Database::new(b.finish().unwrap());
+        let catalog = TemplateCatalog::enumerate(&db, 2, 100).unwrap();
+        (db, catalog)
+    }
+
+    fn actor_acts_movie(db: &Database, c: &TemplateCatalog) -> TemplateId {
+        let sig = vec!["actor".to_owned(), "acts".to_owned(), "movie".to_owned()];
+        c.iter().find(|t| t.signature(db) == sig).unwrap().id
+    }
+
+    #[test]
+    fn completeness() {
+        let (db, c) = setup();
+        let tid = actor_acts_movie(&db, &c);
+        let tpl = c.get(tid);
+        let actor_node = tpl
+            .nodes_of_table(db.schema().table_id("actor").unwrap())[0];
+        let movie_node = tpl
+            .nodes_of_table(db.schema().table_id("movie").unwrap())[0];
+        let name = db.schema().resolve("actor", "name").unwrap().attr;
+        let title = db.schema().resolve("movie", "title").unwrap().attr;
+        let q = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
+        let full = QueryInterpretation::new(
+            tid,
+            vec![
+                KeywordBinding {
+                    keywords: vec!["hanks".into()],
+                    target: BindingTarget::Value { node: actor_node, attr: name },
+                },
+                KeywordBinding {
+                    keywords: vec!["terminal".into()],
+                    target: BindingTarget::Value { node: movie_node, attr: title },
+                },
+            ],
+        );
+        assert!(full.is_complete(&q));
+        assert!(full.is_minimal(&c));
+        let partial = QueryInterpretation::new(
+            tid,
+            vec![KeywordBinding {
+                keywords: vec!["hanks".into()],
+                target: BindingTarget::Value { node: actor_node, attr: name },
+            }],
+        );
+        assert!(!partial.is_complete(&q));
+        // Unused movie leaf: not minimal.
+        assert!(!partial.is_minimal(&c));
+    }
+
+    #[test]
+    fn atoms_erase_node_identity() {
+        let (db, c) = setup();
+        let tid = actor_acts_movie(&db, &c);
+        let tpl = c.get(tid);
+        let actor_node = tpl.nodes_of_table(db.schema().table_id("actor").unwrap())[0];
+        let name = db.schema().resolve("actor", "name").unwrap();
+        let i = QueryInterpretation::new(
+            tid,
+            vec![KeywordBinding {
+                keywords: vec!["tom".into(), "hanks".into()],
+                target: BindingTarget::Value { node: actor_node, attr: name.attr },
+            }],
+        );
+        let atoms = i.atoms(&c);
+        assert_eq!(atoms.len(), 2);
+        assert!(atoms.iter().all(|a| a.attr == name && a.kind == BindingAtomKind::Value));
+        assert!(i.contains_atom(
+            &c,
+            &BindingAtom {
+                keyword: "hanks".into(),
+                kind: BindingAtomKind::Value,
+                attr: name,
+            }
+        ));
+        assert!(!i.contains_atom(
+            &c,
+            &BindingAtom {
+                keyword: "cruise".into(),
+                kind: BindingAtomKind::Value,
+                attr: name,
+            }
+        ));
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        let (db, c) = setup();
+        let tid = actor_acts_movie(&db, &c);
+        let tpl = c.get(tid);
+        let actor_node = tpl.nodes_of_table(db.schema().table_id("actor").unwrap())[0];
+        let movie_node = tpl.nodes_of_table(db.schema().table_id("movie").unwrap())[0];
+        let name = db.schema().resolve("actor", "name").unwrap().attr;
+        let title = db.schema().resolve("movie", "title").unwrap().attr;
+        let b1 = KeywordBinding {
+            keywords: vec!["hanks".into()],
+            target: BindingTarget::Value { node: actor_node, attr: name },
+        };
+        let b2 = KeywordBinding {
+            keywords: vec!["terminal".into()],
+            target: BindingTarget::Value { node: movie_node, attr: title },
+        };
+        let a = QueryInterpretation::new(tid, vec![b1.clone(), b2.clone()]);
+        let b = QueryInterpretation::new(tid, vec![b2, b1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intent_matching() {
+        let (db, c) = setup();
+        let tid = actor_acts_movie(&db, &c);
+        let tpl = c.get(tid);
+        let actor_node = tpl.nodes_of_table(db.schema().table_id("actor").unwrap())[0];
+        let movie_node = tpl.nodes_of_table(db.schema().table_id("movie").unwrap())[0];
+        let name = db.schema().resolve("actor", "name").unwrap().attr;
+        let title = db.schema().resolve("movie", "title").unwrap().attr;
+        let interp = QueryInterpretation::new(
+            tid,
+            vec![
+                KeywordBinding {
+                    keywords: vec!["hanks".into()],
+                    target: BindingTarget::Value { node: actor_node, attr: name },
+                },
+                KeywordBinding {
+                    keywords: vec!["terminal".into()],
+                    target: BindingTarget::Value { node: movie_node, attr: title },
+                },
+            ],
+        );
+        let intent = IntentDescription {
+            bindings: vec![
+                (vec!["hanks".into()], "actor".into(), "name".into()),
+                (vec!["terminal".into()], "movie".into(), "title".into()),
+            ],
+            tables: vec!["actor".into(), "acts".into(), "movie".into()],
+        };
+        assert!(intent.matches(&interp, &db, &c));
+
+        // Wrong attribute.
+        let wrong = IntentDescription {
+            bindings: vec![
+                (vec!["hanks".into()], "movie".into(), "title".into()),
+                (vec!["terminal".into()], "actor".into(), "name".into()),
+            ],
+            tables: vec!["actor".into(), "acts".into(), "movie".into()],
+        };
+        assert!(!wrong.matches(&interp, &db, &c));
+
+        // Wrong template signature.
+        let wrong_tables = IntentDescription {
+            bindings: vec![(vec!["hanks".into()], "actor".into(), "name".into())],
+            tables: vec!["actor".into()],
+        };
+        assert!(!wrong_tables.matches(&interp, &db, &c));
+    }
+}

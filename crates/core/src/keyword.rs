@@ -1,0 +1,98 @@
+//! Keyword queries (Def. 3.5.1): a bag of words, duplicates allowed.
+
+use keybridge_index::Tokenizer;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A keyword query. Terms are lowercase tokens in input order; the same term
+/// may appear more than once and each occurrence is interpreted separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    terms: Vec<String>,
+}
+
+impl KeywordQuery {
+    /// Build from already-tokenized terms.
+    pub fn from_terms(terms: Vec<String>) -> Self {
+        KeywordQuery { terms }
+    }
+
+    /// Tokenize raw user input. The tokenizer should be the one the target
+    /// index was built with so query terms line up with dictionary terms.
+    pub fn parse(tokenizer: &Tokenizer, input: &str) -> Self {
+        KeywordQuery {
+            terms: tokenizer.tokenize(input),
+        }
+    }
+
+    /// Number of keywords (with duplicates).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the query has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The terms in input order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// The terms as a multiset: term -> multiplicity.
+    pub fn term_counts(&self) -> HashMap<&str, usize> {
+        let mut m = HashMap::new();
+        for t in &self.terms {
+            *m.entry(t.as_str()).or_default() += 1;
+        }
+        m
+    }
+
+    /// Distinct terms in first-seen order.
+    pub fn distinct_terms(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.terms
+            .iter()
+            .filter(|t| seen.insert(t.as_str()))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl fmt::Display for KeywordQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.terms.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_uses_tokenizer() {
+        let t = Tokenizer::new();
+        let q = KeywordQuery::parse(&t, "Hanks, Terminal!");
+        assert_eq!(q.terms(), &["hanks", "terminal"]);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.to_string(), "hanks terminal");
+    }
+
+    #[test]
+    fn duplicates_allowed() {
+        let q = KeywordQuery::from_terms(vec!["tom".into(), "tom".into(), "hanks".into()]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.term_counts()["tom"], 2);
+        assert_eq!(q.distinct_terms(), vec!["tom", "hanks"]);
+    }
+
+    #[test]
+    fn empty_query() {
+        let t = Tokenizer::new();
+        let q = KeywordQuery::parse(&t, "   ");
+        assert!(q.is_empty());
+        assert_eq!(q.distinct_terms().len(), 0);
+    }
+}

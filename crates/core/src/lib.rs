@@ -1,0 +1,43 @@
+//! # keybridge-core
+//!
+//! The shared keyword-search framework of the paper (§3.5, §3.6, §4.4):
+//! translating keyword queries into structured queries over a relational
+//! database and scoring the possible interpretations.
+//!
+//! Pipeline:
+//!
+//! 1. [`KeywordQuery`] — the user's bag of terms (Def. 3.5.1).
+//! 2. [`TemplateCatalog`] — query templates: connected join trees enumerated
+//!    breadth-first over the schema graph up to a join bound (§3.5.2, the
+//!    DISCOVER-style candidate-network shapes).
+//! 3. [`Interpreter`] — generates [`QueryInterpretation`]s: assignments of
+//!    every keyword to a template element (value predicate, table name, or
+//!    attribute name) satisfying uniqueness and minimality (Def. 3.5.4).
+//! 4. [`ProbabilityModel`] — the probabilistic interpretation model
+//!    (Eqs. 3.5–3.8) with the DivQ refinements (joint ATF, unmapped-keyword
+//!    smoothing; Eq. 4.2), plus the SQAK and join-count baseline rankers.
+//! 5. [`execute_interpretation`] — runs an interpretation against the
+//!    database and materializes its joining tuple trees.
+
+mod exec;
+mod generate;
+mod hierarchy;
+mod interp;
+mod keyword;
+mod prob;
+mod rank;
+mod render;
+mod template;
+
+pub use exec::{execute_interpretation, ExecutedResult, ResultKey};
+pub use generate::{Interpreter, InterpreterConfig, ScoredInterpretation};
+pub use hierarchy::{subsumes, QueryHierarchy};
+pub use interp::{
+    BindingAtom, BindingAtomKind, BindingTarget, IntentDescription, KeywordBinding,
+    QueryInterpretation,
+};
+pub use keyword::KeywordQuery;
+pub use prob::{ProbabilityConfig, ProbabilityModel, TemplatePrior};
+pub use rank::{join_count_score, sqak_score};
+pub use render::{render_natural, render_sql};
+pub use template::{QueryTemplate, TemplateCatalog, TemplateId};

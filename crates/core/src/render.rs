@@ -1,0 +1,214 @@
+//! Rendering query interpretations for humans (the query window of Fig. 3.1)
+//! and for databases (the SQL a candidate network compiles to, §2.2.3).
+
+use crate::interp::BindingTarget;
+use crate::template::TemplateCatalog;
+use crate::QueryInterpretation;
+use keybridge_relstore::Database;
+use std::fmt::Write as _;
+
+/// Algebra-style one-liner, e.g.
+/// `σ{hanks}⊂name(actor) ⋈ acts ⋈ σ{terminal}⊂title(movie)`.
+pub fn render_natural(
+    db: &Database,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+) -> String {
+    let tpl = catalog.get(interp.template);
+    let mut parts = Vec::with_capacity(tpl.tree.nodes.len());
+    for (node, &table) in tpl.tree.nodes.iter().enumerate() {
+        let tdef = db.schema().table(table);
+        let mut preds = Vec::new();
+        let mut named = false;
+        for b in &interp.bindings {
+            if b.target.node() != node {
+                continue;
+            }
+            match b.target {
+                BindingTarget::Value { attr, .. } => {
+                    preds.push(format!(
+                        "{{{}}}⊂{}",
+                        b.keywords.join(","),
+                        tdef.attr(attr).name
+                    ));
+                }
+                BindingTarget::TableName { .. } => named = true,
+                BindingTarget::AttrName { attr, .. } => {
+                    preds.push(format!("≈{}", tdef.attr(attr).name));
+                }
+            }
+        }
+        let mut s = String::new();
+        if preds.is_empty() {
+            let _ = write!(s, "{}", tdef.name);
+        } else {
+            let _ = write!(s, "σ{}({})", preds.join("∩"), tdef.name);
+        }
+        if named {
+            let _ = write!(s, "*");
+        }
+        parts.push(s);
+    }
+    parts.join(" ⋈ ")
+}
+
+/// SQL rendering: every node becomes an aliased table, edges become join
+/// predicates, and value bags become one `LIKE` conjunct per keyword
+/// (`SELECT *`, matching the paper's current IQP implementation, §3.5.1).
+pub fn render_sql(
+    db: &Database,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+) -> String {
+    let tpl = catalog.get(interp.template);
+    let alias = |i: usize| format!("t{i}");
+    let mut sql = String::from("SELECT * FROM ");
+    for (i, &table) in tpl.tree.nodes.iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        let _ = write!(sql, "{} {}", db.schema().table(table).name, alias(i));
+    }
+    let mut conds = Vec::new();
+    for e in &tpl.tree.edges {
+        let fk = db.schema().fk(e.fk);
+        // Orient: the endpoint whose table matches fk.from holds the column.
+        let (from_node, to_node) = if tpl.tree.nodes[e.a] == fk.from.table {
+            (e.a, e.b)
+        } else {
+            (e.b, e.a)
+        };
+        let from_def = db.schema().table(fk.from.table);
+        let to_def = db.schema().table(fk.to.table);
+        conds.push(format!(
+            "{}.{} = {}.{}",
+            alias(from_node),
+            from_def.attr(fk.from.attr).name,
+            alias(to_node),
+            to_def.attr(fk.to.attr).name,
+        ));
+    }
+    for b in &interp.bindings {
+        if let BindingTarget::Value { node, attr } = b.target {
+            let tdef = db.schema().table(tpl.tree.nodes[node]);
+            for k in &b.keywords {
+                conds.push(format!(
+                    "{}.{} LIKE '%{}%'",
+                    alias(node),
+                    tdef.attr(attr).name,
+                    k.replace('\'', "''"),
+                ));
+            }
+        }
+    }
+    if !conds.is_empty() {
+        let _ = write!(sql, " WHERE {}", conds.join(" AND "));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::KeywordBinding;
+    use keybridge_relstore::{SchemaBuilder, TableKind};
+
+    fn setup() -> (Database, TemplateCatalog) {
+        let mut b = SchemaBuilder::new();
+        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("acts", TableKind::Relation)
+            .pk("id")
+            .int_attr("actor_id")
+            .int_attr("movie_id");
+        b.foreign_key("acts", "actor_id", "actor").unwrap();
+        b.foreign_key("acts", "movie_id", "movie").unwrap();
+        let db = Database::new(b.finish().unwrap());
+        let catalog = TemplateCatalog::enumerate(&db, 2, 100).unwrap();
+        (db, catalog)
+    }
+
+    fn interp(db: &Database, catalog: &TemplateCatalog) -> QueryInterpretation {
+        let sig = vec!["actor".to_owned(), "acts".to_owned(), "movie".to_owned()];
+        let tpl = catalog.iter().find(|t| t.signature(db) == sig).unwrap();
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        QueryInterpretation::new(
+            tpl.id,
+            vec![
+                KeywordBinding {
+                    keywords: vec!["hanks".into()],
+                    target: BindingTarget::Value {
+                        node: tpl.nodes_of_table(actor)[0],
+                        attr: db.schema().resolve("actor", "name").unwrap().attr,
+                    },
+                },
+                KeywordBinding {
+                    keywords: vec!["terminal".into()],
+                    target: BindingTarget::Value {
+                        node: tpl.nodes_of_table(movie)[0],
+                        attr: db.schema().resolve("movie", "title").unwrap().attr,
+                    },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn natural_rendering_mentions_all_parts() {
+        let (db, catalog) = setup();
+        let s = render_natural(&db, &catalog, &interp(&db, &catalog));
+        assert!(s.contains("hanks"), "{s}");
+        assert!(s.contains("terminal"), "{s}");
+        assert!(s.contains("acts"), "{s}");
+        assert!(s.contains('⋈'), "{s}");
+    }
+
+    #[test]
+    fn sql_rendering_joins_and_predicates() {
+        let (db, catalog) = setup();
+        let sql = render_sql(&db, &catalog, &interp(&db, &catalog));
+        assert!(sql.starts_with("SELECT * FROM "), "{sql}");
+        assert!(sql.contains("actor_id"), "{sql}");
+        assert!(sql.contains("movie_id"), "{sql}");
+        assert!(sql.contains("LIKE '%hanks%'"), "{sql}");
+        assert!(sql.contains("LIKE '%terminal%'"), "{sql}");
+        // Two join predicates + two LIKEs.
+        assert_eq!(sql.matches(" = ").count(), 2, "{sql}");
+    }
+
+    #[test]
+    fn sql_escapes_quotes() {
+        let (db, catalog) = setup();
+        let actor = db.schema().table_id("actor").unwrap();
+        let tpl = catalog.iter().find(|t| t.tree.nodes == vec![actor]).unwrap();
+        let i = QueryInterpretation::new(
+            tpl.id,
+            vec![KeywordBinding {
+                keywords: vec!["o'hara".into()],
+                target: BindingTarget::Value {
+                    node: 0,
+                    attr: db.schema().resolve("actor", "name").unwrap().attr,
+                },
+            }],
+        );
+        let sql = render_sql(&db, &catalog, &i);
+        assert!(sql.contains("o''hara"), "{sql}");
+    }
+
+    #[test]
+    fn metadata_binding_rendered_with_marker() {
+        let (db, catalog) = setup();
+        let actor = db.schema().table_id("actor").unwrap();
+        let tpl = catalog.iter().find(|t| t.tree.nodes == vec![actor]).unwrap();
+        let i = QueryInterpretation::new(
+            tpl.id,
+            vec![KeywordBinding {
+                keywords: vec!["actor".into()],
+                target: BindingTarget::TableName { node: 0 },
+            }],
+        );
+        let s = render_natural(&db, &catalog, &i);
+        assert!(s.contains("actor*"), "{s}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Freebase-like large flat schema generator.
+//!
+//! Mirrors the structure FreeQ targets (§5.7.1): a very large, *flat* schema —
+//! many domains, each with many type tables — over a shared universe of
+//! topics (entities). Every type table references the global `topic` table,
+//! and the same topic can appear in tables of several domains, which is the
+//! shared-instance property both FreeQ and the YAGO+F matching build on.
+
+use crate::names::NamePool;
+use keybridge_relstore::{Database, RelResult, SchemaBuilder, TableId, TableKind, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Real-ish domain names; the long tail is generated.
+const DOMAINS: &[&str] = &[
+    "film", "music", "book", "tv", "sports", "location", "people", "business", "education",
+    "government", "medicine", "biology", "chemistry", "astronomy", "aviation", "automotive",
+    "architecture", "military", "religion", "theater", "opera", "comics", "games", "food",
+    "wine", "fashion", "law", "finance", "boats", "trains", "computer", "internet",
+    "language", "library", "museums", "physics", "geology", "meteorology", "royalty",
+    "visual_art",
+];
+
+/// Type-name fragments combined with the domain name.
+const TYPE_WORDS: &[&str] = &[
+    "actor", "director", "producer", "writer", "editor", "award", "festival", "genre",
+    "character", "series", "season", "episode", "studio", "company", "label", "track",
+    "release", "artist", "group", "instrument", "venue", "event", "team", "player", "coach",
+    "league", "position", "city", "region", "country", "landmark", "person", "title",
+    "organization", "school", "program", "agency", "drug", "disease", "species", "element",
+    "star", "aircraft", "model", "style", "building", "unit", "rank", "deity", "play",
+    "issue", "publisher", "dish", "grape", "designer", "court", "case", "bank", "currency",
+    "ship", "line", "station", "processor", "protocol", "site", "dialect", "collection",
+    "exhibit", "particle", "mineral", "storm", "dynasty", "movement",
+];
+
+/// Sizing knobs: `domains × types_per_domain` type tables plus one `topic`
+/// table.
+#[derive(Debug, Clone, Copy)]
+pub struct FreebaseConfig {
+    pub seed: u64,
+    pub domains: usize,
+    pub types_per_domain: usize,
+    /// Size of the shared entity universe.
+    pub topics: usize,
+    /// Rows per type table (each row links one topic into the type).
+    pub rows_per_table: usize,
+}
+
+impl Default for FreebaseConfig {
+    fn default() -> Self {
+        FreebaseConfig {
+            seed: 3,
+            domains: 20,
+            types_per_domain: 10,
+            topics: 4000,
+            rows_per_table: 25,
+        }
+    }
+}
+
+impl FreebaseConfig {
+    /// A small instance for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        FreebaseConfig {
+            seed,
+            domains: 5,
+            types_per_domain: 4,
+            topics: 300,
+            rows_per_table: 12,
+        }
+    }
+
+    /// Paper scale: 100+ domains, 7000+ tables (§5.7.1). Generation stays
+    /// in the hundreds of milliseconds; memory in the tens of MB.
+    pub fn full(seed: u64) -> Self {
+        FreebaseConfig {
+            seed,
+            domains: 100,
+            types_per_domain: 70,
+            topics: 60_000,
+            rows_per_table: 30,
+        }
+    }
+}
+
+/// One generated domain: its name and its type tables.
+#[derive(Debug, Clone)]
+pub struct DomainInfo {
+    pub name: String,
+    pub tables: Vec<TableId>,
+}
+
+/// The generated database, the global `topic` table, and the domain layout.
+#[derive(Debug, Clone)]
+pub struct FreebaseDataset {
+    pub db: Database,
+    pub topic: TableId,
+    pub domains: Vec<DomainInfo>,
+}
+
+impl FreebaseDataset {
+    /// Generate a dataset.
+    pub fn generate(cfg: FreebaseConfig) -> RelResult<Self> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let pool = NamePool::new();
+
+        // Domain and table names first (schema building needs them all).
+        let mut domain_names = Vec::with_capacity(cfg.domains);
+        for i in 0..cfg.domains {
+            if i < DOMAINS.len() {
+                domain_names.push(DOMAINS[i].to_owned());
+            } else {
+                domain_names.push(format!("{}_{}", pool.tail_token(&mut rng), i));
+            }
+        }
+        let mut table_names: Vec<Vec<String>> = Vec::with_capacity(cfg.domains);
+        for dname in &domain_names {
+            let mut names = Vec::with_capacity(cfg.types_per_domain);
+            for j in 0..cfg.types_per_domain {
+                let tw = if j < TYPE_WORDS.len() {
+                    TYPE_WORDS[j].to_owned()
+                } else {
+                    format!("{}{}", pool.tail_token(&mut rng), j)
+                };
+                names.push(format!("{dname}_{tw}"));
+            }
+            table_names.push(names);
+        }
+
+        let mut b = SchemaBuilder::new();
+        b.table("topic", TableKind::Entity).pk("id").text_attr("name");
+        for names in &table_names {
+            for n in names {
+                b.table(n, TableKind::Entity)
+                    .pk("id")
+                    .text_attr("name")
+                    .int_attr("topic_id");
+            }
+        }
+        for names in &table_names {
+            for n in names {
+                b.foreign_key(n, "topic_id", "topic")?;
+            }
+        }
+        let mut db = Database::new(b.finish()?);
+        let topic = db.schema().table_id("topic").expect("declared above");
+
+        // Topic universe: mixture of person names and titles.
+        let mut topic_names = Vec::with_capacity(cfg.topics);
+        for i in 0..cfg.topics {
+            let name = if rng.gen_bool(0.5) {
+                pool.person_name(&mut rng)
+            } else {
+                pool.title(&mut rng, 1, 3, 0.15)
+            };
+            db.insert(topic, vec![Value::Int(i as i64 + 1), Value::text(name.clone())])?;
+            topic_names.push(name);
+        }
+
+        // Type tables: each row links one topic. Topics are drawn with a
+        // Zipf skew, so popular topics span many domains (Fig. 6.2 shape).
+        let zipf = crate::names::ZipfSampler::new(cfg.topics, 0.7);
+        let mut domains = Vec::with_capacity(cfg.domains);
+        let mut next_row_id: i64 = 1;
+        for (d, names) in table_names.iter().enumerate() {
+            let mut tables = Vec::with_capacity(names.len());
+            for n in names {
+                let tid = db.schema().table_id(n).expect("declared above");
+                tables.push(tid);
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..cfg.rows_per_table {
+                    let t = zipf.sample(&mut rng);
+                    if !seen.insert(t) {
+                        continue; // a topic appears at most once per type
+                    }
+                    db.insert(
+                        tid,
+                        vec![
+                            Value::Int(next_row_id),
+                            Value::text(topic_names[t].clone()),
+                            Value::Int(t as i64 + 1),
+                        ],
+                    )?;
+                    next_row_id += 1;
+                }
+            }
+            domains.push(DomainInfo {
+                name: domain_names[d].clone(),
+                tables,
+            });
+        }
+
+        db.validate()?;
+        Ok(FreebaseDataset { db, topic, domains })
+    }
+
+    /// Topic ids referenced by one type table (its instance set).
+    pub fn topic_ids_of(&self, table: TableId) -> Vec<i64> {
+        let col = self
+            .db
+            .schema()
+            .table(table)
+            .attr_id("topic_id")
+            .expect("every type table has topic_id");
+        self.db
+            .table(table)
+            .rows()
+            .filter_map(|(_, r)| r[col.0 as usize].as_int())
+            .collect()
+    }
+
+    /// Total number of type tables (excludes `topic`).
+    pub fn type_table_count(&self) -> usize {
+        self.domains.iter().map(|d| d.tables.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_flat_schema() {
+        let d = FreebaseDataset::generate(FreebaseConfig::tiny(1)).unwrap();
+        assert_eq!(d.type_table_count(), 20);
+        assert_eq!(d.db.schema().table_count(), 21);
+        assert_eq!(d.db.schema().fk_count(), 20);
+        assert_eq!(d.domains.len(), 5);
+        d.db.validate().unwrap();
+    }
+
+    #[test]
+    fn instances_shared_across_tables() {
+        let d = FreebaseDataset::generate(FreebaseConfig::tiny(2)).unwrap();
+        let mut appears: std::collections::HashMap<i64, usize> = Default::default();
+        for dom in &d.domains {
+            for &t in &dom.tables {
+                for topic in d.topic_ids_of(t) {
+                    *appears.entry(topic).or_default() += 1;
+                }
+            }
+        }
+        // The Zipf skew guarantees popular topics land in several tables.
+        assert!(appears.values().any(|&c| c >= 3));
+    }
+
+    #[test]
+    fn no_duplicate_topic_within_table() {
+        let d = FreebaseDataset::generate(FreebaseConfig::tiny(3)).unwrap();
+        for dom in &d.domains {
+            for &t in &dom.tables {
+                let ids = d.topic_ids_of(t);
+                let set: std::collections::HashSet<_> = ids.iter().collect();
+                assert_eq!(set.len(), ids.len());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FreebaseDataset::generate(FreebaseConfig::tiny(4)).unwrap();
+        let b = FreebaseDataset::generate(FreebaseConfig::tiny(4)).unwrap();
+        assert_eq!(a.db.total_rows(), b.db.total_rows());
+        let ta = a.topic_ids_of(a.domains[0].tables[0]);
+        let tb = b.topic_ids_of(b.domains[0].tables[0]);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn paper_scale_config_shape() {
+        let cfg = FreebaseConfig::full(1);
+        assert!(cfg.domains >= 100);
+        assert!(cfg.domains * cfg.types_per_domain >= 7000);
+    }
+}

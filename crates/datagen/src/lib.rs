@@ -1,0 +1,33 @@
+//! # keybridge-datagen
+//!
+//! Seeded, deterministic generators for every dataset the paper evaluates on:
+//!
+//! * [`imdb`] — an IMDB-like movie database (7 tables, §3.8.1 / §4.6.1);
+//! * [`lyrics`] — a Lyrics-like music database (5 tables, §3.8.1 / §4.6.1);
+//! * [`freebase`] — a Freebase-like flat schema with hundreds to thousands of
+//!   tables across domains sharing a global instance universe (§5.7.1);
+//! * [`yago`] — a YAGO-like category hierarchy with instances overlapping the
+//!   Freebase-like database, plus a hidden gold category→table mapping
+//!   (§6.4–6.6);
+//! * [`querylog`] — keyword-query workloads with ground-truth intents and
+//!   Zipf-distributed template usage, standing in for the MSN/AOL logs.
+//!
+//! All generators take an explicit `u64` seed; identical seeds produce
+//! identical bytes, which makes every experiment in the repository
+//! reproducible.
+
+pub mod freebase;
+pub mod imdb;
+pub mod lyrics;
+pub mod names;
+pub mod querylog;
+pub mod yago;
+
+pub use freebase::{FreebaseConfig, FreebaseDataset};
+pub use imdb::{ImdbConfig, ImdbDataset};
+pub use lyrics::{LyricsConfig, LyricsDataset};
+pub use names::{NamePool, ZipfSampler};
+pub use querylog::{
+    IntentBinding, IntentSpec, TemplateUsage, Workload, WorkloadConfig, WorkloadQuery,
+};
+pub use yago::{CategoryKind, YagoCategory, YagoConfig, YagoOntology};

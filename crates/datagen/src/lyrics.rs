@@ -1,0 +1,215 @@
+//! Lyrics-like music database generator.
+//!
+//! Mirrors the 5-table Lyrics crawl of §3.8.1: `artist`, `album`, `song` plus
+//! the junction tables `artist_album` and `album_song`. The dominant query
+//! shape on this dataset is the long chain
+//! `artist ⋈ artist_album ⋈ album ⋈ album_song ⋈ song`, which is exactly the
+//! property (one template dominating the log) behind the (ATF, TLog) gains in
+//! Fig. 3.5b and the SQAK Steiner-minimization failure discussed in §3.8.3.
+
+use crate::names::NamePool;
+use keybridge_relstore::{Database, RelResult, SchemaBuilder, TableId, TableKind, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LyricsConfig {
+    pub seed: u64,
+    pub artists: usize,
+    pub albums: usize,
+    pub songs: usize,
+}
+
+impl Default for LyricsConfig {
+    fn default() -> Self {
+        LyricsConfig {
+            seed: 2,
+            artists: 600,
+            albums: 1200,
+            songs: 6000,
+        }
+    }
+}
+
+impl LyricsConfig {
+    /// A small instance for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        LyricsConfig {
+            seed,
+            artists: 30,
+            albums: 60,
+            songs: 200,
+        }
+    }
+}
+
+/// The generated database plus table handles.
+#[derive(Debug, Clone)]
+pub struct LyricsDataset {
+    pub db: Database,
+    pub artist: TableId,
+    pub album: TableId,
+    pub song: TableId,
+    pub artist_album: TableId,
+    pub album_song: TableId,
+}
+
+impl LyricsDataset {
+    /// Generate a dataset.
+    pub fn generate(cfg: LyricsConfig) -> RelResult<Self> {
+        let mut b = SchemaBuilder::new();
+        b.table("artist", TableKind::Entity).pk("id").text_attr("name");
+        b.table("album", TableKind::Entity)
+            .pk("id")
+            .text_attr("title")
+            .int_attr("year");
+        b.table("song", TableKind::Entity)
+            .pk("id")
+            .text_attr("title")
+            .text_attr("lyrics");
+        b.table("artist_album", TableKind::Relation)
+            .pk("id")
+            .int_attr("artist_id")
+            .int_attr("album_id");
+        b.table("album_song", TableKind::Relation)
+            .pk("id")
+            .int_attr("album_id")
+            .int_attr("song_id");
+        b.foreign_key("artist_album", "artist_id", "artist")?;
+        b.foreign_key("artist_album", "album_id", "album")?;
+        b.foreign_key("album_song", "album_id", "album")?;
+        b.foreign_key("album_song", "song_id", "song")?;
+        let mut db = Database::new(b.finish()?);
+
+        let artist = db.schema().table_id("artist").expect("declared above");
+        let album = db.schema().table_id("album").expect("declared above");
+        let song = db.schema().table_id("song").expect("declared above");
+        let artist_album = db.schema().table_id("artist_album").expect("declared above");
+        let album_song = db.schema().table_id("album_song").expect("declared above");
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let pool = NamePool::new();
+
+        for i in 0..cfg.artists {
+            // Half the artists are person names, half band-style word pairs.
+            let name = if rng.gen_bool(0.5) {
+                pool.person_name(&mut rng)
+            } else {
+                pool.title(&mut rng, 1, 2, 0.15)
+            };
+            db.insert(artist, vec![Value::Int(i as i64 + 1), Value::text(name)])?;
+        }
+        for i in 0..cfg.albums {
+            let title = pool.title(&mut rng, 1, 3, 0.1);
+            let year = rng.gen_range(1960..=2012);
+            db.insert(
+                album,
+                vec![Value::Int(i as i64 + 1), Value::text(title), Value::Int(year)],
+            )?;
+        }
+        let mut aa_id: i64 = 1;
+        for i in 0..cfg.albums {
+            let artist_id = rng.gen_range(1..=cfg.artists) as i64;
+            db.insert(
+                artist_album,
+                vec![Value::Int(aa_id), Value::Int(artist_id), Value::Int(i as i64 + 1)],
+            )?;
+            aa_id += 1;
+            // 10% of albums are collaborations with a second artist.
+            if rng.gen_bool(0.1) {
+                let other = rng.gen_range(1..=cfg.artists) as i64;
+                db.insert(
+                    artist_album,
+                    vec![Value::Int(aa_id), Value::Int(other), Value::Int(i as i64 + 1)],
+                )?;
+                aa_id += 1;
+            }
+        }
+        let mut as_id: i64 = 1;
+        for i in 0..cfg.songs {
+            let sid = i as i64 + 1;
+            let title = pool.title(&mut rng, 1, 3, 0.1);
+            let lyrics: Vec<String> = (0..rng.gen_range(4..=9))
+                .map(|_| pool.word(&mut rng))
+                .collect();
+            db.insert(
+                song,
+                vec![
+                    Value::Int(sid),
+                    Value::text(title),
+                    Value::text(lyrics.join(" ")),
+                ],
+            )?;
+            let album_id = rng.gen_range(1..=cfg.albums) as i64;
+            db.insert(
+                album_song,
+                vec![Value::Int(as_id), Value::Int(album_id), Value::Int(sid)],
+            )?;
+            as_id += 1;
+        }
+
+        db.validate()?;
+        Ok(LyricsDataset {
+            db,
+            artist,
+            album,
+            song,
+            artist_album,
+            album_song,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_database() {
+        let d = LyricsDataset::generate(LyricsConfig::tiny(3)).unwrap();
+        assert_eq!(d.db.schema().table_count(), 5);
+        assert_eq!(d.db.schema().fk_count(), 4);
+        assert_eq!(d.db.table(d.artist).len(), 30);
+        assert_eq!(d.db.table(d.song).len(), 200);
+        assert_eq!(d.db.table(d.album_song).len(), 200);
+        assert!(d.db.table(d.artist_album).len() >= 60);
+        d.db.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = LyricsDataset::generate(LyricsConfig::tiny(11)).unwrap();
+        let b = LyricsDataset::generate(LyricsConfig::tiny(11)).unwrap();
+        let ta: Vec<String> = a
+            .db
+            .table(a.song)
+            .rows()
+            .map(|(_, r)| r[1].to_string())
+            .collect();
+        let tb: Vec<String> = b
+            .db
+            .table(b.song)
+            .rows()
+            .map(|(_, r)| r[1].to_string())
+            .collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn every_song_reachable_from_some_artist() {
+        // The chain artist -> album -> song must be navigable: every song's
+        // album has at least one artist.
+        let d = LyricsDataset::generate(LyricsConfig::tiny(5)).unwrap();
+        let albums_with_artists: std::collections::HashSet<i64> = d
+            .db
+            .table(d.artist_album)
+            .rows()
+            .filter_map(|(_, r)| r[2].as_int())
+            .collect();
+        for (_, r) in d.db.table(d.album_song).rows() {
+            let album_id = r[1].as_int().unwrap();
+            assert!(albums_with_artists.contains(&album_id));
+        }
+    }
+}

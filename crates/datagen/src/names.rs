@@ -1,0 +1,304 @@
+//! Name pools and Zipf sampling.
+//!
+//! Realistic keyword-search evaluation needs *skewed*, *ambiguous* text:
+//! common first names shared by many people, surnames that double as title
+//! words, and heavy-tailed term frequencies. This module provides embedded
+//! pools of common names/words, a syllable generator for the long tail, and
+//! a Zipf sampler so generated frequencies follow the power law real corpora
+//! exhibit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Common first names. Deliberately includes the paper's running examples.
+const FIRST_NAMES: &[&str] = &[
+    "tom", "elena", "jack", "colin", "meg", "diego", "brad", "steven", "blake", "chad",
+    "melissa", "bruce", "andy", "mariah", "james", "mary", "john", "linda", "robert",
+    "susan", "michael", "karen", "david", "nancy", "william", "lisa", "richard", "betty",
+    "joseph", "helen", "thomas", "sandra", "charles", "donna", "peter", "carol", "paul",
+    "ruth", "mark", "sharon", "george", "laura", "kenneth", "sarah", "edward", "kim",
+    "brian", "anna", "ronald", "emma", "anthony", "julia", "kevin", "grace", "jason",
+    "rose", "jeff", "alice", "gary", "diana", "nicholas", "sophia", "eric", "clara",
+    "stephen", "irene", "larry", "monica", "justin", "teresa", "scott", "gloria", "brandon",
+    "victoria", "frank", "joan", "gregory", "evelyn", "samuel", "judith", "patrick", "olga",
+];
+
+/// Common surnames. Several are also ordinary words or places ("london",
+/// "stone", "rivers", "guest"), which creates exactly the keyword ambiguity
+/// the paper's examples revolve around.
+const LAST_NAMES: &[&str] = &[
+    "hanks", "cruise", "london", "guest", "stone", "rivers", "gilbert", "boxleitner",
+    "luna", "soderbergh", "pitt", "carey", "ryan", "garcia", "smith", "johnson", "brown",
+    "taylor", "miller", "wilson", "moore", "anderson", "thomas", "jackson", "white",
+    "harris", "martin", "thompson", "wood", "walker", "hall", "allen", "young", "king",
+    "wright", "hill", "green", "baker", "adams", "nelson", "carter", "mitchell", "parker",
+    "collins", "murphy", "bell", "bailey", "cooper", "richardson", "cox", "ward", "fox",
+    "gray", "james", "watson", "brooks", "kelly", "sanders", "price", "bennett", "barnes",
+    "ross", "powell", "long", "hughes", "flores", "butler", "foster", "bryant", "russell",
+    "griffin", "diaz", "hayes", "west", "field", "snow", "frost", "lake", "marsh",
+];
+
+/// Ordinary words used for titles, lyrics, and category names. Includes the
+/// running-example words ("terminal", "consideration", "volcano").
+const WORDS: &[&str] = &[
+    "terminal", "consideration", "volcano", "age", "city", "guide", "night", "day",
+    "summer", "winter", "river", "mountain", "ocean", "star", "moon", "sun", "shadow",
+    "light", "dark", "fire", "ice", "storm", "wind", "rain", "snow", "dream", "memory",
+    "heart", "soul", "mind", "road", "journey", "return", "escape", "secret", "silent",
+    "broken", "golden", "silver", "crimson", "emerald", "velvet", "paper", "glass",
+    "stone", "iron", "steel", "wild", "lost", "found", "hidden", "forgotten", "eternal",
+    "final", "first", "last", "blue", "red", "black", "white", "green", "letter", "song",
+    "dance", "story", "legend", "myth", "echo", "whisper", "scream", "laugh", "tear",
+    "smile", "kiss", "touch", "fall", "rise", "run", "walk", "fly", "burn", "freeze",
+    "garden", "forest", "desert", "island", "bridge", "tower", "castle", "house", "home",
+    "window", "door", "mirror", "clock", "train", "ship", "plane", "engine", "machine",
+    "emotion", "passion", "fever", "fortune", "destiny", "danger", "courage", "honor",
+];
+
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+    "br", "ch", "cl", "dr", "fr", "gr", "kr", "pl", "pr", "sh", "sl", "st", "th", "tr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"];
+
+/// A cumulative-distribution Zipf sampler over ranks `0..n`.
+///
+/// Rank `i` has weight `1 / (i + 1)^s`. Sampling is O(log n) via binary
+/// search on the precomputed CDF — `n` is small (name pools), so the CDF is
+/// cheap to hold.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `s` (`s = 0` is uniform;
+    /// `s ≈ 1` matches natural-language term frequencies).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over an empty domain (never true by
+    /// construction, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Pools of person names and words with Zipf-skewed sampling plus a
+/// syllable-based long tail.
+#[derive(Debug, Clone)]
+pub struct NamePool {
+    first: ZipfSampler,
+    last: ZipfSampler,
+    word: ZipfSampler,
+    /// Probability of generating a tail (synthetic) name instead of a pool
+    /// name; keeps vocabularies open-ended like real data.
+    tail_prob: f64,
+}
+
+impl Default for NamePool {
+    fn default() -> Self {
+        NamePool {
+            first: ZipfSampler::new(FIRST_NAMES.len(), 0.8),
+            last: ZipfSampler::new(LAST_NAMES.len(), 0.8),
+            word: ZipfSampler::new(WORDS.len(), 0.9),
+            tail_prob: 0.25,
+        }
+    }
+}
+
+impl NamePool {
+    /// Pool with the default skew.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool that never generates tail names (fully closed vocabulary).
+    pub fn closed() -> Self {
+        NamePool {
+            tail_prob: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// A synthetic pronounceable token, for the vocabulary long tail.
+    pub fn tail_token(&self, rng: &mut StdRng) -> String {
+        let syllables = rng.gen_range(2..=3);
+        let mut s = String::new();
+        for _ in 0..syllables {
+            s.push_str(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+            s.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+        }
+        s
+    }
+
+    /// A first name (lowercase token).
+    pub fn first_name(&self, rng: &mut StdRng) -> String {
+        if rng.gen_bool(self.tail_prob) {
+            self.tail_token(rng)
+        } else {
+            FIRST_NAMES[self.first.sample(rng)].to_owned()
+        }
+    }
+
+    /// A surname (lowercase token).
+    pub fn last_name(&self, rng: &mut StdRng) -> String {
+        if rng.gen_bool(self.tail_prob) {
+            self.tail_token(rng)
+        } else {
+            LAST_NAMES[self.last.sample(rng)].to_owned()
+        }
+    }
+
+    /// A full person name, `"first last"`.
+    pub fn person_name(&self, rng: &mut StdRng) -> String {
+        format!("{} {}", self.first_name(rng), self.last_name(rng))
+    }
+
+    /// A content word.
+    pub fn word(&self, rng: &mut StdRng) -> String {
+        if rng.gen_bool(self.tail_prob) {
+            self.tail_token(rng)
+        } else {
+            WORDS[self.word.sample(rng)].to_owned()
+        }
+    }
+
+    /// A title of `min..=max` words. With probability `person_word_prob`
+    /// one word is a surname — the title/name ambiguity the paper's queries
+    /// exploit ("london", "terminal" as movie vs. person).
+    pub fn title(
+        &self,
+        rng: &mut StdRng,
+        min_words: usize,
+        max_words: usize,
+        person_word_prob: f64,
+    ) -> String {
+        let n = rng.gen_range(min_words..=max_words.max(min_words));
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.word(rng));
+        }
+        if rng.gen_bool(person_word_prob) {
+            let pos = rng.gen_range(0..words.len());
+            words[pos] = LAST_NAMES[self.last.sample(rng)].to_owned();
+        }
+        words.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut r = rng(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 5 * counts[50].max(1));
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut r = rng(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!((*max as f64) / (*min as f64) < 1.3, "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = NamePool::new();
+        let a: Vec<String> = {
+            let mut r = rng(42);
+            (0..10).map(|_| p.person_name(&mut r)).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = rng(42);
+            (0..10).map(|_| p.person_name(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn person_names_have_two_tokens() {
+        let p = NamePool::new();
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let n = p.person_name(&mut r);
+            assert_eq!(n.split(' ').count(), 2, "{n}");
+            assert_eq!(n, n.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn titles_respect_word_bounds() {
+        let p = NamePool::closed();
+        let mut r = rng(4);
+        for _ in 0..100 {
+            let t = p.title(&mut r, 1, 3, 0.3);
+            let wc = t.split(' ').count();
+            assert!((1..=3).contains(&wc), "{t}");
+        }
+    }
+
+    #[test]
+    fn closed_pool_stays_in_vocabulary() {
+        let p = NamePool::closed();
+        let mut r = rng(5);
+        for _ in 0..200 {
+            let f = p.first_name(&mut r);
+            assert!(FIRST_NAMES.contains(&f.as_str()), "{f}");
+        }
+    }
+
+    #[test]
+    fn tail_tokens_pronounceable_and_nonempty() {
+        let p = NamePool::new();
+        let mut r = rng(6);
+        for _ in 0..50 {
+            let t = p.tail_token(&mut r);
+            assert!(t.len() >= 2);
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulated relevance assessments, standing in for the §4.6.2 user study.
+//!
+//! The study had 16 participants judge, on a two-point Likert scale, whether
+//! each candidate interpretation could reflect the informational need behind
+//! a keyword query; per-interpretation relevance is the participant average,
+//! and inter-assessor agreement was low (κ ≈ 0.3) because the queries were
+//! chosen to be ambiguous.
+//!
+//! The simulation reproduces that setup: each virtual assessor draws an
+//! *intent* from the interpretation distribution (flattened by a temperature
+//! so assessors disagree), marks the intent relevant, and marks every other
+//! interpretation relevant with probability proportional to its structural
+//! similarity to the intent plus independent noise. The output is the
+//! per-interpretation mean vote — graded relevance in `[0, 1]` correlated
+//! with, but not identical to, the model probability.
+
+use crate::diversify::jaccard;
+use keybridge_core::BindingAtom;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Assessor-population knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AssessConfig {
+    pub seed: u64,
+    /// Number of virtual assessors (16 in the study).
+    pub n_users: usize,
+    /// Softmax temperature over interpretation probabilities; > 1 flattens,
+    /// making assessors disagree more.
+    pub temperature: f64,
+    /// Probability of voting relevant for an interpretation structurally
+    /// similar to the assessor's intent, scaled by Jaccard similarity.
+    pub agree_with_similar: f64,
+    /// Background noise: probability of a spurious relevant vote.
+    pub noise: f64,
+}
+
+impl Default for AssessConfig {
+    fn default() -> Self {
+        AssessConfig {
+            seed: 7,
+            n_users: 16,
+            temperature: 2.0,
+            agree_with_similar: 0.8,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Produce graded relevance for `items = (probability, atom set)` pairs.
+pub fn simulate_assessments(
+    items: &[(f64, BTreeSet<BindingAtom>)],
+    cfg: AssessConfig,
+) -> Vec<f64> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Temperature-flattened intent distribution.
+    let weights: Vec<f64> = items
+        .iter()
+        .map(|(p, _)| p.max(1e-12).powf(1.0 / cfg.temperature))
+        .collect();
+    let total: f64 = weights.iter().sum();
+
+    let mut votes = vec![0usize; items.len()];
+    for _ in 0..cfg.n_users {
+        // Draw this assessor's intent.
+        let mut u = rng.gen_range(0.0..total);
+        let mut intent = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                intent = i;
+                break;
+            }
+            u -= w;
+        }
+        for (i, (_, atoms)) in items.iter().enumerate() {
+            let p_yes = if i == intent {
+                1.0
+            } else {
+                let sim = jaccard(&items[intent].1, atoms);
+                (cfg.agree_with_similar * sim + cfg.noise).min(1.0)
+            };
+            if rng.gen_bool(p_yes) {
+                votes[i] += 1;
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .map(|v| v as f64 / cfg.n_users as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_core::BindingAtomKind;
+    use keybridge_relstore::{AttrId, AttrRef, TableId};
+
+    fn atom(table: u32, kw: &str) -> BindingAtom {
+        BindingAtom {
+            keyword: kw.to_owned(),
+            kind: BindingAtomKind::Value,
+            attr: AttrRef {
+                table: TableId(table),
+                attr: AttrId(1),
+            },
+        }
+    }
+
+    fn items() -> Vec<(f64, BTreeSet<BindingAtom>)> {
+        vec![
+            (0.7, [atom(0, "hanks")].into_iter().collect()),
+            (0.2, [atom(1, "hanks")].into_iter().collect()),
+            (0.1, [atom(2, "hanks")].into_iter().collect()),
+        ]
+    }
+
+    #[test]
+    fn relevance_in_unit_interval_and_correlated() {
+        let rel = simulate_assessments(&items(), AssessConfig::default());
+        assert_eq!(rel.len(), 3);
+        for r in &rel {
+            assert!((0.0..=1.0).contains(r));
+        }
+        // The probable interpretation should collect the most votes.
+        assert!(rel[0] >= rel[2], "{rel:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_assessments(&items(), AssessConfig::default());
+        let b = simulate_assessments(&items(), AssessConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disagreement_exists() {
+        // With temperature flattening, minor interpretations still get some
+        // votes across a population — graded, not binary, relevance.
+        let rel = simulate_assessments(
+            &items(),
+            AssessConfig {
+                n_users: 200,
+                ..Default::default()
+            },
+        );
+        assert!(rel[1] > 0.0);
+        assert!(rel[0] < 1.0 || rel[1] < 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(simulate_assessments(&[], AssessConfig::default()).is_empty());
+    }
+}

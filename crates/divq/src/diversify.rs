@@ -1,0 +1,273 @@
+//! The diversification scheme (§4.4): Jaccard similarity between query
+//! interpretations and the greedy relevance/novelty selection of Alg. 4.1.
+
+use keybridge_core::BindingAtom;
+use std::collections::BTreeSet;
+
+/// One candidate for diversification: an interpretation's relevance score
+/// and its set of keyword interpretations (schema-level atoms).
+#[derive(Debug, Clone)]
+pub struct DivItem {
+    /// Relevance = `P(Q|K)` from the disambiguation model (§4.4.2).
+    pub relevance: f64,
+    /// The keyword-interpretation set `I` of Eq. 4.3.
+    pub atoms: BTreeSet<BindingAtom>,
+}
+
+/// Jaccard coefficient between two atom sets (Eq. 4.3). Two empty sets are
+/// defined maximally similar (they describe the same — empty — query).
+pub fn jaccard(a: &BTreeSet<BindingAtom>, b: &BTreeSet<BindingAtom>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Diversification knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DiversifyConfig {
+    /// Trade-off: 1.0 = pure relevance, 0.5 = balanced, < 0.5 emphasizes
+    /// novelty (Eq. 4.4). The Chapter 4 experiments use λ = 0.1.
+    pub lambda: f64,
+    /// Number of interpretations to select.
+    pub k: usize,
+}
+
+impl Default for DiversifyConfig {
+    fn default() -> Self {
+        DiversifyConfig { lambda: 0.1, k: 10 }
+    }
+}
+
+/// Alg. 4.1: select `cfg.k` relevant-and-diverse items from `items`, which
+/// must be sorted by relevance descending (the top-k of the ranker).
+/// Returns indexes into `items` in selection order.
+///
+/// Relevance and similarity are normalized to equal means before the
+/// λ-weighting (the note under Eq. 4.4), and the scan for each next element
+/// stops early once `best_score > λ · relevance(L[j])` can no longer be
+/// beaten — the upper-bound pruning of the paper's pseudo-code.
+pub fn diversify(items: &[DivItem], cfg: DiversifyConfig) -> Vec<usize> {
+    let n = items.len();
+    if n == 0 || cfg.k == 0 {
+        return Vec::new();
+    }
+    debug_assert!(
+        items.windows(2).all(|w| w[0].relevance >= w[1].relevance),
+        "items must be sorted by relevance descending"
+    );
+
+    // Normalization to equal means. Mean similarity is estimated over all
+    // pairs of the candidate list (the population the selection draws from).
+    let mean_rel = items.iter().map(|i| i.relevance).sum::<f64>() / n as f64;
+    let mut sim_sum = 0.0;
+    let mut sim_cnt = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sim_sum += jaccard(&items[i].atoms, &items[j].atoms);
+            sim_cnt += 1;
+        }
+    }
+    let mean_sim = if sim_cnt > 0 { sim_sum / sim_cnt as f64 } else { 0.0 };
+    let rel_scale = if mean_rel > 0.0 { 1.0 / mean_rel } else { 1.0 };
+    let sim_scale = if mean_sim > 0.0 { 1.0 / mean_sim } else { 1.0 };
+
+    let lambda = cfg.lambda;
+    let mut selected: Vec<usize> = vec![0]; // most relevant always first
+    let mut available: Vec<usize> = (1..n).collect();
+
+    while selected.len() < cfg.k.min(n) {
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_pos = 0usize;
+        for (pos, &j) in available.iter().enumerate() {
+            let rel = items[j].relevance * rel_scale;
+            // Upper bound: diversity penalty is ≥ 0, so score(j) ≤ λ·rel(j).
+            // `available` is relevance-sorted, so once the bound falls below
+            // the incumbent nothing later can win.
+            if best_score > lambda * rel {
+                break;
+            }
+            let avg_sim = selected
+                .iter()
+                .map(|&s| jaccard(&items[s].atoms, &items[j].atoms))
+                .sum::<f64>()
+                / selected.len() as f64;
+            let score = lambda * rel - (1.0 - lambda) * avg_sim * sim_scale;
+            if score > best_score {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        let chosen = available.remove(best_pos);
+        selected.push(chosen);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_core::BindingAtomKind;
+    use keybridge_relstore::{AttrId, AttrRef, TableId};
+
+    fn atom(table: u32, attr: u32, kw: &str) -> BindingAtom {
+        BindingAtom {
+            keyword: kw.to_owned(),
+            kind: BindingAtomKind::Value,
+            attr: AttrRef {
+                table: TableId(table),
+                attr: AttrId(attr),
+            },
+        }
+    }
+
+    fn set(atoms: &[BindingAtom]) -> BTreeSet<BindingAtom> {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = set(&[atom(0, 1, "x"), atom(0, 2, "y")]);
+        let b = set(&[atom(0, 1, "x"), atom(1, 1, "y")]);
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        let empty = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn most_relevant_always_first() {
+        let items = vec![
+            DivItem { relevance: 0.9, atoms: set(&[atom(0, 1, "x")]) },
+            DivItem { relevance: 0.5, atoms: set(&[atom(1, 1, "x")]) },
+        ];
+        let sel = diversify(&items, DiversifyConfig { lambda: 0.1, k: 2 });
+        assert_eq!(sel[0], 0);
+    }
+
+    #[test]
+    fn redundant_runner_up_demoted() {
+        // Item 1 nearly duplicates item 0; item 2 is different but less
+        // relevant. With novelty-heavy λ the diverse item wins slot 2.
+        let items = vec![
+            DivItem {
+                relevance: 0.9,
+                atoms: set(&[atom(0, 1, "hanks"), atom(0, 1, "tom")]),
+            },
+            DivItem {
+                relevance: 0.8,
+                atoms: set(&[atom(0, 1, "hanks"), atom(0, 1, "tom")]),
+            },
+            DivItem {
+                relevance: 0.4,
+                atoms: set(&[atom(2, 1, "hanks"), atom(3, 1, "tom")]),
+            },
+        ];
+        let sel = diversify(&items, DiversifyConfig { lambda: 0.1, k: 3 });
+        assert_eq!(sel, vec![0, 2, 1]);
+        // Pure relevance keeps the original order.
+        let sel_rel = diversify(&items, DiversifyConfig { lambda: 1.0, k: 3 });
+        assert_eq!(sel_rel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_n_selects_all() {
+        let items = vec![
+            DivItem { relevance: 0.6, atoms: set(&[atom(0, 1, "a")]) },
+            DivItem { relevance: 0.4, atoms: set(&[atom(1, 1, "a")]) },
+        ];
+        let sel = diversify(&items, DiversifyConfig { lambda: 0.5, k: 10 });
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(diversify(&[], DiversifyConfig::default()).is_empty());
+        let items = vec![DivItem { relevance: 1.0, atoms: BTreeSet::new() }];
+        assert!(diversify(&items, DiversifyConfig { lambda: 0.5, k: 0 }).is_empty());
+    }
+
+    #[test]
+    fn early_stop_matches_exhaustive_scan() {
+        // The upper-bound pruning must not change the outcome.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..20);
+            let mut items: Vec<DivItem> = (0..n)
+                .map(|_| {
+                    let n_atoms = rng.gen_range(1..4);
+                    let atoms: BTreeSet<BindingAtom> = (0..n_atoms)
+                        .map(|_| {
+                            atom(
+                                rng.gen_range(0..4),
+                                rng.gen_range(0..3),
+                                ["a", "b", "c"][rng.gen_range(0..3)],
+                            )
+                        })
+                        .collect();
+                    DivItem { relevance: rng.gen_range(0.01..1.0), atoms }
+                })
+                .collect();
+            items.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).unwrap());
+            let cfg = DiversifyConfig { lambda: 0.3, k: 5 };
+            let fast = diversify(&items, cfg);
+            let slow = diversify_reference(&items, cfg);
+            assert_eq!(fast, slow);
+        }
+    }
+
+    /// Reference implementation without the early-stop bound.
+    fn diversify_reference(items: &[DivItem], cfg: DiversifyConfig) -> Vec<usize> {
+        let n = items.len();
+        if n == 0 || cfg.k == 0 {
+            return Vec::new();
+        }
+        let mean_rel = items.iter().map(|i| i.relevance).sum::<f64>() / n as f64;
+        let mut sim_sum = 0.0;
+        let mut cnt = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sim_sum += jaccard(&items[i].atoms, &items[j].atoms);
+                cnt += 1;
+            }
+        }
+        let mean_sim = if cnt > 0 { sim_sum / cnt as f64 } else { 0.0 };
+        let rel_scale = if mean_rel > 0.0 { 1.0 / mean_rel } else { 1.0 };
+        let sim_scale = if mean_sim > 0.0 { 1.0 / mean_sim } else { 1.0 };
+        let mut selected = vec![0usize];
+        let mut avail: Vec<usize> = (1..n).collect();
+        while selected.len() < cfg.k.min(n) {
+            let (pos, _) = avail
+                .iter()
+                .enumerate()
+                .map(|(pos, &j)| {
+                    let avg = selected
+                        .iter()
+                        .map(|&s| jaccard(&items[s].atoms, &items[j].atoms))
+                        .sum::<f64>()
+                        / selected.len() as f64;
+                    (
+                        pos,
+                        cfg.lambda * items[j].relevance * rel_scale
+                            - (1.0 - cfg.lambda) * avg * sim_scale,
+                    )
+                })
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Ties: prefer the earlier (more relevant) item,
+                        // i.e. the SMALLER position, matching the scan order
+                        // of the fast implementation.
+                        .then(b.0.cmp(&a.0))
+                })
+                .unwrap();
+            selected.push(avail.remove(pos));
+        }
+        selected
+    }
+}

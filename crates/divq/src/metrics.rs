@@ -1,0 +1,280 @@
+//! Evaluation metrics adapted to structured-data diversification (§4.5):
+//! α-nDCG-W (graded relevance + result overlap, Eqs. 4.5–4.6) and WS-recall
+//! (graded subtopic recall, Eq. 4.7), plus the unweighted S-recall original
+//! for comparison.
+
+use keybridge_core::ResultKey;
+use std::collections::{BTreeSet, HashMap};
+
+/// One ranked item for evaluation: an interpretation's graded relevance
+/// (averaged user assessments) and the primary keys its execution returns
+/// (its information nuggets / subtopics).
+#[derive(Debug, Clone)]
+pub struct EvalItem {
+    pub relevance: f64,
+    pub keys: BTreeSet<ResultKey>,
+}
+
+/// Gain vector of Eq. 4.5: `G[k] = relevance(Q_k) · (1−α)^r` where `r`
+/// counts, over the primary keys of `Q_k`, how many earlier interpretations
+/// already returned each key (Eq. 4.6).
+fn gains(ranked: &[EvalItem], alpha: f64) -> Vec<f64> {
+    let mut seen: HashMap<ResultKey, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(ranked.len());
+    for item in ranked {
+        let r: usize = item.keys.iter().map(|k| seen.get(k).copied().unwrap_or(0)).sum();
+        out.push(item.relevance * (1.0 - alpha).powi(r as i32));
+        for k in &item.keys {
+            *seen.entry(*k).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+fn dcg(gains: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    gains
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            acc += g / ((i + 2) as f64).log2(); // discount log2(1 + rank)
+            acc
+        })
+        .collect()
+}
+
+/// Ideal ordering for normalization: greedily pick from `pool` the item with
+/// the highest overlap-discounted gain at each position (the standard ideal
+/// construction for α-nDCG, here with graded relevance).
+fn ideal_gains(pool: &[EvalItem], alpha: f64, k: usize) -> Vec<f64> {
+    let mut remaining: Vec<&EvalItem> = pool.iter().collect();
+    let mut seen: HashMap<ResultKey, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(pool.len()) {
+        let (best_pos, best_gain) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, item)| {
+                let r: usize = item
+                    .keys
+                    .iter()
+                    .map(|key| seen.get(key).copied().unwrap_or(0))
+                    .sum();
+                (pos, item.relevance * (1.0 - alpha).powi(r as i32))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("remaining non-empty");
+        let item = remaining.remove(best_pos);
+        for key in &item.keys {
+            *seen.entry(*key).or_insert(0) += 1;
+        }
+        out.push(best_gain);
+    }
+    out
+}
+
+/// α-nDCG-W at ranks `1..=k` of `ranked`, normalized against the ideal
+/// re-ordering of `pool` (use the full candidate set as the pool). Returns
+/// one value per rank; ranks beyond `ranked.len()` repeat the final value.
+pub fn alpha_ndcg_w(ranked: &[EvalItem], pool: &[EvalItem], alpha: f64, k: usize) -> Vec<f64> {
+    let k = k.max(1);
+    let g = gains(ranked, alpha);
+    let dcgs = dcg(&g);
+    let ig = ideal_gains(pool, alpha, k);
+    let idcgs = dcg(&ig);
+    (0..k)
+        .map(|i| {
+            let d = if dcgs.is_empty() {
+                0.0
+            } else {
+                dcgs[i.min(dcgs.len() - 1)]
+            };
+            let id = if idcgs.is_empty() {
+                0.0
+            } else {
+                idcgs[i.min(idcgs.len() - 1)]
+            };
+            if id > 0.0 {
+                (d / id).min(1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Relevance of each subtopic (primary key): the maximum relevance of any
+/// pool interpretation returning it (§4.6.4: "As one and the same primary
+/// key can be returned by multiple distinct query interpretations, we take
+/// the maximal score").
+fn subtopic_relevance(pool: &[EvalItem]) -> HashMap<ResultKey, f64> {
+    let mut rel: HashMap<ResultKey, f64> = HashMap::new();
+    for item in pool {
+        for k in &item.keys {
+            let e = rel.entry(*k).or_insert(0.0);
+            if item.relevance > *e {
+                *e = item.relevance;
+            }
+        }
+    }
+    rel
+}
+
+/// WS-recall at ranks `1..=k` (Eq. 4.7): aggregated relevance of the
+/// subtopics covered by the top-k interpretations over the total aggregated
+/// relevance of all relevant subtopics in `pool`.
+pub fn ws_recall(ranked: &[EvalItem], pool: &[EvalItem], k: usize) -> Vec<f64> {
+    let rel = subtopic_relevance(pool);
+    let total: f64 = rel.values().sum();
+    let mut covered: BTreeSet<ResultKey> = BTreeSet::new();
+    let mut out = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for i in 0..k.max(1) {
+        if i < ranked.len() {
+            for key in &ranked[i].keys {
+                if covered.insert(*key) {
+                    acc += rel.get(key).copied().unwrap_or(0.0);
+                }
+            }
+        }
+        out.push(if total > 0.0 { acc / total } else { 0.0 });
+    }
+    out
+}
+
+/// Plain S-recall (binary subtopics, Zhai et al.): fraction of distinct
+/// subtopics covered by the top-k. Provided for comparison with WS-recall.
+pub fn s_recall(ranked: &[EvalItem], pool: &[EvalItem], k: usize) -> Vec<f64> {
+    let mut universe: BTreeSet<ResultKey> = BTreeSet::new();
+    for item in pool {
+        universe.extend(item.keys.iter().copied());
+    }
+    let total = universe.len() as f64;
+    let mut covered: BTreeSet<ResultKey> = BTreeSet::new();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k.max(1) {
+        if i < ranked.len() {
+            covered.extend(ranked[i].keys.iter().copied());
+        }
+        out.push(if total > 0.0 {
+            covered.len() as f64 / total
+        } else {
+            0.0
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_relstore::TableId;
+
+    fn key(t: u32, pk: i64) -> ResultKey {
+        ResultKey {
+            table: TableId(t),
+            pk,
+        }
+    }
+
+    fn item(rel: f64, keys: &[(u32, i64)]) -> EvalItem {
+        EvalItem {
+            relevance: rel,
+            keys: keys.iter().map(|&(t, p)| key(t, p)).collect(),
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_plain_ndcg() {
+        // With α = 0 overlap is ignored; a relevance-descending order is
+        // ideal and scores 1 at every rank.
+        let ranked = vec![
+            item(1.0, &[(0, 1)]),
+            item(0.5, &[(0, 1)]), // full overlap, but α=0 doesn't care
+            item(0.2, &[(0, 2)]),
+        ];
+        let scores = alpha_ndcg_w(&ranked, &ranked, 0.0, 3);
+        for s in scores {
+            assert!((s - 1.0).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn redundancy_penalized_at_high_alpha() {
+        // Two orders of the same pool: redundant-first vs diverse-first.
+        let pool = vec![
+            item(1.0, &[(0, 1), (0, 2)]),
+            item(0.9, &[(0, 1), (0, 2)]), // duplicate results
+            item(0.8, &[(0, 3), (0, 4)]), // fresh results
+        ];
+        let redundant_first = vec![pool[0].clone(), pool[1].clone(), pool[2].clone()];
+        let diverse_first = vec![pool[0].clone(), pool[2].clone(), pool[1].clone()];
+        let a = alpha_ndcg_w(&redundant_first, &pool, 0.99, 3);
+        let b = alpha_ndcg_w(&diverse_first, &pool, 0.99, 3);
+        assert!(b[1] > a[1], "diverse {b:?} vs redundant {a:?}");
+        assert!(b[2] >= a[2]);
+    }
+
+    #[test]
+    fn ndcg_bounded_by_one() {
+        let pool = vec![
+            item(0.3, &[(0, 1)]),
+            item(0.9, &[(1, 5), (1, 6)]),
+            item(0.5, &[(0, 1), (1, 5)]),
+        ];
+        // Deliberately bad order.
+        let ranked = vec![pool[0].clone(), pool[2].clone(), pool[1].clone()];
+        for alpha in [0.0, 0.5, 0.99] {
+            for s in alpha_ndcg_w(&ranked, &pool, alpha, 5) {
+                assert!((0.0..=1.0).contains(&s), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ws_recall_monotone_and_complete() {
+        let pool = vec![
+            item(1.0, &[(0, 1), (0, 2)]),
+            item(0.5, &[(0, 3)]),
+            item(0.2, &[(0, 4)]),
+        ];
+        let r = ws_recall(&pool, &pool, 4);
+        for w in r.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((r[2] - 1.0).abs() < 1e-9, "all covered by rank 3: {r:?}");
+        assert_eq!(r.len(), 4);
+        assert!((r[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ws_recall_weights_by_max_relevance() {
+        // Key (0,1) is returned by a 1.0-relevant and a 0.1-relevant
+        // interpretation: it counts with weight 1.0.
+        let pool = vec![item(1.0, &[(0, 1)]), item(0.1, &[(0, 1), (0, 2)])];
+        // Ranking only the low-relevance item still covers key (0,1) at
+        // weight 1.0 and key (0,2) at 0.1 => recall = 1.1/1.1 = 1.
+        let ranked = vec![pool[1].clone()];
+        let r = ws_recall(&ranked, &pool, 1);
+        assert!((r[0] - 1.0).abs() < 1e-9, "{r:?}");
+        // Ranking only the first covers 1.0/1.1.
+        let ranked = vec![pool[0].clone()];
+        let r = ws_recall(&ranked, &pool, 1);
+        assert!((r[0] - 1.0 / 1.1).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn s_recall_binary() {
+        let pool = vec![item(1.0, &[(0, 1), (0, 2)]), item(0.1, &[(0, 3)])];
+        let r = s_recall(&pool, &pool, 2);
+        assert!((r[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(alpha_ndcg_w(&[], &[], 0.5, 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(ws_recall(&[], &[], 2), vec![0.0, 0.0]);
+        assert_eq!(s_recall(&[], &[], 1), vec![0.0]);
+    }
+}

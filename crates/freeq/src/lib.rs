@@ -1,0 +1,31 @@
+//! # keybridge-freeq
+//!
+//! FreeQ: scaling interactive query construction to very large databases
+//! (Chapter 5).
+//!
+//! Two things break when the schema grows to Freebase scale (7,000+ tables,
+//! §5.4.2):
+//!
+//! 1. **Options stop being informative.** With a big, flat schema a keyword
+//!    occurs in hundreds of tables, so any single "is k a value of T.name?"
+//!    option prunes almost nothing. FreeQ builds an *ontology layer* over
+//!    the schema ([`SchemaOntology`]) and asks concept-level questions —
+//!    "does k belong to the Film domain?" — whose information gain is large
+//!    (§5.5).
+//! 2. **The interpretation space cannot be materialized.** FreeQ explores
+//!    the query hierarchy incrementally, best-first by probability upper
+//!    bound, materializing only the top of the space ([`LazyExplorer`],
+//!    §5.6).
+//!
+//! [`FreeQSession`] combines both into the interactive construction loop and
+//! measures interaction cost with and without the ontology (Figs. 5.2, 5.4).
+
+pub mod ontology;
+pub mod qco;
+pub mod session;
+pub mod traversal;
+
+pub use ontology::{Concept, SchemaOntology};
+pub use qco::{qco_efficiency, FreeQOption};
+pub use session::{FreeQOutcome, FreeQSession, FreeQSessionConfig};
+pub use traversal::{LazyExplorer, LazyInterpretation, TraversalConfig};

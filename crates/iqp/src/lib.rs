@@ -1,0 +1,37 @@
+//! # keybridge-iqp
+//!
+//! IQP: probabilistic incremental query construction (Chapter 3).
+//!
+//! A user starts from a keyword query, the system generates the space of
+//! candidate structured queries (via [`keybridge_core`]), and then asks a
+//! sequence of *query construction options* — "is `hanks` an actor's name?" —
+//! chosen to maximize information gain, until the intended structured query
+//! remains. The number of options the user evaluates is the *interaction
+//! cost* (Def. 3.5.9), the paper's headline metric.
+//!
+//! Modules:
+//!
+//! * [`options`] — construction options and subsumption (Defs. 3.5.7–3.5.8);
+//! * [`session`] — the interactive greedy session (Alg. 3.2) driven by
+//!   entropy / information gain (Eqs. 3.11–3.13), plus a simulated user;
+//! * [`plan`] — abstract query construction plans: expected cost (Eq. 3.1),
+//!   the brute-force optimal planner (Alg. 3.1) and the greedy planner, for
+//!   the head-to-head of Table 3.4;
+//! * [`simulate`] — the §3.8.5 scalability simulation: random complete-graph
+//!   schemas, random templates, keyword occurrence probability 60%, lazy
+//!   query-hierarchy expansion with a configurable threshold;
+//! * [`user`] — the task-time model substituting the §3.8.4 user study.
+
+pub mod nary;
+pub mod options;
+pub mod plan;
+pub mod session;
+pub mod simulate;
+pub mod user;
+
+pub use nary::{to_binary, to_nary, NaryNode};
+pub use options::ConstructionOption;
+pub use plan::{brute_force_plan, greedy_plan, plan_cost, PlanNode, PlanProblem};
+pub use session::{ConstructionOutcome, ConstructionSession, SessionConfig, SimulatedUser};
+pub use simulate::{SimConfig, SimReport, SimSpace};
+pub use user::{median, quartiles, TaskTiming, TimeModel};

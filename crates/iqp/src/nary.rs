@@ -1,0 +1,190 @@
+//! The N-ary view of a query construction plan (Figs. 3.3–3.4).
+//!
+//! The interface of Fig. 3.1 presents *several* options per round; the user
+//! picks the first acceptable one. The paper notes the N-ary tree is
+//! uniquely obtained from the binary plan by post-order collapsing every
+//! node's reject chain into sibling options — and vice versa. This module
+//! implements both directions and tests the round trip.
+
+use crate::plan::PlanNode;
+
+/// An N-ary plan node: a list of options shown together; choosing option
+/// `i` descends into `children[i]`; rejecting all of them descends into
+/// `fallthrough` (absent when the option list is exhaustive).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NaryNode {
+    /// Terminal: the candidate-query mask that remains.
+    Leaf { queries: u64 },
+    /// One interaction round.
+    Round {
+        options: Vec<usize>,
+        children: Vec<NaryNode>,
+        fallthrough: Box<NaryNode>,
+    },
+}
+
+impl NaryNode {
+    /// Number of interaction rounds on the deepest path.
+    pub fn depth(&self) -> usize {
+        match self {
+            NaryNode::Leaf { .. } => 0,
+            NaryNode::Round {
+                children,
+                fallthrough,
+                ..
+            } => {
+                1 + children
+                    .iter()
+                    .map(NaryNode::depth)
+                    .chain(std::iter::once(fallthrough.depth()))
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Total number of options across all rounds.
+    pub fn option_count(&self) -> usize {
+        match self {
+            NaryNode::Leaf { .. } => 0,
+            NaryNode::Round {
+                options,
+                children,
+                fallthrough,
+            } => {
+                options.len()
+                    + children.iter().map(NaryNode::option_count).sum::<usize>()
+                    + fallthrough.option_count()
+            }
+        }
+    }
+}
+
+/// Binary → N-ary (the post-order transformation of §3.5.4): the root's
+/// reject spine becomes one round of sibling options.
+pub fn to_nary(node: &PlanNode) -> NaryNode {
+    match node {
+        PlanNode::Leaf { queries } => NaryNode::Leaf { queries: *queries },
+        PlanNode::Decide { .. } => {
+            let mut options = Vec::new();
+            let mut children = Vec::new();
+            let mut cur = node;
+            // Walk the reject chain; each accept branch becomes a sibling.
+            loop {
+                match cur {
+                    PlanNode::Decide {
+                        option,
+                        accept,
+                        reject,
+                    } => {
+                        options.push(*option);
+                        children.push(to_nary(accept));
+                        cur = reject;
+                    }
+                    PlanNode::Leaf { queries } => {
+                        return NaryNode::Round {
+                            options,
+                            children,
+                            fallthrough: Box::new(NaryNode::Leaf { queries: *queries }),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// N-ary → binary: each round unrolls back into a reject chain.
+pub fn to_binary(node: &NaryNode) -> PlanNode {
+    match node {
+        NaryNode::Leaf { queries } => PlanNode::Leaf { queries: *queries },
+        NaryNode::Round {
+            options,
+            children,
+            fallthrough,
+        } => {
+            let mut result = to_binary(fallthrough);
+            for (option, child) in options.iter().zip(children).rev() {
+                result = PlanNode::Decide {
+                    option: *option,
+                    accept: Box::new(to_binary(child)),
+                    reject: Box::new(result),
+                };
+            }
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{brute_force_plan, greedy_plan, plan_cost, PlanProblem};
+
+    #[test]
+    fn round_trip_is_identity() {
+        for seed in 0..20 {
+            let p = PlanProblem::random(10, 6, seed);
+            let (plan, _) = greedy_plan(&p);
+            let nary = to_nary(&plan);
+            let back = to_binary(&nary);
+            assert_eq!(back, plan, "round trip changed the plan at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn option_count_preserved() {
+        let p = PlanProblem::random(12, 6, 7);
+        let (plan, _) = brute_force_plan(&p);
+        let nary = to_nary(&plan);
+        assert_eq!(nary.option_count(), plan.decisions());
+    }
+
+    #[test]
+    fn nary_depth_never_exceeds_binary_depth() {
+        // Collapsing reject chains can only shorten paths (in rounds).
+        for seed in 0..10 {
+            let p = PlanProblem::random(10, 5, seed);
+            let (plan, _) = greedy_plan(&p);
+            let nary = to_nary(&plan);
+            assert!(nary.depth() <= plan.depth());
+        }
+    }
+
+    #[test]
+    fn cost_preserved_through_round_trip() {
+        let p = PlanProblem::random(14, 7, 3);
+        let (plan, cost) = greedy_plan(&p);
+        let back = to_binary(&to_nary(&plan));
+        assert!((plan_cost(&p, &back) - cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_transforms_to_leaf() {
+        let leaf = PlanNode::Leaf { queries: 0b101 };
+        assert_eq!(to_nary(&leaf), NaryNode::Leaf { queries: 0b101 });
+        assert_eq!(to_binary(&NaryNode::Leaf { queries: 0b101 }), leaf);
+    }
+
+    #[test]
+    fn reject_chain_becomes_one_round() {
+        // A pure ranked list (accept leaf / reject next) collapses into a
+        // single round with all options as siblings — exactly the "ranking
+        // is a special case of QCP" argument of §3.5.5.
+        let plan = PlanNode::Decide {
+            option: 0,
+            accept: Box::new(PlanNode::Leaf { queries: 0b001 }),
+            reject: Box::new(PlanNode::Decide {
+                option: 1,
+                accept: Box::new(PlanNode::Leaf { queries: 0b010 }),
+                reject: Box::new(PlanNode::Leaf { queries: 0b100 }),
+            }),
+        };
+        let nary = to_nary(&plan);
+        match &nary {
+            NaryNode::Round { options, .. } => assert_eq!(options, &vec![0, 1]),
+            _ => panic!("expected one round"),
+        }
+        assert_eq!(nary.depth(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Query construction options (the items of Fig. 3.1's construction panel)
+//! and their subsumption semantics (Def. 3.5.7).
+//!
+//! An option is a partial interpretation the user can accept or reject.
+//! Accepting keeps exactly the candidate interpretations that *subsume* the
+//! option; rejecting keeps the complement.
+
+use keybridge_core::{
+    BindingAtom, BindingAtomKind, QueryInterpretation, TemplateCatalog, TemplateId,
+};
+use keybridge_relstore::{Database, TableId};
+
+/// A query construction option.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstructionOption {
+    /// "Keyword `k` is a value of / names attribute A" — the workhorse
+    /// option ("Is London a person?").
+    Atom(BindingAtom),
+    /// "The result involves table X" (e.g. "Are you looking for a movie?").
+    UsesTable(TableId),
+    /// "The query has exactly this structure" — the most specific option;
+    /// corresponds to showing a full structured query in the query window.
+    Template(TemplateId),
+}
+
+impl ConstructionOption {
+    /// Whether `interp` subsumes this option.
+    pub fn subsumed_by(
+        &self,
+        interp: &QueryInterpretation,
+        catalog: &TemplateCatalog,
+    ) -> bool {
+        match self {
+            ConstructionOption::Atom(atom) => interp.contains_atom(catalog, atom),
+            ConstructionOption::UsesTable(t) => {
+                catalog.get(interp.template).tree.nodes.contains(t)
+            }
+            ConstructionOption::Template(t) => interp.template == *t,
+        }
+    }
+
+    /// Human-readable rendering (the text shown in the construction panel).
+    pub fn describe(&self, db: &Database, catalog: &TemplateCatalog) -> String {
+        match self {
+            ConstructionOption::Atom(a) => {
+                let table = db.schema().table(a.attr.table);
+                match a.kind {
+                    BindingAtomKind::Value => format!(
+                        "\"{}\" is a value of {}.{}",
+                        a.keyword,
+                        table.name,
+                        table.attr(a.attr.attr).name
+                    ),
+                    BindingAtomKind::TableName => {
+                        format!("\"{}\" names the table {}", a.keyword, table.name)
+                    }
+                    BindingAtomKind::AttrName => format!(
+                        "\"{}\" names the attribute {}.{}",
+                        a.keyword,
+                        table.name,
+                        table.attr(a.attr.attr).name
+                    ),
+                }
+            }
+            ConstructionOption::UsesTable(t) => {
+                format!("the result involves {}", db.schema().table(*t).name)
+            }
+            ConstructionOption::Template(t) => {
+                let sig = catalog.get(*t).signature(db);
+                format!("the query joins exactly: {}", sig.join(" ⋈ "))
+            }
+        }
+    }
+
+    /// All options derivable from a candidate set: every distinct binding
+    /// atom, every table used by some candidate, and every candidate
+    /// template. Options subsumed by *all* candidates carry no information
+    /// and are omitted.
+    pub fn derive(
+        candidates: &[QueryInterpretation],
+        catalog: &TemplateCatalog,
+    ) -> Vec<ConstructionOption> {
+        use std::collections::BTreeSet;
+        let mut atoms: BTreeSet<BindingAtom> = BTreeSet::new();
+        let mut tables: BTreeSet<TableId> = BTreeSet::new();
+        let mut templates: BTreeSet<TemplateId> = BTreeSet::new();
+        for c in candidates {
+            for a in c.atoms(catalog) {
+                atoms.insert(a);
+            }
+            for t in &catalog.get(c.template).tree.nodes {
+                tables.insert(*t);
+            }
+            templates.insert(c.template);
+        }
+        let mut out: Vec<ConstructionOption> = atoms
+            .into_iter()
+            .map(ConstructionOption::Atom)
+            .chain(tables.into_iter().map(ConstructionOption::UsesTable))
+            .chain(templates.into_iter().map(ConstructionOption::Template))
+            .collect();
+        out.retain(|o| {
+            let n = candidates
+                .iter()
+                .filter(|c| o.subsumed_by(c, catalog))
+                .count();
+            n > 0 && n < candidates.len()
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_core::{Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog};
+    use keybridge_datagen::{ImdbConfig, ImdbDataset};
+    use keybridge_index::InvertedIndex;
+
+    fn candidates() -> (ImdbDataset, TemplateCatalog, Vec<QueryInterpretation>) {
+        let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
+        let index = InvertedIndex::build(&data.db);
+        let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+        // Use a keyword that is genuinely ambiguous: a common surname.
+        let q = KeywordQuery::from_terms(vec!["hanks".into()]);
+        let interp = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+        let mut cands = interp.enumerate_interpretations(&q);
+        if cands.is_empty() {
+            // Fall back to any term that exists.
+            let q = KeywordQuery::from_terms(vec!["tom".into()]);
+            cands = interp.enumerate_interpretations(&q);
+        }
+        (data, catalog, cands)
+    }
+
+    #[test]
+    fn derive_produces_discriminating_options() {
+        let (_, catalog, cands) = candidates();
+        assert!(cands.len() > 1, "need an ambiguous query");
+        let opts = ConstructionOption::derive(&cands, &catalog);
+        assert!(!opts.is_empty());
+        for o in &opts {
+            let n = cands.iter().filter(|c| o.subsumed_by(c, &catalog)).count();
+            assert!(n > 0 && n < cands.len(), "non-discriminating option {o:?}");
+        }
+    }
+
+    #[test]
+    fn subsumption_semantics() {
+        let (_, catalog, cands) = candidates();
+        let c = &cands[0];
+        // Template option: subsumed only by candidates with that template.
+        let opt = ConstructionOption::Template(c.template);
+        assert!(opt.subsumed_by(c, &catalog));
+        // Atom options from the candidate itself are subsumed by it.
+        for a in c.atoms(&catalog) {
+            assert!(ConstructionOption::Atom(a).subsumed_by(c, &catalog));
+        }
+        // UsesTable for each node table.
+        for t in &catalog.get(c.template).tree.nodes {
+            assert!(ConstructionOption::UsesTable(*t).subsumed_by(c, &catalog));
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_distinct_kinds() {
+        let (data, catalog, cands) = candidates();
+        let opts = ConstructionOption::derive(&cands, &catalog);
+        for o in &opts {
+            let d = o.describe(&data.db, &catalog);
+            assert!(!d.is_empty());
+        }
+        // At least atoms and tables should both appear for ambiguous input.
+        assert!(opts
+            .iter()
+            .any(|o| matches!(o, ConstructionOption::Atom(_))));
+        assert!(opts
+            .iter()
+            .any(|o| matches!(o, ConstructionOption::UsesTable(_))));
+    }
+}

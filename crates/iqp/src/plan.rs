@@ -1,0 +1,376 @@
+//! Abstract query construction plans (Defs. 3.5.8–3.5.10).
+//!
+//! A plan is a binary decision tree over a finite set of candidate queries:
+//! internal nodes present an option, edges are accept/reject, leaves are
+//! (small sets of) queries. The expected interaction cost (Eq. 3.1) is the
+//! probability-weighted depth. This module works on an *abstract* problem —
+//! query probabilities plus an option×query subsumption matrix — so the
+//! brute-force optimal planner (Alg. 3.1) and the greedy planner can be
+//! compared head-to-head (Table 3.4) without the cost of real interpretation
+//! generation.
+
+use std::collections::HashMap;
+
+/// An abstract planning problem.
+#[derive(Debug, Clone)]
+pub struct PlanProblem {
+    /// Probability per candidate query (normalized by the constructor).
+    pub probs: Vec<f64>,
+    /// Per option: the set of queries subsuming it, as a bitmask over query
+    /// indexes (query count ≤ 64 suffices for the paper's Table 3.4 scale).
+    pub options: Vec<u64>,
+}
+
+impl PlanProblem {
+    /// Build a problem; probabilities are normalized to sum to 1.
+    pub fn new(mut probs: Vec<f64>, options: Vec<u64>) -> Self {
+        assert!(probs.len() <= 64, "abstract planner supports ≤ 64 queries");
+        let sum: f64 = probs.iter().sum();
+        if sum > 0.0 {
+            for p in &mut probs {
+                *p /= sum;
+            }
+        }
+        PlanProblem { probs, options }
+    }
+
+    fn full_mask(&self) -> u64 {
+        if self.probs.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.probs.len()) - 1
+        }
+    }
+
+    fn mass(&self, mask: u64) -> f64 {
+        let mut s = 0.0;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            s += self.probs[i];
+            m &= m - 1;
+        }
+        s
+    }
+
+    /// The Table 3.4 generator: `m` queries, `n` options, each option
+    /// subsuming a random half of the queries, random probabilities.
+    pub fn random(m: usize, n: usize, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let probs: Vec<f64> = (0..m).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let options: Vec<u64> = (0..n)
+            .map(|_| {
+                let mut mask = 0u64;
+                let mut idx: Vec<usize> = (0..m).collect();
+                for i in (1..idx.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    idx.swap(i, j);
+                }
+                for &q in idx.iter().take(m / 2) {
+                    mask |= 1 << q;
+                }
+                mask
+            })
+            .collect();
+        PlanProblem::new(probs, options)
+    }
+
+    /// Expected number of further evaluations if the user must scan the
+    /// queries of `mask` as a ranked list (probability-descending): the
+    /// fallback when no option can split the set. The best-ranked query
+    /// costs 0 further evaluations, the next 1, and so on.
+    fn scan_cost(&self, mask: u64) -> f64 {
+        let mut items: Vec<f64> = Vec::new();
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            items.push(self.probs[i]);
+            m &= m - 1;
+        }
+        items.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let total: f64 = items.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        items
+            .iter()
+            .enumerate()
+            .map(|(rank, p)| (p / total) * rank as f64)
+            .sum()
+    }
+}
+
+/// A plan tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Terminal: the queries that remain (usually one).
+    Leaf { queries: u64 },
+    /// Present option `option`; descend left on accept, right on reject.
+    Decide {
+        option: usize,
+        accept: Box<PlanNode>,
+        reject: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        match self {
+            PlanNode::Leaf { .. } => 0,
+            PlanNode::Decide { accept, reject, .. } => 1 + accept.depth().max(reject.depth()),
+        }
+    }
+
+    /// Number of decision nodes.
+    pub fn decisions(&self) -> usize {
+        match self {
+            PlanNode::Leaf { .. } => 0,
+            PlanNode::Decide { accept, reject, .. } => {
+                1 + accept.decisions() + reject.decisions()
+            }
+        }
+    }
+}
+
+/// Expected interaction cost of `plan` under `problem` (Eq. 3.1), including
+/// the ranked-scan fallback at multi-query leaves.
+pub fn plan_cost(problem: &PlanProblem, plan: &PlanNode) -> f64 {
+    fn rec(problem: &PlanProblem, node: &PlanNode, mask: u64) -> f64 {
+        match node {
+            PlanNode::Leaf { queries } => problem.scan_cost(*queries & mask),
+            PlanNode::Decide {
+                option,
+                accept,
+                reject,
+            } => {
+                let total = problem.mass(mask);
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                let acc_mask = mask & problem.options[*option];
+                let rej_mask = mask & !problem.options[*option];
+                let p_acc = problem.mass(acc_mask) / total;
+                1.0 + p_acc * rec(problem, accept, acc_mask)
+                    + (1.0 - p_acc) * rec(problem, reject, rej_mask)
+            }
+        }
+    }
+    rec(problem, plan, problem.full_mask())
+}
+
+/// Alg. 3.1: the optimal plan by exhaustive recursion with memoization over
+/// (remaining-query mask, remaining-option mask). Exponential; use only at
+/// Table 3.4 scale (≤ ~24 queries, ≤ ~12 options).
+pub fn brute_force_plan(problem: &PlanProblem) -> (PlanNode, f64) {
+    assert!(problem.options.len() <= 32, "brute force supports ≤ 32 options");
+    let mut memo: HashMap<(u64, u32), (PlanNode, f64)> = HashMap::new();
+    let all_opts: u32 = if problem.options.len() == 32 {
+        u32::MAX
+    } else {
+        (1u32 << problem.options.len()) - 1
+    };
+    fn rec(
+        problem: &PlanProblem,
+        mask: u64,
+        opts: u32,
+        memo: &mut HashMap<(u64, u32), (PlanNode, f64)>,
+    ) -> (PlanNode, f64) {
+        if mask.count_ones() <= 1 {
+            return (PlanNode::Leaf { queries: mask }, 0.0);
+        }
+        if let Some(hit) = memo.get(&(mask, opts)) {
+            return hit.clone();
+        }
+        let total = problem.mass(mask);
+        let mut best: Option<(PlanNode, f64)> = None;
+        let mut o = opts;
+        while o != 0 {
+            let i = o.trailing_zeros() as usize;
+            o &= o - 1;
+            let acc = mask & problem.options[i];
+            let rej = mask & !problem.options[i];
+            if acc == 0 || rej == 0 {
+                continue; // non-discriminating here
+            }
+            let rest = opts & !(1u32 << i);
+            let (ap, ac) = rec(problem, acc, rest, memo);
+            let (rp, rc) = rec(problem, rej, rest, memo);
+            let p_acc = problem.mass(acc) / total;
+            let cost = 1.0 + p_acc * ac + (1.0 - p_acc) * rc;
+            if best.as_ref().map_or(true, |(_, b)| cost < *b - 1e-15) {
+                best = Some((
+                    PlanNode::Decide {
+                        option: i,
+                        accept: Box::new(ap),
+                        reject: Box::new(rp),
+                    },
+                    cost,
+                ));
+            }
+        }
+        let result = match best {
+            Some(b) => b,
+            // No option splits this set: ranked-list fallback.
+            None => (PlanNode::Leaf { queries: mask }, problem.scan_cost(mask)),
+        };
+        memo.insert((mask, opts), result.clone());
+        result
+    }
+    rec(problem, problem.full_mask(), all_opts, &mut memo)
+}
+
+/// The greedy planner: at every node pick the option with maximal
+/// information gain over the remaining set (the full-plan analogue of
+/// Alg. 3.2, threshold = entire space).
+pub fn greedy_plan(problem: &PlanProblem) -> (PlanNode, f64) {
+    fn entropy(problem: &PlanProblem, mask: u64) -> f64 {
+        let total = problem.mass(mask);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let p = problem.probs[i] / total;
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+    fn rec(problem: &PlanProblem, mask: u64, opts: u32) -> PlanNode {
+        if mask.count_ones() <= 1 {
+            return PlanNode::Leaf { queries: mask };
+        }
+        let total = problem.mass(mask);
+        let h = entropy(problem, mask);
+        let mut best: Option<(f64, usize, u64, u64)> = None;
+        let mut o = opts;
+        while o != 0 {
+            let i = o.trailing_zeros() as usize;
+            o &= o - 1;
+            let acc = mask & problem.options[i];
+            let rej = mask & !problem.options[i];
+            if acc == 0 || rej == 0 {
+                continue;
+            }
+            let p_acc = problem.mass(acc) / total;
+            let cond = p_acc * entropy(problem, acc) + (1.0 - p_acc) * entropy(problem, rej);
+            let ig = h - cond;
+            if best.map_or(true, |(b, ..)| ig > b + 1e-15) {
+                best = Some((ig, i, acc, rej));
+            }
+        }
+        match best {
+            Some((_, i, acc, rej)) => PlanNode::Decide {
+                option: i,
+                accept: Box::new(rec(problem, acc, opts & !(1u32 << i))),
+                reject: Box::new(rec(problem, rej, opts & !(1u32 << i))),
+            },
+            None => PlanNode::Leaf { queries: mask },
+        }
+    }
+    let all_opts: u32 = if problem.options.len() >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << problem.options.len()) - 1
+    };
+    let plan = rec(problem, problem.full_mask(), all_opts);
+    let cost = plan_cost(problem, &plan);
+    (plan, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn random_problem(m: usize, n: usize, seed: u64) -> PlanProblem {
+        PlanProblem::random(m, n, seed)
+    }
+
+    #[test]
+    fn perfect_binary_split_costs_log() {
+        // 8 uniform queries, options = perfect bisections: cost must be 3.
+        let probs = vec![1.0; 8];
+        let options = vec![
+            0b11110000u64, // split by high bit
+            0b11001100,
+            0b10101010,
+        ];
+        let p = PlanProblem::new(probs, options);
+        let (plan, cost) = brute_force_plan(&p);
+        assert!((cost - 3.0).abs() < 1e-9, "cost {cost}");
+        assert_eq!(plan.depth(), 3);
+        let (_, gcost) = greedy_plan(&p);
+        assert!((gcost - 3.0).abs() < 1e-9, "greedy {gcost}");
+    }
+
+    #[test]
+    fn skewed_distribution_beats_balanced_left() {
+        // One query holds 90% of the mass; an option isolating it first is
+        // optimal, and the optimal cost is below uniform log-depth.
+        let probs = vec![0.9, 0.04, 0.03, 0.03];
+        let options = vec![0b0001u64, 0b0011, 0b0101];
+        let p = PlanProblem::new(probs, options);
+        let (plan, cost) = brute_force_plan(&p);
+        // First question should isolate the heavy query.
+        if let PlanNode::Decide { option, .. } = &plan {
+            assert_eq!(*option, 0);
+        } else {
+            panic!("expected decision root");
+        }
+        assert!(cost < 2.0, "cost {cost}");
+    }
+
+    #[test]
+    fn greedy_never_beats_brute_force() {
+        for seed in 0..12 {
+            let p = random_problem(10, 6, seed);
+            let (_, bf) = brute_force_plan(&p);
+            let (_, gr) = greedy_plan(&p);
+            assert!(
+                gr + 1e-9 >= bf,
+                "greedy {gr} beat brute force {bf} at seed {seed}"
+            );
+            // Table 3.4 claim: greedy is only slightly worse.
+            assert!(gr <= bf * 1.5 + 1.0, "greedy {gr} vs brute {bf}");
+        }
+    }
+
+    #[test]
+    fn plan_cost_agrees_with_recursion() {
+        let p = random_problem(12, 6, 99);
+        let (plan, cost) = brute_force_plan(&p);
+        assert!((plan_cost(&p, &plan) - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsplittable_set_costs_scan() {
+        // No options at all: user scans the ranked list.
+        let p = PlanProblem::new(vec![0.5, 0.3, 0.2], vec![]);
+        let (plan, cost) = brute_force_plan(&p);
+        assert_eq!(plan, PlanNode::Leaf { queries: 0b111 });
+        // E[rank-1] = 0.5*0 + 0.3*1 + 0.2*2 = 0.7
+        assert!((cost - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_query_costs_zero() {
+        let p = PlanProblem::new(vec![1.0], vec![0b1]);
+        let (_, cost) = brute_force_plan(&p);
+        assert_eq!(cost, 0.0);
+        let (_, gcost) = greedy_plan(&p);
+        assert_eq!(gcost, 0.0);
+    }
+
+    #[test]
+    fn decisions_counted() {
+        let p = random_problem(8, 5, 5);
+        let (plan, _) = greedy_plan(&p);
+        assert!(plan.decisions() >= 1);
+    }
+}

@@ -1,0 +1,502 @@
+//! The §3.8.5 scalability simulation.
+//!
+//! The paper's simulator: a complete graph over `n` tables as the schema,
+//! randomly picked connected subgraphs as templates, each keyword occurring
+//! in each table with probability 60%, random weights on table/keyword
+//! occurrences, and the greedy construction algorithm run against a randomly
+//! drawn target interpretation. The query hierarchy is expanded *lazily*:
+//! partial interpretations assign a prefix of the keywords, and the frontier
+//! is expanded one keyword level at a time whenever it falls below the
+//! threshold (Alg. 3.2's `T`).
+//!
+//! Reported per run: interpretation-space size, options evaluated, and time
+//! per option generation — the columns of Tables 3.2 and 3.3.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Simulation parameters (§3.8.5 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub seed: u64,
+    pub n_tables: usize,
+    pub n_keywords: usize,
+    /// Probability a keyword occurs in a table (0.6 in the paper).
+    pub occurrence_prob: f64,
+    /// Hierarchy expansion threshold (10/20/30 in Tables 3.2–3.3).
+    pub threshold: usize,
+    /// Maximum tables per template.
+    pub max_template_size: usize,
+}
+
+impl SimConfig {
+    /// Paper-style defaults for `n_tables` tables and `n_keywords` keywords.
+    pub fn paper(n_tables: usize, n_keywords: usize, threshold: usize, seed: u64) -> Self {
+        SimConfig {
+            seed,
+            n_tables,
+            n_keywords,
+            occurrence_prob: 0.6,
+            threshold,
+            max_template_size: 6,
+        }
+    }
+
+    fn n_templates(&self) -> usize {
+        // Connected subgraphs of a complete graph grow combinatorially with
+        // n; we scale quadratically, which reproduces the paper's sharp
+        // growth of the interpretation space without materializing it.
+        ((self.n_tables * self.n_tables) / 40).max(4)
+    }
+}
+
+/// A generated random interpretation space.
+#[derive(Debug, Clone)]
+pub struct SimSpace {
+    cfg: SimConfig,
+    /// Tables per template.
+    templates: Vec<Vec<usize>>,
+    /// `occ[k][t]`: keyword `k` occurs in table `t`.
+    occ: Vec<Vec<bool>>,
+    /// Random weight of each (keyword, table) occurrence.
+    weights: Vec<Vec<f64>>,
+    /// Random prior per template.
+    priors: Vec<f64>,
+}
+
+/// A complete or partial interpretation: a template plus the tables assigned
+/// to the first `assign.len()` keywords.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SimPartial {
+    template: usize,
+    assign: Vec<usize>,
+}
+
+/// Result of one simulated construction run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total number of complete interpretations (computed analytically).
+    pub space_size: u128,
+    /// Options the simulated user evaluated.
+    pub steps: usize,
+    /// Wall-clock time spent generating options.
+    pub option_time: Duration,
+}
+
+impl SimSpace {
+    /// Generate a random space.
+    pub fn generate(cfg: SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n_templates = cfg.n_templates();
+        let mut templates = Vec::with_capacity(n_templates);
+        for _ in 0..n_templates {
+            let size = rng.gen_range(1..=cfg.max_template_size.min(cfg.n_tables));
+            // In a complete graph every table subset is connected; sample
+            // a random subset of `size` distinct tables.
+            let mut tables: Vec<usize> = (0..cfg.n_tables).collect();
+            for i in (1..tables.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                tables.swap(i, j);
+            }
+            tables.truncate(size);
+            tables.sort_unstable();
+            templates.push(tables);
+        }
+        let occ: Vec<Vec<bool>> = (0..cfg.n_keywords)
+            .map(|_| {
+                (0..cfg.n_tables)
+                    .map(|_| rng.gen_bool(cfg.occurrence_prob))
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<Vec<f64>> = (0..cfg.n_keywords)
+            .map(|_| (0..cfg.n_tables).map(|_| rng.gen_range(0.05..1.0)).collect())
+            .collect();
+        let priors: Vec<f64> = (0..n_templates).map(|_| rng.gen_range(0.05..1.0)).collect();
+        SimSpace {
+            cfg,
+            templates,
+            occ,
+            weights,
+            priors,
+        }
+    }
+
+    /// Tables of template `t` where keyword `k` occurs.
+    fn options_for(&self, template: usize, k: usize) -> Vec<usize> {
+        self.templates[template]
+            .iter()
+            .copied()
+            .filter(|&t| self.occ[k][t])
+            .collect()
+    }
+
+    /// Size of the complete interpretation space:
+    /// `Σ_T Π_k |{t ∈ T : occ(k, t)}|` (Def. 3.5.5 for this model).
+    pub fn space_size(&self) -> u128 {
+        let mut total: u128 = 0;
+        for t in 0..self.templates.len() {
+            let mut prod: u128 = 1;
+            for k in 0..self.cfg.n_keywords {
+                prod *= self.options_for(t, k).len() as u128;
+                if prod == 0 {
+                    break;
+                }
+            }
+            total += prod;
+        }
+        total
+    }
+
+    /// Weight of a partial interpretation.
+    fn weight(&self, p: &SimPartial) -> f64 {
+        let mut w = self.priors[p.template];
+        for (k, &t) in p.assign.iter().enumerate() {
+            w *= self.weights[k][t];
+        }
+        w
+    }
+
+    /// Draw a target complete interpretation with probability proportional
+    /// to its weight.
+    fn draw_target(&self, rng: &mut StdRng) -> Option<SimPartial> {
+        // Template marginal: prior × Π_k Σ_t w(k, t).
+        let mut marginals = Vec::with_capacity(self.templates.len());
+        for t in 0..self.templates.len() {
+            let mut m = self.priors[t];
+            for k in 0..self.cfg.n_keywords {
+                let s: f64 = self
+                    .options_for(t, k)
+                    .iter()
+                    .map(|&tb| self.weights[k][tb])
+                    .sum();
+                m *= s;
+            }
+            marginals.push(m);
+        }
+        let total: f64 = marginals.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut u = rng.gen_range(0.0..total);
+        let mut template = 0;
+        for (i, m) in marginals.iter().enumerate() {
+            if u < *m {
+                template = i;
+                break;
+            }
+            u -= m;
+        }
+        let mut assign = Vec::with_capacity(self.cfg.n_keywords);
+        for k in 0..self.cfg.n_keywords {
+            let opts = self.options_for(template, k);
+            if opts.is_empty() {
+                return None;
+            }
+            let total: f64 = opts.iter().map(|&t| self.weights[k][t]).sum();
+            let mut u = rng.gen_range(0.0..total);
+            let mut chosen = opts[0];
+            for &t in &opts {
+                if u < self.weights[k][t] {
+                    chosen = t;
+                    break;
+                }
+                u -= self.weights[k][t];
+            }
+            assign.push(chosen);
+        }
+        Some(SimPartial { template, assign })
+    }
+
+    fn entropy(weights: &[f64]) -> f64 {
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        for &w in weights {
+            let p = w / sum;
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Run one greedy construction session against a random target.
+    /// Returns `None` if the space is degenerate (no valid interpretation).
+    pub fn run_construction(&self, run_seed: u64) -> Option<SimReport> {
+        let mut rng = StdRng::seed_from_u64(run_seed);
+        let target = self.draw_target(&mut rng)?;
+        let cfg = &self.cfg;
+
+        // allowed[k][t]: still-possible tables per keyword (atom constraints).
+        let mut allowed: Vec<Vec<bool>> = (0..cfg.n_keywords)
+            .map(|k| (0..cfg.n_tables).map(|t| self.occ[k][t]).collect())
+            .collect();
+        // Frontier: one empty partial per template that can still complete.
+        let mut frontier: Vec<SimPartial> = (0..self.templates.len())
+            .map(|t| SimPartial {
+                template: t,
+                assign: Vec::new(),
+            })
+            .filter(|p| self.can_complete(p, &allowed))
+            .collect();
+
+        let mut steps = 0usize;
+        let mut option_time = Duration::ZERO;
+        // Safety bound: each step removes at least one frontier element or
+        // advances a level, so this terminates; the bound catches bugs.
+        let step_cap = 10_000;
+
+        loop {
+            // Expand while the frontier is small and not fully complete.
+            while frontier.len() < cfg.threshold
+                && frontier.iter().any(|p| p.assign.len() < cfg.n_keywords)
+            {
+                frontier = self.expand_one_level(&frontier, &allowed);
+                if frontier.is_empty() {
+                    return None; // target eliminated: cannot happen with a
+                                 // truthful user, but guard anyway
+                }
+            }
+            let complete = frontier
+                .iter()
+                .all(|p| p.assign.len() == cfg.n_keywords);
+            if complete && frontier.len() <= 1 {
+                break;
+            }
+            if steps >= step_cap {
+                break;
+            }
+
+            // Derive atom options (keyword, table) present in the frontier.
+            let t0 = Instant::now();
+            let mut atoms: Vec<(usize, usize)> = Vec::new();
+            for p in &frontier {
+                for (k, &t) in p.assign.iter().enumerate() {
+                    if !atoms.contains(&(k, t)) {
+                        atoms.push((k, t));
+                    }
+                }
+            }
+            // Also template-identity options when assignments cannot split.
+            let weights: Vec<f64> = frontier.iter().map(|p| self.weight(p)).collect();
+            let h = Self::entropy(&weights);
+            let total: f64 = weights.iter().sum();
+            let mut best: Option<(f64, OptionKind)> = None;
+            for &(k, t) in &atoms {
+                let (mut acc, mut rej) = (Vec::new(), Vec::new());
+                for (p, w) in frontier.iter().zip(&weights) {
+                    if p.assign.get(k) == Some(&t) {
+                        acc.push(*w);
+                    } else {
+                        rej.push(*w);
+                    }
+                }
+                if acc.is_empty() || rej.is_empty() {
+                    continue;
+                }
+                let pa: f64 = acc.iter().sum::<f64>() / total;
+                let ig = h - (pa * Self::entropy(&acc) + (1.0 - pa) * Self::entropy(&rej));
+                if best.as_ref().map_or(true, |(b, _)| ig > *b + 1e-15) {
+                    best = Some((ig, OptionKind::Atom(k, t)));
+                }
+            }
+            let mut templates_in_frontier: Vec<usize> =
+                frontier.iter().map(|p| p.template).collect();
+            templates_in_frontier.sort_unstable();
+            templates_in_frontier.dedup();
+            if templates_in_frontier.len() > 1 {
+                for &tpl in &templates_in_frontier {
+                    let (mut acc, mut rej) = (Vec::new(), Vec::new());
+                    for (p, w) in frontier.iter().zip(&weights) {
+                        if p.template == tpl {
+                            acc.push(*w);
+                        } else {
+                            rej.push(*w);
+                        }
+                    }
+                    let pa: f64 = acc.iter().sum::<f64>() / total;
+                    let ig =
+                        h - (pa * Self::entropy(&acc) + (1.0 - pa) * Self::entropy(&rej));
+                    if best.as_ref().map_or(true, |(b, _)| ig > *b + 1e-15) {
+                        best = Some((ig, OptionKind::Template(tpl)));
+                    }
+                }
+            }
+            option_time += t0.elapsed();
+
+            let Some((_, option)) = best else {
+                break; // nothing discriminates further
+            };
+            steps += 1;
+
+            // The truthful user's verdict.
+            let accept = match option {
+                OptionKind::Atom(k, t) => target.assign.get(k) == Some(&t),
+                OptionKind::Template(tpl) => target.template == tpl,
+            };
+            // Filter frontier and record constraints.
+            match option {
+                OptionKind::Atom(k, t) => {
+                    if accept {
+                        for tt in 0..cfg.n_tables {
+                            if tt != t {
+                                allowed[k][tt] = false;
+                            }
+                        }
+                    } else {
+                        allowed[k][t] = false;
+                    }
+                    frontier.retain(|p| match p.assign.get(k) {
+                        Some(&pt) => {
+                            if accept {
+                                pt == t
+                            } else {
+                                pt != t
+                            }
+                        }
+                        None => self.can_complete(p, &allowed),
+                    });
+                }
+                OptionKind::Template(tpl) => {
+                    frontier.retain(|p| {
+                        if accept {
+                            p.template == tpl
+                        } else {
+                            p.template != tpl
+                        }
+                    });
+                }
+            }
+        }
+
+        Some(SimReport {
+            space_size: self.space_size(),
+            steps,
+            option_time,
+        })
+    }
+
+    /// Whether `p` can still be extended to a complete interpretation under
+    /// the current constraints.
+    fn can_complete(&self, p: &SimPartial, allowed: &[Vec<bool>]) -> bool {
+        for k in p.assign.len()..self.cfg.n_keywords {
+            let any = self.templates[p.template]
+                .iter()
+                .any(|&t| allowed[k][t]);
+            if !any {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Expand every partial by one keyword level (those already complete
+    /// pass through unchanged).
+    fn expand_one_level(&self, frontier: &[SimPartial], allowed: &[Vec<bool>]) -> Vec<SimPartial> {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for p in frontier {
+            let k = p.assign.len();
+            if k == self.cfg.n_keywords {
+                next.push(p.clone());
+                continue;
+            }
+            for &t in &self.templates[p.template] {
+                if allowed[k][t] {
+                    let mut q = p.clone();
+                    q.assign.push(t);
+                    if self.can_complete(&q, allowed) {
+                        next.push(q);
+                    }
+                }
+            }
+        }
+        next
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OptionKind {
+    Atom(usize, usize),
+    Template(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_size_grows_with_tables() {
+        let small = SimSpace::generate(SimConfig::paper(5, 3, 20, 1)).space_size();
+        let large = SimSpace::generate(SimConfig::paper(40, 3, 20, 1)).space_size();
+        assert!(large > small * 10, "small={small} large={large}");
+    }
+
+    #[test]
+    fn space_size_grows_with_keywords() {
+        let k2 = SimSpace::generate(SimConfig::paper(10, 2, 20, 2)).space_size();
+        let k6 = SimSpace::generate(SimConfig::paper(10, 6, 20, 2)).space_size();
+        assert!(k6 > k2, "k2={k2} k6={k6}");
+    }
+
+    #[test]
+    fn construction_terminates_with_few_steps() {
+        let space = SimSpace::generate(SimConfig::paper(20, 3, 20, 3));
+        let report = space.run_construction(17).expect("valid space");
+        assert!(report.space_size > 0);
+        assert!(report.steps > 0);
+        // Steps should be far below the space size.
+        assert!((report.steps as u128) < report.space_size);
+        assert!(report.steps < 200, "steps {}", report.steps);
+    }
+
+    #[test]
+    fn higher_threshold_not_catastrophically_worse() {
+        // The paper finds improvements flattening past threshold ≈ 20.
+        let mut t10 = 0usize;
+        let mut t30 = 0usize;
+        for seed in 0..8 {
+            let s10 = SimSpace::generate(SimConfig::paper(15, 3, 10, seed));
+            let s30 = SimSpace::generate(SimConfig::paper(15, 3, 30, seed));
+            t10 += s10.run_construction(seed + 100).map_or(0, |r| r.steps);
+            t30 += s30.run_construction(seed + 100).map_or(0, |r| r.steps);
+        }
+        assert!(t10 > 0 && t30 > 0);
+        // Loose sanity bound: same order of magnitude.
+        assert!(t30 <= t10 * 3 + 10, "t10={t10} t30={t30}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = SimSpace::generate(SimConfig::paper(12, 3, 20, 5))
+            .run_construction(7)
+            .unwrap();
+        let b = SimSpace::generate(SimConfig::paper(12, 3, 20, 5))
+            .run_construction(7)
+            .unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.space_size, b.space_size);
+    }
+
+    #[test]
+    fn steps_grow_mildly_with_keywords() {
+        // Table 3.3: steps grow roughly linearly in keyword count while the
+        // space grows exponentially.
+        let run = |k: usize| -> usize {
+            let mut total = 0;
+            for seed in 0..5 {
+                let s = SimSpace::generate(SimConfig::paper(10, k, 20, seed));
+                total += s.run_construction(seed + 50).map_or(0, |r| r.steps);
+            }
+            total
+        };
+        let s2 = run(2);
+        let s8 = run(8);
+        assert!(s8 > 0);
+        // Mild growth: going 2 -> 8 keywords must not blow up 16x.
+        assert!(s8 < s2 * 16 + 40, "s2={s2} s8={s8}");
+    }
+}

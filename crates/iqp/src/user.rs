@@ -1,0 +1,151 @@
+//! Task-time model substituting the §3.8.4 user study (Fig. 3.7).
+//!
+//! The study measured wall-clock task time under two interfaces. The
+//! interaction-cost data (rank of the intent; number of options evaluated)
+//! comes from the real algorithms; this module only converts costs into
+//! seconds with a two-rate linear model:
+//!
+//! * scanning one entry of the ranked query list is fast (the user reads a
+//!   rendered query and moves on);
+//! * evaluating one construction option is slower (the user must judge a
+//!   semantic statement), plus a fixed per-task overhead.
+//!
+//! With the default rates the model reproduces the paper's crossover: the
+//! ranking interface wins while the intent ranks under ≈40, construction
+//! wins beyond ≈80, and at rank ≈220 ranking takes ≈4x longer — the same
+//! shape as Fig. 3.7.
+
+/// Seconds-per-action model.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeModel {
+    /// Fixed overhead per task (typing the query, orienting).
+    pub base_s: f64,
+    /// Seconds to scan one entry of the ranked list.
+    pub per_rank_item_s: f64,
+    /// Seconds to evaluate one construction option.
+    pub per_option_s: f64,
+}
+
+impl Default for TimeModel {
+    fn default() -> Self {
+        TimeModel {
+            base_s: 10.0,
+            per_rank_item_s: 1.2,
+            per_option_s: 9.0,
+        }
+    }
+}
+
+/// Simulated timings for one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTiming {
+    pub ranking_s: f64,
+    pub construction_s: f64,
+}
+
+impl TimeModel {
+    /// Time to find the intent via the ranking interface when it sits at
+    /// 1-based `rank`. `None` (intent not in the list) costs the paper's
+    /// 10-minute timeout.
+    pub fn ranking_time(&self, rank: Option<usize>) -> f64 {
+        match rank {
+            Some(r) => self.base_s + r as f64 * self.per_rank_item_s,
+            None => 600.0,
+        }
+    }
+
+    /// Time to construct the intent by evaluating `steps` options and then
+    /// picking it from the final window of `remaining` entries.
+    pub fn construction_time(&self, steps: usize, remaining: usize) -> f64 {
+        self.base_s
+            + steps as f64 * self.per_option_s
+            + remaining as f64 * self.per_rank_item_s
+    }
+
+    /// Both timings for a task.
+    pub fn task(&self, rank: Option<usize>, steps: usize, remaining: usize) -> TaskTiming {
+        TaskTiming {
+            ranking_s: self.ranking_time(rank),
+            construction_s: self.construction_time(steps, remaining),
+        }
+    }
+}
+
+/// Median of a sample (average of the middle pair for even sizes).
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Quartiles `(q1, median, q3)` for boxplot-style summaries (Fig. 3.6).
+pub fn quartiles(values: &mut [f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |frac: f64| -> f64 {
+        let pos = frac * (values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            values[lo]
+        } else {
+            values[lo] + (pos - lo as f64) * (values[hi] - values[lo])
+        }
+    };
+    (q(0.25), q(0.5), q(0.75))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_matches_paper_shape() {
+        let m = TimeModel::default();
+        // Low ranks: ranking wins.
+        let low = m.task(Some(5), 4, 4);
+        assert!(low.ranking_s < low.construction_s);
+        // High ranks: construction wins clearly.
+        let high = m.task(Some(220), 7, 4);
+        assert!(high.construction_s < high.ranking_s);
+        assert!(high.ranking_s / high.construction_s > 2.0);
+    }
+
+    #[test]
+    fn missing_rank_is_timeout() {
+        let m = TimeModel::default();
+        assert_eq!(m.ranking_time(None), 600.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn quartiles_ordered() {
+        let mut v = vec![9.0, 1.0, 5.0, 3.0, 7.0];
+        let (q1, q2, q3) = quartiles(&mut v);
+        assert!(q1 <= q2 && q2 <= q3);
+        assert_eq!(q2, 5.0);
+    }
+
+    #[test]
+    fn construction_time_includes_final_window() {
+        let m = TimeModel::default();
+        let a = m.construction_time(3, 0);
+        let b = m.construction_time(3, 5);
+        assert!(b > a);
+    }
+}

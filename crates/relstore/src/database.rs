@@ -1,0 +1,317 @@
+//! Row storage with primary-key and foreign-key hash indexes.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{AttrRef, FkId, Schema, TableId};
+use crate::value::{RowId, Value};
+use std::collections::HashMap;
+
+/// Storage for one table: a row-major `Vec` of rows plus a primary-key index.
+#[derive(Debug, Clone, Default)]
+pub struct TableStore {
+    rows: Vec<Vec<Value>>,
+    pk_index: HashMap<i64, RowId>,
+}
+
+impl TableStore {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row at `id`. Panics if out of bounds (row ids come from this
+    /// database, so an out-of-bounds id is a logic error).
+    pub fn row(&self, id: RowId) -> &[Value] {
+        &self.rows[id.index()]
+    }
+
+    /// Iterate over `(RowId, &row)`.
+    pub fn rows(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RowId(i as u32), r.as_slice()))
+    }
+
+    /// Find a row by primary-key value.
+    pub fn by_pk(&self, key: i64) -> Option<RowId> {
+        self.pk_index.get(&key).copied()
+    }
+}
+
+/// An in-memory database: a [`Schema`] plus per-table storage and, for every
+/// foreign key, a hash index from referenced key value to referencing rows.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    tables: Vec<TableStore>,
+    /// `fk_index[fk][key]` = rows of the *referencing* table whose fk column
+    /// holds `key`. This supports joins in the pk -> fk direction.
+    fk_index: Vec<HashMap<i64, Vec<RowId>>>,
+    /// Per table: the `(fk index, column)` pairs of foreign keys that
+    /// originate in that table. Precomputed so inserts stay allocation-free.
+    table_fk_cols: Vec<Vec<(usize, usize)>>,
+}
+
+impl Database {
+    /// Create an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let tables = vec![TableStore::default(); schema.table_count()];
+        let fk_index = vec![HashMap::new(); schema.fk_count()];
+        let mut table_fk_cols = vec![Vec::new(); schema.table_count()];
+        for (id, fk) in schema.fks() {
+            table_fk_cols[fk.from.table.0 as usize]
+                .push((id.0 as usize, fk.from.attr.0 as usize));
+        }
+        Database {
+            schema,
+            tables,
+            fk_index,
+            table_fk_cols,
+        }
+    }
+
+    /// The catalog.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Storage for table `id`.
+    pub fn table(&self, id: TableId) -> &TableStore {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(TableStore::len).sum()
+    }
+
+    /// The value of one cell.
+    pub fn cell(&self, table: TableId, row: RowId, attr: AttrRef) -> &Value {
+        debug_assert_eq!(table, attr.table);
+        &self.tables[table.0 as usize].row(row)[attr.attr.0 as usize]
+    }
+
+    /// Primary-key value of a row.
+    pub fn pk_value(&self, table: TableId, row: RowId) -> i64 {
+        let pk = self.schema.table(table).pk;
+        self.tables[table.0 as usize].row(row)[pk.0 as usize]
+            .as_int()
+            .expect("primary keys are validated at insert")
+    }
+
+    /// Rows of the referencing table whose foreign-key column equals `key`.
+    pub fn fk_referrers(&self, fk: FkId, key: i64) -> &[RowId] {
+        self.fk_index[fk.0 as usize]
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Insert a row. Checks arity, types, and primary-key integrity, and
+    /// maintains the pk and fk hash indexes. Returns the new row's id.
+    pub fn insert(&mut self, table: TableId, row: Vec<Value>) -> RelResult<RowId> {
+        let def = self.schema.table(table);
+        if row.len() != def.attrs.len() {
+            return Err(RelError::ArityMismatch {
+                table,
+                expected: def.attrs.len(),
+                got: row.len(),
+            });
+        }
+        for (i, (v, a)) in row.iter().zip(&def.attrs).enumerate() {
+            if !v.conforms_to(a.ty) {
+                return Err(RelError::TypeMismatch {
+                    attr: AttrRef {
+                        table,
+                        attr: crate::schema::AttrId(i as u32),
+                    },
+                });
+            }
+        }
+        let pk_val = row[def.pk.0 as usize]
+            .as_int()
+            .ok_or(RelError::BadPrimaryKey { table })?;
+
+        let store = &mut self.tables[table.0 as usize];
+        let id = RowId(store.rows.len() as u32);
+        if store.pk_index.contains_key(&pk_val) {
+            return Err(RelError::BadPrimaryKey { table });
+        }
+        store.pk_index.insert(pk_val, id);
+
+        // Maintain fk indexes for every fk whose referencing side is `table`.
+        for &(fk_idx, col) in &self.table_fk_cols[table.0 as usize] {
+            if let Some(key) = row[col].as_int() {
+                self.fk_index[fk_idx].entry(key).or_default().push(id);
+            }
+        }
+
+        self.tables[table.0 as usize].rows.push(row);
+        Ok(id)
+    }
+
+    /// Check referential integrity of every foreign key (non-null fk values
+    /// must have a parent row). Inserts do not enforce this — loaders insert
+    /// in arbitrary order — so call this once after loading.
+    pub fn validate(&self) -> RelResult<()> {
+        for (_, fk) in self.schema.fks() {
+            let parent = &self.tables[fk.to.table.0 as usize];
+            let child = &self.tables[fk.from.table.0 as usize];
+            for (rid, row) in child.rows() {
+                if let Some(key) = row[fk.from.attr.0 as usize].as_int() {
+                    if parent.by_pk(key).is_none() {
+                        return Err(RelError::BrokenForeignKey {
+                            table: fk.from.table,
+                            row: rid.0,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{SchemaBuilder, TableKind};
+
+    fn db() -> Database {
+        let mut b = SchemaBuilder::new();
+        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title")
+            .int_attr("year");
+        b.table("acts", TableKind::Relation)
+            .pk("id")
+            .int_attr("actor_id")
+            .int_attr("movie_id");
+        b.foreign_key("acts", "actor_id", "actor").unwrap();
+        b.foreign_key("acts", "movie_id", "movie").unwrap();
+        Database::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let r = db
+            .insert(actor, vec![Value::Int(7), Value::text("Tom Hanks")])
+            .unwrap();
+        assert_eq!(db.table(actor).len(), 1);
+        assert_eq!(db.table(actor).by_pk(7), Some(r));
+        assert_eq!(db.pk_value(actor, r), 7);
+        assert_eq!(db.total_rows(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let err = db.insert(actor, vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn types_checked() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let err = db
+            .insert(actor, vec![Value::text("oops"), Value::text("x")])
+            .unwrap_err();
+        assert!(matches!(err, RelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        db.insert(actor, vec![Value::Int(1), Value::text("a")])
+            .unwrap();
+        let err = db
+            .insert(actor, vec![Value::Int(1), Value::text("b")])
+            .unwrap_err();
+        assert!(matches!(err, RelError::BadPrimaryKey { .. }));
+        assert_eq!(db.table(actor).len(), 1);
+    }
+
+    #[test]
+    fn null_pk_rejected() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let err = db
+            .insert(actor, vec![Value::Null, Value::text("a")])
+            .unwrap_err();
+        assert!(matches!(err, RelError::BadPrimaryKey { .. }));
+    }
+
+    #[test]
+    fn fk_index_maintained() {
+        let mut db = db();
+        let s = db.schema().clone();
+        let actor = s.table_id("actor").unwrap();
+        let movie = s.table_id("movie").unwrap();
+        let acts = s.table_id("acts").unwrap();
+        db.insert(actor, vec![Value::Int(1), Value::text("Hanks")])
+            .unwrap();
+        db.insert(
+            movie,
+            vec![Value::Int(10), Value::text("Terminal"), Value::Int(2004)],
+        )
+        .unwrap();
+        let a1 = db
+            .insert(acts, vec![Value::Int(100), Value::Int(1), Value::Int(10)])
+            .unwrap();
+        let a2 = db
+            .insert(acts, vec![Value::Int(101), Value::Int(1), Value::Int(10)])
+            .unwrap();
+
+        let (fk_actor, _) = s
+            .fks()
+            .find(|(_, fk)| fk.to.table == actor)
+            .expect("fk to actor exists");
+        assert_eq!(db.fk_referrers(fk_actor, 1), &[a1, a2]);
+        assert!(db.fk_referrers(fk_actor, 99).is_empty());
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_detects_orphans() {
+        let mut db = db();
+        let acts = db.schema().table_id("acts").unwrap();
+        db.insert(acts, vec![Value::Int(1), Value::Int(5), Value::Int(6)])
+            .unwrap();
+        assert!(matches!(
+            db.validate().unwrap_err(),
+            RelError::BrokenForeignKey { .. }
+        ));
+    }
+
+    #[test]
+    fn null_fk_is_legal() {
+        let mut db = db();
+        let acts = db.schema().table_id("acts").unwrap();
+        db.insert(acts, vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn rows_iterator_order() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        for i in 0..5 {
+            db.insert(actor, vec![Value::Int(i), Value::text(format!("a{i}"))])
+                .unwrap();
+        }
+        let ids: Vec<u32> = db.table(actor).rows().map(|(r, _)| r.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

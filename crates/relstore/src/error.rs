@@ -1,0 +1,126 @@
+//! Error type shared by the relational engine.
+
+use crate::schema::{AttrRef, TableId};
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// Errors raised by schema construction, data loading, and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table name was declared twice.
+    DuplicateTable(String),
+    /// An attribute name was declared twice within one table.
+    DuplicateAttribute { table: String, attr: String },
+    /// A named table does not exist.
+    UnknownTable(String),
+    /// A named attribute does not exist on the given table.
+    UnknownAttribute { table: String, attr: String },
+    /// A table was declared without a primary key.
+    MissingPrimaryKey(String),
+    /// A foreign key references a non-integer column.
+    NonIntegerKey { table: String, attr: String },
+    /// Row arity does not match the table definition.
+    ArityMismatch {
+        table: TableId,
+        expected: usize,
+        got: usize,
+    },
+    /// A value does not conform to the declared attribute type.
+    TypeMismatch { attr: AttrRef },
+    /// The primary key of an inserted row is null or duplicated.
+    BadPrimaryKey { table: TableId },
+    /// A foreign key points at a missing parent row (reported by `validate`).
+    BrokenForeignKey { table: TableId, row: u32 },
+    /// A join tree handed to the executor is malformed.
+    MalformedJoinTree(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::DuplicateTable(name) => write!(f, "duplicate table `{name}`"),
+            RelError::DuplicateAttribute { table, attr } => {
+                write!(f, "duplicate attribute `{attr}` on table `{table}`")
+            }
+            RelError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            RelError::UnknownAttribute { table, attr } => {
+                write!(f, "unknown attribute `{table}.{attr}`")
+            }
+            RelError::MissingPrimaryKey(name) => {
+                write!(f, "table `{name}` has no primary key")
+            }
+            RelError::NonIntegerKey { table, attr } => {
+                write!(f, "key column `{table}.{attr}` must be INT")
+            }
+            RelError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "row arity mismatch on table #{}: expected {expected}, got {got}",
+                table.0
+            ),
+            RelError::TypeMismatch { attr } => {
+                write!(f, "type mismatch for attribute {}.{}", attr.table.0, attr.attr.0)
+            }
+            RelError::BadPrimaryKey { table } => {
+                write!(f, "null or duplicate primary key on table #{}", table.0)
+            }
+            RelError::BrokenForeignKey { table, row } => {
+                write!(f, "broken foreign key at table #{} row {row}", table.0)
+            }
+            RelError::MalformedJoinTree(msg) => write!(f, "malformed join tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn display_covers_variants() {
+        let attr = AttrRef {
+            table: TableId(1),
+            attr: AttrId(2),
+        };
+        let samples: Vec<RelError> = vec![
+            RelError::DuplicateTable("t".into()),
+            RelError::DuplicateAttribute {
+                table: "t".into(),
+                attr: "a".into(),
+            },
+            RelError::UnknownTable("t".into()),
+            RelError::UnknownAttribute {
+                table: "t".into(),
+                attr: "a".into(),
+            },
+            RelError::MissingPrimaryKey("t".into()),
+            RelError::NonIntegerKey {
+                table: "t".into(),
+                attr: "a".into(),
+            },
+            RelError::ArityMismatch {
+                table: TableId(0),
+                expected: 3,
+                got: 2,
+            },
+            RelError::TypeMismatch { attr },
+            RelError::BadPrimaryKey { table: TableId(0) },
+            RelError::BrokenForeignKey {
+                table: TableId(0),
+                row: 5,
+            },
+            RelError::MalformedJoinTree("cycle".into()),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

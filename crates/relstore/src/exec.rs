@@ -1,0 +1,474 @@
+//! Execution of join trees (the relational shape of candidate networks).
+//!
+//! A [`JoinTree`] has one node per table *occurrence* — the same table may
+//! appear several times (e.g. a movie with two actors joins `acts` twice) —
+//! and tree edges labelled with the foreign key that connects two occurrences.
+//!
+//! The executor receives, per node, an optional candidate row set (the rows
+//! matching that node's keyword predicates, produced by the inverted index).
+//! `None` means the node is a *free* table: any row may participate. It then
+//! performs hash joins along the tree, starting from the most selective bound
+//! node, and returns joining tuple trees (JTTs): one [`RowId`] per node.
+
+use crate::database::Database;
+use crate::error::{RelError, RelResult};
+use crate::schema::{FkId, TableId};
+use crate::value::RowId;
+use std::collections::HashSet;
+
+/// An edge of a join tree: node indexes into [`JoinTree::nodes`] plus the
+/// foreign key joining the two table occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTreeEdge {
+    pub a: usize,
+    pub b: usize,
+    pub fk: FkId,
+}
+
+/// A tree of table occurrences joined along foreign keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTree {
+    pub nodes: Vec<TableId>,
+    pub edges: Vec<JoinTreeEdge>,
+}
+
+impl JoinTree {
+    /// A single-table tree.
+    pub fn single(table: TableId) -> Self {
+        JoinTree {
+            nodes: vec![table],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of joins (edges).
+    pub fn join_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Check the tree shape: `nodes.len() == edges.len() + 1`, all edge
+    /// endpoints valid and connected, and every edge's foreign key actually
+    /// joins the two endpoint tables (in either orientation).
+    pub fn validate(&self, db: &Database) -> RelResult<()> {
+        if self.nodes.is_empty() {
+            return Err(RelError::MalformedJoinTree("empty tree".into()));
+        }
+        if self.edges.len() + 1 != self.nodes.len() {
+            return Err(RelError::MalformedJoinTree(format!(
+                "{} nodes but {} edges",
+                self.nodes.len(),
+                self.edges.len()
+            )));
+        }
+        for e in &self.edges {
+            if e.a >= self.nodes.len() || e.b >= self.nodes.len() || e.a == e.b {
+                return Err(RelError::MalformedJoinTree("bad edge endpoints".into()));
+            }
+            let fk = db.schema().fk(e.fk);
+            let (ta, tb) = (self.nodes[e.a], self.nodes[e.b]);
+            let forward = fk.from.table == ta && fk.to.table == tb;
+            let backward = fk.from.table == tb && fk.to.table == ta;
+            if !forward && !backward {
+                return Err(RelError::MalformedJoinTree(
+                    "edge fk does not join its endpoints".into(),
+                ));
+            }
+        }
+        // Connectivity via union-find over edges.
+        let mut parent: Vec<usize> = (0..self.nodes.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for e in &self.edges {
+            let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+            if ra == rb {
+                return Err(RelError::MalformedJoinTree("cycle".into()));
+            }
+            parent[ra] = rb;
+        }
+        Ok(())
+    }
+}
+
+/// Per-node candidate rows. `None` = unrestricted (free table).
+#[derive(Debug, Clone, Default)]
+pub struct Candidates {
+    pub per_node: Vec<Option<Vec<RowId>>>,
+}
+
+impl Candidates {
+    /// All nodes unrestricted.
+    pub fn free(n: usize) -> Self {
+        Candidates {
+            per_node: vec![None; n],
+        }
+    }
+
+    /// Restrict node `i` to `rows`.
+    pub fn restrict(mut self, i: usize, rows: Vec<RowId>) -> Self {
+        self.per_node[i] = Some(rows);
+        self
+    }
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Stop after this many result tuples.
+    pub limit: usize,
+    /// Abort if the intermediate binding count exceeds this bound
+    /// (protects against free-table blowups).
+    pub max_intermediate: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            limit: 1000,
+            max_intermediate: 200_000,
+        }
+    }
+}
+
+/// One result: a row id per join-tree node (a joining tuple tree).
+pub type JoinedRow = Vec<RowId>;
+
+/// Execute `tree` over `db` with per-node `candidates`.
+///
+/// Strategy: pick the bound node with the fewest candidates as the seed, then
+/// repeatedly attach the tree edge whose far node is cheapest to join
+/// (bound nodes first), probing either the primary-key index (fk -> pk
+/// direction) or the foreign-key index (pk -> fk direction).
+pub fn execute_join_tree(
+    db: &Database,
+    tree: &JoinTree,
+    candidates: &Candidates,
+    opts: ExecOptions,
+) -> RelResult<Vec<JoinedRow>> {
+    tree.validate(db)?;
+    if candidates.per_node.len() != tree.nodes.len() {
+        return Err(RelError::MalformedJoinTree(
+            "candidate arity mismatch".into(),
+        ));
+    }
+
+    let n = tree.nodes.len();
+    // Estimated cardinality per node, used to order the join.
+    let node_card = |i: usize| -> usize {
+        match &candidates.per_node[i] {
+            Some(rows) => rows.len(),
+            None => db.table(tree.nodes[i]).len(),
+        }
+    };
+
+    // Seed: the most selective node.
+    let seed = (0..n).min_by_key(|&i| node_card(i)).expect("non-empty");
+
+    // Partial bindings: each is a Vec<Option<RowId>> indexed by node.
+    let mut bindings: Vec<Vec<Option<RowId>>> = Vec::new();
+    let seed_rows: Vec<RowId> = match &candidates.per_node[seed] {
+        Some(rows) => rows.clone(),
+        None => db.table(tree.nodes[seed]).rows().map(|(r, _)| r).collect(),
+    };
+    for r in seed_rows {
+        let mut b = vec![None; n];
+        b[seed] = Some(r);
+        bindings.push(b);
+    }
+
+    let cand_sets: Vec<Option<HashSet<RowId>>> = candidates
+        .per_node
+        .iter()
+        .map(|c| c.as_ref().map(|rows| rows.iter().copied().collect()))
+        .collect();
+
+    let mut joined = vec![false; n];
+    joined[seed] = true;
+    let mut remaining_edges: Vec<JoinTreeEdge> = tree.edges.clone();
+
+    while !remaining_edges.is_empty() {
+        // Choose the attachable edge whose new node is cheapest.
+        let pos = remaining_edges
+            .iter()
+            .position(|e| joined[e.a] != joined[e.b])
+            .ok_or_else(|| RelError::MalformedJoinTree("disconnected tree".into()))?;
+        let best = remaining_edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| joined[e.a] != joined[e.b])
+            .min_by_key(|(_, e)| {
+                let new = if joined[e.a] { e.b } else { e.a };
+                node_card(new)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(pos);
+        let edge = remaining_edges.swap_remove(best);
+        let (known, new) = if joined[edge.a] {
+            (edge.a, edge.b)
+        } else {
+            (edge.b, edge.a)
+        };
+        joined[new] = true;
+
+        let fk = *db.schema().fk(edge.fk);
+        let known_table = tree.nodes[known];
+        let new_table = tree.nodes[new];
+        // Forward: known node holds the fk column, probe parent's pk index.
+        let forward = fk.from.table == known_table && fk.to.table == new_table;
+
+        let mut next: Vec<Vec<Option<RowId>>> = Vec::with_capacity(bindings.len());
+        for b in &bindings {
+            let known_row = b[known].expect("joined nodes are bound");
+            if forward {
+                let key = db.cell(known_table, known_row, fk.from);
+                let Some(key) = key.as_int() else { continue };
+                let Some(parent) = db.table(new_table).by_pk(key) else {
+                    continue;
+                };
+                if let Some(set) = &cand_sets[new] {
+                    if !set.contains(&parent) {
+                        continue;
+                    }
+                }
+                let mut nb = b.clone();
+                nb[new] = Some(parent);
+                next.push(nb);
+            } else {
+                // Backward: new node holds the fk column referencing known's pk.
+                let key = db.pk_value(known_table, known_row);
+                for &child in db.fk_referrers(edge.fk, key) {
+                    if let Some(set) = &cand_sets[new] {
+                        if !set.contains(&child) {
+                            continue;
+                        }
+                    }
+                    let mut nb = b.clone();
+                    nb[new] = Some(child);
+                    next.push(nb);
+                }
+            }
+            if next.len() > opts.max_intermediate {
+                return Err(RelError::MalformedJoinTree(
+                    "intermediate result exceeds max_intermediate".into(),
+                ));
+            }
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    Ok(bindings
+        .into_iter()
+        .take(opts.limit)
+        .map(|b| b.into_iter().map(|r| r.expect("all nodes bound")).collect())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{SchemaBuilder, TableKind};
+    use crate::value::Value;
+
+    /// actor(id,name) <- acts(id,actor_id,movie_id) -> movie(id,title,year)
+    fn movie_db() -> Database {
+        let mut b = SchemaBuilder::new();
+        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title")
+            .int_attr("year");
+        b.table("acts", TableKind::Relation)
+            .pk("id")
+            .int_attr("actor_id")
+            .int_attr("movie_id");
+        b.foreign_key("acts", "actor_id", "actor").unwrap();
+        b.foreign_key("acts", "movie_id", "movie").unwrap();
+        let mut db = Database::new(b.finish().unwrap());
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        let acts = db.schema().table_id("acts").unwrap();
+        for (id, name) in [(1, "Tom Hanks"), (2, "Tom Cruise"), (3, "Meg Ryan")] {
+            db.insert(actor, vec![Value::Int(id), Value::text(name)])
+                .unwrap();
+        }
+        for (id, title, year) in [
+            (10, "The Terminal", 2004),
+            (11, "Top Gun", 1986),
+            (12, "Joe vs the Volcano", 1990),
+        ] {
+            db.insert(
+                movie,
+                vec![Value::Int(id), Value::text(title), Value::Int(year)],
+            )
+            .unwrap();
+        }
+        // Hanks in Terminal & Volcano, Cruise in Top Gun, Ryan in Volcano.
+        for (id, a, m) in [(100, 1, 10), (101, 2, 11), (102, 1, 12), (103, 3, 12)] {
+            db.insert(acts, vec![Value::Int(id), Value::Int(a), Value::Int(m)])
+                .unwrap();
+        }
+        db.validate().unwrap();
+        db
+    }
+
+    fn actor_acts_movie_tree(db: &Database) -> JoinTree {
+        let s = db.schema();
+        let actor = s.table_id("actor").unwrap();
+        let movie = s.table_id("movie").unwrap();
+        let acts = s.table_id("acts").unwrap();
+        let fk_actor = s.fks().find(|(_, f)| f.to.table == actor).unwrap().0;
+        let fk_movie = s.fks().find(|(_, f)| f.to.table == movie).unwrap().0;
+        JoinTree {
+            nodes: vec![actor, acts, movie],
+            edges: vec![
+                JoinTreeEdge { a: 1, b: 0, fk: fk_actor },
+                JoinTreeEdge { a: 1, b: 2, fk: fk_movie },
+            ],
+        }
+    }
+
+    #[test]
+    fn full_join_unrestricted() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let rows = execute_join_tree(&db, &tree, &Candidates::free(3), ExecOptions::default())
+            .unwrap();
+        assert_eq!(rows.len(), 4); // one JTT per acts row
+    }
+
+    #[test]
+    fn restricted_join() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let actor = db.schema().table_id("actor").unwrap();
+        let hanks = db.table(actor).by_pk(1).unwrap();
+        let cands = Candidates::free(3).restrict(0, vec![hanks]);
+        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
+        assert_eq!(rows.len(), 2); // Terminal + Volcano
+        for r in &rows {
+            assert_eq!(r[0], hanks);
+        }
+    }
+
+    #[test]
+    fn doubly_restricted_join() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        let hanks = db.table(actor).by_pk(1).unwrap();
+        let terminal = db.table(movie).by_pk(10).unwrap();
+        let cands = Candidates::free(3)
+            .restrict(0, vec![hanks])
+            .restrict(2, vec![terminal]);
+        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn empty_candidates_empty_result() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let cands = Candidates::free(3).restrict(0, vec![]);
+        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn self_join_two_actors() {
+        // actor - acts - movie - acts - actor: movies with two named actors.
+        let db = movie_db();
+        let s = db.schema();
+        let actor = s.table_id("actor").unwrap();
+        let movie = s.table_id("movie").unwrap();
+        let acts = s.table_id("acts").unwrap();
+        let fk_actor = s.fks().find(|(_, f)| f.to.table == actor).unwrap().0;
+        let fk_movie = s.fks().find(|(_, f)| f.to.table == movie).unwrap().0;
+        let tree = JoinTree {
+            nodes: vec![actor, acts, movie, acts, actor],
+            edges: vec![
+                JoinTreeEdge { a: 1, b: 0, fk: fk_actor },
+                JoinTreeEdge { a: 1, b: 2, fk: fk_movie },
+                JoinTreeEdge { a: 3, b: 2, fk: fk_movie },
+                JoinTreeEdge { a: 3, b: 4, fk: fk_actor },
+            ],
+        };
+        let hanks = db.table(actor).by_pk(1).unwrap();
+        let ryan = db.table(actor).by_pk(3).unwrap();
+        let cands = Candidates::free(5)
+            .restrict(0, vec![hanks])
+            .restrict(4, vec![ryan]);
+        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
+        assert_eq!(rows.len(), 1); // Joe vs the Volcano
+        let volcano = db.table(movie).by_pk(12).unwrap();
+        assert_eq!(rows[0][2], volcano);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let opts = ExecOptions {
+            limit: 2,
+            ..Default::default()
+        };
+        let rows = execute_join_tree(&db, &tree, &Candidates::free(3), opts).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn malformed_trees_rejected() {
+        let db = movie_db();
+        let s = db.schema();
+        let actor = s.table_id("actor").unwrap();
+        let fk0 = s.fks().next().unwrap().0;
+        // Empty.
+        let t = JoinTree { nodes: vec![], edges: vec![] };
+        assert!(t.validate(&db).is_err());
+        // Edge count mismatch.
+        let t = JoinTree {
+            nodes: vec![actor, actor],
+            edges: vec![],
+        };
+        assert!(t.validate(&db).is_err());
+        // Self edge.
+        let t = JoinTree {
+            nodes: vec![actor, actor],
+            edges: vec![JoinTreeEdge { a: 0, b: 0, fk: fk0 }],
+        };
+        assert!(t.validate(&db).is_err());
+        // FK does not join endpoints.
+        let t = JoinTree {
+            nodes: vec![actor, actor],
+            edges: vec![JoinTreeEdge { a: 0, b: 1, fk: fk0 }],
+        };
+        assert!(t.validate(&db).is_err());
+    }
+
+    #[test]
+    fn candidate_arity_checked() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let err = execute_join_tree(&db, &tree, &Candidates::free(2), ExecOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, RelError::MalformedJoinTree(_)));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let db = movie_db();
+        let movie = db.schema().table_id("movie").unwrap();
+        let tree = JoinTree::single(movie);
+        let rows = execute_join_tree(&db, &tree, &Candidates::free(1), ExecOptions::default())
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(tree.join_count(), 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The inverted index and its attribute statistics.
+
+use crate::token::Tokenizer;
+use keybridge_relstore::{AttrRef, Database, RowId, TableId};
+use std::collections::{HashMap, HashSet};
+
+/// Postings of one term within one attribute: sorted `(row, tf)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TermAttrEntry {
+    /// Rows of the attribute's table containing the term, with per-row term
+    /// frequency, sorted by row id.
+    pub rows: Vec<(RowId, u32)>,
+    /// Total occurrences of the term across all rows of this attribute.
+    pub occurrences: u64,
+}
+
+impl TermAttrEntry {
+    /// Number of rows containing the term (document frequency).
+    pub fn df(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Aggregate statistics of one indexed attribute.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AttrStats {
+    /// Number of rows in the attribute's table.
+    pub row_count: u32,
+    /// Total token count over all values of this attribute.
+    pub total_tokens: u64,
+    /// Number of distinct terms occurring in this attribute.
+    pub vocabulary: u32,
+}
+
+/// A schema element whose *name* matches a keyword (metadata interpretation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaTarget {
+    /// The keyword matches a table name token.
+    Table(TableId),
+    /// The keyword matches an attribute name token.
+    Attribute(AttrRef),
+}
+
+/// Inverted index over every text attribute of a database.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    /// term -> attribute -> postings.
+    dict: HashMap<String, HashMap<AttrRef, TermAttrEntry>>,
+    /// Statistics per indexed attribute.
+    attr_stats: HashMap<AttrRef, AttrStats>,
+    /// term -> schema elements whose name contains the term.
+    schema_terms: HashMap<String, Vec<SchemaTarget>>,
+    tokenizer: Tokenizer,
+}
+
+impl InvertedIndex {
+    /// Index all text attributes of `db` with the default tokenizer.
+    pub fn build(db: &Database) -> Self {
+        Self::build_with(db, Tokenizer::new())
+    }
+
+    /// Index all text attributes of `db` with a custom tokenizer.
+    pub fn build_with(db: &Database, tokenizer: Tokenizer) -> Self {
+        let mut dict: HashMap<String, HashMap<AttrRef, TermAttrEntry>> = HashMap::new();
+        let mut attr_stats: HashMap<AttrRef, AttrStats> = HashMap::new();
+
+        for (tid, tdef) in db.schema().tables() {
+            let store = db.table(tid);
+            for (aid, _) in tdef.text_attrs() {
+                let aref = AttrRef { table: tid, attr: aid };
+                let stats = attr_stats.entry(aref).or_default();
+                stats.row_count = store.len() as u32;
+                for (rid, row) in store.rows() {
+                    let Some(text) = row[aid.0 as usize].as_text() else {
+                        continue;
+                    };
+                    let tokens = tokenizer.tokenize(text);
+                    stats.total_tokens += tokens.len() as u64;
+                    let mut counts: HashMap<&str, u32> = HashMap::new();
+                    for t in &tokens {
+                        *counts.entry(t.as_str()).or_default() += 1;
+                    }
+                    for (term, tf) in counts {
+                        let entry = dict
+                            .entry(term.to_owned())
+                            .or_default()
+                            .entry(aref)
+                            .or_default();
+                        entry.rows.push((rid, tf));
+                        entry.occurrences += tf as u64;
+                    }
+                }
+            }
+        }
+
+        // Per-attribute vocabulary sizes.
+        let mut vocab: HashMap<AttrRef, u32> = HashMap::new();
+        for by_attr in dict.values() {
+            for aref in by_attr.keys() {
+                *vocab.entry(*aref).or_default() += 1;
+            }
+        }
+        for (aref, v) in vocab {
+            if let Some(s) = attr_stats.get_mut(&aref) {
+                s.vocabulary = v;
+            }
+        }
+
+        // Schema-term index over table and attribute names.
+        let mut schema_terms: HashMap<String, Vec<SchemaTarget>> = HashMap::new();
+        for (tid, tdef) in db.schema().tables() {
+            for tok in tokenizer.tokenize(&tdef.name) {
+                schema_terms
+                    .entry(tok)
+                    .or_default()
+                    .push(SchemaTarget::Table(tid));
+            }
+            for (aid, adef) in tdef.attrs_with_ids() {
+                for tok in tokenizer.tokenize(&adef.name) {
+                    schema_terms
+                        .entry(tok)
+                        .or_default()
+                        .push(SchemaTarget::Attribute(AttrRef { table: tid, attr: aid }));
+                }
+            }
+        }
+
+        InvertedIndex {
+            dict,
+            attr_stats,
+            schema_terms,
+            tokenizer,
+        }
+    }
+
+    /// The tokenizer the index was built with.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Number of distinct terms in the dictionary.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Statistics of one attribute (zeroed if the attribute is not indexed).
+    pub fn attr_stats(&self, attr: AttrRef) -> AttrStats {
+        self.attr_stats.get(&attr).copied().unwrap_or_default()
+    }
+
+    /// All indexed attributes.
+    pub fn indexed_attrs(&self) -> impl Iterator<Item = AttrRef> + '_ {
+        self.attr_stats.keys().copied()
+    }
+
+    /// Postings of `term` in `attr`, if any.
+    pub fn postings(&self, term: &str, attr: AttrRef) -> Option<&TermAttrEntry> {
+        self.dict.get(term)?.get(&attr)
+    }
+
+    /// The attributes in which `term` occurs, in unspecified order.
+    pub fn attrs_containing(&self, term: &str) -> Vec<AttrRef> {
+        self.dict
+            .get(term)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Schema elements whose name contains `term`.
+    pub fn schema_matches(&self, term: &str) -> &[SchemaTarget] {
+        self.schema_terms
+            .get(term)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Rows of `attr`'s table whose value contains *all* of `terms`
+    /// (the `k1..km ⊂ A` containment predicate of Def. 3.5.2), sorted.
+    pub fn rows_with_all(&self, terms: &[String], attr: AttrRef) -> Vec<RowId> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
+        for t in terms {
+            match self.postings(t, attr) {
+                Some(e) => lists.push(e),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect starting from the shortest list.
+        lists.sort_by_key(|e| e.rows.len());
+        let mut acc: Vec<RowId> = lists[0].rows.iter().map(|(r, _)| *r).collect();
+        for e in &lists[1..] {
+            let set: HashSet<RowId> = e.rows.iter().map(|(r, _)| *r).collect();
+            acc.retain(|r| set.contains(r));
+            if acc.is_empty() {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Document frequency of `term` in `attr`: number of rows containing it.
+    pub fn df(&self, term: &str, attr: AttrRef) -> usize {
+        self.postings(term, attr).map_or(0, TermAttrEntry::df)
+    }
+
+    /// Lucene-style inverse document frequency of `term` within `attr`:
+    /// `1 + ln((N + 1) / (df + 1))`.
+    pub fn idf(&self, term: &str, attr: AttrRef) -> f64 {
+        let n = self.attr_stats(attr).row_count as f64;
+        let df = self.df(term, attr) as f64;
+        1.0 + ((n + 1.0) / (df + 1.0)).ln()
+    }
+
+    /// Attribute term frequency with additive smoothing (Eq. 3.8):
+    /// the probability that a random token drawn from `attr` is `term`,
+    /// Laplace-smoothed with parameter `alpha` so unseen terms keep a small
+    /// non-zero mass. The paper writes `ATF = TF + α` up to normalization;
+    /// we implement the normalized form directly.
+    pub fn atf(&self, term: &str, attr: AttrRef, alpha: f64) -> f64 {
+        let stats = self.attr_stats(attr);
+        let occ = self
+            .postings(term, attr)
+            .map_or(0, |e| e.occurrences) as f64;
+        let denom = stats.total_tokens as f64 + alpha * (stats.vocabulary as f64 + 1.0);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (occ + alpha) / denom
+    }
+
+    /// Joint attribute term frequency of a keyword *bag* (DivQ, Eq. 4.2):
+    /// how often the combination `terms` co-occurs inside single values of
+    /// `attr`. A row contributes `min_i tf(term_i)` combination occurrences.
+    /// When the terms genuinely co-occur (first + last name in a `name`
+    /// attribute) this exceeds the product of marginal ATFs, which is what
+    /// pushes phrase-consistent interpretations up the ranking.
+    pub fn joint_atf(&self, terms: &[String], attr: AttrRef, alpha: f64) -> f64 {
+        if terms.is_empty() {
+            return 0.0;
+        }
+        if terms.len() == 1 {
+            return self.atf(&terms[0], attr, alpha);
+        }
+        let stats = self.attr_stats(attr);
+        let denom = stats.total_tokens as f64 + alpha * (stats.vocabulary as f64 + 1.0);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
+        for t in terms {
+            match self.postings(t, attr) {
+                Some(e) => lists.push(e),
+                None => return alpha / denom,
+            }
+        }
+        lists.sort_by_key(|e| e.rows.len());
+        // tf maps for all but the shortest list.
+        let maps: Vec<HashMap<RowId, u32>> = lists[1..]
+            .iter()
+            .map(|e| e.rows.iter().copied().collect())
+            .collect();
+        let mut joint: u64 = 0;
+        'rows: for &(row, tf0) in &lists[0].rows {
+            let mut m = tf0;
+            for map in &maps {
+                match map.get(&row) {
+                    Some(&tf) => m = m.min(tf),
+                    None => continue 'rows,
+                }
+            }
+            joint += m as u64;
+        }
+        (joint as f64 + alpha) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_relstore::{Database, SchemaBuilder, TableKind, Value};
+
+    fn db() -> Database {
+        let mut b = SchemaBuilder::new();
+        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title")
+            .int_attr("year");
+        let mut db = Database::new(b.finish().unwrap());
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        for (id, n) in [
+            (1, "Tom Hanks"),
+            (2, "Tom Cruise"),
+            (3, "Colin Hanks"),
+            (4, "Meg Ryan"),
+        ] {
+            db.insert(actor, vec![Value::Int(id), Value::text(n)]).unwrap();
+        }
+        for (id, t, y) in [
+            (10, "The Terminal", 2004),
+            (11, "Tom and Huck", 1995),
+            (12, "Terminal Velocity", 1994),
+        ] {
+            db.insert(movie, vec![Value::Int(id), Value::text(t), Value::Int(y)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn aref(db: &Database, table: &str, attr: &str) -> AttrRef {
+        db.schema().resolve(table, attr).unwrap()
+    }
+
+    #[test]
+    fn postings_and_df() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let title = aref(&db, "movie", "title");
+        assert_eq!(idx.df("tom", name), 2);
+        assert_eq!(idx.df("hanks", name), 2);
+        assert_eq!(idx.df("tom", title), 1);
+        assert_eq!(idx.df("terminal", title), 2);
+        assert_eq!(idx.df("nope", title), 0);
+        assert!(idx.term_count() > 0);
+    }
+
+    #[test]
+    fn attrs_containing_term() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let mut attrs = idx.attrs_containing("tom");
+        attrs.sort();
+        assert_eq!(attrs.len(), 2); // actor.name and movie.title
+        assert!(idx.attrs_containing("zzz").is_empty());
+    }
+
+    #[test]
+    fn rows_with_all_intersects() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let tom_hanks =
+            idx.rows_with_all(&["tom".to_owned(), "hanks".to_owned()], name);
+        assert_eq!(tom_hanks.len(), 1);
+        let toms = idx.rows_with_all(&["tom".to_owned()], name);
+        assert_eq!(toms.len(), 2);
+        assert!(idx
+            .rows_with_all(&["tom".to_owned(), "ryan".to_owned()], name)
+            .is_empty());
+        assert!(idx.rows_with_all(&[], name).is_empty());
+    }
+
+    #[test]
+    fn atf_prefers_frequent_terms() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        // "tom" occurs twice in actor.name, "meg" once.
+        assert!(idx.atf("tom", name, 1.0) > idx.atf("meg", name, 1.0));
+        // Unseen terms get non-zero smoothed mass, below seen terms.
+        let unseen = idx.atf("zzz", name, 1.0);
+        assert!(unseen > 0.0);
+        assert!(unseen < idx.atf("meg", name, 1.0));
+    }
+
+    #[test]
+    fn atf_sums_to_one_over_vocab() {
+        // Σ_term atf(term) + atf(one unseen) ≈ 1 by construction.
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let stats = idx.attr_stats(name);
+        let terms = ["tom", "hanks", "cruise", "colin", "meg", "ryan"];
+        assert_eq!(stats.vocabulary as usize, terms.len());
+        let sum: f64 = terms.iter().map(|t| idx.atf(t, name, 1.0)).sum();
+        let with_unseen = sum + idx.atf("unseen", name, 1.0);
+        assert!((with_unseen - 1.0).abs() < 1e-9, "sum = {with_unseen}");
+    }
+
+    #[test]
+    fn joint_atf_rewards_cooccurrence() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let title = aref(&db, "movie", "title");
+        let pair = vec!["tom".to_owned(), "hanks".to_owned()];
+        let joint_name = idx.joint_atf(&pair, name, 1.0);
+        let product =
+            idx.atf("tom", name, 1.0) * idx.atf("hanks", name, 1.0);
+        assert!(joint_name > product, "{joint_name} vs {product}");
+        // "tom hanks" never co-occurs in a title.
+        let joint_title = idx.joint_atf(&pair, title, 1.0);
+        assert!(joint_name > joint_title);
+        // Single-term joint degrades to plain ATF.
+        assert_eq!(
+            idx.joint_atf(&["tom".to_owned()], name, 1.0),
+            idx.atf("tom", name, 1.0)
+        );
+        assert_eq!(idx.joint_atf(&[], name, 1.0), 0.0);
+    }
+
+    #[test]
+    fn idf_prefers_selective_terms() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let title = aref(&db, "movie", "title");
+        // "velocity" (df=1) is more selective than "terminal" (df=2).
+        assert!(idx.idf("velocity", title) > idx.idf("terminal", title));
+        // Unseen terms have maximal idf.
+        assert!(idx.idf("zzz", title) >= idx.idf("velocity", title));
+    }
+
+    #[test]
+    fn schema_matches_tables_and_attrs() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let actor = db.schema().table_id("actor").unwrap();
+        assert_eq!(idx.schema_matches("actor"), &[SchemaTarget::Table(actor)]);
+        let title_matches = idx.schema_matches("title");
+        assert_eq!(title_matches.len(), 1);
+        assert!(matches!(title_matches[0], SchemaTarget::Attribute(_)));
+        assert!(idx.schema_matches("zzz").is_empty());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let s = idx.attr_stats(name);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.total_tokens, 8);
+        assert_eq!(s.vocabulary, 6);
+        // Unindexed (int) attribute reports zeros.
+        let year = aref(&db, "movie", "year");
+        assert_eq!(idx.attr_stats(year), AttrStats::default());
+    }
+
+    #[test]
+    fn stopwords_not_indexed() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let title = aref(&db, "movie", "title");
+        assert_eq!(idx.df("the", title), 0); // "The Terminal"
+        assert_eq!(idx.df("and", title), 0); // "Tom and Huck"
+    }
+}

@@ -1,0 +1,158 @@
+//! Structural analysis of the ontology and the shared-instance relationship
+//! between ontology and database (§6.4).
+
+use keybridge_datagen::{CategoryKind, FreebaseDataset, YagoOntology};
+use std::collections::HashMap;
+
+/// One row of the category-kind distribution (Table 6.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindRow {
+    pub kind: CategoryKind,
+    /// Number of categories of this kind.
+    pub categories: usize,
+    /// Total instance memberships across those categories.
+    pub instance_links: u64,
+    /// Mean instances per category.
+    pub avg_instances: f64,
+}
+
+/// Distribution of categories by kind (Table 6.1).
+pub fn category_kind_distribution(yago: &YagoOntology) -> Vec<KindRow> {
+    let kinds = [
+        CategoryKind::WordNet,
+        CategoryKind::Conceptual,
+        CategoryKind::Administrative,
+        CategoryKind::Relational,
+        CategoryKind::Thematic,
+    ];
+    kinds
+        .iter()
+        .map(|&kind| {
+            let cats: Vec<_> = yago
+                .categories
+                .iter()
+                .filter(|c| c.kind == kind)
+                .collect();
+            let links: u64 = cats.iter().map(|c| c.instances.len() as u64).sum();
+            KindRow {
+                kind,
+                categories: cats.len(),
+                instance_links: links,
+                avg_instances: if cats.is_empty() {
+                    0.0
+                } else {
+                    links as f64 / cats.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Histogram of categories by instance count, bucketed by powers of two
+/// upper bounds (Table 6.2: "distribution of instances in YAGO"). Returns
+/// `(bucket upper bound, #categories, #instance links)` rows; only non-empty
+/// leaf categories are counted.
+pub fn instance_histogram(yago: &YagoOntology) -> Vec<(usize, usize, u64)> {
+    let mut buckets: Vec<(usize, usize, u64)> = Vec::new();
+    let bounds = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, usize::MAX];
+    for &b in &bounds {
+        buckets.push((b, 0, 0));
+    }
+    for (_, c) in yago.leaves() {
+        let n = c.instances.len();
+        if n == 0 {
+            continue;
+        }
+        let slot = bounds.iter().position(|&b| n <= b).expect("MAX catches all");
+        buckets[slot].1 += 1;
+        buckets[slot].2 += n as u64;
+    }
+    buckets.retain(|(_, cats, _)| *cats > 0);
+    buckets
+}
+
+/// Distribution of shared instances across database domains (Fig. 6.2):
+/// for every topic appearing in at least one ontology category, in how many
+/// *domains* of the database does it occur? Returns `(domain count, topics)`
+/// rows sorted ascending.
+pub fn shared_instance_distribution(
+    yago: &YagoOntology,
+    fb: &FreebaseDataset,
+) -> Vec<(usize, usize)> {
+    // Topics present in the ontology.
+    let mut in_yago: std::collections::HashSet<i64> = Default::default();
+    for (_, c) in yago.leaves() {
+        in_yago.extend(c.instances.iter().copied());
+    }
+    // Topic -> set of domains in the database.
+    let mut domains_of: HashMap<i64, std::collections::HashSet<usize>> = HashMap::new();
+    for (di, d) in fb.domains.iter().enumerate() {
+        for &t in &d.tables {
+            for topic in fb.topic_ids_of(t) {
+                if in_yago.contains(&topic) {
+                    domains_of.entry(topic).or_default().insert(di);
+                }
+            }
+        }
+    }
+    let mut hist: HashMap<usize, usize> = HashMap::new();
+    for set in domains_of.values() {
+        *hist.entry(set.len()).or_default() += 1;
+    }
+    let mut rows: Vec<(usize, usize)> = hist.into_iter().collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_datagen::{FreebaseConfig, YagoConfig};
+
+    fn setup() -> (FreebaseDataset, YagoOntology) {
+        let fb = FreebaseDataset::generate(FreebaseConfig::tiny(1)).unwrap();
+        let y = YagoOntology::generate(YagoConfig::tiny(2), &fb);
+        (fb, y)
+    }
+
+    #[test]
+    fn kind_distribution_covers_all_categories() {
+        let (_, y) = setup();
+        let rows = category_kind_distribution(&y);
+        let total: usize = rows.iter().map(|r| r.categories).sum();
+        assert_eq!(total, y.categories.len());
+        let conceptual = rows
+            .iter()
+            .find(|r| r.kind == CategoryKind::Conceptual)
+            .unwrap();
+        assert!(conceptual.categories > 0);
+        assert!(conceptual.avg_instances > 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_nonempty_leaves() {
+        let (_, y) = setup();
+        let hist = instance_histogram(&y);
+        let cats: usize = hist.iter().map(|(_, c, _)| *c).sum();
+        let nonempty = y.leaves().filter(|(_, c)| !c.instances.is_empty()).count();
+        assert_eq!(cats, nonempty);
+        // Buckets ordered by bound.
+        for w in hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn shared_instances_span_domains() {
+        let (fb, y) = setup();
+        let rows = shared_instance_distribution(&y, &fb);
+        assert!(!rows.is_empty());
+        let total_topics: usize = rows.iter().map(|(_, n)| *n).sum();
+        assert!(total_topics > 0);
+        // With Zipf-skewed topic popularity, some instance spans 2+ domains.
+        assert!(
+            rows.iter().any(|(d, _)| *d >= 2),
+            "expected multi-domain topics: {rows:?}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The combined YAGO+F hierarchy (§6.6): matched tables attached to the
+//! ontology, with the coverage statistics of Table 6.3.
+
+use crate::matching::CategoryMatch;
+use keybridge_datagen::{CategoryKind, FreebaseDataset, YagoOntology};
+use keybridge_relstore::TableId;
+use std::collections::{HashMap, HashSet};
+
+/// The combined structure: for each matched category, the attached table.
+#[derive(Debug, Clone)]
+pub struct YagoF {
+    /// category index -> attached table.
+    pub attached: HashMap<usize, TableId>,
+}
+
+/// Aggregate statistics of a [`YagoF`] structure (Table 6.3's rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct YagoFStats {
+    /// Categories carrying a matched table.
+    pub matched_categories: usize,
+    /// Distinct tables attached somewhere.
+    pub attached_tables: usize,
+    /// Distinct instances reachable through matched categories.
+    pub covered_instances: usize,
+    /// Instances of the database covered by attached tables.
+    pub covered_table_instances: usize,
+    /// Fraction of the database's type tables attached.
+    pub table_coverage: f64,
+}
+
+/// Attach matches to the ontology.
+pub fn combine(matches: &[CategoryMatch]) -> YagoF {
+    YagoF {
+        attached: matches.iter().map(|m| (m.category, m.table)).collect(),
+    }
+}
+
+impl YagoF {
+    /// Compute coverage statistics against the source structures.
+    pub fn stats(&self, yago: &YagoOntology, fb: &FreebaseDataset) -> YagoFStats {
+        let mut tables: HashSet<TableId> = HashSet::new();
+        let mut instances: HashSet<i64> = HashSet::new();
+        for (&cat, &table) in &self.attached {
+            tables.insert(table);
+            instances.extend(yago.categories[cat].instances.iter().copied());
+        }
+        let mut table_instances: HashSet<i64> = HashSet::new();
+        for &t in &tables {
+            table_instances.extend(fb.topic_ids_of(t));
+        }
+        let total_tables = fb.type_table_count();
+        YagoFStats {
+            matched_categories: self.attached.len(),
+            attached_tables: tables.len(),
+            covered_instances: instances.len(),
+            covered_table_instances: table_instances.len(),
+            table_coverage: if total_tables > 0 {
+                tables.len() as f64 / total_tables as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Tables attached beneath an ontology concept (the category itself or
+    /// any descendant) — the lookup interactive construction uses to turn a
+    /// concept answer into a table set.
+    pub fn tables_under(&self, yago: &YagoOntology, concept: usize) -> Vec<TableId> {
+        let mut out: Vec<TableId> = self
+            .attached
+            .iter()
+            .filter(|(cat, _)| {
+                // Walk ancestors of the category up to the root.
+                let mut cur = **cat;
+                loop {
+                    if cur == concept {
+                        return true;
+                    }
+                    match yago.categories[cur].parent {
+                        Some(p) => cur = p,
+                        None => return false,
+                    }
+                }
+            })
+            .map(|(_, t)| *t)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Categories of a given kind that received a match.
+    pub fn matched_of_kind(&self, yago: &YagoOntology, kind: CategoryKind) -> usize {
+        self.attached
+            .keys()
+            .filter(|&&c| yago.categories[c].kind == kind)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{match_categories, MatchConfig};
+    use keybridge_datagen::{FreebaseConfig, YagoConfig};
+
+    fn setup() -> (FreebaseDataset, YagoOntology, YagoF) {
+        let fb = FreebaseDataset::generate(FreebaseConfig::tiny(1)).unwrap();
+        let y = YagoOntology::generate(YagoConfig::tiny(2), &fb);
+        let matches = match_categories(&y, &fb, MatchConfig::default());
+        let yf = combine(&matches);
+        (fb, y, yf)
+    }
+
+    #[test]
+    fn stats_consistent() {
+        let (fb, y, yf) = setup();
+        let s = yf.stats(&y, &fb);
+        assert_eq!(s.matched_categories, yf.attached.len());
+        assert!(s.attached_tables <= s.matched_categories.max(1));
+        assert!(s.covered_instances > 0);
+        assert!(s.table_coverage > 0.0 && s.table_coverage <= 1.0);
+    }
+
+    #[test]
+    fn tables_under_root_covers_all_attachments() {
+        let (fb, y, yf) = setup();
+        let under_root = yf.tables_under(&y, y.root);
+        let s = yf.stats(&y, &fb);
+        assert_eq!(under_root.len(), s.attached_tables);
+    }
+
+    #[test]
+    fn tables_under_leaf_is_its_own_match() {
+        let (_, y, yf) = setup();
+        let (&cat, &table) = yf.attached.iter().next().expect("some match");
+        let under = yf.tables_under(&y, cat);
+        assert_eq!(under, vec![table]);
+    }
+
+    #[test]
+    fn matched_kind_counts_bounded() {
+        let (_, y, yf) = setup();
+        let total: usize = [
+            CategoryKind::WordNet,
+            CategoryKind::Conceptual,
+            CategoryKind::Administrative,
+            CategoryKind::Relational,
+            CategoryKind::Thematic,
+        ]
+        .iter()
+        .map(|&k| yf.matched_of_kind(&y, k))
+        .sum();
+        assert_eq!(total, yf.attached.len());
+    }
+}

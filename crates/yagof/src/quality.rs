@@ -1,0 +1,144 @@
+//! Matching-quality evaluation against the generator's gold mapping
+//! (Fig. 6.4). The thesis assessed matching quality manually; the synthetic
+//! ontology records which table seeded each conceptual category, giving an
+//! exact gold standard.
+
+use crate::matching::CategoryMatch;
+use keybridge_relstore::TableId;
+use std::collections::HashMap;
+
+/// Precision/recall of a matching run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchQuality {
+    /// Matches whose table equals the gold table / all produced matches.
+    pub precision: f64,
+    /// Gold pairs recovered / all gold pairs.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// Number of produced matches.
+    pub produced: usize,
+    /// Number of produced matches agreeing with gold.
+    pub correct: usize,
+}
+
+/// Score `matches` against `gold` (category index → table).
+pub fn evaluate_matching(matches: &[CategoryMatch], gold: &[(usize, TableId)]) -> MatchQuality {
+    let gold_map: HashMap<usize, TableId> = gold.iter().copied().collect();
+    let mut correct = 0usize;
+    for m in matches {
+        if gold_map.get(&m.category) == Some(&m.table) {
+            correct += 1;
+        }
+    }
+    let produced = matches.len();
+    let precision = if produced > 0 {
+        correct as f64 / produced as f64
+    } else {
+        0.0
+    };
+    let recall = if gold.is_empty() {
+        0.0
+    } else {
+        correct as f64 / gold.len() as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    MatchQuality {
+        precision,
+        recall,
+        f1,
+        produced,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{match_categories, MatchConfig};
+    use keybridge_datagen::{FreebaseConfig, FreebaseDataset, YagoConfig, YagoOntology};
+
+    #[test]
+    fn exact_matches_score_perfectly() {
+        let gold = vec![(1usize, TableId(3)), (2, TableId(4))];
+        let matches = vec![
+            CategoryMatch {
+                category: 1,
+                table: TableId(3),
+                score: 0.9,
+                coverage: 0.9,
+                precision: 0.9,
+            },
+            CategoryMatch {
+                category: 2,
+                table: TableId(4),
+                score: 0.8,
+                coverage: 0.8,
+                precision: 0.8,
+            },
+        ];
+        let q = evaluate_matching(&matches, &gold);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.correct, 2);
+    }
+
+    #[test]
+    fn wrong_table_hurts_precision() {
+        let gold = vec![(1usize, TableId(3))];
+        let matches = vec![CategoryMatch {
+            category: 1,
+            table: TableId(9),
+            score: 0.5,
+            coverage: 0.5,
+            precision: 0.5,
+        }];
+        let q = evaluate_matching(&matches, &gold);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let q = evaluate_matching(&[], &[]);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.produced, 0);
+    }
+
+    #[test]
+    fn end_to_end_quality_reasonable() {
+        let fb = FreebaseDataset::generate(FreebaseConfig::tiny(3)).unwrap();
+        let y = YagoOntology::generate(YagoConfig::tiny(4), &fb);
+        let matches = match_categories(&y, &fb, MatchConfig::default());
+        let q = evaluate_matching(&matches, &y.gold);
+        // With default coverage/noise the matcher should do clearly better
+        // than chance (1/#tables = 5%).
+        assert!(q.precision > 0.5, "precision {q:?}");
+        assert!(q.recall > 0.3, "recall {q:?}");
+    }
+
+    #[test]
+    fn threshold_tradeoff_visible() {
+        // Raising the threshold should not decrease precision (fewer, more
+        // confident matches) while recall drops — the Fig. 6.4 shape.
+        let fb = FreebaseDataset::generate(FreebaseConfig::tiny(5)).unwrap();
+        let y = YagoOntology::generate(YagoConfig::tiny(6), &fb);
+        let low = evaluate_matching(
+            &match_categories(&y, &fb, MatchConfig { threshold: 0.05, min_overlap: 2 }),
+            &y.gold,
+        );
+        let high = evaluate_matching(
+            &match_categories(&y, &fb, MatchConfig { threshold: 0.6, min_overlap: 2 }),
+            &y.gold,
+        );
+        assert!(high.recall <= low.recall + 1e-12);
+        assert!(high.precision + 0.1 >= low.precision, "low {low:?} high {high:?}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: keyword search over a small movie database.
+//!
+//! Builds a seeded IMDB-like database, indexes it, translates an ambiguous
+//! keyword query into ranked structured queries, and executes the best one.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use keybridge::core::{
+    execute_interpretation, render_natural, render_sql, Interpreter, InterpreterConfig,
+    KeywordQuery, TemplateCatalog,
+};
+use keybridge::datagen::{ImdbConfig, ImdbDataset};
+use keybridge::index::InvertedIndex;
+use keybridge::relstore::ExecOptions;
+
+fn main() {
+    // 1. Data + index + templates.
+    let data = ImdbDataset::generate(ImdbConfig::default()).expect("generation succeeds");
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
+    println!(
+        "database: {} tables, {} rows; index: {} terms; catalog: {} templates",
+        data.db.schema().table_count(),
+        data.db.total_rows(),
+        index.term_count(),
+        catalog.len()
+    );
+
+    // 2. An ambiguous keyword query: "hanks" is a surname but also occurs in
+    //    titles and roles; "terminal" is a title word and a company word.
+    let interpreter =
+        Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+    let query = KeywordQuery::parse(index.tokenizer(), "hanks terminal");
+    let ranked = interpreter.ranked_interpretations(&query);
+    println!(
+        "\nquery \"{query}\" has {} candidate interpretations; top 5:",
+        ranked.len()
+    );
+    for s in ranked.iter().take(5) {
+        println!(
+            "  p={:5.3}  {}",
+            s.probability,
+            render_natural(&data.db, &catalog, &s.interpretation)
+        );
+    }
+
+    // 3. Execute the most probable interpretation.
+    if let Some(best) = ranked.first() {
+        println!(
+            "\nSQL: {}",
+            render_sql(&data.db, &catalog, &best.interpretation)
+        );
+        let result = execute_interpretation(
+            &data.db,
+            &index,
+            &catalog,
+            &best.interpretation,
+            ExecOptions::default(),
+        )
+        .expect("valid interpretation executes");
+        println!("results: {} joining tuple trees", result.len());
+        let tpl = catalog.get(best.interpretation.template);
+        for jtt in result.jtts.iter().take(3) {
+            let cells: Vec<String> = jtt
+                .iter()
+                .zip(&tpl.tree.nodes)
+                .map(|(row, table)| {
+                    let t = data.db.schema().table(*table);
+                    let vals = data.db.table(*table).row(*row);
+                    format!("{}({})", t.name, vals[1])
+                })
+                .collect();
+            println!("  {}", cells.join(" ⋈ "));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # keybridge
+//!
+//! Keyword search over relational databases, bridging the usability of
+//! keyword queries and the expressiveness of structured queries — a full
+//! reproduction of Demidova's *"Usability and Expressiveness in Database
+//! Keyword Search: Bridging the Gap"* (VLDB 2009 PhD Workshop / doctoral
+//! dissertation 2013).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`relstore`] | in-memory relational engine: schema, PK/FK indexes, join-tree execution |
+//! | [`index`] | inverted index with TF/ATF/DF/IDF and joint co-occurrence statistics |
+//! | [`core`] | keyword → structured-query framework: templates, interpretations, probabilistic model, rankers |
+//! | [`iqp`] | incremental query construction: options, information-gain sessions, construction plans |
+//! | [`divq`] | diversification of interpretations; α-nDCG-W and WS-recall metrics |
+//! | [`freeq`] | ontology-based construction options and lazy traversal for very large schemas |
+//! | [`yagof`] | ontology ↔ database matching by instance overlap |
+//! | [`datagen`] | seeded synthetic datasets, ontologies, and keyword workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use keybridge::core::{Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog};
+//! use keybridge::datagen::{ImdbConfig, ImdbDataset};
+//! use keybridge::index::InvertedIndex;
+//!
+//! // A seeded movie database, its inverted index, and its join templates.
+//! let data = ImdbDataset::generate(ImdbConfig::tiny(42)).unwrap();
+//! let index = InvertedIndex::build(&data.db);
+//! let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+//!
+//! // Translate a keyword query into ranked structured queries.
+//! let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+//! let query = KeywordQuery::parse(index.tokenizer(), "tom hanks");
+//! let ranked = interpreter.ranked_interpretations(&query);
+//! assert!(!ranked.is_empty());
+//! ```
+
+pub use keybridge_core as core;
+pub use keybridge_datagen as datagen;
+pub use keybridge_divq as divq;
+pub use keybridge_freeq as freeq;
+pub use keybridge_index as index;
+pub use keybridge_iqp as iqp;
+pub use keybridge_relstore as relstore;
+pub use keybridge_yagof as yagof;

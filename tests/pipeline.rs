@@ -1,0 +1,242 @@
+//! End-to-end integration tests across the workspace: generated data →
+//! index → templates → interpretations → ranking → construction →
+//! diversification → execution.
+
+use keybridge::core::{
+    execute_interpretation, render_natural, render_sql, Interpreter, InterpreterConfig,
+    KeywordQuery, TemplateCatalog, TemplatePrior,
+};
+use keybridge::datagen::{
+    FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, Workload, WorkloadConfig,
+    YagoConfig, YagoOntology,
+};
+use keybridge::divq::{diversify, DivItem, DiversifyConfig};
+use keybridge::freeq::{
+    FreeQSession, FreeQSessionConfig, LazyExplorer, SchemaOntology, TraversalConfig,
+};
+use keybridge::index::InvertedIndex;
+use keybridge::iqp::{SessionConfig, SimulatedUser};
+use keybridge::relstore::{ExecOptions, TableId};
+use keybridge::yagof::{combine, evaluate_matching, match_categories, MatchConfig};
+
+struct Pipeline {
+    data: ImdbDataset,
+    index: InvertedIndex,
+    catalog: TemplateCatalog,
+}
+
+fn pipeline() -> Pipeline {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(99)).expect("generation succeeds");
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).expect("medium schema");
+    Pipeline {
+        data,
+        index,
+        catalog,
+    }
+}
+
+#[test]
+fn keyword_to_results_end_to_end() {
+    let p = pipeline();
+    let interp = Interpreter::new(
+        &p.data.db,
+        &p.index,
+        &p.catalog,
+        InterpreterConfig::default(),
+    );
+    // Take a real actor's surname so results are guaranteed.
+    let name = p.data.db.table(p.data.actor).row(keybridge::relstore::RowId(0))[1]
+        .as_text()
+        .unwrap()
+        .to_owned();
+    let surname = name.split(' ').nth(1).unwrap();
+    let query = KeywordQuery::parse(p.index.tokenizer(), surname);
+    let ranked = interp.ranked_interpretations(&query);
+    assert!(!ranked.is_empty(), "no interpretations for {surname}");
+
+    // Every interpretation is complete, minimal, and renderable; the most
+    // probable one returns results.
+    for s in &ranked {
+        assert!(s.interpretation.is_complete(&query));
+        assert!(s.interpretation.is_minimal(&p.catalog));
+        assert!(!render_natural(&p.data.db, &p.catalog, &s.interpretation).is_empty());
+        assert!(render_sql(&p.data.db, &p.catalog, &s.interpretation).starts_with("SELECT"));
+    }
+    let top = execute_interpretation(
+        &p.data.db,
+        &p.index,
+        &p.catalog,
+        &ranked[0].interpretation,
+        ExecOptions::default(),
+    )
+    .expect("execution succeeds");
+    assert!(!top.is_empty(), "top interpretation returned no results");
+}
+
+#[test]
+fn workload_construction_always_retains_intent() {
+    let p = pipeline();
+    let interp = Interpreter::new(
+        &p.data.db,
+        &p.index,
+        &p.catalog,
+        InterpreterConfig::default(),
+    );
+    let workload = Workload::imdb(
+        &p.data,
+        WorkloadConfig {
+            seed: 123,
+            n_queries: 30,
+            mc_fraction: 0.5,
+        },
+    );
+    let mut evaluated = 0;
+    for q in &workload.queries {
+        let query = KeywordQuery::from_terms(q.keywords.clone());
+        let ranked = interp.ranked_interpretations(&query);
+        let user = SimulatedUser {
+            db: &p.data.db,
+            catalog: &p.catalog,
+            intent: keybridge::core::IntentDescription {
+                bindings: q
+                    .intent
+                    .bindings
+                    .iter()
+                    .map(|b| (b.keywords.clone(), b.table.clone(), b.attr.clone()))
+                    .collect(),
+                tables: q.intent.tables.clone(),
+            },
+        };
+        if let Some(outcome) = user.run(&ranked, SessionConfig::default()) {
+            assert!(outcome.target_retained, "lost intent for {:?}", q.keywords);
+            evaluated += 1;
+        }
+    }
+    assert!(evaluated >= 10, "too few evaluable queries: {evaluated}");
+}
+
+#[test]
+fn diversified_results_cover_more_tuples() {
+    let p = pipeline();
+    let interp = Interpreter::new(
+        &p.data.db,
+        &p.index,
+        &p.catalog,
+        InterpreterConfig::default(),
+    );
+    // A common first name is maximally ambiguous.
+    let query = KeywordQuery::from_terms(vec!["tom".into()]);
+    let mut ranked = interp.ranked_interpretations(&query);
+    ranked.truncate(25);
+    if ranked.len() < 6 {
+        return; // not enough ambiguity at tiny scale
+    }
+    let items: Vec<DivItem> = ranked
+        .iter()
+        .map(|s| DivItem {
+            relevance: s.probability,
+            atoms: s.interpretation.atoms(&p.catalog).into_iter().collect(),
+        })
+        .collect();
+    let k = 5;
+    let div = diversify(&items, DiversifyConfig { lambda: 0.1, k });
+
+    let keys_of = |idx: usize| {
+        execute_interpretation(
+            &p.data.db,
+            &p.index,
+            &p.catalog,
+            &ranked[idx].interpretation,
+            ExecOptions::default(),
+        )
+        .map(|r| r.keys)
+        .unwrap_or_default()
+    };
+    let mut rank_cover = std::collections::BTreeSet::new();
+    for i in 0..k {
+        rank_cover.extend(keys_of(i));
+    }
+    let mut div_cover = std::collections::BTreeSet::new();
+    for &i in &div {
+        div_cover.extend(keys_of(i));
+    }
+    // Diversification must not cover fewer distinct tuples.
+    assert!(
+        div_cover.len() >= rank_cover.len(),
+        "diversified coverage {} < ranked coverage {}",
+        div_cover.len(),
+        rank_cover.len()
+    );
+}
+
+#[test]
+fn freebase_ontology_beats_plain_options() {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 12,
+        types_per_domain: 8,
+        topics: 1500,
+        rows_per_table: 20,
+        seed: 77,
+    })
+    .unwrap();
+    let index = InvertedIndex::build(&fb.db);
+    let domains: Vec<(String, Vec<TableId>)> = fb
+        .domains
+        .iter()
+        .map(|d| (d.name.clone(), d.tables.clone()))
+        .collect();
+    let ontology = SchemaOntology::from_domains(&domains);
+
+    // The most widespread keyword.
+    let mut best = (String::new(), 0usize);
+    for (_, row) in fb.db.table(fb.topic).rows().take(300) {
+        for tok in row[1].as_text().unwrap_or("").split(' ') {
+            let n = index.attrs_containing(tok).len();
+            if n > best.1 {
+                best = (tok.to_owned(), n);
+            }
+        }
+    }
+    let query = KeywordQuery::from_terms(vec![best.0.clone(), best.0]);
+    let explorer = LazyExplorer::new(&fb.db, &index, TraversalConfig::default());
+    let tops = explorer.top_interpretations(&query);
+    if tops.len() < 20 {
+        return;
+    }
+    let target: Vec<TableId> = tops[tops.len() - 1].bindings.iter().map(|a| a.table).collect();
+    let plain = FreeQSession::new(None, tops.clone(), FreeQSessionConfig::default())
+        .run_with_target(&target)
+        .unwrap();
+    let onto = FreeQSession::new(Some(&ontology), tops, FreeQSessionConfig::default())
+        .run_with_target(&target)
+        .unwrap();
+    assert!(plain.target_retained && onto.target_retained);
+    assert!(
+        onto.steps <= plain.steps,
+        "ontology {} > plain {}",
+        onto.steps,
+        plain.steps
+    );
+}
+
+#[test]
+fn yago_matching_recovers_gold_end_to_end() {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 10,
+        types_per_domain: 6,
+        topics: 1200,
+        rows_per_table: 20,
+        seed: 31,
+    })
+    .unwrap();
+    let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);
+    let matches = match_categories(&yago, &fb, MatchConfig::default());
+    let quality = evaluate_matching(&matches, &yago.gold);
+    assert!(quality.precision > 0.6, "precision {quality:?}");
+    assert!(quality.recall > 0.4, "recall {quality:?}");
+    let yf = combine(&matches);
+    let stats = yf.stats(&yago, &fb);
+    assert_eq!(stats.matched_categories, matches.len());
+    assert!(stats.covered_instances > 0);
+}

@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use keybridge::core::ProbabilityModel;
+use keybridge::divq::{alpha_ndcg_w, diversify, jaccard, ws_recall, DivItem, EvalItem};
+use keybridge::index::Tokenizer;
+use keybridge::iqp::{brute_force_plan, greedy_plan, plan_cost, PlanProblem};
+use keybridge::relstore::{AttrId, AttrRef, TableId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arbitrary_atoms() -> impl Strategy<Value = BTreeSet<keybridge::core::BindingAtom>> {
+    proptest::collection::btree_set(
+        (0u32..6, 0u32..4, 0usize..5).prop_map(|(t, a, k)| keybridge::core::BindingAtom {
+            keyword: format!("k{k}"),
+            kind: keybridge::core::BindingAtomKind::Value,
+            attr: AttrRef {
+                table: TableId(t),
+                attr: AttrId(a),
+            },
+        }),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tokenizer_output_is_lowercase_alnum(input in ".{0,120}") {
+        let t = Tokenizer::keep_all();
+        for tok in t.tokenize(&input) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(char::is_alphanumeric), "{tok}");
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn tokenizer_idempotent_on_own_output(input in ".{0,120}") {
+        let t = Tokenizer::new();
+        let once = t.tokenize(&input);
+        let twice = t.tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalize_is_distribution(logs in proptest::collection::vec(-500.0f64..0.0, 1..40)) {
+        let probs = ProbabilityModel::normalize(&logs);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for p in &probs {
+            prop_assert!((0.0..=1.0).contains(p));
+        }
+        // Order-preserving: higher log-score => no lower probability.
+        for i in 0..logs.len() {
+            for j in 0..logs.len() {
+                if logs[i] > logs[j] {
+                    prop_assert!(probs[i] >= probs[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in arbitrary_atoms(), b in arbitrary_atoms()) {
+        let s = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, jaccard(&b, &a));
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn diversify_is_permutation_prefix(
+        rels in proptest::collection::vec(0.001f64..1.0, 1..20),
+        k in 1usize..25,
+    ) {
+        let mut items: Vec<DivItem> = rels
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| DivItem {
+                relevance: r,
+                atoms: [keybridge::core::BindingAtom {
+                    keyword: format!("k{}", i % 4),
+                    kind: keybridge::core::BindingAtomKind::Value,
+                    attr: AttrRef { table: TableId((i % 5) as u32), attr: AttrId(0) },
+                }]
+                .into_iter()
+                .collect(),
+            })
+            .collect();
+        items.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).unwrap());
+        let sel = diversify(&items, keybridge::divq::DiversifyConfig { lambda: 0.3, k });
+        // Selection size, uniqueness, and range.
+        prop_assert_eq!(sel.len(), k.min(items.len()));
+        let distinct: BTreeSet<_> = sel.iter().collect();
+        prop_assert_eq!(distinct.len(), sel.len());
+        prop_assert!(sel.iter().all(|&i| i < items.len()));
+        // The most relevant item always leads.
+        prop_assert_eq!(sel[0], 0);
+    }
+
+    #[test]
+    fn metrics_bounded(
+        rels in proptest::collection::vec(0.0f64..1.0, 1..12),
+        keysets in proptest::collection::vec(proptest::collection::btree_set(0i64..30, 0..8), 1..12),
+    ) {
+        let n = rels.len().min(keysets.len());
+        let pool: Vec<EvalItem> = (0..n)
+            .map(|i| EvalItem {
+                relevance: rels[i],
+                keys: keysets[i]
+                    .iter()
+                    .map(|&pk| keybridge::core::ResultKey { table: TableId(0), pk })
+                    .collect(),
+            })
+            .collect();
+        for alpha in [0.0, 0.5, 0.99] {
+            for v in alpha_ndcg_w(&pool, &pool, alpha, 10) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "ndcg {v}");
+            }
+        }
+        let recall = ws_recall(&pool, &pool, 10);
+        for w in recall.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "ws-recall not monotone");
+        }
+        prop_assert!(recall.last().copied().unwrap_or(0.0) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn greedy_plan_never_beats_optimal(
+        m in 4usize..12,
+        n in 2usize..7,
+        seed in 0u64..500,
+    ) {
+        let p = PlanProblem::random(m, n, seed);
+        let (bf_plan, bf) = brute_force_plan(&p);
+        let (greedy_tree, gr) = greedy_plan(&p);
+        prop_assert!(gr + 1e-9 >= bf, "greedy {gr} < optimal {bf}");
+        // Costs agree with the standalone evaluator.
+        prop_assert!((plan_cost(&p, &bf_plan) - bf).abs() < 1e-9);
+        prop_assert!((plan_cost(&p, &greedy_tree) - gr).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine- and statistics-level invariants.
+// ---------------------------------------------------------------------------
+
+use keybridge::index::InvertedIndex;
+use keybridge::relstore::{Database, SchemaBuilder, TableKind, Value};
+
+fn tiny_db(names: &[String]) -> Database {
+    let mut b = SchemaBuilder::new();
+    b.table("t", TableKind::Entity).pk("id").text_attr("name");
+    let mut db = Database::new(b.finish().expect("valid schema"));
+    let t = db.schema().table_id("t").expect("declared");
+    for (i, n) in names.iter().enumerate() {
+        db.insert(t, vec![Value::Int(i as i64), Value::text(n.clone())])
+            .expect("insert succeeds");
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pk_lookup_roundtrip(names in proptest::collection::vec("[a-z ]{0,24}", 1..30)) {
+        let db = tiny_db(&names);
+        let t = db.schema().table_id("t").unwrap();
+        prop_assert_eq!(db.table(t).len(), names.len());
+        for i in 0..names.len() {
+            let row = db.table(t).by_pk(i as i64).expect("pk present");
+            prop_assert_eq!(db.pk_value(t, row), i as i64);
+            prop_assert_eq!(
+                db.table(t).row(row)[1].as_text().unwrap(),
+                names[i].as_str()
+            );
+        }
+        prop_assert!(db.table(t).by_pk(names.len() as i64 + 7).is_none());
+    }
+
+    #[test]
+    fn atf_is_probability_and_joint_bounded(
+        names in proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,2}", 2..25),
+    ) {
+        let db = tiny_db(&names);
+        let idx = InvertedIndex::build(&db);
+        let attr = db.schema().resolve("t", "name").unwrap();
+        let stats = idx.attr_stats(attr);
+        if stats.total_tokens == 0 {
+            return Ok(());
+        }
+        // ATF of every seen term lies in (0, 1] and joint ATF of any pair
+        // never exceeds either marginal (co-occurrence is rarer than
+        // occurrence, up to the shared smoothing term).
+        let terms: Vec<String> = names
+            .iter()
+            .flat_map(|n| n.split(' ').map(str::to_owned))
+            .take(12)
+            .collect();
+        for a in &terms {
+            let atf = idx.atf(a, attr, 1.0);
+            prop_assert!(atf > 0.0 && atf <= 1.0, "atf {atf}");
+            for b in &terms {
+                if a == b {
+                    continue;
+                }
+                let joint = idx.joint_atf(&[a.clone(), b.clone()], attr, 1.0);
+                prop_assert!(joint <= idx.atf(a, attr, 1.0) + 1e-12);
+                prop_assert!(joint <= idx.atf(b, attr, 1.0) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_with_all_is_intersection(
+        names in proptest::collection::vec("[a-c]{1,2}( [a-c]{1,2}){0,2}", 2..20),
+    ) {
+        let db = tiny_db(&names);
+        let idx = InvertedIndex::build(&db);
+        let attr = db.schema().resolve("t", "name").unwrap();
+        for a in ["a", "b", "ab"] {
+            for b in ["c", "ba", "a"] {
+                let both = idx.rows_with_all(&[a.to_owned(), b.to_owned()], attr);
+                let only_a = idx.rows_with_all(&[a.to_owned()], attr);
+                let only_b = idx.rows_with_all(&[b.to_owned()], attr);
+                for r in &both {
+                    prop_assert!(only_a.contains(r) && only_b.contains(r));
+                }
+                prop_assert!(both.len() <= only_a.len().min(only_b.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn nary_round_trip_preserves_plans(m in 4usize..12, n in 2usize..6, seed in 0u64..200) {
+        let p = PlanProblem::random(m, n, seed);
+        let (plan, cost) = greedy_plan(&p);
+        let back = keybridge::iqp::to_binary(&keybridge::iqp::to_nary(&plan));
+        prop_assert_eq!(&back, &plan);
+        prop_assert!((plan_cost(&p, &back) - cost).abs() < 1e-12);
+    }
+}
