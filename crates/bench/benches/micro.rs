@@ -41,6 +41,40 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| interpreter.ranked_interpretations(&query))
     });
 
+    c.bench_function("top10_best_first_2kw", |b| {
+        b.iter(|| interpreter.top_k_complete(&query, 10))
+    });
+
+    // The headline comparison: a 4-keyword query with partial
+    // interpretations enabled — the exhaustive pipeline re-enumerates every
+    // keyword subset (2^4 passes), best-first folds the lattice into one
+    // search. Also report how many interpretations each side materializes.
+    let query4 = KeywordQuery::from_terms(vec![
+        "hanks".into(),
+        "terminal".into(),
+        "actor".into(),
+        "movie".into(),
+    ]);
+    c.bench_function("partials_exhaustive_4kw", |b| {
+        b.iter(|| interpreter.ranked_with_partials(&query4))
+    });
+    c.bench_function("partials_top10_best_first_4kw", |b| {
+        b.iter(|| interpreter.top_k(&query4, 10))
+    });
+    {
+        let exhaustive = interpreter.ranked_with_partials(&query4).len();
+        let (_, stats) = interpreter.top_k_with_stats(&query4, 10, true);
+        println!(
+            "4kw partials: exhaustive materialized {exhaustive}, best-first {} \
+             ({} expanded, {} pruned, {}/{} non-emptiness probes cached)",
+            stats.materialized,
+            stats.expanded,
+            stats.pruned,
+            stats.nonempty_cache_hits,
+            stats.nonempty_cache_hits + stats.nonempty_probes,
+        );
+    }
+
     // Ablation: ATF scoring vs SQAK TF-IDF scoring over the same space.
     let model = ProbabilityModel::new(
         &data.db,

@@ -1,0 +1,131 @@
+//! Smoke benchmark: candidate-generation throughput of the exhaustive
+//! pipeline vs. the best-first top-k generator, on the default IMDB
+//! fixture. Intended for CI (`--smoke`) and for refreshing the
+//! `BENCH_baseline.json` snapshot future PRs diff against.
+//!
+//! ```text
+//! cargo run --release -p keybridge-bench --bin smoke -- --smoke
+//! cargo run --release -p keybridge-bench --bin smoke -- --out BENCH_baseline.json
+//! ```
+//!
+//! Counts (spaces, materializations, prunes) are deterministic per seed;
+//! wall-clock numbers depend on the machine and are recorded for trend
+//! spotting only.
+
+use keybridge_core::{Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog};
+use keybridge_datagen::{ImdbConfig, ImdbDataset};
+use keybridge_index::InvertedIndex;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `f` over `runs` runs (after one warm-up).
+fn time<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {} // default behavior; flag kept for CI readability
+            "--out" => {
+                out_path = args.get(i + 1).cloned();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("building IMDB fixture…");
+    let data = ImdbDataset::generate(ImdbConfig::default()).expect("generation succeeds");
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
+    let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+    println!(
+        "  {} templates, {} index terms",
+        catalog.len(),
+        index.term_count()
+    );
+
+    // The acceptance scenario: a 4-keyword query with partials enabled.
+    let query4 = KeywordQuery::from_terms(vec![
+        "hanks".into(),
+        "terminal".into(),
+        "actor".into(),
+        "movie".into(),
+    ]);
+    let k = 10;
+
+    let exhaustive_len = interpreter.ranked_with_partials(&query4).len();
+    let (topk, stats) = interpreter.top_k_with_stats(&query4, k, true);
+    let t_exhaustive = time(5, || interpreter.ranked_with_partials(&query4));
+    let t_topk = time(5, || interpreter.top_k(&query4, k));
+
+    // Throughput of complete-only generation over a 2-keyword query — the
+    // "candidate-generation throughput" headline number.
+    let query2 = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
+    let t_rank2 = time(10, || interpreter.ranked_interpretations(&query2));
+    let space2 = interpreter.ranked_interpretations(&query2).len();
+    let t_top2 = time(10, || interpreter.top_k_complete(&query2, k));
+
+    let speedup = t_exhaustive / t_topk.max(1e-12);
+    let mat_ratio = exhaustive_len as f64 / (stats.materialized.max(1)) as f64;
+    println!("\n== candidate generation (4 keywords, partials) ==");
+    println!("  exhaustive : {exhaustive_len} interpretations in {:.2} ms", t_exhaustive * 1e3);
+    println!(
+        "  best-first : top {} of that space in {:.2} ms ({} materialized, {} expanded, {} pruned)",
+        topk.len(),
+        t_topk * 1e3,
+        stats.materialized,
+        stats.expanded,
+        stats.pruned,
+    );
+    println!("  speedup    : {speedup:.1}x wall-clock, {mat_ratio:.1}x fewer materializations");
+    println!("\n== complete-only generation (2 keywords) ==");
+    println!(
+        "  exhaustive : {space2} interpretations in {:.2} ms ({:.0} interpretations/s)",
+        t_rank2 * 1e3,
+        space2 as f64 / t_rank2.max(1e-12),
+    );
+    println!("  best-first : top {k} in {:.2} ms", t_top2 * 1e3);
+
+    if stats.materialized * 5 > exhaustive_len && speedup < 2.0 {
+        eprintln!(
+            "SMOKE FAIL: neither 5x fewer materializations ({mat_ratio:.1}x) \
+             nor 2x wall-clock ({speedup:.1}x)"
+        );
+        std::process::exit(1);
+    }
+    println!("\nSMOKE OK");
+
+    if let Some(path) = out_path {
+        let json = format!(
+            "{{\n  \"fixture\": \"imdb-default\",\n  \"query4\": \"hanks terminal actor movie\",\n  \"k\": {k},\n  \"exhaustive_candidates\": {exhaustive_len},\n  \"best_first_materialized\": {},\n  \"best_first_expanded\": {},\n  \"best_first_pruned\": {},\n  \"nonempty_probes\": {},\n  \"nonempty_cache_hits\": {},\n  \"complete_space_2kw\": {space2},\n  \"wall_clock_ms\": {{\n    \"exhaustive_partials_4kw\": {:.3},\n    \"top10_partials_4kw\": {:.3},\n    \"exhaustive_complete_2kw\": {:.3},\n    \"top10_complete_2kw\": {:.3}\n  }}\n}}\n",
+            stats.materialized,
+            stats.expanded,
+            stats.pruned,
+            stats.nonempty_probes,
+            stats.nonempty_cache_hits,
+            t_exhaustive * 1e3,
+            t_topk * 1e3,
+            t_rank2 * 1e3,
+            t_top2 * 1e3,
+        );
+        std::fs::write(&path, json).expect("write baseline");
+        println!("baseline written to {path}");
+    }
+}

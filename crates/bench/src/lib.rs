@@ -324,8 +324,9 @@ pub fn ch4_data(
     assess_seed: u64,
 ) -> Option<Ch4Data> {
     let query = KeywordQuery::from_terms(q.keywords.clone());
-    // The DivQ pool: complete AND partial interpretations (§4.4.2).
-    let ranked = interpreter.ranked_with_partials(&query);
+    // The DivQ pool: the top complete AND partial interpretations (§4.4.2),
+    // produced best-first — the exhaustive lattice is never materialized.
+    let ranked = interpreter.top_k(&query, top);
     let mut probs = Vec::new();
     let mut atoms = Vec::new();
     let mut keys = Vec::new();

@@ -3,11 +3,24 @@
 
 use crate::interp::{BindingTarget, KeywordBinding, QueryInterpretation};
 use crate::keyword::KeywordQuery;
-use crate::prob::{ProbabilityConfig, ProbabilityModel, TemplatePrior};
+use crate::prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 use crate::template::TemplateCatalog;
 use keybridge_index::{InvertedIndex, SchemaTarget};
-use keybridge_relstore::{AttrRef, Database};
-use std::collections::{HashMap, HashSet};
+use keybridge_relstore::{AttrRef, Database, TableId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// How the interpreter produces its ranked candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GenerationStrategy {
+    /// Score-guided best-first search emitting interpretations best-first
+    /// and stopping once the k-th best is provably found. The default.
+    #[default]
+    BestFirst,
+    /// Enumerate every interpretation, score all, sort — the original
+    /// exhaustive pipeline, retained as the correctness oracle.
+    Exhaustive,
+}
 
 /// Generation and scoring knobs.
 #[derive(Debug, Clone)]
@@ -25,6 +38,8 @@ pub struct InterpreterConfig {
     pub prob: ProbabilityConfig,
     /// Template prior.
     pub prior: TemplatePrior,
+    /// Candidate-generation strategy for the `top_k` entry points.
+    pub strategy: GenerationStrategy,
 }
 
 impl Default for InterpreterConfig {
@@ -35,8 +50,30 @@ impl Default for InterpreterConfig {
             allow_schema_bindings: true,
             prob: ProbabilityConfig::default(),
             prior: TemplatePrior::Uniform,
+            strategy: GenerationStrategy::default(),
         }
     }
+}
+
+/// Counters describing one generation run, for benches and regression
+/// assertions (the exhaustive pipeline materializes the whole candidate
+/// space; best-first should materialize barely more than `k`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenerationStats {
+    /// Complete interpretations actually constructed (grouped, hashed).
+    pub materialized: usize,
+    /// Search states expanded (popped with unassigned occurrences left).
+    pub expanded: usize,
+    /// Search states pushed onto the frontier.
+    pub pushed: usize,
+    /// Children cut by the k-th-best bound before being pushed.
+    pub pruned: usize,
+    /// Non-emptiness probes issued against the index.
+    pub nonempty_probes: usize,
+    /// Probes answered by the memo cache.
+    pub nonempty_cache_hits: usize,
+    /// Interpretations returned.
+    pub emitted: usize,
 }
 
 /// An interpretation with its score under the probability model.
@@ -85,8 +122,9 @@ impl<'a> Interpreter<'a> {
         &self.config
     }
 
-    /// The template catalog in use.
-    pub fn catalog(&self) -> &TemplateCatalog {
+    /// The template catalog in use (borrowed for the catalog's own
+    /// lifetime, so results can outlive the interpreter).
+    pub fn catalog(&self) -> &'a TemplateCatalog {
         self.catalog
     }
 
@@ -96,7 +134,7 @@ impl<'a> Interpreter<'a> {
         for term in query.distinct_terms() {
             let mut cands = Vec::new();
             for attr in self.index.attrs_containing(term) {
-                cands.push(TermCandidate::Value(attr));
+                cands.push(TermCandidate::Value(*attr));
             }
             if self.config.allow_schema_bindings {
                 for m in self.index.schema_matches(term) {
@@ -132,26 +170,7 @@ impl<'a> Interpreter<'a> {
             // Localize candidates to template nodes.
             let mut local: Vec<Vec<BindingTarget>> = Vec::with_capacity(terms.len());
             for term in terms {
-                let mut targets = Vec::new();
-                for cand in &candidates[term.as_str()] {
-                    match cand {
-                        TermCandidate::Value(a) => {
-                            for node in tpl.nodes_of_table(a.table) {
-                                targets.push(BindingTarget::Value { node, attr: a.attr });
-                            }
-                        }
-                        TermCandidate::TableName(t) => {
-                            for node in tpl.nodes_of_table(*t) {
-                                targets.push(BindingTarget::TableName { node });
-                            }
-                        }
-                        TermCandidate::AttrName(a) => {
-                            for node in tpl.nodes_of_table(a.table) {
-                                targets.push(BindingTarget::AttrName { node, attr: a.attr });
-                            }
-                        }
-                    }
-                }
+                let targets = localize_candidates(&candidates[term.as_str()], tpl);
                 if targets.is_empty() {
                     continue 'template; // term uninterpretable here
                 }
@@ -323,6 +342,552 @@ impl<'a> Interpreter<'a> {
         });
         scored
     }
+
+    // -----------------------------------------------------------------
+    // Score-guided top-k generation.
+    // -----------------------------------------------------------------
+
+    /// The top `k` interpretations of `query` — complete *and* partial, the
+    /// DivQ candidate pool — identical in content, score, and order to the
+    /// first `k` of [`Self::ranked_with_partials`], but produced by
+    /// best-first search over partial keyword assignments instead of
+    /// enumerate-all-then-sort. Probabilities are normalized over the
+    /// returned list (the exhaustive paths normalize over the whole
+    /// candidate space, which `top_k` never materializes).
+    ///
+    /// Unlike `ranked_with_partials`, there is no query-length ceiling: the
+    /// partials lattice is folded into the search as an extra "unmapped
+    /// (charged `P_u`)" branch per keyword, not a `2^n` subset sweep.
+    pub fn top_k(&self, query: &KeywordQuery, k: usize) -> Vec<ScoredInterpretation> {
+        self.top_k_with_stats(query, k, true).0
+    }
+
+    /// The top `k` *complete* interpretations — the first `k` of
+    /// [`Self::ranked_interpretations`], best-first.
+    pub fn top_k_complete(&self, query: &KeywordQuery, k: usize) -> Vec<ScoredInterpretation> {
+        self.top_k_with_stats(query, k, false).0
+    }
+
+    /// [`Self::top_k`] / [`Self::top_k_complete`] with search counters.
+    /// Obeys `config.strategy`: under
+    /// [`GenerationStrategy::Exhaustive`] the original pipeline runs and is
+    /// truncated, serving as the correctness oracle for the best-first path.
+    pub fn top_k_with_stats(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        include_partials: bool,
+    ) -> (Vec<ScoredInterpretation>, GenerationStats) {
+        if k == 0 || query.is_empty() {
+            return (Vec::new(), GenerationStats::default());
+        }
+        match self.config.strategy {
+            GenerationStrategy::Exhaustive => {
+                let ranked = if include_partials {
+                    self.ranked_with_partials(query)
+                } else {
+                    self.ranked_interpretations(query)
+                };
+                let stats = GenerationStats {
+                    materialized: ranked.len(),
+                    emitted: ranked.len().min(k),
+                    ..Default::default()
+                };
+                (Self::renormalized_prefix(ranked, k), stats)
+            }
+            GenerationStrategy::BestFirst => self.best_first_top_k(query, k, include_partials),
+        }
+    }
+
+    /// Truncate a ranked list to `k` and renormalize probabilities over the
+    /// survivors, so both strategies report the same distribution shape.
+    fn renormalized_prefix(
+        mut ranked: Vec<ScoredInterpretation>,
+        k: usize,
+    ) -> Vec<ScoredInterpretation> {
+        ranked.truncate(k);
+        let logs: Vec<f64> = ranked.iter().map(|s| s.log_score).collect();
+        let probs = ProbabilityModel::normalize(&logs);
+        for (s, p) in ranked.iter_mut().zip(probs) {
+            s.probability = p;
+        }
+        ranked
+    }
+
+    fn best_first_top_k(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        include_partials: bool,
+    ) -> (Vec<ScoredInterpretation>, GenerationStats) {
+        let terms = query.terms();
+        let n = terms.len();
+        if n > 63 {
+            // Occurrence bitmasks are u64; queries this long are beyond any
+            // workload in the paper. Fall back to the exhaustive pipeline.
+            let ranked = self.ranked_interpretations(query);
+            let stats = GenerationStats {
+                materialized: ranked.len(),
+                emitted: ranked.len().min(k),
+                ..Default::default()
+            };
+            return (Self::renormalized_prefix(ranked, k), stats);
+        }
+        let candidates = self.term_candidates(query);
+        // Per-occurrence candidate views for the incremental scorer.
+        let mut value_attrs: Vec<Vec<AttrRef>> = Vec::with_capacity(n);
+        let mut name_tables: Vec<Vec<TableId>> = Vec::with_capacity(n);
+        for t in terms {
+            let cands = &candidates[t.as_str()];
+            value_attrs.push(
+                cands
+                    .iter()
+                    .filter_map(|c| match c {
+                        TermCandidate::Value(a) => Some(*a),
+                        _ => None,
+                    })
+                    .collect(),
+            );
+            let mut tabs: Vec<TableId> = cands
+                .iter()
+                .filter_map(|c| match c {
+                    TermCandidate::TableName(t) => Some(*t),
+                    TermCandidate::AttrName(a) => Some(a.table),
+                    TermCandidate::Value(_) => None,
+                })
+                .collect();
+            tabs.sort();
+            tabs.dedup();
+            name_tables.push(tabs);
+        }
+        let model = ProbabilityModel::new(
+            self.db,
+            self.index,
+            self.catalog,
+            self.config.prior.clone(),
+            self.config.prob,
+        );
+        let scorer = model.incremental(terms, &value_attrs, &name_tables, include_partials);
+
+        let mut search = BestFirstSearch {
+            interpreter: self,
+            model: &model,
+            scorer: &scorer,
+            terms,
+            candidates: &candidates,
+            k,
+            heap: BinaryHeap::new(),
+            tpls: HashMap::new(),
+            emitted: HashSet::new(),
+            buffer: Vec::new(),
+            top_scores: BinaryHeap::new(),
+            nonempty: HashMap::new(),
+            stats: GenerationStats::default(),
+        };
+        search.seed_roots();
+        search.run();
+        search.finish()
+    }
+}
+
+/// Localize schema-level term candidates to the node occurrences of one
+/// template — the single definition of binding semantics, shared by the
+/// exhaustive enumerator and the best-first search so the two strategies
+/// cannot drift apart.
+fn localize_candidates(
+    candidates: &[TermCandidate],
+    tpl: &crate::template::QueryTemplate,
+) -> Vec<BindingTarget> {
+    let mut targets = Vec::new();
+    for cand in candidates {
+        match cand {
+            TermCandidate::Value(a) => {
+                for &node in tpl.nodes_of_table(a.table) {
+                    targets.push(BindingTarget::Value { node, attr: a.attr });
+                }
+            }
+            TermCandidate::TableName(t) => {
+                for &node in tpl.nodes_of_table(*t) {
+                    targets.push(BindingTarget::TableName { node });
+                }
+            }
+            TermCandidate::AttrName(a) => {
+                for &node in tpl.nodes_of_table(a.table) {
+                    targets.push(BindingTarget::AttrName { node, attr: a.attr });
+                }
+            }
+        }
+    }
+    targets
+}
+
+/// Float-tolerance margin absorbing associativity drift between the
+/// incrementally maintained prefix score and the freshly computed
+/// `log_score` of an emitted interpretation.
+const SCORE_EPS: f64 = 1e-9;
+
+/// A frontier state: template, the targets assigned to the first
+/// `assign.len()` keyword occurrences (`UNMAPPED` or an index into the
+/// template's per-occurrence target list), the exact prefix log-score of
+/// that assignment, and the admissible upper bound `ub` on any completion.
+#[derive(Debug, Clone)]
+struct SearchNode {
+    ub: f64,
+    prefix: f64,
+    tpl: crate::template::TemplateId,
+    assign: Vec<i32>,
+}
+
+const UNMAPPED: i32 = -1;
+
+impl PartialEq for SearchNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for SearchNode {}
+impl PartialOrd for SearchNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SearchNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the bound; ties break deterministically, preferring
+        // deeper states (drives completions out early) then canonical ids.
+        self.ub
+            .total_cmp(&other.ub)
+            .then_with(|| self.assign.len().cmp(&other.assign.len()))
+            .then_with(|| other.tpl.cmp(&self.tpl))
+            .then_with(|| other.assign.cmp(&self.assign))
+    }
+}
+
+/// Localized search data of one template: per-occurrence binding targets
+/// and suffix bound sums.
+struct TplData {
+    targets: Vec<Vec<BindingTarget>>,
+    suffix: Vec<f64>,
+}
+
+/// `f64` with total order, for the k-th-best min-heap.
+#[derive(PartialEq)]
+struct Score(f64);
+impl Eq for Score {}
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct BestFirstSearch<'s, 'a> {
+    interpreter: &'s Interpreter<'a>,
+    model: &'s ProbabilityModel<'a>,
+    scorer: &'s IncrementalScorer<'a, 's>,
+    terms: &'s [String],
+    candidates: &'s HashMap<String, Vec<TermCandidate>>,
+    k: usize,
+    heap: BinaryHeap<SearchNode>,
+    tpls: HashMap<crate::template::TemplateId, TplData>,
+    emitted: HashSet<QueryInterpretation>,
+    buffer: Vec<(QueryInterpretation, f64)>,
+    /// Min-heap of the k best exact scores seen so far.
+    top_scores: BinaryHeap<std::cmp::Reverse<Score>>,
+    /// Memoized non-emptiness probes of a keyword bag against an
+    /// attribute. The bag is encoded as its occurrence bitmask (fixed
+    /// per query), so cache hits are allocation-free; duplicate keywords
+    /// at different positions probe the index once each, which is the
+    /// only sharing the mask encoding gives up.
+    nonempty: HashMap<(u64, AttrRef), bool>,
+    stats: GenerationStats,
+}
+
+impl<'s, 'a> BestFirstSearch<'s, 'a> {
+    /// The k-th best exact score buffered so far (`-inf` until `k` found):
+    /// the prune threshold.
+    fn threshold(&self) -> f64 {
+        if self.top_scores.len() >= self.k {
+            self.top_scores
+                .peek()
+                .map(|r| r.0 .0)
+                .unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Push one root state per template that can interpret the query.
+    fn seed_roots(&mut self) {
+        let n = self.terms.len();
+        let partials = self.scorer.allows_unmapped();
+        for tpl in self.interpreter.catalog.iter() {
+            // More leaves than keywords can never satisfy minimality
+            // (every leaf needs a binding; each keyword binds one node).
+            if tpl.leaves().len() > n {
+                continue;
+            }
+            let mut bound_sum = 0.0;
+            let mut targetable = 0usize;
+            for i in 0..n {
+                let b = self.scorer.term_bound(tpl, i);
+                bound_sum += b;
+                if self.scorer.has_target_in(tpl, i) {
+                    targetable += 1;
+                }
+            }
+            // A template is viable when every occurrence has a route and at
+            // least one can actually bind (all-unmapped emits nothing).
+            if !bound_sum.is_finite() || targetable == 0 {
+                continue;
+            }
+            if !partials && targetable < n {
+                continue;
+            }
+            let prior = self.scorer.ln_prior(tpl);
+            self.stats.pushed += 1;
+            self.heap.push(SearchNode {
+                ub: prior + bound_sum,
+                prefix: prior,
+                tpl: tpl.id,
+                assign: Vec::new(),
+            });
+        }
+    }
+
+    /// Localize term candidates to `tpl`'s nodes (memoized per template).
+    fn ensure_tpl_data(&mut self, id: crate::template::TemplateId) {
+        if self.tpls.contains_key(&id) {
+            return;
+        }
+        let tpl = self.interpreter.catalog.get(id);
+        let targets: Vec<Vec<BindingTarget>> = self
+            .terms
+            .iter()
+            .map(|term| localize_candidates(&self.candidates[term.as_str()], tpl))
+            .collect();
+        let suffix = self.scorer.suffix_bounds(tpl);
+        self.tpls.insert(id, TplData { targets, suffix });
+    }
+
+    /// Resolve the value-group mask of `target` within `assign` (bits of
+    /// earlier occurrences already bound to the same target).
+    fn group_mask(&self, data: &TplData, assign: &[i32], target: &BindingTarget) -> u64 {
+        let mut mask = 0u64;
+        for (p, &t) in assign.iter().enumerate() {
+            if t != UNMAPPED && &data.targets[p][t as usize] == target {
+                mask |= 1 << p;
+            }
+        }
+        mask
+    }
+
+    /// Memoized non-emptiness of a value group (keyword bag ⊂ attr).
+    fn group_nonempty(&mut self, mask: u64, aref: AttrRef) -> bool {
+        if let Some(&hit) = self.nonempty.get(&(mask, aref)) {
+            self.stats.nonempty_cache_hits += 1;
+            return hit;
+        }
+        self.stats.nonempty_probes += 1;
+        let kws: Vec<String> = (0..self.terms.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| self.terms[i].clone())
+            .collect();
+        let ok = self.interpreter.index.has_row_with_all(&kws, aref);
+        self.nonempty.insert((mask, aref), ok);
+        ok
+    }
+
+    /// Pop-expand until the k-th best is provably found.
+    fn run(&mut self) {
+        let n = self.terms.len();
+        while let Some(node) = self.heap.pop() {
+            if self.buffer.len() >= self.k && node.ub < self.threshold() - SCORE_EPS {
+                break;
+            }
+            if self.buffer.len() >= self.interpreter.config.max_interpretations {
+                break;
+            }
+            let depth = node.assign.len();
+            if depth == n {
+                self.materialize(&node);
+                continue;
+            }
+            self.expand(node);
+        }
+    }
+
+    /// Expand one frontier state over every option for the next occurrence.
+    fn expand(&mut self, node: SearchNode) {
+        self.stats.expanded += 1;
+        self.ensure_tpl_data(node.tpl);
+        let i = node.assign.len();
+        let n = self.terms.len();
+        let tpl = self.interpreter.catalog.get(node.tpl);
+        let require_nonempty = self.interpreter.config.require_nonempty_predicates;
+        // Bitmask of template nodes already carrying a binding, for the
+        // minimality-feasibility prune. Template trees are tiny in
+        // practice; the rare > 64-node template skips the prune (sound —
+        // it is only an optimization, minimality is checked at emission).
+        let prunable = tpl.tree.nodes.len() <= 64;
+        let bound_nodes: u64 = if prunable {
+            let data = &self.tpls[&node.tpl];
+            node.assign
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t != UNMAPPED)
+                .map(|(p, &t)| 1u64 << data.targets[p][t as usize].node())
+                .fold(0, |acc, b| acc | b)
+        } else {
+            0
+        };
+        // A child is viable only if the leaves still unbound after it can
+        // all be covered by the occurrences that remain.
+        let remaining_after = n - i - 1;
+        let feasible = |nodes_mask: u64| {
+            !prunable
+                || tpl
+                    .leaves()
+                    .iter()
+                    .filter(|&&l| nodes_mask & (1u64 << l) == 0)
+                    .count()
+                    <= remaining_after
+        };
+        // Collect child deltas first: the non-emptiness probes need
+        // `&mut self` while the template data stays borrowed otherwise.
+        // Each entry: (target index, score delta, value group mask + attr).
+        let mut children: Vec<(i32, f64, Option<(u64, AttrRef)>)> = Vec::new();
+        {
+            let data = &self.tpls[&node.tpl];
+            for (ti, target) in data.targets[i].iter().enumerate() {
+                if !feasible(bound_nodes | (1u64 << (target.node() & 63))) {
+                    self.stats.pruned += 1;
+                    continue;
+                }
+                let (delta, group) = match target {
+                    BindingTarget::Value { node: tnode, attr } => {
+                        let aref = AttrRef {
+                            table: tpl.tree.nodes[*tnode],
+                            attr: *attr,
+                        };
+                        let old_mask = self.group_mask(data, &node.assign, target);
+                        let new_mask = old_mask | (1 << i);
+                        let old_ln = if old_mask == 0 {
+                            0.0
+                        } else {
+                            self.scorer.value_group_ln(old_mask, aref)
+                        };
+                        (
+                            self.scorer.value_group_ln(new_mask, aref) - old_ln,
+                            Some((new_mask, aref)),
+                        )
+                    }
+                    BindingTarget::TableName { .. } | BindingTarget::AttrName { .. } => {
+                        (self.scorer.name_ln(), None)
+                    }
+                };
+                children.push((ti as i32, delta, group));
+            }
+        }
+        if self.scorer.allows_unmapped() && feasible(bound_nodes) {
+            children.push((UNMAPPED, self.scorer.unmapped_ln(), None));
+        }
+        for (ti, delta, group) in children {
+            // Prune empty value groups: every extension keeps the group,
+            // so no descendant can satisfy the non-emptiness condition.
+            if require_nonempty {
+                if let Some((mask, aref)) = group {
+                    if !self.group_nonempty(mask, aref) {
+                        continue;
+                    }
+                }
+            }
+            let prefix = node.prefix + delta;
+            let data = &self.tpls[&node.tpl];
+            let ub = prefix + data.suffix[i + 1];
+            if self.buffer.len() >= self.k && ub < self.threshold() - SCORE_EPS {
+                self.stats.pruned += 1;
+                continue;
+            }
+            let mut assign = node.assign.clone();
+            assign.push(ti);
+            self.stats.pushed += 1;
+            self.heap.push(SearchNode {
+                ub,
+                prefix,
+                tpl: node.tpl,
+                assign,
+            });
+        }
+    }
+
+    /// Turn a fully assigned state into a `QueryInterpretation`, apply the
+    /// emission filters (some binding, minimality, novelty), and buffer it
+    /// with its exact model score.
+    fn materialize(&mut self, node: &SearchNode) {
+        let data = &self.tpls[&node.tpl];
+        let mut groups: HashMap<BindingTarget, Vec<String>> = HashMap::new();
+        for (p, &t) in node.assign.iter().enumerate() {
+            if t != UNMAPPED {
+                groups
+                    .entry(data.targets[p][t as usize].clone())
+                    .or_default()
+                    .push(self.terms[p].clone());
+            }
+        }
+        if groups.is_empty() {
+            return; // all-unmapped: not an interpretation of any subset
+        }
+        self.stats.materialized += 1;
+        let bindings: Vec<KeywordBinding> = groups
+            .into_iter()
+            .map(|(target, keywords)| KeywordBinding { keywords, target })
+            .collect();
+        let interp = QueryInterpretation::new(node.tpl, bindings);
+        if !interp.is_minimal(self.interpreter.catalog) {
+            return;
+        }
+        if self.emitted.contains(&interp) {
+            return; // duplicate via permuted identical keywords
+        }
+        let exact = self.model.log_score(&interp, self.terms.len());
+        self.emitted.insert(interp.clone());
+        self.buffer.push((interp, exact));
+        self.top_scores.push(std::cmp::Reverse(Score(exact)));
+        if self.top_scores.len() > self.k {
+            self.top_scores.pop();
+        }
+    }
+
+    /// Sort the buffered candidates with the oracle's comparator, truncate
+    /// to `k`, and normalize probabilities over the survivors.
+    fn finish(mut self) -> (Vec<ScoredInterpretation>, GenerationStats) {
+        self.buffer.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.template.cmp(&b.0.template))
+                .then_with(|| a.0.bindings.cmp(&b.0.bindings))
+        });
+        self.buffer.truncate(self.k);
+        let logs: Vec<f64> = self.buffer.iter().map(|(_, l)| *l).collect();
+        let probs = ProbabilityModel::normalize(&logs);
+        let out: Vec<ScoredInterpretation> = self
+            .buffer
+            .into_iter()
+            .zip(probs)
+            .map(|((interpretation, log_score), probability)| ScoredInterpretation {
+                interpretation,
+                log_score,
+                probability,
+            })
+            .collect();
+        self.stats.emitted = out.len();
+        (out, self.stats)
+    }
 }
 
 #[cfg(test)]
@@ -493,6 +1058,163 @@ mod tests {
         crate::ProbabilityConfig {
             unmapped_prob: 1e-4,
             ..Default::default()
+        }
+    }
+
+    /// Compare a top-k result against the first `k` of an exhaustive
+    /// ranking: same interpretations, same order, same log-scores.
+    fn assert_matches_oracle(
+        got: &[ScoredInterpretation],
+        oracle: &[ScoredInterpretation],
+        k: usize,
+        context: &str,
+    ) {
+        let want: Vec<_> = oracle.iter().take(k).collect();
+        assert_eq!(got.len(), want.len(), "{context}: length");
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g.interpretation, w.interpretation,
+                "{context}: interpretation at rank {i}"
+            );
+            assert!(
+                (g.log_score - w.log_score).abs() < 1e-12,
+                "{context}: score at rank {i}: {} vs {}",
+                g.log_score,
+                w.log_score
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_matches_exhaustive_with_partials() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let cfg = InterpreterConfig {
+            prob: keybridge_core_test_unmapped(),
+            ..Default::default()
+        };
+        let interp = Interpreter::new(&f.data.db, &f.index, &f.catalog, cfg);
+        let oracle = interp.ranked_with_partials(&q);
+        assert!(!oracle.is_empty());
+        for k in [1, 3, 10, oracle.len(), oracle.len() + 50] {
+            let got = interp.top_k(&q, k);
+            assert_matches_oracle(&got, &oracle, k, &format!("partials k={k}"));
+        }
+    }
+
+    #[test]
+    fn top_k_complete_matches_exhaustive() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let oracle = interp.ranked_interpretations(&q);
+        assert!(!oracle.is_empty());
+        for k in [1, 5, oracle.len()] {
+            let got = interp.top_k_complete(&q, k);
+            assert_matches_oracle(&got, &oracle, k, &format!("complete k={k}"));
+        }
+    }
+
+    #[test]
+    fn top_k_matches_oracle_with_schema_bindings_and_duplicates() {
+        let f = fixture();
+        let (_, last) = first_actor_tokens(&f);
+        // "actor" binds as a table name; duplicated keyword exercises the
+        // permutation dedup in the lattice.
+        let q = KeywordQuery::from_terms(vec!["actor".into(), last.clone(), last]);
+        let cfg = InterpreterConfig {
+            prob: keybridge_core_test_unmapped(),
+            ..Default::default()
+        };
+        let interp = Interpreter::new(&f.data.db, &f.index, &f.catalog, cfg);
+        let oracle = interp.ranked_with_partials(&q);
+        let got = interp.top_k(&q, 15);
+        assert_matches_oracle(&got, &oracle, 15, "schema+dup");
+    }
+
+    #[test]
+    fn top_k_materializes_far_fewer_than_exhaustive() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        // Four keywords: the partials lattice is 2^4 subsets for the
+        // oracle but a single pass for the search.
+        let q = KeywordQuery::from_terms(vec![first, last, "actor".into(), "movie".into()]);
+        let cfg = InterpreterConfig {
+            prob: keybridge_core_test_unmapped(),
+            ..Default::default()
+        };
+        let interp = Interpreter::new(&f.data.db, &f.index, &f.catalog, cfg);
+        let exhaustive = interp.ranked_with_partials(&q);
+        let (got, stats) = interp.top_k_with_stats(&q, 10, true);
+        assert_matches_oracle(&got, &exhaustive, 10, "4-keyword partials");
+        assert!(
+            stats.materialized * 5 <= exhaustive.len(),
+            "best-first materialized {} of {} exhaustive candidates",
+            stats.materialized,
+            exhaustive.len()
+        );
+        assert!(stats.nonempty_cache_hits > 0, "memo cache never hit");
+        assert!(stats.pruned > 0, "bound never pruned");
+    }
+
+    #[test]
+    fn exhaustive_strategy_flag_is_the_oracle() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let best = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let exhaustive = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig {
+                strategy: GenerationStrategy::Exhaustive,
+                ..Default::default()
+            },
+        );
+        let a = best.top_k(&q, 7);
+        let b = exhaustive.top_k(&q, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interpretation, y.interpretation);
+            assert!((x.log_score - y.log_score).abs() < 1e-12);
+            assert!((x.probability - y.probability).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        assert!(interp.top_k(&KeywordQuery::from_terms(vec![]), 5).is_empty());
+        let (_, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![last]);
+        assert!(interp.top_k(&q, 0).is_empty());
+        assert!(interp
+            .top_k(&KeywordQuery::from_terms(vec!["zzzzqqqq".into()]), 5)
+            .is_empty());
+        // Probabilities over the returned list form a distribution.
+        let got = interp.top_k(&q, 5);
+        if !got.is_empty() {
+            let sum: f64 = got.iter().map(|s| s.probability).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
         }
     }
 

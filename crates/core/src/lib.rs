@@ -13,6 +13,10 @@
 //! 3. [`Interpreter`] — generates [`QueryInterpretation`]s: assignments of
 //!    every keyword to a template element (value predicate, table name, or
 //!    attribute name) satisfying uniqueness and minimality (Def. 3.5.4).
+//!    `Interpreter::top_k` emits the best k interpretations (complete and
+//!    partial) by best-first search guided by [`IncrementalScorer`], never
+//!    materializing the full space; the exhaustive enumerate-then-rank
+//!    pipeline stays available as [`GenerationStrategy::Exhaustive`].
 //! 4. [`ProbabilityModel`] — the probabilistic interpretation model
 //!    (Eqs. 3.5–3.8) with the DivQ refinements (joint ATF, unmapped-keyword
 //!    smoothing; Eq. 4.2), plus the SQAK and join-count baseline rankers.
@@ -30,14 +34,16 @@ mod render;
 mod template;
 
 pub use exec::{execute_interpretation, ExecutedResult, ResultKey};
-pub use generate::{Interpreter, InterpreterConfig, ScoredInterpretation};
+pub use generate::{
+    GenerationStats, GenerationStrategy, Interpreter, InterpreterConfig, ScoredInterpretation,
+};
 pub use hierarchy::{subsumes, QueryHierarchy};
 pub use interp::{
     BindingAtom, BindingAtomKind, BindingTarget, IntentDescription, KeywordBinding,
     QueryInterpretation,
 };
 pub use keyword::KeywordQuery;
-pub use prob::{ProbabilityConfig, ProbabilityModel, TemplatePrior};
+pub use prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 pub use rank::{join_count_score, sqak_score};
 pub use render::{render_natural, render_sql};
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};

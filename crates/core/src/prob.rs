@@ -206,6 +206,279 @@ impl<'a> ProbabilityModel<'a> {
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
     }
+
+    /// Build the incremental scorer driving best-first top-k generation.
+    ///
+    /// `terms` are the query's keyword occurrences in order; `value_attrs[i]`
+    /// are the attributes where occurrence `i` matches as a value;
+    /// `name_tables[i]` the tables on which it matches a schema name (table
+    /// or attribute); `allow_unmapped` enables the partial-interpretation
+    /// branch charged `P_u`.
+    pub fn incremental<'q>(
+        &'q self,
+        terms: &[String],
+        value_attrs: &[Vec<AttrRef>],
+        name_tables: &[Vec<keybridge_relstore::TableId>],
+        allow_unmapped: bool,
+    ) -> IncrementalScorer<'a, 'q> {
+        IncrementalScorer::new(self, terms, value_attrs, name_tables, allow_unmapped)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental scoring (best-first top-k generation).
+// ---------------------------------------------------------------------------
+
+use crate::template::QueryTemplate;
+use keybridge_relstore::TableId;
+use std::cell::RefCell;
+
+/// Incremental evaluation of the probability model over *partial keyword
+/// assignments*, for the best-first top-k generator.
+///
+/// The search assigns keyword occurrences left to right; a search state's
+/// score splits into
+///
+/// * a **prefix log-score** — `ln P(T)` plus the contribution of every
+///   binding formed so far, maintained incrementally: when occurrence `i`
+///   joins an existing value group `g` on attribute `A`, the prefix changes
+///   by `ln P(A : g ∪ {kᵢ}) − ln P(A : g)`; and
+/// * an admissible **remaining-term bound** — for each unassigned
+///   occurrence, the best contribution it could still make:
+///
+///   | route | bound | why admissible |
+///   |---|---|---|
+///   | unmapped | `ln P_u` | exact |
+///   | schema name | `ln P_name` | exact per keyword |
+///   | value, new group | `max_A ln ATF(k, A)` over `A` in the template | exact best case |
+///   | value, join group | `0` | joint ATF is non-increasing in the bag, so the join delta is `≤ 0` |
+///
+/// Prefix + bound never underestimates the score of any completion (up to
+/// float association error, which the search absorbs with an ε margin), so
+/// popping states best-first and cutting when the bound drops below the
+/// k-th best emitted score yields the exact top k.
+///
+/// Group scores are cached per `(occurrence set, attribute)` — shared
+/// across all templates, since the score of a value bag depends only on the
+/// underlying attribute, not on which template node carries it.
+pub struct IncrementalScorer<'a, 'q> {
+    model: &'q ProbabilityModel<'a>,
+    terms: Vec<String>,
+    /// Per occurrence: candidate value attrs with their floored `ln ATF`,
+    /// sorted by attr.
+    value_ln: Vec<Vec<(AttrRef, f64)>>,
+    /// Per occurrence: best `ln ATF` per candidate table.
+    value_best_table: Vec<HashMap<TableId, f64>>,
+    /// Per occurrence: tables on which a value join with another occurrence
+    /// is possible (shared candidate attribute).
+    join_tables: Vec<std::collections::HashSet<TableId>>,
+    /// Per occurrence: tables carrying a schema-name match.
+    name_tables: Vec<Vec<TableId>>,
+    /// `ln` of a group's probability, keyed by (occurrence bitmask, attr).
+    group_cache: RefCell<HashMap<(u64, AttrRef), f64>>,
+    ln_pu: f64,
+    ln_name: f64,
+    allow_unmapped: bool,
+    uniform: bool,
+}
+
+impl<'a, 'q> IncrementalScorer<'a, 'q> {
+    fn new(
+        model: &'q ProbabilityModel<'a>,
+        terms: &[String],
+        value_attrs: &[Vec<AttrRef>],
+        name_tables: &[Vec<TableId>],
+        allow_unmapped: bool,
+    ) -> Self {
+        let cfg = model.config;
+        let uniform = cfg.uniform_keywords;
+        let mut value_ln = Vec::with_capacity(terms.len());
+        let mut value_best_table = Vec::with_capacity(terms.len());
+        for (i, attrs) in value_attrs.iter().enumerate() {
+            let mut lns: Vec<(AttrRef, f64)> = attrs
+                .iter()
+                .map(|&a| {
+                    let ln = if uniform {
+                        0.0
+                    } else {
+                        model
+                            .index
+                            .atf(&terms[i], a, cfg.alpha)
+                            .max(MIN_PROB)
+                            .ln()
+                    };
+                    (a, ln)
+                })
+                .collect();
+            lns.sort_by_key(|&(a, _)| a);
+            let mut best: HashMap<TableId, f64> = HashMap::new();
+            for &(a, ln) in &lns {
+                let e = best.entry(a.table).or_insert(f64::NEG_INFINITY);
+                if ln > *e {
+                    *e = ln;
+                }
+            }
+            value_ln.push(lns);
+            value_best_table.push(best);
+        }
+        // Tables on which occurrence i shares a candidate attribute with
+        // some other occurrence — the only places a value join can happen.
+        let mut join_tables: Vec<std::collections::HashSet<TableId>> =
+            vec![Default::default(); terms.len()];
+        for i in 0..terms.len() {
+            for j in (i + 1)..terms.len() {
+                for &(a, _) in &value_ln[i] {
+                    if value_ln[j].binary_search_by_key(&a, |&(x, _)| x).is_ok() {
+                        join_tables[i].insert(a.table);
+                        join_tables[j].insert(a.table);
+                    }
+                }
+            }
+        }
+        IncrementalScorer {
+            model,
+            terms: terms.to_vec(),
+            value_ln,
+            value_best_table,
+            join_tables,
+            name_tables: name_tables.to_vec(),
+            group_cache: RefCell::new(HashMap::new()),
+            ln_pu: cfg.unmapped_prob.max(MIN_PROB).ln(),
+            ln_name: if uniform {
+                0.0
+            } else {
+                cfg.name_match_prob.max(MIN_PROB).ln()
+            },
+            allow_unmapped,
+            uniform,
+        }
+    }
+
+    /// Number of keyword occurrences.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the query has no occurrences.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `ln P(T)` of a template.
+    pub fn ln_prior(&self, tpl: &QueryTemplate) -> f64 {
+        let sig = tpl.signature(self.model.db);
+        self.model
+            .prior
+            .prob(&sig, self.model.catalog.len())
+            .max(MIN_PROB)
+            .ln()
+    }
+
+    /// `ln P_u`, the charge per unmapped keyword.
+    pub fn unmapped_ln(&self) -> f64 {
+        self.ln_pu
+    }
+
+    /// `ln P_name`, the charge per keyword bound to a schema name.
+    pub fn name_ln(&self) -> f64 {
+        self.ln_name
+    }
+
+    /// Whether the unmapped branch is enabled.
+    pub fn allows_unmapped(&self) -> bool {
+        self.allow_unmapped
+    }
+
+    /// `ln P(A : bag)` of the value group holding the occurrences in
+    /// `mask` (bit `i` = occurrence `i`), bound to `attr`. Cached; shared
+    /// across templates.
+    pub fn value_group_ln(&self, mask: u64, attr: AttrRef) -> f64 {
+        debug_assert!(mask != 0);
+        if self.uniform {
+            return 0.0;
+        }
+        if mask.count_ones() == 1 {
+            let i = mask.trailing_zeros() as usize;
+            return self.value_ln[i]
+                .binary_search_by_key(&attr, |&(a, _)| a)
+                .map(|p| self.value_ln[i][p].1)
+                .unwrap_or_else(|_| {
+                    // Off-candidate attr (term absent): smoothed floor.
+                    self.model
+                        .index
+                        .atf(&self.terms[i], attr, self.model.config.alpha)
+                        .max(MIN_PROB)
+                        .ln()
+                });
+        }
+        if let Some(&ln) = self.group_cache.borrow().get(&(mask, attr)) {
+            return ln;
+        }
+        let keywords: Vec<String> = (0..self.terms.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| self.terms[i].clone())
+            .collect();
+        let cfg = self.model.config;
+        let p = if cfg.use_joint_atf {
+            self.model.index.joint_atf(&keywords, attr, cfg.alpha)
+        } else {
+            keywords
+                .iter()
+                .map(|k| self.model.index.atf(k, attr, cfg.alpha))
+                .product()
+        };
+        let ln = p.max(MIN_PROB).ln();
+        self.group_cache.borrow_mut().insert((mask, attr), ln);
+        ln
+    }
+
+    /// Admissible upper bound on the contribution of occurrence `i` within
+    /// template `tpl`, over every route still open to it (see the table in
+    /// the type docs). `NEG_INFINITY` when the occurrence has no route —
+    /// the template cannot interpret it and partials are off.
+    pub fn term_bound(&self, tpl: &QueryTemplate, i: usize) -> f64 {
+        let mut best = if self.allow_unmapped {
+            self.ln_pu
+        } else {
+            f64::NEG_INFINITY
+        };
+        for table in tpl.distinct_tables() {
+            if let Some(&v) = self.value_best_table[i].get(&table) {
+                if v > best {
+                    best = v;
+                }
+                if self.join_tables[i].contains(&table) && best < 0.0 {
+                    best = 0.0;
+                }
+            }
+            if self.name_tables[i].contains(&table) && self.ln_name > best {
+                best = self.ln_name;
+            }
+        }
+        best
+    }
+
+    /// Suffix sums of per-occurrence bounds for `tpl`: entry `i` bounds the
+    /// total remaining contribution once occurrences `0..i` are assigned
+    /// (`NEG_INFINITY` when some remaining occurrence has no route). Entry
+    /// `n` is 0.
+    pub fn suffix_bounds(&self, tpl: &QueryTemplate) -> Vec<f64> {
+        let n = self.terms.len();
+        let mut out = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            out[i] = self.term_bound(tpl, i) + out[i + 1];
+        }
+        out
+    }
+
+    /// Whether occurrence `i` has any binding target inside `tpl`
+    /// (ignoring the unmapped route).
+    pub fn has_target_in(&self, tpl: &QueryTemplate, i: usize) -> bool {
+        tpl.distinct_tables().any(|t| {
+            self.value_best_table[i].contains_key(&t)
+                || self.name_tables[i].contains(&t)
+        })
+    }
 }
 
 #[cfg(test)]

@@ -12,13 +12,51 @@ use std::collections::{HashMap, HashSet, VecDeque};
 pub struct TemplateId(pub u32);
 
 /// A query template: a join tree whose nodes are table *occurrences*.
+///
+/// Carries a precomputed table → node-occurrence index so the generator's
+/// inner loop (localizing term candidates to template nodes) is a binary
+/// search over a flat vector instead of a scan of `tree.nodes` per lookup.
 #[derive(Debug, Clone)]
 pub struct QueryTemplate {
     pub id: TemplateId,
     pub tree: JoinTree,
+    /// Distinct tables of the tree, sorted, paired with the (ascending)
+    /// node indexes occupied by each.
+    table_index: Vec<(TableId, Vec<usize>)>,
+    /// Node indexes that are leaves of the tree, ascending. Minimality
+    /// (Def. 3.5.4(2)) requires every one of them to carry a binding.
+    leaf_nodes: Vec<usize>,
 }
 
 impl QueryTemplate {
+    /// Wrap a join tree, building the table → nodes and leaf indexes.
+    pub fn new(id: TemplateId, tree: JoinTree) -> Self {
+        let mut table_index: Vec<(TableId, Vec<usize>)> = Vec::new();
+        for (i, &t) in tree.nodes.iter().enumerate() {
+            match table_index.binary_search_by_key(&t, |(k, _)| *k) {
+                Ok(pos) => table_index[pos].1.push(i),
+                Err(pos) => table_index.insert(pos, (t, vec![i])),
+            }
+        }
+        let mut degree = vec![0usize; tree.nodes.len()];
+        for e in &tree.edges {
+            degree[e.a] += 1;
+            degree[e.b] += 1;
+        }
+        let leaf_nodes = (0..tree.nodes.len()).filter(|&i| degree[i] <= 1).collect();
+        QueryTemplate {
+            id,
+            tree,
+            table_index,
+            leaf_nodes,
+        }
+    }
+
+    /// The leaf node indexes of the tree, ascending (precomputed).
+    pub fn leaves(&self) -> &[usize] {
+        &self.leaf_nodes
+    }
+
     /// Number of joins.
     pub fn join_count(&self) -> usize {
         self.tree.join_count()
@@ -37,15 +75,17 @@ impl QueryTemplate {
         names
     }
 
-    /// Node indexes whose table is `t`.
-    pub fn nodes_of_table(&self, t: TableId) -> Vec<usize> {
-        self.tree
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| **n == t)
-            .map(|(i, _)| i)
-            .collect()
+    /// Node indexes whose table is `t`, ascending (precomputed).
+    pub fn nodes_of_table(&self, t: TableId) -> &[usize] {
+        self.table_index
+            .binary_search_by_key(&t, |(k, _)| *k)
+            .map(|pos| self.table_index[pos].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The distinct tables of the template, sorted ascending.
+    pub fn distinct_tables(&self) -> impl Iterator<Item = TableId> + '_ {
+        self.table_index.iter().map(|(t, _)| *t)
     }
 
     /// Whether node `i` is a leaf of the tree (or the only node).
@@ -184,17 +224,11 @@ impl TemplateCatalog {
         let templates: Vec<QueryTemplate> = out
             .into_iter()
             .enumerate()
-            .map(|(i, tree)| QueryTemplate {
-                id: TemplateId(i as u32),
-                tree,
-            })
+            .map(|(i, tree)| QueryTemplate::new(TemplateId(i as u32), tree))
             .collect();
         let mut by_table: HashMap<TableId, Vec<TemplateId>> = HashMap::new();
         for t in &templates {
-            let mut tables: Vec<TableId> = t.tree.nodes.clone();
-            tables.sort();
-            tables.dedup();
-            for table in tables {
+            for table in t.distinct_tables() {
                 by_table.entry(table).or_default().push(t.id);
             }
         }
@@ -210,17 +244,11 @@ impl TemplateCatalog {
         let templates: Vec<QueryTemplate> = trees
             .into_iter()
             .enumerate()
-            .map(|(i, tree)| QueryTemplate {
-                id: TemplateId(i as u32),
-                tree,
-            })
+            .map(|(i, tree)| QueryTemplate::new(TemplateId(i as u32), tree))
             .collect();
         let mut by_table: HashMap<TableId, Vec<TemplateId>> = HashMap::new();
         for t in &templates {
-            let mut tables: Vec<TableId> = t.tree.nodes.clone();
-            tables.sort();
-            tables.dedup();
-            for table in tables {
+            for table in t.distinct_tables() {
                 by_table.entry(table).or_default().push(t.id);
             }
         }
@@ -357,7 +385,7 @@ mod tests {
             .expect("self-join template exists");
         let nodes = two_actor.nodes_of_table(actor);
         for n in nodes {
-            assert!(two_actor.is_leaf(n), "actor occurrences are leaves");
+            assert!(two_actor.is_leaf(*n), "actor occurrences are leaves");
         }
     }
 

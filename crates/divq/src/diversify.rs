@@ -1,7 +1,7 @@
 //! The diversification scheme (§4.4): Jaccard similarity between query
 //! interpretations and the greedy relevance/novelty selection of Alg. 4.1.
 
-use keybridge_core::BindingAtom;
+use keybridge_core::{BindingAtom, ScoredInterpretation, TemplateCatalog};
 use std::collections::BTreeSet;
 
 /// One candidate for diversification: an interpretation's relevance score
@@ -12,6 +12,21 @@ pub struct DivItem {
     pub relevance: f64,
     /// The keyword-interpretation set `I` of Eq. 4.3.
     pub atoms: BTreeSet<BindingAtom>,
+}
+
+/// Build the diversification pool from ranked interpretations — typically
+/// the interpreter's `top_k(query, k)` output, which is exactly the DivQ
+/// candidate pool (§4.4.2: complete and partial interpretations, best
+/// first). Relevance is the ranked probability; atoms are the schema-level
+/// keyword interpretations.
+pub fn div_pool(ranked: &[ScoredInterpretation], catalog: &TemplateCatalog) -> Vec<DivItem> {
+    ranked
+        .iter()
+        .map(|s| DivItem {
+            relevance: s.probability,
+            atoms: s.interpretation.atoms(catalog).into_iter().collect(),
+        })
+        .collect()
 }
 
 /// Jaccard coefficient between two atom sets (Eq. 4.3). Two empty sets are
@@ -206,7 +221,7 @@ mod tests {
                             atom(
                                 rng.gen_range(0..4),
                                 rng.gen_range(0..3),
-                                ["a", "b", "c"][rng.gen_range(0..3)],
+                                ["a", "b", "c"][rng.gen_range(0..3usize)],
                             )
                         })
                         .collect();

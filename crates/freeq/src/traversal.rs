@@ -131,8 +131,8 @@ impl<'a> LazyExplorer<'a> {
                 let mut v: Vec<(AttrRef, f64)> = self
                     .index
                     .attrs_containing(term)
-                    .into_iter()
-                    .map(|a| (a, self.index.atf(term, a, self.config.alpha).ln()))
+                    .iter()
+                    .map(|&a| (a, self.index.atf(term, a, self.config.alpha).ln()))
                     .collect();
                 v.sort_by(|a, b| {
                     b.1.partial_cmp(&a.1)

@@ -9,7 +9,10 @@
 //! the lazily-expanded variant for very large schemas.
 
 use crate::options::ConstructionOption;
-use keybridge_core::{IntentDescription, QueryInterpretation, ScoredInterpretation, TemplateCatalog};
+use keybridge_core::{
+    IntentDescription, Interpreter, KeywordQuery, QueryInterpretation, ScoredInterpretation,
+    TemplateCatalog,
+};
 use keybridge_relstore::Database;
 
 /// Session tuning knobs.
@@ -86,6 +89,21 @@ impl<'a> ConstructionSession<'a> {
             steps: 0,
             config,
         }
+    }
+
+    /// Start a session directly from a keyword query: the candidate window
+    /// is the interpreter's best-first `top_k_complete` — construction
+    /// never needs the exhaustive space, only the window the user will
+    /// actually winnow (probabilities are normalized within it). The
+    /// session borrows the interpreter's own catalog.
+    pub fn for_query(
+        interpreter: &Interpreter<'a>,
+        query: &KeywordQuery,
+        window: usize,
+        config: SessionConfig,
+    ) -> Self {
+        let ranked = interpreter.top_k_complete(query, window);
+        Self::new(interpreter.catalog(), &ranked, config)
     }
 
     /// Remaining candidates, best first.
@@ -404,6 +422,25 @@ mod tests {
             if let Some(r) = user.rank_of_target(&ranked) {
                 assert!(r >= 1 && r <= ranked.len());
             }
+        }
+    }
+
+    #[test]
+    fn for_query_builds_topk_window() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let session = ConstructionSession::for_query(&interp, &q, 20, SessionConfig::default());
+        let manual = interp.top_k_complete(&q, 20);
+        assert_eq!(session.remaining().len(), manual.len());
+        for ((c, p), s) in session.remaining().iter().zip(&manual) {
+            assert_eq!(*c, s.interpretation);
+            assert!((p - s.probability.max(1e-12)).abs() < 1e-12);
         }
     }
 

@@ -1,8 +1,22 @@
 //! The inverted index and its attribute statistics.
+//!
+//! Storage layout: one [`TermEntry`] per dictionary term holding *parallel,
+//! attribute-sorted* vectors of attributes and postings. The layout serves
+//! the interpretation generator's hot paths directly:
+//!
+//! * [`InvertedIndex::attrs_containing`] returns a borrowed slice — no
+//!   allocation, deterministic order — because candidate harvesting runs
+//!   once per distinct query term per query;
+//! * [`InvertedIndex::postings`] is a binary search in a short vector
+//!   (terms rarely occur in more than a handful of attributes);
+//! * [`InvertedIndex::rows_with_all`] and [`InvertedIndex::joint_atf`]
+//!   intersect postings smallest-list-first by sorted merge, never building
+//!   per-call hash sets; [`InvertedIndex::has_row_with_all`] is the
+//!   early-exit variant backing the generator's non-emptiness cache.
 
 use crate::token::Tokenizer;
 use keybridge_relstore::{AttrRef, Database, RowId, TableId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Postings of one term within one attribute: sorted `(row, tf)` pairs.
 #[derive(Debug, Clone, Default)]
@@ -18,6 +32,31 @@ impl TermAttrEntry {
     /// Number of rows containing the term (document frequency).
     pub fn df(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Term frequency in `row`, by binary search (rows are sorted).
+    fn tf(&self, row: RowId) -> Option<u32> {
+        self.rows
+            .binary_search_by_key(&row, |&(r, _)| r)
+            .ok()
+            .map(|i| self.rows[i].1)
+    }
+}
+
+/// All postings of one term, over every attribute it occurs in.
+/// `attrs` is sorted; `postings[i]` belongs to `attrs[i]`.
+#[derive(Debug, Clone, Default)]
+struct TermEntry {
+    attrs: Vec<AttrRef>,
+    postings: Vec<TermAttrEntry>,
+}
+
+impl TermEntry {
+    fn get(&self, attr: AttrRef) -> Option<&TermAttrEntry> {
+        self.attrs
+            .binary_search(&attr)
+            .ok()
+            .map(|i| &self.postings[i])
     }
 }
 
@@ -44,8 +83,8 @@ pub enum SchemaTarget {
 /// Inverted index over every text attribute of a database.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    /// term -> attribute -> postings.
-    dict: HashMap<String, HashMap<AttrRef, TermAttrEntry>>,
+    /// term -> attribute-sorted postings.
+    dict: HashMap<String, TermEntry>,
     /// Statistics per indexed attribute.
     attr_stats: HashMap<AttrRef, AttrStats>,
     /// term -> schema elements whose name contains the term.
@@ -61,7 +100,7 @@ impl InvertedIndex {
 
     /// Index all text attributes of `db` with a custom tokenizer.
     pub fn build_with(db: &Database, tokenizer: Tokenizer) -> Self {
-        let mut dict: HashMap<String, HashMap<AttrRef, TermAttrEntry>> = HashMap::new();
+        let mut staging: HashMap<String, HashMap<AttrRef, TermAttrEntry>> = HashMap::new();
         let mut attr_stats: HashMap<AttrRef, AttrStats> = HashMap::new();
 
         for (tid, tdef) in db.schema().tables() {
@@ -81,7 +120,7 @@ impl InvertedIndex {
                         *counts.entry(t.as_str()).or_default() += 1;
                     }
                     for (term, tf) in counts {
-                        let entry = dict
+                        let entry = staging
                             .entry(term.to_owned())
                             .or_default()
                             .entry(aref)
@@ -93,17 +132,24 @@ impl InvertedIndex {
             }
         }
 
-        // Per-attribute vocabulary sizes.
-        let mut vocab: HashMap<AttrRef, u32> = HashMap::new();
-        for by_attr in dict.values() {
-            for aref in by_attr.keys() {
-                *vocab.entry(*aref).or_default() += 1;
+        // Freeze staged postings into attribute-sorted parallel vectors and
+        // tally per-attribute vocabulary sizes in the same pass.
+        let mut dict: HashMap<String, TermEntry> = HashMap::with_capacity(staging.len());
+        for (term, by_attr) in staging {
+            let mut pairs: Vec<(AttrRef, TermAttrEntry)> = by_attr.into_iter().collect();
+            pairs.sort_by_key(|(a, _)| *a);
+            let mut entry = TermEntry {
+                attrs: Vec::with_capacity(pairs.len()),
+                postings: Vec::with_capacity(pairs.len()),
+            };
+            for (aref, postings) in pairs {
+                if let Some(s) = attr_stats.get_mut(&aref) {
+                    s.vocabulary += 1;
+                }
+                entry.attrs.push(aref);
+                entry.postings.push(postings);
             }
-        }
-        for (aref, v) in vocab {
-            if let Some(s) = attr_stats.get_mut(&aref) {
-                s.vocabulary = v;
-            }
+            dict.insert(term, entry);
         }
 
         // Schema-term index over table and attribute names.
@@ -155,15 +201,16 @@ impl InvertedIndex {
 
     /// Postings of `term` in `attr`, if any.
     pub fn postings(&self, term: &str, attr: AttrRef) -> Option<&TermAttrEntry> {
-        self.dict.get(term)?.get(&attr)
+        self.dict.get(term)?.get(attr)
     }
 
-    /// The attributes in which `term` occurs, in unspecified order.
-    pub fn attrs_containing(&self, term: &str) -> Vec<AttrRef> {
+    /// The attributes in which `term` occurs, sorted — a borrowed slice, so
+    /// the per-query candidate harvest allocates nothing.
+    pub fn attrs_containing(&self, term: &str) -> &[AttrRef] {
         self.dict
             .get(term)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+            .map(|e| e.attrs.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Schema elements whose name contains `term`.
@@ -174,30 +221,88 @@ impl InvertedIndex {
             .unwrap_or(&[])
     }
 
-    /// Rows of `attr`'s table whose value contains *all* of `terms`
-    /// (the `k1..km ⊂ A` containment predicate of Def. 3.5.2), sorted.
-    pub fn rows_with_all(&self, terms: &[String], attr: AttrRef) -> Vec<RowId> {
-        if terms.is_empty() {
-            return Vec::new();
-        }
-        let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
+    /// The postings lists of all `terms` in `attr`, sorted smallest-first.
+    /// `None` when any term is absent from the attribute (the intersection
+    /// is empty a priori).
+    fn term_lists<'a>(
+        &'a self,
+        terms: &[String],
+        attr: AttrRef,
+        lists: &mut Vec<&'a TermAttrEntry>,
+    ) -> bool {
+        lists.clear();
         for t in terms {
             match self.postings(t, attr) {
                 Some(e) => lists.push(e),
-                None => return Vec::new(),
+                None => return false,
             }
         }
-        // Intersect starting from the shortest list.
         lists.sort_by_key(|e| e.rows.len());
-        let mut acc: Vec<RowId> = lists[0].rows.iter().map(|(r, _)| *r).collect();
+        true
+    }
+
+    /// Rows of `attr`'s table whose value contains *all* of `terms`
+    /// (the `k1..km ⊂ A` containment predicate of Def. 3.5.2), sorted.
+    pub fn rows_with_all(&self, terms: &[String], attr: AttrRef) -> Vec<RowId> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.rows_with_all_into(terms, attr, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::rows_with_all`]: the intersection
+    /// lands in `out`; `scratch` is a reusable work buffer. Both are cleared
+    /// first, so callers can reuse them across calls.
+    pub fn rows_with_all_into(
+        &self,
+        terms: &[String],
+        attr: AttrRef,
+        out: &mut Vec<RowId>,
+        scratch: &mut Vec<RowId>,
+    ) {
+        out.clear();
+        if terms.is_empty() {
+            return;
+        }
+        let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
+        if !self.term_lists(terms, attr, &mut lists) {
+            return;
+        }
+        out.extend(lists[0].rows.iter().map(|&(r, _)| r));
         for e in &lists[1..] {
-            let set: HashSet<RowId> = e.rows.iter().map(|(r, _)| *r).collect();
-            acc.retain(|r| set.contains(r));
-            if acc.is_empty() {
-                return acc;
+            // `out` is no longer than `e.rows` (smallest-first order), so
+            // probe each survivor into the larger sorted list.
+            scratch.clear();
+            scratch.extend(
+                out.iter()
+                    .copied()
+                    .filter(|&r| e.rows.binary_search_by_key(&r, |&(x, _)| x).is_ok()),
+            );
+            std::mem::swap(out, scratch);
+            if out.is_empty() {
+                return;
             }
         }
-        acc
+    }
+
+    /// Whether at least one row of `attr` contains *all* of `terms` — the
+    /// non-emptiness probe of the DivQ necessary condition (§4.4.1). Walks
+    /// the smallest postings list and exits on the first surviving row, so
+    /// the common case (a frequent co-occurrence) costs a handful of binary
+    /// searches instead of a full intersection.
+    pub fn has_row_with_all(&self, terms: &[String], attr: AttrRef) -> bool {
+        if terms.is_empty() {
+            return false;
+        }
+        let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
+        if !self.term_lists(terms, attr, &mut lists) {
+            return false;
+        }
+        let (probe, rest) = lists.split_first().expect("terms nonempty");
+        probe.rows.iter().any(|&(row, _)| {
+            rest.iter()
+                .all(|e| e.rows.binary_search_by_key(&row, |&(x, _)| x).is_ok())
+        })
     }
 
     /// Document frequency of `term` in `attr`: number of rows containing it.
@@ -213,17 +318,24 @@ impl InvertedIndex {
         1.0 + ((n + 1.0) / (df + 1.0)).ln()
     }
 
+    /// The ATF normalizer of `attr` under smoothing `alpha` (the denominator
+    /// of Eq. 3.8). Zero when the attribute holds no tokens and `alpha` is
+    /// zero. Exposed so incremental scorers can cache it per attribute.
+    pub fn atf_denominator(&self, attr: AttrRef, alpha: f64) -> f64 {
+        let stats = self.attr_stats(attr);
+        stats.total_tokens as f64 + alpha * (stats.vocabulary as f64 + 1.0)
+    }
+
     /// Attribute term frequency with additive smoothing (Eq. 3.8):
     /// the probability that a random token drawn from `attr` is `term`,
     /// Laplace-smoothed with parameter `alpha` so unseen terms keep a small
     /// non-zero mass. The paper writes `ATF = TF + α` up to normalization;
     /// we implement the normalized form directly.
     pub fn atf(&self, term: &str, attr: AttrRef, alpha: f64) -> f64 {
-        let stats = self.attr_stats(attr);
         let occ = self
             .postings(term, attr)
             .map_or(0, |e| e.occurrences) as f64;
-        let denom = stats.total_tokens as f64 + alpha * (stats.vocabulary as f64 + 1.0);
+        let denom = self.atf_denominator(attr, alpha);
         if denom <= 0.0 {
             return 0.0;
         }
@@ -236,6 +348,9 @@ impl InvertedIndex {
     /// When the terms genuinely co-occur (first + last name in a `name`
     /// attribute) this exceeds the product of marginal ATFs, which is what
     /// pushes phrase-consistent interpretations up the ranking.
+    ///
+    /// Joint occurrences are counted by walking the smallest postings list
+    /// and probing the rest by binary search — no per-call hash maps.
     pub fn joint_atf(&self, terms: &[String], attr: AttrRef, alpha: f64) -> f64 {
         if terms.is_empty() {
             return 0.0;
@@ -243,30 +358,21 @@ impl InvertedIndex {
         if terms.len() == 1 {
             return self.atf(&terms[0], attr, alpha);
         }
-        let stats = self.attr_stats(attr);
-        let denom = stats.total_tokens as f64 + alpha * (stats.vocabulary as f64 + 1.0);
+        let denom = self.atf_denominator(attr, alpha);
         if denom <= 0.0 {
             return 0.0;
         }
         let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
-        for t in terms {
-            match self.postings(t, attr) {
-                Some(e) => lists.push(e),
-                None => return alpha / denom,
-            }
+        if !self.term_lists(terms, attr, &mut lists) {
+            return alpha / denom;
         }
-        lists.sort_by_key(|e| e.rows.len());
-        // tf maps for all but the shortest list.
-        let maps: Vec<HashMap<RowId, u32>> = lists[1..]
-            .iter()
-            .map(|e| e.rows.iter().copied().collect())
-            .collect();
+        let (probe, rest) = lists.split_first().expect("terms nonempty");
         let mut joint: u64 = 0;
-        'rows: for &(row, tf0) in &lists[0].rows {
+        'rows: for &(row, tf0) in &probe.rows {
             let mut m = tf0;
-            for map in &maps {
-                match map.get(&row) {
-                    Some(&tf) => m = m.min(tf),
+            for e in rest {
+                match e.tf(row) {
+                    Some(tf) => m = m.min(tf),
                     None => continue 'rows,
                 }
             }
@@ -332,9 +438,10 @@ mod tests {
     fn attrs_containing_term() {
         let db = db();
         let idx = InvertedIndex::build(&db);
-        let mut attrs = idx.attrs_containing("tom");
-        attrs.sort();
+        let attrs = idx.attrs_containing("tom");
         assert_eq!(attrs.len(), 2); // actor.name and movie.title
+        // Returned sorted, so candidate harvesting needs no re-sort.
+        assert!(attrs.windows(2).all(|w| w[0] < w[1]));
         assert!(idx.attrs_containing("zzz").is_empty());
     }
 
@@ -352,6 +459,46 @@ mod tests {
             .rows_with_all(&["tom".to_owned(), "ryan".to_owned()], name)
             .is_empty());
         assert!(idx.rows_with_all(&[], name).is_empty());
+    }
+
+    #[test]
+    fn rows_with_all_into_reuses_buffers() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let mut out = vec![RowId(99)]; // stale content must be cleared
+        let mut scratch = vec![RowId(98)];
+        idx.rows_with_all_into(
+            &["tom".to_owned(), "hanks".to_owned()],
+            name,
+            &mut out,
+            &mut scratch,
+        );
+        assert_eq!(out.len(), 1);
+        idx.rows_with_all_into(&["tom".to_owned()], name, &mut out, &mut scratch);
+        assert_eq!(out.len(), 2);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted output");
+    }
+
+    #[test]
+    fn has_row_with_all_matches_full_intersection() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let name = aref(&db, "actor", "name");
+        let title = aref(&db, "movie", "title");
+        for (terms, attr) in [
+            (vec!["tom".to_owned(), "hanks".to_owned()], name),
+            (vec!["tom".to_owned(), "ryan".to_owned()], name),
+            (vec!["terminal".to_owned()], title),
+            (vec!["tom".to_owned(), "huck".to_owned()], title),
+            (vec![], name),
+        ] {
+            assert_eq!(
+                idx.has_row_with_all(&terms, attr),
+                !idx.rows_with_all(&terms, attr).is_empty(),
+                "{terms:?}"
+            );
+        }
     }
 
     #[test]
@@ -438,6 +585,8 @@ mod tests {
         // Unindexed (int) attribute reports zeros.
         let year = aref(&db, "movie", "year");
         assert_eq!(idx.attr_stats(year), AttrStats::default());
+        // Denominator matches the ATF normalization.
+        assert_eq!(idx.atf_denominator(name, 1.0), 8.0 + 7.0);
     }
 
     #[test]

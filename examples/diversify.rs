@@ -12,7 +12,7 @@ use keybridge::core::{
     TemplateCatalog,
 };
 use keybridge::datagen::{ImdbConfig, ImdbDataset};
-use keybridge::divq::{diversify, DivItem, DiversifyConfig};
+use keybridge::divq::{div_pool, diversify, DiversifyConfig};
 use keybridge::index::InvertedIndex;
 use keybridge::relstore::ExecOptions;
 use std::collections::BTreeSet;
@@ -25,23 +25,19 @@ fn main() {
         Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
 
     // A single ambiguous surname: many structurally different readings.
+    // `top_k` generates the diversification pool best-first; the exhaustive
+    // interpretation space is never materialized.
     let query = KeywordQuery::parse(index.tokenizer(), "stone pictures");
-    let ranked = interpreter.ranked_interpretations(&query);
+    let ranked = interpreter.top_k_complete(&query, 25);
     println!(
-        "query \"{query}\": {} interpretations generated\n",
+        "query \"{query}\": top {} interpretations generated\n",
         ranked.len()
     );
     if ranked.is_empty() {
         return;
     }
 
-    let items: Vec<DivItem> = ranked
-        .iter()
-        .map(|s| DivItem {
-            relevance: s.probability,
-            atoms: s.interpretation.atoms(&catalog).into_iter().collect(),
-        })
-        .collect();
+    let items = div_pool(&ranked, &catalog);
     let k = 5.min(items.len());
     let div_order = diversify(&items, DiversifyConfig { lambda: 0.1, k });
 

@@ -31,11 +31,14 @@
 //! let index = InvertedIndex::build(&data.db);
 //! let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
 //!
-//! // Translate a keyword query into ranked structured queries.
+//! // Translate a keyword query into ranked structured queries. `top_k`
+//! // generates best-first and stops once the k-th best is provably found;
+//! // `ranked_interpretations` materializes and sorts the whole space.
 //! let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
 //! let query = KeywordQuery::parse(index.tokenizer(), "tom hanks");
-//! let ranked = interpreter.ranked_interpretations(&query);
-//! assert!(!ranked.is_empty());
+//! let top = interpreter.top_k_complete(&query, 10);
+//! assert!(!top.is_empty());
+//! assert!(top.len() <= 10);
 //! ```
 
 pub use keybridge_core as core;

@@ -1,88 +1,134 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Randomized property tests over the core invariants.
+//!
+//! Seeded random-case loops (the registry `proptest` crate is unavailable
+//! in the offline build; the vendored `rand` drives case generation
+//! deterministically, so failures reproduce by seed).
 
-use keybridge::core::ProbabilityModel;
+use keybridge::core::{
+    GenerationStrategy, Interpreter, InterpreterConfig, KeywordQuery, ProbabilityConfig,
+    ProbabilityModel, ScoredInterpretation, TemplateCatalog, TemplatePrior,
+};
 use keybridge::divq::{alpha_ndcg_w, diversify, jaccard, ws_recall, DivItem, EvalItem};
-use keybridge::index::Tokenizer;
+use keybridge::index::{InvertedIndex, Tokenizer};
 use keybridge::iqp::{brute_force_plan, greedy_plan, plan_cost, PlanProblem};
-use keybridge::relstore::{AttrId, AttrRef, TableId};
-use proptest::prelude::*;
+use keybridge::relstore::{
+    AttrId, AttrRef, Database, SchemaBuilder, TableId, TableKind, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
-fn arbitrary_atoms() -> impl Strategy<Value = BTreeSet<keybridge::core::BindingAtom>> {
-    proptest::collection::btree_set(
-        (0u32..6, 0u32..4, 0usize..5).prop_map(|(t, a, k)| keybridge::core::BindingAtom {
-            keyword: format!("k{k}"),
-            kind: keybridge::core::BindingAtomKind::Value,
-            attr: AttrRef {
-                table: TableId(t),
-                attr: AttrId(a),
-            },
-        }),
-        0..6,
-    )
+// ---------------------------------------------------------------------------
+// Tokenizer and probability-normalization invariants.
+// ---------------------------------------------------------------------------
+
+/// A random string mixing letters, digits, punctuation, whitespace, and
+/// non-ASCII — the `.{0,120}` strategy of the original proptest suite.
+fn random_text(rng: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Q', '0', '7', ' ', ' ', '\t', '.', ',', '!', '-', '_', '\'',
+        '"', '(', ')', 'é', 'ü', 'ß', '中', '✓', '\n',
+    ];
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tokenizer_output_is_lowercase_alnum(input in ".{0,120}") {
-        let t = Tokenizer::keep_all();
+#[test]
+fn tokenizer_output_is_lowercase_alnum() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let t = Tokenizer::keep_all();
+    for _ in 0..200 {
+        let input = random_text(&mut rng, 120);
         for tok in t.tokenize(&input) {
-            prop_assert!(!tok.is_empty());
-            prop_assert!(tok.chars().all(char::is_alphanumeric), "{tok}");
-            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+            assert!(!tok.is_empty());
+            assert!(tok.chars().all(char::is_alphanumeric), "{tok}");
+            assert_eq!(tok, tok.to_lowercase());
         }
     }
+}
 
-    #[test]
-    fn tokenizer_idempotent_on_own_output(input in ".{0,120}") {
-        let t = Tokenizer::new();
+#[test]
+fn tokenizer_idempotent_on_own_output() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let t = Tokenizer::new();
+    for _ in 0..200 {
+        let input = random_text(&mut rng, 120);
         let once = t.tokenize(&input);
         let twice = t.tokenize(&once.join(" "));
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "input {input:?}");
     }
+}
 
-    #[test]
-    fn normalize_is_distribution(logs in proptest::collection::vec(-500.0f64..0.0, 1..40)) {
+#[test]
+fn normalize_is_distribution() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..40usize);
+        let logs: Vec<f64> = (0..n).map(|_| rng.gen_range(-500.0..0.0)).collect();
         let probs = ProbabilityModel::normalize(&logs);
         let sum: f64 = probs.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
         for p in &probs {
-            prop_assert!((0.0..=1.0).contains(p));
+            assert!((0.0..=1.0).contains(p));
         }
         // Order-preserving: higher log-score => no lower probability.
-        for i in 0..logs.len() {
-            for j in 0..logs.len() {
+        for i in 0..n {
+            for j in 0..n {
                 if logs[i] > logs[j] {
-                    prop_assert!(probs[i] >= probs[j] - 1e-12);
+                    assert!(probs[i] >= probs[j] - 1e-12);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn jaccard_bounds_and_symmetry(a in arbitrary_atoms(), b in arbitrary_atoms()) {
+// ---------------------------------------------------------------------------
+// Diversification and metric invariants.
+// ---------------------------------------------------------------------------
+
+fn random_atoms(rng: &mut StdRng) -> BTreeSet<keybridge::core::BindingAtom> {
+    let n = rng.gen_range(0..6usize);
+    (0..n)
+        .map(|_| keybridge::core::BindingAtom {
+            keyword: format!("k{}", rng.gen_range(0..5usize)),
+            kind: keybridge::core::BindingAtomKind::Value,
+            attr: AttrRef {
+                table: TableId(rng.gen_range(0..6u32)),
+                attr: AttrId(rng.gen_range(0..4u32)),
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn jaccard_bounds_and_symmetry() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..200 {
+        let a = random_atoms(&mut rng);
+        let b = random_atoms(&mut rng);
         let s = jaccard(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert_eq!(s, jaccard(&b, &a));
-        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(s, jaccard(&b, &a));
+        assert_eq!(jaccard(&a, &a), 1.0);
     }
+}
 
-    #[test]
-    fn diversify_is_permutation_prefix(
-        rels in proptest::collection::vec(0.001f64..1.0, 1..20),
-        k in 1usize..25,
-    ) {
-        let mut items: Vec<DivItem> = rels
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| DivItem {
-                relevance: r,
+#[test]
+fn diversify_is_permutation_prefix() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..20usize);
+        let k = rng.gen_range(1..25usize);
+        let mut items: Vec<DivItem> = (0..n)
+            .map(|i| DivItem {
+                relevance: rng.gen_range(0.001..1.0),
                 atoms: [keybridge::core::BindingAtom {
                     keyword: format!("k{}", i % 4),
                     kind: keybridge::core::BindingAtomKind::Value,
-                    attr: AttrRef { table: TableId((i % 5) as u32), attr: AttrId(0) },
+                    attr: AttrRef {
+                        table: TableId((i % 5) as u32),
+                        attr: AttrId(0),
+                    },
                 }]
                 .into_iter()
                 .collect(),
@@ -91,63 +137,82 @@ proptest! {
         items.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).unwrap());
         let sel = diversify(&items, keybridge::divq::DiversifyConfig { lambda: 0.3, k });
         // Selection size, uniqueness, and range.
-        prop_assert_eq!(sel.len(), k.min(items.len()));
+        assert_eq!(sel.len(), k.min(items.len()));
         let distinct: BTreeSet<_> = sel.iter().collect();
-        prop_assert_eq!(distinct.len(), sel.len());
-        prop_assert!(sel.iter().all(|&i| i < items.len()));
+        assert_eq!(distinct.len(), sel.len());
+        assert!(sel.iter().all(|&i| i < items.len()));
         // The most relevant item always leads.
-        prop_assert_eq!(sel[0], 0);
+        assert_eq!(sel[0], 0);
     }
+}
 
-    #[test]
-    fn metrics_bounded(
-        rels in proptest::collection::vec(0.0f64..1.0, 1..12),
-        keysets in proptest::collection::vec(proptest::collection::btree_set(0i64..30, 0..8), 1..12),
-    ) {
-        let n = rels.len().min(keysets.len());
+#[test]
+fn metrics_bounded() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..12usize);
         let pool: Vec<EvalItem> = (0..n)
-            .map(|i| EvalItem {
-                relevance: rels[i],
-                keys: keysets[i]
-                    .iter()
-                    .map(|&pk| keybridge::core::ResultKey { table: TableId(0), pk })
-                    .collect(),
+            .map(|_| {
+                let keys = (0..rng.gen_range(0..8usize))
+                    .map(|_| keybridge::core::ResultKey {
+                        table: TableId(0),
+                        pk: rng.gen_range(0..30i64),
+                    })
+                    .collect();
+                EvalItem {
+                    relevance: rng.gen_range(0.0..1.0),
+                    keys,
+                }
             })
             .collect();
         for alpha in [0.0, 0.5, 0.99] {
             for v in alpha_ndcg_w(&pool, &pool, alpha, 10) {
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "ndcg {v}");
+                assert!((0.0..=1.0 + 1e-9).contains(&v), "ndcg {v}");
             }
         }
         let recall = ws_recall(&pool, &pool, 10);
         for w in recall.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-12, "ws-recall not monotone");
+            assert!(w[1] >= w[0] - 1e-12, "ws-recall not monotone");
         }
-        prop_assert!(recall.last().copied().unwrap_or(0.0) <= 1.0 + 1e-9);
+        assert!(recall.last().copied().unwrap_or(0.0) <= 1.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn greedy_plan_never_beats_optimal(
-        m in 4usize..12,
-        n in 2usize..7,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn greedy_plan_never_beats_optimal() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..64 {
+        let m = rng.gen_range(4..12usize);
+        let n = rng.gen_range(2..7usize);
+        let seed = rng.gen_range(0..500u64);
         let p = PlanProblem::random(m, n, seed);
         let (bf_plan, bf) = brute_force_plan(&p);
         let (greedy_tree, gr) = greedy_plan(&p);
-        prop_assert!(gr + 1e-9 >= bf, "greedy {gr} < optimal {bf}");
+        assert!(gr + 1e-9 >= bf, "greedy {gr} < optimal {bf}");
         // Costs agree with the standalone evaluator.
-        prop_assert!((plan_cost(&p, &bf_plan) - bf).abs() < 1e-9);
-        prop_assert!((plan_cost(&p, &greedy_tree) - gr).abs() < 1e-9);
+        assert!((plan_cost(&p, &bf_plan) - bf).abs() < 1e-9);
+        assert!((plan_cost(&p, &greedy_tree) - gr).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn nary_round_trip_preserves_plans() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..64 {
+        let m = rng.gen_range(4..12usize);
+        let n = rng.gen_range(2..6usize);
+        let seed = rng.gen_range(0..200u64);
+        let p = PlanProblem::random(m, n, seed);
+        let (plan, cost) = greedy_plan(&p);
+        let back = keybridge::iqp::to_binary(&keybridge::iqp::to_nary(&plan));
+        assert_eq!(back, plan);
+        assert!((plan_cost(&p, &back) - cost).abs() < 1e-12);
     }
 }
 
 // ---------------------------------------------------------------------------
 // Engine- and statistics-level invariants.
 // ---------------------------------------------------------------------------
-
-use keybridge::index::InvertedIndex;
-use keybridge::relstore::{Database, SchemaBuilder, TableKind, Value};
 
 fn tiny_db(names: &[String]) -> Database {
     let mut b = SchemaBuilder::new();
@@ -161,35 +226,50 @@ fn tiny_db(names: &[String]) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// `count` random values of 1–3 tokens over a tiny alphabet (dense term
+/// collisions, like the original `[a-d]{1,3}( [a-d]{1,3}){0,2}` strategy).
+fn random_names(rng: &mut StdRng, count: usize, alphabet: &[&str]) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            let words = rng.gen_range(1..=3usize);
+            (0..words)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())].to_owned())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
 
-    #[test]
-    fn pk_lookup_roundtrip(names in proptest::collection::vec("[a-z ]{0,24}", 1..30)) {
+#[test]
+fn pk_lookup_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..32 {
+        let count = rng.gen_range(1..30usize);
+        let names = random_names(&mut rng, count, &["ab", "cd", "e f", "gh"]);
         let db = tiny_db(&names);
         let t = db.schema().table_id("t").unwrap();
-        prop_assert_eq!(db.table(t).len(), names.len());
+        assert_eq!(db.table(t).len(), names.len());
         for i in 0..names.len() {
             let row = db.table(t).by_pk(i as i64).expect("pk present");
-            prop_assert_eq!(db.pk_value(t, row), i as i64);
-            prop_assert_eq!(
-                db.table(t).row(row)[1].as_text().unwrap(),
-                names[i].as_str()
-            );
+            assert_eq!(db.pk_value(t, row), i as i64);
+            assert_eq!(db.table(t).row(row)[1].as_text().unwrap(), names[i].as_str());
         }
-        prop_assert!(db.table(t).by_pk(names.len() as i64 + 7).is_none());
+        assert!(db.table(t).by_pk(names.len() as i64 + 7).is_none());
     }
+}
 
-    #[test]
-    fn atf_is_probability_and_joint_bounded(
-        names in proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,2}", 2..25),
-    ) {
+#[test]
+fn atf_is_probability_and_joint_bounded() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..32 {
+        let count = rng.gen_range(2..25usize);
+        let names = random_names(&mut rng, count, &["a", "b", "c", "d", "ab", "cd"]);
         let db = tiny_db(&names);
         let idx = InvertedIndex::build(&db);
         let attr = db.schema().resolve("t", "name").unwrap();
         let stats = idx.attr_stats(attr);
         if stats.total_tokens == 0 {
-            return Ok(());
+            continue;
         }
         // ATF of every seen term lies in (0, 1] and joint ATF of any pair
         // never exceeds either marginal (co-occurrence is rarer than
@@ -201,22 +281,25 @@ proptest! {
             .collect();
         for a in &terms {
             let atf = idx.atf(a, attr, 1.0);
-            prop_assert!(atf > 0.0 && atf <= 1.0, "atf {atf}");
+            assert!(atf > 0.0 && atf <= 1.0, "atf {atf}");
             for b in &terms {
                 if a == b {
                     continue;
                 }
                 let joint = idx.joint_atf(&[a.clone(), b.clone()], attr, 1.0);
-                prop_assert!(joint <= idx.atf(a, attr, 1.0) + 1e-12);
-                prop_assert!(joint <= idx.atf(b, attr, 1.0) + 1e-12);
+                assert!(joint <= idx.atf(a, attr, 1.0) + 1e-12);
+                assert!(joint <= idx.atf(b, attr, 1.0) + 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn rows_with_all_is_intersection(
-        names in proptest::collection::vec("[a-c]{1,2}( [a-c]{1,2}){0,2}", 2..20),
-    ) {
+#[test]
+fn rows_with_all_is_intersection() {
+    let mut rng = StdRng::seed_from_u64(111);
+    for _ in 0..32 {
+        let count = rng.gen_range(2..20usize);
+        let names = random_names(&mut rng, count, &["a", "b", "c", "ab", "ba"]);
         let db = tiny_db(&names);
         let idx = InvertedIndex::build(&db);
         let attr = db.schema().resolve("t", "name").unwrap();
@@ -226,19 +309,217 @@ proptest! {
                 let only_a = idx.rows_with_all(&[a.to_owned()], attr);
                 let only_b = idx.rows_with_all(&[b.to_owned()], attr);
                 for r in &both {
-                    prop_assert!(only_a.contains(r) && only_b.contains(r));
+                    assert!(only_a.contains(r) && only_b.contains(r));
                 }
-                prop_assert!(both.len() <= only_a.len().min(only_b.len()));
+                assert!(both.len() <= only_a.len().min(only_b.len()));
+                // The early-exit probe agrees with the full intersection.
+                assert_eq!(
+                    idx.has_row_with_all(&[a.to_owned(), b.to_owned()], attr),
+                    !both.is_empty()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn nary_round_trip_preserves_plans(m in 4usize..12, n in 2usize..6, seed in 0u64..200) {
-        let p = PlanProblem::random(m, n, seed);
-        let (plan, cost) = greedy_plan(&p);
-        let back = keybridge::iqp::to_binary(&keybridge::iqp::to_nary(&plan));
-        prop_assert_eq!(&back, &plan);
-        prop_assert!((plan_cost(&p, &back) - cost).abs() < 1e-12);
+// ---------------------------------------------------------------------------
+// Best-first top-k equals the exhaustive oracle.
+// ---------------------------------------------------------------------------
+
+/// A random three-table movie-ish schema with skewed, ambiguous text and a
+/// random row count — small enough to enumerate exhaustively, varied enough
+/// to exercise joins, self-joins, schema-name bindings, and empty
+/// predicates.
+fn random_db(rng: &mut StdRng) -> Database {
+    let mut b = SchemaBuilder::new();
+    b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+    b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+    b.table("acts", TableKind::Relation)
+        .pk("id")
+        .int_attr("actor_id")
+        .int_attr("movie_id");
+    b.foreign_key("acts", "actor_id", "actor").unwrap();
+    b.foreign_key("acts", "movie_id", "movie").unwrap();
+    let mut db = Database::new(b.finish().unwrap());
+    let actor = db.schema().table_id("actor").unwrap();
+    let movie = db.schema().table_id("movie").unwrap();
+    let acts = db.schema().table_id("acts").unwrap();
+    // Tiny vocabulary: heavy term sharing between names and titles, which
+    // is what makes interpretations ambiguous.
+    const VOCAB: &[&str] = &["tom", "meg", "stone", "london", "terminal", "guest", "fire"];
+    let n_actor = rng.gen_range(2..7usize);
+    let n_movie = rng.gen_range(2..7usize);
+    for i in 0..n_actor {
+        let name = format!(
+            "{} {}",
+            VOCAB[rng.gen_range(0..VOCAB.len())],
+            VOCAB[rng.gen_range(0..VOCAB.len())]
+        );
+        db.insert(actor, vec![Value::Int(i as i64), Value::text(name)]).unwrap();
+    }
+    for i in 0..n_movie {
+        let words = rng.gen_range(1..=2usize);
+        let title = (0..words)
+            .map(|_| VOCAB[rng.gen_range(0..VOCAB.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        db.insert(movie, vec![Value::Int(i as i64), Value::text(title)]).unwrap();
+    }
+    for i in 0..rng.gen_range(0..8usize) {
+        db.insert(
+            acts,
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_actor as i64)),
+                Value::Int(rng.gen_range(0..n_movie as i64)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// A random 1–4 keyword query over the vocabulary (occasionally a schema
+/// word or an unknown token).
+fn random_query(rng: &mut StdRng) -> KeywordQuery {
+    const POOL: &[&str] = &[
+        "tom", "meg", "stone", "london", "terminal", "guest", "fire", "actor", "movie",
+        "title", "name", "zzzz",
+    ];
+    let n = rng.gen_range(1..=4usize);
+    KeywordQuery::from_terms(
+        (0..n)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())].to_owned())
+            .collect(),
+    )
+}
+
+/// A random interpreter configuration covering every scoring mode.
+fn random_config(rng: &mut StdRng) -> InterpreterConfig {
+    let prob = ProbabilityConfig {
+        alpha: if rng.gen_bool(0.5) { 1.0 } else { 0.25 },
+        use_joint_atf: rng.gen_bool(0.7),
+        unmapped_prob: if rng.gen_bool(0.5) { 1e-4 } else { 1e-8 },
+        uniform_keywords: rng.gen_bool(0.15),
+        ..Default::default()
+    };
+    let prior = if rng.gen_bool(0.3) {
+        TemplatePrior::from_usage(vec![
+            (vec!["actor".to_owned()], rng.gen_range(1..50usize)),
+            (
+                vec!["actor".to_owned(), "acts".to_owned(), "movie".to_owned()],
+                rng.gen_range(1..50usize),
+            ),
+        ])
+    } else {
+        TemplatePrior::Uniform
+    };
+    InterpreterConfig {
+        require_nonempty_predicates: rng.gen_bool(0.7),
+        allow_schema_bindings: rng.gen_bool(0.8),
+        prob,
+        prior,
+        ..Default::default()
+    }
+}
+
+fn assert_prefix_equal(
+    got: &[ScoredInterpretation],
+    oracle: &[ScoredInterpretation],
+    k: usize,
+    seed_note: &str,
+) {
+    assert_eq!(
+        got.len(),
+        oracle.len().min(k),
+        "{seed_note}: top-{k} length ({} oracle candidates)",
+        oracle.len()
+    );
+    for (rank, (g, w)) in got.iter().zip(oracle).enumerate() {
+        assert_eq!(
+            g.interpretation, w.interpretation,
+            "{seed_note}: interpretation at rank {rank}"
+        );
+        assert!(
+            (g.log_score - w.log_score).abs() < 1e-12,
+            "{seed_note}: log-score at rank {rank}: {} vs {}",
+            g.log_score,
+            w.log_score
+        );
+    }
+}
+
+/// The tentpole property: on randomized schemas, data, queries, and scoring
+/// configurations, `top_k(q, k)` equals the first `k` of the exhaustive
+/// `ranked_with_partials` oracle — same interpretations, same scores, same
+/// (tie-broken) order — and `top_k_complete` equals `ranked_interpretations`.
+#[test]
+fn top_k_equals_exhaustive_oracle() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut nonempty_cases = 0usize;
+    for case in 0..60 {
+        let db = random_db(&mut rng);
+        let index = InvertedIndex::build(&db);
+        let catalog = TemplateCatalog::enumerate(&db, 3, 10_000).unwrap();
+        let config = random_config(&mut rng);
+        let interp = Interpreter::new(&db, &index, &catalog, config);
+        let query = random_query(&mut rng);
+        let note = format!("case {case} query \"{query}\"");
+
+        let oracle_partials = interp.ranked_with_partials(&query);
+        let oracle_complete = interp.ranked_interpretations(&query);
+        if !oracle_partials.is_empty() {
+            nonempty_cases += 1;
+        }
+        for k in [1, 2, 5, oracle_partials.len().max(1)] {
+            let got = interp.top_k(&query, k);
+            assert_prefix_equal(&got, &oracle_partials, k, &format!("{note} partials"));
+            let got = interp.top_k_complete(&query, k);
+            assert_prefix_equal(&got, &oracle_complete, k, &format!("{note} complete"));
+        }
+        // Tie-break determinism: two runs emit byte-identical rankings.
+        let a = interp.top_k(&query, 7);
+        let b = interp.top_k(&query, 7);
+        assert_eq!(a.len(), b.len(), "{note}: nondeterministic length");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interpretation, y.interpretation, "{note}: nondeterministic order");
+            assert_eq!(x.log_score, y.log_score, "{note}: nondeterministic score");
+        }
+    }
+    assert!(
+        nonempty_cases >= 30,
+        "corpus too degenerate: only {nonempty_cases} non-empty cases"
+    );
+}
+
+/// The `Exhaustive` strategy flag routes `top_k` through the oracle; both
+/// strategies must agree on content, scores, and probabilities.
+#[test]
+fn strategy_flag_agreement() {
+    let mut rng = StdRng::seed_from_u64(7878);
+    for case in 0..20 {
+        let db = random_db(&mut rng);
+        let index = InvertedIndex::build(&db);
+        let catalog = TemplateCatalog::enumerate(&db, 3, 10_000).unwrap();
+        let config = random_config(&mut rng);
+        let query = random_query(&mut rng);
+        let best = Interpreter::new(&db, &index, &catalog, config.clone());
+        let oracle = Interpreter::new(
+            &db,
+            &index,
+            &catalog,
+            InterpreterConfig {
+                strategy: GenerationStrategy::Exhaustive,
+                ..config
+            },
+        );
+        let a = best.top_k(&query, 6);
+        let b = oracle.top_k(&query, 6);
+        assert_eq!(a.len(), b.len(), "case {case}");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interpretation, y.interpretation, "case {case}");
+            assert!((x.log_score - y.log_score).abs() < 1e-12, "case {case}");
+            assert!((x.probability - y.probability).abs() < 1e-9, "case {case}");
+        }
     }
 }
