@@ -1,7 +1,9 @@
 //! Smoke benchmark: candidate-generation throughput of the exhaustive
-//! pipeline vs. the best-first top-k generator, on the default IMDB
-//! fixture. Intended for CI (`--smoke`) and for refreshing the
-//! `BENCH_baseline.json` snapshot future PRs diff against.
+//! pipeline vs. the best-first top-k generator, plus executor throughput of
+//! the batched hash-join engine vs. the naive nested-loop oracle and the
+//! end-to-end `answers_top_k` path, on the default IMDB fixture. Intended
+//! for CI (`--smoke`) and for refreshing the `BENCH_baseline.json` snapshot
+//! future PRs diff against.
 //!
 //! ```text
 //! cargo run --release -p keybridge-bench --bin smoke -- --smoke
@@ -12,9 +14,12 @@
 //! wall-clock numbers depend on the machine and are recorded for trend
 //! spotting only.
 
-use keybridge_core::{Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog};
-use keybridge_datagen::{ImdbConfig, ImdbDataset};
+use keybridge_core::{
+    execute_interpretation, Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog,
+};
 use keybridge_index::InvertedIndex;
+use keybridge_datagen::{ImdbConfig, ImdbDataset};
+use keybridge_relstore::{ExecOptions, ExecStats, ExecStrategy};
 use std::time::Instant;
 
 /// Median wall-clock seconds of `f` over `runs` runs (after one warm-up).
@@ -110,20 +115,95 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // == execution: batched hash joins vs. the naive oracle, and the
+    //    end-to-end streaming answers path, on the 4-keyword query. ==
+    let exec_opts = |strategy| ExecOptions {
+        limit: 10_000,
+        strategy,
+        ..Default::default()
+    };
+    let sum_stats = |strategy| -> ExecStats {
+        let mut total = ExecStats::default();
+        for s in &topk {
+            if let Ok(r) = execute_interpretation(
+                &data.db,
+                &index,
+                &catalog,
+                &s.interpretation,
+                exec_opts(strategy),
+            ) {
+                total.absorb(&r.stats);
+            }
+        }
+        total
+    };
+    let hj = sum_stats(ExecStrategy::HashJoin);
+    let nv = sum_stats(ExecStrategy::Naive);
+    let t_exec_hj = time(5, || sum_stats(ExecStrategy::HashJoin));
+    let t_exec_nv = time(5, || sum_stats(ExecStrategy::Naive));
+    let (answers, astats) = interpreter.answers_top_k_with_stats(&query4, k);
+    let t_answers = time(5, || interpreter.answers_top_k(&query4, k));
+    println!("\n== execution (top {} interpretations of the 4-keyword query) ==", topk.len());
+    println!(
+        "  naive      : {} intermediate bindings, {} probes in {:.2} ms",
+        nv.intermediate_bindings, nv.probes, t_exec_nv * 1e3
+    );
+    println!(
+        "  hash join  : {} intermediate bindings, {} probes, {} batches, \
+         semi-join kept {}/{} rows ({:.0}% pruned) in {:.2} ms",
+        hj.intermediate_bindings,
+        hj.probes,
+        hj.batches,
+        hj.semijoin_rows_out,
+        hj.semijoin_rows_in,
+        hj.semijoin_reduction() * 100.0,
+        t_exec_hj * 1e3
+    );
+    println!(
+        "  answers    : top {} end-to-end in {:.2} ms ({} generated, {} executed, \
+         {} intermediates)",
+        answers.len(),
+        t_answers * 1e3,
+        astats.generated,
+        astats.executed,
+        astats.exec.intermediate_bindings,
+    );
+    if hj.intermediate_bindings >= nv.intermediate_bindings {
+        eprintln!(
+            "SMOKE FAIL: hash join did not materialize strictly fewer intermediate \
+             bindings ({} vs {})",
+            hj.intermediate_bindings, nv.intermediate_bindings
+        );
+        std::process::exit(1);
+    }
     println!("\nSMOKE OK");
 
     if let Some(path) = out_path {
         let json = format!(
-            "{{\n  \"fixture\": \"imdb-default\",\n  \"query4\": \"hanks terminal actor movie\",\n  \"k\": {k},\n  \"exhaustive_candidates\": {exhaustive_len},\n  \"best_first_materialized\": {},\n  \"best_first_expanded\": {},\n  \"best_first_pruned\": {},\n  \"nonempty_probes\": {},\n  \"nonempty_cache_hits\": {},\n  \"complete_space_2kw\": {space2},\n  \"wall_clock_ms\": {{\n    \"exhaustive_partials_4kw\": {:.3},\n    \"top10_partials_4kw\": {:.3},\n    \"exhaustive_complete_2kw\": {:.3},\n    \"top10_complete_2kw\": {:.3}\n  }}\n}}\n",
+            "{{\n  \"fixture\": \"imdb-default\",\n  \"query4\": \"hanks terminal actor movie\",\n  \"k\": {k},\n  \"exhaustive_candidates\": {exhaustive_len},\n  \"best_first_materialized\": {},\n  \"best_first_expanded\": {},\n  \"best_first_pruned\": {},\n  \"nonempty_probes\": {},\n  \"nonempty_cache_hits\": {},\n  \"complete_space_2kw\": {space2},\n  \"executor\": {{\n    \"naive_intermediate_bindings\": {},\n    \"hashjoin_intermediate_bindings\": {},\n    \"naive_probes\": {},\n    \"hashjoin_probes\": {},\n    \"hashjoin_batches\": {},\n    \"semijoin_rows_in\": {},\n    \"semijoin_rows_out\": {},\n    \"answers_generated\": {},\n    \"answers_executed\": {},\n    \"answers_returned\": {}\n  }},\n  \"wall_clock_ms\": {{\n    \"exhaustive_partials_4kw\": {:.3},\n    \"top10_partials_4kw\": {:.3},\n    \"exhaustive_complete_2kw\": {:.3},\n    \"top10_complete_2kw\": {:.3},\n    \"exec_naive_top10_4kw\": {:.3},\n    \"exec_hashjoin_top10_4kw\": {:.3},\n    \"answers_top10_4kw\": {:.3}\n  }}\n}}\n",
             stats.materialized,
             stats.expanded,
             stats.pruned,
             stats.nonempty_probes,
             stats.nonempty_cache_hits,
+            nv.intermediate_bindings,
+            hj.intermediate_bindings,
+            nv.probes,
+            hj.probes,
+            hj.batches,
+            hj.semijoin_rows_in,
+            hj.semijoin_rows_out,
+            astats.generated,
+            astats.executed,
+            answers.len(),
             t_exhaustive * 1e3,
             t_topk * 1e3,
             t_rank2 * 1e3,
             t_top2 * 1e3,
+            t_exec_nv * 1e3,
+            t_exec_hj * 1e3,
+            t_answers * 1e3,
         );
         std::fs::write(&path, json).expect("write baseline");
         println!("baseline written to {path}");

@@ -267,8 +267,8 @@ mod tests {
 // Chapter 4 helpers: executed interpretations with simulated assessments.
 // ---------------------------------------------------------------------------
 
-use keybridge_core::{execute_interpretation, BindingAtom, ResultKey};
-use keybridge_divq::{simulate_assessments, AssessConfig, EvalItem};
+use keybridge_core::{BindingAtom, ResultKey};
+use keybridge_divq::{executed_div_pool, simulate_assessments, AssessConfig, EvalItem};
 use std::collections::BTreeSet;
 
 /// Per-query data for the Chapter 4 experiments: the top interpretations
@@ -325,31 +325,19 @@ pub fn ch4_data(
 ) -> Option<Ch4Data> {
     let query = KeywordQuery::from_terms(q.keywords.clone());
     // The DivQ pool: the top complete AND partial interpretations (§4.4.2),
-    // produced best-first — the exhaustive lattice is never materialized.
+    // produced best-first — the exhaustive lattice is never materialized —
+    // then executed through the batched hash-join engine with one shared
+    // cache (empty-result interpretations drop out, §4.4.1).
     let ranked = interpreter.top_k(&query, top);
-    let mut probs = Vec::new();
-    let mut atoms = Vec::new();
-    let mut keys = Vec::new();
-    for s in ranked.iter().take(top) {
-        let Ok(result) = execute_interpretation(
-            &fixture.db,
-            &fixture.index,
-            &fixture.catalog,
-            &s.interpretation,
-            keybridge_relstore::ExecOptions {
-                limit: 500,
-                ..Default::default()
-            },
-        ) else {
-            continue;
-        };
-        if result.is_empty() {
-            continue; // zero-probability under the DivQ model
-        }
-        probs.push(s.probability);
-        atoms.push(s.interpretation.atoms(&fixture.catalog).into_iter().collect());
-        keys.push(result.keys);
-    }
+    let (items, keys, _exec_stats) = executed_div_pool(
+        &fixture.db,
+        &fixture.index,
+        &fixture.catalog,
+        &ranked,
+        500,
+    );
+    let probs: Vec<f64> = items.iter().map(|i| i.relevance).collect();
+    let atoms: Vec<BTreeSet<BindingAtom>> = items.into_iter().map(|i| i.atoms).collect();
     if probs.len() < min_interps {
         return None;
     }

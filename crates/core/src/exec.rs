@@ -2,16 +2,24 @@
 //! the interpretation's value predicates into candidate row sets via the
 //! inverted index, run the template's join tree, and collect joining tuple
 //! trees with their primary keys (the "information nuggets" of Chapter 4).
+//!
+//! [`ExecCache`] makes repeated execution cheap across a candidate list:
+//! predicate row sets are computed once per distinct `(keyword bag, attr)`
+//! pair — the same probe the generator's non-emptiness cache answers — and
+//! whole [`ExecutedResult`]s are memoized per interpretation, which is what
+//! lets [`crate::Interpreter::answers_top_k`] replay its ranked prefix in
+//! successive generation waves for free.
 
 use crate::interp::BindingTarget;
 use crate::template::TemplateCatalog;
 use crate::QueryInterpretation;
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{
-    execute_join_tree, AttrRef, Candidates, Database, ExecOptions, JoinedRow, RelResult, RowId,
-    TableId,
+    execute_join_tree_with_stats, AttrRef, Candidates, Database, ExecOptions, ExecStats,
+    JoinedRow, RelResult, RowId, TableId,
 };
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
 
 /// A tuple identifier: table plus primary-key value. The unit of result
 /// overlap in DivQ's metrics (one `ResultKey` = one information nugget).
@@ -34,6 +42,8 @@ pub struct ExecutedResult {
     pub keys: BTreeSet<ResultKey>,
     /// All distinct tuples appearing in any JTT, free nodes included.
     pub all_keys: BTreeSet<ResultKey>,
+    /// Executor counters of this run (batches, probes, semi-join reduction).
+    pub stats: ExecStats,
 }
 
 impl ExecutedResult {
@@ -48,6 +58,100 @@ impl ExecutedResult {
     }
 }
 
+/// One memoized execution: the options it ran under plus its result.
+#[derive(Debug, Clone)]
+struct CachedExecution {
+    limit: usize,
+    max_intermediate: usize,
+    count_only: bool,
+    strategy: keybridge_relstore::ExecStrategy,
+    result: Rc<ExecutedResult>,
+}
+
+/// Shared execution state across many interpretations of one query:
+/// predicate row sets keyed by `(sorted keyword bag, attribute)` and
+/// memoized per-interpretation results.
+#[derive(Debug, Default)]
+pub struct ExecCache {
+    predicate_rows: HashMap<(Vec<String>, AttrRef), Vec<RowId>>,
+    results: HashMap<QueryInterpretation, CachedExecution>,
+    /// Predicate row sets served from the cache.
+    pub predicate_hits: usize,
+    /// Whole executions served from the cache.
+    pub result_hits: usize,
+}
+
+impl ExecCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a cached predicate is known (non-)empty — the executor-side
+    /// twin of the generator's non-emptiness probe. `None` when the bag was
+    /// never materialized.
+    pub fn predicate_nonempty(&self, keywords: &[String], attr: AttrRef) -> Option<bool> {
+        let mut key = keywords.to_vec();
+        key.sort();
+        self.predicate_rows.get(&(key, attr)).map(|r| !r.is_empty())
+    }
+
+    /// Number of distinct predicates materialized so far.
+    pub fn predicate_count(&self) -> usize {
+        self.predicate_rows.len()
+    }
+
+    /// Number of memoized executions.
+    pub fn result_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Rows of `attr` containing all of `keywords`, from the cache or
+    /// freshly intersected (and then cached).
+    fn rows(&mut self, index: &InvertedIndex, keywords: &[String], attr: AttrRef) -> Vec<RowId> {
+        let mut sorted = keywords.to_vec();
+        sorted.sort();
+        let key = (sorted, attr);
+        if let Some(rows) = self.predicate_rows.get(&key) {
+            self.predicate_hits += 1;
+            return rows.clone();
+        }
+        let rows = index.rows_with_all(keywords, attr);
+        self.predicate_rows.insert(key, rows.clone());
+        rows
+    }
+}
+
+/// Intersect two sorted row lists in place (`prev ∩= other`), two-pointer
+/// merge — the sorted-merge path replacing the old per-binding `HashSet`.
+fn intersect_sorted(prev: &mut Vec<RowId>, other: &[RowId]) {
+    let mut out_i = 0;
+    let mut j = 0;
+    for i in 0..prev.len() {
+        let r = prev[i];
+        while j < other.len() && other[j] < r {
+            j += 1;
+        }
+        if j < other.len() && other[j] == r {
+            prev[out_i] = r;
+            out_i += 1;
+            j += 1;
+        }
+    }
+    prev.truncate(out_i);
+}
+
+/// Node indexes of `interp` carrying a value predicate (the "bound" nodes
+/// whose rows identify an answer).
+pub fn bound_nodes(interp: &QueryInterpretation, node_count: usize) -> Vec<bool> {
+    let mut bound = vec![false; node_count];
+    for b in &interp.bindings {
+        if matches!(b.target, BindingTarget::Value { .. }) {
+            bound[b.target.node()] = true;
+        }
+    }
+    bound
+}
+
 /// Execute `interp` over `db`.
 pub fn execute_interpretation(
     db: &Database,
@@ -56,9 +160,71 @@ pub fn execute_interpretation(
     interp: &QueryInterpretation,
     opts: ExecOptions,
 ) -> RelResult<ExecutedResult> {
+    execute_inner(db, index, catalog, interp, opts, &mut None)
+}
+
+/// Execute `interp`, sharing predicate row sets and memoized results through
+/// `cache`. A cached result is reused only when it ran in the same mode
+/// (strategy and `count_only` match, the cached run was at least as strict
+/// about `max_intermediate`) and its limit was not the binding constraint
+/// (it either completed below its limit or had at least the requested one).
+///
+/// Results are shared (`Rc`) so cache hits cost no copying. Note a cache
+/// hit on a *complete* cached result may carry more than `opts.limit` JTTs;
+/// callers that need an exact cap must truncate themselves (the streaming
+/// answer loop takes only what it still needs).
+pub fn execute_interpretation_cached(
+    db: &Database,
+    index: &InvertedIndex,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+    opts: ExecOptions,
+    cache: &mut ExecCache,
+) -> RelResult<Rc<ExecutedResult>> {
+    if let Some(c) = cache.results.get(interp) {
+        let complete = !c.count_only && c.result.jtts.len() < c.limit;
+        if c.strategy == opts.strategy
+            && c.count_only == opts.count_only
+            && c.max_intermediate <= opts.max_intermediate
+            && (complete || c.limit >= opts.limit)
+        {
+            cache.result_hits += 1;
+            return Ok(Rc::clone(&c.result));
+        }
+    }
+    let result = Rc::new(execute_inner(
+        db,
+        index,
+        catalog,
+        interp,
+        opts,
+        &mut Some(&mut *cache),
+    )?);
+    cache.results.insert(
+        interp.clone(),
+        CachedExecution {
+            limit: opts.limit,
+            max_intermediate: opts.max_intermediate,
+            count_only: opts.count_only,
+            strategy: opts.strategy,
+            result: Rc::clone(&result),
+        },
+    );
+    Ok(result)
+}
+
+fn execute_inner(
+    db: &Database,
+    index: &InvertedIndex,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+    opts: ExecOptions,
+    cache: &mut Option<&mut ExecCache>,
+) -> RelResult<ExecutedResult> {
     let tpl = catalog.get(interp.template);
     let n = tpl.tree.nodes.len();
     let mut per_node: Vec<Option<Vec<RowId>>> = vec![None; n];
+    let mut scratch = Vec::new();
 
     for b in &interp.bindings {
         if let BindingTarget::Value { node, attr } = b.target {
@@ -66,30 +232,32 @@ pub fn execute_interpretation(
                 table: tpl.tree.nodes[node],
                 attr,
             };
-            let rows = index.rows_with_all(&b.keywords, aref);
+            let rows = match cache.as_deref_mut() {
+                Some(c) => c.rows(index, &b.keywords, aref),
+                None => {
+                    let mut out = Vec::new();
+                    index.rows_with_all_into(&b.keywords, aref, &mut out, &mut scratch);
+                    out
+                }
+            };
             per_node[node] = Some(match per_node[node].take() {
-                // Two predicates on the same node: intersect.
-                Some(prev) => {
-                    let set: std::collections::HashSet<RowId> = rows.into_iter().collect();
-                    prev.into_iter().filter(|r| set.contains(r)).collect()
+                // Two predicates on the same node: sorted-merge intersection
+                // (both lists come out of the index sorted).
+                Some(mut prev) => {
+                    intersect_sorted(&mut prev, &rows);
+                    prev
                 }
                 None => rows,
             });
         }
     }
 
-    let mut bound = vec![false; n];
-    for b in &interp.bindings {
-        if matches!(b.target, BindingTarget::Value { .. }) {
-            bound[b.target.node()] = true;
-        }
-    }
-
+    let bound = bound_nodes(interp, n);
     let candidates = Candidates { per_node };
-    let jtts = execute_join_tree(db, &tpl.tree, &candidates, opts)?;
+    let outcome = execute_join_tree_with_stats(db, &tpl.tree, &candidates, opts)?;
     let mut keys = BTreeSet::new();
     let mut all_keys = BTreeSet::new();
-    for jtt in &jtts {
+    for jtt in &outcome.rows {
         for (node, row) in jtt.iter().enumerate() {
             let table = tpl.tree.nodes[node];
             let key = ResultKey {
@@ -103,9 +271,10 @@ pub fn execute_interpretation(
         }
     }
     Ok(ExecutedResult {
-        jtts,
+        jtts: outcome.rows,
         keys,
         all_keys,
+        stats: outcome.stats,
     })
 }
 
@@ -114,7 +283,7 @@ mod tests {
     use super::*;
     use crate::interp::KeywordBinding;
     use crate::template::TemplateCatalog;
-    use keybridge_relstore::{SchemaBuilder, TableKind, Value};
+    use keybridge_relstore::{ExecStrategy, SchemaBuilder, TableKind, Value};
 
     fn setup() -> (Database, InvertedIndex, TemplateCatalog) {
         let mut b = SchemaBuilder::new();
@@ -187,6 +356,7 @@ mod tests {
         assert!(res.keys.contains(&ResultKey { table: movie, pk: 10 }));
         assert_eq!(res.keys.len(), 2); // the bound actor + movie tuples
         assert_eq!(res.all_keys.len(), 3); // plus the free acts tuple
+        assert!(res.stats.probes > 0);
     }
 
     #[test]
@@ -243,5 +413,111 @@ mod tests {
             execute_interpretation(&db, &idx, &catalog, &interp, ExecOptions::default()).unwrap();
         assert_eq!(res.len(), 2); // both toms
         assert_eq!(res.keys.len(), 2);
+    }
+
+    #[test]
+    fn same_node_predicates_intersect_by_merge() {
+        let (db, idx, catalog) = setup();
+        let actor = db.schema().table_id("actor").unwrap();
+        let tpl = catalog
+            .iter()
+            .find(|t| t.tree.nodes == vec![actor])
+            .unwrap();
+        let name = db.schema().resolve("actor", "name").unwrap().attr;
+        // Two separate predicates on the same node: "tom" ∩ "hanks".
+        let interp = QueryInterpretation::new(
+            tpl.id,
+            vec![
+                KeywordBinding {
+                    keywords: vec!["tom".into()],
+                    target: BindingTarget::Value { node: 0, attr: name },
+                },
+                KeywordBinding {
+                    keywords: vec!["hanks".into()],
+                    target: BindingTarget::Value { node: 0, attr: name },
+                },
+            ],
+        );
+        for strategy in [ExecStrategy::HashJoin, ExecStrategy::Naive] {
+            let res = execute_interpretation(
+                &db,
+                &idx,
+                &catalog,
+                &interp,
+                ExecOptions { strategy, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(res.len(), 1, "{strategy:?}");
+            assert!(res.keys.contains(&ResultKey { table: actor, pk: 1 }));
+        }
+    }
+
+    #[test]
+    fn cache_reuses_predicates_and_results() {
+        let (db, idx, catalog) = setup();
+        let interp = hanks_terminal(&db, &catalog);
+        let mut cache = ExecCache::new();
+        let a = execute_interpretation_cached(
+            &db, &idx, &catalog, &interp, ExecOptions::default(), &mut cache,
+        )
+        .unwrap();
+        assert_eq!(cache.result_hits, 0);
+        assert_eq!(cache.predicate_count(), 2);
+        let b = execute_interpretation_cached(
+            &db, &idx, &catalog, &interp, ExecOptions::default(), &mut cache,
+        )
+        .unwrap();
+        assert_eq!(cache.result_hits, 1);
+        assert_eq!(a.jtts, b.jtts);
+        assert_eq!(a.keys, b.keys);
+        // The predicate sets answer non-emptiness without re-probing.
+        let name = db.schema().resolve("actor", "name").unwrap();
+        assert_eq!(cache.predicate_nonempty(&["hanks".into()], name), Some(true));
+        assert_eq!(cache.predicate_nonempty(&["zzz".into()], name), None);
+    }
+
+    #[test]
+    fn cached_result_not_reused_when_limit_grows() {
+        let (db, idx, catalog) = setup();
+        let actor = db.schema().table_id("actor").unwrap();
+        let tpl = catalog.iter().find(|t| t.tree.nodes == vec![actor]).unwrap();
+        let interp = QueryInterpretation::new(
+            tpl.id,
+            vec![KeywordBinding {
+                keywords: vec!["tom".into()],
+                target: BindingTarget::Value {
+                    node: 0,
+                    attr: db.schema().resolve("actor", "name").unwrap().attr,
+                },
+            }],
+        );
+        let mut cache = ExecCache::new();
+        let small = ExecOptions { limit: 1, ..Default::default() };
+        let r1 = execute_interpretation_cached(&db, &idx, &catalog, &interp, small, &mut cache)
+            .unwrap();
+        assert_eq!(r1.len(), 1); // truncated: cached entry hit its limit
+        let big = ExecOptions { limit: 10, ..Default::default() };
+        let r2 = execute_interpretation_cached(&db, &idx, &catalog, &interp, big, &mut cache)
+            .unwrap();
+        assert_eq!(cache.result_hits, 0, "limited result must not satisfy a larger limit");
+        assert_eq!(r2.len(), 2);
+        // And now the bigger (complete) result satisfies smaller requests.
+        let r3 = execute_interpretation_cached(&db, &idx, &catalog, &interp, small, &mut cache)
+            .unwrap();
+        assert_eq!(cache.result_hits, 1);
+        assert_eq!(r3.len(), 2); // cached complete result, caller sees ≥ limit
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        let mut a = vec![RowId(1), RowId(3), RowId(5), RowId(9)];
+        intersect_sorted(&mut a, &[RowId(0), RowId(3), RowId(4), RowId(9), RowId(11)]);
+        assert_eq!(a, vec![RowId(3), RowId(9)]);
+        let mut b: Vec<RowId> = vec![];
+        intersect_sorted(&mut b, &[RowId(1)]);
+        assert!(b.is_empty());
+        let mut c = vec![RowId(2)];
+        intersect_sorted(&mut c, &[]);
+        assert!(c.is_empty());
     }
 }

@@ -1,12 +1,15 @@
 //! Interpretation generation (§3.5.2): compose keyword interpretations with
 //! query templates into complete, minimal query interpretations.
 
+use crate::exec::{
+    bound_nodes, execute_interpretation_cached, ExecCache, ExecutedResult, ResultKey,
+};
 use crate::interp::{BindingTarget, KeywordBinding, QueryInterpretation};
 use crate::keyword::KeywordQuery;
 use crate::prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 use crate::template::TemplateCatalog;
 use keybridge_index::{InvertedIndex, SchemaTarget};
-use keybridge_relstore::{AttrRef, Database, TableId};
+use keybridge_relstore::{AttrRef, Database, ExecOptions, ExecStats, JoinedRow, TableId};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -84,6 +87,78 @@ pub struct ScoredInterpretation {
     pub log_score: f64,
     /// Probability normalized over the generated candidate set.
     pub probability: f64,
+}
+
+/// The generator's memoized non-emptiness probes, keyed by keyword
+/// occurrence bitmask and attribute, extracted so it can persist across
+/// repeated `top_k` calls for the *same* keyword query (occurrence masks are
+/// positional — the cache remembers its term sequence and self-clears when
+/// handed a different query, so stale verdicts can never leak).
+/// [`Interpreter::answers_top_k`] threads one cache through its generation
+/// waves and seeds it from the executor's materialized predicate row sets.
+#[derive(Debug, Default)]
+pub struct NonemptyCache {
+    map: HashMap<(u64, AttrRef), bool>,
+    terms: Vec<String>,
+}
+
+impl NonemptyCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized probes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One ranked end-to-end answer: a joining tuple tree of the interpretation
+/// it came from, ordered best-interpretation-first.
+#[derive(Debug, Clone)]
+pub struct RankedAnswer {
+    /// The interpretation this answer instantiates.
+    pub interpretation: QueryInterpretation,
+    /// The interpretation's `ln P(Q|K)` (answers inherit their
+    /// interpretation's score; JTTs of one interpretation tie).
+    pub log_score: f64,
+    /// One row id per template node.
+    pub jtt: JoinedRow,
+    /// The answer's identifying tuples: `ResultKey`s of the value-bound
+    /// nodes, sorted and deduplicated.
+    pub keys: Vec<ResultKey>,
+}
+
+/// Counters describing one [`Interpreter::answers_top_k`] run.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerStats {
+    /// Interpretations pulled from the generator in the final wave.
+    pub generated: usize,
+    /// Distinct interpretations actually executed (cache misses).
+    pub executed: usize,
+    /// Executed interpretations with at least one JTT.
+    pub nonempty: usize,
+    /// Executions that errored (e.g. intermediate-blowup guard) and were
+    /// skipped.
+    pub exec_errors: usize,
+    /// Generation waves run (k grows geometrically until enough answers).
+    pub waves: usize,
+    /// Answers returned.
+    pub answers: usize,
+    /// Predicate row sets served from the execution cache.
+    pub predicate_cache_hits: usize,
+    /// Whole executions served from the cache (wave replays).
+    pub result_cache_hits: usize,
+    /// Generator non-emptiness entries seeded from executor predicates.
+    pub nonempty_seeded: usize,
+    /// Final wave's generation counters.
+    pub gen: GenerationStats,
+    /// Executor counters aggregated over all fresh executions.
+    pub exec: ExecStats,
 }
 
 /// One candidate target for a single keyword, before template localization.
@@ -395,7 +470,36 @@ impl<'a> Interpreter<'a> {
                 };
                 (Self::renormalized_prefix(ranked, k), stats)
             }
-            GenerationStrategy::BestFirst => self.best_first_top_k(query, k, include_partials),
+            GenerationStrategy::BestFirst => {
+                self.best_first_top_k(query, k, include_partials, None)
+            }
+        }
+    }
+
+    /// Like [`Self::top_k_with_stats`], but the non-emptiness memo persists
+    /// in `cache` across calls — the repeated-`top_k`-with-growing-`k`
+    /// pattern of [`Self::answers_top_k`]. Occurrence masks are positional,
+    /// so a cache handed a different keyword sequence resets itself first.
+    /// Ignored under the exhaustive strategy.
+    pub fn top_k_with_cache(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        include_partials: bool,
+        cache: &mut NonemptyCache,
+    ) -> (Vec<ScoredInterpretation>, GenerationStats) {
+        if k == 0 || query.is_empty() {
+            return (Vec::new(), GenerationStats::default());
+        }
+        if cache.terms.as_slice() != query.terms() {
+            cache.map.clear();
+            cache.terms = query.terms().to_vec();
+        }
+        match self.config.strategy {
+            GenerationStrategy::Exhaustive => self.top_k_with_stats(query, k, include_partials),
+            GenerationStrategy::BestFirst => {
+                self.best_first_top_k(query, k, include_partials, Some(cache))
+            }
         }
     }
 
@@ -419,6 +523,7 @@ impl<'a> Interpreter<'a> {
         query: &KeywordQuery,
         k: usize,
         include_partials: bool,
+        cache: Option<&mut NonemptyCache>,
     ) -> (Vec<ScoredInterpretation>, GenerationStats) {
         let terms = query.terms();
         let n = terms.len();
@@ -469,6 +574,11 @@ impl<'a> Interpreter<'a> {
         );
         let scorer = model.incremental(terms, &value_attrs, &name_tables, include_partials);
 
+        let mut cache = cache;
+        let nonempty = cache
+            .as_deref_mut()
+            .map(|c| std::mem::take(&mut c.map))
+            .unwrap_or_default();
         let mut search = BestFirstSearch {
             interpreter: self,
             model: &model,
@@ -481,12 +591,209 @@ impl<'a> Interpreter<'a> {
             emitted: HashSet::new(),
             buffer: Vec::new(),
             top_scores: BinaryHeap::new(),
-            nonempty: HashMap::new(),
+            nonempty,
             stats: GenerationStats::default(),
         };
         search.seed_roots();
         search.run();
+        if let Some(c) = cache {
+            c.map = std::mem::take(&mut search.nonempty);
+        }
         search.finish()
+    }
+
+    // -----------------------------------------------------------------
+    // End-to-end streaming answers.
+    // -----------------------------------------------------------------
+
+    /// The top `k` *answers* of `query`: joining tuple trees, ordered by
+    /// their interpretation's rank (the §2.2.6 results the user actually
+    /// wants, not query forms). Generation and execution interleave:
+    /// interpretations are pulled best-first in geometrically growing waves,
+    /// executed lazily with `limit` set to the answers still missing (the
+    /// batched executor then streams instead of materializing full joins),
+    /// and empty interpretations are skipped — replays across waves are
+    /// served from the execution cache.
+    pub fn answers_top_k(&self, query: &KeywordQuery, k: usize) -> Vec<RankedAnswer> {
+        self.answers_top_k_with_opts(query, k, ExecOptions::default()).0
+    }
+
+    /// [`Self::answers_top_k`] with counters.
+    pub fn answers_top_k_with_stats(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> (Vec<RankedAnswer>, AnswerStats) {
+        self.answers_top_k_with_opts(query, k, ExecOptions::default())
+    }
+
+    /// [`Self::answers_top_k`] under explicit base execution options —
+    /// `strategy` and `max_intermediate` are honored, `limit` and
+    /// `count_only` are managed by the streaming loop.
+    pub fn answers_top_k_with_opts(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        base: ExecOptions,
+    ) -> (Vec<RankedAnswer>, AnswerStats) {
+        let mut stats = AnswerStats::default();
+        if k == 0 || query.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let terms = query.terms();
+        let mut exec_cache = ExecCache::new();
+        let mut gen_cache = NonemptyCache::new();
+        // Executions that errored (e.g. the intermediate-blowup guard):
+        // tombstoned so wave replays skip them instead of re-running the
+        // blow-up, and each failure is counted once.
+        let mut failed: HashSet<QueryInterpretation> = HashSet::new();
+        let mut answers: Vec<RankedAnswer> = Vec::new();
+        let mut gen_k = k.max(8).min(self.config.max_interpretations);
+        loop {
+            stats.waves += 1;
+            let (ranked, gstats) = self.top_k_with_cache(query, gen_k, true, &mut gen_cache);
+            stats.gen = gstats;
+            stats.generated = ranked.len();
+            answers.clear();
+            for s in &ranked {
+                if answers.len() >= k {
+                    break;
+                }
+                let remaining = k - answers.len();
+                let opts = ExecOptions {
+                    limit: remaining,
+                    count_only: false,
+                    ..base
+                };
+                if failed.contains(&s.interpretation) {
+                    continue;
+                }
+                let hits_before = exec_cache.result_hits;
+                let res = match execute_interpretation_cached(
+                    self.db,
+                    self.index,
+                    self.catalog,
+                    &s.interpretation,
+                    opts,
+                    &mut exec_cache,
+                ) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        stats.exec_errors += 1;
+                        failed.insert(s.interpretation.clone());
+                        continue;
+                    }
+                };
+                if exec_cache.result_hits == hits_before {
+                    // Fresh execution: count it once and feed what the
+                    // executor learned back into the generator's cache.
+                    stats.executed += 1;
+                    stats.exec.absorb(&res.stats);
+                    if !res.is_empty() {
+                        stats.nonempty += 1;
+                    }
+                    stats.nonempty_seeded += self.seed_nonempty_from_execution(
+                        terms,
+                        &s.interpretation,
+                        &exec_cache,
+                        &mut gen_cache,
+                    );
+                }
+                if res.is_empty() {
+                    continue;
+                }
+                self.collect_answers(s, &res, remaining, &mut answers);
+            }
+            let exhausted =
+                ranked.len() < gen_k || gen_k >= self.config.max_interpretations;
+            if answers.len() >= k || exhausted {
+                break;
+            }
+            gen_k = gen_k.saturating_mul(4).min(self.config.max_interpretations);
+        }
+        stats.predicate_cache_hits = exec_cache.predicate_hits;
+        stats.result_cache_hits = exec_cache.result_hits;
+        stats.answers = answers.len();
+        (answers, stats)
+    }
+
+    /// Turn up to `remaining` JTTs of one executed interpretation into
+    /// [`RankedAnswer`]s.
+    fn collect_answers(
+        &self,
+        s: &ScoredInterpretation,
+        res: &ExecutedResult,
+        remaining: usize,
+        answers: &mut Vec<RankedAnswer>,
+    ) {
+        let tpl = self.catalog.get(s.interpretation.template);
+        let bound = bound_nodes(&s.interpretation, tpl.tree.nodes.len());
+        for jtt in res.jtts.iter().take(remaining) {
+            let mut keys: Vec<ResultKey> = jtt
+                .iter()
+                .enumerate()
+                .filter(|(node, _)| bound[*node])
+                .map(|(node, row)| {
+                    let table = tpl.tree.nodes[node];
+                    ResultKey {
+                        table,
+                        pk: self.db.pk_value(table, *row),
+                    }
+                })
+                .collect();
+            keys.sort();
+            keys.dedup();
+            answers.push(RankedAnswer {
+                interpretation: s.interpretation.clone(),
+                log_score: s.log_score,
+                jtt: jtt.clone(),
+                keys,
+            });
+        }
+    }
+    /// Seed the generator's mask-keyed non-emptiness cache from the
+    /// predicate row sets the executor materialized for `interp`. Each
+    /// keyword bag maps back to a canonical occurrence mask (first unused
+    /// occurrence per term), which covers the common no-duplicate case
+    /// exactly.
+    fn seed_nonempty_from_execution(
+        &self,
+        terms: &[String],
+        interp: &QueryInterpretation,
+        exec_cache: &ExecCache,
+        gen_cache: &mut NonemptyCache,
+    ) -> usize {
+        if terms.len() > 63 {
+            return 0; // occurrence masks are u64; long queries skip seeding
+        }
+        let tpl = self.catalog.get(interp.template);
+        let mut seeded = 0;
+        'binding: for b in &interp.bindings {
+            let BindingTarget::Value { node, attr } = b.target else {
+                continue;
+            };
+            let mut mask = 0u64;
+            for kw in &b.keywords {
+                let Some(pos) =
+                    (0..terms.len()).find(|&i| terms[i] == *kw && mask & (1 << i) == 0)
+                else {
+                    continue 'binding;
+                };
+                mask |= 1 << pos;
+            }
+            let aref = AttrRef {
+                table: tpl.tree.nodes[node],
+                attr,
+            };
+            let Some(nonempty) = exec_cache.predicate_nonempty(&b.keywords, aref) else {
+                continue;
+            };
+            if !gen_cache.map.contains_key(&(mask, aref)) {
+                gen_cache.map.insert((mask, aref), nonempty);
+                seeded += 1;
+            }
+        }
+        seeded
     }
 }
 
@@ -1216,6 +1523,132 @@ mod tests {
             let sum: f64 = got.iter().map(|s| s.probability).sum();
             assert!((sum - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn answers_top_k_streams_ranked_results() {
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let k = 12;
+        let (answers, stats) = interp.answers_top_k_with_stats(&q, k);
+        assert!(!answers.is_empty());
+        assert!(answers.len() <= k);
+        assert_eq!(stats.answers, answers.len());
+        // Ordered by interpretation score, best first.
+        for w in answers.windows(2) {
+            assert!(w[0].log_score >= w[1].log_score);
+        }
+        for a in &answers {
+            assert!(!a.keys.is_empty(), "answer without identifying keys");
+            assert!(a.keys.windows(2).all(|w| w[0] < w[1]), "keys sorted+dedup");
+            let tpl = f.catalog.get(a.interpretation.template);
+            assert_eq!(a.jtt.len(), tpl.tree.nodes.len());
+        }
+        assert!(stats.executed > 0);
+        assert!(stats.nonempty > 0);
+        assert!(stats.exec.probes > 0 || stats.exec.intermediate_bindings > 0);
+    }
+
+    #[test]
+    fn answers_agree_across_strategies() {
+        // BestFirst generation + hash-join execution must produce the same
+        // answer keys and scores as exhaustive generation + naive execution.
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![first, last]);
+        let fast = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let oracle = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig {
+                strategy: GenerationStrategy::Exhaustive,
+                ..Default::default()
+            },
+        );
+        let k = 10;
+        let a = fast.answers_top_k(&q, k);
+        let b = oracle.answers_top_k_with_opts(
+            &q,
+            k,
+            keybridge_relstore::ExecOptions {
+                strategy: keybridge_relstore::ExecStrategy::Naive,
+                ..Default::default()
+            },
+        );
+        let b = b.0;
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interpretation, y.interpretation);
+            assert!((x.log_score - y.log_score).abs() < 1e-12);
+            // JTT order within one interpretation is strategy-defined; keys
+            // of the multiset must still agree pairwise after sorting.
+        }
+        let mut ka: Vec<_> = a.iter().map(|x| x.keys.clone()).collect();
+        let mut kb: Vec<_> = b.iter().map(|x| x.keys.clone()).collect();
+        ka.sort();
+        kb.sort();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn nonempty_cache_resets_across_queries() {
+        // Reusing one cache for a *different* query must not leak positional
+        // verdicts: results equal a fresh top_k run.
+        let f = fixture();
+        let (first, last) = first_actor_tokens(&f);
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let q1 = KeywordQuery::from_terms(vec![first.clone(), last.clone()]);
+        let q2 = KeywordQuery::from_terms(vec![last, "actor".into()]);
+        let mut cache = NonemptyCache::new();
+        let _ = interp.top_k_with_cache(&q1, 5, true, &mut cache);
+        let (reused, _) = interp.top_k_with_cache(&q2, 5, true, &mut cache);
+        let fresh = interp.top_k(&q2, 5);
+        assert_eq!(reused.len(), fresh.len());
+        for (a, b) in reused.iter().zip(&fresh) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert!((a.log_score - b.log_score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn answers_top_k_edge_cases() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        assert!(interp
+            .answers_top_k(&KeywordQuery::from_terms(vec![]), 5)
+            .is_empty());
+        let (_, last) = first_actor_tokens(&f);
+        let q = KeywordQuery::from_terms(vec![last]);
+        assert!(interp.answers_top_k(&q, 0).is_empty());
+        assert!(interp
+            .answers_top_k(&KeywordQuery::from_terms(vec!["zzzzqqqq".into()]), 5)
+            .is_empty());
+        // Some answers delivered, never more than k.
+        let answers = interp.answers_top_k(&q, 3);
+        assert!(!answers.is_empty() && answers.len() <= 3);
     }
 
     #[test]

@@ -33,9 +33,13 @@ mod rank;
 mod render;
 mod template;
 
-pub use exec::{execute_interpretation, ExecutedResult, ResultKey};
+pub use exec::{
+    bound_nodes, execute_interpretation, execute_interpretation_cached, ExecCache,
+    ExecutedResult, ResultKey,
+};
 pub use generate::{
-    GenerationStats, GenerationStrategy, Interpreter, InterpreterConfig, ScoredInterpretation,
+    AnswerStats, GenerationStats, GenerationStrategy, Interpreter, InterpreterConfig,
+    NonemptyCache, RankedAnswer, ScoredInterpretation,
 };
 pub use hierarchy::{subsumes, QueryHierarchy};
 pub use interp::{

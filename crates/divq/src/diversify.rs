@@ -1,7 +1,12 @@
 //! The diversification scheme (§4.4): Jaccard similarity between query
 //! interpretations and the greedy relevance/novelty selection of Alg. 4.1.
 
-use keybridge_core::{BindingAtom, ScoredInterpretation, TemplateCatalog};
+use keybridge_core::{
+    execute_interpretation_cached, BindingAtom, ExecCache, ResultKey, ScoredInterpretation,
+    TemplateCatalog,
+};
+use keybridge_index::InvertedIndex;
+use keybridge_relstore::{Database, ExecOptions, ExecStats};
 use std::collections::BTreeSet;
 
 /// One candidate for diversification: an interpretation's relevance score
@@ -27,6 +32,47 @@ pub fn div_pool(ranked: &[ScoredInterpretation], catalog: &TemplateCatalog) -> V
             atoms: s.interpretation.atoms(catalog).into_iter().collect(),
         })
         .collect()
+}
+
+/// Build the diversification pool *with executed results*: each ranked
+/// interpretation is run through the batched hash-join executor (at most
+/// `limit` JTTs), interpretations with empty results are dropped (the DivQ
+/// zero-probability condition, §4.4.1), and one shared [`ExecCache`] keeps
+/// predicates common across the pool intersected once. Returns the
+/// surviving pool items, their result-key sets (the subtopics of the
+/// Chapter 4 metrics), and the aggregated executor counters.
+pub fn executed_div_pool(
+    db: &Database,
+    index: &InvertedIndex,
+    catalog: &TemplateCatalog,
+    ranked: &[ScoredInterpretation],
+    limit: usize,
+) -> (Vec<DivItem>, Vec<BTreeSet<ResultKey>>, ExecStats) {
+    let mut cache = ExecCache::new();
+    let opts = ExecOptions {
+        limit,
+        ..Default::default()
+    };
+    let mut items = Vec::new();
+    let mut keys = Vec::new();
+    let mut stats = ExecStats::default();
+    for s in ranked {
+        let Ok(result) =
+            execute_interpretation_cached(db, index, catalog, &s.interpretation, opts, &mut cache)
+        else {
+            continue;
+        };
+        stats.absorb(&result.stats);
+        if result.is_empty() {
+            continue;
+        }
+        items.push(DivItem {
+            relevance: s.probability,
+            atoms: s.interpretation.atoms(catalog).into_iter().collect(),
+        });
+        keys.push(result.keys.clone());
+    }
+    (items, keys, stats)
 }
 
 /// Jaccard coefficient between two atom sets (Eq. 4.3). Two empty sets are

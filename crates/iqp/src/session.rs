@@ -10,10 +10,11 @@
 
 use crate::options::ConstructionOption;
 use keybridge_core::{
-    IntentDescription, Interpreter, KeywordQuery, QueryInterpretation, ScoredInterpretation,
-    TemplateCatalog,
+    execute_interpretation_cached, ExecCache, ExecutedResult, IntentDescription, Interpreter,
+    KeywordQuery, QueryInterpretation, ScoredInterpretation, TemplateCatalog,
 };
-use keybridge_relstore::Database;
+use keybridge_index::InvertedIndex;
+use keybridge_relstore::{Database, ExecOptions};
 
 /// Session tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -191,6 +192,36 @@ impl<'a> ConstructionSession<'a> {
             }
         }
         best.map(|(_, o)| o)
+    }
+
+    /// Materialize the answers of the current query window: every remaining
+    /// candidate is executed through the batched hash-join engine (at most
+    /// `limit` JTTs each), sharing one [`ExecCache`] so predicates common to
+    /// several window candidates are intersected once. Returns
+    /// `(candidate index, result)` pairs for the non-empty candidates, in
+    /// window (probability) order — the "results, not query forms" the user
+    /// is ultimately after.
+    pub fn window_answers(
+        &self,
+        db: &Database,
+        index: &InvertedIndex,
+        limit: usize,
+    ) -> Vec<(usize, std::rc::Rc<ExecutedResult>)> {
+        let mut cache = ExecCache::new();
+        let opts = ExecOptions {
+            limit,
+            ..Default::default()
+        };
+        self.candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (c, _))| {
+                execute_interpretation_cached(db, index, self.catalog, c, opts, &mut cache)
+                    .ok()
+                    .filter(|r| !r.is_empty())
+                    .map(|r| (i, r))
+            })
+            .collect()
     }
 
     /// Apply the user's verdict on `option`, shrinking the candidate set.
@@ -442,6 +473,28 @@ mod tests {
             assert_eq!(*c, s.interpretation);
             assert!((p - s.probability.max(1e-12)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn window_answers_execute_remaining_candidates() {
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let session = ConstructionSession::for_query(&interp, &q, 10, SessionConfig::default());
+        let answers = session.window_answers(&f.data.db, &f.index, 5);
+        assert!(!answers.is_empty(), "window produced no answers");
+        for (i, r) in &answers {
+            assert!(*i < session.remaining().len());
+            assert!(!r.is_empty());
+            assert!(r.len() <= 5);
+        }
+        // Window order is preserved.
+        assert!(answers.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -6,15 +6,30 @@
 //!
 //! The executor receives, per node, an optional candidate row set (the rows
 //! matching that node's keyword predicates, produced by the inverted index).
-//! `None` means the node is a *free* table: any row may participate. It then
-//! performs hash joins along the tree, starting from the most selective bound
-//! node, and returns joining tuple trees (JTTs): one [`RowId`] per node.
+//! `None` means the node is a *free* table: any row may participate. It
+//! returns joining tuple trees (JTTs): one [`RowId`] per node.
+//!
+//! Two strategies are available (see [`ExecStrategy`]):
+//!
+//! * **Hash join** (the default): a semi-join reduction pre-pass — one
+//!   bottom-up and one top-down sweep over the tree, the Yannakakis full
+//!   reducer — shrinks every candidate set to rows that participate in at
+//!   least one complete JTT. Bindings then grow in *columnar batches* (one
+//!   `Vec<RowId>` column per joined node, struct-of-arrays) by build/probe
+//!   hash joins along the tree, attaching the most selective node first.
+//!   Because the tree is fully reduced, every partial binding is guaranteed
+//!   to extend to a result, so [`ExecOptions::limit`] can cut *every* batch,
+//!   not just the final one — the executor streams top-`limit` answers
+//!   without materializing the full join.
+//! * **Naive** nested-loop expansion: the original executor — one
+//!   `Vec<Option<RowId>>` per partial binding, cloned on every edge attach —
+//!   retained as the correctness oracle for the differential test suite.
 
 use crate::database::Database;
 use crate::error::{RelError, RelResult};
-use crate::schema::{FkId, TableId};
+use crate::schema::{FkId, ForeignKey, TableId};
 use crate::value::RowId;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// An edge of a join tree: node indexes into [`JoinTree::nodes`] plus the
 /// foreign key joining the two table occurrences.
@@ -94,7 +109,10 @@ impl JoinTree {
     }
 }
 
-/// Per-node candidate rows. `None` = unrestricted (free table).
+/// Per-node candidate rows. `None` = unrestricted (free table). Candidate
+/// lists are expected to be duplicate-free (the inverted index produces
+/// sorted, distinct rows); duplicates are tolerated but result multiplicity
+/// is then strategy-defined.
 #[derive(Debug, Clone, Default)]
 pub struct Candidates {
     pub per_node: Vec<Option<Vec<RowId>>>,
@@ -115,7 +133,18 @@ impl Candidates {
     }
 }
 
-/// Execution limits.
+/// How the executor evaluates the join tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Semi-join reduction + columnar batched hash joins. The default.
+    #[default]
+    HashJoin,
+    /// Per-binding nested-loop expansion — the original executor, retained
+    /// as the differential-testing oracle.
+    Naive,
+}
+
+/// Execution limits and mode.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Stop after this many result tuples.
@@ -123,6 +152,12 @@ pub struct ExecOptions {
     /// Abort if the intermediate binding count exceeds this bound
     /// (protects against free-table blowups).
     pub max_intermediate: usize,
+    /// Count matching JTTs (up to `limit`) without materializing them;
+    /// [`ExecOutcome::rows`] stays empty and only
+    /// [`ExecStats::result_count`] is meaningful.
+    pub count_only: bool,
+    /// Evaluation strategy.
+    pub strategy: ExecStrategy,
 }
 
 impl Default for ExecOptions {
@@ -130,33 +165,413 @@ impl Default for ExecOptions {
         ExecOptions {
             limit: 1000,
             max_intermediate: 200_000,
+            count_only: false,
+            strategy: ExecStrategy::default(),
         }
+    }
+}
+
+/// Counters describing one execution, for benches and regression assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Edge-attach steps performed (batches built).
+    pub batches: usize,
+    /// Hash/index probe operations (one per partial binding per edge).
+    pub probes: usize,
+    /// Partial bindings materialized across all steps, seed included — the
+    /// quantity the batched executor minimizes.
+    pub intermediate_bindings: usize,
+    /// Candidate rows across all nodes before semi-join reduction
+    /// (hash-join strategy only; free nodes count their full table).
+    pub semijoin_rows_in: usize,
+    /// Candidate rows across all nodes after the bottom-up + top-down
+    /// reduction sweeps.
+    pub semijoin_rows_out: usize,
+    /// Result tuples found (capped at `limit`).
+    pub result_count: usize,
+}
+
+impl ExecStats {
+    /// Merge `other` into `self` (for aggregating over many executions).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.batches += other.batches;
+        self.probes += other.probes;
+        self.intermediate_bindings += other.intermediate_bindings;
+        self.semijoin_rows_in += other.semijoin_rows_in;
+        self.semijoin_rows_out += other.semijoin_rows_out;
+        self.result_count += other.result_count;
+    }
+
+    /// Fraction of candidate rows the semi-join pre-pass removed
+    /// (0.0 when the pass did not run or removed nothing).
+    pub fn semijoin_reduction(&self) -> f64 {
+        if self.semijoin_rows_in == 0 {
+            return 0.0;
+        }
+        1.0 - self.semijoin_rows_out as f64 / self.semijoin_rows_in as f64
     }
 }
 
 /// One result: a row id per join-tree node (a joining tuple tree).
 pub type JoinedRow = Vec<RowId>;
 
-/// Execute `tree` over `db` with per-node `candidates`.
-///
-/// Strategy: pick the bound node with the fewest candidates as the seed, then
-/// repeatedly attach the tree edge whose far node is cheapest to join
-/// (bound nodes first), probing either the primary-key index (fk -> pk
-/// direction) or the foreign-key index (pk -> fk direction).
+/// Result rows plus execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Matching JTTs, at most `limit` (empty under `count_only`).
+    pub rows: Vec<JoinedRow>,
+    pub stats: ExecStats,
+}
+
+/// Execute `tree` over `db` with per-node `candidates`; rows only.
 pub fn execute_join_tree(
     db: &Database,
     tree: &JoinTree,
     candidates: &Candidates,
     opts: ExecOptions,
 ) -> RelResult<Vec<JoinedRow>> {
+    execute_join_tree_with_stats(db, tree, candidates, opts).map(|o| o.rows)
+}
+
+/// Execute `tree` over `db` with per-node `candidates`, returning rows and
+/// execution counters. Dispatches on [`ExecOptions::strategy`].
+pub fn execute_join_tree_with_stats(
+    db: &Database,
+    tree: &JoinTree,
+    candidates: &Candidates,
+    opts: ExecOptions,
+) -> RelResult<ExecOutcome> {
     tree.validate(db)?;
     if candidates.per_node.len() != tree.nodes.len() {
         return Err(RelError::MalformedJoinTree(
             "candidate arity mismatch".into(),
         ));
     }
+    match opts.strategy {
+        ExecStrategy::HashJoin => execute_hash_join(db, tree, candidates, opts),
+        ExecStrategy::Naive => execute_naive(db, tree, candidates, opts),
+    }
+}
 
+/// The join key of `row` at node `node` under `fk`, where `fk_side` says
+/// whether the node holds the referencing column. `None` = null fk value,
+/// which joins nothing.
+#[inline]
+fn join_key(
+    db: &Database,
+    table: TableId,
+    row: RowId,
+    fk: &ForeignKey,
+    fk_side: bool,
+) -> Option<i64> {
+    if fk_side {
+        db.cell(table, row, fk.from).as_int()
+    } else {
+        Some(db.pk_value(table, row))
+    }
+}
+
+/// Whether endpoint `a` of `edge` is the foreign-key (referencing) side.
+/// For self-referencing foreign keys both orientations type-check; the `a`
+/// side wins deterministically.
+fn a_is_fk_side(db: &Database, tree: &JoinTree, edge: &JoinTreeEdge) -> bool {
+    let fk = db.schema().fk(edge.fk);
+    fk.from.table == tree.nodes[edge.a] && fk.to.table == tree.nodes[edge.b]
+}
+
+// ---------------------------------------------------------------------------
+// Hash-join strategy: semi-join reduction + columnar batches.
+// ---------------------------------------------------------------------------
+
+fn execute_hash_join(
+    db: &Database,
+    tree: &JoinTree,
+    candidates: &Candidates,
+    opts: ExecOptions,
+) -> RelResult<ExecOutcome> {
     let n = tree.nodes.len();
+    let mut stats = ExecStats::default();
+
+    // Candidate sets stay lazy: `None` = still unrestricted. The semi-join
+    // sweeps materialize a free node *from its neighbor's keys* (via the
+    // pk / fk hash indexes) the first time a restricted neighbor touches
+    // it, so an execution never scans or hashes a full free table. When
+    // every node is free there is nothing to propagate from, so all nodes
+    // materialize up front and the sweeps reduce them directly — either
+    // way the tree ends fully reduced.
+    let mut sets: Vec<Option<Vec<RowId>>> = candidates.per_node.clone();
+    if sets.iter().all(Option::is_none) {
+        for (i, s) in sets.iter_mut().enumerate() {
+            *s = Some(db.table(tree.nodes[i]).rows().map(|(r, _)| r).collect());
+        }
+    }
+    stats.semijoin_rows_in = (0..n)
+        .map(|i| match &sets[i] {
+            Some(rows) => rows.len(),
+            None => db.table(tree.nodes[i]).len(),
+        })
+        .sum();
+
+    // Root the tree at the most selective *given* node and compute a BFS
+    // order with parent pointers (edge index per non-root node).
+    let given_card = |i: usize| -> usize {
+        match &candidates.per_node[i] {
+            Some(rows) => rows.len(),
+            None => db.table(tree.nodes[i]).len(),
+        }
+    };
+    let seed = (0..n).min_by_key(|&i| given_card(i)).expect("non-empty");
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (edge idx, neighbor)
+    for (ei, e) in tree.edges.iter().enumerate() {
+        adj[e.a].push((ei, e.b));
+        adj[e.b].push((ei, e.a));
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    order.push(seed);
+    seen[seed] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        for &(ei, v) in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                parent_edge[v] = Some(ei);
+                order.push(v);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(RelError::MalformedJoinTree("disconnected tree".into()));
+    }
+
+    // Semi-join full reducer (Yannakakis): bottom-up — filter each parent by
+    // each child — then top-down — filter each child by its parent. After
+    // full reduction every surviving row participates in ≥ 1 complete JTT.
+    //
+    // A still-`None` (free, untouched) source makes the step approximate:
+    // the target is filtered by partner *existence* in the full free table
+    // (pure index lookups), and a `None` target materializes straight from
+    // its restricted source's keys — so no free table is ever scanned or
+    // hashed whole. Returns whether the step consulted a free source; any
+    // such step may leave dead rows, in which case a second, now-exact
+    // sweep over the (small) materialized sets finishes the reduction.
+    let filter_by =
+        |sets: &mut Vec<Option<Vec<RowId>>>, target: usize, source: usize, ei: usize| -> bool {
+            let edge = &tree.edges[ei];
+            let a_fk = a_is_fk_side(db, tree, edge);
+            let (t_fk, s_fk) = if edge.a == target {
+                (a_fk, !a_fk)
+            } else {
+                (!a_fk, a_fk)
+            };
+            let fk = db.schema().fk(edge.fk);
+            let s_table = tree.nodes[source];
+            let t_table = tree.nodes[target];
+            let source_keys: Option<Vec<i64>> = sets[source].as_ref().map(|src| {
+                let mut keys: Vec<i64> = src
+                    .iter()
+                    .filter_map(|&r| join_key(db, s_table, r, fk, s_fk))
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys
+            });
+            match source_keys {
+                None => {
+                    // Free source: keep target rows with any partner at all.
+                    let Some(rows) = sets[target].as_mut() else {
+                        return true; // both free — nothing known yet
+                    };
+                    if s_fk {
+                        rows.retain(|&r| {
+                            join_key(db, t_table, r, fk, t_fk)
+                                .is_some_and(|k| !db.fk_referrers(edge.fk, k).is_empty())
+                        });
+                    } else {
+                        rows.retain(|&r| {
+                            join_key(db, t_table, r, fk, t_fk)
+                                .is_some_and(|k| db.table(s_table).by_pk(k).is_some())
+                        });
+                    }
+                    true
+                }
+                Some(keys) => match sets[target].as_mut() {
+                    Some(rows) => {
+                        let keyset: HashSet<i64> = keys.into_iter().collect();
+                        rows.retain(|&r| {
+                            join_key(db, t_table, r, fk, t_fk)
+                                .is_some_and(|k| keyset.contains(&k))
+                        });
+                        false
+                    }
+                    None => {
+                        // Materialize the free target from the source keys.
+                        let mut rows: Vec<RowId> = if t_fk {
+                            keys.iter()
+                                .flat_map(|&k| db.fk_referrers(edge.fk, k))
+                                .copied()
+                                .collect()
+                        } else {
+                            keys.iter()
+                                .filter_map(|&k| db.table(t_table).by_pk(k))
+                                .collect()
+                        };
+                        rows.sort_unstable();
+                        rows.dedup();
+                        sets[target] = Some(rows);
+                        false
+                    }
+                },
+            }
+        };
+    let sweep = |sets: &mut Vec<Option<Vec<RowId>>>| -> bool {
+        let mut approx = false;
+        for &v in order.iter().skip(1).rev() {
+            let ei = parent_edge[v].expect("non-root");
+            let e = &tree.edges[ei];
+            let parent = if e.a == v { e.b } else { e.a };
+            approx |= filter_by(sets, parent, v, ei);
+        }
+        for &v in order.iter().skip(1) {
+            let ei = parent_edge[v].expect("non-root");
+            let e = &tree.edges[ei];
+            let parent = if e.a == v { e.b } else { e.a };
+            approx |= filter_by(sets, v, parent, ei);
+        }
+        approx
+    };
+    if sweep(&mut sets) {
+        // Some step consulted a free table; every set is materialized now
+        // (the tree is connected and at least one node was restricted), so
+        // the second sweep is exact and completes the full reduction.
+        sweep(&mut sets);
+    }
+    stats.semijoin_rows_out = sets
+        .iter()
+        .map(|s| s.as_ref().expect("reduced sets are materialized").len())
+        .sum();
+    if sets.iter().any(|s| s.as_ref().is_some_and(Vec::is_empty)) {
+        return Ok(ExecOutcome { rows: Vec::new(), stats });
+    }
+
+    // Columnar binding batches: one column per joined node, all of equal
+    // length. Full reduction guarantees every partial binding extends to at
+    // least one distinct result, so each batch can be truncated to `limit`.
+    let cap = opts.limit;
+    let mut cols: Vec<Option<Vec<RowId>>> = vec![None; n];
+    let mut seed_col = std::mem::take(&mut sets[seed]).expect("reduced sets are materialized");
+    seed_col.truncate(cap);
+    stats.intermediate_bindings += seed_col.len();
+    let mut batch_len = seed_col.len();
+    cols[seed] = Some(seed_col);
+    let mut joined = vec![false; n];
+    joined[seed] = true;
+
+    let mut remaining: Vec<usize> = (0..tree.edges.len()).collect();
+    while !remaining.is_empty() {
+        // Attach the edge whose new node has the smallest reduced set.
+        let (pos, &ei) = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &ei)| {
+                let e = &tree.edges[ei];
+                joined[e.a] != joined[e.b]
+            })
+            .min_by_key(|(_, &ei)| {
+                let e = &tree.edges[ei];
+                let new = if joined[e.a] { e.b } else { e.a };
+                sets[new].as_ref().map_or(0, Vec::len)
+            })
+            .expect("connected tree always has an attachable edge");
+        remaining.swap_remove(pos);
+        let edge = tree.edges[ei];
+        let (known, new) = if joined[edge.a] {
+            (edge.a, edge.b)
+        } else {
+            (edge.b, edge.a)
+        };
+        joined[new] = true;
+        let a_fk = a_is_fk_side(db, tree, &edge);
+        let known_fk = (edge.a == known) == a_fk;
+        let fk = *db.schema().fk(edge.fk);
+        let known_table = tree.nodes[known];
+        let new_table = tree.nodes[new];
+
+        // Build a hash table over the new node's reduced candidates, keyed
+        // by join key. The pk side has unique keys; the fk side may not.
+        let new_set = sets[new].as_ref().expect("reduced sets are materialized");
+        let mut build: HashMap<i64, Vec<RowId>> = HashMap::with_capacity(new_set.len());
+        for &r in new_set {
+            if let Some(k) = join_key(db, new_table, r, &fk, !known_fk) {
+                build.entry(k).or_default().push(r);
+            }
+        }
+
+        // Probe with every current partial binding; `sel` gathers the batch.
+        let known_col = cols[known].as_ref().expect("joined nodes have columns");
+        let mut sel: Vec<u32> = Vec::with_capacity(batch_len);
+        let mut new_col: Vec<RowId> = Vec::with_capacity(batch_len);
+        'probe: for (bi, &krow) in known_col.iter().enumerate() {
+            stats.probes += 1;
+            let Some(key) = join_key(db, known_table, krow, &fk, known_fk) else {
+                continue;
+            };
+            let Some(matches) = build.get(&key) else { continue };
+            for &m in matches {
+                if new_col.len() >= opts.max_intermediate {
+                    return Err(RelError::MalformedJoinTree(
+                        "intermediate result exceeds max_intermediate".into(),
+                    ));
+                }
+                sel.push(bi as u32);
+                new_col.push(m);
+                if new_col.len() >= cap {
+                    break 'probe;
+                }
+            }
+        }
+        stats.batches += 1;
+        stats.intermediate_bindings += new_col.len();
+        batch_len = new_col.len();
+        for col in cols.iter_mut().flatten() {
+            *col = sel.iter().map(|&i| col[i as usize]).collect();
+        }
+        cols[new] = Some(new_col);
+        if batch_len == 0 {
+            return Ok(ExecOutcome { rows: Vec::new(), stats });
+        }
+    }
+
+    stats.result_count = batch_len;
+    let rows = if opts.count_only {
+        Vec::new()
+    } else {
+        (0..batch_len)
+            .map(|i| {
+                (0..n)
+                    .map(|node| cols[node].as_ref().expect("all joined")[i])
+                    .collect()
+            })
+            .collect()
+    };
+    Ok(ExecOutcome { rows, stats })
+}
+
+// ---------------------------------------------------------------------------
+// Naive strategy: the original per-binding expansion, kept as the oracle.
+// ---------------------------------------------------------------------------
+
+fn execute_naive(
+    db: &Database,
+    tree: &JoinTree,
+    candidates: &Candidates,
+    opts: ExecOptions,
+) -> RelResult<ExecOutcome> {
+    let n = tree.nodes.len();
+    let mut stats = ExecStats::default();
     // Estimated cardinality per node, used to order the join.
     let node_card = |i: usize| -> usize {
         match &candidates.per_node[i] {
@@ -179,6 +594,7 @@ pub fn execute_join_tree(
         b[seed] = Some(r);
         bindings.push(b);
     }
+    stats.intermediate_bindings += bindings.len();
 
     let cand_sets: Vec<Option<HashSet<RowId>>> = candidates
         .per_node
@@ -218,11 +634,14 @@ pub fn execute_join_tree(
         let known_table = tree.nodes[known];
         let new_table = tree.nodes[new];
         // Forward: known node holds the fk column, probe parent's pk index.
-        let forward = fk.from.table == known_table && fk.to.table == new_table;
+        // Orientation comes from the shared per-edge helper so both
+        // strategies agree even on self-referencing foreign keys.
+        let forward = (edge.a == known) == a_is_fk_side(db, tree, &edge);
 
         let mut next: Vec<Vec<Option<RowId>>> = Vec::with_capacity(bindings.len());
         for b in &bindings {
             let known_row = b[known].expect("joined nodes are bound");
+            stats.probes += 1;
             if forward {
                 let key = db.cell(known_table, known_row, fk.from);
                 let Some(key) = key.as_int() else { continue };
@@ -257,17 +676,25 @@ pub fn execute_join_tree(
                 ));
             }
         }
+        stats.batches += 1;
+        stats.intermediate_bindings += next.len();
         bindings = next;
         if bindings.is_empty() {
-            return Ok(Vec::new());
+            return Ok(ExecOutcome { rows: Vec::new(), stats });
         }
     }
 
-    Ok(bindings
-        .into_iter()
-        .take(opts.limit)
-        .map(|b| b.into_iter().map(|r| r.expect("all nodes bound")).collect())
-        .collect())
+    stats.result_count = bindings.len().min(opts.limit);
+    let rows = if opts.count_only {
+        Vec::new()
+    } else {
+        bindings
+            .into_iter()
+            .take(opts.limit)
+            .map(|b| b.into_iter().map(|r| r.expect("all nodes bound")).collect())
+            .collect()
+    };
+    Ok(ExecOutcome { rows, stats })
 }
 
 #[cfg(test)]
@@ -334,13 +761,27 @@ mod tests {
         }
     }
 
+    fn naive_opts() -> ExecOptions {
+        ExecOptions {
+            strategy: ExecStrategy::Naive,
+            ..Default::default()
+        }
+    }
+
+    /// Sorted copies, for multiset comparison between strategies.
+    fn sorted(mut rows: Vec<JoinedRow>) -> Vec<JoinedRow> {
+        rows.sort();
+        rows
+    }
+
     #[test]
     fn full_join_unrestricted() {
         let db = movie_db();
         let tree = actor_acts_movie_tree(&db);
-        let rows = execute_join_tree(&db, &tree, &Candidates::free(3), ExecOptions::default())
-            .unwrap();
-        assert_eq!(rows.len(), 4); // one JTT per acts row
+        for opts in [ExecOptions::default(), naive_opts()] {
+            let rows = execute_join_tree(&db, &tree, &Candidates::free(3), opts).unwrap();
+            assert_eq!(rows.len(), 4); // one JTT per acts row
+        }
     }
 
     #[test]
@@ -350,10 +791,12 @@ mod tests {
         let actor = db.schema().table_id("actor").unwrap();
         let hanks = db.table(actor).by_pk(1).unwrap();
         let cands = Candidates::free(3).restrict(0, vec![hanks]);
-        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
-        assert_eq!(rows.len(), 2); // Terminal + Volcano
-        for r in &rows {
-            assert_eq!(r[0], hanks);
+        for opts in [ExecOptions::default(), naive_opts()] {
+            let rows = execute_join_tree(&db, &tree, &cands, opts).unwrap();
+            assert_eq!(rows.len(), 2); // Terminal + Volcano
+            for r in &rows {
+                assert_eq!(r[0], hanks);
+            }
         }
     }
 
@@ -368,8 +811,10 @@ mod tests {
         let cands = Candidates::free(3)
             .restrict(0, vec![hanks])
             .restrict(2, vec![terminal]);
-        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
-        assert_eq!(rows.len(), 1);
+        for opts in [ExecOptions::default(), naive_opts()] {
+            let rows = execute_join_tree(&db, &tree, &cands, opts).unwrap();
+            assert_eq!(rows.len(), 1);
+        }
     }
 
     #[test]
@@ -377,8 +822,10 @@ mod tests {
         let db = movie_db();
         let tree = actor_acts_movie_tree(&db);
         let cands = Candidates::free(3).restrict(0, vec![]);
-        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
-        assert!(rows.is_empty());
+        for opts in [ExecOptions::default(), naive_opts()] {
+            let rows = execute_join_tree(&db, &tree, &cands, opts).unwrap();
+            assert!(rows.is_empty());
+        }
     }
 
     #[test]
@@ -405,22 +852,164 @@ mod tests {
         let cands = Candidates::free(5)
             .restrict(0, vec![hanks])
             .restrict(4, vec![ryan]);
-        let rows = execute_join_tree(&db, &tree, &cands, ExecOptions::default()).unwrap();
-        assert_eq!(rows.len(), 1); // Joe vs the Volcano
         let volcano = db.table(movie).by_pk(12).unwrap();
-        assert_eq!(rows[0][2], volcano);
+        for opts in [ExecOptions::default(), naive_opts()] {
+            let rows = execute_join_tree(&db, &tree, &cands, opts).unwrap();
+            assert_eq!(rows.len(), 1); // Joe vs the Volcano
+            assert_eq!(rows[0][2], volcano);
+        }
     }
 
     #[test]
     fn limit_respected() {
         let db = movie_db();
         let tree = actor_acts_movie_tree(&db);
-        let opts = ExecOptions {
-            limit: 2,
+        for strategy in [ExecStrategy::HashJoin, ExecStrategy::Naive] {
+            let opts = ExecOptions {
+                limit: 2,
+                strategy,
+                ..Default::default()
+            };
+            let rows = execute_join_tree(&db, &tree, &Candidates::free(3), opts).unwrap();
+            assert_eq!(rows.len(), 2);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_multisets() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let actor = db.schema().table_id("actor").unwrap();
+        let toms: Vec<RowId> = [1, 2]
+            .iter()
+            .map(|&pk| db.table(actor).by_pk(pk).unwrap())
+            .collect();
+        let cases = [
+            Candidates::free(3),
+            Candidates::free(3).restrict(0, toms.clone()),
+            Candidates::free(3).restrict(0, toms).restrict(2, vec![]),
+        ];
+        let big = |strategy| ExecOptions {
+            limit: usize::MAX,
+            strategy,
             ..Default::default()
         };
-        let rows = execute_join_tree(&db, &tree, &Candidates::free(3), opts).unwrap();
-        assert_eq!(rows.len(), 2);
+        for cands in &cases {
+            let hj = execute_join_tree(&db, &tree, cands, big(ExecStrategy::HashJoin)).unwrap();
+            let nv = execute_join_tree(&db, &tree, cands, big(ExecStrategy::Naive)).unwrap();
+            assert_eq!(sorted(hj), sorted(nv));
+        }
+    }
+
+    #[test]
+    fn self_referencing_fk_strategies_agree() {
+        // employee.manager_id -> employee: both edge orientations type-check,
+        // so the executor must pick one deterministically (node `a` = fk
+        // side) and both strategies must implement the same choice.
+        let mut b = SchemaBuilder::new();
+        b.table("employee", TableKind::Entity)
+            .pk("id")
+            .text_attr("name")
+            .int_attr("manager_id");
+        b.foreign_key("employee", "manager_id", "employee").unwrap();
+        let mut db = Database::new(b.finish().unwrap());
+        let emp = db.schema().table_id("employee").unwrap();
+        // 2 and 4 report to 1; 3 reports to 2.
+        for (id, name, mgr) in [
+            (1, "root", Value::Null),
+            (2, "a", Value::Int(1)),
+            (3, "b", Value::Int(2)),
+            (4, "c", Value::Int(1)),
+        ] {
+            db.insert(emp, vec![Value::Int(id), Value::text(name), mgr])
+                .unwrap();
+        }
+        db.validate().unwrap();
+        let fk0 = db.schema().fks().next().unwrap().0;
+        let tree = JoinTree {
+            nodes: vec![emp, emp],
+            edges: vec![JoinTreeEdge { a: 0, b: 1, fk: fk0 }],
+        };
+        let r3 = db.table(emp).by_pk(3).unwrap();
+        let r1 = db.table(emp).by_pk(1).unwrap();
+        // Vary selectivity so the naive seed lands on either endpoint.
+        let cases = [
+            Candidates::free(2),
+            Candidates::free(2).restrict(0, vec![r3]),
+            Candidates::free(2).restrict(1, vec![r1]),
+        ];
+        let big = |strategy| ExecOptions {
+            limit: usize::MAX,
+            strategy,
+            ..Default::default()
+        };
+        for cands in &cases {
+            let hj = execute_join_tree(&db, &tree, cands, big(ExecStrategy::HashJoin)).unwrap();
+            let nv = execute_join_tree(&db, &tree, cands, big(ExecStrategy::Naive)).unwrap();
+            assert_eq!(sorted(hj.clone()), sorted(nv));
+            // Node 0 is the fk (reporting) side: every result pairs an
+            // employee with their manager.
+            for row in &hj {
+                let mgr = db.cell(emp, row[0], db.schema().fk(fk0).from).as_int();
+                assert_eq!(mgr, Some(db.pk_value(emp, row[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn count_only_counts_without_rows() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let opts = ExecOptions {
+            count_only: true,
+            ..Default::default()
+        };
+        let out =
+            execute_join_tree_with_stats(&db, &tree, &Candidates::free(3), opts).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.stats.result_count, 4);
+    }
+
+    #[test]
+    fn semijoin_prunes_dead_bindings() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        let hanks = db.table(actor).by_pk(1).unwrap();
+        let terminal = db.table(movie).by_pk(10).unwrap();
+        let cands = Candidates::free(3)
+            .restrict(0, vec![hanks])
+            .restrict(2, vec![terminal]);
+        let hj = execute_join_tree_with_stats(&db, &tree, &cands, ExecOptions::default())
+            .unwrap();
+        let nv = execute_join_tree_with_stats(&db, &tree, &cands, naive_opts()).unwrap();
+        assert_eq!(hj.stats.result_count, nv.stats.result_count);
+        // The reducer must strip the acts rows that don't reach Terminal.
+        assert!(hj.stats.semijoin_rows_out < hj.stats.semijoin_rows_in);
+        assert!(
+            hj.stats.intermediate_bindings <= nv.stats.intermediate_bindings,
+            "hash join materialized more: {} vs {}",
+            hj.stats.intermediate_bindings,
+            nv.stats.intermediate_bindings
+        );
+        assert!((0.0..=1.0).contains(&hj.stats.semijoin_reduction()));
+    }
+
+    #[test]
+    fn early_termination_caps_every_batch() {
+        let db = movie_db();
+        let tree = actor_acts_movie_tree(&db);
+        let opts = ExecOptions {
+            limit: 1,
+            ..Default::default()
+        };
+        let out =
+            execute_join_tree_with_stats(&db, &tree, &Candidates::free(3), opts).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        // With limit 1 no batch ever holds more than one binding:
+        // seed + one per attach step.
+        assert!(out.stats.intermediate_bindings <= 1 + tree.join_count());
     }
 
     #[test]
@@ -466,9 +1055,10 @@ mod tests {
         let db = movie_db();
         let movie = db.schema().table_id("movie").unwrap();
         let tree = JoinTree::single(movie);
-        let rows = execute_join_tree(&db, &tree, &Candidates::free(1), ExecOptions::default())
-            .unwrap();
-        assert_eq!(rows.len(), 3);
+        for opts in [ExecOptions::default(), naive_opts()] {
+            let rows = execute_join_tree(&db, &tree, &Candidates::free(1), opts).unwrap();
+            assert_eq!(rows.len(), 3);
+        }
         assert_eq!(tree.join_count(), 0);
     }
 }

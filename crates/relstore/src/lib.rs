@@ -43,7 +43,10 @@ mod value;
 
 pub use database::{Database, TableStore};
 pub use error::{RelError, RelResult};
-pub use exec::{execute_join_tree, Candidates, ExecOptions, JoinTree, JoinTreeEdge, JoinedRow};
+pub use exec::{
+    execute_join_tree, execute_join_tree_with_stats, Candidates, ExecOptions, ExecOutcome,
+    ExecStats, ExecStrategy, JoinTree, JoinTreeEdge, JoinedRow,
+};
 pub use graph::{GraphEdge, SchemaGraph};
 pub use schema::{
     AttrId, AttrRef, AttributeDef, FkId, ForeignKey, Schema, SchemaBuilder, TableBuilder,

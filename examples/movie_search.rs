@@ -92,6 +92,25 @@ fn main() {
                 marker
             );
         }
+        // The payoff: execute the final window through the batched
+        // hash-join engine and show actual answer tuples.
+        let window = session.window_answers(&data.db, &index, 3);
+        println!("window answers ({} non-empty candidates):", window.len());
+        for (i, result) in window.iter().take(3) {
+            let (c, _) = &session.remaining()[*i];
+            let tpl = catalog.get(c.template);
+            for jtt in result.jtts.iter().take(2) {
+                let cells: Vec<String> = jtt
+                    .iter()
+                    .zip(&tpl.tree.nodes)
+                    .map(|(row, table)| {
+                        let t = data.db.schema().table(*table);
+                        format!("{}({})", t.name, data.db.table(*table).row(*row)[1])
+                    })
+                    .collect();
+                println!("  [{}] {}", i, cells.join(" ⋈ "));
+            }
+        }
         println!();
         shown += 1;
         if shown >= 3 {

@@ -44,7 +44,8 @@ fn main() {
         );
     }
 
-    // 3. Execute the most probable interpretation.
+    // 3. Execute the most probable interpretation through the batched
+    //    hash-join executor (semi-join reduction + columnar batches).
     if let Some(best) = ranked.first() {
         println!(
             "\nSQL: {}",
@@ -58,19 +59,37 @@ fn main() {
             ExecOptions::default(),
         )
         .expect("valid interpretation executes");
-        println!("results: {} joining tuple trees", result.len());
-        let tpl = catalog.get(best.interpretation.template);
-        for jtt in result.jtts.iter().take(3) {
-            let cells: Vec<String> = jtt
-                .iter()
-                .zip(&tpl.tree.nodes)
-                .map(|(row, table)| {
-                    let t = data.db.schema().table(*table);
-                    let vals = data.db.table(*table).row(*row);
-                    format!("{}({})", t.name, vals[1])
-                })
-                .collect();
-            println!("  {}", cells.join(" ⋈ "));
-        }
+        println!(
+            "results: {} joining tuple trees ({} probes, {:.0}% of candidate rows \
+             pruned by the semi-join pass)",
+            result.len(),
+            result.stats.probes,
+            result.stats.semijoin_reduction() * 100.0
+        );
+    }
+
+    // 4. Or skip the per-interpretation plumbing entirely: stream the top
+    //    answers end to end — generation and execution interleave, and only
+    //    as many bindings as needed are ever materialized.
+    let (answers, stats) = interpreter.answers_top_k_with_stats(&query, 5);
+    println!(
+        "\ntop {} answers (of {} interpretations generated, {} executed):",
+        answers.len(),
+        stats.generated,
+        stats.executed
+    );
+    for a in &answers {
+        let tpl = catalog.get(a.interpretation.template);
+        let cells: Vec<String> = a
+            .jtt
+            .iter()
+            .zip(&tpl.tree.nodes)
+            .map(|(row, table)| {
+                let t = data.db.schema().table(*table);
+                let vals = data.db.table(*table).row(*row);
+                format!("{}({})", t.name, vals[1])
+            })
+            .collect();
+        println!("  score={:7.3}  {}", a.log_score, cells.join(" ⋈ "));
     }
 }

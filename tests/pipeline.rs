@@ -3,20 +3,20 @@
 //! diversification → execution.
 
 use keybridge::core::{
-    execute_interpretation, render_natural, render_sql, Interpreter, InterpreterConfig,
-    KeywordQuery, TemplateCatalog, TemplatePrior,
+    execute_interpretation, render_natural, render_sql, GenerationStrategy, Interpreter,
+    InterpreterConfig, KeywordQuery, RankedAnswer, TemplateCatalog, TemplatePrior,
 };
 use keybridge::datagen::{
-    FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, Workload, WorkloadConfig,
-    YagoConfig, YagoOntology,
+    FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, LyricsConfig, LyricsDataset,
+    Workload, WorkloadConfig, YagoConfig, YagoOntology,
 };
 use keybridge::divq::{diversify, DivItem, DiversifyConfig};
 use keybridge::freeq::{
     FreeQSession, FreeQSessionConfig, LazyExplorer, SchemaOntology, TraversalConfig,
 };
-use keybridge::index::InvertedIndex;
+use keybridge::index::{InvertedIndex, Tokenizer};
 use keybridge::iqp::{SessionConfig, SimulatedUser};
-use keybridge::relstore::{ExecOptions, TableId};
+use keybridge::relstore::{Database, ExecOptions, ExecStrategy, TableId};
 use keybridge::yagof::{combine, evaluate_matching, match_categories, MatchConfig};
 
 struct Pipeline {
@@ -239,4 +239,289 @@ fn yago_matching_recovers_gold_end_to_end() {
     let stats = yf.stats(&yago, &fb);
     assert_eq!(stats.matched_categories, matches.len());
     assert!(stats.covered_instances > 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end golden tests: `answers_top_k` on seeded query logs, one per
+// datagen fixture. Each run is double-checked against the independent
+// oracle pipeline (exhaustive generation + naive nested-loop execution) and
+// the top answer is snapshot-asserted, so generation *and* execution
+// regressions are caught together.
+// ---------------------------------------------------------------------------
+
+/// The expected top answer of one golden query: interpretation log-score and
+/// the answer's identifying `(table name, pk)` keys.
+struct Snapshot {
+    query: &'static [&'static str],
+    answers: usize,
+    top_score: f64,
+    top_keys: &'static [(&'static str, i64)],
+}
+
+fn run_golden(
+    name: &str,
+    db: &Database,
+    index: &InvertedIndex,
+    catalog: &TemplateCatalog,
+    snapshots: &[Snapshot],
+) {
+    let fast = Interpreter::new(db, index, catalog, InterpreterConfig::default());
+    let oracle = Interpreter::new(
+        db,
+        index,
+        catalog,
+        InterpreterConfig {
+            strategy: GenerationStrategy::Exhaustive,
+            ..Default::default()
+        },
+    );
+    for snap in snapshots {
+        let q = KeywordQuery::from_terms(snap.query.iter().map(|s| s.to_string()).collect());
+        let note = format!("{name} query {:?}", snap.query);
+        let answers = fast.answers_top_k(&q, 5);
+
+        // 1. Snapshot: answer count, top score, top keys.
+        assert_eq!(answers.len(), snap.answers, "{note}: answer count drifted");
+        let top = answers.first().unwrap_or_else(|| panic!("{note}: no answers"));
+        assert!(
+            (top.log_score - snap.top_score).abs() < 1e-6,
+            "{note}: top score drifted: {} vs {}",
+            top.log_score,
+            snap.top_score
+        );
+        let keys: Vec<(String, i64)> = top
+            .keys
+            .iter()
+            .map(|k| (db.schema().table(k.table).name.clone(), k.pk))
+            .collect();
+        let want: Vec<(String, i64)> = snap
+            .top_keys
+            .iter()
+            .map(|(t, pk)| (t.to_string(), *pk))
+            .collect();
+        assert_eq!(keys, want, "{note}: top answer keys drifted");
+
+        // 2. Differential: the independent oracle pipeline agrees on every
+        //    answer's interpretation, score, and key multiset.
+        let (expect, _) = oracle.answers_top_k_with_opts(
+            &q,
+            5,
+            ExecOptions {
+                strategy: ExecStrategy::Naive,
+                ..Default::default()
+            },
+        );
+        assert_eq!(answers.len(), expect.len(), "{note}: oracle count");
+        for (i, (a, b)) in answers.iter().zip(&expect).enumerate() {
+            assert_eq!(a.interpretation, b.interpretation, "{note}: answer {i}");
+            assert!((a.log_score - b.log_score).abs() < 1e-12, "{note}: score {i}");
+        }
+        let sorted_keys = |v: &[RankedAnswer]| {
+            let mut ks: Vec<_> = v.iter().map(|a| a.keys.clone()).collect();
+            ks.sort();
+            ks
+        };
+        assert_eq!(sorted_keys(&answers), sorted_keys(&expect), "{note}: key multisets");
+
+        // 3. Structural invariants.
+        for w in answers.windows(2) {
+            assert!(w[0].log_score >= w[1].log_score, "{note}: not rank-ordered");
+        }
+    }
+}
+
+#[test]
+fn golden_answers_imdb() {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(99)).unwrap();
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+    // Sanity: the seeded query log is what the snapshots were taken from.
+    let w = Workload::imdb(
+        &data,
+        WorkloadConfig { seed: 123, n_queries: 10, mc_fraction: 0.5 },
+    );
+    let logged: Vec<Vec<String>> = w.queries.iter().take(4).map(|q| q.keywords.clone()).collect();
+    let snaps = [
+        Snapshot {
+            query: &["mary", "kriclafrio"],
+            answers: 5,
+            top_score: -9.568014816,
+            top_keys: &[("actor", 40)],
+        },
+        Snapshot {
+            query: &["ziawea", "moore"],
+            answers: 5,
+            top_score: -9.568014816,
+            top_keys: &[("actor", 55)],
+        },
+        Snapshot {
+            query: &["terminal"],
+            answers: 5,
+            top_score: -7.841240197,
+            top_keys: &[("movie", 2)],
+        },
+        Snapshot {
+            query: &["elena", "breasloutai", "nukro", "day"],
+            answers: 5,
+            top_score: -14.392320532,
+            top_keys: &[("actor", 57), ("movie", 7)],
+        },
+    ];
+    for (s, l) in snaps.iter().zip(&logged) {
+        assert_eq!(
+            &s.query.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+            l,
+            "query log drifted — regenerate the snapshots"
+        );
+    }
+    run_golden("imdb", &data.db, &index, &catalog, &snaps);
+}
+
+#[test]
+fn golden_answers_lyrics() {
+    let data = LyricsDataset::generate(LyricsConfig::tiny(7)).unwrap();
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+    let w = Workload::lyrics(
+        &data,
+        WorkloadConfig { seed: 21, n_queries: 10, mc_fraction: 0.5 },
+    );
+    let logged: Vec<Vec<String>> = w.queries.iter().take(4).map(|q| q.keywords.clone()).collect();
+    let snaps = [
+        Snapshot {
+            query: &["day"],
+            answers: 5,
+            top_score: -8.044438194,
+            top_keys: &[("song", 15)],
+        },
+        Snapshot {
+            query: &["mind", "night"],
+            answers: 5,
+            top_score: -9.614204199,
+            top_keys: &[("song", 195)],
+        },
+        Snapshot {
+            query: &["sliotrou", "houjoji"],
+            answers: 5,
+            top_score: -9.614204199,
+            top_keys: &[("song", 38)],
+        },
+        Snapshot {
+            query: &["wild", "soul"],
+            answers: 5,
+            top_score: -9.614204199,
+            top_keys: &[("song", 143)],
+        },
+    ];
+    for (s, l) in snaps.iter().zip(&logged) {
+        assert_eq!(
+            &s.query.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+            l,
+            "query log drifted — regenerate the snapshots"
+        );
+    }
+    run_golden("lyrics", &data.db, &index, &catalog, &snaps);
+}
+
+#[test]
+fn golden_answers_freebase() {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 6,
+        types_per_domain: 4,
+        topics: 300,
+        rows_per_table: 12,
+        seed: 5,
+    })
+    .unwrap();
+    let index = InvertedIndex::build(&fb.db);
+    let catalog = TemplateCatalog::enumerate(&fb.db, 2, 50_000).unwrap();
+    // The seeded "query log": first tokens of the first topic names.
+    let tok = Tokenizer::new();
+    let mut logged = Vec::new();
+    for i in 0..6u32 {
+        let row = fb.db.table(fb.topic).row(keybridge::relstore::RowId(i));
+        let toks = tok.tokenize(row[1].as_text().unwrap());
+        if !toks.is_empty() {
+            logged.push(toks[0].clone());
+        }
+        if logged.len() >= 3 {
+            break;
+        }
+    }
+    assert_eq!(logged, vec!["tom", "light", "tadruste"], "topic log drifted");
+    let snaps = [
+        Snapshot {
+            query: &["tom"],
+            answers: 5,
+            top_score: -7.983303628,
+            top_keys: &[("tv_producer", 163)],
+        },
+        Snapshot {
+            query: &["light"],
+            answers: 5,
+            top_score: -8.923124857,
+            top_keys: &[("film_producer", 28)],
+        },
+        Snapshot {
+            query: &["tadruste"],
+            answers: 5,
+            top_score: -8.627660644,
+            top_keys: &[("film_director", 17)],
+        },
+    ];
+    run_golden("freebase", &fb.db, &index, &catalog, &snaps);
+}
+
+#[test]
+fn golden_answers_yago() {
+    // YAGO instances live in the Freebase universe; the golden queries pull
+    // tokens from the generator's first gold-matched table.
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 6,
+        types_per_domain: 4,
+        topics: 400,
+        rows_per_table: 15,
+        seed: 31,
+    })
+    .unwrap();
+    let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);
+    let gold_table = yago.gold[0].1;
+    assert_eq!(
+        fb.db.schema().table(gold_table).name,
+        "location_director",
+        "gold mapping drifted — regenerate the snapshots"
+    );
+    let index = InvertedIndex::build(&fb.db);
+    let catalog = TemplateCatalog::enumerate(&fb.db, 2, 50_000).unwrap();
+    let tok = Tokenizer::new();
+    let mut logged = Vec::new();
+    for i in 0..6u32 {
+        if (i as usize) >= fb.db.table(gold_table).len() {
+            break;
+        }
+        let row = fb.db.table(gold_table).row(keybridge::relstore::RowId(i));
+        let toks = tok.tokenize(row[1].as_text().unwrap());
+        if !toks.is_empty() {
+            logged.push(toks[0].clone());
+        }
+        if logged.len() >= 2 {
+            break;
+        }
+    }
+    assert_eq!(logged, vec!["fly", "david"], "gold-table log drifted");
+    let snaps = [
+        Snapshot {
+            query: &["fly"],
+            answers: 3,
+            top_score: -9.093750374,
+            top_keys: &[("music_writer", 107)],
+        },
+        Snapshot {
+            query: &["david"],
+            answers: 5,
+            top_score: -9.132216655,
+            top_keys: &[("location_director", 304)],
+        },
+    ];
+    run_golden("yago", &fb.db, &index, &catalog, &snaps);
 }
