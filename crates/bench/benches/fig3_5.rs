@@ -66,8 +66,8 @@ fn run(fixture: &Fixture) {
         .iter()
         .zip(&per_condition)
         .map(|((name, _, _), costs)| {
-            let below10 = costs.iter().filter(|&&c| c < 10.0).count() as f64
-                / costs.len().max(1) as f64;
+            let below10 =
+                costs.iter().filter(|&&c| c < 10.0).count() as f64 / costs.len().max(1) as f64;
             vec![
                 name.to_string(),
                 format!("{:.2}", mean(costs)),

@@ -29,7 +29,12 @@ fn run(fixture: &Fixture) {
             .iter()
             .map(|s| {
                 (
-                    sqak_score(&fixture.db, &fixture.index, &fixture.catalog, &s.interpretation),
+                    sqak_score(
+                        &fixture.db,
+                        &fixture.index,
+                        &fixture.catalog,
+                        &s.interpretation,
+                    ),
                     &s.interpretation,
                 )
             })

@@ -42,7 +42,9 @@ fn main() {
             let mut session =
                 ConstructionSession::new(&fixture.catalog, ranked, SessionConfig::default());
             while session.remaining().len() > 5 {
-                let Some(option) = session.next_option() else { break };
+                let Some(option) = session.next_option() else {
+                    break;
+                };
                 let accept = option.subsumed_by(&target, &fixture.catalog);
                 session.apply(option, accept);
             }

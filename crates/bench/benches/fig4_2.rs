@@ -31,7 +31,13 @@ fn curves(queries: &[Ch4Data], alpha: f64) -> (Vec<f64>, Vec<f64>) {
                 atoms: a.clone(),
             })
             .collect();
-        let order = diversify(&items, DiversifyConfig { lambda: 0.1, k: pool.len() });
+        let order = diversify(
+            &items,
+            DiversifyConfig {
+                lambda: 0.1,
+                k: pool.len(),
+            },
+        );
         let diversified: Vec<_> = order.iter().map(|&i| pool[i].clone()).collect();
         let div_scores = alpha_ndcg_w(&diversified, &pool, alpha, K);
         for i in 0..K {

@@ -68,12 +68,9 @@ fn main() {
             {
                 cost_plain.push(out.steps as f64);
             }
-            if let Some(out) = FreeQSession::new(
-                Some(&fixture.ontology),
-                tops,
-                FreeQSessionConfig::default(),
-            )
-            .run_with_target(&targets)
+            if let Some(out) =
+                FreeQSession::new(Some(&fixture.ontology), tops, FreeQSessionConfig::default())
+                    .run_with_target(&targets)
             {
                 cost_onto.push(out.steps as f64);
             }

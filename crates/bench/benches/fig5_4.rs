@@ -58,12 +58,9 @@ fn main() {
             else {
                 continue;
             };
-            let Some(o) = FreeQSession::new(
-                Some(&fixture.ontology),
-                tops,
-                FreeQSessionConfig::default(),
-            )
-            .run_with_target(&targets)
+            let Some(o) =
+                FreeQSession::new(Some(&fixture.ontology), tops, FreeQSessionConfig::default())
+                    .run_with_target(&targets)
             else {
                 continue;
             };

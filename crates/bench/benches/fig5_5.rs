@@ -44,14 +44,13 @@ fn main() {
                 continue;
             }
             // Time the first five option generations of a session.
-            let mut session = FreeQSession::new(
-                Some(&fixture.ontology),
-                tops,
-                FreeQSessionConfig::default(),
-            );
+            let mut session =
+                FreeQSession::new(Some(&fixture.ontology), tops, FreeQSessionConfig::default());
             for _ in 0..5 {
                 let t1 = Instant::now();
-                let Some(option) = session.next_option() else { break };
+                let Some(option) = session.next_option() else {
+                    break;
+                };
                 option_ms.push(t1.elapsed().as_secs_f64() * 1000.0);
                 // Simulate a rejection to keep the session moving.
                 session.apply(option, false);
@@ -69,12 +68,7 @@ fn main() {
     }
     print_table(
         "Fig. 5.5 response time over Freebase-scale data (7,000 tables)",
-        &[
-            "top-N",
-            "materialized",
-            "traversal ms",
-            "option-gen ms",
-        ],
+        &["top-N", "materialized", "traversal ms", "option-gen ms"],
         &rows,
     );
 }

@@ -53,7 +53,14 @@ fn main() {
     }
     print_table(
         "Fig. 6.4 matching quality vs acceptance threshold",
-        &["threshold", "matches", "correct", "precision", "recall", "F1"],
+        &[
+            "threshold",
+            "matches",
+            "correct",
+            "precision",
+            "recall",
+            "F1",
+        ],
         &rows,
     );
 }

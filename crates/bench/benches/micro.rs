@@ -20,12 +20,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let data = ImdbDataset::generate(ImdbConfig::default()).unwrap();
     let index = InvertedIndex::build(&data.db);
     let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).unwrap();
-    let interpreter = Interpreter::new(
-        &data.db,
-        &index,
-        &catalog,
-        InterpreterConfig::default(),
-    );
+    let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
     let query = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
     let ranked = interpreter.ranked_interpretations(&query);
 

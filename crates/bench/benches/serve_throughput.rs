@@ -1,0 +1,54 @@
+//! Serving-layer throughput: replay a seeded IMDB query log through the
+//! concurrent `SearchService` at 1/2/4/8 workers and report wall-clock per
+//! replay (whole-log latency; QPS = queries / time). Complements the
+//! `smoke --serve` workload driver, which additionally records latency
+//! percentiles into `BENCH_baseline.json`.
+//!
+//! Run with: `cargo bench -p keybridge-bench --bench serve_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use keybridge_bench::replay_serve;
+use keybridge_core::{InterpreterConfig, SearchSnapshot};
+use keybridge_datagen::{ImdbConfig, ImdbDataset, Workload, WorkloadConfig};
+use std::sync::Arc;
+
+fn serve_throughput(c: &mut Criterion) {
+    let data = ImdbDataset::generate(ImdbConfig {
+        seed: 1,
+        actors: 400,
+        directors: 100,
+        movies: 500,
+        companies: 50,
+        avg_cast: 3,
+    })
+    .expect("generation succeeds");
+    let workload = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: 7,
+            n_queries: 48,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries: Vec<Vec<String>> = workload
+        .queries
+        .iter()
+        .map(|q| q.keywords.clone())
+        .collect();
+    let snapshot = Arc::new(
+        SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 100_000)
+            .expect("medium schema"),
+    );
+    for workers in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("serve_replay_{workers}w_48q"), |b| {
+            b.iter(|| {
+                let run = replay_serve(&snapshot, &queries, workers, 5);
+                assert_eq!(run.queries, queries.len());
+                run.qps
+            })
+        });
+    }
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

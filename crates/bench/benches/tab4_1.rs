@@ -20,9 +20,8 @@ fn main() {
     // The most ambiguous multi-concept query = largest interpretation space.
     let mut best: Option<(usize, &keybridge_datagen::WorkloadQuery)> = None;
     for q in fixture.workload.multi_concept() {
-        let ranked =
-            interp.ranked_with_partials(&KeywordQuery::from_terms(q.keywords.clone()));
-        if best.as_ref().map_or(true, |(n, _)| ranked.len() > *n) {
+        let ranked = interp.ranked_with_partials(&KeywordQuery::from_terms(q.keywords.clone()));
+        if best.as_ref().is_none_or(|(n, _)| ranked.len() > *n) {
             best = Some((ranked.len(), q));
         }
     }
@@ -40,7 +39,11 @@ fn main() {
         .iter()
         .map(|s| DivItem {
             relevance: s.probability,
-            atoms: s.interpretation.atoms(&fixture.catalog).into_iter().collect(),
+            atoms: s
+                .interpretation
+                .atoms(&fixture.catalog)
+                .into_iter()
+                .collect(),
         })
         .collect();
     let div = diversify(&items, DiversifyConfig { lambda: 0.1, k: 3 });
@@ -52,9 +55,9 @@ fn main() {
         )
     };
     let mut rows = Vec::new();
-    for i in 0..3.min(ranked.len()) {
+    for (i, &d) in div.iter().enumerate().take(3.min(ranked.len())) {
         let (rel_rank, text_rank) = row(i);
-        let (rel_div, text_div) = row(div[i]);
+        let (rel_div, text_div) = row(d);
         rows.push(vec![rel_rank, text_rank, rel_div, text_div]);
     }
     print_table(

@@ -36,19 +36,23 @@ fn main() {
         ],
         vec![
             "  of kind conceptual".into(),
-            yf.matched_of_kind(&yago, CategoryKind::Conceptual).to_string(),
+            yf.matched_of_kind(&yago, CategoryKind::Conceptual)
+                .to_string(),
         ],
         vec![
             "  of kind thematic".into(),
-            yf.matched_of_kind(&yago, CategoryKind::Thematic).to_string(),
+            yf.matched_of_kind(&yago, CategoryKind::Thematic)
+                .to_string(),
         ],
         vec![
             "  of kind relational".into(),
-            yf.matched_of_kind(&yago, CategoryKind::Relational).to_string(),
+            yf.matched_of_kind(&yago, CategoryKind::Relational)
+                .to_string(),
         ],
         vec![
             "  of kind administrative".into(),
-            yf.matched_of_kind(&yago, CategoryKind::Administrative).to_string(),
+            yf.matched_of_kind(&yago, CategoryKind::Administrative)
+                .to_string(),
         ],
         vec!["attached tables".into(), stats.attached_tables.to_string()],
         vec![

@@ -1,26 +1,81 @@
-//! Smoke benchmark: candidate-generation throughput of the exhaustive
-//! pipeline vs. the best-first top-k generator, plus executor throughput of
-//! the batched hash-join engine vs. the naive nested-loop oracle and the
-//! end-to-end `answers_top_k` path, on the default IMDB fixture. Intended
-//! for CI (`--smoke`) and for refreshing the `BENCH_baseline.json` snapshot
-//! future PRs diff against.
+//! Smoke benchmark and CI perf gate: candidate-generation throughput of the
+//! exhaustive pipeline vs. the best-first top-k generator, executor
+//! throughput of the batched hash-join engine vs. the naive oracle, the
+//! end-to-end `answers_top_k` path, and (with `--serve`) the concurrent
+//! `SearchService` replaying a seeded query log at 1/2/4/8 workers with QPS
+//! and p50/p95/p99 latency.
 //!
 //! ```text
-//! cargo run --release -p keybridge-bench --bin smoke -- --smoke
-//! cargo run --release -p keybridge-bench --bin smoke -- --out BENCH_baseline.json
+//! # CI: quick profile, serve replay, enforced regression gate + artifact
+//! cargo run --release -p keybridge-bench --bin smoke -- \
+//!     --smoke --serve --check BENCH_baseline.json --out BENCH_current.json
+//! # refresh the committed baseline (same profile CI checks against!)
+//! cargo run --release -p keybridge-bench --bin smoke -- \
+//!     --smoke --serve --out BENCH_baseline.json
+//! # full profile, local trend spotting
+//! cargo run --release -p keybridge-bench --bin smoke -- --serve
 //! ```
 //!
-//! Counts (spaces, materializations, prunes) are deterministic per seed;
-//! wall-clock numbers depend on the machine and are recorded for trend
-//! spotting only.
+//! Counts (spaces, materializations, prunes) are deterministic per seed and
+//! gated strictly; wall-clock numbers depend on the machine and are gated
+//! with the 1.5x slack of `keybridge_bench::check_regression`.
 
+use keybridge_bench::{check_regression, replay_serve, CheckConfig, ServeRun};
 use keybridge_core::{
-    execute_interpretation, Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog,
+    execute_interpretation, Interpreter, InterpreterConfig, KeywordQuery, SearchSnapshot,
+    TemplateCatalog,
 };
+use keybridge_datagen::{ImdbConfig, ImdbDataset, Workload, WorkloadConfig};
 use keybridge_index::InvertedIndex;
-use keybridge_datagen::{ImdbConfig, ImdbDataset};
 use keybridge_relstore::{ExecOptions, ExecStats, ExecStrategy};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Workload sizing: `--smoke` selects `quick` (a genuinely reduced fixture
+/// and fewer timing repetitions) so the CI job stays fast as workloads
+/// grow; the default `full` profile is for local measurement. Snapshots
+/// record the profile and the checker refuses cross-profile comparisons.
+struct Profile {
+    name: &'static str,
+    fixture: &'static str,
+    imdb: ImdbConfig,
+    /// Timed repetitions per wall-clock sample (median taken).
+    runs: usize,
+    /// Queries replayed through the service per worker count.
+    serve_queries: usize,
+}
+
+impl Profile {
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            fixture: "imdb-default",
+            imdb: ImdbConfig::default(),
+            runs: 5,
+            serve_queries: 108,
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            fixture: "imdb-quick",
+            imdb: ImdbConfig {
+                seed: 1,
+                actors: 400,
+                directors: 100,
+                movies: 500,
+                companies: 50,
+                avg_cast: 3,
+            },
+            runs: 3,
+            serve_queries: 48,
+        }
+    }
+}
+
+/// Worker counts of the serve replay (the 1/2/4/8 ladder of the issue).
+const SERVE_WORKERS: &[usize] = &[1, 2, 4, 8];
 
 /// Median wall-clock seconds of `f` over `runs` runs (after one warm-up).
 fn time<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -39,24 +94,35 @@ fn time<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut profile = Profile::full();
+    let mut serve = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--smoke" => {} // default behavior; flag kept for CI readability
+            "--smoke" => profile = Profile::quick(),
+            "--serve" => serve = true,
             "--out" => {
                 out_path = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--check" => {
+                check_path = args.get(i + 1).cloned();
+                i += 1;
+            }
             other => {
-                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: smoke [--smoke] [--serve] [--out FILE] [--check BASELINE]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
-    println!("building IMDB fixture…");
-    let data = ImdbDataset::generate(ImdbConfig::default()).expect("generation succeeds");
+    println!("building IMDB fixture ({} profile)…", profile.name);
+    let data = ImdbDataset::generate(profile.imdb).expect("generation succeeds");
     let index = InvertedIndex::build(&data.db);
     let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
     let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
@@ -74,23 +140,27 @@ fn main() {
         "movie".into(),
     ]);
     let k = 10;
+    let runs = profile.runs;
 
     let exhaustive_len = interpreter.ranked_with_partials(&query4).len();
     let (topk, stats) = interpreter.top_k_with_stats(&query4, k, true);
-    let t_exhaustive = time(5, || interpreter.ranked_with_partials(&query4));
-    let t_topk = time(5, || interpreter.top_k(&query4, k));
+    let t_exhaustive = time(runs, || interpreter.ranked_with_partials(&query4));
+    let t_topk = time(runs, || interpreter.top_k(&query4, k));
 
     // Throughput of complete-only generation over a 2-keyword query — the
     // "candidate-generation throughput" headline number.
     let query2 = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
-    let t_rank2 = time(10, || interpreter.ranked_interpretations(&query2));
+    let t_rank2 = time(2 * runs, || interpreter.ranked_interpretations(&query2));
     let space2 = interpreter.ranked_interpretations(&query2).len();
-    let t_top2 = time(10, || interpreter.top_k_complete(&query2, k));
+    let t_top2 = time(2 * runs, || interpreter.top_k_complete(&query2, k));
 
     let speedup = t_exhaustive / t_topk.max(1e-12);
     let mat_ratio = exhaustive_len as f64 / (stats.materialized.max(1)) as f64;
     println!("\n== candidate generation (4 keywords, partials) ==");
-    println!("  exhaustive : {exhaustive_len} interpretations in {:.2} ms", t_exhaustive * 1e3);
+    println!(
+        "  exhaustive : {exhaustive_len} interpretations in {:.2} ms",
+        t_exhaustive * 1e3
+    );
     println!(
         "  best-first : top {} of that space in {:.2} ms ({} materialized, {} expanded, {} pruned)",
         topk.len(),
@@ -140,14 +210,19 @@ fn main() {
     };
     let hj = sum_stats(ExecStrategy::HashJoin);
     let nv = sum_stats(ExecStrategy::Naive);
-    let t_exec_hj = time(5, || sum_stats(ExecStrategy::HashJoin));
-    let t_exec_nv = time(5, || sum_stats(ExecStrategy::Naive));
+    let t_exec_hj = time(runs, || sum_stats(ExecStrategy::HashJoin));
+    let t_exec_nv = time(runs, || sum_stats(ExecStrategy::Naive));
     let (answers, astats) = interpreter.answers_top_k_with_stats(&query4, k);
-    let t_answers = time(5, || interpreter.answers_top_k(&query4, k));
-    println!("\n== execution (top {} interpretations of the 4-keyword query) ==", topk.len());
+    let t_answers = time(runs, || interpreter.answers_top_k(&query4, k));
+    println!(
+        "\n== execution (top {} interpretations of the 4-keyword query) ==",
+        topk.len()
+    );
     println!(
         "  naive      : {} intermediate bindings, {} probes in {:.2} ms",
-        nv.intermediate_bindings, nv.probes, t_exec_nv * 1e3
+        nv.intermediate_bindings,
+        nv.probes,
+        t_exec_nv * 1e3
     );
     println!(
         "  hash join  : {} intermediate bindings, {} probes, {} batches, \
@@ -177,35 +252,261 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("\nSMOKE OK");
 
-    if let Some(path) = out_path {
-        let json = format!(
-            "{{\n  \"fixture\": \"imdb-default\",\n  \"query4\": \"hanks terminal actor movie\",\n  \"k\": {k},\n  \"exhaustive_candidates\": {exhaustive_len},\n  \"best_first_materialized\": {},\n  \"best_first_expanded\": {},\n  \"best_first_pruned\": {},\n  \"nonempty_probes\": {},\n  \"nonempty_cache_hits\": {},\n  \"complete_space_2kw\": {space2},\n  \"executor\": {{\n    \"naive_intermediate_bindings\": {},\n    \"hashjoin_intermediate_bindings\": {},\n    \"naive_probes\": {},\n    \"hashjoin_probes\": {},\n    \"hashjoin_batches\": {},\n    \"semijoin_rows_in\": {},\n    \"semijoin_rows_out\": {},\n    \"answers_generated\": {},\n    \"answers_executed\": {},\n    \"answers_returned\": {}\n  }},\n  \"wall_clock_ms\": {{\n    \"exhaustive_partials_4kw\": {:.3},\n    \"top10_partials_4kw\": {:.3},\n    \"exhaustive_complete_2kw\": {:.3},\n    \"top10_complete_2kw\": {:.3},\n    \"exec_naive_top10_4kw\": {:.3},\n    \"exec_hashjoin_top10_4kw\": {:.3},\n    \"answers_top10_4kw\": {:.3}\n  }}\n}}\n",
-            stats.materialized,
-            stats.expanded,
-            stats.pruned,
-            stats.nonempty_probes,
-            stats.nonempty_cache_hits,
-            nv.intermediate_bindings,
-            hj.intermediate_bindings,
-            nv.probes,
-            hj.probes,
-            hj.batches,
-            hj.semijoin_rows_in,
-            hj.semijoin_rows_out,
-            astats.generated,
-            astats.executed,
-            answers.len(),
-            t_exhaustive * 1e3,
-            t_topk * 1e3,
-            t_rank2 * 1e3,
-            t_top2 * 1e3,
-            t_exec_nv * 1e3,
-            t_exec_hj * 1e3,
-            t_answers * 1e3,
+    // == serve: query-log replay through the concurrent SearchService. ==
+    let mut serve_runs: Vec<ServeRun> = Vec::new();
+    let mut serve_gate_failure: Option<String> = None;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if serve {
+        let workload = Workload::imdb(
+            &data,
+            WorkloadConfig {
+                seed: 7,
+                n_queries: profile.serve_queries,
+                mc_fraction: 0.5,
+            },
         );
-        std::fs::write(&path, json).expect("write baseline");
-        println!("baseline written to {path}");
+        let queries: Vec<Vec<String>> = workload
+            .queries
+            .iter()
+            .map(|q| q.keywords.clone())
+            .collect();
+        // The earlier sections are done with their borrows; the snapshot
+        // takes ownership of the served structures.
+        let snapshot = Arc::new(SearchSnapshot::new(
+            data.db,
+            index,
+            catalog,
+            InterpreterConfig::default(),
+        ));
+        println!(
+            "\n== serve ({} queries from the seeded IMDB log, {cores} cores) ==",
+            queries.len()
+        );
+        for &w in SERVE_WORKERS {
+            // Median of three cold replays per metric: tail percentiles
+            // under oversubscription jitter far too much for a single
+            // sample to be comparable across runs.
+            let samples: Vec<ServeRun> = (0..3)
+                .map(|_| replay_serve(&snapshot, &queries, w, 5))
+                .collect();
+            let med = |f: fn(&ServeRun) -> f64| -> f64 {
+                let mut v: Vec<f64> = samples.iter().map(f).collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v[v.len() / 2]
+            };
+            let run = ServeRun {
+                workers: w,
+                queries: samples[0].queries,
+                qps: med(|r| r.qps),
+                p50_ms: med(|r| r.p50_ms),
+                p95_ms: med(|r| r.p95_ms),
+                p99_ms: med(|r| r.p99_ms),
+            };
+            println!(
+                "  {w} worker{s}: {:8.1} qps   p50 {:6.3} ms   p95 {:6.3} ms   p99 {:6.3} ms",
+                run.qps,
+                run.p50_ms,
+                run.p95_ms,
+                run.p99_ms,
+                s = if w == 1 { " " } else { "s" },
+            );
+            serve_runs.push(run);
+        }
+        let qps1 = serve_runs[0].qps;
+        let qps4 = serve_runs
+            .iter()
+            .find(|r| r.workers == 4)
+            .map(|r| r.qps)
+            .unwrap_or(qps1);
+        let scaling = qps4 / qps1.max(1e-12);
+        println!("  scaling    : {scaling:.2}x QPS at 4 workers vs 1");
+        // The hard gate trips only on outright concurrency breakage (an
+        // accidental global lock serializes the replay to ~1x); between
+        // 1.3x and the 2x target it warns, because the sub-millisecond
+        // closed-loop replay has never been tuned on multi-core CI
+        // hardware and queue-pop overhead eats into ideal scaling.
+        if cores >= 4 && scaling < 1.3 {
+            // Defer the exit: the snapshot (and its per-worker QPS/latency
+            // numbers — exactly what debugging this failure needs) must
+            // still be written and uploadable as the CI artifact.
+            serve_gate_failure = Some(format!(
+                "{cores} cores available but 4-worker replay reached only \
+                 {scaling:.2}x the 1-worker QPS — concurrency is broken \
+                 (a healthy pool reaches ~2x; hard floor is 1.3x)"
+            ));
+        } else if cores >= 4 && scaling < 2.0 {
+            println!(
+                "  warning: scaling {scaling:.2}x is below the 2x target \
+                 on {cores} cores (hard floor 1.3x)"
+            );
+        } else if cores < 4 {
+            println!(
+                "  note: only {cores} core(s) visible — parallel scaling cannot \
+                 manifest here; QPS/latency recorded, scaling gate skipped"
+            );
+        }
     }
+
+    match &serve_gate_failure {
+        None => println!("\nSMOKE OK"),
+        Some(why) => eprintln!("\nSMOKE FAIL (exit deferred until snapshot written): {why}"),
+    }
+
+    let json = render_json(
+        &profile,
+        k,
+        exhaustive_len,
+        &stats,
+        space2,
+        &nv,
+        &hj,
+        astats.generated,
+        astats.executed,
+        answers.len(),
+        &[
+            ("exhaustive_partials_4kw_ms", t_exhaustive * 1e3),
+            ("top10_partials_4kw_ms", t_topk * 1e3),
+            ("exhaustive_complete_2kw_ms", t_rank2 * 1e3),
+            ("top10_complete_2kw_ms", t_top2 * 1e3),
+            ("exec_naive_top10_4kw_ms", t_exec_nv * 1e3),
+            ("exec_hashjoin_top10_4kw_ms", t_exec_hj * 1e3),
+            ("answers_top10_4kw_ms", t_answers * 1e3),
+        ],
+        cores,
+        &serve_runs,
+    );
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).expect("write snapshot");
+        println!("snapshot written to {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        match check_regression(&baseline, &json, CheckConfig::default()) {
+            Ok(violations) if violations.is_empty() => {
+                println!("CHECK OK: no regression vs {path}");
+            }
+            Ok(violations) => {
+                eprintln!("CHECK FAIL: {} regression(s) vs {path}:", violations.len());
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("CHECK FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(why) = serve_gate_failure {
+        eprintln!("SMOKE FAIL: {why}");
+        std::process::exit(1);
+    }
+}
+
+/// Render the flat-keyed snapshot `check_regression` consumes. Every metric
+/// key is unique across the whole document (see
+/// `keybridge_bench::parse_baseline`).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    profile: &Profile,
+    k: usize,
+    exhaustive_len: usize,
+    gen: &keybridge_core::GenerationStats,
+    space2: usize,
+    nv: &ExecStats,
+    hj: &ExecStats,
+    answers_generated: usize,
+    answers_executed: usize,
+    answers_returned: usize,
+    walls: &[(&str, f64)],
+    cores: usize,
+    serve_runs: &[ServeRun],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"fixture\": \"{}\",\n", profile.fixture));
+    s.push_str(&format!("  \"profile\": \"{}\",\n", profile.name));
+    s.push_str("  \"query4\": \"hanks terminal actor movie\",\n");
+    s.push_str(&format!("  \"k\": {k},\n"));
+    s.push_str(&format!("  \"exhaustive_candidates\": {exhaustive_len},\n"));
+    s.push_str(&format!(
+        "  \"best_first_materialized\": {},\n",
+        gen.materialized
+    ));
+    s.push_str(&format!("  \"best_first_expanded\": {},\n", gen.expanded));
+    s.push_str(&format!("  \"best_first_pruned\": {},\n", gen.pruned));
+    s.push_str(&format!(
+        "  \"nonempty_probes\": {},\n",
+        gen.nonempty_probes
+    ));
+    s.push_str(&format!(
+        "  \"nonempty_cache_hits\": {},\n",
+        gen.nonempty_cache_hits
+    ));
+    s.push_str(&format!("  \"complete_space_2kw\": {space2},\n"));
+    s.push_str("  \"executor\": {\n");
+    s.push_str(&format!(
+        "    \"naive_intermediate_bindings\": {},\n",
+        nv.intermediate_bindings
+    ));
+    s.push_str(&format!(
+        "    \"hashjoin_intermediate_bindings\": {},\n",
+        hj.intermediate_bindings
+    ));
+    s.push_str(&format!("    \"naive_probes\": {},\n", nv.probes));
+    s.push_str(&format!("    \"hashjoin_probes\": {},\n", hj.probes));
+    s.push_str(&format!("    \"hashjoin_batches\": {},\n", hj.batches));
+    s.push_str(&format!(
+        "    \"semijoin_rows_in\": {},\n",
+        hj.semijoin_rows_in
+    ));
+    s.push_str(&format!(
+        "    \"semijoin_rows_out\": {},\n",
+        hj.semijoin_rows_out
+    ));
+    s.push_str(&format!(
+        "    \"answers_generated\": {answers_generated},\n"
+    ));
+    s.push_str(&format!("    \"answers_executed\": {answers_executed},\n"));
+    s.push_str(&format!("    \"answers_returned\": {answers_returned}\n"));
+    s.push_str("  },\n");
+    s.push_str("  \"wall_clock_ms\": {\n");
+    for (i, (key, ms)) in walls.iter().enumerate() {
+        let comma = if i + 1 < walls.len() { "," } else { "" };
+        s.push_str(&format!("    \"{key}\": {ms:.3}{comma}\n"));
+    }
+    s.push_str("  }");
+    if !serve_runs.is_empty() {
+        s.push_str(",\n  \"serve\": {\n");
+        s.push_str(&format!("    \"serve_cores\": {cores},\n"));
+        s.push_str(&format!(
+            "    \"serve_queries\": {},\n",
+            serve_runs[0].queries
+        ));
+        for r in serve_runs {
+            let w = r.workers;
+            s.push_str(&format!("    \"qps_w{w}\": {:.1},\n", r.qps));
+            s.push_str(&format!("    \"p50_ms_w{w}\": {:.3},\n", r.p50_ms));
+            s.push_str(&format!("    \"p95_ms_w{w}\": {:.3},\n", r.p95_ms));
+            s.push_str(&format!("    \"p99_ms_w{w}\": {:.3},\n", r.p99_ms));
+        }
+        let qps1 = serve_runs[0].qps.max(1e-12);
+        let qps4 = serve_runs
+            .iter()
+            .find(|r| r.workers == 4)
+            .map(|r| r.qps)
+            .unwrap_or(qps1);
+        s.push_str(&format!("    \"serve_scaling_w4\": {:.3}\n", qps4 / qps1));
+        s.push_str("  }");
+    }
+    s.push_str("\n}\n");
+    s
 }

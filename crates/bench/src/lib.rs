@@ -129,11 +129,7 @@ impl Fixture {
     /// target rank, and construction cost. `None` when the generator's
     /// intent is outside the materialized interpretation space (the paper
     /// likewise only evaluates queries whose intent exists).
-    pub fn evaluate(
-        &self,
-        interpreter: &Interpreter<'_>,
-        q: &WorkloadQuery,
-    ) -> Option<QueryEval> {
+    pub fn evaluate(&self, interpreter: &Interpreter<'_>, q: &WorkloadQuery) -> Option<QueryEval> {
         let query = KeywordQuery::from_terms(q.keywords.clone());
         let ranked = interpreter.ranked_interpretations(&query);
         if ranked.is_empty() {
@@ -329,23 +325,15 @@ pub fn ch4_data(
     // then executed through the batched hash-join engine with one shared
     // cache (empty-result interpretations drop out, §4.4.1).
     let ranked = interpreter.top_k(&query, top);
-    let (items, keys, _exec_stats) = executed_div_pool(
-        &fixture.db,
-        &fixture.index,
-        &fixture.catalog,
-        &ranked,
-        500,
-    );
+    let (items, keys, _exec_stats) =
+        executed_div_pool(&fixture.db, &fixture.index, &fixture.catalog, &ranked, 500);
     let probs: Vec<f64> = items.iter().map(|i| i.relevance).collect();
     let atoms: Vec<BTreeSet<BindingAtom>> = items.into_iter().map(|i| i.atoms).collect();
     if probs.len() < min_interps {
         return None;
     }
-    let pairs: Vec<(f64, BTreeSet<BindingAtom>)> = probs
-        .iter()
-        .copied()
-        .zip(atoms.iter().cloned())
-        .collect();
+    let pairs: Vec<(f64, BTreeSet<BindingAtom>)> =
+        probs.iter().copied().zip(atoms.iter().cloned()).collect();
     let relevance = simulate_assessments(
         &pairs,
         AssessConfig {
@@ -386,6 +374,435 @@ pub fn ch4_query_set(
         v.into_iter().take(n).map(|(_, d)| d).collect()
     };
     (take_top(sc), take_top(mc))
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer helpers: query-log replay through a SearchService with
+// QPS / latency-percentile accounting, used by the `smoke --serve` workload
+// driver and the `serve_throughput` criterion bench.
+// ---------------------------------------------------------------------------
+
+use keybridge_core::{SearchService, SearchSnapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One replay of a query log through a service: wall-clock throughput and
+/// the per-request latency distribution.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Worker threads serving.
+    pub workers: usize,
+    /// Requests completed.
+    pub queries: usize,
+    /// Completed requests per second of wall-clock.
+    pub qps: f64,
+    /// Latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// Nearest-rank percentile of a sorted sample, `q` in [0, 1].
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replay `queries` through a fresh `workers`-thread [`SearchService`] over
+/// `snapshot`, closed-loop from `workers` client threads pulling work off a
+/// shared cursor. Each request's latency is the client-observed
+/// submit-to-reply time. The service (and its shared caches) starts cold, so
+/// runs at different worker counts do the same total work and are
+/// comparable.
+pub fn replay_serve(
+    snapshot: &Arc<SearchSnapshot>,
+    queries: &[Vec<String>],
+    workers: usize,
+    k: usize,
+) -> ServeRun {
+    let service = SearchService::start(Arc::clone(snapshot), workers);
+    let cursor = AtomicUsize::new(0);
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let service = &service;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            return mine;
+                        }
+                        let q = keybridge_core::KeywordQuery::from_terms(queries[i].clone());
+                        let t = Instant::now();
+                        let answers = service.search(&q, k);
+                        mine.push(t.elapsed().as_secs_f64() * 1e3);
+                        std::hint::black_box(answers);
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ServeRun {
+        workers,
+        queries: latencies.len(),
+        qps: latencies.len() as f64 / elapsed.max(1e-12),
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline bookkeeping: a dependency-free scanner for the flat-keyed
+// BENCH_*.json snapshots and the regression comparator behind
+// `smoke --check` (the CI perf gate).
+// ---------------------------------------------------------------------------
+
+/// A scalar read out of a baseline snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineValue {
+    Num(f64),
+    Str(String),
+}
+
+/// Scan `"key": value` pairs out of a JSON document into a flat map.
+/// The snapshot format keeps every metric key unique across the whole file
+/// precisely so this scanner (no serde in the offline build) is enough;
+/// nested object structure is ignored. Keys that introduce objects are
+/// skipped; numbers and strings are kept.
+pub fn parse_baseline(json: &str) -> std::collections::HashMap<String, BaselineValue> {
+    let mut out = std::collections::HashMap::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Find the next quoted key.
+        let Some(ks) = json[i..].find('"').map(|p| i + p + 1) else {
+            break;
+        };
+        let Some(ke) = json[ks..].find('"').map(|p| ks + p) else {
+            break;
+        };
+        let key = &json[ks..ke];
+        let mut j = ke + 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b':' {
+            i = ke + 1; // a string *value*; skip
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        match bytes.get(j) {
+            Some(b'"') => {
+                let vs = j + 1;
+                let Some(ve) = json[vs..].find('"').map(|p| vs + p) else {
+                    break;
+                };
+                out.insert(key.to_owned(), BaselineValue::Str(json[vs..ve].to_owned()));
+                i = ve + 1;
+            }
+            Some(b'{') | Some(b'[') => {
+                i = j + 1; // structural: descend, keys stay globally unique
+            }
+            _ => {
+                let ve = json[j..]
+                    .find([',', '}', ']', '\n'])
+                    .map(|p| j + p)
+                    .unwrap_or(bytes.len());
+                if let Ok(n) = json[j..ve].trim().parse::<f64>() {
+                    out.insert(key.to_owned(), BaselineValue::Num(n));
+                }
+                i = ve;
+            }
+        }
+    }
+    out
+}
+
+/// How much worse a metric may get before the gate trips. Gated keys:
+/// wall-clock / p50 latency (`*_ms*`, lower-better), throughput (`qps_*`,
+/// higher-better), and the deterministic cost counters of `COUNTER_KEYS`.
+/// Tail percentiles (`p95*`, `p99*`) are recorded but informational — under
+/// worker oversubscription they jitter far beyond any useful gate.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Wall-clock (and QPS) regressions beyond this factor fail (issue
+    /// mandate: 1.5x).
+    pub wall_factor: f64,
+    /// Deterministic counters may grow by at most this factor.
+    pub counter_factor: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            wall_factor: 1.5,
+            counter_factor: 1.05,
+        }
+    }
+}
+
+/// Deterministic cost counters gated with `counter_factor` (lower is
+/// better). Everything numeric not listed here and not matched by the name
+/// conventions below is informational.
+const COUNTER_KEYS: &[&str] = &[
+    "best_first_materialized",
+    "best_first_expanded",
+    "nonempty_probes",
+    "naive_intermediate_bindings",
+    "hashjoin_intermediate_bindings",
+    "naive_probes",
+    "hashjoin_probes",
+    "hashjoin_batches",
+    "answers_generated",
+    "answers_executed",
+];
+
+/// String keys that must match exactly for two snapshots to be comparable
+/// at all (a quick-profile run must never be diffed against a full-profile
+/// baseline).
+const IDENTITY_KEYS: &[&str] = &["fixture", "profile", "query4"];
+
+/// Compare a current snapshot against the committed baseline. Returns the
+/// list of violations (empty = gate passes) or an error when the snapshots
+/// are not comparable.
+pub fn check_regression(
+    baseline_json: &str,
+    current_json: &str,
+    cfg: CheckConfig,
+) -> Result<Vec<String>, String> {
+    let base = parse_baseline(baseline_json);
+    let cur = parse_baseline(current_json);
+    if base.is_empty() {
+        return Err("baseline snapshot is empty or unparseable".into());
+    }
+    for key in IDENTITY_KEYS {
+        match (base.get(*key), cur.get(*key)) {
+            (Some(b), Some(c)) if b == c => {}
+            (None, None) => {}
+            (b, c) => {
+                return Err(format!(
+                    "snapshots not comparable: {key:?} differs ({b:?} vs {c:?}); \
+                     regenerate the baseline with the current profile"
+                ));
+            }
+        }
+    }
+    // Serve QPS and latency depend on the machine's core count; comparing
+    // them across different hardware is systematic noise, not regression
+    // (p50 at worker counts above the core count shifts by design). When
+    // the recorded core counts differ, serve metrics go informational —
+    // counters and the single-threaded wall-clock sections still gate.
+    let serve_comparable = base.get("serve_cores") == cur.get("serve_cores");
+    let mut violations = Vec::new();
+    for (key, bval) in &base {
+        if !serve_comparable && (key.starts_with("qps_") || key.contains("_ms_w")) {
+            continue;
+        }
+        let BaselineValue::Num(b) = bval else {
+            continue;
+        };
+        // Informational keys: tail percentiles, and any latency at worker
+        // counts above one — those distributions are queueing-dominated
+        // under oversubscription (the committed baseline's own p50 grows
+        // 8x from w1 to w8 with zero code change), so only the w1 latency
+        // and the QPS figures carry regression signal.
+        let informational = key.starts_with("p95")
+            || key.starts_with("p99")
+            || (key.contains("_ms_w") && !key.ends_with("_w1"));
+        let gated = !informational
+            && (key.contains("_ms")
+                || key.starts_with("wall_")
+                || key.starts_with("qps_")
+                || COUNTER_KEYS.contains(&key.as_str()));
+        let Some(BaselineValue::Num(c)) = cur.get(key) else {
+            // Only a gated metric is required to be present; informational
+            // keys (e.g. the serve section of a --check run without
+            // --serve) may come and go.
+            if gated {
+                violations.push(format!("metric {key} missing from current run"));
+            }
+            continue;
+        };
+        let (b, c) = (*b, *c);
+        if !gated {
+            continue;
+        }
+        if key.contains("_ms") || key.starts_with("wall_") {
+            // Lower is better; small absolute epsilon absorbs timer noise
+            // on sub-millisecond sections.
+            if c > b * cfg.wall_factor + 0.05 {
+                violations.push(format!(
+                    "wall-clock regression: {key} {c:.3} ms vs baseline {b:.3} ms \
+                     (>{:.2}x)",
+                    cfg.wall_factor
+                ));
+            }
+        } else if key.starts_with("qps_") {
+            // Higher is better.
+            if c < b / cfg.wall_factor - 1e-9 {
+                violations.push(format!(
+                    "throughput regression: {key} {c:.1} vs baseline {b:.1} \
+                     (<1/{:.2}x)",
+                    cfg.wall_factor
+                ));
+            }
+        } else if COUNTER_KEYS.contains(&key.as_str()) && c > b * cfg.counter_factor + 1e-9 {
+            violations.push(format!(
+                "counter regression: {key} {c:.0} vs baseline {b:.0} \
+                 (>{:.2}x)",
+                cfg.counter_factor
+            ));
+        }
+    }
+    violations.sort();
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod baseline_tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "fixture": "imdb-quick",
+  "profile": "quick",
+  "nonempty_probes": 10,
+  "executor": { "hashjoin_probes": 100, "semijoin_rows_in": 5000 },
+  "wall_clock_ms": { "answers_top10_4kw_ms": 1.000 },
+  "serve": { "serve_cores": 8, "qps_w1": 200.0, "p50_ms_w1": 1.0, "p50_ms_w4": 2.0, "p95_ms_w1": 3.0 }
+}"#;
+
+    fn with(key: &str, val: &str) -> String {
+        // Rewrite one scalar in BASE by key.
+        let needle = format!("\"{key}\":");
+        let start = BASE.find(&needle).expect("key present") + needle.len();
+        let end = start + BASE[start..].find([',', '\n', '}']).unwrap();
+        format!("{} {val}{}", &BASE[..start], &BASE[end..])
+    }
+
+    #[test]
+    fn parser_reads_nested_numbers_and_strings() {
+        let m = parse_baseline(BASE);
+        assert_eq!(m["profile"], BaselineValue::Str("quick".into()));
+        assert_eq!(m["hashjoin_probes"], BaselineValue::Num(100.0));
+        assert_eq!(m["p95_ms_w1"], BaselineValue::Num(3.0));
+        assert_eq!(m["qps_w1"], BaselineValue::Num(200.0));
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        assert_eq!(
+            check_regression(BASE, BASE, CheckConfig::default()).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn wall_clock_regression_fails() {
+        let cur = with("answers_top10_4kw_ms", "1.700");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("answers_top10_4kw_ms"), "{v:?}");
+        // 1.4x stays under the 1.5x gate.
+        let ok = with("answers_top10_4kw_ms", "1.400");
+        assert!(check_regression(BASE, &ok, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn counter_regression_fails_but_informational_keys_do_not() {
+        let cur = with("hashjoin_probes", "120");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("hashjoin_probes")), "{v:?}");
+        // semijoin_rows_in is informational: growing it is not a violation.
+        let cur = with("semijoin_rows_in", "9000");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn qps_drop_fails_and_missing_metric_fails() {
+        let cur = with("qps_w1", "100.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("qps_w1")), "{v:?}");
+        let cur = BASE.replace("\"nonempty_probes\": 10,", "");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("missing")), "{v:?}");
+    }
+
+    #[test]
+    fn core_count_mismatch_makes_serve_metrics_informational() {
+        // Same qps drop that fails on matching hardware is skipped when the
+        // snapshots were recorded on different core counts...
+        let cur = with("qps_w1", "100.0").replace("\"serve_cores\": 8", "\"serve_cores\": 4");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // ...and so is serve latency, while deterministic counters still gate.
+        let cur = with("p50_ms_w1", "9.0").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        let cur =
+            with("hashjoin_probes", "200").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("hashjoin_probes")), "{v:?}");
+    }
+
+    #[test]
+    fn oversubscribed_latency_is_informational_but_w1_is_gated() {
+        let cur = with("p50_ms_w4", "9.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        let cur = with("p50_ms_w1", "9.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("p50_ms_w1")), "{v:?}");
+    }
+
+    #[test]
+    fn check_without_serve_section_passes() {
+        // A --check run without --serve emits no serve keys at all; the
+        // serve metrics go informational instead of reporting "missing".
+        let start = BASE.find(",\n  \"serve\"").unwrap();
+        let end = BASE.rfind('}').unwrap();
+        let cur = format!("{}\n{}", &BASE[..start], &BASE[end..]);
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn profile_mismatch_is_incomparable() {
+        let cur = BASE.replace("\"profile\": \"quick\"", "\"profile\": \"full\"");
+        assert!(check_regression(BASE, &cur, CheckConfig::default()).is_err());
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let mut xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 98.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -9,17 +9,28 @@
 //! whole [`ExecutedResult`]s are memoized per interpretation, which is what
 //! lets [`crate::Interpreter::answers_top_k`] replay its ranked prefix in
 //! successive generation waves for free.
+//!
+//! An `ExecCache` can additionally be backed by a process-wide
+//! [`SharedExecCache`] (see [`crate::SearchService`]): predicate row sets
+//! and completed results then outlive the query that computed them, so one
+//! user's intersections prune every other user's executions. Whole-result
+//! hits are shared (`Arc`) and cost no copying on any thread; a predicate
+//! hit skips the index intersection but still copies its row list out of
+//! the `Arc` when an execution consumes it (the join-tree `Candidates` API
+//! takes owned vectors).
 
 use crate::interp::BindingTarget;
 use crate::template::TemplateCatalog;
 use crate::QueryInterpretation;
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{
-    execute_join_tree_with_stats, AttrRef, Candidates, Database, ExecOptions, ExecStats,
-    JoinedRow, RelResult, RowId, TableId,
+    execute_join_tree_with_stats, AttrRef, Candidates, Database, ExecOptions, ExecStats, JoinedRow,
+    RelResult, RowId, TableId,
 };
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// A tuple identifier: table plus primary-key value. The unit of result
 /// overlap in DivQ's metrics (one `ResultKey` = one information nugget).
@@ -65,25 +76,186 @@ struct CachedExecution {
     max_intermediate: usize,
     count_only: bool,
     strategy: keybridge_relstore::ExecStrategy,
-    result: Rc<ExecutedResult>,
+    result: Arc<ExecutedResult>,
+}
+
+impl CachedExecution {
+    /// Whether this cached run can stand in for a request under `opts`: it
+    /// ran in the same mode (strategy and `count_only` match, the cached run
+    /// was at least as strict about `max_intermediate`) and its limit was
+    /// not the binding constraint (it either completed below its limit or
+    /// had at least the requested one).
+    fn satisfies(&self, opts: &ExecOptions) -> bool {
+        let complete = !self.count_only && self.result.jtts.len() < self.limit;
+        self.strategy == opts.strategy
+            && self.count_only == opts.count_only
+            && self.max_intermediate <= opts.max_intermediate
+            && (complete || self.limit >= opts.limit)
+    }
+
+    /// Whether the run finished below its limit, i.e. holds the *full*
+    /// result set. Only complete runs may enter the shared cache: a prefix
+    /// of a complete result is byte-identical to a fresh limited run
+    /// (post-reduction truncation preserves enumeration order), so serving
+    /// them cross-query cannot change what any caller observes.
+    fn is_complete(&self) -> bool {
+        !self.count_only && self.result.jtts.len() < self.limit
+    }
+}
+
+/// Number of lock stripes in the shared caches (here and in
+/// `SharedNonemptyCache`). Power of two; small enough to stay
+/// cache-friendly, large enough that 8 workers rarely collide.
+pub(crate) const STRIPES: usize = 16;
+
+/// The stripe a key hashes to — the one stripe-pick routine every shared
+/// cache in the crate uses.
+pub(crate) fn stripe_of<K: Hash>(key: &K) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (STRIPES - 1)
+}
+
+/// Per-shard admission caps: the shared tiers are bounded, not evicting —
+/// a full shard stops admitting new entries (existing ones keep serving
+/// hits; fresh work just re-computes), so a long-lived service under a
+/// diverse or adversarial query stream cannot grow without bound.
+const PREDICATE_SHARD_CAP: usize = 4096;
+const RESULT_SHARD_CAP: usize = 1024;
+
+/// A predicate's cache identity: sorted keyword bag + attribute.
+type PredicateKey = (Vec<String>, AttrRef);
+/// One lock stripe of the shared predicate map.
+type PredicateShard = RwLock<HashMap<PredicateKey, Arc<Vec<RowId>>>>;
+/// One lock stripe of the shared (complete-only) result map.
+type ResultShard = RwLock<HashMap<QueryInterpretation, CachedExecution>>;
+
+/// Process-wide execution cache shared by every worker of a
+/// [`crate::SearchService`]: lock-striped maps of predicate row sets and
+/// *complete* memoized results, keyed exactly like [`ExecCache`]. All maps
+/// are valid only for the snapshot (database + index + catalog) they were
+/// populated against — the service owns both, so the pairing is structural.
+#[derive(Debug)]
+pub struct SharedExecCache {
+    predicates: Vec<PredicateShard>,
+    results: Vec<ResultShard>,
+    predicate_hits: AtomicUsize,
+    result_hits: AtomicUsize,
+}
+
+impl Default for SharedExecCache {
+    fn default() -> Self {
+        SharedExecCache {
+            predicates: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+            results: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+            predicate_hits: AtomicUsize::new(0),
+            result_hits: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl SharedExecCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct predicate row sets currently shared.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .sum()
+    }
+
+    /// Complete executions currently shared.
+    pub fn result_count(&self) -> usize {
+        self.results.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Cross-query predicate hits served so far.
+    pub fn predicate_hits(&self) -> usize {
+        self.predicate_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cross-query result hits served so far.
+    pub fn result_hits(&self) -> usize {
+        self.result_hits.load(Ordering::Relaxed)
+    }
+
+    fn get_predicate(&self, key: &PredicateKey) -> Option<Arc<Vec<RowId>>> {
+        let hit = self.predicates[stripe_of(key)]
+            .read()
+            .unwrap()
+            .get(key)
+            .cloned();
+        if hit.is_some() {
+            self.predicate_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn put_predicate(&self, key: PredicateKey, rows: Arc<Vec<RowId>>) {
+        let mut shard = self.predicates[stripe_of(&key)].write().unwrap();
+        if shard.len() < PREDICATE_SHARD_CAP {
+            shard.entry(key).or_insert(rows);
+        }
+    }
+
+    fn get_result(
+        &self,
+        interp: &QueryInterpretation,
+        opts: &ExecOptions,
+    ) -> Option<Arc<ExecutedResult>> {
+        let shard = self.results[stripe_of(interp)].read().unwrap();
+        let c = shard.get(interp)?;
+        if c.satisfies(opts) {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+            Some(Arc::clone(&c.result))
+        } else {
+            None
+        }
+    }
+
+    fn put_result(&self, interp: &QueryInterpretation, cached: &CachedExecution) {
+        if !cached.is_complete() {
+            return;
+        }
+        let mut shard = self.results[stripe_of(interp)].write().unwrap();
+        if shard.len() < RESULT_SHARD_CAP {
+            shard
+                .entry(interp.clone())
+                .or_insert_with(|| cached.clone());
+        }
+    }
 }
 
 /// Shared execution state across many interpretations of one query:
 /// predicate row sets keyed by `(sorted keyword bag, attribute)` and
-/// memoized per-interpretation results.
+/// memoized per-interpretation results. Optionally backed by a
+/// [`SharedExecCache`], in which case local misses consult (and local
+/// fills feed) the process-wide maps.
 #[derive(Debug, Default)]
 pub struct ExecCache {
-    predicate_rows: HashMap<(Vec<String>, AttrRef), Vec<RowId>>,
+    predicate_rows: HashMap<PredicateKey, Arc<Vec<RowId>>>,
     results: HashMap<QueryInterpretation, CachedExecution>,
-    /// Predicate row sets served from the cache.
+    shared: Option<Arc<SharedExecCache>>,
+    /// Predicate row sets served from the cache (local or shared).
     pub predicate_hits: usize,
-    /// Whole executions served from the cache.
+    /// Whole executions served from the cache (local or shared).
     pub result_hits: usize,
 }
 
 impl ExecCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A per-query cache whose misses fall through to `shared`.
+    pub fn with_shared(shared: Arc<SharedExecCache>) -> Self {
+        ExecCache {
+            shared: Some(shared),
+            ..Default::default()
+        }
     }
 
     /// Whether a cached predicate is known (non-)empty — the executor-side
@@ -105,18 +277,33 @@ impl ExecCache {
         self.results.len()
     }
 
-    /// Rows of `attr` containing all of `keywords`, from the cache or
-    /// freshly intersected (and then cached).
-    fn rows(&mut self, index: &InvertedIndex, keywords: &[String], attr: AttrRef) -> Vec<RowId> {
+    /// Rows of `attr` containing all of `keywords`, from the local cache,
+    /// the shared cache, or freshly intersected (and then cached in both).
+    fn rows(
+        &mut self,
+        index: &InvertedIndex,
+        keywords: &[String],
+        attr: AttrRef,
+    ) -> Arc<Vec<RowId>> {
         let mut sorted = keywords.to_vec();
         sorted.sort();
         let key = (sorted, attr);
         if let Some(rows) = self.predicate_rows.get(&key) {
             self.predicate_hits += 1;
-            return rows.clone();
+            return Arc::clone(rows);
         }
-        let rows = index.rows_with_all(keywords, attr);
-        self.predicate_rows.insert(key, rows.clone());
+        if let Some(shared) = &self.shared {
+            if let Some(rows) = shared.get_predicate(&key) {
+                self.predicate_hits += 1;
+                self.predicate_rows.insert(key, Arc::clone(&rows));
+                return rows;
+            }
+        }
+        let rows = Arc::new(index.rows_with_all(keywords, attr));
+        if let Some(shared) = &self.shared {
+            shared.put_predicate(key.clone(), Arc::clone(&rows));
+        }
+        self.predicate_rows.insert(key, Arc::clone(&rows));
         rows
     }
 }
@@ -168,8 +355,11 @@ pub fn execute_interpretation(
 /// (strategy and `count_only` match, the cached run was at least as strict
 /// about `max_intermediate`) and its limit was not the binding constraint
 /// (it either completed below its limit or had at least the requested one).
+/// When `cache` is backed by a [`SharedExecCache`], local result misses fall
+/// through to the *complete* runs other queries have shared, and fresh
+/// complete runs are published back.
 ///
-/// Results are shared (`Rc`) so cache hits cost no copying. Note a cache
+/// Results are shared (`Arc`) so cache hits cost no copying. Note a cache
 /// hit on a *complete* cached result may carry more than `opts.limit` JTTs;
 /// callers that need an exact cap must truncate themselves (the streaming
 /// answer loop takes only what it still needs).
@@ -180,19 +370,32 @@ pub fn execute_interpretation_cached(
     interp: &QueryInterpretation,
     opts: ExecOptions,
     cache: &mut ExecCache,
-) -> RelResult<Rc<ExecutedResult>> {
+) -> RelResult<Arc<ExecutedResult>> {
     if let Some(c) = cache.results.get(interp) {
-        let complete = !c.count_only && c.result.jtts.len() < c.limit;
-        if c.strategy == opts.strategy
-            && c.count_only == opts.count_only
-            && c.max_intermediate <= opts.max_intermediate
-            && (complete || c.limit >= opts.limit)
-        {
+        if c.satisfies(&opts) {
             cache.result_hits += 1;
-            return Ok(Rc::clone(&c.result));
+            return Ok(Arc::clone(&c.result));
         }
     }
-    let result = Rc::new(execute_inner(
+    if let Some(shared) = &cache.shared {
+        if let Some(result) = shared.get_result(interp, &opts) {
+            cache.result_hits += 1;
+            // Shared entries are complete; remember locally under a limit
+            // that marks them complete for any follow-up request.
+            cache.results.insert(
+                interp.clone(),
+                CachedExecution {
+                    limit: result.jtts.len() + 1,
+                    max_intermediate: opts.max_intermediate,
+                    count_only: opts.count_only,
+                    strategy: opts.strategy,
+                    result: Arc::clone(&result),
+                },
+            );
+            return Ok(result);
+        }
+    }
+    let result = Arc::new(execute_inner(
         db,
         index,
         catalog,
@@ -200,16 +403,17 @@ pub fn execute_interpretation_cached(
         opts,
         &mut Some(&mut *cache),
     )?);
-    cache.results.insert(
-        interp.clone(),
-        CachedExecution {
-            limit: opts.limit,
-            max_intermediate: opts.max_intermediate,
-            count_only: opts.count_only,
-            strategy: opts.strategy,
-            result: Rc::clone(&result),
-        },
-    );
+    let cached = CachedExecution {
+        limit: opts.limit,
+        max_intermediate: opts.max_intermediate,
+        count_only: opts.count_only,
+        strategy: opts.strategy,
+        result: Arc::clone(&result),
+    };
+    if let Some(shared) = &cache.shared {
+        shared.put_result(interp, &cached);
+    }
+    cache.results.insert(interp.clone(), cached);
     Ok(result)
 }
 
@@ -233,7 +437,7 @@ fn execute_inner(
                 attr,
             };
             let rows = match cache.as_deref_mut() {
-                Some(c) => c.rows(index, &b.keywords, aref),
+                Some(c) => (*c.rows(index, &b.keywords, aref)).clone(),
                 None => {
                     let mut out = Vec::new();
                     index.rows_with_all_into(&b.keywords, aref, &mut out, &mut scratch);
@@ -287,8 +491,12 @@ mod tests {
 
     fn setup() -> (Database, InvertedIndex, TemplateCatalog) {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title");
         b.table("acts", TableKind::Relation)
             .pk("id")
             .int_attr("actor_id")
@@ -300,10 +508,12 @@ mod tests {
         let movie = db.schema().table_id("movie").unwrap();
         let acts = db.schema().table_id("acts").unwrap();
         for (id, n) in [(1, "tom hanks"), (2, "tom cruise")] {
-            db.insert(actor, vec![Value::Int(id), Value::text(n)]).unwrap();
+            db.insert(actor, vec![Value::Int(id), Value::text(n)])
+                .unwrap();
         }
         for (id, t) in [(10, "the terminal"), (11, "top gun")] {
-            db.insert(movie, vec![Value::Int(id), Value::text(t)]).unwrap();
+            db.insert(movie, vec![Value::Int(id), Value::text(t)])
+                .unwrap();
         }
         for (id, a, m) in [(100, 1, 10), (101, 2, 11)] {
             db.insert(acts, vec![Value::Int(id), Value::Int(a), Value::Int(m)])
@@ -352,8 +562,14 @@ mod tests {
         assert!(!res.is_empty());
         let actor = db.schema().table_id("actor").unwrap();
         let movie = db.schema().table_id("movie").unwrap();
-        assert!(res.keys.contains(&ResultKey { table: actor, pk: 1 }));
-        assert!(res.keys.contains(&ResultKey { table: movie, pk: 10 }));
+        assert!(res.keys.contains(&ResultKey {
+            table: actor,
+            pk: 1
+        }));
+        assert!(res.keys.contains(&ResultKey {
+            table: movie,
+            pk: 10
+        }));
         assert_eq!(res.keys.len(), 2); // the bound actor + movie tuples
         assert_eq!(res.all_keys.len(), 3); // plus the free acts tuple
         assert!(res.stats.probes > 0);
@@ -430,11 +646,17 @@ mod tests {
             vec![
                 KeywordBinding {
                     keywords: vec!["tom".into()],
-                    target: BindingTarget::Value { node: 0, attr: name },
+                    target: BindingTarget::Value {
+                        node: 0,
+                        attr: name,
+                    },
                 },
                 KeywordBinding {
                     keywords: vec!["hanks".into()],
-                    target: BindingTarget::Value { node: 0, attr: name },
+                    target: BindingTarget::Value {
+                        node: 0,
+                        attr: name,
+                    },
                 },
             ],
         );
@@ -444,11 +666,17 @@ mod tests {
                 &idx,
                 &catalog,
                 &interp,
-                ExecOptions { strategy, ..Default::default() },
+                ExecOptions {
+                    strategy,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(res.len(), 1, "{strategy:?}");
-            assert!(res.keys.contains(&ResultKey { table: actor, pk: 1 }));
+            assert!(res.keys.contains(&ResultKey {
+                table: actor,
+                pk: 1
+            }));
         }
     }
 
@@ -458,13 +686,23 @@ mod tests {
         let interp = hanks_terminal(&db, &catalog);
         let mut cache = ExecCache::new();
         let a = execute_interpretation_cached(
-            &db, &idx, &catalog, &interp, ExecOptions::default(), &mut cache,
+            &db,
+            &idx,
+            &catalog,
+            &interp,
+            ExecOptions::default(),
+            &mut cache,
         )
         .unwrap();
         assert_eq!(cache.result_hits, 0);
         assert_eq!(cache.predicate_count(), 2);
         let b = execute_interpretation_cached(
-            &db, &idx, &catalog, &interp, ExecOptions::default(), &mut cache,
+            &db,
+            &idx,
+            &catalog,
+            &interp,
+            ExecOptions::default(),
+            &mut cache,
         )
         .unwrap();
         assert_eq!(cache.result_hits, 1);
@@ -472,7 +710,10 @@ mod tests {
         assert_eq!(a.keys, b.keys);
         // The predicate sets answer non-emptiness without re-probing.
         let name = db.schema().resolve("actor", "name").unwrap();
-        assert_eq!(cache.predicate_nonempty(&["hanks".into()], name), Some(true));
+        assert_eq!(
+            cache.predicate_nonempty(&["hanks".into()], name),
+            Some(true)
+        );
         assert_eq!(cache.predicate_nonempty(&["zzz".into()], name), None);
     }
 
@@ -480,7 +721,10 @@ mod tests {
     fn cached_result_not_reused_when_limit_grows() {
         let (db, idx, catalog) = setup();
         let actor = db.schema().table_id("actor").unwrap();
-        let tpl = catalog.iter().find(|t| t.tree.nodes == vec![actor]).unwrap();
+        let tpl = catalog
+            .iter()
+            .find(|t| t.tree.nodes == vec![actor])
+            .unwrap();
         let interp = QueryInterpretation::new(
             tpl.id,
             vec![KeywordBinding {
@@ -492,18 +736,27 @@ mod tests {
             }],
         );
         let mut cache = ExecCache::new();
-        let small = ExecOptions { limit: 1, ..Default::default() };
-        let r1 = execute_interpretation_cached(&db, &idx, &catalog, &interp, small, &mut cache)
-            .unwrap();
+        let small = ExecOptions {
+            limit: 1,
+            ..Default::default()
+        };
+        let r1 =
+            execute_interpretation_cached(&db, &idx, &catalog, &interp, small, &mut cache).unwrap();
         assert_eq!(r1.len(), 1); // truncated: cached entry hit its limit
-        let big = ExecOptions { limit: 10, ..Default::default() };
-        let r2 = execute_interpretation_cached(&db, &idx, &catalog, &interp, big, &mut cache)
-            .unwrap();
-        assert_eq!(cache.result_hits, 0, "limited result must not satisfy a larger limit");
+        let big = ExecOptions {
+            limit: 10,
+            ..Default::default()
+        };
+        let r2 =
+            execute_interpretation_cached(&db, &idx, &catalog, &interp, big, &mut cache).unwrap();
+        assert_eq!(
+            cache.result_hits, 0,
+            "limited result must not satisfy a larger limit"
+        );
         assert_eq!(r2.len(), 2);
         // And now the bigger (complete) result satisfies smaller requests.
-        let r3 = execute_interpretation_cached(&db, &idx, &catalog, &interp, small, &mut cache)
-            .unwrap();
+        let r3 =
+            execute_interpretation_cached(&db, &idx, &catalog, &interp, small, &mut cache).unwrap();
         assert_eq!(cache.result_hits, 1);
         assert_eq!(r3.len(), 2); // cached complete result, caller sees ≥ limit
     }

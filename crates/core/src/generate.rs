@@ -12,6 +12,8 @@ use keybridge_index::{InvertedIndex, SchemaTarget};
 use keybridge_relstore::{AttrRef, Database, ExecOptions, ExecStats, JoinedRow, TableId};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, RwLock};
 
 /// How the interpreter produces its ranked candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +77,9 @@ pub struct GenerationStats {
     pub nonempty_probes: usize,
     /// Probes answered by the memo cache.
     pub nonempty_cache_hits: usize,
+    /// Probes answered by the process-wide shared cache (another query's
+    /// work, possibly on another thread).
+    pub nonempty_shared_hits: usize,
     /// Interpretations returned.
     pub emitted: usize,
 }
@@ -96,15 +101,30 @@ pub struct ScoredInterpretation {
 /// handed a different query, so stale verdicts can never leak).
 /// [`Interpreter::answers_top_k`] threads one cache through its generation
 /// waves and seeds it from the executor's materialized predicate row sets.
+///
+/// A cache can additionally be backed by a [`SharedNonemptyCache`], whose
+/// verdicts are keyed by the *sorted keyword bag* instead of the positional
+/// mask and therefore survive across queries (and threads): local misses
+/// consult the shared map before probing the index, and fresh verdicts are
+/// published back.
 #[derive(Debug, Default)]
 pub struct NonemptyCache {
     map: HashMap<(u64, AttrRef), bool>,
     terms: Vec<String>,
+    shared: Option<Arc<SharedNonemptyCache>>,
 }
 
 impl NonemptyCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A per-query cache whose misses fall through to `shared`.
+    pub fn with_shared(shared: Arc<SharedNonemptyCache>) -> Self {
+        NonemptyCache {
+            shared: Some(shared),
+            ..Default::default()
+        }
     }
 
     /// Number of memoized probes.
@@ -114,6 +134,80 @@ impl NonemptyCache {
 
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// Process-wide non-emptiness verdicts shared by every worker of a
+/// [`crate::SearchService`]: a lock-striped map of `(sorted keyword bag,
+/// attribute) → bool`. Verdicts are pure facts about the indexed database,
+/// so concurrent readers never observe anything stale; striping keeps
+/// writer contention away from the read-mostly fast path. Valid only for
+/// the index it was populated against.
+#[derive(Debug)]
+pub struct SharedNonemptyCache {
+    shards: Vec<BagShard>,
+    hits: AtomicUsize,
+}
+
+/// A shared verdict's identity: sorted keyword bag + attribute.
+type BagKey = (Vec<String>, AttrRef);
+/// One lock stripe of the shared verdict map.
+type BagShard = RwLock<HashMap<BagKey, bool>>;
+
+/// Per-shard admission cap, mirroring the bounded shared tiers of
+/// `exec.rs`: a full shard stops admitting (existing verdicts keep serving
+/// hits; fresh probes just hit the index) so a long-lived service cannot
+/// grow without bound.
+const VERDICT_SHARD_CAP: usize = 65_536;
+
+impl Default for SharedNonemptyCache {
+    fn default() -> Self {
+        SharedNonemptyCache {
+            shards: (0..crate::exec::STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl SharedNonemptyCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Verdicts currently shared.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cross-query hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The shared verdict for a *sorted* keyword bag, if any.
+    fn get(&self, key: &BagKey) -> Option<bool> {
+        let hit = self.shards[crate::exec::stripe_of(key)]
+            .read()
+            .unwrap()
+            .get(key)
+            .copied();
+        if hit.is_some() {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert(&self, key: BagKey, verdict: bool) {
+        let mut shard = self.shards[crate::exec::stripe_of(&key)].write().unwrap();
+        if shard.len() < VERDICT_SHARD_CAP {
+            shard.entry(key).or_insert(verdict);
+        }
     }
 }
 
@@ -287,7 +381,7 @@ impl<'a> Interpreter<'a> {
             // Group terms by target into bindings.
             let mut groups: HashMap<BindingTarget, Vec<String>> = HashMap::new();
             for (t, target) in terms.iter().zip(assignment.iter()) {
-                groups.entry(target.clone()).or_default().push(t.clone());
+                groups.entry(*target).or_default().push(t.clone());
             }
             let bindings: Vec<KeywordBinding> = groups
                 .into_iter()
@@ -297,15 +391,14 @@ impl<'a> Interpreter<'a> {
             if !interp.is_minimal(self.catalog) {
                 return;
             }
-            if self.config.require_nonempty_predicates && !self.predicates_nonempty(tpl, &interp)
-            {
+            if self.config.require_nonempty_predicates && !self.predicates_nonempty(tpl, &interp) {
                 return;
             }
             results.insert(interp);
             return;
         }
         for target in &local[i] {
-            assignment.push(target.clone());
+            assignment.push(*target);
             self.dfs(tpl, terms, local, assignment, results);
             assignment.pop();
             if results.len() >= self.config.max_interpretations {
@@ -402,11 +495,13 @@ impl<'a> Interpreter<'a> {
             .into_iter()
             .zip(logs)
             .zip(probs)
-            .map(|((interpretation, log_score), probability)| ScoredInterpretation {
-                interpretation,
-                log_score,
-                probability,
-            })
+            .map(
+                |((interpretation, log_score), probability)| ScoredInterpretation {
+                    interpretation,
+                    log_score,
+                    probability,
+                },
+            )
             .collect();
         scored.sort_by(|a, b| {
             b.log_score
@@ -575,6 +670,7 @@ impl<'a> Interpreter<'a> {
         let scorer = model.incremental(terms, &value_attrs, &name_tables, include_partials);
 
         let mut cache = cache;
+        let shared = cache.as_deref().and_then(|c| c.shared.clone());
         let nonempty = cache
             .as_deref_mut()
             .map(|c| std::mem::take(&mut c.map))
@@ -592,6 +688,7 @@ impl<'a> Interpreter<'a> {
             buffer: Vec::new(),
             top_scores: BinaryHeap::new(),
             nonempty,
+            shared,
             stats: GenerationStats::default(),
         };
         search.seed_roots();
@@ -615,7 +712,8 @@ impl<'a> Interpreter<'a> {
     /// and empty interpretations are skipped — replays across waves are
     /// served from the execution cache.
     pub fn answers_top_k(&self, query: &KeywordQuery, k: usize) -> Vec<RankedAnswer> {
-        self.answers_top_k_with_opts(query, k, ExecOptions::default()).0
+        self.answers_top_k_with_opts(query, k, ExecOptions::default())
+            .0
     }
 
     /// [`Self::answers_top_k`] with counters.
@@ -636,13 +734,32 @@ impl<'a> Interpreter<'a> {
         k: usize,
         base: ExecOptions,
     ) -> (Vec<RankedAnswer>, AnswerStats) {
+        let mut exec_cache = ExecCache::new();
+        let mut gen_cache = NonemptyCache::new();
+        self.answers_top_k_with_caches(query, k, base, &mut gen_cache, &mut exec_cache)
+    }
+
+    /// [`Self::answers_top_k_with_opts`] with *explicit cache handles* — the
+    /// seam the concurrent [`crate::SearchService`] drives. The caller owns
+    /// both per-query caches (usually constructed with
+    /// [`NonemptyCache::with_shared`] / [`ExecCache::with_shared`] so misses
+    /// fall through to the process-wide maps); all the interior state that
+    /// used to be created ad hoc inside this method now lives in them.
+    /// Cache-hit counters in the returned stats are cumulative over the
+    /// handed-in caches' lifetimes.
+    pub fn answers_top_k_with_caches(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+        base: ExecOptions,
+        gen_cache: &mut NonemptyCache,
+        exec_cache: &mut ExecCache,
+    ) -> (Vec<RankedAnswer>, AnswerStats) {
         let mut stats = AnswerStats::default();
         if k == 0 || query.is_empty() {
             return (Vec::new(), stats);
         }
         let terms = query.terms();
-        let mut exec_cache = ExecCache::new();
-        let mut gen_cache = NonemptyCache::new();
         // Executions that errored (e.g. the intermediate-blowup guard):
         // tombstoned so wave replays skip them instead of re-running the
         // blow-up, and each failure is counted once.
@@ -651,7 +768,7 @@ impl<'a> Interpreter<'a> {
         let mut gen_k = k.max(8).min(self.config.max_interpretations);
         loop {
             stats.waves += 1;
-            let (ranked, gstats) = self.top_k_with_cache(query, gen_k, true, &mut gen_cache);
+            let (ranked, gstats) = self.top_k_with_cache(query, gen_k, true, gen_cache);
             stats.gen = gstats;
             stats.generated = ranked.len();
             answers.clear();
@@ -675,7 +792,7 @@ impl<'a> Interpreter<'a> {
                     self.catalog,
                     &s.interpretation,
                     opts,
-                    &mut exec_cache,
+                    exec_cache,
                 ) {
                     Ok(r) => r,
                     Err(_) => {
@@ -695,8 +812,8 @@ impl<'a> Interpreter<'a> {
                     stats.nonempty_seeded += self.seed_nonempty_from_execution(
                         terms,
                         &s.interpretation,
-                        &exec_cache,
-                        &mut gen_cache,
+                        exec_cache,
+                        gen_cache,
                     );
                 }
                 if res.is_empty() {
@@ -704,8 +821,7 @@ impl<'a> Interpreter<'a> {
                 }
                 self.collect_answers(s, &res, remaining, &mut answers);
             }
-            let exhausted =
-                ranked.len() < gen_k || gen_k >= self.config.max_interpretations;
+            let exhausted = ranked.len() < gen_k || gen_k >= self.config.max_interpretations;
             if answers.len() >= k || exhausted {
                 break;
             }
@@ -774,8 +890,7 @@ impl<'a> Interpreter<'a> {
             };
             let mut mask = 0u64;
             for kw in &b.keywords {
-                let Some(pos) =
-                    (0..terms.len()).find(|&i| terms[i] == *kw && mask & (1 << i) == 0)
+                let Some(pos) = (0..terms.len()).find(|&i| terms[i] == *kw && mask & (1 << i) == 0)
                 else {
                     continue 'binding;
                 };
@@ -788,9 +903,15 @@ impl<'a> Interpreter<'a> {
             let Some(nonempty) = exec_cache.predicate_nonempty(&b.keywords, aref) else {
                 continue;
             };
-            if !gen_cache.map.contains_key(&(mask, aref)) {
-                gen_cache.map.insert((mask, aref), nonempty);
+            if let std::collections::hash_map::Entry::Vacant(e) = gen_cache.map.entry((mask, aref))
+            {
+                e.insert(nonempty);
                 seeded += 1;
+            }
+            if let Some(shared) = &gen_cache.shared {
+                let mut bag = b.keywords.clone();
+                bag.sort();
+                shared.insert((bag, aref), nonempty);
             }
         }
         seeded
@@ -872,6 +993,11 @@ impl Ord for SearchNode {
 
 /// Localized search data of one template: per-occurrence binding targets
 /// and suffix bound sums.
+/// One child of a frontier expansion: the target index assigned to the next
+/// occurrence (`UNMAPPED` for the partials branch), its score delta, and the
+/// value-group identity to non-emptiness-check, if any.
+type ChildDelta = (i32, f64, Option<(u64, AttrRef)>);
+
 struct TplData {
     targets: Vec<Vec<BindingTarget>>,
     suffix: Vec<f64>,
@@ -911,6 +1037,8 @@ struct BestFirstSearch<'s, 'a> {
     /// at different positions probe the index once each, which is the
     /// only sharing the mask encoding gives up.
     nonempty: HashMap<(u64, AttrRef), bool>,
+    /// Cross-query verdicts (bag-keyed), consulted on local misses.
+    shared: Option<Arc<SharedNonemptyCache>>,
     stats: GenerationStats,
 }
 
@@ -994,16 +1122,34 @@ impl<'s, 'a> BestFirstSearch<'s, 'a> {
     }
 
     /// Memoized non-emptiness of a value group (keyword bag ⊂ attr).
+    /// Misses consult the cross-query shared cache (bag-keyed) before
+    /// probing the index; fresh verdicts are published back so every other
+    /// query — on any thread — skips the probe.
     fn group_nonempty(&mut self, mask: u64, aref: AttrRef) -> bool {
         if let Some(&hit) = self.nonempty.get(&(mask, aref)) {
             self.stats.nonempty_cache_hits += 1;
             return hit;
         }
-        self.stats.nonempty_probes += 1;
         let kws: Vec<String> = (0..self.terms.len())
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| self.terms[i].clone())
             .collect();
+        if let Some(shared) = &self.shared {
+            let mut bag = kws.clone();
+            bag.sort();
+            let key = (bag, aref);
+            if let Some(ok) = shared.get(&key) {
+                self.stats.nonempty_shared_hits += 1;
+                self.nonempty.insert((mask, aref), ok);
+                return ok;
+            }
+            self.stats.nonempty_probes += 1;
+            let ok = self.interpreter.index.has_row_with_all(&kws, aref);
+            shared.insert(key, ok);
+            self.nonempty.insert((mask, aref), ok);
+            return ok;
+        }
+        self.stats.nonempty_probes += 1;
         let ok = self.interpreter.index.has_row_with_all(&kws, aref);
         self.nonempty.insert((mask, aref), ok);
         ok
@@ -1066,8 +1212,7 @@ impl<'s, 'a> BestFirstSearch<'s, 'a> {
         };
         // Collect child deltas first: the non-emptiness probes need
         // `&mut self` while the template data stays borrowed otherwise.
-        // Each entry: (target index, score delta, value group mask + attr).
-        let mut children: Vec<(i32, f64, Option<(u64, AttrRef)>)> = Vec::new();
+        let mut children: Vec<ChildDelta> = Vec::new();
         {
             let data = &self.tpls[&node.tpl];
             for (ti, target) in data.targets[i].iter().enumerate() {
@@ -1141,7 +1286,7 @@ impl<'s, 'a> BestFirstSearch<'s, 'a> {
         for (p, &t) in node.assign.iter().enumerate() {
             if t != UNMAPPED {
                 groups
-                    .entry(data.targets[p][t as usize].clone())
+                    .entry(data.targets[p][t as usize])
                     .or_default()
                     .push(self.terms[p].clone());
             }
@@ -1186,11 +1331,13 @@ impl<'s, 'a> BestFirstSearch<'s, 'a> {
             .buffer
             .into_iter()
             .zip(probs)
-            .map(|((interpretation, log_score), probability)| ScoredInterpretation {
-                interpretation,
-                log_score,
-                probability,
-            })
+            .map(
+                |((interpretation, log_score), probability)| ScoredInterpretation {
+                    interpretation,
+                    log_score,
+                    probability,
+                },
+            )
             .collect();
         self.stats.emitted = out.len();
         (out, self.stats)
@@ -1221,7 +1368,11 @@ mod tests {
     }
 
     fn first_actor_tokens(f: &Fixture) -> (String, String) {
-        let row = f.data.db.table(f.data.actor).row(keybridge_relstore::RowId(0));
+        let row = f
+            .data
+            .db
+            .table(f.data.actor)
+            .row(keybridge_relstore::RowId(0));
         let name = row[1].as_text().unwrap();
         let toks = Tokenizer::new().tokenize(name);
         (toks[0].clone(), toks[1].clone())
@@ -1510,7 +1661,9 @@ mod tests {
             &f.catalog,
             InterpreterConfig::default(),
         );
-        assert!(interp.top_k(&KeywordQuery::from_terms(vec![]), 5).is_empty());
+        assert!(interp
+            .top_k(&KeywordQuery::from_terms(vec![]), 5)
+            .is_empty());
         let (_, last) = first_actor_tokens(&f);
         let q = KeywordQuery::from_terms(vec![last]);
         assert!(interp.top_k(&q, 0).is_empty());
@@ -1669,6 +1822,9 @@ mod tests {
         let n1 = interp.enumerate_interpretations(&q1).len();
         let n2 = interp.enumerate_interpretations(&q2).len();
         assert!(n1 > 0);
-        assert!(n2 >= n1, "space should not shrink with more keywords: {n1} vs {n2}");
+        assert!(
+            n2 >= n1,
+            "space should not shrink with more keywords: {n1} vs {n2}"
+        );
     }
 }

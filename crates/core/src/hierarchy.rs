@@ -162,7 +162,11 @@ mod tests {
     }
 
     fn two_keyword_query(f: &Fixture) -> KeywordQuery {
-        let row = f.data.db.table(f.data.actor).row(keybridge_relstore::RowId(0));
+        let row = f
+            .data
+            .db
+            .table(f.data.actor)
+            .row(keybridge_relstore::RowId(0));
         let name = row[1].as_text().unwrap();
         let toks: Vec<String> = name.split(' ').map(str::to_owned).collect();
         KeywordQuery::from_terms(toks)

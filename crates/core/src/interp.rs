@@ -194,7 +194,9 @@ impl IntentDescription {
                 // Name bindings never occur in generated intents.
                 _ => return false,
             };
-            got.entry(key).or_default().extend(b.keywords.iter().cloned());
+            got.entry(key)
+                .or_default()
+                .extend(b.keywords.iter().cloned());
         }
         if want.len() != got.len() {
             return false;
@@ -220,8 +222,12 @@ mod tests {
 
     fn setup() -> (Database, TemplateCatalog) {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title");
         b.table("acts", TableKind::Relation)
             .pk("id")
             .int_attr("actor_id")
@@ -243,10 +249,8 @@ mod tests {
         let (db, c) = setup();
         let tid = actor_acts_movie(&db, &c);
         let tpl = c.get(tid);
-        let actor_node = tpl
-            .nodes_of_table(db.schema().table_id("actor").unwrap())[0];
-        let movie_node = tpl
-            .nodes_of_table(db.schema().table_id("movie").unwrap())[0];
+        let actor_node = tpl.nodes_of_table(db.schema().table_id("actor").unwrap())[0];
+        let movie_node = tpl.nodes_of_table(db.schema().table_id("movie").unwrap())[0];
         let name = db.schema().resolve("actor", "name").unwrap().attr;
         let title = db.schema().resolve("movie", "title").unwrap().attr;
         let q = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
@@ -255,11 +259,17 @@ mod tests {
             vec![
                 KeywordBinding {
                     keywords: vec!["hanks".into()],
-                    target: BindingTarget::Value { node: actor_node, attr: name },
+                    target: BindingTarget::Value {
+                        node: actor_node,
+                        attr: name,
+                    },
                 },
                 KeywordBinding {
                     keywords: vec!["terminal".into()],
-                    target: BindingTarget::Value { node: movie_node, attr: title },
+                    target: BindingTarget::Value {
+                        node: movie_node,
+                        attr: title,
+                    },
                 },
             ],
         );
@@ -269,7 +279,10 @@ mod tests {
             tid,
             vec![KeywordBinding {
                 keywords: vec!["hanks".into()],
-                target: BindingTarget::Value { node: actor_node, attr: name },
+                target: BindingTarget::Value {
+                    node: actor_node,
+                    attr: name,
+                },
             }],
         );
         assert!(!partial.is_complete(&q));
@@ -288,12 +301,17 @@ mod tests {
             tid,
             vec![KeywordBinding {
                 keywords: vec!["tom".into(), "hanks".into()],
-                target: BindingTarget::Value { node: actor_node, attr: name.attr },
+                target: BindingTarget::Value {
+                    node: actor_node,
+                    attr: name.attr,
+                },
             }],
         );
         let atoms = i.atoms(&c);
         assert_eq!(atoms.len(), 2);
-        assert!(atoms.iter().all(|a| a.attr == name && a.kind == BindingAtomKind::Value));
+        assert!(atoms
+            .iter()
+            .all(|a| a.attr == name && a.kind == BindingAtomKind::Value));
         assert!(i.contains_atom(
             &c,
             &BindingAtom {
@@ -323,11 +341,17 @@ mod tests {
         let title = db.schema().resolve("movie", "title").unwrap().attr;
         let b1 = KeywordBinding {
             keywords: vec!["hanks".into()],
-            target: BindingTarget::Value { node: actor_node, attr: name },
+            target: BindingTarget::Value {
+                node: actor_node,
+                attr: name,
+            },
         };
         let b2 = KeywordBinding {
             keywords: vec!["terminal".into()],
-            target: BindingTarget::Value { node: movie_node, attr: title },
+            target: BindingTarget::Value {
+                node: movie_node,
+                attr: title,
+            },
         };
         let a = QueryInterpretation::new(tid, vec![b1.clone(), b2.clone()]);
         let b = QueryInterpretation::new(tid, vec![b2, b1]);
@@ -348,11 +372,17 @@ mod tests {
             vec![
                 KeywordBinding {
                     keywords: vec!["hanks".into()],
-                    target: BindingTarget::Value { node: actor_node, attr: name },
+                    target: BindingTarget::Value {
+                        node: actor_node,
+                        attr: name,
+                    },
                 },
                 KeywordBinding {
                     keywords: vec!["terminal".into()],
-                    target: BindingTarget::Value { node: movie_node, attr: title },
+                    target: BindingTarget::Value {
+                        node: movie_node,
+                        attr: title,
+                    },
                 },
             ],
         );

@@ -22,6 +22,11 @@
 //!    smoothing; Eq. 4.2), plus the SQAK and join-count baseline rankers.
 //! 5. [`execute_interpretation`] — runs an interpretation against the
 //!    database and materializes its joining tuple trees.
+//! 6. [`SearchService`] — the concurrent serving layer: an `Arc`-shared
+//!    [`SearchSnapshot`] of database + index + catalog served by N worker
+//!    threads whose queries share the lock-striped [`SharedNonemptyCache`]
+//!    and [`SharedExecCache`], so one user's pruning work prunes every
+//!    other user's search.
 
 mod exec;
 mod generate;
@@ -31,15 +36,16 @@ mod keyword;
 mod prob;
 mod rank;
 mod render;
+mod service;
 mod template;
 
 pub use exec::{
-    bound_nodes, execute_interpretation, execute_interpretation_cached, ExecCache,
-    ExecutedResult, ResultKey,
+    bound_nodes, execute_interpretation, execute_interpretation_cached, ExecCache, ExecutedResult,
+    ResultKey, SharedExecCache,
 };
 pub use generate::{
     AnswerStats, GenerationStats, GenerationStrategy, Interpreter, InterpreterConfig,
-    NonemptyCache, RankedAnswer, ScoredInterpretation,
+    NonemptyCache, RankedAnswer, ScoredInterpretation, SharedNonemptyCache,
 };
 pub use hierarchy::{subsumes, QueryHierarchy};
 pub use interp::{
@@ -50,4 +56,5 @@ pub use keyword::KeywordQuery;
 pub use prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 pub use rank::{join_count_score, sqak_score};
 pub use render::{render_natural, render_sql};
+pub use service::{SearchService, SearchSnapshot, ServiceStats, Ticket};
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};

@@ -152,11 +152,7 @@ impl<'a> ProbabilityModel<'a> {
     pub fn log_score(&self, interp: &QueryInterpretation, query_len: usize) -> f64 {
         let tpl = self.catalog.get(interp.template);
         let sig = tpl.signature(self.db);
-        let mut lp = self
-            .prior
-            .prob(&sig, self.catalog.len())
-            .max(MIN_PROB)
-            .ln();
+        let mut lp = self.prior.prob(&sig, self.catalog.len()).max(MIN_PROB).ln();
         for b in &interp.bindings {
             let p = match b.target {
                 BindingTarget::Value { node, attr } => {
@@ -301,11 +297,7 @@ impl<'a, 'q> IncrementalScorer<'a, 'q> {
                     let ln = if uniform {
                         0.0
                     } else {
-                        model
-                            .index
-                            .atf(&terms[i], a, cfg.alpha)
-                            .max(MIN_PROB)
-                            .ln()
+                        model.index.atf(&terms[i], a, cfg.alpha).max(MIN_PROB).ln()
                     };
                     (a, ln)
                 })
@@ -474,10 +466,8 @@ impl<'a, 'q> IncrementalScorer<'a, 'q> {
     /// Whether occurrence `i` has any binding target inside `tpl`
     /// (ignoring the unmapped route).
     pub fn has_target_in(&self, tpl: &QueryTemplate, i: usize) -> bool {
-        tpl.distinct_tables().any(|t| {
-            self.value_best_table[i].contains_key(&t)
-                || self.name_tables[i].contains(&t)
-        })
+        tpl.distinct_tables()
+            .any(|t| self.value_best_table[i].contains_key(&t) || self.name_tables[i].contains(&t))
     }
 }
 
@@ -489,8 +479,12 @@ mod tests {
 
     fn setup() -> (Database, TemplateCatalog) {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title");
         b.table("acts", TableKind::Relation)
             .pk("id")
             .int_attr("actor_id")
@@ -504,7 +498,8 @@ mod tests {
             .iter()
             .enumerate()
         {
-            db.insert(actor, vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+            db.insert(actor, vec![Value::Int(i as i64), Value::text(*n)])
+                .unwrap();
         }
         for (i, t) in [
             "the terminal",
@@ -517,7 +512,8 @@ mod tests {
         .iter()
         .enumerate()
         {
-            db.insert(movie, vec![Value::Int(i as i64), Value::text(*t)]).unwrap();
+            db.insert(movie, vec![Value::Int(i as i64), Value::text(*t)])
+                .unwrap();
         }
         let catalog = TemplateCatalog::enumerate(&db, 2, 100).unwrap();
         (db, catalog)
@@ -610,13 +606,7 @@ mod tests {
         let idx = InvertedIndex::build(&db);
         let sig_actor = vec!["actor".to_owned()];
         let prior = TemplatePrior::from_usage(vec![(sig_actor, 80)]);
-        let m = ProbabilityModel::new(
-            &db,
-            &idx,
-            &catalog,
-            prior,
-            ProbabilityConfig::baseline(),
-        );
+        let m = ProbabilityModel::new(&db, &idx, &catalog, prior, ProbabilityConfig::baseline());
         let a = value_interp(&db, &catalog, "actor", "name", &["tom"]);
         let t = value_interp(&db, &catalog, "movie", "title", &["tom"]);
         // With uniform keyword scores, only the prior differs.

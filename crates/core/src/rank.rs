@@ -90,8 +90,12 @@ mod tests {
 
     fn setup() -> (Database, InvertedIndex, TemplateCatalog) {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title");
         b.table("acts", TableKind::Relation)
             .pk("id")
             .int_attr("actor_id")
@@ -102,11 +106,16 @@ mod tests {
         let actor = db.schema().table_id("actor").unwrap();
         let movie = db.schema().table_id("movie").unwrap();
         // "garcia" frequent in names, rare in titles -> TF-IDF prefers title.
-        for (i, n) in ["andy garcia", "eva garcia", "leo garcia"].iter().enumerate() {
-            db.insert(actor, vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+        for (i, n) in ["andy garcia", "eva garcia", "leo garcia"]
+            .iter()
+            .enumerate()
+        {
+            db.insert(actor, vec![Value::Int(i as i64), Value::text(*n)])
+                .unwrap();
         }
         for (i, t) in ["garcia", "the terminal", "top gun"].iter().enumerate() {
-            db.insert(movie, vec![Value::Int(i as i64), Value::text(*t)]).unwrap();
+            db.insert(movie, vec![Value::Int(i as i64), Value::text(*t)])
+                .unwrap();
         }
         let idx = InvertedIndex::build(&db);
         let catalog = TemplateCatalog::enumerate(&db, 2, 100).unwrap();
@@ -147,9 +156,7 @@ mod tests {
         let (db, idx, catalog) = setup();
         let name = single_table_interp(&db, &catalog, "actor", "name", "garcia");
         let title = single_table_interp(&db, &catalog, "movie", "title", "garcia");
-        assert!(
-            sqak_score(&db, &idx, &catalog, &title) > sqak_score(&db, &idx, &catalog, &name)
-        );
+        assert!(sqak_score(&db, &idx, &catalog, &title) > sqak_score(&db, &idx, &catalog, &name));
     }
 
     #[test]
@@ -174,18 +181,22 @@ mod tests {
             vec![
                 KeywordBinding {
                     keywords: vec!["garcia".to_owned()],
-                    target: BindingTarget::Value { node: actor_node, attr: name_attr },
+                    target: BindingTarget::Value {
+                        node: actor_node,
+                        attr: name_attr,
+                    },
                 },
                 KeywordBinding {
                     keywords: vec!["terminal".to_owned()],
-                    target: BindingTarget::Value { node: movie_node, attr: title_attr },
+                    target: BindingTarget::Value {
+                        node: movie_node,
+                        attr: title_attr,
+                    },
                 },
             ],
         );
         // join_count baseline always prefers the smaller tree.
-        assert!(
-            join_count_score(&catalog, &small) > join_count_score(&catalog, &big)
-        );
+        assert!(join_count_score(&catalog, &small) > join_count_score(&catalog, &big));
     }
 
     #[test]

@@ -115,8 +115,12 @@ mod tests {
 
     fn setup() -> (Database, TemplateCatalog) {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title");
         b.table("acts", TableKind::Relation)
             .pk("id")
             .int_attr("actor_id")
@@ -181,7 +185,10 @@ mod tests {
     fn sql_escapes_quotes() {
         let (db, catalog) = setup();
         let actor = db.schema().table_id("actor").unwrap();
-        let tpl = catalog.iter().find(|t| t.tree.nodes == vec![actor]).unwrap();
+        let tpl = catalog
+            .iter()
+            .find(|t| t.tree.nodes == vec![actor])
+            .unwrap();
         let i = QueryInterpretation::new(
             tpl.id,
             vec![KeywordBinding {
@@ -200,7 +207,10 @@ mod tests {
     fn metadata_binding_rendered_with_marker() {
         let (db, catalog) = setup();
         let actor = db.schema().table_id("actor").unwrap();
-        let tpl = catalog.iter().find(|t| t.tree.nodes == vec![actor]).unwrap();
+        let tpl = catalog
+            .iter()
+            .find(|t| t.tree.nodes == vec![actor])
+            .unwrap();
         let i = QueryInterpretation::new(
             tpl.id,
             vec![KeywordBinding {

@@ -1,0 +1,416 @@
+//! Concurrent query serving — **Hot path 3**: from "fast library" to "fast
+//! server".
+//!
+//! The per-query pipeline (best-first generation → streaming execution) is
+//! read-only over three immutable structures: the [`Database`], its
+//! [`InvertedIndex`], and the [`TemplateCatalog`]. A [`SearchSnapshot`]
+//! bundles the three behind one `Arc` so any number of worker threads can
+//! serve from the same memory without copies or locks on the data itself.
+//!
+//! What *does* need coordination is the derived state queries build as they
+//! run: non-emptiness verdicts and predicate row sets. [`SearchService`]
+//! keeps those in two process-wide, lock-striped maps
+//! ([`SharedNonemptyCache`], [`SharedExecCache`]) handed to every request
+//! as the backing tier of its per-query caches — one user's pruning work
+//! prunes every other user's search, which is what makes repeated keyword
+//! workloads tractable at service scale (the Mragyati/EMBANKS observation).
+//!
+//! Sharing is *result-invariant by construction*: shared non-emptiness
+//! verdicts and predicate row sets are pure facts about the indexed
+//! database, and only complete execution results (never truncated ones) are
+//! shared, so a request through a warm, contended service returns exactly
+//! what a cold single-threaded [`Interpreter`] returns. `tests/service.rs`
+//! asserts that identity on all four datagen fixtures.
+
+use crate::exec::{ExecCache, SharedExecCache};
+use crate::generate::{
+    AnswerStats, GenerationStats, Interpreter, InterpreterConfig, NonemptyCache, RankedAnswer,
+    ScoredInterpretation, SharedNonemptyCache,
+};
+use crate::keyword::KeywordQuery;
+use crate::template::TemplateCatalog;
+use keybridge_index::InvertedIndex;
+use keybridge_relstore::{Database, ExecOptions, RelResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// An immutable, `Arc`-shared view of everything a query needs: database,
+/// inverted index, template catalog, and the interpreter configuration.
+/// Building one up front and sharing it is what lets N workers serve
+/// without any per-query setup cost or data duplication.
+#[derive(Debug)]
+pub struct SearchSnapshot {
+    pub db: Database,
+    pub index: InvertedIndex,
+    pub catalog: TemplateCatalog,
+    pub config: InterpreterConfig,
+}
+
+impl SearchSnapshot {
+    /// Bundle prebuilt parts into a snapshot.
+    pub fn new(
+        db: Database,
+        index: InvertedIndex,
+        catalog: TemplateCatalog,
+        config: InterpreterConfig,
+    ) -> Self {
+        SearchSnapshot {
+            db,
+            index,
+            catalog,
+            config,
+        }
+    }
+
+    /// Build index and catalog from a database — the one-stop constructor
+    /// the examples use. `max_joins` / `max_templates` bound the catalog
+    /// enumeration exactly like [`TemplateCatalog::enumerate`].
+    pub fn build(
+        db: Database,
+        config: InterpreterConfig,
+        max_joins: usize,
+        max_templates: usize,
+    ) -> RelResult<Self> {
+        let index = InvertedIndex::build(&db);
+        let catalog = TemplateCatalog::enumerate(&db, max_joins, max_templates)?;
+        Ok(SearchSnapshot::new(db, index, catalog, config))
+    }
+
+    /// A borrowing interpreter over this snapshot.
+    pub fn interpreter(&self) -> Interpreter<'_> {
+        Interpreter::new(&self.db, &self.index, &self.catalog, self.config.clone())
+    }
+}
+
+/// Cache/serving counters of a running service, for benches and logs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests completed (all kinds).
+    pub served: usize,
+    /// Distinct non-emptiness verdicts in the shared cache.
+    pub nonempty_entries: usize,
+    /// Cross-query non-emptiness hits.
+    pub nonempty_hits: usize,
+    /// Distinct predicate row sets in the shared cache.
+    pub predicate_entries: usize,
+    /// Cross-query predicate hits.
+    pub predicate_hits: usize,
+    /// Complete executions in the shared cache.
+    pub result_entries: usize,
+    /// Cross-query whole-result hits.
+    pub result_hits: usize,
+}
+
+/// A pending reply. `wait` blocks until the serving worker finishes;
+/// `None` means the service shut down (or a worker died) before replying.
+pub struct Ticket<T>(Receiver<T>);
+
+impl<T> Ticket<T> {
+    pub fn wait(self) -> Option<T> {
+        self.0.recv().ok()
+    }
+}
+
+enum Job {
+    Answers {
+        query: KeywordQuery,
+        k: usize,
+        reply: Sender<(Vec<RankedAnswer>, AnswerStats)>,
+    },
+    Interpretations {
+        query: KeywordQuery,
+        k: usize,
+        reply: Sender<(Vec<ScoredInterpretation>, GenerationStats)>,
+    },
+}
+
+/// A multi-user keyword-search server: one immutable [`SearchSnapshot`]
+/// served by N OS threads pulling jobs off a shared channel, with all
+/// cross-query derived state in the two shared caches. Requests can be
+/// issued from any number of client threads; replies arrive on per-request
+/// [`Ticket`]s. Dropping the service hangs up the job channel and joins the
+/// workers.
+pub struct SearchService {
+    snapshot: Arc<SearchSnapshot>,
+    nonempty: Arc<SharedNonemptyCache>,
+    exec: Arc<SharedExecCache>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicUsize>,
+}
+
+impl SearchService {
+    /// Start `workers` threads serving `snapshot` (at least one).
+    pub fn start(snapshot: Arc<SearchSnapshot>, workers: usize) -> Self {
+        let nonempty = Arc::new(SharedNonemptyCache::new());
+        let exec = Arc::new(SharedExecCache::new());
+        let served = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let snapshot = Arc::clone(&snapshot);
+                let nonempty = Arc::clone(&nonempty);
+                let exec = Arc::clone(&exec);
+                let served = Arc::clone(&served);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("keybridge-worker-{i}"))
+                    .spawn(move || worker_loop(&snapshot, &nonempty, &exec, &served, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SearchService {
+            snapshot,
+            nonempty,
+            exec,
+            tx: Some(tx),
+            workers,
+            served,
+        }
+    }
+
+    /// The snapshot being served.
+    pub fn snapshot(&self) -> &Arc<SearchSnapshot> {
+        &self.snapshot
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a top-k *answers* request (the end-to-end hot path).
+    pub fn submit(
+        &self,
+        query: KeywordQuery,
+        k: usize,
+    ) -> Ticket<(Vec<RankedAnswer>, AnswerStats)> {
+        let (reply, rx) = channel();
+        self.send(Job::Answers { query, k, reply });
+        Ticket(rx)
+    }
+
+    /// Enqueue a top-k *interpretations* request (no execution).
+    pub fn submit_interpretations(
+        &self,
+        query: KeywordQuery,
+        k: usize,
+    ) -> Ticket<(Vec<ScoredInterpretation>, GenerationStats)> {
+        let (reply, rx) = channel();
+        self.send(Job::Interpretations { query, k, reply });
+        Ticket(rx)
+    }
+
+    /// Blocking convenience: submit and wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died (e.g. panicked) before replying —
+    /// a dead worker must never masquerade as a zero-result query. Callers
+    /// that need to observe disconnection as a value use
+    /// [`Self::submit`] + [`Ticket::wait`].
+    pub fn search(&self, query: &KeywordQuery, k: usize) -> Vec<RankedAnswer> {
+        self.search_with_stats(query, k).0
+    }
+
+    /// [`Self::search`] with the per-request counters.
+    pub fn search_with_stats(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> (Vec<RankedAnswer>, AnswerStats) {
+        self.submit(query.clone(), k)
+            .wait()
+            .expect("SearchService worker disconnected before replying")
+    }
+
+    /// Current serving/cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            served: self.served.load(Ordering::Relaxed),
+            nonempty_entries: self.nonempty.len(),
+            nonempty_hits: self.nonempty.hits(),
+            predicate_entries: self.exec.predicate_count(),
+            predicate_hits: self.exec.predicate_hits(),
+            result_entries: self.exec.result_count(),
+            result_hits: self.exec.result_hits(),
+        }
+    }
+
+    fn send(&self, job: Job) {
+        if let Some(tx) = &self.tx {
+            // A send only fails when every worker is gone; the caller then
+            // observes the hang-up through its ticket.
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for SearchService {
+    fn drop(&mut self) {
+        self.tx.take(); // hang up: workers drain the queue, then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    snapshot: &SearchSnapshot,
+    nonempty: &Arc<SharedNonemptyCache>,
+    exec: &Arc<SharedExecCache>,
+    served: &AtomicUsize,
+    rx: &Mutex<Receiver<Job>>,
+) {
+    let interpreter = snapshot.interpreter();
+    loop {
+        // Hold the receiver lock only for the pop, never while serving.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling panicked mid-pop; shut down
+        };
+        let Ok(job) = job else { return }; // channel hung up: drained + done
+        match job {
+            Job::Answers { query, k, reply } => {
+                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(nonempty));
+                let mut exec_cache = ExecCache::with_shared(Arc::clone(exec));
+                let out = interpreter.answers_top_k_with_caches(
+                    &query,
+                    k,
+                    ExecOptions::default(),
+                    &mut gen_cache,
+                    &mut exec_cache,
+                );
+                // Count before replying so a client that just got its answer
+                // never observes a stale total.
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(out); // client may have given up: fine
+            }
+            Job::Interpretations { query, k, reply } => {
+                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(nonempty));
+                let out = interpreter.top_k_with_cache(&query, k, true, &mut gen_cache);
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(out);
+            }
+        }
+    }
+}
+
+// The whole point of the snapshot/service split: everything a worker
+// touches must cross threads. These bounds are checked at compile time, so
+// any future interior-mutability seam (an `Rc`, a `RefCell`) in relstore,
+// textindex, or core breaks the build here instead of a user's deploy.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SearchSnapshot>();
+    assert_send_sync::<SharedNonemptyCache>();
+    assert_send_sync::<SharedExecCache>();
+    assert_send_sync::<SearchService>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<InvertedIndex>();
+    assert_send_sync::<TemplateCatalog>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keybridge_datagen::{ImdbConfig, ImdbDataset};
+
+    fn snapshot() -> Arc<SearchSnapshot> {
+        let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
+        Arc::new(SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 50_000).unwrap())
+    }
+
+    #[test]
+    fn service_matches_direct_interpreter() {
+        let snap = snapshot();
+        let service = SearchService::start(Arc::clone(&snap), 2);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let direct = snap.interpreter().answers_top_k(&q, 5);
+        let served = service.search(&q, 5);
+        assert_eq!(direct.len(), served.len());
+        for (a, b) in direct.iter().zip(&served) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert_eq!(a.jtt, b.jtt);
+            assert_eq!(a.keys, b.keys);
+            assert!((a.log_score - b.log_score).abs() < 1e-12);
+        }
+        assert_eq!(service.stats().served, 1);
+    }
+
+    #[test]
+    fn shared_caches_fill_and_hit_across_requests() {
+        let snap = snapshot();
+        let service = SearchService::start(snap, 1);
+        let q = KeywordQuery::from_terms(vec!["tom".into(), "hanks".into()]);
+        let (first, _) = service.search_with_stats(&q, 5);
+        let stats = service.stats();
+        assert!(
+            stats.nonempty_entries > 0,
+            "no shared verdicts after a query"
+        );
+        assert!(
+            stats.predicate_entries > 0,
+            "no shared predicates after a query"
+        );
+        // Replay: the second request's generation must be served from the
+        // shared tier (zero fresh probes) and return identical answers.
+        let (second, astats) = service.search_with_stats(&q, 5);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert_eq!(a.jtt, b.jtt);
+        }
+        assert_eq!(astats.gen.nonempty_probes, 0, "replay re-probed the index");
+        let stats = service.stats();
+        assert!(stats.nonempty_hits > 0);
+        assert!(stats.result_hits + stats.predicate_hits > 0);
+    }
+
+    #[test]
+    fn interpretations_requests_served() {
+        let snap = snapshot();
+        let service = SearchService::start(Arc::clone(&snap), 2);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let direct = snap.interpreter().top_k(&q, 7);
+        let (served, _) = service
+            .submit_interpretations(q, 7)
+            .wait()
+            .expect("service alive");
+        assert_eq!(direct.len(), served.len());
+        for (a, b) in direct.iter().zip(&served) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert!((a.log_score - b.log_score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn many_tickets_in_flight() {
+        let snap = snapshot();
+        let service = SearchService::start(snap, 4);
+        let queries = ["tom", "day", "moore", "mary"];
+        let tickets: Vec<_> = (0..16)
+            .map(|i| {
+                let q = KeywordQuery::from_terms(vec![queries[i % queries.len()].into()]);
+                (i, service.submit(q, 3))
+            })
+            .collect();
+        for (i, t) in tickets {
+            let (answers, _) = t.wait().expect("worker alive");
+            assert!(answers.len() <= 3, "request {i} overflowed k");
+        }
+        assert_eq!(service.stats().served, 16);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let snap = snapshot();
+        let service = SearchService::start(snap, 3);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let _ = service.search(&q, 2);
+        drop(service); // must not hang or leak threads
+    }
+}

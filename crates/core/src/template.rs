@@ -4,7 +4,9 @@
 //! bound, breadth-first, the way DISCOVER enumerates candidate networks
 //! (§2.2.3, §3.5.2).
 
-use keybridge_relstore::{Database, JoinTree, JoinTreeEdge, RelError, RelResult, SchemaGraph, TableId};
+use keybridge_relstore::{
+    Database, JoinTree, JoinTreeEdge, RelError, RelResult, SchemaGraph, TableId,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Identifier of a template within one [`TemplateCatalog`].
@@ -175,7 +177,11 @@ impl TemplateCatalog {
                 if e.fk != fk.id || (e.a != node_idx && e.b != node_idx) {
                     return false;
                 }
-                let (this, other) = if e.a == node_idx { (e.a, e.b) } else { (e.b, e.a) };
+                let (this, other) = if e.a == node_idx {
+                    (e.a, e.b)
+                } else {
+                    (e.b, e.a)
+                };
                 let this_is_from = tree.nodes[this] == fk.from_table;
                 let other_is_from = tree.nodes[other] == fk.from_table;
                 // Ambiguous self-fk: be conservative and treat as used.
@@ -291,8 +297,12 @@ mod tests {
 
     fn movie_db() -> Database {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("movie", TableKind::Entity)
+            .pk("id")
+            .text_attr("title");
         b.table("acts", TableKind::Relation)
             .pk("id")
             .int_attr("actor_id")

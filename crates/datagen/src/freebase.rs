@@ -13,25 +13,123 @@ use rand::{Rng, SeedableRng};
 
 /// Real-ish domain names; the long tail is generated.
 const DOMAINS: &[&str] = &[
-    "film", "music", "book", "tv", "sports", "location", "people", "business", "education",
-    "government", "medicine", "biology", "chemistry", "astronomy", "aviation", "automotive",
-    "architecture", "military", "religion", "theater", "opera", "comics", "games", "food",
-    "wine", "fashion", "law", "finance", "boats", "trains", "computer", "internet",
-    "language", "library", "museums", "physics", "geology", "meteorology", "royalty",
+    "film",
+    "music",
+    "book",
+    "tv",
+    "sports",
+    "location",
+    "people",
+    "business",
+    "education",
+    "government",
+    "medicine",
+    "biology",
+    "chemistry",
+    "astronomy",
+    "aviation",
+    "automotive",
+    "architecture",
+    "military",
+    "religion",
+    "theater",
+    "opera",
+    "comics",
+    "games",
+    "food",
+    "wine",
+    "fashion",
+    "law",
+    "finance",
+    "boats",
+    "trains",
+    "computer",
+    "internet",
+    "language",
+    "library",
+    "museums",
+    "physics",
+    "geology",
+    "meteorology",
+    "royalty",
     "visual_art",
 ];
 
 /// Type-name fragments combined with the domain name.
 const TYPE_WORDS: &[&str] = &[
-    "actor", "director", "producer", "writer", "editor", "award", "festival", "genre",
-    "character", "series", "season", "episode", "studio", "company", "label", "track",
-    "release", "artist", "group", "instrument", "venue", "event", "team", "player", "coach",
-    "league", "position", "city", "region", "country", "landmark", "person", "title",
-    "organization", "school", "program", "agency", "drug", "disease", "species", "element",
-    "star", "aircraft", "model", "style", "building", "unit", "rank", "deity", "play",
-    "issue", "publisher", "dish", "grape", "designer", "court", "case", "bank", "currency",
-    "ship", "line", "station", "processor", "protocol", "site", "dialect", "collection",
-    "exhibit", "particle", "mineral", "storm", "dynasty", "movement",
+    "actor",
+    "director",
+    "producer",
+    "writer",
+    "editor",
+    "award",
+    "festival",
+    "genre",
+    "character",
+    "series",
+    "season",
+    "episode",
+    "studio",
+    "company",
+    "label",
+    "track",
+    "release",
+    "artist",
+    "group",
+    "instrument",
+    "venue",
+    "event",
+    "team",
+    "player",
+    "coach",
+    "league",
+    "position",
+    "city",
+    "region",
+    "country",
+    "landmark",
+    "person",
+    "title",
+    "organization",
+    "school",
+    "program",
+    "agency",
+    "drug",
+    "disease",
+    "species",
+    "element",
+    "star",
+    "aircraft",
+    "model",
+    "style",
+    "building",
+    "unit",
+    "rank",
+    "deity",
+    "play",
+    "issue",
+    "publisher",
+    "dish",
+    "grape",
+    "designer",
+    "court",
+    "case",
+    "bank",
+    "currency",
+    "ship",
+    "line",
+    "station",
+    "processor",
+    "protocol",
+    "site",
+    "dialect",
+    "collection",
+    "exhibit",
+    "particle",
+    "mineral",
+    "storm",
+    "dynasty",
+    "movement",
 ];
 
 /// Sizing knobs: `domains × types_per_domain` type tables plus one `topic`
@@ -108,20 +206,18 @@ impl FreebaseDataset {
         // Domain and table names first (schema building needs them all).
         let mut domain_names = Vec::with_capacity(cfg.domains);
         for i in 0..cfg.domains {
-            if i < DOMAINS.len() {
-                domain_names.push(DOMAINS[i].to_owned());
-            } else {
-                domain_names.push(format!("{}_{}", pool.tail_token(&mut rng), i));
+            match DOMAINS.get(i) {
+                Some(d) => domain_names.push((*d).to_owned()),
+                None => domain_names.push(format!("{}_{}", pool.tail_token(&mut rng), i)),
             }
         }
         let mut table_names: Vec<Vec<String>> = Vec::with_capacity(cfg.domains);
         for dname in &domain_names {
             let mut names = Vec::with_capacity(cfg.types_per_domain);
             for j in 0..cfg.types_per_domain {
-                let tw = if j < TYPE_WORDS.len() {
-                    TYPE_WORDS[j].to_owned()
-                } else {
-                    format!("{}{}", pool.tail_token(&mut rng), j)
+                let tw = match TYPE_WORDS.get(j) {
+                    Some(w) => (*w).to_owned(),
+                    None => format!("{}{}", pool.tail_token(&mut rng), j),
                 };
                 names.push(format!("{dname}_{tw}"));
             }
@@ -129,7 +225,9 @@ impl FreebaseDataset {
         }
 
         let mut b = SchemaBuilder::new();
-        b.table("topic", TableKind::Entity).pk("id").text_attr("name");
+        b.table("topic", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         for names in &table_names {
             for n in names {
                 b.table(n, TableKind::Entity)
@@ -154,7 +252,10 @@ impl FreebaseDataset {
             } else {
                 pool.title(&mut rng, 1, 3, 0.15)
             };
-            db.insert(topic, vec![Value::Int(i as i64 + 1), Value::text(name.clone())])?;
+            db.insert(
+                topic,
+                vec![Value::Int(i as i64 + 1), Value::text(name.clone())],
+            )?;
             topic_names.push(name);
         }
 

@@ -52,9 +52,24 @@ impl ImdbConfig {
 }
 
 const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "horror", "romance", "action", "adventure", "fantasy",
-    "science fiction", "documentary", "animation", "crime", "mystery", "western", "war",
-    "musical", "biography", "history",
+    "drama",
+    "comedy",
+    "thriller",
+    "horror",
+    "romance",
+    "action",
+    "adventure",
+    "fantasy",
+    "science fiction",
+    "documentary",
+    "animation",
+    "crime",
+    "mystery",
+    "western",
+    "war",
+    "musical",
+    "biography",
+    "history",
 ];
 
 /// The generated database plus convenient table handles.
@@ -74,10 +89,18 @@ impl ImdbDataset {
     /// Generate a dataset.
     pub fn generate(cfg: ImdbConfig) -> RelResult<Self> {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-        b.table("director", TableKind::Entity).pk("id").text_attr("name");
-        b.table("company", TableKind::Entity).pk("id").text_attr("name");
-        b.table("genre", TableKind::Entity).pk("id").text_attr("name");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("director", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("company", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
+        b.table("genre", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         b.table("movie", TableKind::Entity)
             .pk("id")
             .text_attr("title")
@@ -123,17 +146,22 @@ impl ImdbDataset {
         for i in 0..cfg.actors {
             db.insert(
                 actor,
-                vec![Value::Int(i as i64 + 1), Value::text(pool.person_name(&mut rng))],
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::text(pool.person_name(&mut rng)),
+                ],
             )?;
         }
         for i in 0..cfg.directors {
             db.insert(
                 director,
-                vec![Value::Int(i as i64 + 1), Value::text(pool.person_name(&mut rng))],
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::text(pool.person_name(&mut rng)),
+                ],
             )?;
         }
         let mut acts_id: i64 = 1;
-        let mut directs_id: i64 = 1;
         for i in 0..cfg.movies {
             let mid = i as i64 + 1;
             // ~20% of titles embed a surname: the title/person ambiguity.
@@ -167,11 +195,11 @@ impl ImdbDataset {
                 acts_id += 1;
             }
             let did = rng.gen_range(1..=cfg.directors) as i64;
+            // One directs row per movie: its id coincides with `mid`.
             db.insert(
                 directs,
-                vec![Value::Int(directs_id), Value::Int(did), Value::Int(mid)],
+                vec![Value::Int(mid), Value::Int(did), Value::Int(mid)],
             )?;
-            directs_id += 1;
         }
 
         db.validate()?;
@@ -208,18 +236,16 @@ mod tests {
     fn deterministic() {
         let a = ImdbDataset::generate(ImdbConfig::tiny(9)).unwrap();
         let b = ImdbDataset::generate(ImdbConfig::tiny(9)).unwrap();
-        let row_a: Vec<String> = a
-            .db
-            .table(a.actor)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect();
-        let row_b: Vec<String> = b
-            .db
-            .table(b.actor)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect();
+        let row_a: Vec<String> =
+            a.db.table(a.actor)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect();
+        let row_b: Vec<String> =
+            b.db.table(b.actor)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect();
         assert_eq!(row_a, row_b);
     }
 
@@ -227,18 +253,16 @@ mod tests {
     fn different_seeds_differ() {
         let a = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
         let b = ImdbDataset::generate(ImdbConfig::tiny(2)).unwrap();
-        let names_a: Vec<String> = a
-            .db
-            .table(a.actor)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect();
-        let names_b: Vec<String> = b
-            .db
-            .table(b.actor)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect();
+        let names_a: Vec<String> =
+            a.db.table(a.actor)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect();
+        let names_b: Vec<String> =
+            b.db.table(b.actor)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect();
         assert_ne!(names_a, names_b);
     }
 
@@ -246,13 +270,12 @@ mod tests {
     fn ambiguity_exists() {
         // Some surname token should appear in both actor names and titles.
         let d = ImdbDataset::generate(ImdbConfig::default()).unwrap();
-        let titles: String = d
-            .db
-            .table(d.movie)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let titles: String =
+            d.db.table(d.movie)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
         let mut found = false;
         for (_, r) in d.db.table(d.actor).rows().take(200) {
             let name = r[1].to_string();

@@ -59,7 +59,9 @@ impl LyricsDataset {
     /// Generate a dataset.
     pub fn generate(cfg: LyricsConfig) -> RelResult<Self> {
         let mut b = SchemaBuilder::new();
-        b.table("artist", TableKind::Entity).pk("id").text_attr("name");
+        b.table("artist", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         b.table("album", TableKind::Entity)
             .pk("id")
             .text_attr("title")
@@ -85,7 +87,10 @@ impl LyricsDataset {
         let artist = db.schema().table_id("artist").expect("declared above");
         let album = db.schema().table_id("album").expect("declared above");
         let song = db.schema().table_id("song").expect("declared above");
-        let artist_album = db.schema().table_id("artist_album").expect("declared above");
+        let artist_album = db
+            .schema()
+            .table_id("artist_album")
+            .expect("declared above");
         let album_song = db.schema().table_id("album_song").expect("declared above");
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -105,7 +110,11 @@ impl LyricsDataset {
             let year = rng.gen_range(1960..=2012);
             db.insert(
                 album,
-                vec![Value::Int(i as i64 + 1), Value::text(title), Value::Int(year)],
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::text(title),
+                    Value::Int(year),
+                ],
             )?;
         }
         let mut aa_id: i64 = 1;
@@ -113,7 +122,11 @@ impl LyricsDataset {
             let artist_id = rng.gen_range(1..=cfg.artists) as i64;
             db.insert(
                 artist_album,
-                vec![Value::Int(aa_id), Value::Int(artist_id), Value::Int(i as i64 + 1)],
+                vec![
+                    Value::Int(aa_id),
+                    Value::Int(artist_id),
+                    Value::Int(i as i64 + 1),
+                ],
             )?;
             aa_id += 1;
             // 10% of albums are collaborations with a second artist.
@@ -121,12 +134,15 @@ impl LyricsDataset {
                 let other = rng.gen_range(1..=cfg.artists) as i64;
                 db.insert(
                     artist_album,
-                    vec![Value::Int(aa_id), Value::Int(other), Value::Int(i as i64 + 1)],
+                    vec![
+                        Value::Int(aa_id),
+                        Value::Int(other),
+                        Value::Int(i as i64 + 1),
+                    ],
                 )?;
                 aa_id += 1;
             }
         }
-        let mut as_id: i64 = 1;
         for i in 0..cfg.songs {
             let sid = i as i64 + 1;
             let title = pool.title(&mut rng, 1, 3, 0.1);
@@ -142,11 +158,11 @@ impl LyricsDataset {
                 ],
             )?;
             let album_id = rng.gen_range(1..=cfg.albums) as i64;
+            // One album_song row per song: its id coincides with `sid`.
             db.insert(
                 album_song,
-                vec![Value::Int(as_id), Value::Int(album_id), Value::Int(sid)],
+                vec![Value::Int(sid), Value::Int(album_id), Value::Int(sid)],
             )?;
-            as_id += 1;
         }
 
         db.validate()?;
@@ -181,18 +197,16 @@ mod tests {
     fn deterministic() {
         let a = LyricsDataset::generate(LyricsConfig::tiny(11)).unwrap();
         let b = LyricsDataset::generate(LyricsConfig::tiny(11)).unwrap();
-        let ta: Vec<String> = a
-            .db
-            .table(a.song)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect();
-        let tb: Vec<String> = b
-            .db
-            .table(b.song)
-            .rows()
-            .map(|(_, r)| r[1].to_string())
-            .collect();
+        let ta: Vec<String> =
+            a.db.table(a.song)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect();
+        let tb: Vec<String> =
+            b.db.table(b.song)
+                .rows()
+                .map(|(_, r)| r[1].to_string())
+                .collect();
         assert_eq!(ta, tb);
     }
 
@@ -201,12 +215,11 @@ mod tests {
         // The chain artist -> album -> song must be navigable: every song's
         // album has at least one artist.
         let d = LyricsDataset::generate(LyricsConfig::tiny(5)).unwrap();
-        let albums_with_artists: std::collections::HashSet<i64> = d
-            .db
-            .table(d.artist_album)
-            .rows()
-            .filter_map(|(_, r)| r[2].as_int())
-            .collect();
+        let albums_with_artists: std::collections::HashSet<i64> =
+            d.db.table(d.artist_album)
+                .rows()
+                .filter_map(|(_, r)| r[2].as_int())
+                .collect();
         for (_, r) in d.db.table(d.album_song).rows() {
             let album_id = r[1].as_int().unwrap();
             assert!(albums_with_artists.contains(&album_id));

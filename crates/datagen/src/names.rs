@@ -12,52 +12,218 @@ use rand::Rng;
 
 /// Common first names. Deliberately includes the paper's running examples.
 const FIRST_NAMES: &[&str] = &[
-    "tom", "elena", "jack", "colin", "meg", "diego", "brad", "steven", "blake", "chad",
-    "melissa", "bruce", "andy", "mariah", "james", "mary", "john", "linda", "robert",
-    "susan", "michael", "karen", "david", "nancy", "william", "lisa", "richard", "betty",
-    "joseph", "helen", "thomas", "sandra", "charles", "donna", "peter", "carol", "paul",
-    "ruth", "mark", "sharon", "george", "laura", "kenneth", "sarah", "edward", "kim",
-    "brian", "anna", "ronald", "emma", "anthony", "julia", "kevin", "grace", "jason",
-    "rose", "jeff", "alice", "gary", "diana", "nicholas", "sophia", "eric", "clara",
-    "stephen", "irene", "larry", "monica", "justin", "teresa", "scott", "gloria", "brandon",
-    "victoria", "frank", "joan", "gregory", "evelyn", "samuel", "judith", "patrick", "olga",
+    "tom", "elena", "jack", "colin", "meg", "diego", "brad", "steven", "blake", "chad", "melissa",
+    "bruce", "andy", "mariah", "james", "mary", "john", "linda", "robert", "susan", "michael",
+    "karen", "david", "nancy", "william", "lisa", "richard", "betty", "joseph", "helen", "thomas",
+    "sandra", "charles", "donna", "peter", "carol", "paul", "ruth", "mark", "sharon", "george",
+    "laura", "kenneth", "sarah", "edward", "kim", "brian", "anna", "ronald", "emma", "anthony",
+    "julia", "kevin", "grace", "jason", "rose", "jeff", "alice", "gary", "diana", "nicholas",
+    "sophia", "eric", "clara", "stephen", "irene", "larry", "monica", "justin", "teresa", "scott",
+    "gloria", "brandon", "victoria", "frank", "joan", "gregory", "evelyn", "samuel", "judith",
+    "patrick", "olga",
 ];
 
 /// Common surnames. Several are also ordinary words or places ("london",
 /// "stone", "rivers", "guest"), which creates exactly the keyword ambiguity
 /// the paper's examples revolve around.
 const LAST_NAMES: &[&str] = &[
-    "hanks", "cruise", "london", "guest", "stone", "rivers", "gilbert", "boxleitner",
-    "luna", "soderbergh", "pitt", "carey", "ryan", "garcia", "smith", "johnson", "brown",
-    "taylor", "miller", "wilson", "moore", "anderson", "thomas", "jackson", "white",
-    "harris", "martin", "thompson", "wood", "walker", "hall", "allen", "young", "king",
-    "wright", "hill", "green", "baker", "adams", "nelson", "carter", "mitchell", "parker",
-    "collins", "murphy", "bell", "bailey", "cooper", "richardson", "cox", "ward", "fox",
-    "gray", "james", "watson", "brooks", "kelly", "sanders", "price", "bennett", "barnes",
-    "ross", "powell", "long", "hughes", "flores", "butler", "foster", "bryant", "russell",
-    "griffin", "diaz", "hayes", "west", "field", "snow", "frost", "lake", "marsh",
+    "hanks",
+    "cruise",
+    "london",
+    "guest",
+    "stone",
+    "rivers",
+    "gilbert",
+    "boxleitner",
+    "luna",
+    "soderbergh",
+    "pitt",
+    "carey",
+    "ryan",
+    "garcia",
+    "smith",
+    "johnson",
+    "brown",
+    "taylor",
+    "miller",
+    "wilson",
+    "moore",
+    "anderson",
+    "thomas",
+    "jackson",
+    "white",
+    "harris",
+    "martin",
+    "thompson",
+    "wood",
+    "walker",
+    "hall",
+    "allen",
+    "young",
+    "king",
+    "wright",
+    "hill",
+    "green",
+    "baker",
+    "adams",
+    "nelson",
+    "carter",
+    "mitchell",
+    "parker",
+    "collins",
+    "murphy",
+    "bell",
+    "bailey",
+    "cooper",
+    "richardson",
+    "cox",
+    "ward",
+    "fox",
+    "gray",
+    "james",
+    "watson",
+    "brooks",
+    "kelly",
+    "sanders",
+    "price",
+    "bennett",
+    "barnes",
+    "ross",
+    "powell",
+    "long",
+    "hughes",
+    "flores",
+    "butler",
+    "foster",
+    "bryant",
+    "russell",
+    "griffin",
+    "diaz",
+    "hayes",
+    "west",
+    "field",
+    "snow",
+    "frost",
+    "lake",
+    "marsh",
 ];
 
 /// Ordinary words used for titles, lyrics, and category names. Includes the
 /// running-example words ("terminal", "consideration", "volcano").
 const WORDS: &[&str] = &[
-    "terminal", "consideration", "volcano", "age", "city", "guide", "night", "day",
-    "summer", "winter", "river", "mountain", "ocean", "star", "moon", "sun", "shadow",
-    "light", "dark", "fire", "ice", "storm", "wind", "rain", "snow", "dream", "memory",
-    "heart", "soul", "mind", "road", "journey", "return", "escape", "secret", "silent",
-    "broken", "golden", "silver", "crimson", "emerald", "velvet", "paper", "glass",
-    "stone", "iron", "steel", "wild", "lost", "found", "hidden", "forgotten", "eternal",
-    "final", "first", "last", "blue", "red", "black", "white", "green", "letter", "song",
-    "dance", "story", "legend", "myth", "echo", "whisper", "scream", "laugh", "tear",
-    "smile", "kiss", "touch", "fall", "rise", "run", "walk", "fly", "burn", "freeze",
-    "garden", "forest", "desert", "island", "bridge", "tower", "castle", "house", "home",
-    "window", "door", "mirror", "clock", "train", "ship", "plane", "engine", "machine",
-    "emotion", "passion", "fever", "fortune", "destiny", "danger", "courage", "honor",
+    "terminal",
+    "consideration",
+    "volcano",
+    "age",
+    "city",
+    "guide",
+    "night",
+    "day",
+    "summer",
+    "winter",
+    "river",
+    "mountain",
+    "ocean",
+    "star",
+    "moon",
+    "sun",
+    "shadow",
+    "light",
+    "dark",
+    "fire",
+    "ice",
+    "storm",
+    "wind",
+    "rain",
+    "snow",
+    "dream",
+    "memory",
+    "heart",
+    "soul",
+    "mind",
+    "road",
+    "journey",
+    "return",
+    "escape",
+    "secret",
+    "silent",
+    "broken",
+    "golden",
+    "silver",
+    "crimson",
+    "emerald",
+    "velvet",
+    "paper",
+    "glass",
+    "stone",
+    "iron",
+    "steel",
+    "wild",
+    "lost",
+    "found",
+    "hidden",
+    "forgotten",
+    "eternal",
+    "final",
+    "first",
+    "last",
+    "blue",
+    "red",
+    "black",
+    "white",
+    "green",
+    "letter",
+    "song",
+    "dance",
+    "story",
+    "legend",
+    "myth",
+    "echo",
+    "whisper",
+    "scream",
+    "laugh",
+    "tear",
+    "smile",
+    "kiss",
+    "touch",
+    "fall",
+    "rise",
+    "run",
+    "walk",
+    "fly",
+    "burn",
+    "freeze",
+    "garden",
+    "forest",
+    "desert",
+    "island",
+    "bridge",
+    "tower",
+    "castle",
+    "house",
+    "home",
+    "window",
+    "door",
+    "mirror",
+    "clock",
+    "train",
+    "ship",
+    "plane",
+    "engine",
+    "machine",
+    "emotion",
+    "passion",
+    "fever",
+    "fortune",
+    "destiny",
+    "danger",
+    "courage",
+    "honor",
 ];
 
 const CONSONANTS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "br", "ch", "cl", "dr", "fr", "gr", "kr", "pl", "pr", "sh", "sl", "st", "th", "tr",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "ch", "cl", "dr", "fr", "gr", "kr", "pl", "pr", "sh", "sl", "st", "th", "tr",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"];
 

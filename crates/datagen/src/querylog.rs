@@ -425,9 +425,7 @@ fn sample_imdb(
             let fk_movie = db
                 .schema()
                 .fks()
-                .find(|(_, f)| {
-                    f.from.table == data.acts && f.to.table == data.movie
-                })?
+                .find(|(_, f)| f.from.table == data.acts && f.to.table == data.movie)?
                 .0;
             let cast: Vec<RowId> = db.fk_referrers(fk_movie, movie_pk).to_vec();
             if cast.len() < 2 {
@@ -484,9 +482,7 @@ fn sample_lyrics(
             let fk_album = db
                 .schema()
                 .fks()
-                .find(|(_, f)| {
-                    f.from.table == data.artist_album && f.to.table == data.album
-                })?
+                .find(|(_, f)| f.from.table == data.artist_album && f.to.table == data.album)?
                 .0;
             let links = db.fk_referrers(fk_album, album_pk);
             if links.is_empty() {
@@ -525,11 +521,14 @@ mod tests {
     #[test]
     fn imdb_workload_shape() {
         let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
-        let w = Workload::imdb(&data, WorkloadConfig {
-            seed: 9,
-            n_queries: 60,
-            mc_fraction: 0.5,
-        });
+        let w = Workload::imdb(
+            &data,
+            WorkloadConfig {
+                seed: 9,
+                n_queries: 60,
+                mc_fraction: 0.5,
+            },
+        );
         assert_eq!(w.queries.len(), 60);
         assert!(w.single_concept().count() > 5);
         assert!(w.multi_concept().count() > 5);
@@ -563,11 +562,14 @@ mod tests {
         // together in some value of the bound attribute.
         let data = ImdbDataset::generate(ImdbConfig::tiny(3)).unwrap();
         let idx = keybridge_index::InvertedIndex::build(&data.db);
-        let w = Workload::imdb(&data, WorkloadConfig {
-            seed: 1,
-            n_queries: 40,
-            mc_fraction: 0.5,
-        });
+        let w = Workload::imdb(
+            &data,
+            WorkloadConfig {
+                seed: 1,
+                n_queries: 40,
+                mc_fraction: 0.5,
+            },
+        );
         for q in &w.queries {
             for b in &q.intent.bindings {
                 let aref = data.db.schema().resolve(&b.table, &b.attr).unwrap();
@@ -586,11 +588,14 @@ mod tests {
     #[test]
     fn lyrics_chain_dominates_usage() {
         let data = LyricsDataset::generate(LyricsConfig::tiny(4)).unwrap();
-        let w = Workload::lyrics(&data, WorkloadConfig {
-            seed: 2,
-            n_queries: 120,
-            mc_fraction: 0.6,
-        });
+        let w = Workload::lyrics(
+            &data,
+            WorkloadConfig {
+                seed: 2,
+                n_queries: 120,
+                mc_fraction: 0.6,
+            },
+        );
         let chain: Vec<String> = {
             let mut t = vec![
                 "artist".to_owned(),

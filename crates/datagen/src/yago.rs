@@ -166,8 +166,7 @@ impl YagoOntology {
             let depth = cfg.wordnet_depth + 1;
             let idx = categories.len();
             let roll: f64 = rng.gen();
-            let (kind, name, instances) = if roll < cfg.conceptual_fraction && !tables.is_empty()
-            {
+            let (kind, name, instances) = if roll < cfg.conceptual_fraction && !tables.is_empty() {
                 // Conceptual: seeded from one table's instance set. The
                 // table becomes this category's gold mapping.
                 let table = tables[rng.gen_range(0..tables.len())];
@@ -190,7 +189,9 @@ impl YagoOntology {
             } else if roll < cfg.conceptual_fraction + 0.20 {
                 // Administrative: random junk membership.
                 let n = rng.gen_range(0..25);
-                let inst = (0..n).map(|_| rng.gen_range(1..=all_topics.max(1))).collect();
+                let inst = (0..n)
+                    .map(|_| rng.gen_range(1..=all_topics.max(1)))
+                    .collect();
                 (
                     CategoryKind::Administrative,
                     format!("wikicategory_articles_{}_{li}", pool.word(&mut rng)),
@@ -200,7 +201,9 @@ impl YagoOntology {
                 // Relational: year-style grouping over random topics.
                 let year = rng.gen_range(1900..=2012);
                 let n = rng.gen_range(5..40);
-                let inst = (0..n).map(|_| rng.gen_range(1..=all_topics.max(1))).collect();
+                let inst = (0..n)
+                    .map(|_| rng.gen_range(1..=all_topics.max(1)))
+                    .collect();
                 (
                     CategoryKind::Relational,
                     format!("wikicategory_{year}_{}", pool.word(&mut rng)),
@@ -209,7 +212,9 @@ impl YagoOntology {
             } else {
                 // Thematic: a broad mixed bag.
                 let n = rng.gen_range(10..80);
-                let inst = (0..n).map(|_| rng.gen_range(1..=all_topics.max(1))).collect();
+                let inst = (0..n)
+                    .map(|_| rng.gen_range(1..=all_topics.max(1)))
+                    .collect();
                 (
                     CategoryKind::Thematic,
                     format!("wikicategory_{}", pool.word(&mut rng)),

@@ -49,10 +49,7 @@ impl Default for AssessConfig {
 }
 
 /// Produce graded relevance for `items = (probability, atom set)` pairs.
-pub fn simulate_assessments(
-    items: &[(f64, BTreeSet<BindingAtom>)],
-    cfg: AssessConfig,
-) -> Vec<f64> {
+pub fn simulate_assessments(items: &[(f64, BTreeSet<BindingAtom>)], cfg: AssessConfig) -> Vec<f64> {
     if items.is_empty() {
         return Vec::new();
     }

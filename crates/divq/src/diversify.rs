@@ -131,7 +131,11 @@ pub fn diversify(items: &[DivItem], cfg: DiversifyConfig) -> Vec<usize> {
             sim_cnt += 1;
         }
     }
-    let mean_sim = if sim_cnt > 0 { sim_sum / sim_cnt as f64 } else { 0.0 };
+    let mean_sim = if sim_cnt > 0 {
+        sim_sum / sim_cnt as f64
+    } else {
+        0.0
+    };
     let rel_scale = if mean_rel > 0.0 { 1.0 / mean_rel } else { 1.0 };
     let sim_scale = if mean_sim > 0.0 { 1.0 / mean_sim } else { 1.0 };
 
@@ -202,8 +206,14 @@ mod tests {
     #[test]
     fn most_relevant_always_first() {
         let items = vec![
-            DivItem { relevance: 0.9, atoms: set(&[atom(0, 1, "x")]) },
-            DivItem { relevance: 0.5, atoms: set(&[atom(1, 1, "x")]) },
+            DivItem {
+                relevance: 0.9,
+                atoms: set(&[atom(0, 1, "x")]),
+            },
+            DivItem {
+                relevance: 0.5,
+                atoms: set(&[atom(1, 1, "x")]),
+            },
         ];
         let sel = diversify(&items, DiversifyConfig { lambda: 0.1, k: 2 });
         assert_eq!(sel[0], 0);
@@ -237,8 +247,14 @@ mod tests {
     #[test]
     fn k_larger_than_n_selects_all() {
         let items = vec![
-            DivItem { relevance: 0.6, atoms: set(&[atom(0, 1, "a")]) },
-            DivItem { relevance: 0.4, atoms: set(&[atom(1, 1, "a")]) },
+            DivItem {
+                relevance: 0.6,
+                atoms: set(&[atom(0, 1, "a")]),
+            },
+            DivItem {
+                relevance: 0.4,
+                atoms: set(&[atom(1, 1, "a")]),
+            },
         ];
         let sel = diversify(&items, DiversifyConfig { lambda: 0.5, k: 10 });
         assert_eq!(sel.len(), 2);
@@ -247,7 +263,10 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(diversify(&[], DiversifyConfig::default()).is_empty());
-        let items = vec![DivItem { relevance: 1.0, atoms: BTreeSet::new() }];
+        let items = vec![DivItem {
+            relevance: 1.0,
+            atoms: BTreeSet::new(),
+        }];
         assert!(diversify(&items, DiversifyConfig { lambda: 0.5, k: 0 }).is_empty());
     }
 
@@ -271,7 +290,10 @@ mod tests {
                             )
                         })
                         .collect();
-                    DivItem { relevance: rng.gen_range(0.01..1.0), atoms }
+                    DivItem {
+                        relevance: rng.gen_range(0.01..1.0),
+                        atoms,
+                    }
                 })
                 .collect();
             items.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).unwrap());

@@ -22,7 +22,11 @@ fn gains(ranked: &[EvalItem], alpha: f64) -> Vec<f64> {
     let mut seen: HashMap<ResultKey, usize> = HashMap::new();
     let mut out = Vec::with_capacity(ranked.len());
     for item in ranked {
-        let r: usize = item.keys.iter().map(|k| seen.get(k).copied().unwrap_or(0)).sum();
+        let r: usize = item
+            .keys
+            .iter()
+            .map(|k| seen.get(k).copied().unwrap_or(0))
+            .sum();
         out.push(item.relevance * (1.0 - alpha).powi(r as i32));
         for k in &item.keys {
             *seen.entry(*k).or_insert(0) += 1;

@@ -122,10 +122,7 @@ impl<'a> FreeQSession<'a> {
     /// Drive the session with a truthful user whose intent binds keyword
     /// `k` to `target_tables[k]`. Returns `None` if the intent is not among
     /// the candidates (the lazy cut missed it).
-    pub fn run_with_target(
-        mut self,
-        target_tables: &[TableId],
-    ) -> Option<FreeQOutcome> {
+    pub fn run_with_target(mut self, target_tables: &[TableId]) -> Option<FreeQOutcome> {
         let matches_target = |c: &LazyInterpretation| {
             c.bindings.len() == target_tables.len()
                 && c.bindings
@@ -137,18 +134,20 @@ impl<'a> FreeQSession<'a> {
             return None;
         }
         while self.candidates.len() > self.config.stop_at && self.steps < self.config.max_steps {
-            let Some(option) = self.next_option() else { break };
+            let Some(option) = self.next_option() else {
+                break;
+            };
             let accept = match option {
                 FreeQOption::KeywordInTable { keyword, table } => {
                     target_tables.get(keyword) == Some(&table)
                 }
-                FreeQOption::KeywordInConcept { keyword, concept } => self
-                    .ontology
-                    .is_some_and(|o| {
+                FreeQOption::KeywordInConcept { keyword, concept } => {
+                    self.ontology.is_some_and(|o| {
                         target_tables
                             .get(keyword)
                             .is_some_and(|t| o.contains(concept, *t))
-                    }),
+                    })
+                }
             };
             self.apply(option, accept);
         }
@@ -195,7 +194,7 @@ mod tests {
             let name = row[1].as_text().unwrap();
             for tok in name.split(' ') {
                 let n = f.idx.attrs_containing(tok).len();
-                if best.as_ref().map_or(true, |(_, b)| n > *b) {
+                if best.as_ref().is_none_or(|(_, b)| n > *b) {
                     best = Some((tok.to_owned(), n));
                 }
             }
@@ -204,7 +203,7 @@ mod tests {
         let tables: Vec<TableId> = f
             .idx
             .attrs_containing(&kw)
-            .into_iter()
+            .iter()
             .map(|a| a.table)
             .filter(|t| *t != f.fb.topic)
             .collect();
@@ -221,7 +220,13 @@ mod tests {
         if tops.len() < 10 {
             return; // not ambiguous enough on this tiny fixture
         }
-        let target: Vec<TableId> = tops.last().unwrap().bindings.iter().map(|a| a.table).collect();
+        let target: Vec<TableId> = tops
+            .last()
+            .unwrap()
+            .bindings
+            .iter()
+            .map(|a| a.table)
+            .collect();
 
         let plain = FreeQSession::new(None, tops.clone(), FreeQSessionConfig::default())
             .run_with_target(&target)
@@ -255,8 +260,7 @@ mod tests {
             return;
         }
         for pick in [0, tops.len() / 2, tops.len() - 1] {
-            let target: Vec<TableId> =
-                tops[pick].bindings.iter().map(|a| a.table).collect();
+            let target: Vec<TableId> = tops[pick].bindings.iter().map(|a| a.table).collect();
             let out = FreeQSession::new(
                 Some(&f.ontology),
                 tops.clone(),

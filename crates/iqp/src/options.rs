@@ -25,16 +25,10 @@ pub enum ConstructionOption {
 
 impl ConstructionOption {
     /// Whether `interp` subsumes this option.
-    pub fn subsumed_by(
-        &self,
-        interp: &QueryInterpretation,
-        catalog: &TemplateCatalog,
-    ) -> bool {
+    pub fn subsumed_by(&self, interp: &QueryInterpretation, catalog: &TemplateCatalog) -> bool {
         match self {
             ConstructionOption::Atom(atom) => interp.contains_atom(catalog, atom),
-            ConstructionOption::UsesTable(t) => {
-                catalog.get(interp.template).tree.nodes.contains(t)
-            }
+            ConstructionOption::UsesTable(t) => catalog.get(interp.template).tree.nodes.contains(t),
             ConstructionOption::Template(t) => interp.template == *t,
         }
     }

@@ -128,9 +128,7 @@ impl PlanNode {
     pub fn decisions(&self) -> usize {
         match self {
             PlanNode::Leaf { .. } => 0,
-            PlanNode::Decide { accept, reject, .. } => {
-                1 + accept.decisions() + reject.decisions()
-            }
+            PlanNode::Decide { accept, reject, .. } => 1 + accept.decisions() + reject.decisions(),
         }
     }
 }
@@ -165,7 +163,10 @@ pub fn plan_cost(problem: &PlanProblem, plan: &PlanNode) -> f64 {
 /// (remaining-query mask, remaining-option mask). Exponential; use only at
 /// Table 3.4 scale (≤ ~24 queries, ≤ ~12 options).
 pub fn brute_force_plan(problem: &PlanProblem) -> (PlanNode, f64) {
-    assert!(problem.options.len() <= 32, "brute force supports ≤ 32 options");
+    assert!(
+        problem.options.len() <= 32,
+        "brute force supports ≤ 32 options"
+    );
     let mut memo: HashMap<(u64, u32), (PlanNode, f64)> = HashMap::new();
     let all_opts: u32 = if problem.options.len() == 32 {
         u32::MAX
@@ -200,7 +201,7 @@ pub fn brute_force_plan(problem: &PlanProblem) -> (PlanNode, f64) {
             let (rp, rc) = rec(problem, rej, rest, memo);
             let p_acc = problem.mass(acc) / total;
             let cost = 1.0 + p_acc * ac + (1.0 - p_acc) * rc;
-            if best.as_ref().map_or(true, |(_, b)| cost < *b - 1e-15) {
+            if best.as_ref().is_none_or(|(_, b)| cost < *b - 1e-15) {
                 best = Some((
                     PlanNode::Decide {
                         option: i,
@@ -262,7 +263,7 @@ pub fn greedy_plan(problem: &PlanProblem) -> (PlanNode, f64) {
             let p_acc = problem.mass(acc) / total;
             let cond = p_acc * entropy(problem, acc) + (1.0 - p_acc) * entropy(problem, rej);
             let ig = h - cond;
-            if best.map_or(true, |(b, ..)| ig > b + 1e-15) {
+            if best.is_none_or(|(b, ..)| ig > b + 1e-15) {
                 best = Some((ig, i, acc, rej));
             }
         }

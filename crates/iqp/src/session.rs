@@ -78,10 +78,7 @@ impl<'a> ConstructionSession<'a> {
             .iter()
             .map(|s| (s.interpretation.clone(), s.probability.max(1e-12)))
             .collect();
-        let atom_cache = candidates
-            .iter()
-            .map(|(c, _)| c.atoms(catalog))
-            .collect();
+        let atom_cache = candidates.iter().map(|(c, _)| c.atoms(catalog)).collect();
         ConstructionSession {
             catalog,
             candidates,
@@ -157,9 +154,7 @@ impl<'a> ConstructionSession<'a> {
             }
             opts.insert(ConstructionOption::Template(c.template));
         }
-        let h = entropy_of_weights(
-            &self.candidates.iter().map(|(_, p)| *p).collect::<Vec<_>>(),
-        );
+        let h = entropy_of_weights(&self.candidates.iter().map(|(_, p)| *p).collect::<Vec<_>>());
         let total: f64 = self.candidates.iter().map(|(_, p)| *p).sum();
         let mut best: Option<(f64, ConstructionOption)> = None;
         let mut acc: Vec<f64> = Vec::with_capacity(self.candidates.len());
@@ -206,7 +201,7 @@ impl<'a> ConstructionSession<'a> {
         db: &Database,
         index: &InvertedIndex,
         limit: usize,
-    ) -> Vec<(usize, std::rc::Rc<ExecutedResult>)> {
+    ) -> Vec<(usize, std::sync::Arc<ExecutedResult>)> {
         let mut cache = ExecCache::new();
         let opts = ExecOptions {
             limit,
@@ -275,7 +270,10 @@ impl<'a> SimulatedUser<'a> {
     pub fn rank_of_target(&self, ranked: &[ScoredInterpretation]) -> Option<usize> {
         ranked
             .iter()
-            .position(|s| self.intent.matches(&s.interpretation, self.db, self.catalog))
+            .position(|s| {
+                self.intent
+                    .matches(&s.interpretation, self.db, self.catalog)
+            })
             .map(|p| p + 1)
     }
 
@@ -295,10 +293,7 @@ impl<'a> SimulatedUser<'a> {
             let accept = option.subsumed_by(&target, self.catalog);
             session.apply(option, accept);
         }
-        let target_retained = session
-            .remaining()
-            .iter()
-            .any(|(c, _)| *c == target);
+        let target_retained = session.remaining().iter().any(|(c, _)| *c == target);
         Some(ConstructionOutcome {
             steps: session.steps(),
             remaining: session.remaining().len(),
@@ -324,7 +319,11 @@ mod tests {
         let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
         let index = InvertedIndex::build(&data.db);
         let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
-        Fixture { data, index, catalog }
+        Fixture {
+            data,
+            index,
+            catalog,
+        }
     }
 
     fn intent_of(q: &keybridge_datagen::WorkloadQuery) -> IntentDescription {
@@ -408,8 +407,7 @@ mod tests {
         if ranked.len() < 8 {
             return; // dataset too small to say anything
         }
-        let mut session =
-            ConstructionSession::new(&f.catalog, &ranked, SessionConfig::default());
+        let mut session = ConstructionSession::new(&f.catalog, &ranked, SessionConfig::default());
         let target = ranked.last().unwrap().interpretation.clone();
         while !session.finished() {
             let o = session.next_option().unwrap();

@@ -111,7 +111,11 @@ impl SimSpace {
             })
             .collect();
         let weights: Vec<Vec<f64>> = (0..cfg.n_keywords)
-            .map(|_| (0..cfg.n_tables).map(|_| rng.gen_range(0.05..1.0)).collect())
+            .map(|_| {
+                (0..cfg.n_tables)
+                    .map(|_| rng.gen_range(0.05..1.0))
+                    .collect()
+            })
             .collect();
         let priors: Vec<f64> = (0..n_templates).map(|_| rng.gen_range(0.05..1.0)).collect();
         SimSpace {
@@ -261,9 +265,7 @@ impl SimSpace {
                                  // truthful user, but guard anyway
                 }
             }
-            let complete = frontier
-                .iter()
-                .all(|p| p.assign.len() == cfg.n_keywords);
+            let complete = frontier.iter().all(|p| p.assign.len() == cfg.n_keywords);
             if complete && frontier.len() <= 1 {
                 break;
             }
@@ -300,7 +302,7 @@ impl SimSpace {
                 }
                 let pa: f64 = acc.iter().sum::<f64>() / total;
                 let ig = h - (pa * Self::entropy(&acc) + (1.0 - pa) * Self::entropy(&rej));
-                if best.as_ref().map_or(true, |(b, _)| ig > *b + 1e-15) {
+                if best.as_ref().is_none_or(|(b, _)| ig > *b + 1e-15) {
                     best = Some((ig, OptionKind::Atom(k, t)));
                 }
             }
@@ -319,9 +321,8 @@ impl SimSpace {
                         }
                     }
                     let pa: f64 = acc.iter().sum::<f64>() / total;
-                    let ig =
-                        h - (pa * Self::entropy(&acc) + (1.0 - pa) * Self::entropy(&rej));
-                    if best.as_ref().map_or(true, |(b, _)| ig > *b + 1e-15) {
+                    let ig = h - (pa * Self::entropy(&acc) + (1.0 - pa) * Self::entropy(&rej));
+                    if best.as_ref().is_none_or(|(b, _)| ig > *b + 1e-15) {
                         best = Some((ig, OptionKind::Template(tpl)));
                     }
                 }
@@ -342,9 +343,9 @@ impl SimSpace {
             match option {
                 OptionKind::Atom(k, t) => {
                     if accept {
-                        for tt in 0..cfg.n_tables {
+                        for (tt, slot) in allowed[k].iter_mut().enumerate() {
                             if tt != t {
-                                allowed[k][tt] = false;
+                                *slot = false;
                             }
                         }
                     } else {
@@ -383,10 +384,8 @@ impl SimSpace {
     /// Whether `p` can still be extended to a complete interpretation under
     /// the current constraints.
     fn can_complete(&self, p: &SimPartial, allowed: &[Vec<bool>]) -> bool {
-        for k in p.assign.len()..self.cfg.n_keywords {
-            let any = self.templates[p.template]
-                .iter()
-                .any(|&t| allowed[k][t]);
+        for row in &allowed[p.assign.len()..self.cfg.n_keywords] {
+            let any = self.templates[p.template].iter().any(|&t| row[t]);
             if !any {
                 return false;
             }

@@ -57,9 +57,7 @@ impl TimeModel {
     /// Time to construct the intent by evaluating `steps` options and then
     /// picking it from the final window of `remaining` entries.
     pub fn construction_time(&self, steps: usize, remaining: usize) -> f64 {
-        self.base_s
-            + steps as f64 * self.per_option_s
-            + remaining as f64 * self.per_rank_item_s
+        self.base_s + steps as f64 * self.per_option_s + remaining as f64 * self.per_rank_item_s
     }
 
     /// Both timings for a task.

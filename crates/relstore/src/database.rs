@@ -64,8 +64,7 @@ impl Database {
         let fk_index = vec![HashMap::new(); schema.fk_count()];
         let mut table_fk_cols = vec![Vec::new(); schema.table_count()];
         for (id, fk) in schema.fks() {
-            table_fk_cols[fk.from.table.0 as usize]
-                .push((id.0 as usize, fk.from.attr.0 as usize));
+            table_fk_cols[fk.from.table.0 as usize].push((id.0 as usize, fk.from.attr.0 as usize));
         }
         Database {
             schema,
@@ -184,7 +183,9 @@ mod tests {
 
     fn db() -> Database {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         b.table("movie", TableKind::Entity)
             .pk("id")
             .text_attr("title")

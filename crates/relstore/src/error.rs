@@ -64,7 +64,11 @@ impl fmt::Display for RelError {
                 table.0
             ),
             RelError::TypeMismatch { attr } => {
-                write!(f, "type mismatch for attribute {}.{}", attr.table.0, attr.attr.0)
+                write!(
+                    f,
+                    "type mismatch for attribute {}.{}",
+                    attr.table.0, attr.attr.0
+                )
             }
             RelError::BadPrimaryKey { table } => {
                 write!(f, "null or duplicate primary key on table #{}", table.0)

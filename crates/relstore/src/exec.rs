@@ -402,8 +402,7 @@ fn execute_hash_join(
                     Some(rows) => {
                         let keyset: HashSet<i64> = keys.into_iter().collect();
                         rows.retain(|&r| {
-                            join_key(db, t_table, r, fk, t_fk)
-                                .is_some_and(|k| keyset.contains(&k))
+                            join_key(db, t_table, r, fk, t_fk).is_some_and(|k| keyset.contains(&k))
                         });
                         false
                     }
@@ -454,7 +453,10 @@ fn execute_hash_join(
         .map(|s| s.as_ref().expect("reduced sets are materialized").len())
         .sum();
     if sets.iter().any(|s| s.as_ref().is_some_and(Vec::is_empty)) {
-        return Ok(ExecOutcome { rows: Vec::new(), stats });
+        return Ok(ExecOutcome {
+            rows: Vec::new(),
+            stats,
+        });
     }
 
     // Columnar binding batches: one column per joined node, all of equal
@@ -519,7 +521,9 @@ fn execute_hash_join(
             let Some(key) = join_key(db, known_table, krow, &fk, known_fk) else {
                 continue;
             };
-            let Some(matches) = build.get(&key) else { continue };
+            let Some(matches) = build.get(&key) else {
+                continue;
+            };
             for &m in matches {
                 if new_col.len() >= opts.max_intermediate {
                     return Err(RelError::MalformedJoinTree(
@@ -541,7 +545,10 @@ fn execute_hash_join(
         }
         cols[new] = Some(new_col);
         if batch_len == 0 {
-            return Ok(ExecOutcome { rows: Vec::new(), stats });
+            return Ok(ExecOutcome {
+                rows: Vec::new(),
+                stats,
+            });
         }
     }
 
@@ -680,7 +687,10 @@ fn execute_naive(
         stats.intermediate_bindings += next.len();
         bindings = next;
         if bindings.is_empty() {
-            return Ok(ExecOutcome { rows: Vec::new(), stats });
+            return Ok(ExecOutcome {
+                rows: Vec::new(),
+                stats,
+            });
         }
     }
 
@@ -706,7 +716,9 @@ mod tests {
     /// actor(id,name) <- acts(id,actor_id,movie_id) -> movie(id,title,year)
     fn movie_db() -> Database {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         b.table("movie", TableKind::Entity)
             .pk("id")
             .text_attr("title")
@@ -755,8 +767,16 @@ mod tests {
         JoinTree {
             nodes: vec![actor, acts, movie],
             edges: vec![
-                JoinTreeEdge { a: 1, b: 0, fk: fk_actor },
-                JoinTreeEdge { a: 1, b: 2, fk: fk_movie },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 0,
+                    fk: fk_actor,
+                },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 2,
+                    fk: fk_movie,
+                },
             ],
         }
     }
@@ -841,10 +861,26 @@ mod tests {
         let tree = JoinTree {
             nodes: vec![actor, acts, movie, acts, actor],
             edges: vec![
-                JoinTreeEdge { a: 1, b: 0, fk: fk_actor },
-                JoinTreeEdge { a: 1, b: 2, fk: fk_movie },
-                JoinTreeEdge { a: 3, b: 2, fk: fk_movie },
-                JoinTreeEdge { a: 3, b: 4, fk: fk_actor },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 0,
+                    fk: fk_actor,
+                },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 2,
+                    fk: fk_movie,
+                },
+                JoinTreeEdge {
+                    a: 3,
+                    b: 2,
+                    fk: fk_movie,
+                },
+                JoinTreeEdge {
+                    a: 3,
+                    b: 4,
+                    fk: fk_actor,
+                },
             ],
         };
         let hanks = db.table(actor).by_pk(1).unwrap();
@@ -928,7 +964,11 @@ mod tests {
         let fk0 = db.schema().fks().next().unwrap().0;
         let tree = JoinTree {
             nodes: vec![emp, emp],
-            edges: vec![JoinTreeEdge { a: 0, b: 1, fk: fk0 }],
+            edges: vec![JoinTreeEdge {
+                a: 0,
+                b: 1,
+                fk: fk0,
+            }],
         };
         let r3 = db.table(emp).by_pk(3).unwrap();
         let r1 = db.table(emp).by_pk(1).unwrap();
@@ -964,8 +1004,7 @@ mod tests {
             count_only: true,
             ..Default::default()
         };
-        let out =
-            execute_join_tree_with_stats(&db, &tree, &Candidates::free(3), opts).unwrap();
+        let out = execute_join_tree_with_stats(&db, &tree, &Candidates::free(3), opts).unwrap();
         assert!(out.rows.is_empty());
         assert_eq!(out.stats.result_count, 4);
     }
@@ -981,8 +1020,7 @@ mod tests {
         let cands = Candidates::free(3)
             .restrict(0, vec![hanks])
             .restrict(2, vec![terminal]);
-        let hj = execute_join_tree_with_stats(&db, &tree, &cands, ExecOptions::default())
-            .unwrap();
+        let hj = execute_join_tree_with_stats(&db, &tree, &cands, ExecOptions::default()).unwrap();
         let nv = execute_join_tree_with_stats(&db, &tree, &cands, naive_opts()).unwrap();
         assert_eq!(hj.stats.result_count, nv.stats.result_count);
         // The reducer must strip the acts rows that don't reach Terminal.
@@ -1004,8 +1042,7 @@ mod tests {
             limit: 1,
             ..Default::default()
         };
-        let out =
-            execute_join_tree_with_stats(&db, &tree, &Candidates::free(3), opts).unwrap();
+        let out = execute_join_tree_with_stats(&db, &tree, &Candidates::free(3), opts).unwrap();
         assert_eq!(out.rows.len(), 1);
         // With limit 1 no batch ever holds more than one binding:
         // seed + one per attach step.
@@ -1019,7 +1056,10 @@ mod tests {
         let actor = s.table_id("actor").unwrap();
         let fk0 = s.fks().next().unwrap().0;
         // Empty.
-        let t = JoinTree { nodes: vec![], edges: vec![] };
+        let t = JoinTree {
+            nodes: vec![],
+            edges: vec![],
+        };
         assert!(t.validate(&db).is_err());
         // Edge count mismatch.
         let t = JoinTree {
@@ -1030,13 +1070,21 @@ mod tests {
         // Self edge.
         let t = JoinTree {
             nodes: vec![actor, actor],
-            edges: vec![JoinTreeEdge { a: 0, b: 0, fk: fk0 }],
+            edges: vec![JoinTreeEdge {
+                a: 0,
+                b: 0,
+                fk: fk0,
+            }],
         };
         assert!(t.validate(&db).is_err());
         // FK does not join endpoints.
         let t = JoinTree {
             nodes: vec![actor, actor],
-            edges: vec![JoinTreeEdge { a: 0, b: 1, fk: fk0 }],
+            edges: vec![JoinTreeEdge {
+                a: 0,
+                b: 1,
+                fk: fk0,
+            }],
         };
         assert!(t.validate(&db).is_err());
     }

@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn self_referencing_fk_single_adjacency() {
         let mut b = SchemaBuilder::new();
-        b.table("emp", TableKind::Entity).pk("id").int_attr("boss_id");
+        b.table("emp", TableKind::Entity)
+            .pk("id")
+            .int_attr("boss_id");
         b.foreign_key("emp", "boss_id", "emp").unwrap();
         let s = b.finish().unwrap();
         let g = SchemaGraph::new(&s);

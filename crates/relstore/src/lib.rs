@@ -49,7 +49,7 @@ pub use exec::{
 };
 pub use graph::{GraphEdge, SchemaGraph};
 pub use schema::{
-    AttrId, AttrRef, AttributeDef, FkId, ForeignKey, Schema, SchemaBuilder, TableBuilder,
-    TableDef, TableId, TableKind,
+    AttrId, AttrRef, AttributeDef, FkId, ForeignKey, Schema, SchemaBuilder, TableBuilder, TableDef,
+    TableId, TableKind,
 };
 pub use value::{RowId, Value, ValueType};

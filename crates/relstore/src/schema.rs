@@ -74,7 +74,8 @@ impl TableDef {
 
     /// Iterate over the text attributes of the table.
     pub fn text_attrs(&self) -> impl Iterator<Item = (AttrId, &AttributeDef)> {
-        self.attrs_with_ids().filter(|(_, a)| a.ty == ValueType::Text)
+        self.attrs_with_ids()
+            .filter(|(_, a)| a.ty == ValueType::Text)
     }
 }
 
@@ -343,7 +344,9 @@ mod tests {
 
     fn movie_schema() -> Schema {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         b.table("movie", TableKind::Entity)
             .pk("id")
             .text_attr("title")
@@ -383,13 +386,19 @@ mod tests {
         let mut b = SchemaBuilder::new();
         b.table("t", TableKind::Entity).pk("id");
         b.table("t", TableKind::Entity).pk("id");
-        assert_eq!(b.finish().unwrap_err(), RelError::DuplicateTable("t".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            RelError::DuplicateTable("t".into())
+        );
     }
 
     #[test]
     fn duplicate_attr_rejected() {
         let mut b = SchemaBuilder::new();
-        b.table("t", TableKind::Entity).pk("id").text_attr("x").text_attr("x");
+        b.table("t", TableKind::Entity)
+            .pk("id")
+            .text_attr("x")
+            .text_attr("x");
         assert!(matches!(
             b.finish().unwrap_err(),
             RelError::DuplicateAttribute { .. }

@@ -106,7 +106,10 @@ impl InvertedIndex {
         for (tid, tdef) in db.schema().tables() {
             let store = db.table(tid);
             for (aid, _) in tdef.text_attrs() {
-                let aref = AttrRef { table: tid, attr: aid };
+                let aref = AttrRef {
+                    table: tid,
+                    attr: aid,
+                };
                 let stats = attr_stats.entry(aref).or_default();
                 stats.row_count = store.len() as u32;
                 for (rid, row) in store.rows() {
@@ -166,7 +169,10 @@ impl InvertedIndex {
                     schema_terms
                         .entry(tok)
                         .or_default()
-                        .push(SchemaTarget::Attribute(AttrRef { table: tid, attr: aid }));
+                        .push(SchemaTarget::Attribute(AttrRef {
+                            table: tid,
+                            attr: aid,
+                        }));
                 }
             }
         }
@@ -332,9 +338,7 @@ impl InvertedIndex {
     /// non-zero mass. The paper writes `ATF = TF + α` up to normalization;
     /// we implement the normalized form directly.
     pub fn atf(&self, term: &str, attr: AttrRef, alpha: f64) -> f64 {
-        let occ = self
-            .postings(term, attr)
-            .map_or(0, |e| e.occurrences) as f64;
+        let occ = self.postings(term, attr).map_or(0, |e| e.occurrences) as f64;
         let denom = self.atf_denominator(attr, alpha);
         if denom <= 0.0 {
             return 0.0;
@@ -389,7 +393,9 @@ mod tests {
 
     fn db() -> Database {
         let mut b = SchemaBuilder::new();
-        b.table("actor", TableKind::Entity).pk("id").text_attr("name");
+        b.table("actor", TableKind::Entity)
+            .pk("id")
+            .text_attr("name");
         b.table("movie", TableKind::Entity)
             .pk("id")
             .text_attr("title")
@@ -403,7 +409,8 @@ mod tests {
             (3, "Colin Hanks"),
             (4, "Meg Ryan"),
         ] {
-            db.insert(actor, vec![Value::Int(id), Value::text(n)]).unwrap();
+            db.insert(actor, vec![Value::Int(id), Value::text(n)])
+                .unwrap();
         }
         for (id, t, y) in [
             (10, "The Terminal", 2004),
@@ -440,7 +447,7 @@ mod tests {
         let idx = InvertedIndex::build(&db);
         let attrs = idx.attrs_containing("tom");
         assert_eq!(attrs.len(), 2); // actor.name and movie.title
-        // Returned sorted, so candidate harvesting needs no re-sort.
+                                    // Returned sorted, so candidate harvesting needs no re-sort.
         assert!(attrs.windows(2).all(|w| w[0] < w[1]));
         assert!(idx.attrs_containing("zzz").is_empty());
     }
@@ -450,8 +457,7 @@ mod tests {
         let db = db();
         let idx = InvertedIndex::build(&db);
         let name = aref(&db, "actor", "name");
-        let tom_hanks =
-            idx.rows_with_all(&["tom".to_owned(), "hanks".to_owned()], name);
+        let tom_hanks = idx.rows_with_all(&["tom".to_owned(), "hanks".to_owned()], name);
         assert_eq!(tom_hanks.len(), 1);
         let toms = idx.rows_with_all(&["tom".to_owned()], name);
         assert_eq!(toms.len(), 2);
@@ -536,8 +542,7 @@ mod tests {
         let title = aref(&db, "movie", "title");
         let pair = vec!["tom".to_owned(), "hanks".to_owned()];
         let joint_name = idx.joint_atf(&pair, name, 1.0);
-        let product =
-            idx.atf("tom", name, 1.0) * idx.atf("hanks", name, 1.0);
+        let product = idx.atf("tom", name, 1.0) * idx.atf("hanks", name, 1.0);
         assert!(joint_name > product, "{joint_name} vs {product}");
         // "tom hanks" never co-occurs in a title.
         let joint_title = idx.joint_atf(&pair, title, 1.0);

@@ -11,8 +11,8 @@ use std::collections::HashSet;
 /// Default English stopwords. Short on purpose: over-aggressive stopword
 /// removal would delete meaningful one-word titles.
 const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of",
-    "on", "or", "that", "the", "to", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "that", "the", "to", "with",
 ];
 
 /// A configurable tokenizer.
@@ -120,15 +120,15 @@ mod tests {
     #[test]
     fn unique_dedup_preserves_order() {
         let t = Tokenizer::keep_all();
-        assert_eq!(
-            t.tokenize_unique("tom tom hanks tom"),
-            vec!["tom", "hanks"]
-        );
+        assert_eq!(t.tokenize_unique("tom tom hanks tom"), vec!["tom", "hanks"]);
     }
 
     #[test]
     fn digits_kept() {
         let t = Tokenizer::new();
-        assert_eq!(t.tokenize("2001: A Space Odyssey"), vec!["2001", "space", "odyssey"]);
+        assert_eq!(
+            t.tokenize("2001: A Space Odyssey"),
+            vec!["2001", "space", "odyssey"]
+        );
     }
 }

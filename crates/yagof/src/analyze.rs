@@ -28,11 +28,7 @@ pub fn category_kind_distribution(yago: &YagoOntology) -> Vec<KindRow> {
     kinds
         .iter()
         .map(|&kind| {
-            let cats: Vec<_> = yago
-                .categories
-                .iter()
-                .filter(|c| c.kind == kind)
-                .collect();
+            let cats: Vec<_> = yago.categories.iter().filter(|c| c.kind == kind).collect();
             let links: u64 = cats.iter().map(|c| c.instances.len() as u64).sum();
             KindRow {
                 kind,
@@ -63,7 +59,10 @@ pub fn instance_histogram(yago: &YagoOntology) -> Vec<(usize, usize, u64)> {
         if n == 0 {
             continue;
         }
-        let slot = bounds.iter().position(|&b| n <= b).expect("MAX catches all");
+        let slot = bounds
+            .iter()
+            .position(|&b| n <= b)
+            .expect("MAX catches all");
         buckets[slot].1 += 1;
         buckets[slot].2 += n as u64;
     }

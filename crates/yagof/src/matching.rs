@@ -99,9 +99,7 @@ pub fn match_categories(
             let score = 2.0 * coverage * precision / (coverage + precision);
             let better = match &best {
                 None => true,
-                Some(b) => {
-                    score > b.score + 1e-12 || (score > b.score - 1e-12 && t < b.table)
-                }
+                Some(b) => score > b.score + 1e-12 || (score > b.score - 1e-12 && t < b.table),
             };
             if better {
                 best = Some(CategoryMatch {
@@ -172,8 +170,22 @@ mod tests {
     #[test]
     fn high_threshold_yields_fewer_matches() {
         let (fb, y) = setup();
-        let low = match_categories(&y, &fb, MatchConfig { threshold: 0.1, min_overlap: 2 });
-        let high = match_categories(&y, &fb, MatchConfig { threshold: 0.8, min_overlap: 2 });
+        let low = match_categories(
+            &y,
+            &fb,
+            MatchConfig {
+                threshold: 0.1,
+                min_overlap: 2,
+            },
+        );
+        let high = match_categories(
+            &y,
+            &fb,
+            MatchConfig {
+                threshold: 0.8,
+                min_overlap: 2,
+            },
+        );
         assert!(high.len() <= low.len());
     }
 
@@ -191,8 +203,7 @@ mod tests {
             &fb,
         );
         let matches = match_categories(&y, &fb, MatchConfig::default());
-        let gold: std::collections::HashMap<usize, TableId> =
-            y.gold.iter().copied().collect();
+        let gold: std::collections::HashMap<usize, TableId> = y.gold.iter().copied().collect();
         let mut correct = 0;
         let mut total = 0;
         for m in &matches {

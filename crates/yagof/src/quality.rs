@@ -131,14 +131,31 @@ mod tests {
         let fb = FreebaseDataset::generate(FreebaseConfig::tiny(5)).unwrap();
         let y = YagoOntology::generate(YagoConfig::tiny(6), &fb);
         let low = evaluate_matching(
-            &match_categories(&y, &fb, MatchConfig { threshold: 0.05, min_overlap: 2 }),
+            &match_categories(
+                &y,
+                &fb,
+                MatchConfig {
+                    threshold: 0.05,
+                    min_overlap: 2,
+                },
+            ),
             &y.gold,
         );
         let high = evaluate_matching(
-            &match_categories(&y, &fb, MatchConfig { threshold: 0.6, min_overlap: 2 }),
+            &match_categories(
+                &y,
+                &fb,
+                MatchConfig {
+                    threshold: 0.6,
+                    min_overlap: 2,
+                },
+            ),
             &y.gold,
         );
         assert!(high.recall <= low.recall + 1e-12);
-        assert!(high.precision + 0.1 >= low.precision, "low {low:?} high {high:?}");
+        assert!(
+            high.precision + 0.1 >= low.precision,
+            "low {low:?} high {high:?}"
+        );
     }
 }

@@ -21,8 +21,7 @@ fn main() {
     let data = ImdbDataset::generate(ImdbConfig::default()).expect("generation succeeds");
     let index = InvertedIndex::build(&data.db);
     let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
-    let interpreter =
-        Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+    let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
 
     // A single ambiguous surname: many structurally different readings.
     // `top_k` generates the diversification pool best-first; the exhaustive
@@ -56,13 +55,13 @@ fn main() {
 
     println!("top-{k} by relevance ranking:");
     let mut seen = BTreeSet::new();
-    for i in 0..k {
+    for (i, s) in ranked.iter().enumerate().take(k) {
         let keys = keys_of(i);
         let new = keys.difference(&seen).count();
         println!(
             "  p={:5.3}  (+{new:3} new tuples)  {}",
-            ranked[i].probability,
-            render_natural(&data.db, &catalog, &ranked[i].interpretation)
+            s.probability,
+            render_natural(&data.db, &catalog, &s.interpretation)
         );
         seen.extend(keys);
     }

@@ -20,8 +20,7 @@ fn main() {
     let data = ImdbDataset::generate(ImdbConfig::default()).expect("generation succeeds");
     let index = InvertedIndex::build(&data.db);
     let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
-    let interpreter =
-        Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+    let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
 
     // Take multi-concept workload queries (the ambiguous ones).
     let workload = Workload::imdb(
@@ -68,7 +67,9 @@ fn main() {
         println!("--- construction session ---");
         let mut session = ConstructionSession::new(&catalog, &ranked, SessionConfig::default());
         while !session.finished() {
-            let Some(option) = session.next_option() else { break };
+            let Some(option) = session.next_option() else {
+                break;
+            };
             let accept = option.subsumed_by(&target, &catalog);
             println!(
                 "  Q{}: {}  ->  {}",

@@ -7,11 +7,12 @@
 
 use keybridge::core::{
     execute_interpretation, render_natural, render_sql, Interpreter, InterpreterConfig,
-    KeywordQuery, TemplateCatalog,
+    KeywordQuery, SearchService, SearchSnapshot, TemplateCatalog,
 };
 use keybridge::datagen::{ImdbConfig, ImdbDataset};
 use keybridge::index::InvertedIndex;
 use keybridge::relstore::ExecOptions;
+use std::sync::Arc;
 
 fn main() {
     // 1. Data + index + templates.
@@ -28,8 +29,7 @@ fn main() {
 
     // 2. An ambiguous keyword query: "hanks" is a surname but also occurs in
     //    titles and roles; "terminal" is a title word and a company word.
-    let interpreter =
-        Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
+    let interpreter = Interpreter::new(&data.db, &index, &catalog, InterpreterConfig::default());
     let query = KeywordQuery::parse(index.tokenizer(), "hanks terminal");
     let ranked = interpreter.ranked_interpretations(&query);
     println!(
@@ -92,4 +92,42 @@ fn main() {
             .collect();
         println!("  score={:7.3}  {}", a.log_score, cells.join(" ⋈ "));
     }
+
+    // 5. Serve many users at once: bundle the immutable structures into an
+    //    Arc-shared SearchSnapshot and put a SearchService worker pool in
+    //    front of it. Concurrent queries share the thread-safe non-emptiness
+    //    and execution caches, so each request prunes the next one's work —
+    //    and every reply is byte-identical to the single-threaded path.
+    let snapshot = Arc::new(SearchSnapshot::new(
+        data.db,
+        index,
+        catalog,
+        InterpreterConfig::default(),
+    ));
+    let service = SearchService::start(snapshot, 4);
+    let tickets: Vec<_> = ["hanks terminal", "tom cruise", "hanks terminal"]
+        .into_iter()
+        .map(|text| {
+            let q = KeywordQuery::from_terms(text.split(' ').map(str::to_owned).collect());
+            (text, service.submit(q, 3))
+        })
+        .collect();
+    println!(
+        "\nserving {} concurrent requests over 4 workers:",
+        tickets.len()
+    );
+    for (text, ticket) in tickets {
+        let (answers, _) = ticket.wait().expect("service alive");
+        println!("  \"{text}\" -> {} answers", answers.len());
+    }
+    let stats = service.stats();
+    println!(
+        "service stats: {} served; shared caches hold {} verdicts, {} predicates, \
+         {} results ({} cross-query hits)",
+        stats.served,
+        stats.nonempty_entries,
+        stats.predicate_entries,
+        stats.result_entries,
+        stats.nonempty_hits + stats.predicate_hits + stats.result_hits,
+    );
 }

@@ -40,6 +40,33 @@
 //! assert!(!top.is_empty());
 //! assert!(top.len() <= 10);
 //! ```
+//!
+//! ## Serving concurrent users
+//!
+//! For multi-user traffic, bundle the immutable structures into an
+//! `Arc`-shared [`core::SearchSnapshot`] and start a [`core::SearchService`]
+//! worker pool over it. Concurrent queries share thread-safe, lock-striped
+//! non-emptiness and execution caches, so one user's pruning work prunes
+//! every other user's search — while every reply stays byte-identical to
+//! the single-threaded path:
+//!
+//! ```
+//! use keybridge::core::{InterpreterConfig, KeywordQuery, SearchService, SearchSnapshot};
+//! use keybridge::datagen::{ImdbConfig, ImdbDataset};
+//! use std::sync::Arc;
+//!
+//! let data = ImdbDataset::generate(ImdbConfig::tiny(42)).unwrap();
+//! let snapshot = Arc::new(
+//!     SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 50_000).unwrap(),
+//! );
+//! let service = SearchService::start(snapshot, 2);
+//!
+//! // Submit asynchronously from any thread; block on the ticket when ready.
+//! let query = KeywordQuery::from_terms(vec!["tom".into()]);
+//! let ticket = service.submit(query, 5);
+//! let (answers, _stats) = ticket.wait().expect("service alive");
+//! assert!(answers.len() <= 5);
+//! ```
 
 pub use keybridge_core as core;
 pub use keybridge_datagen as datagen;

@@ -27,8 +27,12 @@ const SEEDS: [u64; 4] = [11, 23, 47, 91];
 /// the same family `tests/properties.rs` uses for the generation oracle.
 fn random_db(rng: &mut StdRng) -> Database {
     let mut b = SchemaBuilder::new();
-    b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-    b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+    b.table("actor", TableKind::Entity)
+        .pk("id")
+        .text_attr("name");
+    b.table("movie", TableKind::Entity)
+        .pk("id")
+        .text_attr("title");
     b.table("acts", TableKind::Relation)
         .pk("id")
         .int_attr("actor_id")
@@ -94,17 +98,41 @@ fn trees(db: &Database) -> Vec<JoinTree> {
         JoinTree {
             nodes: vec![actor, acts, movie],
             edges: vec![
-                JoinTreeEdge { a: 1, b: 0, fk: fk_actor },
-                JoinTreeEdge { a: 1, b: 2, fk: fk_movie },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 0,
+                    fk: fk_actor,
+                },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 2,
+                    fk: fk_movie,
+                },
             ],
         },
         JoinTree {
             nodes: vec![actor, acts, movie, acts, actor],
             edges: vec![
-                JoinTreeEdge { a: 1, b: 0, fk: fk_actor },
-                JoinTreeEdge { a: 1, b: 2, fk: fk_movie },
-                JoinTreeEdge { a: 3, b: 2, fk: fk_movie },
-                JoinTreeEdge { a: 3, b: 4, fk: fk_actor },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 0,
+                    fk: fk_actor,
+                },
+                JoinTreeEdge {
+                    a: 1,
+                    b: 2,
+                    fk: fk_movie,
+                },
+                JoinTreeEdge {
+                    a: 3,
+                    b: 2,
+                    fk: fk_movie,
+                },
+                JoinTreeEdge {
+                    a: 3,
+                    b: 4,
+                    fk: fk_actor,
+                },
             ],
         },
     ]
@@ -158,14 +186,11 @@ fn join_tree_execution_matches_naive_oracle() {
             for (ti, tree) in trees(&db).iter().enumerate() {
                 let cands = random_candidates(&mut rng, &db, tree);
                 let note = format!("seed {seed} case {case} tree {ti}");
-                let hj = execute_join_tree_with_stats(
-                    &db, tree, &cands, opts(ExecStrategy::HashJoin),
-                )
-                .unwrap_or_else(|e| panic!("{note}: hash join failed: {e}"));
-                let nv = execute_join_tree_with_stats(
-                    &db, tree, &cands, opts(ExecStrategy::Naive),
-                )
-                .unwrap_or_else(|e| panic!("{note}: naive failed: {e}"));
+                let hj =
+                    execute_join_tree_with_stats(&db, tree, &cands, opts(ExecStrategy::HashJoin))
+                        .unwrap_or_else(|e| panic!("{note}: hash join failed: {e}"));
+                let nv = execute_join_tree_with_stats(&db, tree, &cands, opts(ExecStrategy::Naive))
+                    .unwrap_or_else(|e| panic!("{note}: naive failed: {e}"));
                 assert_eq!(
                     sorted(hj.rows.clone()),
                     sorted(nv.rows.clone()),
@@ -190,7 +215,11 @@ fn join_tree_execution_matches_naive_oracle() {
                 )
                 .unwrap();
                 assert!(co.rows.is_empty(), "{note}: count_only returned rows");
-                assert_eq!(co.stats.result_count, hj.rows.len(), "{note}: count_only count");
+                assert_eq!(
+                    co.stats.result_count,
+                    hj.rows.len(),
+                    "{note}: count_only count"
+                );
 
                 // limit caps results and the result set stays a subset.
                 let limited = execute_join_tree_with_stats(
@@ -212,12 +241,18 @@ fn join_tree_execution_matches_naive_oracle() {
                 );
                 let all = sorted(hj.rows);
                 for r in &limited.rows {
-                    assert!(all.binary_search(r).is_ok(), "{note}: limited row not in full result");
+                    assert!(
+                        all.binary_search(r).is_ok(),
+                        "{note}: limited row not in full result"
+                    );
                 }
             }
         }
     }
-    assert!(nonempty_cases >= 30, "corpus too degenerate: {nonempty_cases}");
+    assert!(
+        nonempty_cases >= 30,
+        "corpus too degenerate: {nonempty_cases}"
+    );
     // The batched executor's whole point: across the corpus it materializes
     // no more intermediate bindings than the naive oracle.
     assert!(
@@ -229,8 +264,8 @@ fn join_tree_execution_matches_naive_oracle() {
 /// A random 1–4 keyword query over the vocabulary.
 fn random_query(rng: &mut StdRng) -> KeywordQuery {
     const POOL: &[&str] = &[
-        "tom", "meg", "stone", "london", "terminal", "guest", "fire", "actor", "movie",
-        "title", "name", "zzzz",
+        "tom", "meg", "stone", "london", "terminal", "guest", "fire", "actor", "movie", "title",
+        "name", "zzzz",
     ];
     let n = rng.gen_range(1..=4usize);
     KeywordQuery::from_terms(
@@ -260,14 +295,12 @@ fn interpretation_execution_matches_naive_oracle() {
             let query = random_query(&mut rng);
             let note = format!("seed {seed} case {case} query \"{query}\"");
             for qi in interp.enumerate_interpretations(&query).iter().take(40) {
-                let hj = execute_interpretation(
-                    &db, &index, &catalog, qi, opts(ExecStrategy::HashJoin),
-                )
-                .unwrap();
-                let nv = execute_interpretation(
-                    &db, &index, &catalog, qi, opts(ExecStrategy::Naive),
-                )
-                .unwrap();
+                let hj =
+                    execute_interpretation(&db, &index, &catalog, qi, opts(ExecStrategy::HashJoin))
+                        .unwrap();
+                let nv =
+                    execute_interpretation(&db, &index, &catalog, qi, opts(ExecStrategy::Naive))
+                        .unwrap();
                 assert_eq!(
                     sorted(hj.jtts.clone()),
                     sorted(nv.jtts.clone()),
@@ -279,7 +312,10 @@ fn interpretation_execution_matches_naive_oracle() {
             }
         }
     }
-    assert!(executed >= 100, "too few interpretations executed: {executed}");
+    assert!(
+        executed >= 100,
+        "too few interpretations executed: {executed}"
+    );
 }
 
 /// The two-predicates-on-one-node intersection path: separate keyword bags
@@ -321,13 +357,16 @@ fn same_node_intersection_matches_oracle() {
                     ],
                 );
                 let hj = execute_interpretation(
-                    &db, &index, &catalog, &qi, opts(ExecStrategy::HashJoin),
+                    &db,
+                    &index,
+                    &catalog,
+                    &qi,
+                    opts(ExecStrategy::HashJoin),
                 )
                 .unwrap();
-                let nv = execute_interpretation(
-                    &db, &index, &catalog, &qi, opts(ExecStrategy::Naive),
-                )
-                .unwrap();
+                let nv =
+                    execute_interpretation(&db, &index, &catalog, &qi, opts(ExecStrategy::Naive))
+                        .unwrap();
                 assert_eq!(
                     sorted(hj.jtts.clone()),
                     sorted(nv.jtts),
@@ -410,5 +449,8 @@ fn answers_pipeline_matches_exhaustive_naive_oracle() {
             }
         }
     }
-    assert!(nonempty_cases >= 12, "corpus too degenerate: {nonempty_cases}");
+    assert!(
+        nonempty_cases >= 12,
+        "corpus too degenerate: {nonempty_cases}"
+    );
 }

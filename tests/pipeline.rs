@@ -4,7 +4,7 @@
 
 use keybridge::core::{
     execute_interpretation, render_natural, render_sql, GenerationStrategy, Interpreter,
-    InterpreterConfig, KeywordQuery, RankedAnswer, TemplateCatalog, TemplatePrior,
+    InterpreterConfig, KeywordQuery, RankedAnswer, TemplateCatalog,
 };
 use keybridge::datagen::{
     FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, LyricsConfig, LyricsDataset,
@@ -46,7 +46,11 @@ fn keyword_to_results_end_to_end() {
         InterpreterConfig::default(),
     );
     // Take a real actor's surname so results are guaranteed.
-    let name = p.data.db.table(p.data.actor).row(keybridge::relstore::RowId(0))[1]
+    let name = p
+        .data
+        .db
+        .table(p.data.actor)
+        .row(keybridge::relstore::RowId(0))[1]
         .as_text()
         .unwrap()
         .to_owned();
@@ -204,7 +208,11 @@ fn freebase_ontology_beats_plain_options() {
     if tops.len() < 20 {
         return;
     }
-    let target: Vec<TableId> = tops[tops.len() - 1].bindings.iter().map(|a| a.table).collect();
+    let target: Vec<TableId> = tops[tops.len() - 1]
+        .bindings
+        .iter()
+        .map(|a| a.table)
+        .collect();
     let plain = FreeQSession::new(None, tops.clone(), FreeQSessionConfig::default())
         .run_with_target(&target)
         .unwrap();
@@ -282,7 +290,9 @@ fn run_golden(
 
         // 1. Snapshot: answer count, top score, top keys.
         assert_eq!(answers.len(), snap.answers, "{note}: answer count drifted");
-        let top = answers.first().unwrap_or_else(|| panic!("{note}: no answers"));
+        let top = answers
+            .first()
+            .unwrap_or_else(|| panic!("{note}: no answers"));
         assert!(
             (top.log_score - snap.top_score).abs() < 1e-6,
             "{note}: top score drifted: {} vs {}",
@@ -314,14 +324,21 @@ fn run_golden(
         assert_eq!(answers.len(), expect.len(), "{note}: oracle count");
         for (i, (a, b)) in answers.iter().zip(&expect).enumerate() {
             assert_eq!(a.interpretation, b.interpretation, "{note}: answer {i}");
-            assert!((a.log_score - b.log_score).abs() < 1e-12, "{note}: score {i}");
+            assert!(
+                (a.log_score - b.log_score).abs() < 1e-12,
+                "{note}: score {i}"
+            );
         }
         let sorted_keys = |v: &[RankedAnswer]| {
             let mut ks: Vec<_> = v.iter().map(|a| a.keys.clone()).collect();
             ks.sort();
             ks
         };
-        assert_eq!(sorted_keys(&answers), sorted_keys(&expect), "{note}: key multisets");
+        assert_eq!(
+            sorted_keys(&answers),
+            sorted_keys(&expect),
+            "{note}: key multisets"
+        );
 
         // 3. Structural invariants.
         for w in answers.windows(2) {
@@ -338,9 +355,18 @@ fn golden_answers_imdb() {
     // Sanity: the seeded query log is what the snapshots were taken from.
     let w = Workload::imdb(
         &data,
-        WorkloadConfig { seed: 123, n_queries: 10, mc_fraction: 0.5 },
+        WorkloadConfig {
+            seed: 123,
+            n_queries: 10,
+            mc_fraction: 0.5,
+        },
     );
-    let logged: Vec<Vec<String>> = w.queries.iter().take(4).map(|q| q.keywords.clone()).collect();
+    let logged: Vec<Vec<String>> = w
+        .queries
+        .iter()
+        .take(4)
+        .map(|q| q.keywords.clone())
+        .collect();
     let snaps = [
         Snapshot {
             query: &["mary", "kriclafrio"],
@@ -384,9 +410,18 @@ fn golden_answers_lyrics() {
     let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
     let w = Workload::lyrics(
         &data,
-        WorkloadConfig { seed: 21, n_queries: 10, mc_fraction: 0.5 },
+        WorkloadConfig {
+            seed: 21,
+            n_queries: 10,
+            mc_fraction: 0.5,
+        },
     );
-    let logged: Vec<Vec<String>> = w.queries.iter().take(4).map(|q| q.keywords.clone()).collect();
+    let logged: Vec<Vec<String>> = w
+        .queries
+        .iter()
+        .take(4)
+        .map(|q| q.keywords.clone())
+        .collect();
     let snaps = [
         Snapshot {
             query: &["day"],
@@ -448,7 +483,11 @@ fn golden_answers_freebase() {
             break;
         }
     }
-    assert_eq!(logged, vec!["tom", "light", "tadruste"], "topic log drifted");
+    assert_eq!(
+        logged,
+        vec!["tom", "light", "tadruste"],
+        "topic log drifted"
+    );
     let snaps = [
         Snapshot {
             query: &["tom"],

@@ -11,9 +11,7 @@ use keybridge::core::{
 use keybridge::divq::{alpha_ndcg_w, diversify, jaccard, ws_recall, DivItem, EvalItem};
 use keybridge::index::{InvertedIndex, Tokenizer};
 use keybridge::iqp::{brute_force_plan, greedy_plan, plan_cost, PlanProblem};
-use keybridge::relstore::{
-    AttrId, AttrRef, Database, SchemaBuilder, TableId, TableKind, Value,
-};
+use keybridge::relstore::{AttrId, AttrRef, Database, SchemaBuilder, TableId, TableKind, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -26,11 +24,13 @@ use std::collections::BTreeSet;
 /// non-ASCII — the `.{0,120}` strategy of the original proptest suite.
 fn random_text(rng: &mut StdRng, max_len: usize) -> String {
     const POOL: &[char] = &[
-        'a', 'b', 'z', 'A', 'Q', '0', '7', ' ', ' ', '\t', '.', ',', '!', '-', '_', '\'',
-        '"', '(', ')', 'é', 'ü', 'ß', '中', '✓', '\n',
+        'a', 'b', 'z', 'A', 'Q', '0', '7', ' ', ' ', '\t', '.', ',', '!', '-', '_', '\'', '"', '(',
+        ')', 'é', 'ü', 'ß', '中', '✓', '\n',
     ];
     let len = rng.gen_range(0..=max_len);
-    (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+    (0..len)
+        .map(|_| POOL[rng.gen_range(0..POOL.len())])
+        .collect()
 }
 
 #[test]
@@ -249,10 +249,10 @@ fn pk_lookup_roundtrip() {
         let db = tiny_db(&names);
         let t = db.schema().table_id("t").unwrap();
         assert_eq!(db.table(t).len(), names.len());
-        for i in 0..names.len() {
+        for (i, name) in names.iter().enumerate() {
             let row = db.table(t).by_pk(i as i64).expect("pk present");
             assert_eq!(db.pk_value(t, row), i as i64);
-            assert_eq!(db.table(t).row(row)[1].as_text().unwrap(), names[i].as_str());
+            assert_eq!(db.table(t).row(row)[1].as_text().unwrap(), name.as_str());
         }
         assert!(db.table(t).by_pk(names.len() as i64 + 7).is_none());
     }
@@ -332,8 +332,12 @@ fn rows_with_all_is_intersection() {
 /// predicates.
 fn random_db(rng: &mut StdRng) -> Database {
     let mut b = SchemaBuilder::new();
-    b.table("actor", TableKind::Entity).pk("id").text_attr("name");
-    b.table("movie", TableKind::Entity).pk("id").text_attr("title");
+    b.table("actor", TableKind::Entity)
+        .pk("id")
+        .text_attr("name");
+    b.table("movie", TableKind::Entity)
+        .pk("id")
+        .text_attr("title");
     b.table("acts", TableKind::Relation)
         .pk("id")
         .int_attr("actor_id")
@@ -355,7 +359,8 @@ fn random_db(rng: &mut StdRng) -> Database {
             VOCAB[rng.gen_range(0..VOCAB.len())],
             VOCAB[rng.gen_range(0..VOCAB.len())]
         );
-        db.insert(actor, vec![Value::Int(i as i64), Value::text(name)]).unwrap();
+        db.insert(actor, vec![Value::Int(i as i64), Value::text(name)])
+            .unwrap();
     }
     for i in 0..n_movie {
         let words = rng.gen_range(1..=2usize);
@@ -363,7 +368,8 @@ fn random_db(rng: &mut StdRng) -> Database {
             .map(|_| VOCAB[rng.gen_range(0..VOCAB.len())])
             .collect::<Vec<_>>()
             .join(" ");
-        db.insert(movie, vec![Value::Int(i as i64), Value::text(title)]).unwrap();
+        db.insert(movie, vec![Value::Int(i as i64), Value::text(title)])
+            .unwrap();
     }
     for i in 0..rng.gen_range(0..8usize) {
         db.insert(
@@ -383,8 +389,8 @@ fn random_db(rng: &mut StdRng) -> Database {
 /// word or an unknown token).
 fn random_query(rng: &mut StdRng) -> KeywordQuery {
     const POOL: &[&str] = &[
-        "tom", "meg", "stone", "london", "terminal", "guest", "fire", "actor", "movie",
-        "title", "name", "zzzz",
+        "tom", "meg", "stone", "london", "terminal", "guest", "fire", "actor", "movie", "title",
+        "name", "zzzz",
     ];
     let n = rng.gen_range(1..=4usize);
     KeywordQuery::from_terms(
@@ -482,7 +488,10 @@ fn top_k_equals_exhaustive_oracle() {
         let b = interp.top_k(&query, 7);
         assert_eq!(a.len(), b.len(), "{note}: nondeterministic length");
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.interpretation, y.interpretation, "{note}: nondeterministic order");
+            assert_eq!(
+                x.interpretation, y.interpretation,
+                "{note}: nondeterministic order"
+            );
             assert_eq!(x.log_score, y.log_score, "{note}: nondeterministic score");
         }
     }
