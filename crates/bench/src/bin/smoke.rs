@@ -20,12 +20,14 @@
 //! gated strictly; wall-clock numbers depend on the machine and are gated
 //! with the 1.5x slack of `keybridge_bench::check_regression`.
 
-use keybridge_bench::{check_regression, replay_serve, CheckConfig, ServeRun};
+use keybridge_bench::{check_regression, replay_serve, CheckConfig, IngestRun, ServeRun};
 use keybridge_core::{
     execute_interpretation, Interpreter, InterpreterConfig, KeywordQuery, SearchSnapshot,
     TemplateCatalog,
 };
-use keybridge_datagen::{ImdbConfig, ImdbDataset, Workload, WorkloadConfig};
+use keybridge_datagen::{
+    holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, MixedWorkload, Workload, WorkloadConfig,
+};
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{ExecOptions, ExecStats, ExecStrategy};
 use std::sync::Arc;
@@ -43,6 +45,10 @@ struct Profile {
     runs: usize,
     /// Queries replayed through the service per worker count.
     serve_queries: usize,
+    /// Per-row holdout probability of the live-ingestion phase.
+    ingest_holdout: f64,
+    /// Insert batches (= epoch swaps) of the live-ingestion phase.
+    ingest_batches: usize,
 }
 
 impl Profile {
@@ -53,6 +59,8 @@ impl Profile {
             imdb: ImdbConfig::default(),
             runs: 5,
             serve_queries: 108,
+            ingest_holdout: 0.15,
+            ingest_batches: 10,
         }
     }
 
@@ -70,6 +78,8 @@ impl Profile {
             },
             runs: 3,
             serve_queries: 48,
+            ingest_holdout: 0.15,
+            ingest_batches: 6,
         }
     }
 }
@@ -255,6 +265,7 @@ fn main() {
 
     // == serve: query-log replay through the concurrent SearchService. ==
     let mut serve_runs: Vec<ServeRun> = Vec::new();
+    let mut ingest_run: Option<IngestRun> = None;
     let mut serve_gate_failure: Option<String> = None;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -273,6 +284,18 @@ fn main() {
             .iter()
             .map(|q| q.keywords.clone())
             .collect();
+        // The live-ingestion phase re-serves the same fixture from a
+        // preload + insert batches; plan it before the serve snapshot takes
+        // ownership of the database.
+        let ingest_plan = holdout_plan(
+            &data.db,
+            IngestConfig {
+                seed: 11,
+                holdout: profile.ingest_holdout,
+                batches: profile.ingest_batches,
+            },
+        );
+        let ingest_catalog = catalog.clone();
         // The earlier sections are done with their borrows; the snapshot
         // takes ownership of the served structures.
         let snapshot = Arc::new(SearchSnapshot::new(
@@ -348,6 +371,35 @@ fn main() {
                  manifest here; QPS/latency recorded, scaling gate skipped"
             );
         }
+
+        // == ingest: live-write throughput + post-update serving rate over
+        //    the epoch-swap path, driven by the seeded mixed read/write
+        //    stream (single worker, sequential: deterministic counters). ==
+        let mixed = MixedWorkload::interleave(ingest_plan, &queries, 13);
+        let (mixed_queries, mixed_inserts) = mixed.counts();
+        let run = keybridge_bench::replay_ingest(&mixed.initial, &mixed.ops, ingest_catalog, 5);
+        println!(
+            "\n== ingest ({} rows held out of the fixture, {} batches mixed into \
+             {} queries) ==",
+            run.rows, mixed_inserts, mixed_queries
+        );
+        println!(
+            "  ingest     : {:8.0} rows/s ({} epoch swaps, {} stale cache entries retired)",
+            run.rows_per_s, run.epoch_swaps, run.stale_evictions
+        );
+        println!(
+            "  post-update: {:8.1} qps over the {}-query log (cold epoch-{} caches)",
+            run.post_qps,
+            queries.len(),
+            run.epoch_swaps
+        );
+        if run.epoch_swaps != run.batches && serve_gate_failure.is_none() {
+            serve_gate_failure = Some(format!(
+                "ingest published {} epochs for {} batches — the swap path is broken",
+                run.epoch_swaps, run.batches
+            ));
+        }
+        ingest_run = Some(run);
     }
 
     match &serve_gate_failure {
@@ -377,6 +429,7 @@ fn main() {
         ],
         cores,
         &serve_runs,
+        ingest_run.as_ref(),
     );
 
     if let Some(path) = &out_path {
@@ -429,6 +482,7 @@ fn render_json(
     walls: &[(&str, f64)],
     cores: usize,
     serve_runs: &[ServeRun],
+    ingest: Option<&IngestRun>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -504,7 +558,24 @@ fn render_json(
             .find(|r| r.workers == 4)
             .map(|r| r.qps)
             .unwrap_or(qps1);
-        s.push_str(&format!("    \"serve_scaling_w4\": {:.3}\n", qps4 / qps1));
+        s.push_str(&format!("    \"serve_scaling_w4\": {:.3}", qps4 / qps1));
+        if let Some(run) = ingest {
+            s.push_str(",\n");
+            s.push_str(&format!("    \"ingest_rows\": {},\n", run.rows));
+            s.push_str(&format!("    \"ingest_batches\": {},\n", run.batches));
+            s.push_str(&format!("    \"epoch_swaps\": {},\n", run.epoch_swaps));
+            s.push_str(&format!(
+                "    \"stale_evictions\": {},\n",
+                run.stale_evictions
+            ));
+            s.push_str(&format!(
+                "    \"ingest_rows_per_s\": {:.1},\n",
+                run.rows_per_s
+            ));
+            s.push_str(&format!("    \"qps_post_ingest\": {:.1}\n", run.post_qps));
+        } else {
+            s.push('\n');
+        }
         s.push_str("  }");
     }
     s.push_str("\n}\n");

@@ -10,7 +10,8 @@ use keybridge_core::{
     TemplateCatalog, TemplatePrior,
 };
 use keybridge_datagen::{
-    ImdbConfig, ImdbDataset, LyricsConfig, LyricsDataset, Workload, WorkloadConfig, WorkloadQuery,
+    ImdbConfig, ImdbDataset, LyricsConfig, LyricsDataset, MixedOp, Workload, WorkloadConfig,
+    WorkloadQuery,
 };
 use keybridge_index::InvertedIndex;
 use keybridge_iqp::{SessionConfig, SimulatedUser};
@@ -465,6 +466,86 @@ pub fn replay_serve(
     }
 }
 
+/// One mixed read/write replay: live-write throughput plus the post-update
+/// serving rate, with the deterministic epoch/cache counters CI gates on.
+#[derive(Debug, Clone)]
+pub struct IngestRun {
+    /// Rows accepted across all batches.
+    pub rows: usize,
+    /// Batches ingested (= epochs published).
+    pub batches: usize,
+    /// Epoch swaps the service performed (deterministic: one per batch).
+    pub epoch_swaps: usize,
+    /// Shared-cache entries retired with displaced epochs. Deterministic
+    /// here: the replay is sequential on a single worker, so each swap
+    /// displaces exactly the generation the preceding queries warmed.
+    pub stale_evictions: usize,
+    /// Ingested rows per second of ingest-call wall-clock (batch validation
+    /// + pk/fk index maintenance + posting splices + snapshot publish).
+    pub rows_per_s: f64,
+    /// Closed-loop QPS of a full query-log replay *after* the last swap
+    /// (cold final-epoch caches: the price of freshness).
+    pub post_qps: f64,
+}
+
+/// Drive the live-ingestion path once: boot a single-worker
+/// [`SearchService`] over `initial` and replay the mixed read/write `ops`
+/// stream in order — queries served, insert batches ingested (each timed) —
+/// then replay all the stream's queries against the fully grown service
+/// (timed). The single worker and sequential replay keep every counter
+/// reproducible; multi-worker serving rates are `replay_serve`'s job.
+pub fn replay_ingest(
+    initial: &keybridge_relstore::Database,
+    ops: &[MixedOp],
+    catalog: TemplateCatalog,
+    k: usize,
+) -> IngestRun {
+    let service = SearchService::start(
+        Arc::new(SearchSnapshot::new(
+            initial.clone(),
+            InvertedIndex::build(initial),
+            catalog,
+            InterpreterConfig::default(),
+        )),
+        1,
+    );
+    let mut rows = 0usize;
+    let mut batches = 0usize;
+    let mut ingest_secs = 0.0f64;
+    let mut queries: Vec<&Vec<String>> = Vec::new();
+    for op in ops {
+        match op {
+            MixedOp::Query(terms) => {
+                let _ = service.search(&KeywordQuery::from_terms(terms.clone()), k);
+                queries.push(terms);
+            }
+            MixedOp::Insert(batch) => {
+                let t = Instant::now();
+                rows += service
+                    .ingest(batch)
+                    .expect("FK-safe schedule ingests cleanly")
+                    .rows;
+                ingest_secs += t.elapsed().as_secs_f64();
+                batches += 1;
+            }
+        }
+    }
+    let t = Instant::now();
+    for terms in &queries {
+        let _ = service.search(&KeywordQuery::from_terms((*terms).clone()), k);
+    }
+    let post_secs = t.elapsed().as_secs_f64();
+    let stats = service.stats();
+    IngestRun {
+        rows,
+        batches,
+        epoch_swaps: stats.epoch_swaps,
+        stale_evictions: stats.stale_evictions,
+        rows_per_s: rows as f64 / ingest_secs.max(1e-12),
+        post_qps: queries.len() as f64 / post_secs.max(1e-12),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Baseline bookkeeping: a dependency-free scanner for the flat-keyed
 // BENCH_*.json snapshots and the regression comparator behind
@@ -572,6 +653,22 @@ const COUNTER_KEYS: &[&str] = &[
     "hashjoin_batches",
     "answers_generated",
     "answers_executed",
+    "ingest_rows",
+    "ingest_batches",
+    "epoch_swaps",
+    "stale_evictions",
+];
+
+/// The ingest-phase counters: deterministic (single worker, sequential
+/// warm-up, fixed seed) and therefore gated even across machines with
+/// different core counts — but, like every serve-section key, only emitted
+/// by `--serve` runs, so their absence from a run without a serve section
+/// is not a violation.
+const INGEST_COUNTER_KEYS: &[&str] = &[
+    "ingest_rows",
+    "ingest_batches",
+    "epoch_swaps",
+    "stale_evictions",
 ];
 
 /// String keys that must match exactly for two snapshots to be comparable
@@ -610,8 +707,13 @@ pub fn check_regression(
     // the recorded core counts differ, serve metrics go informational —
     // counters and the single-threaded wall-clock sections still gate.
     let serve_comparable = base.get("serve_cores") == cur.get("serve_cores");
+    let cur_has_serve = cur.contains_key("serve_cores");
     let mut violations = Vec::new();
     for (key, bval) in &base {
+        let ingest_counter = INGEST_COUNTER_KEYS.contains(&key.as_str());
+        // Machine-dependent serve rates are incomparable across core
+        // counts. The deterministic ingest counters stay gated: none of
+        // them is a rate, so none matches these name patterns.
         if !serve_comparable && (key.starts_with("qps_") || key.contains("_ms_w")) {
             continue;
         }
@@ -634,8 +736,11 @@ pub fn check_regression(
         let Some(BaselineValue::Num(c)) = cur.get(key) else {
             // Only a gated metric is required to be present; informational
             // keys (e.g. the serve section of a --check run without
-            // --serve) may come and go.
-            if gated {
+            // --serve) may come and go. Ingest counters are gated but live
+            // in the serve section, so they are only *required* when the
+            // current run produced one.
+            let excused = ingest_counter && !cur_has_serve;
+            if gated && !excused {
                 violations.push(format!("metric {key} missing from current run"));
             }
             continue;
@@ -685,7 +790,9 @@ mod baseline_tests {
   "nonempty_probes": 10,
   "executor": { "hashjoin_probes": 100, "semijoin_rows_in": 5000 },
   "wall_clock_ms": { "answers_top10_4kw_ms": 1.000 },
-  "serve": { "serve_cores": 8, "qps_w1": 200.0, "p50_ms_w1": 1.0, "p50_ms_w4": 2.0, "p95_ms_w1": 3.0 }
+  "serve": { "serve_cores": 8, "qps_w1": 200.0, "p50_ms_w1": 1.0, "p50_ms_w4": 2.0, "p95_ms_w1": 3.0,
+    "ingest_rows": 500, "ingest_batches": 6, "epoch_swaps": 6, "stale_evictions": 40,
+    "ingest_rows_per_s": 9000.0, "qps_post_ingest": 150.0 }
 }"#;
 
     fn with(key: &str, val: &str) -> String {
@@ -775,6 +882,41 @@ mod baseline_tests {
         let cur = with("p50_ms_w1", "9.0");
         let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
         assert!(v.iter().any(|s| s.contains("p50_ms_w1")), "{v:?}");
+    }
+
+    #[test]
+    fn ingest_counters_gate_even_across_core_counts() {
+        // epoch_swaps is deterministic: growing it is a violation even when
+        // the machines differ (serve rates would be skipped).
+        let cur = with("epoch_swaps", "9").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("epoch_swaps")), "{v:?}");
+        let cur = with("stale_evictions", "100");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("stale_evictions")), "{v:?}");
+        // Within the 1.05x counter slack: fine.
+        let cur = with("ingest_rows", "510");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn post_ingest_qps_gates_like_serve_qps() {
+        let cur = with("qps_post_ingest", "90.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("qps_post_ingest")), "{v:?}");
+        // Machine-dependent: skipped across differing core counts.
+        let cur =
+            with("qps_post_ingest", "90.0").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        // Raw ingest rows/s is informational either way.
+        let cur = with("ingest_rows_per_s", "100.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

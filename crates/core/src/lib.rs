@@ -22,11 +22,14 @@
 //!    smoothing; Eq. 4.2), plus the SQAK and join-count baseline rankers.
 //! 5. [`execute_interpretation`] — runs an interpretation against the
 //!    database and materializes its joining tuple trees.
-//! 6. [`SearchService`] — the concurrent serving layer: an `Arc`-shared
-//!    [`SearchSnapshot`] of database + index + catalog served by N worker
-//!    threads whose queries share the lock-striped [`SharedNonemptyCache`]
-//!    and [`SharedExecCache`], so one user's pruning work prunes every
-//!    other user's search.
+//! 6. [`SearchService`] — the concurrent serving layer: an `Arc`-shared,
+//!    epoch-versioned [`SearchSnapshot`] of database + index + catalog
+//!    served by N worker threads whose queries share the lock-striped
+//!    [`SharedNonemptyCache`] and [`SharedExecCache`], so one user's
+//!    pruning work prunes every other user's search. `SearchService::ingest`
+//!    absorbs live insert batches and publishes each as the next
+//!    [`SnapshotEpoch`] with a fresh shared-cache generation, keeping warm
+//!    served answers byte-identical to a cold rebuild.
 
 mod exec;
 mod generate;
@@ -56,5 +59,7 @@ pub use keyword::KeywordQuery;
 pub use prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 pub use rank::{join_count_score, sqak_score};
 pub use render::{render_natural, render_sql};
-pub use service::{SearchService, SearchSnapshot, ServiceStats, Ticket};
+pub use service::{
+    IngestReceipt, SearchReply, SearchService, SearchSnapshot, ServiceStats, SnapshotEpoch, Ticket,
+};
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};

@@ -1,8 +1,8 @@
-//! Concurrent query serving — **Hot path 3**: from "fast library" to "fast
-//! server".
+//! Concurrent query serving — **Hot path 3** (immutable snapshot serving)
+//! and **Hot path 4** (live ingestion with epoch-swapped snapshots).
 //!
 //! The per-query pipeline (best-first generation → streaming execution) is
-//! read-only over three immutable structures: the [`Database`], its
+//! read-only over three structures: the [`Database`], its
 //! [`InvertedIndex`], and the [`TemplateCatalog`]. A [`SearchSnapshot`]
 //! bundles the three behind one `Arc` so any number of worker threads can
 //! serve from the same memory without copies or locks on the data itself.
@@ -21,6 +21,32 @@
 //! shared, so a request through a warm, contended service returns exactly
 //! what a cold single-threaded [`Interpreter`] returns. `tests/service.rs`
 //! asserts that identity on all four datagen fixtures.
+//!
+//! ## Live ingestion: epochs
+//!
+//! The paper's pipeline assumes a frozen database; a production deployment
+//! must absorb inserts while answering queries. [`SearchService::ingest`]
+//! applies a validated [`RowBatch`] to a private writer copy of the store
+//! (primary-key / foreign-key indexes maintained, referential integrity
+//! enforced), splices the new rows into the writer's inverted index
+//! incrementally, and then **publishes** the result as a fresh
+//! [`SearchSnapshot`] under the next [`SnapshotEpoch`] — rebuild-and-swap
+//! behind a `Mutex<Arc<..>>`, the std-only `ArcSwap` idiom.
+//!
+//! Every epoch carries its *own generation* of the two shared caches,
+//! bundled with the snapshot in one [`ServingState`] `Arc` that workers
+//! load atomically per request. Because a cache generation can only ever be
+//! reached through the state that owns it, a verdict or predicate row set
+//! computed against epoch *n* is structurally unreachable from epoch
+//! *n + 1* — stale entries cannot leak into post-update answers, no
+//! per-entry tagging or invalidation sweep required. The displaced
+//! generation's entries are counted in [`ServiceStats::stale_evictions`]
+//! and freed when the last in-flight request of the old epoch finishes.
+//! In-flight requests keep serving the epoch they started on (snapshot
+//! isolation); `tests/ingest.rs` asserts live-updated answers are
+//! byte-identical to a cold rebuild after every batch, and the epoch-race
+//! stress test in `tests/service.rs` asserts every racing reply matches
+//! exactly the oracle of the epoch it reports.
 
 use crate::exec::{ExecCache, SharedExecCache};
 use crate::generate::{
@@ -30,7 +56,7 @@ use crate::generate::{
 use crate::keyword::KeywordQuery;
 use crate::template::TemplateCatalog;
 use keybridge_index::InvertedIndex;
-use keybridge_relstore::{Database, ExecOptions, RelResult};
+use keybridge_relstore::{Database, ExecOptions, RelResult, RowBatch, RowId, TableId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -84,11 +110,73 @@ impl SearchSnapshot {
     }
 }
 
+/// The version of the database a snapshot was built from. Starts at 0 for
+/// the snapshot the service was started with and increments once per
+/// successful [`SearchService::ingest`]. Replies report the epoch that
+/// served them, so clients (and the differential suites) can match a racing
+/// reply against the exact database state it saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SnapshotEpoch(pub u64);
+
+impl std::fmt::Display for SnapshotEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One served generation: a snapshot plus the shared-cache generation that
+/// belongs to it. Workers load the whole bundle atomically per request, so
+/// cached derived state can never outlive (or predate) the data it
+/// describes — the generation tag *is* the `Arc` identity.
+struct ServingState {
+    epoch: SnapshotEpoch,
+    snapshot: Arc<SearchSnapshot>,
+    nonempty: Arc<SharedNonemptyCache>,
+    exec: Arc<SharedExecCache>,
+}
+
+impl ServingState {
+    fn fresh(epoch: SnapshotEpoch, snapshot: Arc<SearchSnapshot>) -> Arc<Self> {
+        Arc::new(ServingState {
+            epoch,
+            snapshot,
+            nonempty: Arc::new(SharedNonemptyCache::new()),
+            exec: Arc::new(SharedExecCache::new()),
+        })
+    }
+
+    /// Entries held by this generation's shared caches (the count retired
+    /// as `stale_evictions` when the generation is displaced).
+    fn cache_entries(&self) -> usize {
+        self.nonempty.len() + self.exec.predicate_count() + self.exec.result_count()
+    }
+}
+
+/// The writer's private copy of the store: the mutable primary the ingest
+/// path applies batches to, plus its incrementally maintained index.
+/// Created lazily on the first ingest (a read-only service never pays for
+/// the copy) and retained so successive ingests only clone to *publish*.
+struct WriterState {
+    db: Database,
+    index: InvertedIndex,
+}
+
 /// Cache/serving counters of a running service, for benches and logs.
+/// Cache counters describe the *current* epoch's generation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
     /// Requests completed (all kinds).
     pub served: usize,
+    /// The epoch currently being served.
+    pub epoch: u64,
+    /// Snapshots published by `ingest` since the service started.
+    pub epoch_swaps: usize,
+    /// Shared-cache entries retired with displaced epochs: verdicts,
+    /// predicate row sets, and memoized results that became unreachable
+    /// (and uncountable as hits) the moment their epoch was swapped out.
+    pub stale_evictions: usize,
+    /// Rows accepted by `ingest` since the service started.
+    pub rows_ingested: usize,
     /// Distinct non-emptiness verdicts in the shared cache.
     pub nonempty_entries: usize,
     /// Cross-query non-emptiness hits.
@@ -101,6 +189,25 @@ pub struct ServiceStats {
     pub result_entries: usize,
     /// Cross-query whole-result hits.
     pub result_hits: usize,
+}
+
+/// Receipt of one accepted ingest batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The epoch the batch became visible at.
+    pub epoch: SnapshotEpoch,
+    /// Rows inserted by the batch.
+    pub rows: usize,
+}
+
+/// One complete reply to an answers request: the epoch that served it, the
+/// ranked answers, and the per-request counters.
+#[derive(Debug, Clone)]
+pub struct SearchReply {
+    /// The snapshot version this reply was computed against.
+    pub epoch: SnapshotEpoch,
+    pub answers: Vec<RankedAnswer>,
+    pub stats: AnswerStats,
 }
 
 /// A pending reply. `wait` blocks until the serving worker finishes;
@@ -117,7 +224,7 @@ enum Job {
     Answers {
         query: KeywordQuery,
         k: usize,
-        reply: Sender<(Vec<RankedAnswer>, AnswerStats)>,
+        reply: Sender<SearchReply>,
     },
     Interpretations {
         query: KeywordQuery,
@@ -126,55 +233,68 @@ enum Job {
     },
 }
 
-/// A multi-user keyword-search server: one immutable [`SearchSnapshot`]
-/// served by N OS threads pulling jobs off a shared channel, with all
-/// cross-query derived state in the two shared caches. Requests can be
-/// issued from any number of client threads; replies arrive on per-request
-/// [`Ticket`]s. Dropping the service hangs up the job channel and joins the
-/// workers.
+/// A multi-user keyword-search server over a **live** store: an epoch-
+/// versioned [`SearchSnapshot`] served by N OS threads pulling jobs off a
+/// shared channel, with all cross-query derived state in per-epoch shared
+/// caches. Requests can be issued from any number of client threads;
+/// replies arrive on per-request [`Ticket`]s. Writers feed
+/// [`SearchService::ingest`]; readers never block on them beyond the
+/// one-pointer snapshot load. Dropping the service hangs up the job channel
+/// and joins the workers.
 pub struct SearchService {
-    snapshot: Arc<SearchSnapshot>,
-    nonempty: Arc<SharedNonemptyCache>,
-    exec: Arc<SharedExecCache>,
+    current: Arc<Mutex<Arc<ServingState>>>,
+    /// Serializes ingests; lazily holds the writer's mutable copy.
+    writer: Mutex<Option<WriterState>>,
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     served: Arc<AtomicUsize>,
+    epoch_swaps: AtomicUsize,
+    stale_evictions: AtomicUsize,
+    rows_ingested: AtomicUsize,
 }
 
 impl SearchService {
-    /// Start `workers` threads serving `snapshot` (at least one).
+    /// Start `workers` threads serving `snapshot` (at least one) as epoch 0.
     pub fn start(snapshot: Arc<SearchSnapshot>, workers: usize) -> Self {
-        let nonempty = Arc::new(SharedNonemptyCache::new());
-        let exec = Arc::new(SharedExecCache::new());
+        let current = Arc::new(Mutex::new(ServingState::fresh(
+            SnapshotEpoch::default(),
+            snapshot,
+        )));
         let served = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
             .map(|i| {
-                let snapshot = Arc::clone(&snapshot);
-                let nonempty = Arc::clone(&nonempty);
-                let exec = Arc::clone(&exec);
+                let current = Arc::clone(&current);
                 let served = Arc::clone(&served);
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("keybridge-worker-{i}"))
-                    .spawn(move || worker_loop(&snapshot, &nonempty, &exec, &served, &rx))
+                    .spawn(move || worker_loop(&current, &served, &rx))
                     .expect("spawn worker thread")
             })
             .collect();
         SearchService {
-            snapshot,
-            nonempty,
-            exec,
+            current,
+            writer: Mutex::new(None),
             tx: Some(tx),
             workers,
             served,
+            epoch_swaps: AtomicUsize::new(0),
+            stale_evictions: AtomicUsize::new(0),
+            rows_ingested: AtomicUsize::new(0),
         }
     }
 
-    /// The snapshot being served.
-    pub fn snapshot(&self) -> &Arc<SearchSnapshot> {
-        &self.snapshot
+    /// The snapshot currently being served (requests already in flight may
+    /// still be completing against an earlier epoch).
+    pub fn snapshot(&self) -> Arc<SearchSnapshot> {
+        Arc::clone(&self.current.lock().unwrap().snapshot)
+    }
+
+    /// The epoch currently being served.
+    pub fn current_epoch(&self) -> SnapshotEpoch {
+        self.current.lock().unwrap().epoch
     }
 
     /// Number of worker threads.
@@ -182,12 +302,66 @@ impl SearchService {
         self.workers.len()
     }
 
+    /// Apply one insert batch to the live store and publish the result as
+    /// the next epoch. The batch is validated as a unit (arity, types,
+    /// primary keys, referential integrity — intra-batch parents allowed)
+    /// against the writer's copy; a rejected batch changes nothing, neither
+    /// store nor epoch. Concurrent ingests serialize on the writer lock;
+    /// readers are never blocked beyond the single pointer swap.
+    pub fn ingest(&self, batch: &RowBatch) -> RelResult<IngestReceipt> {
+        let mut writer = self.writer.lock().unwrap();
+        if writer.is_none() {
+            // First ingest: fork the writer's mutable copy off the served
+            // snapshot. From here on the writer copy is the primary.
+            let state = self.current.lock().unwrap().clone();
+            *writer = Some(WriterState {
+                db: state.snapshot.db.clone(),
+                index: state.snapshot.index.clone(),
+            });
+        }
+        let w = writer.as_mut().expect("initialized above");
+        let ids = w.db.insert_batch(batch)?;
+        let inserted: Vec<(TableId, RowId)> = batch
+            .iter()
+            .map(|(table, _)| *table)
+            .zip(ids.iter().copied())
+            .collect();
+        w.index.index_batch(&w.db, &inserted);
+
+        // Publish: clone the writer copy into an immutable snapshot under
+        // the next epoch with a fresh shared-cache generation. The catalog
+        // is schema-derived and the schema is immutable, so it transfers.
+        // The O(database) clones happen *outside* the `current` lock —
+        // workers pin their state through that lock per request, so it may
+        // only be held for pointer reads and the final swap. `prev` cannot
+        // go stale in between: the held writer lock serializes every path
+        // that replaces `current`.
+        let prev = Arc::clone(&self.current.lock().unwrap());
+        let next = ServingState::fresh(
+            SnapshotEpoch(prev.epoch.0 + 1),
+            Arc::new(SearchSnapshot::new(
+                w.db.clone(),
+                w.index.clone(),
+                prev.snapshot.catalog.clone(),
+                prev.snapshot.config.clone(),
+            )),
+        );
+        let displaced = {
+            let mut current = self.current.lock().unwrap();
+            std::mem::replace(&mut *current, Arc::clone(&next))
+        };
+        self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        self.stale_evictions
+            .fetch_add(displaced.cache_entries(), Ordering::Relaxed);
+        self.rows_ingested.fetch_add(ids.len(), Ordering::Relaxed);
+        Ok(IngestReceipt {
+            epoch: next.epoch,
+            rows: ids.len(),
+        })
+    }
+
     /// Enqueue a top-k *answers* request (the end-to-end hot path).
-    pub fn submit(
-        &self,
-        query: KeywordQuery,
-        k: usize,
-    ) -> Ticket<(Vec<RankedAnswer>, AnswerStats)> {
+    pub fn submit(&self, query: KeywordQuery, k: usize) -> Ticket<SearchReply> {
         let (reply, rx) = channel();
         self.send(Job::Answers { query, k, reply });
         Ticket(rx)
@@ -213,7 +387,7 @@ impl SearchService {
     /// that need to observe disconnection as a value use
     /// [`Self::submit`] + [`Ticket::wait`].
     pub fn search(&self, query: &KeywordQuery, k: usize) -> Vec<RankedAnswer> {
-        self.search_with_stats(query, k).0
+        self.search_versioned(query, k).answers
     }
 
     /// [`Self::search`] with the per-request counters.
@@ -222,6 +396,15 @@ impl SearchService {
         query: &KeywordQuery,
         k: usize,
     ) -> (Vec<RankedAnswer>, AnswerStats) {
+        let reply = self.search_versioned(query, k);
+        (reply.answers, reply.stats)
+    }
+
+    /// [`Self::search`] with the serving epoch and counters — the call the
+    /// update-equivalence suites use to match a racing reply against the
+    /// exact database version that produced it. Panics like [`Self::search`]
+    /// when the worker died.
+    pub fn search_versioned(&self, query: &KeywordQuery, k: usize) -> SearchReply {
         self.submit(query.clone(), k)
             .wait()
             .expect("SearchService worker disconnected before replying")
@@ -229,14 +412,19 @@ impl SearchService {
 
     /// Current serving/cache counters.
     pub fn stats(&self) -> ServiceStats {
+        let state = self.current.lock().unwrap().clone();
         ServiceStats {
             served: self.served.load(Ordering::Relaxed),
-            nonempty_entries: self.nonempty.len(),
-            nonempty_hits: self.nonempty.hits(),
-            predicate_entries: self.exec.predicate_count(),
-            predicate_hits: self.exec.predicate_hits(),
-            result_entries: self.exec.result_count(),
-            result_hits: self.exec.result_hits(),
+            epoch: state.epoch.0,
+            epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
+            stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
+            rows_ingested: self.rows_ingested.load(Ordering::Relaxed),
+            nonempty_entries: state.nonempty.len(),
+            nonempty_hits: state.nonempty.hits(),
+            predicate_entries: state.exec.predicate_count(),
+            predicate_hits: state.exec.predicate_hits(),
+            result_entries: state.exec.result_count(),
+            result_hits: state.exec.result_hits(),
         }
     }
 
@@ -259,13 +447,10 @@ impl Drop for SearchService {
 }
 
 fn worker_loop(
-    snapshot: &SearchSnapshot,
-    nonempty: &Arc<SharedNonemptyCache>,
-    exec: &Arc<SharedExecCache>,
+    current: &Mutex<Arc<ServingState>>,
     served: &AtomicUsize,
     rx: &Mutex<Receiver<Job>>,
 ) {
-    let interpreter = snapshot.interpreter();
     loop {
         // Hold the receiver lock only for the pop, never while serving.
         let job = match rx.lock() {
@@ -273,11 +458,19 @@ fn worker_loop(
             Err(_) => return, // a sibling panicked mid-pop; shut down
         };
         let Ok(job) = job else { return }; // channel hung up: drained + done
+                                           // Pin this request to one serving state: snapshot + the cache
+                                           // generation that belongs to it. An epoch swap mid-request does not
+                                           // affect us (snapshot isolation), and we can never mix epochs.
+        let state = match current.lock() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(_) => return, // writer panicked mid-swap; shut down
+        };
+        let interpreter = state.snapshot.interpreter();
         match job {
             Job::Answers { query, k, reply } => {
-                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(nonempty));
-                let mut exec_cache = ExecCache::with_shared(Arc::clone(exec));
-                let out = interpreter.answers_top_k_with_caches(
+                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+                let (answers, stats) = interpreter.answers_top_k_with_caches(
                     &query,
                     k,
                     ExecOptions::default(),
@@ -287,10 +480,14 @@ fn worker_loop(
                 // Count before replying so a client that just got its answer
                 // never observes a stale total.
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(out); // client may have given up: fine
+                let _ = reply.send(SearchReply {
+                    epoch: state.epoch,
+                    answers,
+                    stats,
+                }); // client may have given up: fine
             }
             Job::Interpretations { query, k, reply } => {
-                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(nonempty));
+                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
                 let out = interpreter.top_k_with_cache(&query, k, true, &mut gen_cache);
                 served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out);
@@ -306,6 +503,7 @@ fn worker_loop(
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<SearchSnapshot>();
+    assert_send_sync::<ServingState>();
     assert_send_sync::<SharedNonemptyCache>();
     assert_send_sync::<SharedExecCache>();
     assert_send_sync::<SearchService>();
@@ -318,6 +516,7 @@ const _: () = {
 mod tests {
     use super::*;
     use keybridge_datagen::{ImdbConfig, ImdbDataset};
+    use keybridge_relstore::Value;
 
     fn snapshot() -> Arc<SearchSnapshot> {
         let data = ImdbDataset::generate(ImdbConfig::tiny(1)).unwrap();
@@ -399,8 +598,9 @@ mod tests {
             })
             .collect();
         for (i, t) in tickets {
-            let (answers, _) = t.wait().expect("worker alive");
-            assert!(answers.len() <= 3, "request {i} overflowed k");
+            let reply = t.wait().expect("worker alive");
+            assert!(reply.answers.len() <= 3, "request {i} overflowed k");
+            assert_eq!(reply.epoch, SnapshotEpoch(0));
         }
         assert_eq!(service.stats().served, 16);
     }
@@ -412,5 +612,107 @@ mod tests {
         let q = KeywordQuery::from_terms(vec!["tom".into()]);
         let _ = service.search(&q, 2);
         drop(service); // must not hang or leak threads
+    }
+
+    #[test]
+    fn ingest_swaps_epoch_and_retires_cache_generation() {
+        let snap = snapshot();
+        let actor = snap.db.schema().table_id("actor").unwrap();
+        let next_pk = snap.db.table(actor).len() as i64 + 1000;
+        let service = SearchService::start(snap, 2);
+        assert_eq!(service.current_epoch(), SnapshotEpoch(0));
+
+        // Warm the epoch-0 cache generation, then swap.
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let before = service.search_versioned(&q, 5);
+        assert_eq!(before.epoch, SnapshotEpoch(0));
+        let warm = service.stats();
+        assert!(warm.nonempty_entries > 0, "epoch-0 generation never filled");
+        assert_eq!(warm.epoch_swaps, 0);
+        assert_eq!(warm.stale_evictions, 0);
+
+        let batch: RowBatch = vec![(actor, vec![Value::Int(next_pk), Value::text("tom newman")])];
+        let receipt = service.ingest(&batch).unwrap();
+        assert_eq!(
+            receipt,
+            IngestReceipt {
+                epoch: SnapshotEpoch(1),
+                rows: 1
+            }
+        );
+        assert_eq!(service.current_epoch(), SnapshotEpoch(1));
+
+        let stats = service.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.epoch_swaps, 1);
+        assert_eq!(stats.rows_ingested, 1);
+        assert_eq!(
+            stats.stale_evictions,
+            warm.nonempty_entries + warm.predicate_entries + warm.result_entries,
+            "displaced generation's entries must all be counted stale"
+        );
+        // The new generation starts cold: nothing from epoch 0 leaked in.
+        assert_eq!(stats.nonempty_entries, 0);
+        assert_eq!(stats.predicate_entries, 0);
+        assert_eq!(stats.result_entries, 0);
+
+        // Post-swap replies report the new epoch and see the new row.
+        let after = service.search_versioned(&q, 50);
+        assert_eq!(after.epoch, SnapshotEpoch(1));
+        assert!(
+            after.answers.len() >= before.answers.len(),
+            "the inserted 'tom newman' row can only add matches"
+        );
+    }
+
+    #[test]
+    fn ingest_rejects_bad_batch_without_swapping() {
+        let snap = snapshot();
+        let acts = snap.db.schema().table_id("acts").unwrap();
+        let service = SearchService::start(snap, 1);
+        // Orphan foreign key: rejected atomically, epoch unchanged.
+        let batch: RowBatch = vec![(
+            acts,
+            vec![
+                Value::Int(999_999),
+                Value::Int(777_777),
+                Value::Int(888_888),
+                Value::text("ghost role"),
+            ],
+        )];
+        assert!(service.ingest(&batch).is_err());
+        assert_eq!(service.current_epoch(), SnapshotEpoch(0));
+        let stats = service.stats();
+        assert_eq!(stats.epoch_swaps, 0);
+        assert_eq!(stats.rows_ingested, 0);
+    }
+
+    #[test]
+    fn successive_ingests_accumulate() {
+        let snap = snapshot();
+        let actor = snap.db.schema().table_id("actor").unwrap();
+        let base_pk = snap.db.table(actor).len() as i64 + 2000;
+        let service = SearchService::start(snap, 2);
+        for i in 0..3 {
+            let batch: RowBatch = vec![(
+                actor,
+                vec![
+                    Value::Int(base_pk + i),
+                    Value::text(format!("fresh name{i}")),
+                ],
+            )];
+            let receipt = service.ingest(&batch).unwrap();
+            assert_eq!(receipt.epoch, SnapshotEpoch(i as u64 + 1));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.epoch, 3);
+        assert_eq!(stats.epoch_swaps, 3);
+        assert_eq!(stats.rows_ingested, 3);
+        // All three rows are visible to the served snapshot.
+        let snap_now = service.snapshot();
+        for i in 0..3 {
+            assert!(snap_now.db.table(actor).by_pk(base_pk + i).is_some());
+        }
+        snap_now.db.validate().unwrap();
     }
 }

@@ -18,6 +18,7 @@
 
 pub mod freebase;
 pub mod imdb;
+pub mod ingest;
 pub mod lyrics;
 pub mod names;
 pub mod querylog;
@@ -25,6 +26,7 @@ pub mod yago;
 
 pub use freebase::{FreebaseConfig, FreebaseDataset};
 pub use imdb::{ImdbConfig, ImdbDataset};
+pub use ingest::{holdout_plan, IngestConfig, IngestPlan, MixedOp, MixedWorkload};
 pub use lyrics::{LyricsConfig, LyricsDataset};
 pub use names::{NamePool, ZipfSampler};
 pub use querylog::{

@@ -3,7 +3,14 @@
 use crate::error::{RelError, RelResult};
 use crate::schema::{AttrRef, FkId, Schema, TableId};
 use crate::value::{RowId, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// One batch of rows to insert, in application order. The unit of the live
+/// ingestion path: [`Database::insert_batch`] validates the whole batch —
+/// including foreign keys that resolve to *other rows of the same batch* —
+/// before touching storage, so a rejected batch leaves the database
+/// untouched.
+pub type RowBatch = Vec<(TableId, Vec<Value>)>;
 
 /// Storage for one table: a row-major `Vec` of rows plus a primary-key index.
 #[derive(Debug, Clone, Default)]
@@ -111,9 +118,11 @@ impl Database {
             .unwrap_or(&[])
     }
 
-    /// Insert a row. Checks arity, types, and primary-key integrity, and
-    /// maintains the pk and fk hash indexes. Returns the new row's id.
-    pub fn insert(&mut self, table: TableId, row: Vec<Value>) -> RelResult<RowId> {
+    /// Arity, type, and primary-key *shape* checks shared by every insert
+    /// path. Returns the row's primary-key value (uniqueness is checked by
+    /// the callers, whose notion of "already present" differs: a batch also
+    /// sees its own earlier rows).
+    fn check_shape(&self, table: TableId, row: &[Value]) -> RelResult<i64> {
         let def = self.schema.table(table);
         if row.len() != def.attrs.len() {
             return Err(RelError::ArityMismatch {
@@ -132,10 +141,15 @@ impl Database {
                 });
             }
         }
-        let pk_val = row[def.pk.0 as usize]
+        row[def.pk.0 as usize]
             .as_int()
-            .ok_or(RelError::BadPrimaryKey { table })?;
+            .ok_or(RelError::BadPrimaryKey { table })
+    }
 
+    /// Insert a row. Checks arity, types, and primary-key integrity, and
+    /// maintains the pk and fk hash indexes. Returns the new row's id.
+    pub fn insert(&mut self, table: TableId, row: Vec<Value>) -> RelResult<RowId> {
+        let pk_val = self.check_shape(table, &row)?;
         let store = &mut self.tables[table.0 as usize];
         let id = RowId(store.rows.len() as u32);
         if store.pk_index.contains_key(&pk_val) {
@@ -152,6 +166,69 @@ impl Database {
 
         self.tables[table.0 as usize].rows.push(row);
         Ok(id)
+    }
+
+    /// Insert a row *with referential-integrity enforcement*: in addition to
+    /// everything [`Self::insert`] checks, every non-null foreign-key value
+    /// of the row must reference an existing parent. This is the live-write
+    /// path — unlike bulk loading (arbitrary order, validated once at the
+    /// end), an online insert must leave the database consistent so a
+    /// concurrently published snapshot never serves dangling joins.
+    pub fn insert_row(&mut self, table: TableId, row: Vec<Value>) -> RelResult<RowId> {
+        self.check_shape(table, &row)?;
+        for &(fk_idx, col) in &self.table_fk_cols[table.0 as usize] {
+            if let Some(key) = row[col].as_int() {
+                let parent = self.schema.fk(FkId(fk_idx as u32)).to.table;
+                if self.tables[parent.0 as usize].by_pk(key).is_none() {
+                    return Err(RelError::BrokenForeignKey {
+                        table,
+                        row: self.tables[table.0 as usize].len() as u32,
+                    });
+                }
+            }
+        }
+        self.insert(table, row)
+    }
+
+    /// Insert a batch of rows atomically: the whole batch is validated —
+    /// arity, types, primary-key uniqueness (against the database *and*
+    /// within the batch), and referential integrity, where a foreign key may
+    /// resolve to a parent anywhere in the same batch — before any row is
+    /// stored. On error nothing is inserted; on success the returned ids are
+    /// in batch order.
+    pub fn insert_batch(&mut self, batch: &RowBatch) -> RelResult<Vec<RowId>> {
+        // Phase 1: validate. `new_pks[t]` collects primary keys the batch
+        // itself introduces, so intra-batch parents (in any position — the
+        // batch is one atomic unit) and intra-batch pk collisions are seen.
+        let mut new_pks: Vec<HashSet<i64>> = vec![HashSet::new(); self.schema.table_count()];
+        for (table, row) in batch {
+            let pk_val = self.check_shape(*table, row)?;
+            let t = table.0 as usize;
+            if self.tables[t].by_pk(pk_val).is_some() || !new_pks[t].insert(pk_val) {
+                return Err(RelError::BadPrimaryKey { table: *table });
+            }
+        }
+        for (table, row) in batch {
+            for &(fk_idx, col) in &self.table_fk_cols[table.0 as usize] {
+                if let Some(key) = row[col].as_int() {
+                    let parent = self.schema.fk(FkId(fk_idx as u32)).to.table;
+                    if self.tables[parent.0 as usize].by_pk(key).is_none()
+                        && !new_pks[parent.0 as usize].contains(&key)
+                    {
+                        return Err(RelError::BrokenForeignKey {
+                            table: *table,
+                            row: self.tables[table.0 as usize].len() as u32,
+                        });
+                    }
+                }
+            }
+        }
+        // Phase 2: apply. `insert` cannot fail after phase 1 validated
+        // shape and pk uniqueness; index maintenance happens per row.
+        batch
+            .iter()
+            .map(|(table, row)| self.insert(*table, row.clone()))
+            .collect()
     }
 
     /// Check referential integrity of every foreign key (non-null fk values
@@ -302,6 +379,82 @@ mod tests {
         db.insert(acts, vec![Value::Int(1), Value::Null, Value::Null])
             .unwrap();
         db.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_row_enforces_referential_integrity() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let acts = db.schema().table_id("acts").unwrap();
+        // Orphan fk rejected at insert time (unlike bulk `insert`).
+        let err = db
+            .insert_row(acts, vec![Value::Int(1), Value::Int(5), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, RelError::BrokenForeignKey { .. }));
+        assert_eq!(db.table(acts).len(), 0);
+        // With the parent present (and a null fk being legal) it goes in.
+        db.insert_row(actor, vec![Value::Int(5), Value::text("a")])
+            .unwrap();
+        db.insert_row(acts, vec![Value::Int(1), Value::Int(5), Value::Null])
+            .unwrap();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_batch_is_atomic() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let acts = db.schema().table_id("acts").unwrap();
+        // Last row is an orphan: the whole batch must be rejected.
+        let bad: RowBatch = vec![
+            (actor, vec![Value::Int(1), Value::text("a")]),
+            (acts, vec![Value::Int(10), Value::Int(1), Value::Int(999)]),
+        ];
+        assert!(matches!(
+            db.insert_batch(&bad).unwrap_err(),
+            RelError::BrokenForeignKey { .. }
+        ));
+        assert_eq!(db.total_rows(), 0, "failed batch must insert nothing");
+        // Intra-batch pk collision also rejects atomically.
+        let dup: RowBatch = vec![
+            (actor, vec![Value::Int(1), Value::text("a")]),
+            (actor, vec![Value::Int(1), Value::text("b")]),
+        ];
+        assert!(matches!(
+            db.insert_batch(&dup).unwrap_err(),
+            RelError::BadPrimaryKey { .. }
+        ));
+        assert_eq!(db.total_rows(), 0);
+    }
+
+    #[test]
+    fn insert_batch_resolves_intra_batch_parents() {
+        let mut db = db();
+        let s = db.schema().clone();
+        let actor = s.table_id("actor").unwrap();
+        let movie = s.table_id("movie").unwrap();
+        let acts = s.table_id("acts").unwrap();
+        // The child precedes its parents in the batch: still legal, the
+        // batch is validated as one unit.
+        let batch: RowBatch = vec![
+            (acts, vec![Value::Int(100), Value::Int(1), Value::Int(10)]),
+            (actor, vec![Value::Int(1), Value::text("Hanks")]),
+            (
+                movie,
+                vec![Value::Int(10), Value::text("Terminal"), Value::Int(2004)],
+            ),
+        ];
+        let ids = db.insert_batch(&batch).unwrap();
+        assert_eq!(ids.len(), 3);
+        db.validate().unwrap();
+        // FK indexes were maintained through the batch path.
+        let (fk_actor, _) = s.fks().find(|(_, fk)| fk.to.table == actor).unwrap();
+        assert_eq!(db.fk_referrers(fk_actor, 1), &[ids[0]]);
+        // A follow-up batch may reference rows from the earlier one.
+        let more: RowBatch = vec![(acts, vec![Value::Int(101), Value::Int(1), Value::Int(10)])];
+        db.insert_batch(&more).unwrap();
+        db.validate().unwrap();
+        assert_eq!(db.table(acts).len(), 2);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod graph;
 mod schema;
 mod value;
 
-pub use database::{Database, TableStore};
+pub use database::{Database, RowBatch, TableStore};
 pub use error::{RelError, RelResult};
 pub use exec::{
     execute_join_tree, execute_join_tree_with_stats, Candidates, ExecOptions, ExecOutcome,

@@ -185,6 +185,77 @@ impl InvertedIndex {
         }
     }
 
+    /// Incrementally index one freshly inserted row of `table`, splicing its
+    /// postings and updating attribute statistics online so that the result
+    /// is *exactly* what [`Self::build`] would produce over the grown
+    /// database — same postings (sorted by row id), same sorted
+    /// [`Self::attrs_containing`] slices, same integer statistics and hence
+    /// bit-identical ATF/IDF/joint-ATF values. The live-ingestion
+    /// equivalence suite depends on this exactness.
+    ///
+    /// Call once per inserted row, *after* the row landed in `db`. Rows of
+    /// tables without text attributes are a no-op. Schema-name terms need no
+    /// maintenance: the schema is immutable.
+    pub fn index_row(&mut self, db: &Database, table: TableId, row: RowId) {
+        let tdef = db.schema().table(table);
+        let stored = db.table(table).row(row);
+        for (aid, _) in tdef.text_attrs() {
+            let aref = AttrRef { table, attr: aid };
+            let stats = self.attr_stats.entry(aref).or_default();
+            stats.row_count += 1;
+            let Some(text) = stored[aid.0 as usize].as_text() else {
+                continue;
+            };
+            let tokens = self.tokenizer.tokenize(text);
+            stats.total_tokens += tokens.len() as u64;
+            let mut counts: HashMap<&str, u32> = HashMap::new();
+            for t in &tokens {
+                *counts.entry(t.as_str()).or_default() += 1;
+            }
+            for (term, tf) in counts {
+                let entry = self.dict.entry(term.to_owned()).or_default();
+                let slot = match entry.attrs.binary_search(&aref) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        // First occurrence of the term in this attribute:
+                        // splice the parallel vectors at the sorted position
+                        // and grow the attribute's vocabulary.
+                        entry.attrs.insert(i, aref);
+                        entry.postings.insert(i, TermAttrEntry::default());
+                        if let Some(s) = self.attr_stats.get_mut(&aref) {
+                            s.vocabulary += 1;
+                        }
+                        i
+                    }
+                };
+                let posting = &mut entry.postings[slot];
+                // Postings stay row-sorted. Fresh rows carry the largest id
+                // of their table, so the common case is a push at the end;
+                // the binary search keeps re-indexing or out-of-order
+                // maintenance correct too.
+                match posting.rows.binary_search_by_key(&row, |&(r, _)| r) {
+                    Ok(i) => posting.rows[i].1 += tf, // defensive: re-indexed row
+                    Err(i) => posting.rows.insert(i, (row, tf)),
+                }
+                posting.occurrences += tf as u64;
+            }
+        }
+    }
+
+    /// [`Self::index_row`] over a batch of freshly inserted rows (e.g. the
+    /// ids returned by `Database::insert_batch`, zipped with their tables).
+    pub fn index_batch(&mut self, db: &Database, rows: &[(TableId, RowId)]) {
+        for &(table, row) in rows {
+            self.index_row(db, table, row);
+        }
+    }
+
+    /// All dictionary terms, in no particular order (diagnostics and the
+    /// incremental-equivalence tests).
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.dict.keys().map(String::as_str)
+    }
+
     /// The tokenizer the index was built with.
     pub fn tokenizer(&self) -> &Tokenizer {
         &self.tokenizer

@@ -11,7 +11,7 @@ use keybridge::core::{
 };
 use keybridge::datagen::{ImdbConfig, ImdbDataset};
 use keybridge::index::InvertedIndex;
-use keybridge::relstore::ExecOptions;
+use keybridge::relstore::{ExecOptions, Value};
 use std::sync::Arc;
 
 fn main() {
@@ -117,8 +117,12 @@ fn main() {
         tickets.len()
     );
     for (text, ticket) in tickets {
-        let (answers, _) = ticket.wait().expect("service alive");
-        println!("  \"{text}\" -> {} answers", answers.len());
+        let reply = ticket.wait().expect("service alive");
+        println!(
+            "  \"{text}\" -> {} answers (epoch {})",
+            reply.answers.len(),
+            reply.epoch
+        );
     }
     let stats = service.stats();
     println!(
@@ -129,5 +133,52 @@ fn main() {
         stats.predicate_entries,
         stats.result_entries,
         stats.nonempty_hits + stats.predicate_hits + stats.result_hits,
+    );
+
+    // 6. The database is live: ingest new rows while serving. A batch is
+    //    validated as a unit (referential integrity included), spliced into
+    //    the inverted index incrementally, and published as the next epoch —
+    //    readers never block, and post-update answers are byte-identical to
+    //    a from-scratch rebuild over the grown database.
+    let snap = service.snapshot();
+    let actor = snap.db.schema().table_id("actor").expect("imdb schema");
+    let movie = snap.db.schema().table_id("movie").expect("imdb schema");
+    let acts = snap.db.schema().table_id("acts").expect("imdb schema");
+    let (new_actor, new_movie, new_acts) = (900_001, 900_002, 900_003);
+    let batch: keybridge::relstore::RowBatch = vec![
+        (
+            actor,
+            vec![Value::Int(new_actor), Value::text("tom stoppard")],
+        ),
+        (
+            movie,
+            vec![
+                Value::Int(new_movie),
+                Value::text("the terminal encore"),
+                Value::Int(2024),
+                Value::Int(1),
+                Value::Int(1),
+            ],
+        ),
+        (
+            acts,
+            vec![
+                Value::Int(new_acts),
+                Value::Int(new_actor),
+                Value::Int(new_movie),
+                Value::text("the writer"),
+            ],
+        ),
+    ];
+    let receipt = service.ingest(&batch).expect("valid batch");
+    let q = KeywordQuery::from_terms(vec!["stoppard".into(), "encore".into()]);
+    let reply = service.search_versioned(&q, 3);
+    println!(
+        "\ningested {} rows -> epoch {}; \"stoppard encore\" now finds {} answers \
+         (served at epoch {})",
+        receipt.rows,
+        receipt.epoch,
+        reply.answers.len(),
+        reply.epoch
     );
 }

@@ -41,21 +41,26 @@
 //! assert!(top.len() <= 10);
 //! ```
 //!
-//! ## Serving concurrent users
+//! ## Serving concurrent users over a live store
 //!
-//! For multi-user traffic, bundle the immutable structures into an
-//! `Arc`-shared [`core::SearchSnapshot`] and start a [`core::SearchService`]
-//! worker pool over it. Concurrent queries share thread-safe, lock-striped
+//! For multi-user traffic, bundle the structures into an `Arc`-shared
+//! [`core::SearchSnapshot`] and start a [`core::SearchService`] worker pool
+//! over it. Concurrent queries share thread-safe, lock-striped
 //! non-emptiness and execution caches, so one user's pruning work prunes
 //! every other user's search — while every reply stays byte-identical to
-//! the single-threaded path:
+//! the single-threaded path. The store is mutable: `ingest` absorbs insert
+//! batches (integrity-checked, index maintained incrementally) and
+//! publishes each as the next epoch, with a fresh shared-cache generation
+//! so stale derived state can never leak into post-update answers:
 //!
 //! ```
 //! use keybridge::core::{InterpreterConfig, KeywordQuery, SearchService, SearchSnapshot};
 //! use keybridge::datagen::{ImdbConfig, ImdbDataset};
+//! use keybridge::relstore::{RowBatch, Value};
 //! use std::sync::Arc;
 //!
 //! let data = ImdbDataset::generate(ImdbConfig::tiny(42)).unwrap();
+//! let actor = data.db.schema().table_id("actor").unwrap();
 //! let snapshot = Arc::new(
 //!     SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 50_000).unwrap(),
 //! );
@@ -63,9 +68,16 @@
 //!
 //! // Submit asynchronously from any thread; block on the ticket when ready.
 //! let query = KeywordQuery::from_terms(vec!["tom".into()]);
-//! let ticket = service.submit(query, 5);
-//! let (answers, _stats) = ticket.wait().expect("service alive");
-//! assert!(answers.len() <= 5);
+//! let ticket = service.submit(query.clone(), 5);
+//! let reply = ticket.wait().expect("service alive");
+//! assert!(reply.answers.len() <= 5);
+//! assert_eq!(reply.epoch.0, 0);
+//!
+//! // Ingest a batch: it becomes visible at the next snapshot epoch.
+//! let batch: RowBatch = vec![(actor, vec![Value::Int(999), Value::text("tom fresh")])];
+//! let receipt = service.ingest(&batch).expect("valid batch");
+//! assert_eq!(receipt.epoch.0, 1);
+//! assert_eq!(service.search_versioned(&query, 5).epoch, receipt.epoch);
 //! ```
 
 pub use keybridge_core as core;

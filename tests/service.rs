@@ -6,13 +6,13 @@
 //! hammering the shared caches from many clients at once.
 
 use keybridge::core::{
-    InterpreterConfig, KeywordQuery, RankedAnswer, SearchService, SearchSnapshot,
+    InterpreterConfig, KeywordQuery, RankedAnswer, SearchService, SearchSnapshot, TemplateCatalog,
 };
 use keybridge::datagen::{
-    FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, LyricsConfig, LyricsDataset,
-    Workload, WorkloadConfig, YagoConfig, YagoOntology,
+    holdout_plan, FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, IngestConfig,
+    LyricsConfig, LyricsDataset, Workload, WorkloadConfig, YagoConfig, YagoOntology,
 };
-use keybridge::index::Tokenizer;
+use keybridge::index::{InvertedIndex, Tokenizer};
 use std::sync::Arc;
 
 /// Render one answer with bit-exact scores so "identical" means identical.
@@ -234,4 +234,130 @@ fn stress_overlapping_logs_warm_caches() {
         stats.result_hits > 0,
         "warm replays never hit the shared results"
     );
+}
+
+/// Epoch-swap stress: eight clients replay an overlapping log while a
+/// writer thread ingests batches (swapping epochs) mid-replay. Every reply
+/// must be byte-identical to the cold oracle of *exactly* the epoch it
+/// reports — a reply may race ahead of or behind the writer, but it must
+/// never mix state from two epochs (e.g. an epoch-0 cached verdict pruning
+/// an epoch-1 answer).
+#[test]
+fn stress_writer_swaps_epochs_mid_replay() {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(99)).unwrap();
+    let w = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: 123,
+            n_queries: 8,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries: Vec<Vec<String>> = w.queries.iter().map(|q| q.keywords.clone()).collect();
+    let k = 5;
+    let plan = holdout_plan(
+        &data.db,
+        IngestConfig {
+            seed: 77,
+            holdout: 0.25,
+            batches: 4,
+        },
+    );
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+
+    // One cold single-threaded oracle per epoch: preload + batches[..e].
+    let mut oracle_db = plan.initial.clone();
+    let oracle_for = |db: &keybridge::relstore::Database| -> Vec<String> {
+        let index = InvertedIndex::build(db);
+        let snap = SearchSnapshot::new(
+            db.clone(),
+            index,
+            catalog.clone(),
+            InterpreterConfig::default(),
+        );
+        queries
+            .iter()
+            .map(|terms| {
+                let q = KeywordQuery::from_terms(terms.clone());
+                canon(&snap.interpreter().answers_top_k(&q, k))
+            })
+            .collect()
+    };
+    let mut oracles: Vec<Vec<String>> = vec![oracle_for(&oracle_db)];
+    for batch in &plan.batches {
+        oracle_db.insert_batch(batch).unwrap();
+        oracles.push(oracle_for(&oracle_db));
+    }
+
+    let service = Arc::new(SearchService::start(
+        Arc::new(SearchSnapshot::new(
+            plan.initial.clone(),
+            InvertedIndex::build(&plan.initial),
+            catalog,
+            InterpreterConfig::default(),
+        )),
+        4,
+    ));
+
+    // Warm epoch 0 before the race so the first swap provably displaces a
+    // populated cache generation.
+    let warm = service.search_versioned(&KeywordQuery::from_terms(queries[0].clone()), k);
+    assert_eq!(canon(&warm.answers), oracles[0][0]);
+
+    std::thread::scope(|scope| {
+        for c in 0..8usize {
+            let service = Arc::clone(&service);
+            let queries = queries.clone();
+            let oracles = &oracles;
+            scope.spawn(move || {
+                for pass in 0..2 {
+                    for i in 0..queries.len() {
+                        // Forward on even clients, backward on odd ones:
+                        // maximal overlap on distinct queries.
+                        let j = if c % 2 == 0 {
+                            (i + c) % queries.len()
+                        } else {
+                            (queries.len() - 1 + c - i) % queries.len()
+                        };
+                        let q = KeywordQuery::from_terms(queries[j].clone());
+                        let reply = service.search_versioned(&q, k);
+                        let epoch = reply.epoch.0 as usize;
+                        assert!(epoch < oracles.len(), "impossible epoch {epoch}");
+                        assert_eq!(
+                            canon(&reply.answers),
+                            oracles[epoch][j],
+                            "pass {pass} client {c}: {:?} does not match the \
+                             epoch-{epoch} oracle — cross-epoch state leaked",
+                            queries[j]
+                        );
+                    }
+                }
+            });
+        }
+        // The writer: one epoch swap roughly every few replies.
+        let writer = Arc::clone(&service);
+        let batches = plan.batches.clone();
+        scope.spawn(move || {
+            for batch in &batches {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                writer.ingest(batch).unwrap();
+            }
+        });
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.epoch_swaps, plan.batches.len());
+    assert_eq!(stats.epoch, plan.batches.len() as u64);
+    assert_eq!(stats.served, 8 * 2 * queries.len() + 1);
+    // The first swap displaced the warmed epoch-0 generation.
+    assert!(
+        stats.stale_evictions > 0,
+        "displaced cache generations were never accounted"
+    );
+    // The settled service serves the final epoch, byte-identical.
+    for (j, terms) in queries.iter().enumerate() {
+        let reply = service.search_versioned(&KeywordQuery::from_terms(terms.clone()), k);
+        assert_eq!(reply.epoch.0 as usize, plan.batches.len());
+        assert_eq!(canon(&reply.answers), oracles[plan.batches.len()][j]);
+    }
 }
