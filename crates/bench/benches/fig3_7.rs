@@ -42,11 +42,11 @@ fn main() {
             let mut session =
                 ConstructionSession::new(&fixture.catalog, ranked, SessionConfig::default());
             while session.remaining().len() > 5 {
-                let Some(option) = session.next_option() else {
+                let Some(option) = session.next_option(&fixture.catalog) else {
                     break;
                 };
                 let accept = option.subsumed_by(&target, &fixture.catalog);
-                session.apply(option, accept);
+                session.apply(&fixture.catalog, option, accept);
             }
             let retained = session.remaining().iter().any(|(c, _)| *c == target);
             let t = model.task(

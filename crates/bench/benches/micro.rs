@@ -98,7 +98,7 @@ fn bench_pipeline(c: &mut Criterion) {
     if !ranked.is_empty() {
         c.bench_function("session_next_option", |b| {
             let session = ConstructionSession::new(&catalog, &ranked, SessionConfig::default());
-            b.iter(|| session.next_option())
+            b.iter(|| session.next_option(&catalog))
         });
 
         c.bench_function("execute_interpretation_top1", |b| {

@@ -20,10 +20,13 @@
 //! gated strictly; wall-clock numbers depend on the machine and are gated
 //! with the 1.5x slack of `keybridge_bench::check_regression`.
 
-use keybridge_bench::{check_regression, replay_serve, CheckConfig, IngestRun, ServeRun};
+use keybridge_bench::{
+    check_regression, replay_diversified, replay_serve, CheckConfig, DivServeRun, IngestRun,
+    ServeRun,
+};
 use keybridge_core::{
-    execute_interpretation, Interpreter, InterpreterConfig, KeywordQuery, SearchSnapshot,
-    TemplateCatalog,
+    execute_interpretation, DiversifyOptions, Interpreter, InterpreterConfig, KeywordQuery,
+    SearchSnapshot, TemplateCatalog,
 };
 use keybridge_datagen::{
     holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, MixedWorkload, Workload, WorkloadConfig,
@@ -265,6 +268,7 @@ fn main() {
 
     // == serve: query-log replay through the concurrent SearchService. ==
     let mut serve_runs: Vec<ServeRun> = Vec::new();
+    let mut div_run: Option<DivServeRun> = None;
     let mut ingest_run: Option<IngestRun> = None;
     let mut serve_gate_failure: Option<String> = None;
     let cores = std::thread::available_parallelism()
@@ -372,6 +376,35 @@ fn main() {
             );
         }
 
+        // == diversified: the same log replayed as Alg. 4.1 requests
+        //    through the pipeline's diversified mode. Pool/selection sizes
+        //    are deterministic (pure functions of data + log, warm or
+        //    cold); QPS is the price of serving diversified lists. ==
+        let div_samples: Vec<DivServeRun> = (0..3)
+            .map(|_| replay_diversified(&snapshot, &queries, 1, DiversifyOptions::default()))
+            .collect();
+        for s in &div_samples[1..] {
+            assert_eq!(
+                (s.pool_items, s.selected),
+                (div_samples[0].pool_items, div_samples[0].selected),
+                "diversification counters must be replay-deterministic"
+            );
+        }
+        let mut div_qps: Vec<f64> = div_samples.iter().map(|r| r.qps).collect();
+        div_qps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let run = DivServeRun {
+            queries: div_samples[0].queries,
+            qps: div_qps[div_qps.len() / 2],
+            pool_items: div_samples[0].pool_items,
+            selected: div_samples[0].selected,
+        };
+        println!(
+            "\n== diversified ({} queries, Alg. 4.1 top-10, pool 25) ==\n  \
+             1 worker : {:8.1} qps   {} pool items, {} selected across the log",
+            run.queries, run.qps, run.pool_items, run.selected
+        );
+        div_run = Some(run);
+
         // == ingest: live-write throughput + post-update serving rate over
         //    the epoch-swap path, driven by the seeded mixed read/write
         //    stream (single worker, sequential: deterministic counters). ==
@@ -429,6 +462,7 @@ fn main() {
         ],
         cores,
         &serve_runs,
+        div_run.as_ref(),
         ingest_run.as_ref(),
     );
 
@@ -482,6 +516,7 @@ fn render_json(
     walls: &[(&str, f64)],
     cores: usize,
     serve_runs: &[ServeRun],
+    div: Option<&DivServeRun>,
     ingest: Option<&IngestRun>,
 ) -> String {
     let mut s = String::new();
@@ -559,6 +594,12 @@ fn render_json(
             .map(|r| r.qps)
             .unwrap_or(qps1);
         s.push_str(&format!("    \"serve_scaling_w4\": {:.3}", qps4 / qps1));
+        if let Some(run) = div {
+            s.push_str(",\n");
+            s.push_str(&format!("    \"qps_diversified\": {:.1},\n", run.qps));
+            s.push_str(&format!("    \"div_pool_items\": {},\n", run.pool_items));
+            s.push_str(&format!("    \"div_selected\": {}", run.selected));
+        }
         if let Some(run) = ingest {
             s.push_str(",\n");
             s.push_str(&format!("    \"ingest_rows\": {},\n", run.rows));

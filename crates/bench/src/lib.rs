@@ -265,7 +265,9 @@ mod tests {
 // ---------------------------------------------------------------------------
 
 use keybridge_core::{BindingAtom, ResultKey};
-use keybridge_divq::{executed_div_pool, simulate_assessments, AssessConfig, EvalItem};
+use keybridge_divq::{
+    executed_div_pool, simulate_assessments, AssessConfig, DivExecOptions, EvalItem,
+};
 use std::collections::BTreeSet;
 
 /// Per-query data for the Chapter 4 experiments: the top interpretations
@@ -326,8 +328,13 @@ pub fn ch4_data(
     // then executed through the batched hash-join engine with one shared
     // cache (empty-result interpretations drop out, §4.4.1).
     let ranked = interpreter.top_k(&query, top);
-    let (items, keys, _exec_stats) =
-        executed_div_pool(&fixture.db, &fixture.index, &fixture.catalog, &ranked, 500);
+    let (items, keys, _exec_stats) = executed_div_pool(
+        &fixture.db,
+        &fixture.index,
+        &fixture.catalog,
+        &ranked,
+        DivExecOptions::default(),
+    );
     let probs: Vec<f64> = items.iter().map(|i| i.relevance).collect();
     let atoms: Vec<BTreeSet<BindingAtom>> = items.into_iter().map(|i| i.atoms).collect();
     if probs.len() < min_interps {
@@ -463,6 +470,72 @@ pub fn replay_serve(
         p50_ms: percentile(&latencies, 0.50),
         p95_ms: percentile(&latencies, 0.95),
         p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+/// One diversified replay through a service: throughput of the Alg. 4.1
+/// serving mode plus its deterministic diversification counters.
+#[derive(Debug, Clone)]
+pub struct DivServeRun {
+    /// Diversified requests completed.
+    pub queries: usize,
+    /// Completed diversified requests per second of wall-clock.
+    pub qps: f64,
+    /// Sum of surviving executed-pool sizes across all replies. Purely a
+    /// function of the data and the query log — deterministic warm or cold,
+    /// at any worker count — so CI gates it strictly.
+    pub pool_items: usize,
+    /// Sum of selected answers across all replies (deterministic likewise).
+    pub selected: usize,
+}
+
+/// Replay `queries` as diversified top-k requests through a fresh
+/// `workers`-thread [`SearchService`] over `snapshot`, closed-loop like
+/// [`replay_serve`]. The per-reply pool/selection sizes are accumulated —
+/// they are deterministic, so any drift is a behavior change, not noise.
+pub fn replay_diversified(
+    snapshot: &Arc<SearchSnapshot>,
+    queries: &[Vec<String>],
+    workers: usize,
+    opts: keybridge_core::DiversifyOptions,
+) -> DivServeRun {
+    let service = SearchService::start(Arc::clone(snapshot), workers);
+    let cursor = AtomicUsize::new(0);
+    let wall = Instant::now();
+    let per_client: Vec<(usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let service = &service;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let (mut n, mut pool, mut selected) = (0usize, 0usize, 0usize);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            return (n, pool, selected);
+                        }
+                        let q = keybridge_core::KeywordQuery::from_terms(queries[i].clone());
+                        let reply = service.search_diversified(&q, opts);
+                        n += 1;
+                        pool += reply.pool;
+                        selected += reply.answers.len();
+                        std::hint::black_box(reply);
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let queries_done: usize = per_client.iter().map(|c| c.0).sum();
+    DivServeRun {
+        queries: queries_done,
+        qps: queries_done as f64 / elapsed.max(1e-12),
+        pool_items: per_client.iter().map(|c| c.1).sum(),
+        selected: per_client.iter().map(|c| c.2).sum(),
     }
 }
 
@@ -657,18 +730,23 @@ const COUNTER_KEYS: &[&str] = &[
     "ingest_batches",
     "epoch_swaps",
     "stale_evictions",
+    "div_pool_items",
+    "div_selected",
 ];
 
-/// The ingest-phase counters: deterministic (single worker, sequential
-/// warm-up, fixed seed) and therefore gated even across machines with
-/// different core counts — but, like every serve-section key, only emitted
-/// by `--serve` runs, so their absence from a run without a serve section
-/// is not a violation.
-const INGEST_COUNTER_KEYS: &[&str] = &[
+/// The serve-phase deterministic counters: the ingest epoch/eviction
+/// figures (single worker, sequential warm-up, fixed seed) and the
+/// diversification pool/selection sizes (pure functions of data + log).
+/// Gated even across machines with different core counts — but, like every
+/// serve-section key, only emitted by `--serve` runs, so their absence from
+/// a run without a serve section is not a violation.
+const SERVE_ONLY_COUNTER_KEYS: &[&str] = &[
     "ingest_rows",
     "ingest_batches",
     "epoch_swaps",
     "stale_evictions",
+    "div_pool_items",
+    "div_selected",
 ];
 
 /// String keys that must match exactly for two snapshots to be comparable
@@ -710,9 +788,9 @@ pub fn check_regression(
     let cur_has_serve = cur.contains_key("serve_cores");
     let mut violations = Vec::new();
     for (key, bval) in &base {
-        let ingest_counter = INGEST_COUNTER_KEYS.contains(&key.as_str());
+        let serve_counter = SERVE_ONLY_COUNTER_KEYS.contains(&key.as_str());
         // Machine-dependent serve rates are incomparable across core
-        // counts. The deterministic ingest counters stay gated: none of
+        // counts. The deterministic serve counters stay gated: none of
         // them is a rate, so none matches these name patterns.
         if !serve_comparable && (key.starts_with("qps_") || key.contains("_ms_w")) {
             continue;
@@ -736,10 +814,10 @@ pub fn check_regression(
         let Some(BaselineValue::Num(c)) = cur.get(key) else {
             // Only a gated metric is required to be present; informational
             // keys (e.g. the serve section of a --check run without
-            // --serve) may come and go. Ingest counters are gated but live
-            // in the serve section, so they are only *required* when the
-            // current run produced one.
-            let excused = ingest_counter && !cur_has_serve;
+            // --serve) may come and go. Ingest/diversification counters are
+            // gated but live in the serve section, so they are only
+            // *required* when the current run produced one.
+            let excused = serve_counter && !cur_has_serve;
             if gated && !excused {
                 violations.push(format!("metric {key} missing from current run"));
             }
@@ -791,6 +869,7 @@ mod baseline_tests {
   "executor": { "hashjoin_probes": 100, "semijoin_rows_in": 5000 },
   "wall_clock_ms": { "answers_top10_4kw_ms": 1.000 },
   "serve": { "serve_cores": 8, "qps_w1": 200.0, "p50_ms_w1": 1.0, "p50_ms_w4": 2.0, "p95_ms_w1": 3.0,
+    "qps_diversified": 120.0, "div_pool_items": 40, "div_selected": 30,
     "ingest_rows": 500, "ingest_batches": 6, "epoch_swaps": 6, "stale_evictions": 40,
     "ingest_rows_per_s": 9000.0, "qps_post_ingest": 150.0 }
 }"#;
@@ -914,6 +993,36 @@ mod baseline_tests {
             .is_empty());
         // Raw ingest rows/s is informational either way.
         let cur = with("ingest_rows_per_s", "100.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn diversification_counters_gate_even_across_core_counts() {
+        // div_pool_items / div_selected are pure functions of data + query
+        // log: growth is a behavior change, not machine noise.
+        let cur = with("div_pool_items", "60").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("div_pool_items")), "{v:?}");
+        let cur = with("div_selected", "45");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("div_selected")), "{v:?}");
+        // Within the 1.05x counter slack: fine.
+        let cur = with("div_pool_items", "41");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn diversified_qps_gates_like_serve_qps() {
+        let cur = with("qps_diversified", "70.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("qps_diversified")), "{v:?}");
+        // Machine-dependent: skipped across differing core counts.
+        let cur =
+            with("qps_diversified", "70.0").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
         assert!(check_regression(BASE, &cur, CheckConfig::default())
             .unwrap()
             .is_empty());

@@ -417,6 +417,84 @@ pub fn execute_interpretation_cached(
     Ok(result)
 }
 
+/// The answer/all keys of a JTT slice under one interpretation's bound-node
+/// projection — the single definition both fresh executions and prefix
+/// truncations use, so the two can never drift apart.
+fn collect_result_keys(
+    db: &Database,
+    nodes: &[TableId],
+    bound: &[bool],
+    jtts: &[JoinedRow],
+) -> (BTreeSet<ResultKey>, BTreeSet<ResultKey>) {
+    let mut keys = BTreeSet::new();
+    let mut all_keys = BTreeSet::new();
+    for jtt in jtts {
+        for (node, row) in jtt.iter().enumerate() {
+            let table = nodes[node];
+            let key = ResultKey {
+                table,
+                pk: db.pk_value(table, *row),
+            };
+            all_keys.insert(key);
+            if bound[node] {
+                keys.insert(key);
+            }
+        }
+    }
+    (keys, all_keys)
+}
+
+/// `res` truncated to at most `cap` JTTs, keys recomputed over the prefix —
+/// the *answer content* (`jtts`, `keys`, `all_keys`) is byte-identical to a
+/// fresh run under `limit = cap`. A *complete* cached result may carry more
+/// JTTs than a limited request asked for; since post-reduction truncation
+/// preserves enumeration order, its prefix is exactly what the fresh
+/// limited run would have returned, which is what lets warm shared-cache
+/// hits serve limit-sensitive callers (session windows, diversification
+/// pools) without breaking oracle equality. The `stats` field is the one
+/// deliberate exception: it keeps the cached run's counters (`result_count`
+/// etc. describe the complete execution, not a hypothetical re-run) — cache
+/// hits cost no executor work, so fabricating fresh-run counters would
+/// misreport what actually happened.
+pub fn truncate_result(
+    db: &Database,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+    res: &Arc<ExecutedResult>,
+    cap: usize,
+) -> Arc<ExecutedResult> {
+    if res.jtts.len() <= cap {
+        return Arc::clone(res);
+    }
+    let tpl = catalog.get(interp.template);
+    let bound = bound_nodes(interp, tpl.tree.nodes.len());
+    let jtts: Vec<JoinedRow> = res.jtts[..cap].to_vec();
+    let (keys, all_keys) = collect_result_keys(db, &tpl.tree.nodes, &bound, &jtts);
+    Arc::new(ExecutedResult {
+        jtts,
+        keys,
+        all_keys,
+        stats: res.stats,
+    })
+}
+
+/// The answer keys of `res`'s first `cap` JTTs — [`truncate_result`]'s
+/// keys-only fast path for stages that never look at the tuple trees.
+pub(crate) fn prefix_keys(
+    db: &Database,
+    catalog: &TemplateCatalog,
+    interp: &QueryInterpretation,
+    res: &ExecutedResult,
+    cap: usize,
+) -> BTreeSet<ResultKey> {
+    if res.jtts.len() <= cap {
+        return res.keys.clone();
+    }
+    let tpl = catalog.get(interp.template);
+    let bound = bound_nodes(interp, tpl.tree.nodes.len());
+    collect_result_keys(db, &tpl.tree.nodes, &bound, &res.jtts[..cap]).0
+}
+
 fn execute_inner(
     db: &Database,
     index: &InvertedIndex,
@@ -459,21 +537,7 @@ fn execute_inner(
     let bound = bound_nodes(interp, n);
     let candidates = Candidates { per_node };
     let outcome = execute_join_tree_with_stats(db, &tpl.tree, &candidates, opts)?;
-    let mut keys = BTreeSet::new();
-    let mut all_keys = BTreeSet::new();
-    for jtt in &outcome.rows {
-        for (node, row) in jtt.iter().enumerate() {
-            let table = tpl.tree.nodes[node];
-            let key = ResultKey {
-                table,
-                pk: db.pk_value(table, *row),
-            };
-            all_keys.insert(key);
-            if bound[node] {
-                keys.insert(key);
-            }
-        }
-    }
+    let (keys, all_keys) = collect_result_keys(db, &tpl.tree.nodes, &bound, &outcome.rows);
     Ok(ExecutedResult {
         jtts: outcome.rows,
         keys,

@@ -1,9 +1,7 @@
 //! Interpretation generation (§3.5.2): compose keyword interpretations with
 //! query templates into complete, minimal query interpretations.
 
-use crate::exec::{
-    bound_nodes, execute_interpretation_cached, ExecCache, ExecutedResult, ResultKey,
-};
+use crate::exec::{bound_nodes, ExecCache, ExecutedResult, ResultKey};
 use crate::interp::{BindingTarget, KeywordBinding, QueryInterpretation};
 use crate::keyword::KeywordQuery;
 use crate::prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
@@ -295,6 +293,16 @@ impl<'a> Interpreter<'a> {
     /// lifetime, so results can outlive the interpreter).
     pub fn catalog(&self) -> &'a TemplateCatalog {
         self.catalog
+    }
+
+    /// The database being interpreted over.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The inverted index in use.
+    pub fn index(&self) -> &'a InvertedIndex {
+        self.index
     }
 
     /// Candidate interpretations of each distinct term, schema-level.
@@ -747,6 +755,10 @@ impl<'a> Interpreter<'a> {
     /// used to be created ad hoc inside this method now lives in them.
     /// Cache-hit counters in the returned stats are cumulative over the
     /// handed-in caches' lifetimes.
+    ///
+    /// This is the plain top-k mode of the [`crate::QueryPipeline`]; the
+    /// diversified and session-window modes compose the same stages
+    /// differently.
     pub fn answers_top_k_with_caches(
         &self,
         query: &KeywordQuery,
@@ -755,87 +767,12 @@ impl<'a> Interpreter<'a> {
         gen_cache: &mut NonemptyCache,
         exec_cache: &mut ExecCache,
     ) -> (Vec<RankedAnswer>, AnswerStats) {
-        let mut stats = AnswerStats::default();
-        if k == 0 || query.is_empty() {
-            return (Vec::new(), stats);
-        }
-        let terms = query.terms();
-        // Executions that errored (e.g. the intermediate-blowup guard):
-        // tombstoned so wave replays skip them instead of re-running the
-        // blow-up, and each failure is counted once.
-        let mut failed: HashSet<QueryInterpretation> = HashSet::new();
-        let mut answers: Vec<RankedAnswer> = Vec::new();
-        let mut gen_k = k.max(8).min(self.config.max_interpretations);
-        loop {
-            stats.waves += 1;
-            let (ranked, gstats) = self.top_k_with_cache(query, gen_k, true, gen_cache);
-            stats.gen = gstats;
-            stats.generated = ranked.len();
-            answers.clear();
-            for s in &ranked {
-                if answers.len() >= k {
-                    break;
-                }
-                let remaining = k - answers.len();
-                let opts = ExecOptions {
-                    limit: remaining,
-                    count_only: false,
-                    ..base
-                };
-                if failed.contains(&s.interpretation) {
-                    continue;
-                }
-                let hits_before = exec_cache.result_hits;
-                let res = match execute_interpretation_cached(
-                    self.db,
-                    self.index,
-                    self.catalog,
-                    &s.interpretation,
-                    opts,
-                    exec_cache,
-                ) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        stats.exec_errors += 1;
-                        failed.insert(s.interpretation.clone());
-                        continue;
-                    }
-                };
-                if exec_cache.result_hits == hits_before {
-                    // Fresh execution: count it once and feed what the
-                    // executor learned back into the generator's cache.
-                    stats.executed += 1;
-                    stats.exec.absorb(&res.stats);
-                    if !res.is_empty() {
-                        stats.nonempty += 1;
-                    }
-                    stats.nonempty_seeded += self.seed_nonempty_from_execution(
-                        terms,
-                        &s.interpretation,
-                        exec_cache,
-                        gen_cache,
-                    );
-                }
-                if res.is_empty() {
-                    continue;
-                }
-                self.collect_answers(s, &res, remaining, &mut answers);
-            }
-            let exhausted = ranked.len() < gen_k || gen_k >= self.config.max_interpretations;
-            if answers.len() >= k || exhausted {
-                break;
-            }
-            gen_k = gen_k.saturating_mul(4).min(self.config.max_interpretations);
-        }
-        stats.predicate_cache_hits = exec_cache.predicate_hits;
-        stats.result_cache_hits = exec_cache.result_hits;
-        stats.answers = answers.len();
-        (answers, stats)
+        crate::pipeline::QueryPipeline::new(self, base, gen_cache, exec_cache).answers(query, k)
     }
 
     /// Turn up to `remaining` JTTs of one executed interpretation into
     /// [`RankedAnswer`]s.
-    fn collect_answers(
+    pub(crate) fn collect_answers(
         &self,
         s: &ScoredInterpretation,
         res: &ExecutedResult,
@@ -872,7 +809,7 @@ impl<'a> Interpreter<'a> {
     /// keyword bag maps back to a canonical occurrence mask (first unused
     /// occurrence per term), which covers the common no-duplicate case
     /// exactly.
-    fn seed_nonempty_from_execution(
+    pub(crate) fn seed_nonempty_from_execution(
         &self,
         terms: &[String],
         interp: &QueryInterpretation,

@@ -31,20 +31,23 @@
 //!    [`SnapshotEpoch`] with a fresh shared-cache generation, keeping warm
 //!    served answers byte-identical to a cold rebuild.
 
+mod construct;
 mod exec;
 mod generate;
 mod hierarchy;
 mod interp;
 mod keyword;
+mod pipeline;
 mod prob;
 mod rank;
 mod render;
 mod service;
 mod template;
 
+pub use construct::{ConstructionOption, ConstructionSession, SessionConfig};
 pub use exec::{
-    bound_nodes, execute_interpretation, execute_interpretation_cached, ExecCache, ExecutedResult,
-    ResultKey, SharedExecCache,
+    bound_nodes, execute_interpretation, execute_interpretation_cached, truncate_result, ExecCache,
+    ExecutedResult, ResultKey, SharedExecCache,
 };
 pub use generate::{
     AnswerStats, GenerationStats, GenerationStrategy, Interpreter, InterpreterConfig,
@@ -56,10 +59,16 @@ pub use interp::{
     QueryInterpretation,
 };
 pub use keyword::KeywordQuery;
+pub use pipeline::{
+    div_pool, diversify, jaccard, BestFirstSource, DivItem, DiversifiedAnswer, DiversifiedAnswers,
+    DiversifyConfig, DiversifyOptions, ExecutedPool, FixedSource, InterpretationSource,
+    PostProcess, QueryPipeline,
+};
 pub use prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 pub use rank::{join_count_score, sqak_score};
 pub use render::{render_natural, render_sql};
 pub use service::{
-    IngestReceipt, SearchReply, SearchService, SearchSnapshot, ServiceStats, SnapshotEpoch, Ticket,
+    DiversifiedReply, IngestReceipt, SearchReply, SearchService, SearchSnapshot, ServiceStats,
+    SessionAnswers, SessionId, SessionView, SnapshotEpoch, Ticket,
 };
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};

@@ -48,16 +48,19 @@
 //! stress test in `tests/service.rs` asserts every racing reply matches
 //! exactly the oracle of the epoch it reports.
 
-use crate::exec::{ExecCache, SharedExecCache};
+use crate::construct::{ConstructionOption, ConstructionSession, SessionConfig};
+use crate::exec::{ExecCache, ExecutedResult, SharedExecCache};
 use crate::generate::{
     AnswerStats, GenerationStats, Interpreter, InterpreterConfig, NonemptyCache, RankedAnswer,
     ScoredInterpretation, SharedNonemptyCache,
 };
 use crate::keyword::KeywordQuery;
+use crate::pipeline::{DiversifiedAnswer, DiversifyOptions, QueryPipeline};
 use crate::template::TemplateCatalog;
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{Database, ExecOptions, RelResult, RowBatch, RowId, TableId};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -189,6 +192,11 @@ pub struct ServiceStats {
     pub result_entries: usize,
     /// Cross-query whole-result hits.
     pub result_hits: usize,
+    /// Construction sessions currently open in the registry.
+    pub sessions_open: usize,
+    /// Oldest sessions displaced by the registry bound (abandoned-session
+    /// protection; a `close_session` is never counted here).
+    pub sessions_evicted: usize,
 }
 
 /// Receipt of one accepted ingest batch.
@@ -209,6 +217,78 @@ pub struct SearchReply {
     pub answers: Vec<RankedAnswer>,
     pub stats: AnswerStats,
 }
+
+/// One complete reply to a diversified top-k request (Alg. 4.1 over the
+/// streamed pipeline).
+#[derive(Debug, Clone)]
+pub struct DiversifiedReply {
+    /// The snapshot version this reply was computed against.
+    pub epoch: SnapshotEpoch,
+    /// Selected interpretations in selection order.
+    pub answers: Vec<DiversifiedAnswer>,
+    /// Surviving executed pool size the selection drew from — deterministic
+    /// per query and epoch, warm or cold.
+    pub pool: usize,
+    /// Pipeline counters of the pool build.
+    pub stats: AnswerStats,
+}
+
+/// Handle of one open construction session in the service registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// A snapshot of one session's interaction state, returned by every
+/// registry call so clients never need a second round-trip for the next
+/// proposed option.
+#[derive(Debug, Clone)]
+pub struct SessionView {
+    pub id: SessionId,
+    /// The epoch the session is pinned to (fixed at `open_session`).
+    pub epoch: SnapshotEpoch,
+    /// Candidates left in the query window.
+    pub remaining: usize,
+    /// Options evaluated so far (the interaction cost).
+    pub steps: usize,
+    /// Whether construction should stop (window small enough, or no
+    /// discriminating option left).
+    pub finished: bool,
+    /// The maximum-information-gain option to present next, if any.
+    pub next_option: Option<ConstructionOption>,
+}
+
+/// One window refresh of a service-managed session: the pinned epoch and
+/// the non-empty candidates' executed results in window order.
+#[derive(Debug, Clone)]
+pub struct SessionAnswers {
+    /// The epoch the answers were computed against — the session's pinned
+    /// epoch, regardless of any ingest since it was opened.
+    pub epoch: SnapshotEpoch,
+    /// `(window index, result)` pairs, at most `limit` JTTs each.
+    pub answers: Vec<(usize, Arc<ExecutedResult>)>,
+}
+
+/// One registered session: the construction state plus the serving state it
+/// pinned at open time. The pinned `Arc` keeps the whole epoch alive —
+/// snapshot *and* cache generation — so a session keeps answering from the
+/// database version its user has been winnowing, across any number of
+/// concurrent ingests (snapshot isolation at session granularity). The
+/// per-session [`ExecCache`] persists across window refreshes and falls
+/// through to the pinned epoch's shared tier.
+struct SessionSlot {
+    state: Arc<ServingState>,
+    session: ConstructionSession,
+    exec_cache: ExecCache,
+}
+
+/// Registry bound. Every slot pins a whole epoch (snapshot + cache
+/// generation), so sessions abandoned by clients that never `close_session`
+/// would otherwise leak O(database) memory each across ingest swaps. Like
+/// the shared cache tiers the registry is bounded — but it *evicts* the
+/// oldest session instead of refusing admission, because a construction
+/// session is per-user interaction state and the newest user must win.
+/// Evictions are counted in [`ServiceStats::sessions_evicted`]; an evicted
+/// id simply answers `None` everywhere, like a closed one.
+const MAX_OPEN_SESSIONS: usize = 1024;
 
 /// A pending reply. `wait` blocks until the serving worker finishes;
 /// `None` means the service shut down (or a worker died) before replying.
@@ -231,6 +311,11 @@ enum Job {
         k: usize,
         reply: Sender<(Vec<ScoredInterpretation>, GenerationStats)>,
     },
+    Diversified {
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+        reply: Sender<DiversifiedReply>,
+    },
 }
 
 /// A multi-user keyword-search server over a **live** store: an epoch-
@@ -251,6 +336,12 @@ pub struct SearchService {
     epoch_swaps: AtomicUsize,
     stale_evictions: AtomicUsize,
     rows_ingested: AtomicUsize,
+    /// Open construction sessions, each pinning the serving state of the
+    /// epoch it was opened on. Sessions are independently locked so a slow
+    /// window refresh never blocks another session (or the registry).
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionSlot>>>>,
+    next_session: AtomicU64,
+    sessions_evicted: AtomicUsize,
 }
 
 impl SearchService {
@@ -283,6 +374,9 @@ impl SearchService {
             epoch_swaps: AtomicUsize::new(0),
             stale_evictions: AtomicUsize::new(0),
             rows_ingested: AtomicUsize::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            sessions_evicted: AtomicUsize::new(0),
         }
     }
 
@@ -410,6 +504,146 @@ impl SearchService {
             .expect("SearchService worker disconnected before replying")
     }
 
+    /// Enqueue a diversified top-k request: Alg. 4.1 over the best
+    /// `opts.pool` interpretations, executed through this epoch's shared
+    /// caches (at most `opts.cap` JTTs each).
+    pub fn submit_diversified(
+        &self,
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+    ) -> Ticket<DiversifiedReply> {
+        let (reply, rx) = channel();
+        self.send(Job::Diversified { query, opts, reply });
+        Ticket(rx)
+    }
+
+    /// Blocking diversified top-k — warm and contended, the reply is
+    /// byte-identical to the cold offline `divq` oracle (pool build + Alg.
+    /// 4.1 over a fresh interpreter). Panics like [`Self::search`] when the
+    /// serving worker died.
+    pub fn search_diversified(
+        &self,
+        query: &KeywordQuery,
+        opts: DiversifyOptions,
+    ) -> DiversifiedReply {
+        self.submit_diversified(query.clone(), opts)
+            .wait()
+            .expect("SearchService worker disconnected before replying")
+    }
+
+    // -----------------------------------------------------------------
+    // The construction-session registry.
+    // -----------------------------------------------------------------
+
+    /// Open a construction session over the *current* epoch: generate the
+    /// top-`window` complete interpretations best-first (through this
+    /// epoch's shared non-emptiness cache) and register the session. The
+    /// session pins the serving state it was opened on — snapshot *and*
+    /// cache generation — so its window, options, and answers keep
+    /// referring to the same database version even while concurrent
+    /// [`Self::ingest`]s swap epochs underneath.
+    pub fn open_session(
+        &self,
+        query: &KeywordQuery,
+        window: usize,
+        config: SessionConfig,
+    ) -> SessionView {
+        let state = self.current.lock().unwrap().clone();
+        let interpreter = state.snapshot.interpreter();
+        let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+        let (ranked, _) = interpreter.top_k_with_cache(query, window, false, &mut gen_cache);
+        let session = ConstructionSession::new(&state.snapshot.catalog, &ranked, config);
+        let exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let view = Self::view_of(id, &state, &session);
+        let mut sessions = self.sessions.lock().unwrap();
+        while sessions.len() >= MAX_OPEN_SESSIONS {
+            let oldest = *sessions.keys().min().expect("registry non-empty");
+            sessions.remove(&oldest);
+            self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        sessions.insert(
+            id,
+            Arc::new(Mutex::new(SessionSlot {
+                state,
+                session,
+                exec_cache,
+            })),
+        );
+        view
+    }
+
+    /// Apply one user verdict to a session: accepting keeps the candidates
+    /// subsuming `option`, rejecting keeps the complement. Returns the
+    /// updated view (with the next proposed option), or `None` for an
+    /// unknown/closed session.
+    pub fn advance_session(
+        &self,
+        id: SessionId,
+        option: &ConstructionOption,
+        accepted: bool,
+    ) -> Option<SessionView> {
+        let slot = self.sessions.lock().unwrap().get(&id.0).cloned()?;
+        let mut slot = slot.lock().unwrap();
+        let SessionSlot { state, session, .. } = &mut *slot;
+        session.apply(&state.snapshot.catalog, option.clone(), accepted);
+        Some(Self::view_of(id.0, state, session))
+    }
+
+    /// The current view of a session without advancing it.
+    pub fn session_view(&self, id: SessionId) -> Option<SessionView> {
+        let slot = self.sessions.lock().unwrap().get(&id.0).cloned()?;
+        let slot = slot.lock().unwrap();
+        Some(Self::view_of(id.0, &slot.state, &slot.session))
+    }
+
+    /// Materialize the session's current query window (at most `limit` JTTs
+    /// per candidate) against its *pinned* epoch, through the session's
+    /// persistent execution cache (predicates intersected once across
+    /// refreshes; local misses fall through to the pinned epoch's shared
+    /// tier). Byte-identical to the cold offline
+    /// [`ConstructionSession::window_answers`] over the pinned snapshot.
+    pub fn session_answers(&self, id: SessionId, limit: usize) -> Option<SessionAnswers> {
+        let slot = self.sessions.lock().unwrap().get(&id.0).cloned()?;
+        let mut slot = slot.lock().unwrap();
+        let SessionSlot {
+            state,
+            session,
+            exec_cache,
+        } = &mut *slot;
+        let interpreter = state.snapshot.interpreter();
+        let mut gen_cache = NonemptyCache::new();
+        let answers = QueryPipeline::new(
+            &interpreter,
+            ExecOptions::default(),
+            &mut gen_cache,
+            exec_cache,
+        )
+        .window(session.remaining(), limit);
+        Some(SessionAnswers {
+            epoch: state.epoch,
+            answers,
+        })
+    }
+
+    /// Drop a session from the registry (releasing its pinned epoch).
+    /// Returns whether it existed.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.sessions.lock().unwrap().remove(&id.0).is_some()
+    }
+
+    fn view_of(id: u64, state: &ServingState, session: &ConstructionSession) -> SessionView {
+        let next_option = session.next_option(&state.snapshot.catalog);
+        SessionView {
+            id: SessionId(id),
+            epoch: state.epoch,
+            remaining: session.remaining().len(),
+            steps: session.steps(),
+            finished: session.finished_given(next_option.as_ref()),
+            next_option,
+        }
+    }
+
     /// Current serving/cache counters.
     pub fn stats(&self) -> ServiceStats {
         let state = self.current.lock().unwrap().clone();
@@ -425,6 +659,8 @@ impl SearchService {
             predicate_hits: state.exec.predicate_hits(),
             result_entries: state.exec.result_count(),
             result_hits: state.exec.result_hits(),
+            sessions_open: self.sessions.lock().unwrap().len(),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -491,6 +727,24 @@ fn worker_loop(
                 let out = interpreter.top_k_with_cache(&query, k, true, &mut gen_cache);
                 served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out);
+            }
+            Job::Diversified { query, opts, reply } => {
+                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+                let out = QueryPipeline::new(
+                    &interpreter,
+                    ExecOptions::default(),
+                    &mut gen_cache,
+                    &mut exec_cache,
+                )
+                .diversified(&query, opts);
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(DiversifiedReply {
+                    epoch: state.epoch,
+                    answers: out.answers,
+                    pool: out.pool,
+                    stats: out.stats,
+                });
             }
         }
     }
@@ -663,6 +917,149 @@ mod tests {
             after.answers.len() >= before.answers.len(),
             "the inserted 'tom newman' row can only add matches"
         );
+    }
+
+    #[test]
+    fn diversified_matches_cold_pipeline() {
+        use crate::pipeline::{DiversifyConfig, DiversifyOptions};
+        let snap = snapshot();
+        let service = SearchService::start(Arc::clone(&snap), 2);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let opts = DiversifyOptions {
+            config: DiversifyConfig { lambda: 0.1, k: 4 },
+            pool: 12,
+            cap: 5,
+        };
+        // Cold oracle: a fresh interpreter with plain (unshared) caches.
+        let interpreter = snap.interpreter();
+        let mut gen_cache = NonemptyCache::new();
+        let mut exec_cache = ExecCache::new();
+        let cold = QueryPipeline::new(
+            &interpreter,
+            ExecOptions::default(),
+            &mut gen_cache,
+            &mut exec_cache,
+        )
+        .diversified(&q, opts);
+        // Twice through the warm service: second run is cache-served.
+        for pass in 0..2 {
+            let reply = service.search_diversified(&q, opts);
+            assert_eq!(reply.epoch, SnapshotEpoch(0));
+            assert_eq!(reply.pool, cold.pool, "pass {pass}");
+            assert_eq!(reply.answers.len(), cold.answers.len(), "pass {pass}");
+            for (a, b) in reply.answers.iter().zip(&cold.answers) {
+                assert_eq!(a.interpretation, b.interpretation, "pass {pass}");
+                assert_eq!(a.relevance.to_bits(), b.relevance.to_bits(), "pass {pass}");
+                assert_eq!(a.atoms, b.atoms, "pass {pass}");
+                assert_eq!(a.keys, b.keys, "pass {pass}");
+                assert_eq!(a.pool_rank, b.pool_rank, "pass {pass}");
+            }
+        }
+        assert_eq!(service.stats().served, 2);
+    }
+
+    #[test]
+    fn session_lifecycle_and_pinned_epoch_across_ingest() {
+        let snap = snapshot();
+        let actor = snap.db.schema().table_id("actor").unwrap();
+        let next_pk = snap.db.table(actor).len() as i64 + 5000;
+        let service = SearchService::start(Arc::clone(&snap), 2);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+
+        let opened = service.open_session(&q, 10, SessionConfig::default());
+        assert_eq!(opened.epoch, SnapshotEpoch(0));
+        assert_eq!(opened.steps, 0);
+        assert!(opened.remaining > 0);
+        assert_eq!(service.stats().sessions_open, 1);
+
+        // The pinned-epoch oracle: a cold offline session over the same
+        // snapshot must propose the same option and yield byte-identical
+        // window answers.
+        let interpreter = snap.interpreter();
+        let mut oracle =
+            ConstructionSession::for_query(&interpreter, &q, 10, SessionConfig::default());
+        assert_eq!(oracle.remaining().len(), opened.remaining);
+        assert_eq!(oracle.next_option(&snap.catalog), opened.next_option);
+
+        // Ingest swaps the epoch; the session keeps answering from epoch 0.
+        let batch: RowBatch = vec![(
+            actor,
+            vec![Value::Int(next_pk), Value::text("tom sessions")],
+        )];
+        let receipt = service.ingest(&batch).unwrap();
+        assert_eq!(receipt.epoch, SnapshotEpoch(1));
+
+        let answers = service.session_answers(opened.id, 3).expect("session open");
+        assert_eq!(answers.epoch, SnapshotEpoch(0), "session must stay pinned");
+        let cold = oracle.window_answers(&snap.db, &snap.index, &snap.catalog, 3);
+        assert_eq!(answers.answers.len(), cold.len());
+        for ((si, sr), (ci, cr)) in answers.answers.iter().zip(&cold) {
+            assert_eq!(si, ci);
+            assert_eq!(sr.jtts, cr.jtts);
+            assert_eq!(sr.keys, cr.keys);
+        }
+
+        // Advance both with the same verdict; the views stay in lockstep.
+        if let Some(option) = opened.next_option.clone() {
+            let view = service
+                .advance_session(opened.id, &option, true)
+                .expect("session open");
+            oracle.apply(&snap.catalog, option, true);
+            assert_eq!(view.remaining, oracle.remaining().len());
+            assert_eq!(view.steps, 1);
+            assert_eq!(view.epoch, SnapshotEpoch(0));
+            assert_eq!(view.next_option, oracle.next_option(&snap.catalog));
+        }
+
+        // A session opened *now* pins the new epoch.
+        let fresh = service.open_session(&q, 10, SessionConfig::default());
+        assert_eq!(fresh.epoch, SnapshotEpoch(1));
+        assert_eq!(service.stats().sessions_open, 2);
+
+        assert!(service.close_session(opened.id));
+        assert!(!service.close_session(opened.id), "double close");
+        assert!(service.session_answers(opened.id, 3).is_none());
+        assert_eq!(service.stats().sessions_open, 1);
+        assert!(service.close_session(fresh.id));
+    }
+
+    #[test]
+    fn session_registry_evicts_oldest_at_the_bound() {
+        let snap = snapshot();
+        let service = SearchService::start(snap, 1);
+        // Empty queries open cheap (zero-candidate) sessions — enough to
+        // exercise the bound without generation cost.
+        let q = KeywordQuery::from_terms(vec![]);
+        let overflow = 6;
+        let ids: Vec<SessionId> = (0..MAX_OPEN_SESSIONS + overflow)
+            .map(|_| service.open_session(&q, 5, SessionConfig::default()).id)
+            .collect();
+        let stats = service.stats();
+        assert_eq!(stats.sessions_open, MAX_OPEN_SESSIONS);
+        assert_eq!(stats.sessions_evicted, overflow);
+        // The oldest ids were displaced; the newest still answer.
+        for id in &ids[..overflow] {
+            assert!(service.session_view(*id).is_none(), "{id:?} survived");
+        }
+        for id in &ids[ids.len() - 2..] {
+            assert!(service.session_view(*id).is_some(), "{id:?} evicted");
+        }
+        // Explicit closes are not evictions.
+        assert!(service.close_session(*ids.last().unwrap()));
+        assert_eq!(service.stats().sessions_evicted, overflow);
+    }
+
+    #[test]
+    fn session_view_reports_without_advancing() {
+        let snap = snapshot();
+        let service = SearchService::start(snap, 1);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let opened = service.open_session(&q, 8, SessionConfig::default());
+        let view = service.session_view(opened.id).expect("open");
+        assert_eq!(view.remaining, opened.remaining);
+        assert_eq!(view.steps, 0);
+        assert_eq!(view.next_option, opened.next_option);
+        assert!(service.session_view(SessionId(999)).is_none());
     }
 
     #[test]

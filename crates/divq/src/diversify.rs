@@ -1,44 +1,45 @@
 //! The diversification scheme (§4.4): Jaccard similarity between query
 //! interpretations and the greedy relevance/novelty selection of Alg. 4.1.
+//!
+//! The algorithmic core ([`DivItem`], [`jaccard`], [`diversify`],
+//! [`div_pool`]) lives in `keybridge_core::pipeline` so the concurrent
+//! serving layer can run it (`SearchService::search_diversified`); this
+//! module re-exports it and keeps the *offline* pool builder —
+//! [`executed_div_pool`] — which is the cold single-threaded oracle the
+//! served mode is differentially tested against.
+
+pub use keybridge_core::{div_pool, diversify, jaccard, DivItem, DiversifyConfig};
 
 use keybridge_core::{
-    execute_interpretation_cached, BindingAtom, ExecCache, ResultKey, ScoredInterpretation,
-    TemplateCatalog,
+    ExecCache, Interpreter, InterpreterConfig, NonemptyCache, QueryPipeline, ResultKey,
+    ScoredInterpretation, TemplateCatalog,
 };
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{Database, ExecOptions, ExecStats};
 use std::collections::BTreeSet;
 
-/// One candidate for diversification: an interpretation's relevance score
-/// and its set of keyword interpretations (schema-level atoms).
-#[derive(Debug, Clone)]
-pub struct DivItem {
-    /// Relevance = `P(Q|K)` from the disambiguation model (§4.4.2).
-    pub relevance: f64,
-    /// The keyword-interpretation set `I` of Eq. 4.3.
-    pub atoms: BTreeSet<BindingAtom>,
+/// Execution knobs of the diversification pool build.
+#[derive(Debug, Clone, Copy)]
+pub struct DivExecOptions {
+    /// Materialization cap: JTTs executed per pool interpretation. Bounds
+    /// the work a single broad interpretation can cost the pool; result
+    /// keys (the Chapter 4 subtopics) are computed over at most this many
+    /// tuple trees.
+    pub limit: usize,
 }
 
-/// Build the diversification pool from ranked interpretations — typically
-/// the interpreter's `top_k(query, k)` output, which is exactly the DivQ
-/// candidate pool (§4.4.2: complete and partial interpretations, best
-/// first). Relevance is the ranked probability; atoms are the schema-level
-/// keyword interpretations.
-pub fn div_pool(ranked: &[ScoredInterpretation], catalog: &TemplateCatalog) -> Vec<DivItem> {
-    ranked
-        .iter()
-        .map(|s| DivItem {
-            relevance: s.probability,
-            atoms: s.interpretation.atoms(catalog).into_iter().collect(),
-        })
-        .collect()
+impl Default for DivExecOptions {
+    fn default() -> Self {
+        // The historical hardcoded cap of the Chapter 4 experiment harness.
+        DivExecOptions { limit: 500 }
+    }
 }
 
 /// Build the diversification pool *with executed results*: each ranked
 /// interpretation is run through the batched hash-join executor (at most
-/// `limit` JTTs), interpretations with empty results are dropped (the DivQ
-/// zero-probability condition, §4.4.1), and one shared [`ExecCache`] keeps
-/// predicates common across the pool intersected once. Returns the
+/// `opts.limit` JTTs), interpretations with empty results are dropped (the
+/// DivQ zero-probability condition, §4.4.1), and one shared [`ExecCache`]
+/// keeps predicates common across the pool intersected once. Returns the
 /// surviving pool items, their result-key sets (the subtopics of the
 /// Chapter 4 metrics), and the aggregated executor counters.
 pub fn executed_div_pool(
@@ -46,135 +47,36 @@ pub fn executed_div_pool(
     index: &InvertedIndex,
     catalog: &TemplateCatalog,
     ranked: &[ScoredInterpretation],
-    limit: usize,
+    opts: DivExecOptions,
 ) -> (Vec<DivItem>, Vec<BTreeSet<ResultKey>>, ExecStats) {
     let mut cache = ExecCache::new();
-    let opts = ExecOptions {
-        limit,
-        ..Default::default()
-    };
-    let mut items = Vec::new();
-    let mut keys = Vec::new();
-    let mut stats = ExecStats::default();
-    for s in ranked {
-        let Ok(result) =
-            execute_interpretation_cached(db, index, catalog, &s.interpretation, opts, &mut cache)
-        else {
-            continue;
-        };
-        stats.absorb(&result.stats);
-        if result.is_empty() {
-            continue;
-        }
-        items.push(DivItem {
-            relevance: s.probability,
-            atoms: s.interpretation.atoms(catalog).into_iter().collect(),
-        });
-        keys.push(result.keys.clone());
-    }
-    (items, keys, stats)
+    executed_div_pool_with(db, index, catalog, ranked, opts, &mut cache)
 }
 
-/// Jaccard coefficient between two atom sets (Eq. 4.3). Two empty sets are
-/// defined maximally similar (they describe the same — empty — query).
-pub fn jaccard(a: &BTreeSet<BindingAtom>, b: &BTreeSet<BindingAtom>) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    let inter = a.intersection(b).count();
-    let union = a.len() + b.len() - inter;
-    inter as f64 / union as f64
-}
-
-/// Diversification knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct DiversifyConfig {
-    /// Trade-off: 1.0 = pure relevance, 0.5 = balanced, < 0.5 emphasizes
-    /// novelty (Eq. 4.4). The Chapter 4 experiments use λ = 0.1.
-    pub lambda: f64,
-    /// Number of interpretations to select.
-    pub k: usize,
-}
-
-impl Default for DiversifyConfig {
-    fn default() -> Self {
-        DiversifyConfig { lambda: 0.1, k: 10 }
-    }
-}
-
-/// Alg. 4.1: select `cfg.k` relevant-and-diverse items from `items`, which
-/// must be sorted by relevance descending (the top-k of the ranker).
-/// Returns indexes into `items` in selection order.
-///
-/// Relevance and similarity are normalized to equal means before the
-/// λ-weighting (the note under Eq. 4.4), and the scan for each next element
-/// stops early once `best_score > λ · relevance(L[j])` can no longer be
-/// beaten — the upper-bound pruning of the paper's pseudo-code.
-pub fn diversify(items: &[DivItem], cfg: DiversifyConfig) -> Vec<usize> {
-    let n = items.len();
-    if n == 0 || cfg.k == 0 {
-        return Vec::new();
-    }
-    debug_assert!(
-        items.windows(2).all(|w| w[0].relevance >= w[1].relevance),
-        "items must be sorted by relevance descending"
-    );
-
-    // Normalization to equal means. Mean similarity is estimated over all
-    // pairs of the candidate list (the population the selection draws from).
-    let mean_rel = items.iter().map(|i| i.relevance).sum::<f64>() / n as f64;
-    let mut sim_sum = 0.0;
-    let mut sim_cnt = 0usize;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            sim_sum += jaccard(&items[i].atoms, &items[j].atoms);
-            sim_cnt += 1;
-        }
-    }
-    let mean_sim = if sim_cnt > 0 {
-        sim_sum / sim_cnt as f64
-    } else {
-        0.0
-    };
-    let rel_scale = if mean_rel > 0.0 { 1.0 / mean_rel } else { 1.0 };
-    let sim_scale = if mean_sim > 0.0 { 1.0 / mean_sim } else { 1.0 };
-
-    let lambda = cfg.lambda;
-    let mut selected: Vec<usize> = vec![0]; // most relevant always first
-    let mut available: Vec<usize> = (1..n).collect();
-
-    while selected.len() < cfg.k.min(n) {
-        let mut best_score = f64::NEG_INFINITY;
-        let mut best_pos = 0usize;
-        for (pos, &j) in available.iter().enumerate() {
-            let rel = items[j].relevance * rel_scale;
-            // Upper bound: diversity penalty is ≥ 0, so score(j) ≤ λ·rel(j).
-            // `available` is relevance-sorted, so once the bound falls below
-            // the incumbent nothing later can win.
-            if best_score > lambda * rel {
-                break;
-            }
-            let avg_sim = selected
-                .iter()
-                .map(|&s| jaccard(&items[s].atoms, &items[j].atoms))
-                .sum::<f64>()
-                / selected.len() as f64;
-            let score = lambda * rel - (1.0 - lambda) * avg_sim * sim_scale;
-            if score > best_score {
-                best_score = score;
-                best_pos = pos;
-            }
-        }
-        let chosen = available.remove(best_pos);
-        selected.push(chosen);
-    }
-    selected
+/// [`executed_div_pool`] over an explicit [`ExecCache`] — the cached
+/// executor seam of the [`QueryPipeline`]. A cache built with
+/// `ExecCache::with_shared` falls through to a service's process-wide tier;
+/// either way the surviving items and key sets are byte-identical to the
+/// plain-cache run (complete cache hits are truncated back to the cap).
+pub fn executed_div_pool_with(
+    db: &Database,
+    index: &InvertedIndex,
+    catalog: &TemplateCatalog,
+    ranked: &[ScoredInterpretation],
+    opts: DivExecOptions,
+    cache: &mut ExecCache,
+) -> (Vec<DivItem>, Vec<BTreeSet<ResultKey>>, ExecStats) {
+    let interpreter = Interpreter::new(db, index, catalog, InterpreterConfig::default());
+    let mut gen_cache = NonemptyCache::new();
+    let pool = QueryPipeline::new(&interpreter, ExecOptions::default(), &mut gen_cache, cache)
+        .executed_pool(ranked, opts.limit);
+    (pool.items, pool.keys, pool.stats.exec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use keybridge_core::BindingAtomKind;
+    use keybridge_core::{BindingAtom, BindingAtomKind};
     use keybridge_relstore::{AttrId, AttrRef, TableId};
 
     fn atom(table: u32, attr: u32, kw: &str) -> BindingAtom {
@@ -268,6 +170,11 @@ mod tests {
             atoms: BTreeSet::new(),
         }];
         assert!(diversify(&items, DiversifyConfig { lambda: 0.5, k: 0 }).is_empty());
+    }
+
+    #[test]
+    fn div_exec_options_default_keeps_the_historical_cap() {
+        assert_eq!(DivExecOptions::default().limit, 500);
     }
 
     #[test]

@@ -1,113 +1,19 @@
 //! Query construction options (the items of Fig. 3.1's construction panel)
 //! and their subsumption semantics (Def. 3.5.7).
 //!
-//! An option is a partial interpretation the user can accept or reject.
-//! Accepting keeps exactly the candidate interpretations that *subsume* the
-//! option; rejecting keeps the complement.
+//! The option type and its semantics moved into `keybridge_core::construct`
+//! so the concurrent `SearchService` can drive construction sessions as a
+//! first-class request mode; this module re-exports it unchanged. The
+//! behavioral tests stay here, next to the rest of the Chapter 3 harness.
 
-use keybridge_core::{
-    BindingAtom, BindingAtomKind, QueryInterpretation, TemplateCatalog, TemplateId,
-};
-use keybridge_relstore::{Database, TableId};
-
-/// A query construction option.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ConstructionOption {
-    /// "Keyword `k` is a value of / names attribute A" — the workhorse
-    /// option ("Is London a person?").
-    Atom(BindingAtom),
-    /// "The result involves table X" (e.g. "Are you looking for a movie?").
-    UsesTable(TableId),
-    /// "The query has exactly this structure" — the most specific option;
-    /// corresponds to showing a full structured query in the query window.
-    Template(TemplateId),
-}
-
-impl ConstructionOption {
-    /// Whether `interp` subsumes this option.
-    pub fn subsumed_by(&self, interp: &QueryInterpretation, catalog: &TemplateCatalog) -> bool {
-        match self {
-            ConstructionOption::Atom(atom) => interp.contains_atom(catalog, atom),
-            ConstructionOption::UsesTable(t) => catalog.get(interp.template).tree.nodes.contains(t),
-            ConstructionOption::Template(t) => interp.template == *t,
-        }
-    }
-
-    /// Human-readable rendering (the text shown in the construction panel).
-    pub fn describe(&self, db: &Database, catalog: &TemplateCatalog) -> String {
-        match self {
-            ConstructionOption::Atom(a) => {
-                let table = db.schema().table(a.attr.table);
-                match a.kind {
-                    BindingAtomKind::Value => format!(
-                        "\"{}\" is a value of {}.{}",
-                        a.keyword,
-                        table.name,
-                        table.attr(a.attr.attr).name
-                    ),
-                    BindingAtomKind::TableName => {
-                        format!("\"{}\" names the table {}", a.keyword, table.name)
-                    }
-                    BindingAtomKind::AttrName => format!(
-                        "\"{}\" names the attribute {}.{}",
-                        a.keyword,
-                        table.name,
-                        table.attr(a.attr.attr).name
-                    ),
-                }
-            }
-            ConstructionOption::UsesTable(t) => {
-                format!("the result involves {}", db.schema().table(*t).name)
-            }
-            ConstructionOption::Template(t) => {
-                let sig = catalog.get(*t).signature(db);
-                format!("the query joins exactly: {}", sig.join(" ⋈ "))
-            }
-        }
-    }
-
-    /// All options derivable from a candidate set: every distinct binding
-    /// atom, every table used by some candidate, and every candidate
-    /// template. Options subsumed by *all* candidates carry no information
-    /// and are omitted.
-    pub fn derive(
-        candidates: &[QueryInterpretation],
-        catalog: &TemplateCatalog,
-    ) -> Vec<ConstructionOption> {
-        use std::collections::BTreeSet;
-        let mut atoms: BTreeSet<BindingAtom> = BTreeSet::new();
-        let mut tables: BTreeSet<TableId> = BTreeSet::new();
-        let mut templates: BTreeSet<TemplateId> = BTreeSet::new();
-        for c in candidates {
-            for a in c.atoms(catalog) {
-                atoms.insert(a);
-            }
-            for t in &catalog.get(c.template).tree.nodes {
-                tables.insert(*t);
-            }
-            templates.insert(c.template);
-        }
-        let mut out: Vec<ConstructionOption> = atoms
-            .into_iter()
-            .map(ConstructionOption::Atom)
-            .chain(tables.into_iter().map(ConstructionOption::UsesTable))
-            .chain(templates.into_iter().map(ConstructionOption::Template))
-            .collect();
-        out.retain(|o| {
-            let n = candidates
-                .iter()
-                .filter(|c| o.subsumed_by(c, catalog))
-                .count();
-            n > 0 && n < candidates.len()
-        });
-        out
-    }
-}
+pub use keybridge_core::ConstructionOption;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use keybridge_core::{Interpreter, InterpreterConfig, KeywordQuery, TemplateCatalog};
+    use keybridge_core::{
+        Interpreter, InterpreterConfig, KeywordQuery, QueryInterpretation, TemplateCatalog,
+    };
     use keybridge_datagen::{ImdbConfig, ImdbDataset};
     use keybridge_index::InvertedIndex;
 

@@ -1,237 +1,19 @@
 //! The interactive construction session (Alg. 3.2) and the simulated user.
 //!
-//! A session holds the current candidate set (complete interpretations with
-//! probabilities), proposes the construction option with maximal information
-//! gain (Eqs. 3.11–3.13), and shrinks the set on accept/reject. The paper's
-//! greedy algorithm additionally expands the query hierarchy lazily; at the
-//! medium scale of Chapters 3–4 the candidate set fits in memory, so the
-//! session works on the materialized top level — the FreeQ crate provides
-//! the lazily-expanded variant for very large schemas.
+//! The session itself — candidate window, information-gain option selection
+//! (Eqs. 3.11–3.13), verdict application, and the pipeline-backed window
+//! execution — lives in `keybridge_core::construct` (re-exported here), so
+//! the concurrent `SearchService` can host sessions server-side with pinned
+//! snapshot epochs. This module keeps the Chapter 3 evaluation harness on
+//! top of it: the simulated user that answers options against a known
+//! intent, standing in for the §3.8.2 study participants.
 
-use crate::options::ConstructionOption;
+pub use keybridge_core::{ConstructionSession, SessionConfig};
+
 use keybridge_core::{
-    execute_interpretation_cached, ExecCache, ExecutedResult, IntentDescription, Interpreter,
-    KeywordQuery, QueryInterpretation, ScoredInterpretation, TemplateCatalog,
+    IntentDescription, QueryInterpretation, ScoredInterpretation, TemplateCatalog,
 };
-use keybridge_index::InvertedIndex;
-use keybridge_relstore::{Database, ExecOptions};
-
-/// Session tuning knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct SessionConfig {
-    /// Stop when at most this many candidates remain ("the process of query
-    /// construction stops when less than five complete query interpretations
-    /// are left in the query window", §3.8.2).
-    pub stop_at: usize,
-}
-
-impl Default for SessionConfig {
-    fn default() -> Self {
-        SessionConfig { stop_at: 5 }
-    }
-}
-
-/// Shannon entropy of a normalized distribution (Eq. 3.12 shape).
-fn entropy(probs: impl Iterator<Item = f64>) -> f64 {
-    let mut h = 0.0;
-    for p in probs {
-        if p > 0.0 {
-            h -= p * p.log2();
-        }
-    }
-    h
-}
-
-/// Entropy of a weight vector after normalization; zero-sum yields 0.
-fn entropy_of_weights(weights: &[f64]) -> f64 {
-    let sum: f64 = weights.iter().sum();
-    if sum <= 0.0 {
-        return 0.0;
-    }
-    entropy(weights.iter().map(|w| w / sum))
-}
-
-/// An in-progress construction session over a materialized candidate set.
-///
-/// Atom sets, node tables, and template ids are cached per candidate so the
-/// per-step information-gain scan is `O(#options · #candidates)` set lookups
-/// rather than repeated atom extraction.
-pub struct ConstructionSession<'a> {
-    catalog: &'a TemplateCatalog,
-    candidates: Vec<(QueryInterpretation, f64)>,
-    /// Sorted atom list per candidate (parallel to `candidates`).
-    atom_cache: Vec<Vec<keybridge_core::BindingAtom>>,
-    asked: Vec<ConstructionOption>,
-    steps: usize,
-    config: SessionConfig,
-}
-
-impl<'a> ConstructionSession<'a> {
-    /// Start a session from ranked interpretations (probabilities are reused
-    /// as plan weights).
-    pub fn new(
-        catalog: &'a TemplateCatalog,
-        ranked: &[ScoredInterpretation],
-        config: SessionConfig,
-    ) -> Self {
-        let candidates: Vec<(QueryInterpretation, f64)> = ranked
-            .iter()
-            .map(|s| (s.interpretation.clone(), s.probability.max(1e-12)))
-            .collect();
-        let atom_cache = candidates.iter().map(|(c, _)| c.atoms(catalog)).collect();
-        ConstructionSession {
-            catalog,
-            candidates,
-            atom_cache,
-            asked: Vec::new(),
-            steps: 0,
-            config,
-        }
-    }
-
-    /// Start a session directly from a keyword query: the candidate window
-    /// is the interpreter's best-first `top_k_complete` — construction
-    /// never needs the exhaustive space, only the window the user will
-    /// actually winnow (probabilities are normalized within it). The
-    /// session borrows the interpreter's own catalog.
-    pub fn for_query(
-        interpreter: &Interpreter<'a>,
-        query: &KeywordQuery,
-        window: usize,
-        config: SessionConfig,
-    ) -> Self {
-        let ranked = interpreter.top_k_complete(query, window);
-        Self::new(interpreter.catalog(), &ranked, config)
-    }
-
-    /// Remaining candidates, best first.
-    pub fn remaining(&self) -> &[(QueryInterpretation, f64)] {
-        &self.candidates
-    }
-
-    /// Options evaluated so far (the interaction cost).
-    pub fn steps(&self) -> usize {
-        self.steps
-    }
-
-    /// Whether the session should stop (few enough candidates, or no further
-    /// discriminating option exists).
-    pub fn finished(&self) -> bool {
-        self.candidates.len() <= self.config.stop_at || self.next_option().is_none()
-    }
-
-    /// Subsumption against the cached atoms of candidate `i`.
-    fn subsumes_cached(&self, i: usize, o: &ConstructionOption) -> bool {
-        match o {
-            ConstructionOption::Atom(a) => self.atom_cache[i].binary_search(a).is_ok(),
-            ConstructionOption::UsesTable(t) => self
-                .catalog
-                .get(self.candidates[i].0.template)
-                .tree
-                .nodes
-                .contains(t),
-            ConstructionOption::Template(t) => self.candidates[i].0.template == *t,
-        }
-    }
-
-    /// The next option to present: the one maximizing information gain
-    /// `IG(I|O) = H(I) − [P(O)·H(I|accept) + P(¬O)·H(I|reject)]`.
-    ///
-    /// (Eq. 3.13 computes `H(I|O)` over the subsumed side only; we use the
-    /// standard expectation over both sides, which is what "maximize the
-    /// information revealed" requires and what makes the baseline degrade to
-    /// binary splitting under uniform probabilities.)
-    pub fn next_option(&self) -> Option<ConstructionOption> {
-        // Derive candidate options from the cached atoms.
-        use std::collections::BTreeSet;
-        let mut opts: BTreeSet<ConstructionOption> = BTreeSet::new();
-        for (i, (c, _)) in self.candidates.iter().enumerate() {
-            for a in &self.atom_cache[i] {
-                opts.insert(ConstructionOption::Atom(a.clone()));
-            }
-            for t in &self.catalog.get(c.template).tree.nodes {
-                opts.insert(ConstructionOption::UsesTable(*t));
-            }
-            opts.insert(ConstructionOption::Template(c.template));
-        }
-        let h = entropy_of_weights(&self.candidates.iter().map(|(_, p)| *p).collect::<Vec<_>>());
-        let total: f64 = self.candidates.iter().map(|(_, p)| *p).sum();
-        let mut best: Option<(f64, ConstructionOption)> = None;
-        let mut acc: Vec<f64> = Vec::with_capacity(self.candidates.len());
-        let mut rej: Vec<f64> = Vec::with_capacity(self.candidates.len());
-        for o in opts {
-            if self.asked.contains(&o) {
-                continue;
-            }
-            acc.clear();
-            rej.clear();
-            for (i, (_, p)) in self.candidates.iter().enumerate() {
-                if self.subsumes_cached(i, &o) {
-                    acc.push(*p);
-                } else {
-                    rej.push(*p);
-                }
-            }
-            if acc.is_empty() || rej.is_empty() {
-                continue; // non-discriminating
-            }
-            let p_acc: f64 = acc.iter().sum::<f64>() / total;
-            let cond = p_acc * entropy_of_weights(&acc) + (1.0 - p_acc) * entropy_of_weights(&rej);
-            let ig = h - cond;
-            let better = match &best {
-                None => true,
-                Some((b, bo)) => ig > *b + 1e-12 || (ig > *b - 1e-12 && o < *bo),
-            };
-            if better {
-                best = Some((ig, o));
-            }
-        }
-        best.map(|(_, o)| o)
-    }
-
-    /// Materialize the answers of the current query window: every remaining
-    /// candidate is executed through the batched hash-join engine (at most
-    /// `limit` JTTs each), sharing one [`ExecCache`] so predicates common to
-    /// several window candidates are intersected once. Returns
-    /// `(candidate index, result)` pairs for the non-empty candidates, in
-    /// window (probability) order — the "results, not query forms" the user
-    /// is ultimately after.
-    pub fn window_answers(
-        &self,
-        db: &Database,
-        index: &InvertedIndex,
-        limit: usize,
-    ) -> Vec<(usize, std::sync::Arc<ExecutedResult>)> {
-        let mut cache = ExecCache::new();
-        let opts = ExecOptions {
-            limit,
-            ..Default::default()
-        };
-        self.candidates
-            .iter()
-            .enumerate()
-            .filter_map(|(i, (c, _))| {
-                execute_interpretation_cached(db, index, self.catalog, c, opts, &mut cache)
-                    .ok()
-                    .filter(|r| !r.is_empty())
-                    .map(|r| (i, r))
-            })
-            .collect()
-    }
-
-    /// Apply the user's verdict on `option`, shrinking the candidate set.
-    pub fn apply(&mut self, option: ConstructionOption, accepted: bool) {
-        self.steps += 1;
-        let keep: Vec<bool> = (0..self.candidates.len())
-            .map(|i| self.subsumes_cached(i, &option) == accepted)
-            .collect();
-        let mut it = keep.iter();
-        self.candidates.retain(|_| *it.next().expect("parallel"));
-        let mut it = keep.iter();
-        self.atom_cache.retain(|_| *it.next().expect("parallel"));
-        self.asked.push(option);
-    }
-}
+use keybridge_relstore::Database;
 
 /// Outcome of a simulated construction run.
 #[derive(Debug, Clone, PartialEq)]
@@ -287,11 +69,11 @@ impl<'a> SimulatedUser<'a> {
         let target = self.find_target(ranked)?.clone();
         let mut session = ConstructionSession::new(self.catalog, ranked, config);
         while session.remaining().len() > config.stop_at {
-            let Some(option) = session.next_option() else {
+            let Some(option) = session.next_option(self.catalog) else {
                 break;
             };
             let accept = option.subsumed_by(&target, self.catalog);
-            session.apply(option, accept);
+            session.apply(self.catalog, option, accept);
         }
         let target_retained = session.remaining().iter().any(|(c, _)| *c == target);
         Some(ConstructionOutcome {
@@ -336,14 +118,6 @@ mod tests {
                 .collect(),
             tables: q.intent.tables.clone(),
         }
-    }
-
-    #[test]
-    fn entropy_basics() {
-        assert_eq!(entropy_of_weights(&[]), 0.0);
-        assert_eq!(entropy_of_weights(&[1.0]), 0.0);
-        assert!((entropy_of_weights(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
-        assert!(entropy_of_weights(&[0.9, 0.1]) < 1.0);
     }
 
     #[test]
@@ -409,10 +183,10 @@ mod tests {
         }
         let mut session = ConstructionSession::new(&f.catalog, &ranked, SessionConfig::default());
         let target = ranked.last().unwrap().interpretation.clone();
-        while !session.finished() {
-            let o = session.next_option().unwrap();
+        while !session.finished(&f.catalog) {
+            let o = session.next_option(&f.catalog).unwrap();
             let a = o.subsumed_by(&target, &f.catalog);
-            session.apply(o, a);
+            session.apply(&f.catalog, o, a);
         }
         assert!(
             session.steps() <= 2 * (ranked.len() as f64).log2().ceil() as usize + 4,
@@ -484,7 +258,7 @@ mod tests {
         );
         let q = KeywordQuery::from_terms(vec!["tom".into()]);
         let session = ConstructionSession::for_query(&interp, &q, 10, SessionConfig::default());
-        let answers = session.window_answers(&f.data.db, &f.index, 5);
+        let answers = session.window_answers(&f.data.db, &f.index, &f.catalog, 5);
         assert!(!answers.is_empty(), "window produced no answers");
         for (i, r) in &answers {
             assert!(*i < session.remaining().len());
@@ -493,6 +267,47 @@ mod tests {
         }
         // Window order is preserved.
         assert!(answers.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn window_answers_with_cache_replays_identically() {
+        // Repeated refreshes through one cache must return byte-identical
+        // results while re-intersecting no predicates (the cached executor
+        // seam the satellite fix routes through).
+        let f = fixture();
+        let interp = Interpreter::new(
+            &f.data.db,
+            &f.index,
+            &f.catalog,
+            InterpreterConfig::default(),
+        );
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let session = ConstructionSession::for_query(&interp, &q, 10, SessionConfig::default());
+        let cold = session.window_answers(&f.data.db, &f.index, &f.catalog, 5);
+        let mut cache = keybridge_core::ExecCache::new();
+        let first =
+            session.window_answers_with_cache(&f.data.db, &f.index, &f.catalog, 5, &mut cache);
+        let predicates_after_first = cache.predicate_count();
+        let hits_after_first = cache.predicate_hits;
+        let second =
+            session.window_answers_with_cache(&f.data.db, &f.index, &f.catalog, 5, &mut cache);
+        assert_eq!(
+            cache.predicate_count(),
+            predicates_after_first,
+            "refresh re-materialized predicates"
+        );
+        assert!(
+            cache.predicate_hits > hits_after_first || cache.result_hits > 0,
+            "refresh never hit the cache"
+        );
+        for (run, name) in [(&first, "first"), (&second, "second")] {
+            assert_eq!(cold.len(), run.len(), "{name}");
+            for ((ci, cr), (ri, rr)) in cold.iter().zip(run.iter()) {
+                assert_eq!(ci, ri, "{name}");
+                assert_eq!(cr.jtts, rr.jtts, "{name}");
+                assert_eq!(cr.keys, rr.keys, "{name}");
+            }
+        }
     }
 
     #[test]
@@ -511,6 +326,6 @@ mod tests {
         }
         let s1 = ConstructionSession::new(&f.catalog, &ranked, SessionConfig::default());
         let s2 = ConstructionSession::new(&f.catalog, &ranked, SessionConfig::default());
-        assert_eq!(s1.next_option(), s2.next_option());
+        assert_eq!(s1.next_option(&f.catalog), s2.next_option(&f.catalog));
     }
 }

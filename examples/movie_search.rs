@@ -66,8 +66,8 @@ fn main() {
         );
         println!("--- construction session ---");
         let mut session = ConstructionSession::new(&catalog, &ranked, SessionConfig::default());
-        while !session.finished() {
-            let Some(option) = session.next_option() else {
+        while !session.finished(&catalog) {
+            let Some(option) = session.next_option(&catalog) else {
                 break;
             };
             let accept = option.subsumed_by(&target, &catalog);
@@ -77,7 +77,7 @@ fn main() {
                 option.describe(&data.db, &catalog),
                 if accept { "yes" } else { "no" }
             );
-            session.apply(option, accept);
+            session.apply(&catalog, option, accept);
         }
         println!(
             "after {} options the query window holds {} interpretations:",
@@ -95,7 +95,7 @@ fn main() {
         }
         // The payoff: execute the final window through the batched
         // hash-join engine and show actual answer tuples.
-        let window = session.window_answers(&data.db, &index, 3);
+        let window = session.window_answers(&data.db, &index, &catalog, 3);
         println!("window answers ({} non-empty candidates):", window.len());
         for (i, result) in window.iter().take(3) {
             let (c, _) = &session.remaining()[*i];

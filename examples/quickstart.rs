@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use keybridge::core::{
-    execute_interpretation, render_natural, render_sql, Interpreter, InterpreterConfig,
-    KeywordQuery, SearchService, SearchSnapshot, TemplateCatalog,
+    execute_interpretation, render_natural, render_sql, DiversifyOptions, Interpreter,
+    InterpreterConfig, KeywordQuery, SearchService, SearchSnapshot, SessionConfig, TemplateCatalog,
 };
 use keybridge::datagen::{ImdbConfig, ImdbDataset};
 use keybridge::index::InvertedIndex;
@@ -181,4 +181,63 @@ fn main() {
         reply.answers.len(),
         reply.epoch
     );
+
+    // 7. The expressive modes are served too. `search_diversified` returns
+    //    a relevant-AND-structurally-novel interpretation list (Alg. 4.1)
+    //    instead of near-duplicate readings of the same intent, and the
+    //    session registry runs incremental query construction server-side —
+    //    each session pinned to the epoch it was opened on, so a user's
+    //    window never shifts under them while ingests land.
+    let snap = service.snapshot();
+    let query = KeywordQuery::from_terms(vec!["hanks".into(), "terminal".into()]);
+    let div = service.search_diversified(&query, DiversifyOptions::default());
+    println!(
+        "\ndiversified \"hanks terminal\": {} selected from a pool of {} \
+         executed interpretations (epoch {}):",
+        div.answers.len(),
+        div.pool,
+        div.epoch
+    );
+    for a in div.answers.iter().take(5) {
+        println!(
+            "  p={:5.3} (pool rank {:2}, {} result tuples)  {}",
+            a.relevance,
+            a.pool_rank,
+            a.keys.len(),
+            render_natural(&snap.db, &snap.catalog, &a.interpretation)
+        );
+    }
+
+    let mut view = service.open_session(&query, 10, SessionConfig::default());
+    println!(
+        "\nconstruction session {:?} opened at epoch {} with {} candidates",
+        view.id, view.epoch, view.remaining
+    );
+    // Answer the proposed options like a user hunting the actor⋈movie
+    // reading: accept everything it subsumes, reject the rest.
+    while !view.finished {
+        let Some(option) = view.next_option.clone() else {
+            break;
+        };
+        let accept = view.steps.is_multiple_of(2); // a scripted user
+        println!(
+            "  Q{}: {}  ->  {}",
+            view.steps + 1,
+            option.describe(&snap.db, &snap.catalog),
+            if accept { "yes" } else { "no" }
+        );
+        view = service
+            .advance_session(view.id, &option, accept)
+            .expect("session open");
+    }
+    let answers = service.session_answers(view.id, 3).expect("session open");
+    println!(
+        "after {} options the window holds {} candidates; {} answer non-empty \
+         (still epoch {} — sessions are snapshot-isolated from ingests)",
+        view.steps,
+        view.remaining,
+        answers.answers.len(),
+        answers.epoch
+    );
+    service.close_session(view.id);
 }

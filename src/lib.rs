@@ -78,6 +78,19 @@
 //! let receipt = service.ingest(&batch).expect("valid batch");
 //! assert_eq!(receipt.epoch.0, 1);
 //! assert_eq!(service.search_versioned(&query, 5).epoch, receipt.epoch);
+//!
+//! // Diversified top-k (Alg. 4.1) and incremental construction sessions
+//! // are served request modes too; a session pins the epoch it was opened
+//! // on, so concurrent ingests never shift its window.
+//! use keybridge::core::{DiversifyOptions, SessionConfig};
+//! let div = service.search_diversified(&query, DiversifyOptions::default());
+//! assert!(div.answers.len() <= 10 && div.answers.len() <= div.pool);
+//! assert_eq!(div.epoch, receipt.epoch);
+//! let session = service.open_session(&query, 10, SessionConfig::default());
+//! assert_eq!(session.epoch, receipt.epoch);
+//! let window = service.session_answers(session.id, 3).expect("session open");
+//! assert_eq!(window.epoch, session.epoch);
+//! assert!(service.close_session(session.id));
 //! ```
 
 pub use keybridge_core as core;
