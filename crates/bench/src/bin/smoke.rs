@@ -22,11 +22,11 @@
 
 use keybridge_bench::{
     check_regression, replay_diversified, replay_serve, CheckConfig, DivServeRun, IngestRun,
-    ServeRun,
+    RecoveryRun, ServeRun,
 };
 use keybridge_core::{
-    execute_interpretation, DiversifyOptions, Interpreter, InterpreterConfig, KeywordQuery,
-    SearchSnapshot, TemplateCatalog,
+    execute_interpretation, DiversifyOptions, DurableOptions, Interpreter, InterpreterConfig,
+    KeywordQuery, SearchSnapshot, TemplateCatalog,
 };
 use keybridge_datagen::{
     holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, MixedWorkload, Workload, WorkloadConfig,
@@ -270,6 +270,7 @@ fn main() {
     let mut serve_runs: Vec<ServeRun> = Vec::new();
     let mut div_run: Option<DivServeRun> = None;
     let mut ingest_run: Option<IngestRun> = None;
+    let mut recovery_run: Option<RecoveryRun> = None;
     let mut serve_gate_failure: Option<String> = None;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -433,6 +434,29 @@ fn main() {
             ));
         }
         ingest_run = Some(run);
+
+        // == recovery: the durability path over the same insert schedule.
+        //    WAL every batch, checkpoint once mid-stream, drop the service
+        //    (the simulated crash), reopen and time the recovery. Counters
+        //    (records appended, checkpoints, tail batches replayed) are
+        //    deterministic; recovery_ms is wall-clock. ==
+        let dir = std::env::temp_dir().join(format!("keybridge-smoke-{}", std::process::id()));
+        let opts = DurableOptions {
+            max_joins: 4,
+            max_templates: 100_000,
+            ..DurableOptions::default()
+        };
+        let run = keybridge_bench::replay_recovery(&mixed.initial, &mixed.ops, &opts, &dir);
+        println!("\n== recovery (WAL every batch, one mid-stream checkpoint, kill, reopen) ==");
+        println!(
+            "  durability : {} WAL records ({} bytes framed), {} checkpoint",
+            run.wal_batches, run.wal_bytes, run.checkpoints
+        );
+        println!(
+            "  reopen     : {} batches replayed from the log tail in {:.2} ms",
+            run.replayed_batches, run.recovery_ms
+        );
+        recovery_run = Some(run);
     }
 
     match &serve_gate_failure {
@@ -464,6 +488,7 @@ fn main() {
         &serve_runs,
         div_run.as_ref(),
         ingest_run.as_ref(),
+        recovery_run.as_ref(),
     );
 
     if let Some(path) = &out_path {
@@ -518,6 +543,7 @@ fn render_json(
     serve_runs: &[ServeRun],
     div: Option<&DivServeRun>,
     ingest: Option<&IngestRun>,
+    recovery: Option<&RecoveryRun>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -613,10 +639,23 @@ fn render_json(
                 "    \"ingest_rows_per_s\": {:.1},\n",
                 run.rows_per_s
             ));
-            s.push_str(&format!("    \"qps_post_ingest\": {:.1}\n", run.post_qps));
-        } else {
-            s.push('\n');
+            s.push_str(&format!("    \"qps_post_ingest\": {:.1}", run.post_qps));
         }
+        if let Some(run) = recovery {
+            s.push_str(",\n");
+            s.push_str(&format!("    \"wal_batches\": {},\n", run.wal_batches));
+            s.push_str(&format!("    \"wal_bytes\": {},\n", run.wal_bytes));
+            s.push_str(&format!(
+                "    \"recovery_checkpoints\": {},\n",
+                run.checkpoints
+            ));
+            s.push_str(&format!(
+                "    \"recovery_replayed_batches\": {},\n",
+                run.replayed_batches
+            ));
+            s.push_str(&format!("    \"recovery_ms\": {:.3}", run.recovery_ms));
+        }
+        s.push('\n');
         s.push_str("  }");
     }
     s.push_str("\n}\n");

@@ -619,6 +619,105 @@ pub fn replay_ingest(
     }
 }
 
+/// One durability drill: WAL volume under a mixed schedule's insert
+/// batches, a mid-stream checkpoint, and the timed crash-recovery reopen.
+/// `wal_batches`, `checkpoints`, and `replayed_batches` are pure functions
+/// of the schedule (CI gates them); `recovery_ms` is the wall-clock price
+/// of `SearchService::open` and `wal_bytes` the log volume, both recorded
+/// for trend-watching.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// WAL records appended (one per insert batch of the schedule).
+    pub wal_batches: usize,
+    /// WAL bytes appended, CRC framing included.
+    pub wal_bytes: u64,
+    /// Checkpoints taken (exactly one, mid-stream).
+    pub checkpoints: usize,
+    /// Batches the recovery replayed from the WAL tail — the post-checkpoint
+    /// half of the schedule.
+    pub replayed_batches: usize,
+    /// Wall-clock of `SearchService::open`: snapshot load + WAL replay +
+    /// catalog re-enumeration. Median of three reopens (recovery does not
+    /// consume the store, so it can be timed repeatedly).
+    pub recovery_ms: f64,
+}
+
+/// Drive the durability path once: boot a single-worker durable
+/// [`SearchService`] over `initial` in `dir`, ingest every insert batch of
+/// the mixed `ops` stream (checkpointing once halfway), drop the service —
+/// the simulated crash — and reopen the store, timed. The recovered epoch
+/// must equal the batch count; the directory is removed afterwards.
+pub fn replay_recovery(
+    initial: &keybridge_relstore::Database,
+    ops: &[MixedOp],
+    opts: &keybridge_core::DurableOptions,
+    dir: &std::path::Path,
+) -> RecoveryRun {
+    let _ = std::fs::remove_dir_all(dir);
+    let catalog = TemplateCatalog::enumerate(initial, opts.max_joins, opts.max_templates)
+        .expect("schema enumerates");
+    let service = SearchService::start_durable(
+        Arc::new(SearchSnapshot::new(
+            initial.clone(),
+            InvertedIndex::build(initial),
+            catalog,
+            opts.config.clone(),
+        )),
+        1,
+        dir,
+        opts,
+    )
+    .expect("fresh durable directory");
+    let batches: Vec<_> = ops
+        .iter()
+        .filter_map(|op| match op {
+            MixedOp::Insert(batch) => Some(batch),
+            MixedOp::Query(_) => None,
+        })
+        .collect();
+    let mid = batches.len().div_ceil(2);
+    for (i, batch) in batches.iter().enumerate() {
+        service
+            .ingest(batch)
+            .expect("FK-safe schedule ingests cleanly");
+        if i + 1 == mid {
+            service.checkpoint().expect("checkpoint succeeds");
+        }
+    }
+    let stats = service.stats();
+    let (wal_batches, wal_bytes, checkpoints) =
+        (stats.wal_batches, stats.wal_bytes, stats.checkpoints);
+    drop(service); // the crash: all in-memory state is gone
+
+    // Recovery is read-only on an untorn log, so the reopen can be timed
+    // repeatedly; the median tames fsync/page-cache jitter in the gated
+    // wall-clock number.
+    let mut samples = Vec::new();
+    let mut replayed_batches = 0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let recovered = SearchService::open(dir, 1, opts).expect("store recovers");
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            recovered.current_epoch().0 as usize,
+            batches.len(),
+            "recovery lost batches"
+        );
+        replayed_batches = recovered.stats().recovery_replayed_batches;
+        assert_eq!(replayed_batches, batches.len() - mid, "unexpected replay");
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let recovery_ms = samples[samples.len() / 2];
+    let _ = std::fs::remove_dir_all(dir);
+    RecoveryRun {
+        wal_batches,
+        wal_bytes,
+        checkpoints,
+        replayed_batches,
+        recovery_ms,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Baseline bookkeeping: a dependency-free scanner for the flat-keyed
 // BENCH_*.json snapshots and the regression comparator behind
@@ -732,6 +831,9 @@ const COUNTER_KEYS: &[&str] = &[
     "stale_evictions",
     "div_pool_items",
     "div_selected",
+    "wal_batches",
+    "recovery_replayed_batches",
+    "recovery_checkpoints",
 ];
 
 /// The serve-phase deterministic counters: the ingest epoch/eviction
@@ -747,6 +849,13 @@ const SERVE_ONLY_COUNTER_KEYS: &[&str] = &[
     "stale_evictions",
     "div_pool_items",
     "div_selected",
+    "wal_batches",
+    "recovery_replayed_batches",
+    "recovery_checkpoints",
+    // Not a counter, but serve-section-only like the rest: its absence from
+    // a run without a serve section must be excused, while its presence
+    // gates through the `_ms` wall-clock rule.
+    "recovery_ms",
 ];
 
 /// String keys that must match exactly for two snapshots to be comparable
@@ -871,7 +980,9 @@ mod baseline_tests {
   "serve": { "serve_cores": 8, "qps_w1": 200.0, "p50_ms_w1": 1.0, "p50_ms_w4": 2.0, "p95_ms_w1": 3.0,
     "qps_diversified": 120.0, "div_pool_items": 40, "div_selected": 30,
     "ingest_rows": 500, "ingest_batches": 6, "epoch_swaps": 6, "stale_evictions": 40,
-    "ingest_rows_per_s": 9000.0, "qps_post_ingest": 150.0 }
+    "ingest_rows_per_s": 9000.0, "qps_post_ingest": 150.0,
+    "wal_batches": 6, "wal_bytes": 20000, "recovery_checkpoints": 1,
+    "recovery_replayed_batches": 3, "recovery_ms": 12.0 }
 }"#;
 
     fn with(key: &str, val: &str) -> String {
@@ -1023,6 +1134,39 @@ mod baseline_tests {
         // Machine-dependent: skipped across differing core counts.
         let cur =
             with("qps_diversified", "70.0").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn recovery_counters_gate_even_across_core_counts() {
+        // The WAL record count and the replayed-batch count are pure
+        // functions of the schedule: growth means the durability path
+        // changed behavior, on any machine.
+        let cur = with("wal_batches", "9").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("wal_batches")), "{v:?}");
+        let cur = with("recovery_replayed_batches", "5");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(
+            v.iter().any(|s| s.contains("recovery_replayed_batches")),
+            "{v:?}"
+        );
+        // WAL volume is informational: record framing may legitimately grow.
+        let cur = with("wal_bytes", "90000");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn recovery_wall_clock_gates_like_other_ms_keys() {
+        let cur = with("recovery_ms", "30.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("recovery_ms")), "{v:?}");
+        // Within the 1.5x wall gate: fine.
+        let cur = with("recovery_ms", "16.0");
         assert!(check_regression(BASE, &cur, CheckConfig::default())
             .unwrap()
             .is_empty());

@@ -43,6 +43,7 @@ mod rank;
 mod render;
 mod service;
 mod template;
+mod wal;
 
 pub use construct::{ConstructionOption, ConstructionSession, SessionConfig};
 pub use exec::{
@@ -68,7 +69,12 @@ pub use prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplateP
 pub use rank::{join_count_score, sqak_score};
 pub use render::{render_natural, render_sql};
 pub use service::{
-    DiversifiedReply, IngestReceipt, SearchReply, SearchService, SearchSnapshot, ServiceStats,
-    SessionAnswers, SessionId, SessionView, SnapshotEpoch, Ticket,
+    CheckpointReceipt, DiversifiedReply, DurableOptions, IngestError, IngestReceipt, RequestError,
+    SearchReply, SearchService, SearchSnapshot, ServiceStats, SessionAnswers, SessionId,
+    SessionView, SnapshotEpoch, Ticket,
 };
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};
+pub use wal::{
+    scan_wal, DurabilityError, FaultPlan, FaultPoint, Wal, WalScan, SNAPSHOT_FILE, SNAPSHOT_TMP,
+    WAL_FILE,
+};

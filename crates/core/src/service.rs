@@ -47,6 +47,19 @@
 //! byte-identical to a cold rebuild after every batch, and the epoch-race
 //! stress test in `tests/service.rs` asserts every racing reply matches
 //! exactly the oracle of the epoch it reports.
+//!
+//! ## Durability: WAL + checkpoints — **Hot path 6**
+//!
+//! A service started with [`SearchService::start_durable`] (or recovered
+//! with [`SearchService::open`]) additionally survives process death. Every
+//! accepted batch is appended to a CRC-framed write-ahead log and fsynced
+//! *before* its epoch is published, so an epoch a client ever observed is
+//! always reconstructible; [`SearchService::checkpoint`] folds the log into
+//! a fresh atomic `snapshot.kb` and truncates it. Recovery loads the latest
+//! snapshot, replays the WAL tail (discarding a torn final record), and
+//! serves the newest durable epoch — `tests/recovery.rs` kills the service
+//! at every [`FaultPoint`] and asserts the recovered answers are
+//! byte-identical to a never-crashed oracle.
 
 use crate::construct::{ConstructionOption, ConstructionSession, SessionConfig};
 use crate::exec::{ExecCache, ExecutedResult, SharedExecCache};
@@ -57,10 +70,16 @@ use crate::generate::{
 use crate::keyword::KeywordQuery;
 use crate::pipeline::{DiversifiedAnswer, DiversifyOptions, QueryPipeline};
 use crate::template::TemplateCatalog;
+use crate::wal::{
+    read_snapshot_file, scan_wal, write_snapshot_file, DurabilityError, FaultPlan, FaultPoint, Wal,
+    SNAPSHOT_FILE,
+};
 use keybridge_index::InvertedIndex;
-use keybridge_relstore::{Database, ExecOptions, RelResult, RowBatch, RowId, TableId};
+use keybridge_relstore::{BatchError, Database, ExecOptions, RelResult, RowBatch, RowId, TableId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -164,6 +183,205 @@ struct WriterState {
     index: InvertedIndex,
 }
 
+/// Why an [`SearchService::ingest`] was refused.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The batch failed validation (arity, type, primary key, referential
+    /// integrity). Nothing changed: neither store, nor WAL, nor epoch.
+    Batch(BatchError),
+    /// The WAL append failed (or an armed [`FaultPoint`] fired). The batch
+    /// was *not* published and the service is now poisoned; reopen with
+    /// [`SearchService::open`] to recover the durable prefix.
+    Durability(DurabilityError),
+    /// An earlier durability failure poisoned the service. Reads still
+    /// work; writes are refused until the store is reopened.
+    Poisoned,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Batch(e) => write!(f, "batch rejected: {e}"),
+            IngestError::Durability(e) => write!(f, "ingest not durable: {e}"),
+            IngestError::Poisoned => {
+                f.write_str("service poisoned by an earlier durability failure; reopen to recover")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Batch(e) => Some(e),
+            IngestError::Durability(e) => Some(e),
+            IngestError::Poisoned => None,
+        }
+    }
+}
+
+impl From<BatchError> for IngestError {
+    fn from(e: BatchError) -> Self {
+        IngestError::Batch(e)
+    }
+}
+
+impl From<DurabilityError> for IngestError {
+    fn from(e: DurabilityError) -> Self {
+        IngestError::Durability(e)
+    }
+}
+
+/// Why a submitted request produced no reply value. Carried *inside* the
+/// [`Ticket`] payload so a worker that panics mid-query can still answer
+/// with a typed error instead of silently hanging up the channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The serving worker panicked while computing this reply. The panic is
+    /// contained: the worker survives and keeps serving other requests.
+    WorkerPanicked {
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::WorkerPanicked { message } => {
+                write!(f, "serving worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Configuration of a durable service directory. The same options passed to
+/// [`SearchService::start_durable`] must be passed to every later
+/// [`SearchService::open`] of that directory: the snapshot file persists
+/// database and index, but the template catalog and interpreter
+/// configuration are derived state rebuilt at open time, and recovered
+/// answers are only byte-identical to the original's under the same bounds.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Checkpoint automatically after this many ingested batches
+    /// (0 = manual [`SearchService::checkpoint`] only).
+    pub checkpoint_every: usize,
+    /// Interpreter configuration of the serving snapshot.
+    pub config: InterpreterConfig,
+    /// Catalog enumeration bound: maximum joins per template.
+    pub max_joins: usize,
+    /// Catalog enumeration bound: maximum number of templates.
+    pub max_templates: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            checkpoint_every: 0,
+            config: InterpreterConfig::default(),
+            max_joins: 3,
+            max_templates: 50_000,
+        }
+    }
+}
+
+/// Receipt of one completed [`SearchService::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReceipt {
+    /// The epoch the snapshot file now holds.
+    pub epoch: SnapshotEpoch,
+    /// Size of the written snapshot file in bytes.
+    pub snapshot_bytes: u64,
+}
+
+/// The durable half of a service: the directory, the open WAL the ingest
+/// path appends to before every epoch swap, and the fault-injection plan
+/// threaded through both.
+struct Durability {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    faults: Arc<FaultPlan>,
+    /// Set when a WAL append, checkpoint, or injected fault failed: the
+    /// on-disk state may no longer match the served state, exactly as after
+    /// a crash. A poisoned service keeps serving reads but refuses ingests
+    /// and checkpoints; recovery is a fresh [`SearchService::open`].
+    poisoned: AtomicBool,
+    /// Auto-checkpoint threshold in batches (0 disables the trigger).
+    checkpoint_every: usize,
+    batches_since_checkpoint: AtomicUsize,
+    wal_batches: AtomicUsize,
+    wal_bytes: AtomicU64,
+    checkpoints: AtomicUsize,
+    /// Batches replayed from the WAL tail by the [`SearchService::open`]
+    /// that built this service (0 for [`SearchService::start_durable`]).
+    recovery_replayed: usize,
+}
+
+impl Durability {
+    fn fresh(dir: PathBuf, wal: Wal, faults: Arc<FaultPlan>, checkpoint_every: usize) -> Self {
+        Durability {
+            dir,
+            wal: Mutex::new(wal),
+            faults,
+            poisoned: AtomicBool::new(false),
+            checkpoint_every,
+            batches_since_checkpoint: AtomicUsize::new(0),
+            wal_batches: AtomicUsize::new(0),
+            wal_bytes: AtomicU64::new(0),
+            checkpoints: AtomicUsize::new(0),
+            recovery_replayed: 0,
+        }
+    }
+
+    /// Append `batch` as the record producing `seq`, fsync it, then pass
+    /// the post-append kill point. Called with the writer lock held.
+    fn append(&self, seq: u64, batch: &RowBatch) -> Result<(), DurabilityError> {
+        let bytes = self.wal.lock().unwrap().append(seq, batch, &self.faults)?;
+        self.wal_batches.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if self.faults.fire(FaultPoint::PostWalAppendPreSwap) {
+            // The record is durable but the epoch will never be published
+            // by this process — recovery must surface the batch.
+            return Err(DurabilityError::FaultInjected(
+                FaultPoint::PostWalAppendPreSwap,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Write `snapshot.kb` at `epoch`, pass the pre-truncate kill point,
+    /// then truncate the WAL. Called with the writer lock held.
+    fn checkpoint(
+        &self,
+        epoch: u64,
+        db: &Database,
+        index: &InvertedIndex,
+    ) -> Result<u64, DurabilityError> {
+        let bytes = write_snapshot_file(&self.dir, epoch, db, index, &self.faults)?;
+        if self.faults.fire(FaultPoint::PostCheckpointPreTruncate) {
+            // The snapshot landed but the log still holds its records —
+            // recovery must skip them instead of applying them twice.
+            return Err(DurabilityError::FaultInjected(
+                FaultPoint::PostCheckpointPreTruncate,
+            ));
+        }
+        self.wal.lock().unwrap().truncate()?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.batches_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
 /// Cache/serving counters of a running service, for benches and logs.
 /// Cache counters describe the *current* epoch's generation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -197,6 +415,16 @@ pub struct ServiceStats {
     /// Oldest sessions displaced by the registry bound (abandoned-session
     /// protection; a `close_session` is never counted here).
     pub sessions_evicted: usize,
+    /// WAL records appended by this instance (0 for a non-durable service).
+    pub wal_batches: usize,
+    /// WAL bytes appended by this instance, frames included.
+    pub wal_bytes: u64,
+    /// Checkpoints completed by this instance (snapshot written *and* log
+    /// truncated).
+    pub checkpoints: usize,
+    /// Batches replayed from the WAL tail by the `open` that built this
+    /// instance (0 for `start` / `start_durable`).
+    pub recovery_replayed_batches: usize,
 }
 
 /// Receipt of one accepted ingest batch.
@@ -304,17 +532,23 @@ enum Job {
     Answers {
         query: KeywordQuery,
         k: usize,
-        reply: Sender<SearchReply>,
+        reply: Sender<Result<SearchReply, RequestError>>,
     },
     Interpretations {
         query: KeywordQuery,
         k: usize,
-        reply: Sender<(Vec<ScoredInterpretation>, GenerationStats)>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<(Vec<ScoredInterpretation>, GenerationStats), RequestError>>,
     },
     Diversified {
         query: KeywordQuery,
         opts: DiversifyOptions,
-        reply: Sender<DiversifiedReply>,
+        reply: Sender<Result<DiversifiedReply, RequestError>>,
+    },
+    /// Testing seam: a request whose serving code path panics, used by the
+    /// containment regression test. Never constructed in production.
+    Panic {
+        reply: Sender<Result<SearchReply, RequestError>>,
     },
 }
 
@@ -330,6 +564,8 @@ pub struct SearchService {
     current: Arc<Mutex<Arc<ServingState>>>,
     /// Serializes ingests; lazily holds the writer's mutable copy.
     writer: Mutex<Option<WriterState>>,
+    /// WAL + checkpoint state for durable services; `None` under `start`.
+    durability: Option<Durability>,
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     served: Arc<AtomicUsize>,
@@ -345,12 +581,111 @@ pub struct SearchService {
 }
 
 impl SearchService {
-    /// Start `workers` threads serving `snapshot` (at least one) as epoch 0.
+    /// Start `workers` threads serving `snapshot` (at least one) as epoch 0,
+    /// with no durability: ingested batches live only in memory.
     pub fn start(snapshot: Arc<SearchSnapshot>, workers: usize) -> Self {
-        let current = Arc::new(Mutex::new(ServingState::fresh(
-            SnapshotEpoch::default(),
+        Self::start_inner(snapshot, workers, SnapshotEpoch::default(), None)
+    }
+
+    /// Start a **durable** service over a fresh directory: write `snapshot`
+    /// as the epoch-0 checkpoint (`snapshot.kb`), create an empty write-ahead
+    /// log (`wal.kb`), and serve. Every subsequent [`Self::ingest`] is
+    /// WAL-logged and fsynced before its epoch is published, so the served
+    /// state survives process death — reopen with [`Self::open`] and the
+    /// same `opts`. Refuses a directory that already holds a store.
+    pub fn start_durable(
+        snapshot: Arc<SearchSnapshot>,
+        workers: usize,
+        dir: &Path,
+        opts: &DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| DurabilityError::Io(format!("create {}: {e}", dir.display())))?;
+        if dir.join(SNAPSHOT_FILE).exists() {
+            return Err(DurabilityError::Corrupt(format!(
+                "{} already holds a store; use SearchService::open to recover it",
+                dir.display()
+            )));
+        }
+        let faults = Arc::new(FaultPlan::new());
+        write_snapshot_file(dir, 0, &snapshot.db, &snapshot.index, &faults)?;
+        let wal = Wal::create(dir)?;
+        let durability = Durability::fresh(dir.to_path_buf(), wal, faults, opts.checkpoint_every);
+        Ok(Self::start_inner(
             snapshot,
-        )));
+            workers,
+            SnapshotEpoch::default(),
+            Some(durability),
+        ))
+    }
+
+    /// Recover a durable service from `dir`: load the latest checkpoint,
+    /// replay the WAL tail past the checkpoint's epoch (a torn final record
+    /// is discarded, never partially applied — [`Database::insert_batch`]
+    /// atomicity is the replay unit), rebuild the catalog under `opts`, and
+    /// serve the newest durable epoch. Records at or below the checkpoint
+    /// epoch are skipped, so the post-checkpoint / pre-truncate crash window
+    /// never double-applies a batch.
+    pub fn open(
+        dir: &Path,
+        workers: usize,
+        opts: &DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        let (snap_epoch, mut db, mut index) = read_snapshot_file(dir)?;
+        let scan = scan_wal(dir)?;
+        let mut epoch = snap_epoch;
+        let mut replayed = 0usize;
+        for (seq, batch) in &scan.records {
+            if *seq <= snap_epoch {
+                continue; // already folded into the checkpoint
+            }
+            if *seq != epoch + 1 {
+                return Err(DurabilityError::Corrupt(format!(
+                    "WAL sequence gap: expected epoch {}, found {seq}",
+                    epoch + 1
+                )));
+            }
+            // A logged batch was validated before it was appended, so a
+            // rejection here means the snapshot and log disagree.
+            let ids = db.insert_batch(batch).map_err(|e| {
+                DurabilityError::Corrupt(format!("WAL batch for epoch {seq} rejected: {e}"))
+            })?;
+            let inserted: Vec<(TableId, RowId)> = batch
+                .iter()
+                .map(|(table, _)| *table)
+                .zip(ids.iter().copied())
+                .collect();
+            index.index_batch(&db, &inserted);
+            epoch = *seq;
+            replayed += 1;
+        }
+        let catalog = TemplateCatalog::enumerate(&db, opts.max_joins, opts.max_templates)
+            .map_err(|e| DurabilityError::Corrupt(format!("catalog enumeration failed: {e}")))?;
+        let snapshot = Arc::new(SearchSnapshot::new(db, index, catalog, opts.config.clone()));
+        let wal = if scan.header_valid {
+            Wal::open_at(dir, scan.good_len)?
+        } else {
+            Wal::create(dir)?
+        };
+        let faults = Arc::new(FaultPlan::new());
+        let mut durability =
+            Durability::fresh(dir.to_path_buf(), wal, faults, opts.checkpoint_every);
+        durability.recovery_replayed = replayed;
+        Ok(Self::start_inner(
+            snapshot,
+            workers,
+            SnapshotEpoch(epoch),
+            Some(durability),
+        ))
+    }
+
+    fn start_inner(
+        snapshot: Arc<SearchSnapshot>,
+        workers: usize,
+        epoch: SnapshotEpoch,
+        durability: Option<Durability>,
+    ) -> Self {
+        let current = Arc::new(Mutex::new(ServingState::fresh(epoch, snapshot)));
         let served = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -368,6 +703,7 @@ impl SearchService {
         SearchService {
             current,
             writer: Mutex::new(None),
+            durability,
             tx: Some(tx),
             workers,
             served,
@@ -402,7 +738,20 @@ impl SearchService {
     /// against the writer's copy; a rejected batch changes nothing, neither
     /// store nor epoch. Concurrent ingests serialize on the writer lock;
     /// readers are never blocked beyond the single pointer swap.
-    pub fn ingest(&self, batch: &RowBatch) -> RelResult<IngestReceipt> {
+    ///
+    /// On a durable service the validated batch is appended to the
+    /// write-ahead log and fsynced **before** the epoch swap — an epoch a
+    /// client ever observed is always recoverable. A failed append poisons
+    /// the service without publishing anything; if the configured
+    /// `checkpoint_every` threshold is reached, a checkpoint runs after the
+    /// swap (its failure also poisons, but the batch itself — already
+    /// WAL-durable — is still accepted).
+    pub fn ingest(&self, batch: &RowBatch) -> Result<IngestReceipt, IngestError> {
+        if let Some(d) = &self.durability {
+            if d.is_poisoned() {
+                return Err(IngestError::Poisoned);
+            }
+        }
         let mut writer = self.writer.lock().unwrap();
         if writer.is_none() {
             // First ingest: fork the writer's mutable copy off the served
@@ -431,6 +780,18 @@ impl SearchService {
         // go stale in between: the held writer lock serializes every path
         // that replaces `current`.
         let prev = Arc::clone(&self.current.lock().unwrap());
+        if let Some(d) = &self.durability {
+            // WAL before swap: the record producing the next epoch must be
+            // durable before any client can observe that epoch.
+            if let Err(e) = d.append(prev.epoch.0 + 1, batch) {
+                // The writer copy is now ahead of both the served and the
+                // (known-)durable state; drop it and poison. Recovery is a
+                // fresh `open`, which replays whatever the log retained.
+                d.poison();
+                *writer = None;
+                return Err(IngestError::Durability(e));
+            }
+        }
         let next = ServingState::fresh(
             SnapshotEpoch(prev.epoch.0 + 1),
             Arc::new(SearchSnapshot::new(
@@ -448,27 +809,96 @@ impl SearchService {
         self.stale_evictions
             .fetch_add(displaced.cache_entries(), Ordering::Relaxed);
         self.rows_ingested.fetch_add(ids.len(), Ordering::Relaxed);
+        if let Some(d) = &self.durability {
+            let since = d.batches_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+            if d.checkpoint_every > 0 && since >= d.checkpoint_every {
+                // Auto-checkpoint under the still-held writer lock. The
+                // batch is already WAL-durable, so a checkpoint failure
+                // poisons future writes but does not un-accept it.
+                if d.checkpoint(next.epoch.0, &w.db, &w.index).is_err() {
+                    d.poison();
+                }
+            }
+        }
         Ok(IngestReceipt {
             epoch: next.epoch,
             rows: ids.len(),
         })
     }
 
-    /// Enqueue a top-k *answers* request (the end-to-end hot path).
-    pub fn submit(&self, query: KeywordQuery, k: usize) -> Ticket<SearchReply> {
+    /// Fold the log into a fresh `snapshot.kb` (written atomically) and
+    /// truncate it. Serialized against `ingest` on the writer lock; readers
+    /// are unaffected. Any failure — IO or an armed [`FaultPoint`] —
+    /// poisons the service exactly as a crash at that instant would.
+    pub fn checkpoint(&self) -> Result<CheckpointReceipt, DurabilityError> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or(DurabilityError::NotDurable)?;
+        if d.is_poisoned() {
+            return Err(DurabilityError::Poisoned);
+        }
+        let _writer = self.writer.lock().unwrap();
+        let state = self.current.lock().unwrap().clone();
+        match d.checkpoint(state.epoch.0, &state.snapshot.db, &state.snapshot.index) {
+            Ok(snapshot_bytes) => Ok(CheckpointReceipt {
+                epoch: state.epoch,
+                snapshot_bytes,
+            }),
+            Err(e) => {
+                d.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// The fault-injection plan of a durable service (the recovery suite
+    /// arms kill points through this). `None` under [`Self::start`].
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.durability.as_ref().map(|d| Arc::clone(&d.faults))
+    }
+
+    /// Whether an earlier durability failure poisoned this service (reads
+    /// keep working; writes are refused). Always `false` under
+    /// [`Self::start`].
+    pub fn is_poisoned(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(Durability::is_poisoned)
+    }
+
+    /// Enqueue a top-k *answers* request (the end-to-end hot path). The
+    /// ticket resolves to `Err` when the serving worker panicked on this
+    /// request (the panic is contained; the worker keeps serving).
+    pub fn submit(
+        &self,
+        query: KeywordQuery,
+        k: usize,
+    ) -> Ticket<Result<SearchReply, RequestError>> {
         let (reply, rx) = channel();
         self.send(Job::Answers { query, k, reply });
         Ticket(rx)
     }
 
     /// Enqueue a top-k *interpretations* request (no execution).
+    #[allow(clippy::type_complexity)]
     pub fn submit_interpretations(
         &self,
         query: KeywordQuery,
         k: usize,
-    ) -> Ticket<(Vec<ScoredInterpretation>, GenerationStats)> {
+    ) -> Ticket<Result<(Vec<ScoredInterpretation>, GenerationStats), RequestError>> {
         let (reply, rx) = channel();
         self.send(Job::Interpretations { query, k, reply });
+        Ticket(rx)
+    }
+
+    /// Testing seam for the panic-containment path: a request whose serving
+    /// code panics. The reply must arrive as
+    /// [`RequestError::WorkerPanicked`] and the worker must survive.
+    #[doc(hidden)]
+    pub fn submit_panicking(&self) -> Ticket<Result<SearchReply, RequestError>> {
+        let (reply, rx) = channel();
+        self.send(Job::Panic { reply });
         Ticket(rx)
     }
 
@@ -476,10 +906,10 @@ impl SearchService {
     ///
     /// # Panics
     ///
-    /// Panics if the serving worker died (e.g. panicked) before replying —
-    /// a dead worker must never masquerade as a zero-result query. Callers
-    /// that need to observe disconnection as a value use
-    /// [`Self::submit`] + [`Ticket::wait`].
+    /// Panics if the request failed ([`RequestError`]) or the service shut
+    /// down before replying — a failed request must never masquerade as a
+    /// zero-result query. Callers that need to observe failure as a value
+    /// use [`Self::submit`] + [`Ticket::wait`].
     pub fn search(&self, query: &KeywordQuery, k: usize) -> Vec<RankedAnswer> {
         self.search_versioned(query, k).answers
     }
@@ -501,7 +931,8 @@ impl SearchService {
     pub fn search_versioned(&self, query: &KeywordQuery, k: usize) -> SearchReply {
         self.submit(query.clone(), k)
             .wait()
-            .expect("SearchService worker disconnected before replying")
+            .expect("SearchService shut down before replying")
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Enqueue a diversified top-k request: Alg. 4.1 over the best
@@ -511,7 +942,7 @@ impl SearchService {
         &self,
         query: KeywordQuery,
         opts: DiversifyOptions,
-    ) -> Ticket<DiversifiedReply> {
+    ) -> Ticket<Result<DiversifiedReply, RequestError>> {
         let (reply, rx) = channel();
         self.send(Job::Diversified { query, opts, reply });
         Ticket(rx)
@@ -528,7 +959,8 @@ impl SearchService {
     ) -> DiversifiedReply {
         self.submit_diversified(query.clone(), opts)
             .wait()
-            .expect("SearchService worker disconnected before replying")
+            .expect("SearchService shut down before replying")
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     // -----------------------------------------------------------------
@@ -661,6 +1093,19 @@ impl SearchService {
             result_hits: state.exec.result_hits(),
             sessions_open: self.sessions.lock().unwrap().len(),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            wal_batches: self
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.wal_batches.load(Ordering::Relaxed)),
+            wal_bytes: self
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.wal_bytes.load(Ordering::Relaxed)),
+            checkpoints: self
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.checkpoints.load(Ordering::Relaxed)),
+            recovery_replayed_batches: self.durability.as_ref().map_or(0, |d| d.recovery_replayed),
         }
     }
 
@@ -702,52 +1147,87 @@ fn worker_loop(
             Err(_) => return, // writer panicked mid-swap; shut down
         };
         let interpreter = state.snapshot.interpreter();
+        // Serving code runs under `catch_unwind`: a panicking query must
+        // come back to its client as a typed [`RequestError`], not as a
+        // hung-up channel — and the worker must survive to take the next
+        // job. `AssertUnwindSafe` is sound here because the shared caches
+        // only ever admit *complete* entries (a panic mid-query cannot have
+        // published partial derived state), and everything else the closure
+        // touches dies with the request.
         match job {
             Job::Answers { query, k, reply } => {
-                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
-                let (answers, stats) = interpreter.answers_top_k_with_caches(
-                    &query,
-                    k,
-                    ExecOptions::default(),
-                    &mut gen_cache,
-                    &mut exec_cache,
-                );
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+                    let (answers, stats) = interpreter.answers_top_k_with_caches(
+                        &query,
+                        k,
+                        ExecOptions::default(),
+                        &mut gen_cache,
+                        &mut exec_cache,
+                    );
+                    SearchReply {
+                        epoch: state.epoch,
+                        answers,
+                        stats,
+                    }
+                }));
                 // Count before replying so a client that just got its answer
                 // never observes a stale total.
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(SearchReply {
-                    epoch: state.epoch,
-                    answers,
-                    stats,
-                }); // client may have given up: fine
+                let _ = reply.send(out.map_err(panic_to_error)); // client may have given up: fine
             }
             Job::Interpretations { query, k, reply } => {
-                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                let out = interpreter.top_k_with_cache(&query, k, true, &mut gen_cache);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                    interpreter.top_k_with_cache(&query, k, true, &mut gen_cache)
+                }));
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(out);
+                let _ = reply.send(out.map_err(panic_to_error));
             }
             Job::Diversified { query, opts, reply } => {
-                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
-                let out = QueryPipeline::new(
-                    &interpreter,
-                    ExecOptions::default(),
-                    &mut gen_cache,
-                    &mut exec_cache,
-                )
-                .diversified(&query, opts);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+                    let out = QueryPipeline::new(
+                        &interpreter,
+                        ExecOptions::default(),
+                        &mut gen_cache,
+                        &mut exec_cache,
+                    )
+                    .diversified(&query, opts);
+                    DiversifiedReply {
+                        epoch: state.epoch,
+                        answers: out.answers,
+                        pool: out.pool,
+                        stats: out.stats,
+                    }
+                }));
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(DiversifiedReply {
-                    epoch: state.epoch,
-                    answers: out.answers,
-                    pool: out.pool,
-                    stats: out.stats,
+                let _ = reply.send(out.map_err(panic_to_error));
+            }
+            Job::Panic { reply } => {
+                let out = catch_unwind(|| -> SearchReply {
+                    panic!("injected worker panic (testing seam)");
                 });
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(out.map_err(panic_to_error));
             }
         }
     }
+}
+
+/// Render a caught panic payload as the typed reply error. Panics raised by
+/// `panic!("…")` carry `&str` or `String`; anything else gets a fixed tag.
+fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> RequestError {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    RequestError::WorkerPanicked { message }
 }
 
 // The whole point of the snapshot/service split: everything a worker
@@ -832,7 +1312,8 @@ mod tests {
         let (served, _) = service
             .submit_interpretations(q, 7)
             .wait()
-            .expect("service alive");
+            .expect("service alive")
+            .expect("request served");
         assert_eq!(direct.len(), served.len());
         for (a, b) in direct.iter().zip(&served) {
             assert_eq!(a.interpretation, b.interpretation);
@@ -852,7 +1333,7 @@ mod tests {
             })
             .collect();
         for (i, t) in tickets {
-            let reply = t.wait().expect("worker alive");
+            let reply = t.wait().expect("worker alive").expect("request served");
             assert!(reply.answers.len() <= 3, "request {i} overflowed k");
             assert_eq!(reply.epoch, SnapshotEpoch(0));
         }
@@ -1047,6 +1528,115 @@ mod tests {
         // Explicit closes are not evictions.
         assert!(service.close_session(*ids.last().unwrap()));
         assert_eq!(service.stats().sessions_evicted, overflow);
+    }
+
+    #[test]
+    fn panic_is_contained_and_worker_survives() {
+        let snap = snapshot();
+        // One worker: if the panic killed it, nothing could serve afterward.
+        let service = SearchService::start(snap, 1);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let before = service.search(&q, 3);
+
+        let err = service
+            .submit_panicking()
+            .wait()
+            .expect("channel alive: a contained panic still replies")
+            .expect_err("injected panic must surface as an error");
+        let RequestError::WorkerPanicked { message } = &err;
+        assert!(message.contains("injected worker panic"), "{message}");
+        assert_eq!(
+            err.to_string(),
+            format!("serving worker panicked: {message}")
+        );
+
+        // The same (sole) worker keeps serving identical answers.
+        let after = service.search(&q, 3);
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+        }
+        assert_eq!(service.stats().served, 3, "panicked request still counted");
+    }
+
+    #[test]
+    fn durable_service_checkpoints_and_reopens() {
+        let dir =
+            std::env::temp_dir().join(format!("keybridge-service-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = snapshot();
+        let actor = snap.db.schema().table_id("actor").unwrap();
+        let base_pk = snap.db.table(actor).len() as i64 + 7000;
+        let opts = DurableOptions {
+            max_joins: 4,
+            ..DurableOptions::default()
+        };
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+
+        let service = SearchService::start_durable(Arc::clone(&snap), 2, &dir, &opts).unwrap();
+        assert!(service.fault_plan().is_some());
+        assert!(!service.is_poisoned());
+        // A second start on the same directory must refuse, not clobber.
+        assert!(matches!(
+            SearchService::start_durable(Arc::clone(&snap), 1, &dir, &opts),
+            Err(DurabilityError::Corrupt(_))
+        ));
+
+        for i in 0..2 {
+            let batch: RowBatch = vec![(
+                actor,
+                vec![
+                    Value::Int(base_pk + i),
+                    Value::text(format!("tom durable{i}")),
+                ],
+            )];
+            service.ingest(&batch).unwrap();
+        }
+        let receipt = service.checkpoint().unwrap();
+        assert_eq!(receipt.epoch, SnapshotEpoch(2));
+        assert!(receipt.snapshot_bytes > 0);
+        // One more batch after the checkpoint: recovery must replay it.
+        let batch: RowBatch = vec![(
+            actor,
+            vec![Value::Int(base_pk + 2), Value::text("tom durable2")],
+        )];
+        service.ingest(&batch).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.wal_batches, 3);
+        assert!(stats.wal_bytes > 0);
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.recovery_replayed_batches, 0);
+        let expected = service.search_versioned(&q, 10);
+        drop(service);
+
+        let recovered = SearchService::open(&dir, 2, &opts).unwrap();
+        assert_eq!(recovered.current_epoch(), SnapshotEpoch(3));
+        assert_eq!(recovered.stats().recovery_replayed_batches, 1);
+        let got = recovered.search_versioned(&q, 10);
+        assert_eq!(got.epoch, expected.epoch);
+        assert_eq!(got.answers.len(), expected.answers.len());
+        for (a, b) in got.answers.iter().zip(&expected.answers) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert_eq!(a.jtt, b.jtt);
+            assert_eq!(a.keys, b.keys);
+            assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_durable_service_refuses_checkpoint() {
+        let service = SearchService::start(snapshot(), 1);
+        assert!(matches!(
+            service.checkpoint(),
+            Err(DurabilityError::NotDurable)
+        ));
+        assert!(service.fault_plan().is_none());
+        let stats = service.stats();
+        assert_eq!(stats.wal_batches, 0);
+        assert_eq!(stats.recovery_replayed_batches, 0);
     }
 
     #[test]

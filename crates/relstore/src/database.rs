@@ -1,6 +1,6 @@
 //! Row storage with primary-key and foreign-key hash indexes.
 
-use crate::error::{RelError, RelResult};
+use crate::error::{BatchError, RelError, RelResult};
 use crate::schema::{AttrRef, FkId, Schema, TableId};
 use crate::value::{RowId, Value};
 use std::collections::{HashMap, HashSet};
@@ -190,34 +190,74 @@ impl Database {
         self.insert(table, row)
     }
 
+    /// Translate a [`Self::check_shape`] failure into a [`BatchError`] that
+    /// names the table (and attribute) and pins the offending batch row.
+    fn shape_batch_error(&self, e: RelError, batch_row: usize) -> BatchError {
+        match e {
+            RelError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => BatchError::Arity {
+                table: self.schema.table(table).name.clone(),
+                batch_row,
+                expected,
+                got,
+            },
+            RelError::TypeMismatch { attr } => {
+                let t = self.schema.table(attr.table);
+                BatchError::Type {
+                    table: t.name.clone(),
+                    attr: t.attr(attr.attr).name.clone(),
+                    batch_row,
+                }
+            }
+            RelError::BadPrimaryKey { table } => BatchError::NullPrimaryKey {
+                table: self.schema.table(table).name.clone(),
+                batch_row,
+            },
+            other => unreachable!("check_shape only returns shape errors, got {other}"),
+        }
+    }
+
     /// Insert a batch of rows atomically: the whole batch is validated —
     /// arity, types, primary-key uniqueness (against the database *and*
     /// within the batch), and referential integrity, where a foreign key may
     /// resolve to a parent anywhere in the same batch — before any row is
-    /// stored. On error nothing is inserted; on success the returned ids are
-    /// in batch order.
-    pub fn insert_batch(&mut self, batch: &RowBatch) -> RelResult<Vec<RowId>> {
+    /// stored. On error nothing is inserted and the returned [`BatchError`]
+    /// names the table and batch row that failed; on success the returned
+    /// ids are in batch order.
+    pub fn insert_batch(&mut self, batch: &RowBatch) -> Result<Vec<RowId>, BatchError> {
         // Phase 1: validate. `new_pks[t]` collects primary keys the batch
         // itself introduces, so intra-batch parents (in any position — the
         // batch is one atomic unit) and intra-batch pk collisions are seen.
         let mut new_pks: Vec<HashSet<i64>> = vec![HashSet::new(); self.schema.table_count()];
-        for (table, row) in batch {
-            let pk_val = self.check_shape(*table, row)?;
+        for (i, (table, row)) in batch.iter().enumerate() {
+            let pk_val = self
+                .check_shape(*table, row)
+                .map_err(|e| self.shape_batch_error(e, i))?;
             let t = table.0 as usize;
             if self.tables[t].by_pk(pk_val).is_some() || !new_pks[t].insert(pk_val) {
-                return Err(RelError::BadPrimaryKey { table: *table });
+                return Err(BatchError::DuplicatePrimaryKey {
+                    table: self.schema.table(*table).name.clone(),
+                    key: pk_val,
+                    batch_row: i,
+                });
             }
         }
-        for (table, row) in batch {
+        for (i, (table, row)) in batch.iter().enumerate() {
             for &(fk_idx, col) in &self.table_fk_cols[table.0 as usize] {
                 if let Some(key) = row[col].as_int() {
                     let parent = self.schema.fk(FkId(fk_idx as u32)).to.table;
                     if self.tables[parent.0 as usize].by_pk(key).is_none()
                         && !new_pks[parent.0 as usize].contains(&key)
                     {
-                        return Err(RelError::BrokenForeignKey {
-                            table: *table,
-                            row: self.tables[table.0 as usize].len() as u32,
+                        let t = self.schema.table(*table);
+                        return Err(BatchError::DanglingForeignKey {
+                            table: t.name.clone(),
+                            attr: t.attrs[col].name.clone(),
+                            key,
+                            batch_row: i,
                         });
                     }
                 }
@@ -225,10 +265,13 @@ impl Database {
         }
         // Phase 2: apply. `insert` cannot fail after phase 1 validated
         // shape and pk uniqueness; index maintenance happens per row.
-        batch
+        Ok(batch
             .iter()
-            .map(|(table, row)| self.insert(*table, row.clone()))
-            .collect()
+            .map(|(table, row)| {
+                self.insert(*table, row.clone())
+                    .expect("batch validated in phase 1")
+            })
+            .collect())
     }
 
     /// Check referential integrity of every foreign key (non-null fk values
@@ -405,25 +448,72 @@ mod tests {
         let mut db = db();
         let actor = db.schema().table_id("actor").unwrap();
         let acts = db.schema().table_id("acts").unwrap();
-        // Last row is an orphan: the whole batch must be rejected.
+        // Last row is an orphan: the whole batch must be rejected, and the
+        // error names the table, column, key, and batch position.
         let bad: RowBatch = vec![
             (actor, vec![Value::Int(1), Value::text("a")]),
             (acts, vec![Value::Int(10), Value::Int(1), Value::Int(999)]),
         ];
-        assert!(matches!(
+        assert_eq!(
             db.insert_batch(&bad).unwrap_err(),
-            RelError::BrokenForeignKey { .. }
-        ));
+            BatchError::DanglingForeignKey {
+                table: "acts".into(),
+                attr: "movie_id".into(),
+                key: 999,
+                batch_row: 1,
+            }
+        );
         assert_eq!(db.total_rows(), 0, "failed batch must insert nothing");
         // Intra-batch pk collision also rejects atomically.
         let dup: RowBatch = vec![
             (actor, vec![Value::Int(1), Value::text("a")]),
             (actor, vec![Value::Int(1), Value::text("b")]),
         ];
-        assert!(matches!(
+        assert_eq!(
             db.insert_batch(&dup).unwrap_err(),
-            RelError::BadPrimaryKey { .. }
-        ));
+            BatchError::DuplicatePrimaryKey {
+                table: "actor".into(),
+                key: 1,
+                batch_row: 1,
+            }
+        );
+        assert_eq!(db.total_rows(), 0);
+    }
+
+    #[test]
+    fn insert_batch_shape_errors_carry_batch_context() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let short: RowBatch = vec![
+            (actor, vec![Value::Int(1), Value::text("a")]),
+            (actor, vec![Value::Int(2)]),
+        ];
+        assert_eq!(
+            db.insert_batch(&short).unwrap_err(),
+            BatchError::Arity {
+                table: "actor".into(),
+                batch_row: 1,
+                expected: 2,
+                got: 1,
+            }
+        );
+        let typed: RowBatch = vec![(actor, vec![Value::Int(1), Value::Int(2)])];
+        assert_eq!(
+            db.insert_batch(&typed).unwrap_err(),
+            BatchError::Type {
+                table: "actor".into(),
+                attr: "name".into(),
+                batch_row: 0,
+            }
+        );
+        let null_pk: RowBatch = vec![(actor, vec![Value::Null, Value::text("a")])];
+        assert_eq!(
+            db.insert_batch(&null_pk).unwrap_err(),
+            BatchError::NullPrimaryKey {
+                table: "actor".into(),
+                batch_row: 0,
+            }
+        );
         assert_eq!(db.total_rows(), 0);
     }
 

@@ -83,6 +83,95 @@ impl fmt::Display for RelError {
 
 impl std::error::Error for RelError {}
 
+/// Why [`crate::Database::insert_batch`] rejected a batch. Unlike the
+/// engine-internal [`RelError`] shape errors, every variant carries the
+/// *table name* and the offending row's position within the batch, so an
+/// ingest client can see exactly which row of its submission was bad —
+/// and the durability layer can log a precise rejection without ever
+/// touching storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// Row arity does not match the table definition.
+    Arity {
+        table: String,
+        batch_row: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A value does not conform to the declared attribute type.
+    Type {
+        table: String,
+        attr: String,
+        batch_row: usize,
+    },
+    /// The row's primary key is null (or otherwise not an integer).
+    NullPrimaryKey { table: String, batch_row: usize },
+    /// The row's primary key collides with a stored row or an earlier row
+    /// of the same batch.
+    DuplicatePrimaryKey {
+        table: String,
+        key: i64,
+        batch_row: usize,
+    },
+    /// A foreign-key value references a parent that exists neither in the
+    /// database nor anywhere in the batch.
+    DanglingForeignKey {
+        table: String,
+        attr: String,
+        key: i64,
+        batch_row: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Arity {
+                table,
+                batch_row,
+                expected,
+                got,
+            } => write!(
+                f,
+                "batch row {batch_row}: arity mismatch on table `{table}`: \
+                 expected {expected}, got {got}"
+            ),
+            BatchError::Type {
+                table,
+                attr,
+                batch_row,
+            } => write!(
+                f,
+                "batch row {batch_row}: type mismatch for `{table}.{attr}`"
+            ),
+            BatchError::NullPrimaryKey { table, batch_row } => write!(
+                f,
+                "batch row {batch_row}: null primary key on table `{table}`"
+            ),
+            BatchError::DuplicatePrimaryKey {
+                table,
+                key,
+                batch_row,
+            } => write!(
+                f,
+                "batch row {batch_row}: duplicate primary key {key} on table `{table}`"
+            ),
+            BatchError::DanglingForeignKey {
+                table,
+                attr,
+                key,
+                batch_row,
+            } => write!(
+                f,
+                "batch row {batch_row}: foreign key `{table}.{attr}` = {key} \
+                 references no parent row"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +214,59 @@ mod tests {
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_error_display_carries_context() {
+        let samples: Vec<(BatchError, &[&str])> = vec![
+            (
+                BatchError::Arity {
+                    table: "acts".into(),
+                    batch_row: 3,
+                    expected: 4,
+                    got: 2,
+                },
+                &["acts", "row 3", "expected 4", "got 2"],
+            ),
+            (
+                BatchError::Type {
+                    table: "movie".into(),
+                    attr: "title".into(),
+                    batch_row: 0,
+                },
+                &["movie.title", "row 0"],
+            ),
+            (
+                BatchError::NullPrimaryKey {
+                    table: "actor".into(),
+                    batch_row: 1,
+                },
+                &["actor", "null primary key"],
+            ),
+            (
+                BatchError::DuplicatePrimaryKey {
+                    table: "actor".into(),
+                    key: 7,
+                    batch_row: 2,
+                },
+                &["duplicate primary key 7", "actor"],
+            ),
+            (
+                BatchError::DanglingForeignKey {
+                    table: "acts".into(),
+                    attr: "actor_id".into(),
+                    key: 99,
+                    batch_row: 5,
+                },
+                &["acts.actor_id", "99", "no parent"],
+            ),
+        ];
+        for (e, needles) in samples {
+            let text = e.to_string();
+            for n in needles {
+                assert!(text.contains(n), "`{text}` should contain `{n}`");
+            }
         }
     }
 }

@@ -5,10 +5,14 @@
 //!
 //! * a typed catalog ([`Schema`]) with primary keys and foreign keys,
 //! * row storage with primary-key and foreign-key hash indexes ([`Database`]),
-//! * an undirected join graph over the schema ([`SchemaGraph`]), and
+//! * an undirected join graph over the schema ([`SchemaGraph`]),
 //! * an executor for *join trees* — the relational-algebra shape of candidate
 //!   networks / query interpretations — given per-node candidate row sets
-//!   ([`execute_join_tree`]).
+//!   ([`execute_join_tree`]), and
+//! * a compact, versioned on-disk snapshot of schema + rows with
+//!   length-prefixed, checksummed sections ([`Database::snapshot_bytes`]),
+//!   plus the binary framing toolkit ([`snapshot`]) the index snapshot and
+//!   the service's write-ahead log are built from.
 //!
 //! The engine is deliberately single-threaded and deterministic: the paper's
 //! measurements are single-session latencies, and reproducibility matters more
@@ -39,10 +43,11 @@ mod error;
 mod exec;
 mod graph;
 mod schema;
+pub mod snapshot;
 mod value;
 
 pub use database::{Database, RowBatch, TableStore};
-pub use error::{RelError, RelResult};
+pub use error::{BatchError, RelError, RelResult};
 pub use exec::{
     execute_join_tree, execute_join_tree_with_stats, Candidates, ExecOptions, ExecOutcome,
     ExecStats, ExecStrategy, JoinTree, JoinTreeEdge, JoinedRow,
@@ -52,4 +57,5 @@ pub use schema::{
     AttrId, AttrRef, AttributeDef, FkId, ForeignKey, Schema, SchemaBuilder, TableBuilder, TableDef,
     TableId, TableKind,
 };
+pub use snapshot::SnapshotError;
 pub use value::{RowId, Value, ValueType};

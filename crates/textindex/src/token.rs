@@ -43,6 +43,25 @@ impl Tokenizer {
         }
     }
 
+    /// Tokenizer with an explicit stopword list (snapshot reload: a stored
+    /// index must tokenize future rows exactly as the original did).
+    pub fn with_stopwords<I>(stopwords: I) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        Tokenizer {
+            stopwords: stopwords.into_iter().collect(),
+        }
+    }
+
+    /// The stopword list, sorted — a deterministic rendering of the
+    /// tokenizer's only configuration, used by the index snapshot.
+    pub fn stopwords(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.stopwords.iter().map(String::as_str).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Whether `term` is a stopword under this tokenizer.
     pub fn is_stopword(&self, term: &str) -> bool {
         self.stopwords.contains(term)
@@ -121,6 +140,18 @@ mod tests {
     fn unique_dedup_preserves_order() {
         let t = Tokenizer::keep_all();
         assert_eq!(t.tokenize_unique("tom tom hanks tom"), vec!["tom", "hanks"]);
+    }
+
+    #[test]
+    fn stopwords_roundtrip_through_accessors() {
+        let t = Tokenizer::new();
+        let words: Vec<String> = t.stopwords().iter().map(|s| s.to_string()).collect();
+        assert_eq!(words.len(), DEFAULT_STOPWORDS.len());
+        assert!(words.windows(2).all(|w| w[0] < w[1]), "sorted");
+        let back = Tokenizer::with_stopwords(words);
+        assert_eq!(back.stopwords(), t.stopwords());
+        assert_eq!(back.tokenize("The Terminal"), t.tokenize("The Terminal"));
+        assert!(Tokenizer::with_stopwords(Vec::new()).stopwords().is_empty());
     }
 
     #[test]

@@ -69,7 +69,9 @@
 //! // Submit asynchronously from any thread; block on the ticket when ready.
 //! let query = KeywordQuery::from_terms(vec!["tom".into()]);
 //! let ticket = service.submit(query.clone(), 5);
-//! let reply = ticket.wait().expect("service alive");
+//! // The ticket payload is a Result: a panicking worker replies with a
+//! // typed error (the panic is contained) instead of hanging up.
+//! let reply = ticket.wait().expect("service alive").expect("request served");
 //! assert!(reply.answers.len() <= 5);
 //! assert_eq!(reply.epoch.0, 0);
 //!
@@ -92,6 +94,19 @@
 //! assert_eq!(window.epoch, session.epoch);
 //! assert!(service.close_session(session.id));
 //! ```
+//!
+//! ## Durable stores
+//!
+//! A service started with [`core::SearchService::start_durable`] survives
+//! process death: every accepted batch is appended to a CRC-framed
+//! write-ahead log and fsynced *before* its epoch is published,
+//! [`core::SearchService::checkpoint`] folds the log into an atomically
+//! replaced, checksummed snapshot file, and [`core::SearchService::open`]
+//! recovers the newest durable epoch — replaying the log tail and
+//! discarding a torn final record. Recovered answers are byte-identical to
+//! a never-crashed service's (`tests/recovery.rs` proves this at every
+//! injected kill point); `examples/quickstart.rs` §8 walks the
+//! checkpoint → crash → reopen cycle.
 
 pub use keybridge_core as core;
 pub use keybridge_datagen as datagen;
