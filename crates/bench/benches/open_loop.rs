@@ -1,0 +1,82 @@
+//! Open-loop serving latency: drive a seeded sub-saturation arrival
+//! schedule of mixed search/diversified traffic through the concurrent
+//! `SearchService` and report wall-clock per replay. Unlike
+//! `serve_throughput` (closed-loop clients that wait for each reply, so a
+//! slow service slows its own load down), the arrival instants here are
+//! fixed before the run and latency is charged from the *scheduled*
+//! arrival — the coordinated-omission-free view. The full SLO capacity
+//! sweep lives in `smoke --serve`; this microbench tracks the cost of one
+//! rung.
+//!
+//! Run with: `cargo bench -p keybridge-bench --bench open_loop`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use keybridge_bench::{openloop_schedule, run_open_loop, MixWeights, OpenLoopConfig};
+use keybridge_core::{InterpreterConfig, SearchService, SearchSnapshot};
+use keybridge_datagen::{ImdbConfig, ImdbDataset, Workload, WorkloadConfig};
+use std::sync::Arc;
+
+fn open_loop_rung(c: &mut Criterion) {
+    let data = ImdbDataset::generate(ImdbConfig {
+        seed: 1,
+        actors: 400,
+        directors: 100,
+        movies: 500,
+        companies: 50,
+        avg_cast: 3,
+    })
+    .expect("generation succeeds");
+    let workload = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: 7,
+            n_queries: 48,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries: Vec<Vec<String>> = workload
+        .queries
+        .iter()
+        .map(|q| q.keywords.clone())
+        .collect();
+    let snapshot = Arc::new(
+        SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 100_000)
+            .expect("medium schema"),
+    );
+    // Read-only mix (no ingest batches in this microbench) at a modest
+    // offered rate: the interesting cost is the dispatch + stamped-reply
+    // machinery, not a saturation backlog.
+    let mix = MixWeights {
+        search: 92,
+        diversified: 4,
+        session: 4,
+        ingest: 0,
+    };
+    let ops = openloop_schedule(23, 60, 150.0, mix, queries.len(), 0);
+    let cfg = OpenLoopConfig {
+        workers: 2,
+        sync_clients: 1,
+        ..Default::default()
+    };
+    c.bench_function("open_loop_60ops_150rps_2w", |b| {
+        b.iter(|| {
+            let service = SearchService::start(Arc::clone(&snapshot), cfg.workers);
+            let run = run_open_loop(&service, &queries, &[], &ops, &cfg);
+            assert_eq!(run.offered, ops.len());
+            run.p95_ms
+        })
+    });
+}
+
+fn config() -> Criterion {
+    // Each iteration replays a fixed 60-op schedule (~0.4 s of scheduled
+    // arrivals), so the default 20-sample budget would run minutes.
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = open_loop_rung
+}
+criterion_main!(benches);

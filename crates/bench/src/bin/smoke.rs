@@ -21,8 +21,9 @@
 //! with the 1.5x slack of `keybridge_bench::check_regression`.
 
 use keybridge_bench::{
-    check_regression, replay_diversified, replay_serve, CheckConfig, DivServeRun, IngestRun,
-    RecoveryRun, ServeRun,
+    check_regression, replay_diversified, replay_serve, sweep_capacity, CheckConfig, DivServeRun,
+    IngestRun, MixWeights, OpenLoopConfig, RecoveryRun, ServeRun, SloConfig, SweepConfig,
+    SweepOutcome,
 };
 use keybridge_core::{
     execute_interpretation, DiversifyOptions, DurableOptions, Interpreter, InterpreterConfig,
@@ -52,6 +53,13 @@ struct Profile {
     ingest_holdout: f64,
     /// Insert batches (= epoch swaps) of the live-ingestion phase.
     ingest_batches: usize,
+    /// Operations per rung of the open-loop capacity sweep (fixed across
+    /// rungs, so the per-mode schedule counts stay rate-independent).
+    sweep_ops: usize,
+    /// Offered rate of the sweep's first rung.
+    sweep_start_rps: f64,
+    /// Insert batches available to the sweep schedule's ingest slots.
+    sweep_batches: usize,
 }
 
 impl Profile {
@@ -64,6 +72,9 @@ impl Profile {
             serve_queries: 108,
             ingest_holdout: 0.15,
             ingest_batches: 10,
+            sweep_ops: 480,
+            sweep_start_rps: 200.0,
+            sweep_batches: 6,
         }
     }
 
@@ -83,6 +94,9 @@ impl Profile {
             serve_queries: 48,
             ingest_holdout: 0.15,
             ingest_batches: 6,
+            sweep_ops: 320,
+            sweep_start_rps: 200.0,
+            sweep_batches: 4,
         }
     }
 }
@@ -108,6 +122,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut sweep_out_path: Option<String> = None;
     let mut profile = Profile::full();
     let mut serve = false;
     let mut i = 0;
@@ -123,10 +138,15 @@ fn main() {
                 check_path = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--sweep-out" => {
+                sweep_out_path = args.get(i + 1).cloned();
+                i += 1;
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: smoke [--smoke] [--serve] [--out FILE] [--check BASELINE]"
+                     usage: smoke [--smoke] [--serve] [--out FILE] [--check BASELINE] \
+                     [--sweep-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -271,6 +291,8 @@ fn main() {
     let mut div_run: Option<DivServeRun> = None;
     let mut ingest_run: Option<IngestRun> = None;
     let mut recovery_run: Option<RecoveryRun> = None;
+    let mut sweep_outcome: Option<SweepOutcome> = None;
+    let mut sweep_workers = 0usize;
     let mut serve_gate_failure: Option<String> = None;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -457,6 +479,91 @@ fn main() {
             run.replayed_batches, run.recovery_ms
         );
         recovery_run = Some(run);
+
+        // == open-loop sweep: the capacity knee under a fixed-rate mixed
+        //    schedule. Unlike the closed-loop replays above, arrival
+        //    instants are fixed before each rung and latency is charged
+        //    from the *scheduled* arrival, so queueing behind a slow
+        //    service counts (no coordinated omission). The ladder climbs
+        //    1.25x per rung until p95 or the failure/timeout rate breaks
+        //    the SLO; the knee is the last rate that held it. ==
+        let sweep_plan = holdout_plan(
+            &mixed.initial,
+            IngestConfig {
+                seed: 19,
+                holdout: 0.05,
+                batches: profile.sweep_batches,
+            },
+        );
+        let ol_snapshot = Arc::new(SearchSnapshot::new(
+            sweep_plan.initial.clone(),
+            InvertedIndex::build(&sweep_plan.initial),
+            snapshot.catalog.clone(),
+            InterpreterConfig::default(),
+        ));
+        sweep_workers = cores.clamp(1, 8);
+        let sweep_cfg = SweepConfig {
+            seed: 23,
+            n_ops: profile.sweep_ops,
+            start_rps: profile.sweep_start_rps,
+            growth: 1.25,
+            max_rungs: 14,
+            mix: MixWeights::default(),
+            slo: SloConfig {
+                p95_ms: 50.0,
+                max_failure_rate: 0.02,
+            },
+            open: OpenLoopConfig {
+                workers: sweep_workers,
+                sync_clients: 2,
+                timeout_ms: 500.0,
+                ..Default::default()
+            },
+        };
+        let outcome = sweep_capacity(&ol_snapshot, &queries, &sweep_plan.batches, &sweep_cfg);
+        println!(
+            "\n== open-loop sweep ({} ops/rung, {}/{}/{}/{} search/div/session/ingest, \
+             SLO p95 <= {} ms, failures <= {:.0}%, {} workers) ==",
+            profile.sweep_ops,
+            outcome.counts.search,
+            outcome.counts.diversified,
+            outcome.counts.session,
+            outcome.counts.ingest,
+            sweep_cfg.slo.p95_ms,
+            sweep_cfg.slo.max_failure_rate * 100.0,
+            sweep_workers,
+        );
+        for r in &outcome.rungs {
+            println!(
+                "  {:8.1} rps offered: p50 {:7.3} ms  p95 {:7.3} ms  p99 {:7.3} ms  \
+                 achieved {:7.1} rps  {} failed  {} timed out  [{}]",
+                r.target_rps,
+                r.run.p50_ms,
+                r.run.p95_ms,
+                r.run.p99_ms,
+                r.run.achieved_rps,
+                r.run.failures,
+                r.run.timeouts,
+                if r.passed { "ok" } else { "SLO broken" },
+            );
+        }
+        if outcome.capacity_rps > 0.0 {
+            println!(
+                "  capacity   : {:.1} rps (p95 {:.3} ms at the knee)",
+                outcome.capacity_rps, outcome.p95_at_capacity_ms
+            );
+        } else {
+            println!(
+                "  capacity   : below the first rung ({:.1} rps) — p95 {:.3} ms there",
+                profile.sweep_start_rps, outcome.p95_at_capacity_ms
+            );
+        }
+        if let Some(path) = &sweep_out_path {
+            let curve = render_sweep_curve(&profile, cores, &sweep_cfg, &outcome);
+            std::fs::write(path, curve).expect("write sweep curve");
+            println!("  sweep curve written to {path}");
+        }
+        sweep_outcome = Some(outcome);
     }
 
     match &serve_gate_failure {
@@ -489,6 +596,8 @@ fn main() {
         div_run.as_ref(),
         ingest_run.as_ref(),
         recovery_run.as_ref(),
+        sweep_outcome.as_ref(),
+        sweep_workers,
     );
 
     if let Some(path) = &out_path {
@@ -544,6 +653,8 @@ fn render_json(
     div: Option<&DivServeRun>,
     ingest: Option<&IngestRun>,
     recovery: Option<&RecoveryRun>,
+    sweep: Option<&SweepOutcome>,
+    sweep_workers: usize,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -655,9 +766,81 @@ fn render_json(
             ));
             s.push_str(&format!("    \"recovery_ms\": {:.3}", run.recovery_ms));
         }
+        if let Some(o) = sweep {
+            s.push_str(",\n");
+            s.push_str(&format!("    \"openloop_workers\": {sweep_workers},\n"));
+            s.push_str(&format!(
+                "    \"openloop_search_ops\": {},\n",
+                o.counts.search
+            ));
+            s.push_str(&format!(
+                "    \"openloop_diversified_ops\": {},\n",
+                o.counts.diversified
+            ));
+            s.push_str(&format!(
+                "    \"openloop_session_ops\": {},\n",
+                o.counts.session
+            ));
+            s.push_str(&format!(
+                "    \"openloop_ingest_ops\": {},\n",
+                o.counts.ingest
+            ));
+            s.push_str(&format!("    \"capacity_rps\": {:.1},\n", o.capacity_rps));
+            s.push_str(&format!(
+                "    \"p95_at_capacity_ms\": {:.3}",
+                o.p95_at_capacity_ms
+            ));
+        }
         s.push('\n');
         s.push_str("  }");
     }
     s.push_str("\n}\n");
+    s
+}
+
+/// Render the per-rung sweep curve as its own JSON document (the CI
+/// artifact behind a knee-gate failure). This file is diagnostic only —
+/// `check_regression` never reads it — so it carries the full ladder
+/// rather than one flat-keyed scalar per metric.
+fn render_sweep_curve(
+    profile: &Profile,
+    cores: usize,
+    cfg: &SweepConfig,
+    outcome: &SweepOutcome,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"profile\": \"{}\",\n", profile.name));
+    s.push_str(&format!("  \"serve_cores\": {cores},\n"));
+    s.push_str(&format!("  \"slo_p95_ms\": {:.1},\n", cfg.slo.p95_ms));
+    s.push_str(&format!(
+        "  \"slo_max_failure_rate\": {:.3},\n",
+        cfg.slo.max_failure_rate
+    ));
+    s.push_str(&format!(
+        "  \"capacity_rps\": {:.1},\n",
+        outcome.capacity_rps
+    ));
+    s.push_str("  \"rungs\": [\n");
+    for (i, r) in outcome.rungs.iter().enumerate() {
+        let comma = if i + 1 < outcome.rungs.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"target_rps\": {:.1}, \"achieved_rps\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"max_ms\": {:.3}, \"completed\": {}, \"failures\": {}, \
+             \"timeouts\": {}, \"passed\": {} }}{comma}\n",
+            r.target_rps,
+            r.run.achieved_rps,
+            r.run.p50_ms,
+            r.run.p95_ms,
+            r.run.p99_ms,
+            r.run.max_ms,
+            r.run.completed,
+            r.run.failures,
+            r.run.timeouts,
+            r.passed,
+        ));
+    }
+    s.push_str("  ]\n}\n");
     s
 }

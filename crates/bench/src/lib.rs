@@ -395,6 +395,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+mod openloop;
+pub use openloop::{
+    openloop_schedule, queue_latencies, run_open_loop, sweep_capacity, MixWeights, ModeCounts,
+    OpMode, OpenLoopConfig, OpenLoopOp, OpenLoopRun, SloConfig, SweepConfig, SweepOutcome,
+    SweepRung,
+};
+
 /// One replay of a query log through a service: wall-clock throughput and
 /// the per-request latency distribution.
 #[derive(Debug, Clone)]
@@ -411,13 +418,20 @@ pub struct ServeRun {
     pub p99_ms: f64,
 }
 
-/// Nearest-rank percentile of a sorted sample, `q` in [0, 1].
+/// Nearest-rank percentile of a sorted sample, `q` in [0, 1]: the smallest
+/// element with at least `q·n` of the sample at or below it, i.e. rank
+/// `⌈q·n⌉` (1-based, clamped to the sample). The previous
+/// `round(q·(n-1))` interpolation rounded the median of an even-sized
+/// sample *up* a rank — `percentile([1,2,3,4], 0.5)` said 3 where
+/// nearest-rank says 2 — overstating every even-n tail quantile by up to
+/// one rank. Empty input is NaN.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
-    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Replay `queries` through a fresh `workers`-thread [`SearchService`] over
@@ -834,6 +848,10 @@ const COUNTER_KEYS: &[&str] = &[
     "wal_batches",
     "recovery_replayed_batches",
     "recovery_checkpoints",
+    "openloop_search_ops",
+    "openloop_diversified_ops",
+    "openloop_session_ops",
+    "openloop_ingest_ops",
 ];
 
 /// The serve-phase deterministic counters: the ingest epoch/eviction
@@ -852,10 +870,22 @@ const SERVE_ONLY_COUNTER_KEYS: &[&str] = &[
     "wal_batches",
     "recovery_replayed_batches",
     "recovery_checkpoints",
+    // The open-loop sweep's per-mode schedule counts: the arrival schedule
+    // is seeded and rate-independent, so these are pure functions of the
+    // sweep config and gate strictly on any machine.
+    "openloop_search_ops",
+    "openloop_diversified_ops",
+    "openloop_session_ops",
+    "openloop_ingest_ops",
     // Not a counter, but serve-section-only like the rest: its absence from
     // a run without a serve section must be excused, while its presence
     // gates through the `_ms` wall-clock rule.
     "recovery_ms",
+    // The capacity knee is a rate (higher is better, like `qps_*`) and just
+    // as machine-dependent, so it follows the serve-rate rules: gated on
+    // matching hardware, informational across differing core counts,
+    // excused when the current run has no serve section.
+    "capacity_rps",
 ];
 
 /// String keys that must match exactly for two snapshots to be comparable
@@ -899,9 +929,13 @@ pub fn check_regression(
     for (key, bval) in &base {
         let serve_counter = SERVE_ONLY_COUNTER_KEYS.contains(&key.as_str());
         // Machine-dependent serve rates are incomparable across core
-        // counts. The deterministic serve counters stay gated: none of
-        // them is a rate, so none matches these name patterns.
-        if !serve_comparable && (key.starts_with("qps_") || key.contains("_ms_w")) {
+        // counts — the closed-loop QPS figures, the per-worker latencies,
+        // and the open-loop capacity knee alike. The deterministic serve
+        // counters stay gated: none of them is a rate, so none matches
+        // these name patterns.
+        if !serve_comparable
+            && (key.starts_with("qps_") || key.contains("_ms_w") || key == "capacity_rps")
+        {
             continue;
         }
         let BaselineValue::Num(b) = bval else {
@@ -919,6 +953,7 @@ pub fn check_regression(
             && (key.contains("_ms")
                 || key.starts_with("wall_")
                 || key.starts_with("qps_")
+                || key == "capacity_rps"
                 || COUNTER_KEYS.contains(&key.as_str()));
         let Some(BaselineValue::Num(c)) = cur.get(key) else {
             // Only a gated metric is required to be present; informational
@@ -946,8 +981,9 @@ pub fn check_regression(
                     cfg.wall_factor
                 ));
             }
-        } else if key.starts_with("qps_") {
-            // Higher is better.
+        } else if key.starts_with("qps_") || key == "capacity_rps" {
+            // Higher is better. The sweep ladder grows by 1.25x per rung,
+            // so one rung of quantization noise stays under the 1.5x gate.
             if c < b / cfg.wall_factor - 1e-9 {
                 violations.push(format!(
                     "throughput regression: {key} {c:.1} vs baseline {b:.1} \
@@ -982,7 +1018,10 @@ mod baseline_tests {
     "ingest_rows": 500, "ingest_batches": 6, "epoch_swaps": 6, "stale_evictions": 40,
     "ingest_rows_per_s": 9000.0, "qps_post_ingest": 150.0,
     "wal_batches": 6, "wal_bytes": 20000, "recovery_checkpoints": 1,
-    "recovery_replayed_batches": 3, "recovery_ms": 12.0 }
+    "recovery_replayed_batches": 3, "recovery_ms": 12.0,
+    "capacity_rps": 800.0, "p95_at_capacity_ms": 12.0,
+    "openloop_search_ops": 216, "openloop_diversified_ops": 10,
+    "openloop_session_ops": 9, "openloop_ingest_ops": 5 }
 }"#;
 
     fn with(key: &str, val: &str) -> String {
@@ -1173,6 +1212,55 @@ mod baseline_tests {
     }
 
     #[test]
+    fn capacity_knee_gates_like_a_throughput_key() {
+        // A knee collapse beyond 1/1.5x fails on matching hardware...
+        let cur = with("capacity_rps", "500.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("capacity_rps")), "{v:?}");
+        // ...one sweep rung of quantization (1/1.25x) stays under the gate...
+        let cur = with("capacity_rps", "640.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        // ...and across differing core counts the knee is machine noise.
+        let cur = with("capacity_rps", "200.0").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn p95_at_capacity_is_informational() {
+        // A tail percentile, so recorded but never gated — the SLO check
+        // inside the sweep already bounded it at measurement time.
+        let cur = with("p95_at_capacity_ms", "90.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn openloop_schedule_counters_gate_even_across_core_counts() {
+        // The arrival schedule is seeded and rate-independent: per-mode op
+        // counts are pure functions of the sweep config, on any machine.
+        let cur =
+            with("openloop_search_ops", "260").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("openloop_search_ops")), "{v:?}");
+        let cur = with("openloop_ingest_ops", "7");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("openloop_ingest_ops")), "{v:?}");
+        // Dropping a gated schedule counter from a serve run is a violation.
+        let cur = BASE.replace("\"openloop_session_ops\": 9,", "");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(
+            v.iter()
+                .any(|s| s.contains("openloop_session_ops") && s.contains("missing")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
     fn check_without_serve_section_passes() {
         // A --check run without --serve emits no serve keys at all; the
         // serve metrics go informational instead of reporting "missing".
@@ -1194,9 +1282,34 @@ mod baseline_tests {
     fn latency_percentiles_are_ordered() {
         let mut xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert_eq!(percentile(&xs, 0.5), 50.0);
+        // Nearest rank: ⌈0.5·100⌉ = rank 50 = element 49 (the old
+        // round(q·(n-1)) formula said 50.0 here).
+        assert_eq!(percentile(&xs, 0.5), 49.0);
         assert_eq!(percentile(&xs, 0.99), 98.0);
         assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank_on_small_even_samples() {
+        // The cases that distinguish nearest-rank from the old rounded
+        // interpolation. n=4, q=0.5: ⌈2⌉ = rank 2 = 20.0; the old formula
+        // rounded 0.5·3 = 1.5 up to index 2 = 30.0, overstating the median.
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.5), 20.0);
+        // n=2, q=0.25: ⌈0.5⌉ = rank 1; the old formula also said index 0,
+        // but n=2 q=0.75 diverged: ⌈1.5⌉ = rank 2 = 8.0 vs round(0.75) = 1.
+        let xs = [5.0, 8.0];
+        assert_eq!(percentile(&xs, 0.25), 5.0);
+        assert_eq!(percentile(&xs, 0.75), 8.0);
+        // Endpoints clamp: q=0 is the minimum (rank clamps up to 1), q=1
+        // the maximum, and a singleton answers every quantile.
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
+        // A tail quantile on a tiny sample is the max, not an
+        // out-of-bounds rank.
+        assert_eq!(percentile(&xs, 0.99), 40.0);
     }
 }
 

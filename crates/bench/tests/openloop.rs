@@ -1,0 +1,213 @@
+//! Integration tests for the open-loop load harness.
+//!
+//! The harness exists to fix coordinated omission, so these tests pin the
+//! two properties that make it trustworthy: (1) with a known injected
+//! service time, measured open-loop latencies dominate the analytic
+//! virtual-time queueing model — the harness really charges queueing delay
+//! to the service; (2) at matched offered load past saturation, the
+//! open-loop p95 is at least the closed-loop p95 — the closed loop's
+//! adaptive arrivals hide exactly the delay the open loop surfaces.
+
+use keybridge_bench::{
+    openloop_schedule, percentile, queue_latencies, run_open_loop, sweep_capacity, MixWeights,
+    OpenLoopConfig, SloConfig, SweepConfig,
+};
+use keybridge_core::{InterpreterConfig, SearchService, SearchSnapshot, TemplateCatalog};
+use keybridge_datagen::{
+    holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, Workload, WorkloadConfig,
+};
+use keybridge_index::InvertedIndex;
+use keybridge_relstore::RowBatch;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A minimal snapshot for runs whose search work is an injected sleep: the
+/// service only needs something valid to boot over.
+fn tiny_snapshot() -> Arc<SearchSnapshot> {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(3)).unwrap();
+    let index = InvertedIndex::build(&data.db);
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).unwrap();
+    Arc::new(SearchSnapshot::new(
+        data.db,
+        index,
+        catalog,
+        InterpreterConfig::default(),
+    ))
+}
+
+/// A search-only mix: every scheduled op is a plain search, so an injected
+/// sleep makes the service time an exact known constant.
+fn search_only() -> MixWeights {
+    MixWeights {
+        search: 1,
+        diversified: 0,
+        session: 0,
+        ingest: 0,
+    }
+}
+
+#[test]
+fn injected_delays_reproduce_analytic_queueing() {
+    // 10 arrivals at 100 rps (mean gap 10 ms) into a single worker that
+    // takes exactly 20 ms per request: the worker falls behind by ~10 ms
+    // per arrival, and the open-loop latency of each request must be at
+    // least what the FIFO virtual-time model predicts. (It can only be
+    // more: sleeps oversleep, dispatch never fires early, and the single
+    // worker drains the queue in schedule order — real completion times
+    // dominate virtual ones pointwise, hence sorted samples dominate
+    // elementwise.)
+    let service_s = 0.020;
+    let ops = openloop_schedule(11, 10, 100.0, search_only(), 1, 0);
+    let arrivals: Vec<f64> = ops.iter().map(|o| o.at).collect();
+    let mut expect_ms: Vec<f64> = queue_latencies(&arrivals, service_s, 1)
+        .into_iter()
+        .map(|s| s * 1e3)
+        .collect();
+    expect_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let service = SearchService::start(tiny_snapshot(), 1);
+    let cfg = OpenLoopConfig {
+        workers: 1,
+        sync_clients: 1,
+        timeout_ms: 10_000.0,
+        inject_sleep: Some(Duration::from_secs_f64(service_s)),
+        ..Default::default()
+    };
+    let queries = vec![vec!["x".to_string()]];
+    let batches: Vec<RowBatch> = Vec::new();
+    let run = run_open_loop(&service, &queries, &batches, &ops, &cfg);
+
+    assert_eq!(run.offered, 10);
+    assert_eq!(run.completed, 10, "failures: {}", run.failures);
+    assert_eq!(run.failures, 0);
+    for (i, (m, e)) in run.latencies_ms.iter().zip(&expect_ms).enumerate() {
+        assert!(
+            m + 0.5 >= *e,
+            "sorted latency {i} measured {m:.3} ms below analytic floor {e:.3} ms"
+        );
+    }
+    // The queue grows past a single service time, and the tail shows it.
+    assert!(run.p95_ms >= expect_ms[expect_ms.len() - 2] - 0.5);
+    assert!(run.max_ms > service_s * 1e3);
+}
+
+#[test]
+fn open_loop_p95_dominates_closed_loop_at_matched_load() {
+    // A 5 ms service saturates at 200 rps. The closed loop never notices:
+    // its one client waits for each reply, so it offers exactly the rate
+    // the service sustains and every sample reads ~5 ms. The open loop
+    // offered 2x saturation sees the backlog grow without bound over the
+    // run, so its p95 from scheduled arrival must be at least the
+    // closed-loop p95 — this is the coordinated-omission fix, stated as an
+    // inequality.
+    let service = SearchService::start(tiny_snapshot(), 1);
+    let dur = Duration::from_millis(5);
+
+    let mut closed: Vec<f64> = (0..32)
+        .map(|_| {
+            let t = Instant::now();
+            service
+                .submit_sleeping(dur)
+                .wait()
+                .expect("service replies");
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    closed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let closed_p95 = percentile(&closed, 0.95);
+
+    let ops = openloop_schedule(13, 24, 400.0, search_only(), 1, 0);
+    let cfg = OpenLoopConfig {
+        workers: 1,
+        sync_clients: 1,
+        timeout_ms: 10_000.0,
+        inject_sleep: Some(dur),
+        ..Default::default()
+    };
+    let queries = vec![vec!["x".to_string()]];
+    let run = run_open_loop(&service, &queries, &[], &ops, &cfg);
+
+    assert_eq!(run.completed, 24, "failures: {}", run.failures);
+    assert!(
+        run.p95_ms >= closed_p95,
+        "open-loop p95 {:.3} ms below closed-loop p95 {:.3} ms at 2x saturation",
+        run.p95_ms,
+        closed_p95
+    );
+}
+
+#[test]
+fn capacity_sweep_finds_a_knee_with_deterministic_counts() {
+    // A generous SLO over real mixed traffic (searches injected at 1 ms;
+    // diversified/session/ingest ops do their real work on the tiny
+    // fixture): the first rung must hold it, so the sweep reports a
+    // nonzero knee, and the rate-independent schedule gives both sweeps
+    // identical per-mode counts.
+    let data = ImdbDataset::generate(ImdbConfig::tiny(5)).unwrap();
+    let plan = holdout_plan(
+        &data.db,
+        IngestConfig {
+            seed: 9,
+            holdout: 0.05,
+            batches: 3,
+        },
+    );
+    let catalog = TemplateCatalog::enumerate(&plan.initial, 4, 100_000).unwrap();
+    let index = InvertedIndex::build(&plan.initial);
+    let snap = Arc::new(SearchSnapshot::new(
+        plan.initial.clone(),
+        index,
+        catalog,
+        InterpreterConfig::default(),
+    ));
+    let workload = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: 6,
+            n_queries: 8,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries: Vec<Vec<String>> = workload
+        .queries
+        .iter()
+        .map(|q| q.keywords.clone())
+        .collect();
+
+    let cfg = SweepConfig {
+        seed: 23,
+        n_ops: 40,
+        start_rps: 200.0,
+        growth: 1.25,
+        max_rungs: 2,
+        mix: MixWeights::default(),
+        slo: SloConfig {
+            p95_ms: 500.0,
+            max_failure_rate: 0.05,
+        },
+        open: OpenLoopConfig {
+            workers: 2,
+            sync_clients: 1,
+            timeout_ms: 5_000.0,
+            inject_sleep: Some(Duration::from_millis(1)),
+            ..Default::default()
+        },
+    };
+    let a = sweep_capacity(&snap, &queries, &plan.batches, &cfg);
+    assert!(
+        a.capacity_rps > 0.0,
+        "first rung failed the SLO: {:?}",
+        a.rungs
+            .iter()
+            .map(|r| (r.target_rps, r.run.p95_ms, r.run.failures, r.run.timeouts))
+            .collect::<Vec<_>>()
+    );
+    assert!(a.p95_at_capacity_ms.is_finite());
+    assert!(!a.rungs.is_empty() && a.rungs.len() <= 2);
+    let total = a.counts.search + a.counts.diversified + a.counts.session + a.counts.ingest;
+    assert_eq!(total, 40);
+    assert!(a.counts.ingest <= plan.batches.len());
+
+    let b = sweep_capacity(&snap, &queries, &plan.batches, &cfg);
+    assert_eq!(a.counts, b.counts, "schedule counts must be reproducible");
+}

@@ -71,7 +71,7 @@ pub use render::{render_natural, render_sql};
 pub use service::{
     CheckpointReceipt, DiversifiedReply, DurableOptions, IngestError, IngestReceipt, RequestError,
     SearchReply, SearchService, SearchSnapshot, ServiceStats, SessionAnswers, SessionId,
-    SessionView, SnapshotEpoch, Ticket,
+    SessionView, SnapshotEpoch, Ticket, TimedReply,
 };
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};
 pub use wal::{

@@ -83,6 +83,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// An immutable, `Arc`-shared view of everything a query needs: database,
 /// inverted index, template catalog, and the interpreter configuration.
@@ -415,6 +416,10 @@ pub struct ServiceStats {
     /// Oldest sessions displaced by the registry bound (abandoned-session
     /// protection; a `close_session` is never counted here).
     pub sessions_evicted: usize,
+    /// Sessions dropped by the idle-TTL sweep (see
+    /// [`SearchService::set_session_ttl`]); like an eviction, an expired id
+    /// answers `None` everywhere.
+    pub sessions_expired: usize,
     /// WAL records appended by this instance (0 for a non-durable service).
     pub wal_batches: usize,
     /// WAL bytes appended by this instance, frames included.
@@ -508,6 +513,17 @@ struct SessionSlot {
     exec_cache: ExecCache,
 }
 
+/// A registered session plus its idle clock. The touch timestamp lives
+/// *outside* the slot mutex so the TTL sweep can read every session's
+/// idleness while holding only the registry lock — a slot busy serving a
+/// window refresh is by definition not idle and must not block the sweep.
+struct SessionEntry {
+    slot: Mutex<SessionSlot>,
+    /// Milliseconds since service start of the last registry call that
+    /// touched this session (open, view, advance, or answers).
+    last_touch_ms: AtomicU64,
+}
+
 /// Registry bound. Every slot pins a whole epoch (snapshot + cache
 /// generation), so sessions abandoned by clients that never `close_session`
 /// would otherwise leak O(database) memory each across ingest swaps. Like
@@ -517,6 +533,21 @@ struct SessionSlot {
 /// Evictions are counted in [`ServiceStats::sessions_evicted`]; an evicted
 /// id simply answers `None` everywhere, like a closed one.
 const MAX_OPEN_SESSIONS: usize = 1024;
+
+/// A reply stamped with its completion instant by the serving worker.
+///
+/// Open-loop load drivers measure latency from the request's *scheduled*
+/// arrival time to `completed_at`. Stamping completion inside the worker
+/// lets the driver submit at the schedule and collect tickets afterwards,
+/// without parking one client thread per in-flight request — which would
+/// cap concurrency and reintroduce exactly the coordinated omission the
+/// open-loop harness exists to eliminate.
+#[derive(Debug)]
+pub struct TimedReply<T> {
+    /// When the serving worker finished computing this reply.
+    pub completed_at: Instant,
+    pub result: Result<T, RequestError>,
+}
 
 /// A pending reply. `wait` blocks until the serving worker finishes;
 /// `None` means the service shut down (or a worker died) before replying.
@@ -544,6 +575,27 @@ enum Job {
         query: KeywordQuery,
         opts: DiversifyOptions,
         reply: Sender<Result<DiversifiedReply, RequestError>>,
+    },
+    /// [`Job::Answers`] whose reply is completion-stamped by the worker,
+    /// for open-loop latency measurement.
+    AnswersTimed {
+        query: KeywordQuery,
+        k: usize,
+        reply: Sender<TimedReply<SearchReply>>,
+    },
+    /// [`Job::Diversified`] whose reply is completion-stamped by the worker.
+    DiversifiedTimed {
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+        reply: Sender<TimedReply<DiversifiedReply>>,
+    },
+    /// Testing seam: a request that holds its worker for a fixed duration,
+    /// so load-harness tests can inject known service delays and compare
+    /// measured queueing against an analytic model. Never constructed in
+    /// production.
+    Sleep {
+        dur: Duration,
+        reply: Sender<TimedReply<SearchReply>>,
     },
     /// Testing seam: a request whose serving code path panics, used by the
     /// containment regression test. Never constructed in production.
@@ -575,9 +627,17 @@ pub struct SearchService {
     /// Open construction sessions, each pinning the serving state of the
     /// epoch it was opened on. Sessions are independently locked so a slow
     /// window refresh never blocks another session (or the registry).
-    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionSlot>>>>,
+    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
     next_session: AtomicU64,
     sessions_evicted: AtomicUsize,
+    /// Idle bound for abandoned sessions: one idle longer than this is
+    /// expired by the sweep in [`Self::open_session`] / [`Self::ingest`]
+    /// (or an explicit [`Self::expire_idle_sessions`]). `None` disables
+    /// expiry; the registry is then bounded only by `MAX_OPEN_SESSIONS`.
+    session_ttl: Mutex<Option<Duration>>,
+    sessions_expired: AtomicUsize,
+    /// Zero point of the session idle clocks.
+    started_at: Instant,
 }
 
 impl SearchService {
@@ -713,6 +773,9 @@ impl SearchService {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             sessions_evicted: AtomicUsize::new(0),
+            session_ttl: Mutex::new(None),
+            sessions_expired: AtomicUsize::new(0),
+            started_at: Instant::now(),
         }
     }
 
@@ -752,6 +815,9 @@ impl SearchService {
                 return Err(IngestError::Poisoned);
             }
         }
+        // Each pinned epoch is about to cost a full displaced database
+        // copy; shed sessions nobody is coming back for first.
+        self.expire_idle_sessions();
         let mut writer = self.writer.lock().unwrap();
         if writer.is_none() {
             // First ingest: fork the writer's mutable copy off the served
@@ -948,6 +1014,38 @@ impl SearchService {
         Ticket(rx)
     }
 
+    /// [`Self::submit`] with a worker-stamped completion instant in the
+    /// reply, for open-loop load drivers that measure latency from the
+    /// request's scheduled arrival time rather than from `wait`'s return.
+    pub fn submit_timed(&self, query: KeywordQuery, k: usize) -> Ticket<TimedReply<SearchReply>> {
+        let (reply, rx) = channel();
+        self.send(Job::AnswersTimed { query, k, reply });
+        Ticket(rx)
+    }
+
+    /// [`Self::submit_diversified`] with a worker-stamped completion
+    /// instant in the reply.
+    pub fn submit_diversified_timed(
+        &self,
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+    ) -> Ticket<TimedReply<DiversifiedReply>> {
+        let (reply, rx) = channel();
+        self.send(Job::DiversifiedTimed { query, opts, reply });
+        Ticket(rx)
+    }
+
+    /// Testing seam for the open-loop harness: a request that occupies its
+    /// serving worker for exactly `dur`, replying with an empty, stamped
+    /// [`SearchReply`]. Injecting known service delays makes measured
+    /// queueing comparable against an analytic queue model.
+    #[doc(hidden)]
+    pub fn submit_sleeping(&self, dur: Duration) -> Ticket<TimedReply<SearchReply>> {
+        let (reply, rx) = channel();
+        self.send(Job::Sleep { dur, reply });
+        Ticket(rx)
+    }
+
     /// Blocking diversified top-k — warm and contended, the reply is
     /// byte-identical to the cold offline `divq` oracle (pool build + Alg.
     /// 4.1 over a fresh interpreter). Panics like [`Self::search`] when the
@@ -980,6 +1078,7 @@ impl SearchService {
         window: usize,
         config: SessionConfig,
     ) -> SessionView {
+        self.expire_idle_sessions();
         let state = self.current.lock().unwrap().clone();
         let interpreter = state.snapshot.interpreter();
         let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
@@ -996,11 +1095,14 @@ impl SearchService {
         }
         sessions.insert(
             id,
-            Arc::new(Mutex::new(SessionSlot {
-                state,
-                session,
-                exec_cache,
-            })),
+            Arc::new(SessionEntry {
+                slot: Mutex::new(SessionSlot {
+                    state,
+                    session,
+                    exec_cache,
+                }),
+                last_touch_ms: AtomicU64::new(self.clock_ms()),
+            }),
         );
         view
     }
@@ -1015,8 +1117,8 @@ impl SearchService {
         option: &ConstructionOption,
         accepted: bool,
     ) -> Option<SessionView> {
-        let slot = self.sessions.lock().unwrap().get(&id.0).cloned()?;
-        let mut slot = slot.lock().unwrap();
+        let entry = self.touch_session(id)?;
+        let mut slot = entry.slot.lock().unwrap();
         let SessionSlot { state, session, .. } = &mut *slot;
         session.apply(&state.snapshot.catalog, option.clone(), accepted);
         Some(Self::view_of(id.0, state, session))
@@ -1024,8 +1126,8 @@ impl SearchService {
 
     /// The current view of a session without advancing it.
     pub fn session_view(&self, id: SessionId) -> Option<SessionView> {
-        let slot = self.sessions.lock().unwrap().get(&id.0).cloned()?;
-        let slot = slot.lock().unwrap();
+        let entry = self.touch_session(id)?;
+        let slot = entry.slot.lock().unwrap();
         Some(Self::view_of(id.0, &slot.state, &slot.session))
     }
 
@@ -1036,8 +1138,8 @@ impl SearchService {
     /// tier). Byte-identical to the cold offline
     /// [`ConstructionSession::window_answers`] over the pinned snapshot.
     pub fn session_answers(&self, id: SessionId, limit: usize) -> Option<SessionAnswers> {
-        let slot = self.sessions.lock().unwrap().get(&id.0).cloned()?;
-        let mut slot = slot.lock().unwrap();
+        let entry = self.touch_session(id)?;
+        let mut slot = entry.slot.lock().unwrap();
         let SessionSlot {
             state,
             session,
@@ -1062,6 +1164,69 @@ impl SearchService {
     /// Returns whether it existed.
     pub fn close_session(&self, id: SessionId) -> bool {
         self.sessions.lock().unwrap().remove(&id.0).is_some()
+    }
+
+    /// Bound the lifetime of *abandoned* sessions: any session idle (no
+    /// open/view/advance/answers call) longer than `ttl` is dropped by the
+    /// next sweep, releasing the epoch it pins — snapshot and cache
+    /// generation. Sweeps run inside [`Self::open_session`] and
+    /// [`Self::ingest`] (the moment pinned epochs start costing a full
+    /// database copy each), or explicitly via
+    /// [`Self::expire_idle_sessions`]. `None` (the default) disables expiry.
+    pub fn set_session_ttl(&self, ttl: Option<Duration>) {
+        *self.session_ttl.lock().unwrap() = ttl;
+    }
+
+    /// Drop every session idle longer than the configured TTL, counting
+    /// them in [`ServiceStats::sessions_expired`]. Returns how many were
+    /// expired. A no-op without a TTL.
+    pub fn expire_idle_sessions(&self) -> usize {
+        let Some(ttl) = *self.session_ttl.lock().unwrap() else {
+            return 0;
+        };
+        let now = self.clock_ms();
+        let ttl_ms = ttl.as_millis() as u64;
+        let mut sessions = self.sessions.lock().unwrap();
+        let before = sessions.len();
+        sessions
+            .retain(|_, e| now.saturating_sub(e.last_touch_ms.load(Ordering::Relaxed)) <= ttl_ms);
+        let expired = before - sessions.len();
+        self.sessions_expired.fetch_add(expired, Ordering::Relaxed);
+        expired
+    }
+
+    /// Testing seam: back-date a session's idle clock by `by`, so TTL tests
+    /// need not sleep. Returns whether the session exists.
+    #[doc(hidden)]
+    pub fn age_session(&self, id: SessionId, by: Duration) -> bool {
+        let sessions = self.sessions.lock().unwrap();
+        let Some(entry) = sessions.get(&id.0) else {
+            return false;
+        };
+        let by_ms = by.as_millis() as u64;
+        let aged = entry
+            .last_touch_ms
+            .load(Ordering::Relaxed)
+            .saturating_sub(by_ms);
+        entry.last_touch_ms.store(aged, Ordering::Relaxed);
+        true
+    }
+
+    /// The session idle clock: milliseconds since the service started,
+    /// biased well away from zero so [`Self::age_session`] can back-date a
+    /// fresh session without saturating.
+    fn clock_ms(&self) -> u64 {
+        const CLOCK_BIAS_MS: u64 = 1 << 40;
+        CLOCK_BIAS_MS + self.started_at.elapsed().as_millis() as u64
+    }
+
+    /// Look up a session and refresh its idle clock.
+    fn touch_session(&self, id: SessionId) -> Option<Arc<SessionEntry>> {
+        let entry = self.sessions.lock().unwrap().get(&id.0).cloned()?;
+        entry
+            .last_touch_ms
+            .store(self.clock_ms(), Ordering::Relaxed);
+        Some(entry)
     }
 
     fn view_of(id: u64, state: &ServingState, session: &ConstructionSession) -> SessionView {
@@ -1093,6 +1258,7 @@ impl SearchService {
             result_hits: state.exec.result_hits(),
             sessions_open: self.sessions.lock().unwrap().len(),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_expired: self.sessions_expired.load(Ordering::Relaxed),
             wal_batches: self
                 .durability
                 .as_ref()
@@ -1205,6 +1371,65 @@ fn worker_loop(
                 }));
                 served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out.map_err(panic_to_error));
+            }
+            Job::AnswersTimed { query, k, reply } => {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+                    let (answers, stats) = interpreter.answers_top_k_with_caches(
+                        &query,
+                        k,
+                        ExecOptions::default(),
+                        &mut gen_cache,
+                        &mut exec_cache,
+                    );
+                    SearchReply {
+                        epoch: state.epoch,
+                        answers,
+                        stats,
+                    }
+                }));
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(TimedReply {
+                    completed_at: Instant::now(),
+                    result: out.map_err(panic_to_error),
+                });
+            }
+            Job::DiversifiedTimed { query, opts, reply } => {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+                    let out = QueryPipeline::new(
+                        &interpreter,
+                        ExecOptions::default(),
+                        &mut gen_cache,
+                        &mut exec_cache,
+                    )
+                    .diversified(&query, opts);
+                    DiversifiedReply {
+                        epoch: state.epoch,
+                        answers: out.answers,
+                        pool: out.pool,
+                        stats: out.stats,
+                    }
+                }));
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(TimedReply {
+                    completed_at: Instant::now(),
+                    result: out.map_err(panic_to_error),
+                });
+            }
+            Job::Sleep { dur, reply } => {
+                std::thread::sleep(dur);
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(TimedReply {
+                    completed_at: Instant::now(),
+                    result: Ok(SearchReply {
+                        epoch: state.epoch,
+                        answers: Vec::new(),
+                        stats: AnswerStats::default(),
+                    }),
+                });
             }
             Job::Panic { reply } => {
                 let out = catch_unwind(|| -> SearchReply {
@@ -1528,6 +1753,119 @@ mod tests {
         // Explicit closes are not evictions.
         assert!(service.close_session(*ids.last().unwrap()));
         assert_eq!(service.stats().sessions_evicted, overflow);
+    }
+
+    #[test]
+    fn idle_session_expires_and_frees_its_pinned_epoch() {
+        let snap = snapshot();
+        let actor = snap.db.schema().table_id("actor").unwrap();
+        let next_pk = snap.db.table(actor).len() as i64 + 9000;
+        let service = SearchService::start(snap, 1);
+        service.set_session_ttl(Some(Duration::from_secs(3600)));
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+
+        // Session A pins epoch 0.
+        let a = service.open_session(&q, 8, SessionConfig::default());
+        assert_eq!(a.epoch, SnapshotEpoch(0));
+        let epoch0 = Arc::downgrade(&*service.current.lock().unwrap());
+
+        // Ingest displaces epoch 0; only A's pin keeps it alive now.
+        let batch: RowBatch = vec![(actor, vec![Value::Int(next_pk), Value::text("tom idle")])];
+        service.ingest(&batch).unwrap();
+        assert!(epoch0.upgrade().is_some(), "A's pin must hold epoch 0");
+
+        // Session B is live on epoch 1; keep its answers for later.
+        let b = service.open_session(&q, 8, SessionConfig::default());
+        assert_eq!(b.epoch, SnapshotEpoch(1));
+        let b_before = service.session_answers(b.id, 3).expect("b open");
+
+        // A has been idle for two hours (back-dated); B was just touched.
+        assert!(service.age_session(a.id, Duration::from_secs(7200)));
+        assert_eq!(service.expire_idle_sessions(), 1);
+
+        // The expired session is gone and its whole epoch — snapshot plus
+        // cache generation — has been freed.
+        assert!(service.session_view(a.id).is_none());
+        assert!(epoch0.upgrade().is_none(), "expired session leaked epoch 0");
+        let stats = service.stats();
+        assert_eq!(stats.sessions_expired, 1);
+        assert_eq!(stats.sessions_open, 1);
+        assert_eq!(stats.sessions_evicted, 0, "expiry is not an eviction");
+
+        // The live session still answers, identically, from its epoch.
+        let b_after = service.session_answers(b.id, 3).expect("b still open");
+        assert_eq!(b_after.epoch, SnapshotEpoch(1));
+        assert_eq!(b_after.answers.len(), b_before.answers.len());
+        for ((i1, r1), (i2, r2)) in b_before.answers.iter().zip(&b_after.answers) {
+            assert_eq!(i1, i2);
+            assert_eq!(r1.jtts, r2.jtts);
+            assert_eq!(r1.keys, r2.keys);
+        }
+    }
+
+    #[test]
+    fn open_session_sweeps_expired_sessions() {
+        let snap = snapshot();
+        let service = SearchService::start(snap, 1);
+        service.set_session_ttl(Some(Duration::from_secs(3600)));
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let a = service.open_session(&q, 5, SessionConfig::default());
+        assert!(service.age_session(a.id, Duration::from_secs(7200)));
+        // No explicit sweep: the next open must reap the idle session.
+        let b = service.open_session(&q, 5, SessionConfig::default());
+        assert!(service.session_view(a.id).is_none());
+        assert!(service.session_view(b.id).is_some());
+        assert_eq!(service.stats().sessions_expired, 1);
+        // A touch resets the idle clock: an aged-then-viewed session stays.
+        service.age_session(b.id, Duration::from_secs(7200));
+        assert!(service.session_view(b.id).is_some());
+        assert_eq!(service.expire_idle_sessions(), 0);
+        // Without a TTL the sweep is a no-op regardless of idleness.
+        service.set_session_ttl(None);
+        service.age_session(b.id, Duration::from_secs(100_000));
+        assert_eq!(service.expire_idle_sessions(), 0);
+        assert!(service.session_view(b.id).is_some());
+    }
+
+    #[test]
+    fn timed_submits_stamp_completion_and_match_untimed() {
+        let snap = snapshot();
+        let service = SearchService::start(Arc::clone(&snap), 2);
+        let q = KeywordQuery::from_terms(vec!["tom".into()]);
+        let before = Instant::now();
+        let plain = service.search(&q, 5);
+        let timed = service
+            .submit_timed(q.clone(), 5)
+            .wait()
+            .expect("service alive");
+        assert!(timed.completed_at >= before);
+        assert!(timed.completed_at <= Instant::now());
+        let reply = timed.result.expect("request served");
+        assert_eq!(reply.epoch, SnapshotEpoch(0));
+        assert_eq!(reply.answers.len(), plain.len());
+        for (a, b) in plain.iter().zip(&reply.answers) {
+            assert_eq!(a.interpretation, b.interpretation);
+            assert_eq!(a.jtt, b.jtt);
+        }
+
+        let opts = DiversifyOptions::default();
+        let div_plain = service.search_diversified(&q, opts);
+        let div_timed = service
+            .submit_diversified_timed(q, opts)
+            .wait()
+            .expect("service alive");
+        let div_reply = div_timed.result.expect("request served");
+        assert_eq!(div_reply.pool, div_plain.pool);
+        assert_eq!(div_reply.answers.len(), div_plain.answers.len());
+
+        // The sleeping seam holds the worker and stamps afterwards.
+        let t0 = Instant::now();
+        let slept = service
+            .submit_sleeping(Duration::from_millis(20))
+            .wait()
+            .expect("service alive");
+        assert!(slept.completed_at.duration_since(t0) >= Duration::from_millis(20));
+        assert!(slept.result.is_ok());
     }
 
     #[test]

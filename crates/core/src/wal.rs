@@ -69,6 +69,10 @@ pub enum FaultPoint {
     /// Die after the snapshot rename but before the WAL truncation: the log
     /// still holds records the snapshot already contains.
     PostCheckpointPreTruncate,
+    /// A WAL append dies halfway through its frame *and* the rollback
+    /// truncation fails too: a durable torn tail remains that this handle
+    /// cannot clear, so the log must poison itself.
+    WalRollbackFail,
 }
 
 impl fmt::Display for FaultPoint {
@@ -78,6 +82,7 @@ impl fmt::Display for FaultPoint {
             FaultPoint::PostWalAppendPreSwap => "post-wal-append-pre-swap",
             FaultPoint::MidCheckpoint => "mid-checkpoint",
             FaultPoint::PostCheckpointPreTruncate => "post-checkpoint-pre-truncate",
+            FaultPoint::WalRollbackFail => "wal-rollback-fail",
         };
         f.write_str(name)
     }
@@ -175,6 +180,12 @@ pub struct Wal {
     path: PathBuf,
     /// Length of the validated prefix; appends start here.
     good_len: u64,
+    /// Set when a failed append could not be rolled back: the file may end
+    /// in a durable torn frame this handle cannot clear, so any further
+    /// append through it would land *past* the tear and be silently dropped
+    /// by the recovery scan. A poisoned log refuses all appends; reopen via
+    /// [`Wal::open_at`] (which truncates the tear) to recover.
+    poisoned: bool,
 }
 
 impl Wal {
@@ -195,6 +206,7 @@ impl Wal {
             file,
             path,
             good_len: WAL_MAGIC.len() as u64,
+            poisoned: false,
         })
     }
 
@@ -216,20 +228,32 @@ impl Wal {
             file,
             path,
             good_len,
+            poisoned: false,
         })
     }
 
+    /// Whether a failed rollback has poisoned this log (see [`Wal::append`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Append one record — `seq` plus the encoded batch — and fsync it.
-    /// Returns the frame size in bytes. On failure (real or injected) the
-    /// file is rolled back to the previous good length where possible; the
-    /// service poisons itself regardless, so a torn tail left by a genuine
-    /// mid-write crash is only ever seen by recovery.
+    /// Returns the frame size in bytes. On failure the file is rolled back
+    /// to the previous good length; if that rollback *itself* fails the log
+    /// poisons itself and every later append returns
+    /// [`DurabilityError::Poisoned`], because appending past a torn frame
+    /// would produce records the recovery scan silently discards. The
+    /// service poisons its durability on any append error, so a torn tail
+    /// left by a genuine mid-write crash is only ever seen by recovery.
     pub fn append(
         &mut self,
         seq: u64,
         batch: &RowBatch,
         faults: &FaultPlan,
     ) -> Result<u64, DurabilityError> {
+        if self.poisoned {
+            return Err(DurabilityError::Poisoned);
+        }
         let mut payload = Vec::new();
         put_u64(&mut payload, seq);
         payload.extend_from_slice(&encode_batch(batch));
@@ -248,15 +272,35 @@ impl Wal {
                 .and_then(|()| self.file.sync_data());
             return Err(DurabilityError::FaultInjected(FaultPoint::MidWalAppend));
         }
+        if faults.fire(FaultPoint::WalRollbackFail) {
+            // Simulate the worst append failure: the frame write dies midway
+            // AND the rollback truncation fails, leaving a durable torn tail
+            // this handle cannot clear. The log must poison itself.
+            let torn = &frame[..frame.len() / 2];
+            let _ = self
+                .file
+                .write_all(torn)
+                .and_then(|()| self.file.sync_data());
+            self.poisoned = true;
+            return Err(DurabilityError::FaultInjected(FaultPoint::WalRollbackFail));
+        }
 
         let write = self
             .file
             .write_all(&frame)
             .and_then(|()| self.file.sync_data());
         if let Err(e) = write {
-            // Best-effort rollback; recovery handles whatever remains.
-            let _ = self.file.set_len(self.good_len);
-            let _ = self.file.seek(SeekFrom::Start(self.good_len));
+            // Roll back to the previous good length. If the rollback fails
+            // the file may end in a torn frame a later append would sit
+            // *past* — recovery would then silently drop that record — so
+            // the log refuses all further appends until reopened.
+            let rollback = self
+                .file
+                .set_len(self.good_len)
+                .and_then(|()| self.file.seek(SeekFrom::Start(self.good_len)).map(|_| ()));
+            if rollback.is_err() {
+                self.poisoned = true;
+            }
             return Err(io_ctx("append to", &self.path, e));
         }
         self.good_len += frame.len() as u64;
@@ -540,6 +584,50 @@ mod tests {
         assert!(scan.torn_bytes > 0);
         // Reopening at the good length clears the tail for new appends.
         let mut wal = Wal::open_at(&dir, scan.good_len).unwrap();
+        wal.append(2, &batch(&db, &[11]), &FaultPlan::new())
+            .unwrap();
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rollback_poisons_log_until_reopen() {
+        let dir = tmp_dir("rollbackfail");
+        let db = tiny_db();
+        let faults = FaultPlan::new();
+        let mut wal = Wal::create(&dir).unwrap();
+        wal.append(1, &batch(&db, &[10]), &faults).unwrap();
+        let good = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+
+        faults.arm(FaultPoint::WalRollbackFail);
+        let err = wal.append(2, &batch(&db, &[11]), &faults).unwrap_err();
+        assert!(matches!(
+            err,
+            DurabilityError::FaultInjected(FaultPoint::WalRollbackFail)
+        ));
+        assert!(wal.is_poisoned());
+
+        // The poisoned handle refuses further appends — were it to accept
+        // one, the record would land past the durable torn frame and the
+        // recovery scan would silently drop it.
+        let err = wal
+            .append(3, &batch(&db, &[12]), &FaultPlan::new())
+            .unwrap_err();
+        assert!(matches!(err, DurabilityError::Poisoned));
+
+        // Recovery sees the good prefix, discards the tear…
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.good_len, good);
+        assert!(scan.torn_bytes > 0);
+
+        // …and a reopen at the good length clears the tear and serves
+        // appends again.
+        drop(wal);
+        let mut wal = Wal::open_at(&dir, scan.good_len).unwrap();
+        assert!(!wal.is_poisoned());
         wal.append(2, &batch(&db, &[11]), &FaultPlan::new())
             .unwrap();
         let scan = scan_wal(&dir).unwrap();

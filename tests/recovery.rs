@@ -3,9 +3,11 @@
 //!
 //! A durable `SearchService` is killed — deterministically, via the
 //! fault-injection plan — at every point of the WAL/checkpoint path:
-//! mid-WAL-append (torn record on disk), post-append/pre-swap (record
-//! durable, epoch never published), mid-checkpoint (partial temp file), and
-//! post-checkpoint/pre-truncate (snapshot and log overlap). For each kill
+//! mid-WAL-append (torn record on disk), wal-rollback-fail (torn record
+//! durable *and* the append rollback failed, poisoning the log handle),
+//! post-append/pre-swap (record durable, epoch never published),
+//! mid-checkpoint (partial temp file), and post-checkpoint/pre-truncate
+//! (snapshot and log overlap). For each kill
 //! point × each datagen fixture, `SearchService::open` must recover exactly
 //! the durable prefix: replies byte-identical (bit-exact score bits) to a
 //! never-crashed cold oracle of the same batch count, and the recovered
@@ -30,8 +32,9 @@ use std::sync::Arc;
 
 const K: usize = 5;
 
-const KILL_POINTS: [FaultPoint; 4] = [
+const KILL_POINTS: [FaultPoint; 5] = [
     FaultPoint::MidWalAppend,
+    FaultPoint::WalRollbackFail,
     FaultPoint::PostWalAppendPreSwap,
     FaultPoint::MidCheckpoint,
     FaultPoint::PostCheckpointPreTruncate,
@@ -160,7 +163,9 @@ fn assert_crash_equivalence(
 
         // Trigger the kill and work out how many batches are durable.
         let durable: usize = match point {
-            FaultPoint::MidWalAppend | FaultPoint::PostWalAppendPreSwap => {
+            FaultPoint::MidWalAppend
+            | FaultPoint::WalRollbackFail
+            | FaultPoint::PostWalAppendPreSwap => {
                 let err = service.ingest(&plan.batches[1]).unwrap_err();
                 match err {
                     IngestError::Durability(DurabilityError::FaultInjected(p)) => {
@@ -170,10 +175,10 @@ fn assert_crash_equivalence(
                 }
                 // The epoch was never published either way.
                 assert_eq!(service.current_epoch().0, 1, "at {point}");
-                if point == FaultPoint::MidWalAppend {
-                    1 // the record is torn: the batch is lost
-                } else {
+                if point == FaultPoint::PostWalAppendPreSwap {
                     2 // the record is durable: recovery must surface it
+                } else {
+                    1 // the record is torn: the batch is lost
                 }
             }
             FaultPoint::MidCheckpoint | FaultPoint::PostCheckpointPreTruncate => {
@@ -201,16 +206,19 @@ fn assert_crash_equivalence(
         let _ = service.search(&KeywordQuery::from_terms(queries[0].clone()), K);
         drop(service);
 
-        if point == FaultPoint::MidWalAppend {
+        if matches!(
+            point,
+            FaultPoint::MidWalAppend | FaultPoint::WalRollbackFail
+        ) {
             let scan = scan_wal(&dir).unwrap();
-            assert!(scan.torn_bytes > 0, "mid-append kill left no torn tail");
+            assert!(scan.torn_bytes > 0, "{point} kill left no torn tail");
         }
 
         // Recover and compare against the never-crashed oracle.
         let recovered = SearchService::open(&dir, 2, &opts).unwrap();
         assert_eq!(recovered.current_epoch().0 as usize, durable, "at {point}");
         let expected_replayed = match point {
-            FaultPoint::MidWalAppend => 1,
+            FaultPoint::MidWalAppend | FaultPoint::WalRollbackFail => 1,
             FaultPoint::PostWalAppendPreSwap | FaultPoint::MidCheckpoint => 2,
             FaultPoint::PostCheckpointPreTruncate => 0, // all checkpointed
         };
