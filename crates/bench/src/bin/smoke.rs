@@ -21,16 +21,17 @@
 //! with the 1.5x slack of `keybridge_bench::check_regression`.
 
 use keybridge_bench::{
-    check_regression, replay_diversified, replay_serve, sweep_capacity, CheckConfig, DivServeRun,
-    IngestRun, MixWeights, OpenLoopConfig, RecoveryRun, ServeRun, SloConfig, SweepConfig,
-    SweepOutcome,
+    check_regression, openloop_schedule, replay_diversified, replay_serve, run_open_loop,
+    sweep_capacity, CheckConfig, DivServeRun, IngestRun, MixWeights, OpenLoopConfig, OpenLoopRun,
+    RecoveryRun, ServeRun, SloConfig, SweepConfig, SweepOutcome,
 };
 use keybridge_core::{
     execute_interpretation, DiversifyOptions, DurableOptions, Interpreter, InterpreterConfig,
-    KeywordQuery, SearchSnapshot, TemplateCatalog,
+    KeywordQuery, SearchSnapshot, ServeRequests, ServiceStats, ShardedService, TemplateCatalog,
 };
 use keybridge_datagen::{
-    holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, MixedWorkload, Workload, WorkloadConfig,
+    holdout_plan, sharded_holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, MixedWorkload,
+    Workload, WorkloadConfig,
 };
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{ExecOptions, ExecStats, ExecStrategy};
@@ -103,6 +104,9 @@ impl Profile {
 
 /// Worker counts of the serve replay (the 1/2/4/8 ladder of the issue).
 const SERVE_WORKERS: &[usize] = &[1, 2, 4, 8];
+
+/// Shard count of the scatter-gather phase.
+const SHARDS: usize = 4;
 
 /// Median wall-clock seconds of `f` over `runs` runs (after one warm-up).
 fn time<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -292,6 +296,7 @@ fn main() {
     let mut ingest_run: Option<IngestRun> = None;
     let mut recovery_run: Option<RecoveryRun> = None;
     let mut sweep_outcome: Option<SweepOutcome> = None;
+    let mut sharded_run: Option<(OpenLoopRun, ServiceStats)> = None;
     let mut sweep_workers = 0usize;
     let mut serve_gate_failure: Option<String> = None;
     let cores = std::thread::available_parallelism()
@@ -564,6 +569,70 @@ fn main() {
             println!("  sweep curve written to {path}");
         }
         sweep_outcome = Some(outcome);
+
+        // == sharded: the same mixed open-loop schedule against the K-shard
+        //    scatter-gather router behind the identical ServeRequests seam.
+        //    The shard directory is planned over the *full* pre-holdout
+        //    corpus, so replayed ingest lands every held-out row exactly
+        //    where a cold partitioning would, and the routing counters
+        //    (per-shard epoch advances, distinct shards touched) are pure
+        //    functions of fixture + plan + directory — gated strictly. ==
+        let sh = sharded_holdout_plan(
+            &mixed.initial,
+            IngestConfig {
+                seed: 19,
+                holdout: 0.05,
+                batches: profile.sweep_batches,
+            },
+            SHARDS,
+        );
+        let sharded = ShardedService::start_with_assignment(
+            Arc::clone(&ol_snapshot),
+            sh.assignment,
+            sweep_workers,
+        );
+        let ops = openloop_schedule(
+            23,
+            profile.sweep_ops,
+            profile.sweep_start_rps,
+            MixWeights::default(),
+            queries.len(),
+            sh.plan.batches.len(),
+        );
+        let run = run_open_loop(&sharded, &queries, &sh.plan.batches, &ops, &sweep_cfg.open);
+        // The schedule may not have drawn enough ingest slots for the whole
+        // plan; drain the rest so the routing counters always cover it.
+        for batch in &sh.plan.batches[run.counts.ingest..] {
+            sharded.ingest(batch).expect("planned batch routes cleanly");
+        }
+        let stats = sharded.service_stats();
+        println!(
+            "\n== sharded ({SHARDS} shards, {} workers each, {} ops open-loop at {:.0} rps) ==",
+            sweep_workers, profile.sweep_ops, profile.sweep_start_rps
+        );
+        println!(
+            "  latency    : p50 {:7.3} ms  p95 {:7.3} ms  achieved {:7.1} rps  \
+             {} failed  {} timed out",
+            run.p50_ms, run.p95_ms, run.achieved_rps, run.failures, run.timeouts
+        );
+        println!(
+            "  routing    : {} batches → {} shard epoch advances across {} of {SHARDS} \
+             shards ({} global epochs, {} stale cache entries retired)",
+            sh.plan.batches.len(),
+            stats.shard_epoch_swaps,
+            stats.shards_touched,
+            stats.epoch,
+            stats.stale_evictions,
+        );
+        if stats.epoch != sh.plan.batches.len() as u64 && serve_gate_failure.is_none() {
+            serve_gate_failure = Some(format!(
+                "sharded service published {} epochs for {} batches — the \
+                 per-shard swap path is broken",
+                stats.epoch,
+                sh.plan.batches.len()
+            ));
+        }
+        sharded_run = Some((run, stats));
     }
 
     match &serve_gate_failure {
@@ -597,6 +666,7 @@ fn main() {
         ingest_run.as_ref(),
         recovery_run.as_ref(),
         sweep_outcome.as_ref(),
+        sharded_run.as_ref(),
         sweep_workers,
     );
 
@@ -654,6 +724,7 @@ fn render_json(
     ingest: Option<&IngestRun>,
     recovery: Option<&RecoveryRun>,
     sweep: Option<&SweepOutcome>,
+    sharded: Option<&(OpenLoopRun, ServiceStats)>,
     sweep_workers: usize,
 ) -> String {
     let mut s = String::new();
@@ -790,6 +861,19 @@ fn render_json(
                 "    \"p95_at_capacity_ms\": {:.3}",
                 o.p95_at_capacity_ms
             ));
+        }
+        if let Some((run, stats)) = sharded {
+            s.push_str(",\n");
+            s.push_str(&format!("    \"sharded_shards\": {SHARDS},\n"));
+            s.push_str(&format!(
+                "    \"shard_epoch_swaps\": {},\n",
+                stats.shard_epoch_swaps
+            ));
+            s.push_str(&format!(
+                "    \"shards_touched\": {},\n",
+                stats.shards_touched
+            ));
+            s.push_str(&format!("    \"p95_sharded_ms\": {:.3}", run.p95_ms));
         }
         s.push('\n');
         s.push_str("  }");

@@ -852,6 +852,8 @@ const COUNTER_KEYS: &[&str] = &[
     "openloop_diversified_ops",
     "openloop_session_ops",
     "openloop_ingest_ops",
+    "shard_epoch_swaps",
+    "shards_touched",
 ];
 
 /// The serve-phase deterministic counters: the ingest epoch/eviction
@@ -877,6 +879,11 @@ const SERVE_ONLY_COUNTER_KEYS: &[&str] = &[
     "openloop_diversified_ops",
     "openloop_session_ops",
     "openloop_ingest_ops",
+    // The sharded phase's routing counters: per-shard epoch advances and
+    // distinct shards ever touched are pure functions of the fixture, the
+    // holdout plan, and the shard directory — machine-independent.
+    "shard_epoch_swaps",
+    "shards_touched",
     // Not a counter, but serve-section-only like the rest: its absence from
     // a run without a serve section must be excused, while its presence
     // gates through the `_ms` wall-clock rule.
@@ -1021,7 +1028,8 @@ mod baseline_tests {
     "recovery_replayed_batches": 3, "recovery_ms": 12.0,
     "capacity_rps": 800.0, "p95_at_capacity_ms": 12.0,
     "openloop_search_ops": 216, "openloop_diversified_ops": 10,
-    "openloop_session_ops": 9, "openloop_ingest_ops": 5 }
+    "openloop_session_ops": 9, "openloop_ingest_ops": 5,
+    "shard_epoch_swaps": 8, "shards_touched": 4, "p95_sharded_ms": 6.0 }
 }"#;
 
     fn with(key: &str, val: &str) -> String {
@@ -1176,6 +1184,38 @@ mod baseline_tests {
         assert!(check_regression(BASE, &cur, CheckConfig::default())
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn shard_routing_counters_gate_even_across_core_counts() {
+        // A batch suddenly touching more shards (or the service spreading
+        // writes over shards it never used) is a routing behavior change,
+        // on any machine.
+        let cur =
+            with("shard_epoch_swaps", "12").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("shard_epoch_swaps")), "{v:?}");
+        let cur = with("shards_touched", "6");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("shards_touched")), "{v:?}");
+        // The sharded open-loop tail latency is informational.
+        let cur = with("p95_sharded_ms", "60.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        // A run without a serve section is excused from the routing
+        // counters like every other serve-only key.
+        let (i, j) = {
+            let start = BASE.find("\"serve\"").unwrap();
+            (start, BASE.rfind('}').unwrap())
+        };
+        let cur = format!("{}}}", &BASE[..i].trim_end().trim_end_matches(','));
+        let _ = j;
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(
+            !v.iter().any(|s| s.contains("shard")),
+            "serve-only shard counters must be excused without a serve section: {v:?}"
+        );
     }
 
     #[test]

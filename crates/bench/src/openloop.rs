@@ -20,7 +20,7 @@
 //! the ceiling.
 
 use keybridge_core::{
-    DiversifyOptions, KeywordQuery, SearchService, SearchSnapshot, SessionConfig,
+    DiversifyOptions, KeywordQuery, SearchService, SearchSnapshot, ServeRequests,
 };
 use keybridge_relstore::RowBatch;
 use rand::rngs::StdRng;
@@ -281,17 +281,20 @@ fn wait_until(t0: Instant, at: f64) {
     }
 }
 
-/// Drive one open-loop replay of `ops` against `service`. The dispatcher
+/// Drive one open-loop replay of `ops` against `service` — any
+/// implementation of the unified [`ServeRequests`] seam, the single-shard
+/// service and the sharded scatter-gather router alike. The dispatcher
 /// fires every operation at its scheduled instant regardless of whether
 /// earlier ones completed — if the service falls behind, requests pile up
 /// in its queue and their measured latency (scheduled arrival →
 /// completion) grows to show it. Async modes (search, diversified) are
 /// submitted fire-and-forget with worker-side completion stamps; sync
-/// modes run on a small client pool (sessions) and a dedicated writer
-/// thread (ingest, preserving batch order), where channel queueing time
-/// counts toward latency exactly like service queueing.
-pub fn run_open_loop(
-    service: &SearchService,
+/// modes run on a small client pool (session bursts, served through
+/// [`ServeRequests::session_burst`]) and a dedicated writer thread
+/// (ingest, preserving batch order), where channel queueing time counts
+/// toward latency exactly like service queueing.
+pub fn run_open_loop<S: ServeRequests + Sync>(
+    service: &S,
     queries: &[Vec<String>],
     batches: &[RowBatch],
     ops: &[OpenLoopOp],
@@ -306,14 +309,12 @@ pub fn run_open_loop(
         let (at, ok) = match job {
             SyncJob::Session { at, arg } => {
                 let q = KeywordQuery::from_terms(queries[arg].clone());
-                let view = service.open_session(&q, cfg.session_window, SessionConfig::default());
-                let got = service
-                    .session_answers(view.id, cfg.session_limit)
-                    .is_some();
-                service.close_session(view.id);
-                (at, got)
+                (
+                    at,
+                    service.session_burst(&q, cfg.session_window, cfg.session_limit),
+                )
             }
-            SyncJob::Ingest { at, arg } => (at, service.ingest(&batches[arg]).is_ok()),
+            SyncJob::Ingest { at, arg } => (at, service.ingest_batch(&batches[arg]).is_ok()),
         };
         if ok {
             tally

@@ -12,7 +12,9 @@ use keybridge_bench::{
     openloop_schedule, percentile, queue_latencies, run_open_loop, sweep_capacity, MixWeights,
     OpenLoopConfig, SloConfig, SweepConfig,
 };
-use keybridge_core::{InterpreterConfig, SearchService, SearchSnapshot, TemplateCatalog};
+use keybridge_core::{
+    InterpreterConfig, SearchService, SearchSnapshot, ServeRequests, TemplateCatalog,
+};
 use keybridge_datagen::{
     holdout_plan, ImdbConfig, ImdbDataset, IngestConfig, Workload, WorkloadConfig,
 };

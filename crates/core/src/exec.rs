@@ -279,7 +279,7 @@ impl ExecCache {
 
     /// Rows of `attr` containing all of `keywords`, from the local cache,
     /// the shared cache, or freshly intersected (and then cached in both).
-    fn rows(
+    pub(crate) fn rows(
         &mut self,
         index: &InvertedIndex,
         keywords: &[String],
@@ -310,7 +310,7 @@ impl ExecCache {
 
 /// Intersect two sorted row lists in place (`prev ∩= other`), two-pointer
 /// merge — the sorted-merge path replacing the old per-binding `HashSet`.
-fn intersect_sorted(prev: &mut Vec<RowId>, other: &[RowId]) {
+pub(crate) fn intersect_sorted(prev: &mut Vec<RowId>, other: &[RowId]) {
     let mut out_i = 0;
     let mut j = 0;
     for i in 0..prev.len() {
@@ -371,6 +371,23 @@ pub fn execute_interpretation_cached(
     opts: ExecOptions,
     cache: &mut ExecCache,
 ) -> RelResult<Arc<ExecutedResult>> {
+    with_result_cache(cache, interp, opts, |c| {
+        execute_inner(db, index, catalog, interp, opts, &mut Some(c))
+    })
+}
+
+/// The result-memoization spine of [`execute_interpretation_cached`] with the
+/// actual execution abstracted out: check the local then shared caches under
+/// the `satisfies` rule, otherwise run `compute` and publish its (complete)
+/// result to both tiers. The sharded coordinator routes its scatter-gather
+/// executions through this same path so single-shard and sharded serving
+/// share one caching semantics.
+pub(crate) fn with_result_cache(
+    cache: &mut ExecCache,
+    interp: &QueryInterpretation,
+    opts: ExecOptions,
+    compute: impl FnOnce(&mut ExecCache) -> RelResult<ExecutedResult>,
+) -> RelResult<Arc<ExecutedResult>> {
     if let Some(c) = cache.results.get(interp) {
         if c.satisfies(&opts) {
             cache.result_hits += 1;
@@ -395,14 +412,7 @@ pub fn execute_interpretation_cached(
             return Ok(result);
         }
     }
-    let result = Arc::new(execute_inner(
-        db,
-        index,
-        catalog,
-        interp,
-        opts,
-        &mut Some(&mut *cache),
-    )?);
+    let result = Arc::new(compute(cache)?);
     let cached = CachedExecution {
         limit: opts.limit,
         max_intermediate: opts.max_intermediate,

@@ -6,7 +6,7 @@ use crate::interp::{BindingTarget, KeywordBinding, QueryInterpretation};
 use crate::keyword::KeywordQuery;
 use crate::prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplatePrior};
 use crate::template::TemplateCatalog;
-use keybridge_index::{InvertedIndex, SchemaTarget};
+use keybridge_index::{InvertedIndex, SchemaTarget, TermIndex};
 use keybridge_relstore::{AttrRef, Database, ExecOptions, ExecStats, JoinedRow, TableId};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -261,18 +261,23 @@ enum TermCandidate {
     AttrName(AttrRef),
 }
 
-/// The interpretation generator.
-pub struct Interpreter<'a> {
+/// The interpretation generator. Generic over the [`TermIndex`] the
+/// generation side reads (defaulting to the single-store
+/// [`InvertedIndex`]), so a sharded coordinator can run the identical
+/// best-first search over a merged multi-shard view; the execution-side
+/// methods (`answers_top_k*`) exist only for the concrete inverted index,
+/// which is what the executor's candidate harvest needs.
+pub struct Interpreter<'a, I = InvertedIndex> {
     db: &'a Database,
-    index: &'a InvertedIndex,
+    index: &'a I,
     catalog: &'a TemplateCatalog,
     config: InterpreterConfig,
 }
 
-impl<'a> Interpreter<'a> {
+impl<'a, I: TermIndex> Interpreter<'a, I> {
     pub fn new(
         db: &'a Database,
-        index: &'a InvertedIndex,
+        index: &'a I,
         catalog: &'a TemplateCatalog,
         config: InterpreterConfig,
     ) -> Self {
@@ -300,8 +305,8 @@ impl<'a> Interpreter<'a> {
         self.db
     }
 
-    /// The inverted index in use.
-    pub fn index(&self) -> &'a InvertedIndex {
+    /// The term index in use.
+    pub fn index(&self) -> &'a I {
         self.index
     }
 
@@ -428,7 +433,7 @@ impl<'a> Interpreter<'a> {
                     table: tpl.tree.nodes[node],
                     attr,
                 };
-                if self.index.rows_with_all(&b.keywords, aref).is_empty() {
+                if !self.index.has_row_with_all(&b.keywords, aref) {
                     return false;
                 }
             }
@@ -706,11 +711,14 @@ impl<'a> Interpreter<'a> {
         }
         search.finish()
     }
+}
 
-    // -----------------------------------------------------------------
-    // End-to-end streaming answers.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// End-to-end streaming answers — execution needs the concrete inverted
+// index (candidate row sets), so these live on the default instantiation.
+// ---------------------------------------------------------------------
 
+impl<'a> Interpreter<'a> {
     /// The top `k` *answers* of `query`: joining tuple trees, ordered by
     /// their interpretation's rank (the §2.2.6 results the user actually
     /// wants, not query forms). Generation and execution interleave:
@@ -955,10 +963,10 @@ impl Ord for Score {
     }
 }
 
-struct BestFirstSearch<'s, 'a> {
-    interpreter: &'s Interpreter<'a>,
-    model: &'s ProbabilityModel<'a>,
-    scorer: &'s IncrementalScorer<'a, 's>,
+struct BestFirstSearch<'s, 'a, I> {
+    interpreter: &'s Interpreter<'a, I>,
+    model: &'s ProbabilityModel<'a, I>,
+    scorer: &'s IncrementalScorer<'a, 's, I>,
     terms: &'s [String],
     candidates: &'s HashMap<String, Vec<TermCandidate>>,
     k: usize,
@@ -979,7 +987,7 @@ struct BestFirstSearch<'s, 'a> {
     stats: GenerationStats,
 }
 
-impl<'s, 'a> BestFirstSearch<'s, 'a> {
+impl<'s, 'a, I: TermIndex> BestFirstSearch<'s, 'a, I> {
     /// The k-th best exact score buffered so far (`-inf` until `k` found):
     /// the prune threshold.
     fn threshold(&self) -> f64 {

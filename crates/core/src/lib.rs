@@ -42,6 +42,7 @@ mod prob;
 mod rank;
 mod render;
 mod service;
+mod sharded;
 mod template;
 mod wal;
 
@@ -69,10 +70,12 @@ pub use prob::{IncrementalScorer, ProbabilityConfig, ProbabilityModel, TemplateP
 pub use rank::{join_count_score, sqak_score};
 pub use render::{render_natural, render_sql};
 pub use service::{
-    CheckpointReceipt, DiversifiedReply, DurableOptions, IngestError, IngestReceipt, RequestError,
-    SearchReply, SearchService, SearchSnapshot, ServiceStats, SessionAnswers, SessionId,
-    SessionView, SnapshotEpoch, Ticket, TimedReply,
+    CheckpointReceipt, DiversifiedReply, DurableOptions, IngestError, IngestReceipt,
+    InterpretationsReply, KeywordService, Reply, Request, RequestError, SearchReply, SearchService,
+    SearchSnapshot, ServeRequests, ServiceBuilder, ServiceError, ServiceStats, SessionAnswers,
+    SessionId, SessionView, SnapshotEpoch, Ticket, TimedReply,
 };
+pub use sharded::ShardedService;
 pub use template::{QueryTemplate, TemplateCatalog, TemplateId};
 pub use wal::{
     scan_wal, DurabilityError, FaultPlan, FaultPoint, Wal, WalScan, SNAPSHOT_FILE, SNAPSHOT_TMP,

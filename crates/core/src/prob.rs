@@ -18,7 +18,7 @@
 
 use crate::interp::{BindingTarget, QueryInterpretation};
 use crate::template::TemplateCatalog;
-use keybridge_index::InvertedIndex;
+use keybridge_index::{InvertedIndex, TermIndex};
 use keybridge_relstore::{AttrRef, Database};
 use std::collections::HashMap;
 
@@ -115,19 +115,22 @@ impl ProbabilityConfig {
 }
 
 /// The assembled model. Borrows the index and catalog; owns its prior.
+/// Generic over the [`TermIndex`] it reads frequencies from (defaulting to
+/// the single-store [`InvertedIndex`]), so a sharded coordinator can score
+/// against a merged multi-shard view with the exact same arithmetic.
 #[derive(Debug, Clone)]
-pub struct ProbabilityModel<'a> {
+pub struct ProbabilityModel<'a, I = InvertedIndex> {
     db: &'a Database,
-    index: &'a InvertedIndex,
+    index: &'a I,
     catalog: &'a TemplateCatalog,
     prior: TemplatePrior,
     config: ProbabilityConfig,
 }
 
-impl<'a> ProbabilityModel<'a> {
+impl<'a, I: TermIndex> ProbabilityModel<'a, I> {
     pub fn new(
         db: &'a Database,
-        index: &'a InvertedIndex,
+        index: &'a I,
         catalog: &'a TemplateCatalog,
         prior: TemplatePrior,
         config: ProbabilityConfig,
@@ -190,19 +193,6 @@ impl<'a> ProbabilityModel<'a> {
         lp
     }
 
-    /// Normalize a slice of log scores into linear probabilities summing
-    /// to 1 (softmax with max-shift for stability). Empty input yields an
-    /// empty vector.
-    pub fn normalize(log_scores: &[f64]) -> Vec<f64> {
-        if log_scores.is_empty() {
-            return Vec::new();
-        }
-        let m = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = log_scores.iter().map(|&l| (l - m).exp()).collect();
-        let sum: f64 = exps.iter().sum();
-        exps.into_iter().map(|e| e / sum).collect()
-    }
-
     /// Build the incremental scorer driving best-first top-k generation.
     ///
     /// `terms` are the query's keyword occurrences in order; `value_attrs[i]`
@@ -216,8 +206,25 @@ impl<'a> ProbabilityModel<'a> {
         value_attrs: &[Vec<AttrRef>],
         name_tables: &[Vec<keybridge_relstore::TableId>],
         allow_unmapped: bool,
-    ) -> IncrementalScorer<'a, 'q> {
+    ) -> IncrementalScorer<'a, 'q, I> {
         IncrementalScorer::new(self, terms, value_attrs, name_tables, allow_unmapped)
+    }
+}
+
+impl ProbabilityModel<'_> {
+    /// Normalize a slice of log scores into linear probabilities summing
+    /// to 1 (softmax with max-shift for stability). Empty input yields an
+    /// empty vector. (Pure float math — lives on the default-index model so
+    /// `ProbabilityModel::normalize(..)` keeps resolving without a type
+    /// annotation.)
+    pub fn normalize(log_scores: &[f64]) -> Vec<f64> {
+        if log_scores.is_empty() {
+            return Vec::new();
+        }
+        let m = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = log_scores.iter().map(|&l| (l - m).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
     }
 }
 
@@ -257,8 +264,8 @@ use std::cell::RefCell;
 /// Group scores are cached per `(occurrence set, attribute)` — shared
 /// across all templates, since the score of a value bag depends only on the
 /// underlying attribute, not on which template node carries it.
-pub struct IncrementalScorer<'a, 'q> {
-    model: &'q ProbabilityModel<'a>,
+pub struct IncrementalScorer<'a, 'q, I = InvertedIndex> {
+    model: &'q ProbabilityModel<'a, I>,
     terms: Vec<String>,
     /// Per occurrence: candidate value attrs with their floored `ln ATF`,
     /// sorted by attr.
@@ -278,9 +285,9 @@ pub struct IncrementalScorer<'a, 'q> {
     uniform: bool,
 }
 
-impl<'a, 'q> IncrementalScorer<'a, 'q> {
+impl<'a, 'q, I: TermIndex> IncrementalScorer<'a, 'q, I> {
     fn new(
-        model: &'q ProbabilityModel<'a>,
+        model: &'q ProbabilityModel<'a, I>,
         terms: &[String],
         value_attrs: &[Vec<AttrRef>],
         name_tables: &[Vec<TableId>],

@@ -60,6 +60,35 @@
 //! serves the newest durable epoch — `tests/recovery.rs` kills the service
 //! at every [`FaultPoint`] and asserts the recovered answers are
 //! byte-identical to a never-crashed oracle.
+//!
+//! ## The Request/Reply seam — **Hot path 8**
+//!
+//! Every serving mode is a value of the typed [`Request`] enum; submitting
+//! one through [`ServeRequests::submit_request`] yields a [`Ticket`]
+//! resolving to the matching [`Reply`] arm. Both [`SearchService`] and the
+//! sharded scatter-gather router ([`crate::sharded::ShardedService`])
+//! implement [`ServeRequests`], so the open-loop harness, the smoke driver,
+//! and the differential suites drive either through the same trait. Use
+//! [`ServiceBuilder`] to configure and start either service; the legacy
+//! constructor triplet and the `submit_*`/`search_*` wrappers remain as
+//! thin conveniences over the seam:
+//!
+//! | legacy method                        | request seam equivalent                 |
+//! |--------------------------------------|-----------------------------------------|
+//! | `submit(query, k)`                   | `Request::Answers { query, k }`         |
+//! | `submit_interpretations(query, k)`   | `Request::Interpretations { query, k }` |
+//! | `submit_diversified(query, opts)`    | `Request::Diversified { query, opts }`  |
+//! | `submit_timed(query, k)`             | `Request::AnswersTimed { query, k }`    |
+//! | `submit_diversified_timed(q, opts)`  | `Request::DiversifiedTimed { .. }`      |
+//! | `search` / `search_with_stats` / `search_versioned` | blocking `Request::Answers`  |
+//! | `search_diversified(query, opts)`    | blocking `Request::Diversified`         |
+//! | `SearchService::start`               | `ServiceBuilder::new().workers(n).start`|
+//! | `SearchService::start_durable`       | `ServiceBuilder::…​.durable(dir).start`  |
+//! | `SearchService::open`                | `ServiceBuilder::…​.durable(dir).open`   |
+//!
+//! The `submit_panicking` / `submit_sleeping` testing seams are no longer
+//! part of the default public surface: they compile only under the
+//! `test-seams` cargo feature (or `cfg(test)`).
 
 use crate::construct::{ConstructionOption, ConstructionSession, SessionConfig};
 use crate::exec::{ExecCache, ExecutedResult, SharedExecCache};
@@ -197,6 +226,16 @@ pub enum IngestError {
     /// An earlier durability failure poisoned the service. Reads still
     /// work; writes are refused until the store is reopened.
     Poisoned,
+    /// A [`ShardedService`](crate::ShardedService) could not place a batch
+    /// row on a single shard: its foreign-key parents live on two or more
+    /// different shards, so inserting it anywhere would leave a dangling
+    /// cross-shard edge. Nothing changed.
+    Unroutable {
+        /// Table of the unroutable row.
+        table: String,
+        /// Primary key of the unroutable row.
+        key: i64,
+    },
 }
 
 impl std::fmt::Display for IngestError {
@@ -207,6 +246,10 @@ impl std::fmt::Display for IngestError {
             IngestError::Poisoned => {
                 f.write_str("service poisoned by an earlier durability failure; reopen to recover")
             }
+            IngestError::Unroutable { table, key } => write!(
+                f,
+                "row {table}:{key} is unroutable: its foreign-key parents span multiple shards"
+            ),
         }
     }
 }
@@ -216,7 +259,7 @@ impl std::error::Error for IngestError {
         match self {
             IngestError::Batch(e) => Some(e),
             IngestError::Durability(e) => Some(e),
-            IngestError::Poisoned => None,
+            IngestError::Poisoned | IngestError::Unroutable { .. } => None,
         }
     }
 }
@@ -257,6 +300,68 @@ impl std::fmt::Display for RequestError {
 }
 
 impl std::error::Error for RequestError {}
+
+/// The one top-level error of the service layer: everything
+/// [`ServiceBuilder`] and the [`ServeRequests`] seam can fail with, wrapping
+/// the focused per-subsystem errors.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// An ingest was refused (validation, durability, or poisoning).
+    Ingest(IngestError),
+    /// A durable open/start/checkpoint failed.
+    Durability(DurabilityError),
+    /// A served request failed (worker panic).
+    Request(RequestError),
+    /// The requested configuration is not supported (for example, a durable
+    /// sharded service).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Ingest(e) => write!(f, "{e}"),
+            ServiceError::Durability(e) => write!(f, "{e}"),
+            ServiceError::Request(e) => write!(f, "{e}"),
+            ServiceError::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Ingest(e) => Some(e),
+            ServiceError::Durability(e) => Some(e),
+            ServiceError::Request(e) => Some(e),
+            ServiceError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<IngestError> for ServiceError {
+    fn from(e: IngestError) -> Self {
+        ServiceError::Ingest(e)
+    }
+}
+
+impl From<DurabilityError> for ServiceError {
+    fn from(e: DurabilityError) -> Self {
+        ServiceError::Durability(e)
+    }
+}
+
+impl From<RequestError> for ServiceError {
+    fn from(e: RequestError) -> Self {
+        ServiceError::Request(e)
+    }
+}
+
+impl From<BatchError> for ServiceError {
+    fn from(e: BatchError) -> Self {
+        ServiceError::Ingest(IngestError::Batch(e))
+    }
+}
 
 /// Configuration of a durable service directory. The same options passed to
 /// [`SearchService::start_durable`] must be passed to every later
@@ -430,6 +535,13 @@ pub struct ServiceStats {
     /// Batches replayed from the WAL tail by the `open` that built this
     /// instance (0 for `start` / `start_durable`).
     pub recovery_replayed_batches: usize,
+    /// Per-shard epoch bumps published by ingest on a sharded service (an
+    /// ingest touching two shards counts 2). Always 0 on a single-shard
+    /// service, where `epoch_swaps` is the whole story.
+    pub shard_epoch_swaps: usize,
+    /// Distinct shards ever touched by ingest on a sharded service.
+    /// Always 0 on a single-shard service.
+    pub shards_touched: usize,
 }
 
 /// Receipt of one accepted ingest batch.
@@ -447,6 +559,11 @@ pub struct IngestReceipt {
 pub struct SearchReply {
     /// The snapshot version this reply was computed against.
     pub epoch: SnapshotEpoch,
+    /// Per-shard epochs the reply was computed against — one entry per
+    /// shard on a sharded service, empty on a single-shard service. The
+    /// differential suites use this to prove an ingest touching shard *i*
+    /// left every other shard's epoch unchanged.
+    pub shard_epochs: Vec<SnapshotEpoch>,
     pub answers: Vec<RankedAnswer>,
     pub stats: AnswerStats,
 }
@@ -457,6 +574,9 @@ pub struct SearchReply {
 pub struct DiversifiedReply {
     /// The snapshot version this reply was computed against.
     pub epoch: SnapshotEpoch,
+    /// Per-shard epochs (see [`SearchReply::shard_epochs`]); empty on a
+    /// single-shard service.
+    pub shard_epochs: Vec<SnapshotEpoch>,
     /// Selected interpretations in selection order.
     pub answers: Vec<DiversifiedAnswer>,
     /// Surviving executed pool size the selection drew from — deterministic
@@ -549,59 +669,135 @@ pub struct TimedReply<T> {
     pub result: Result<T, RequestError>,
 }
 
+/// One serving request, as a value. Every mode the service can serve is a
+/// variant here; [`ServeRequests::submit_request`] is the single seam both
+/// the single-shard [`SearchService`] and the sharded router implement, and
+/// every legacy `submit_*` method is a thin typed wrapper over it.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Top-k *answers* (the end-to-end hot path). Resolves to
+    /// [`Reply::Answers`].
+    Answers { query: KeywordQuery, k: usize },
+    /// Top-k *interpretations*, no execution. Resolves to
+    /// [`Reply::Interpretations`].
+    Interpretations { query: KeywordQuery, k: usize },
+    /// Diversified top-k (Alg. 4.1 over the streamed pool). Resolves to
+    /// [`Reply::Diversified`].
+    Diversified {
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+    },
+    /// [`Request::Answers`] with a worker-stamped completion instant, for
+    /// open-loop latency measurement. Resolves to [`Reply::AnswersTimed`].
+    AnswersTimed { query: KeywordQuery, k: usize },
+    /// [`Request::Diversified`] with a worker-stamped completion instant.
+    /// Resolves to [`Reply::DiversifiedTimed`].
+    DiversifiedTimed {
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+    },
+}
+
+/// Payload of a served interpretations request: the ranked interpretations
+/// plus the generation counters.
+pub type InterpretationsReply = (Vec<ScoredInterpretation>, GenerationStats);
+
+/// One served reply; the variant always matches the submitted [`Request`]
+/// variant. The typed `submit_*` wrappers unwrap the matching arm through
+/// [`Ticket::expecting`], so most callers never see this enum.
+#[derive(Debug)]
+pub enum Reply {
+    Answers(Result<SearchReply, RequestError>),
+    Interpretations(Result<InterpretationsReply, RequestError>),
+    Diversified(Result<DiversifiedReply, RequestError>),
+    AnswersTimed(TimedReply<SearchReply>),
+    DiversifiedTimed(TimedReply<DiversifiedReply>),
+}
+
 /// A pending reply. `wait` blocks until the serving worker finishes;
-/// `None` means the service shut down (or a worker died) before replying.
-pub struct Ticket<T>(Receiver<T>);
+/// `None` means the service shut down (or a worker died) before replying —
+/// or the reply arm did not match what the ticket was told to expect,
+/// which cannot happen through the typed `submit_*` wrappers.
+pub struct Ticket<T> {
+    rx: Receiver<Reply>,
+    extract: fn(Reply) -> Option<T>,
+}
+
+impl Ticket<Reply> {
+    /// A ticket resolving to the raw [`Reply`], whatever its arm.
+    pub(crate) fn raw(rx: Receiver<Reply>) -> Self {
+        Ticket { rx, extract: Some }
+    }
+
+    /// Refine a raw ticket to one unwrapping a single reply arm — the seam
+    /// the typed `submit_*` wrappers are built from.
+    pub fn expecting<T>(self, extract: fn(Reply) -> Option<T>) -> Ticket<T> {
+        Ticket {
+            rx: self.rx,
+            extract,
+        }
+    }
+}
 
 impl<T> Ticket<T> {
     pub fn wait(self) -> Option<T> {
-        self.0.recv().ok()
+        let reply = self.rx.recv().ok()?;
+        (self.extract)(reply)
+    }
+}
+
+fn reply_answers(reply: Reply) -> Option<Result<SearchReply, RequestError>> {
+    match reply {
+        Reply::Answers(r) => Some(r),
+        _ => None,
+    }
+}
+
+fn reply_interpretations(reply: Reply) -> Option<Result<InterpretationsReply, RequestError>> {
+    match reply {
+        Reply::Interpretations(r) => Some(r),
+        _ => None,
+    }
+}
+
+fn reply_diversified(reply: Reply) -> Option<Result<DiversifiedReply, RequestError>> {
+    match reply {
+        Reply::Diversified(r) => Some(r),
+        _ => None,
+    }
+}
+
+pub(crate) fn reply_answers_timed(reply: Reply) -> Option<TimedReply<SearchReply>> {
+    match reply {
+        Reply::AnswersTimed(r) => Some(r),
+        _ => None,
+    }
+}
+
+fn reply_diversified_timed(reply: Reply) -> Option<TimedReply<DiversifiedReply>> {
+    match reply {
+        Reply::DiversifiedTimed(r) => Some(r),
+        _ => None,
     }
 }
 
 enum Job {
-    Answers {
-        query: KeywordQuery,
-        k: usize,
-        reply: Sender<Result<SearchReply, RequestError>>,
-    },
-    Interpretations {
-        query: KeywordQuery,
-        k: usize,
-        #[allow(clippy::type_complexity)]
-        reply: Sender<Result<(Vec<ScoredInterpretation>, GenerationStats), RequestError>>,
-    },
-    Diversified {
-        query: KeywordQuery,
-        opts: DiversifyOptions,
-        reply: Sender<Result<DiversifiedReply, RequestError>>,
-    },
-    /// [`Job::Answers`] whose reply is completion-stamped by the worker,
-    /// for open-loop latency measurement.
-    AnswersTimed {
-        query: KeywordQuery,
-        k: usize,
-        reply: Sender<TimedReply<SearchReply>>,
-    },
-    /// [`Job::Diversified`] whose reply is completion-stamped by the worker.
-    DiversifiedTimed {
-        query: KeywordQuery,
-        opts: DiversifyOptions,
-        reply: Sender<TimedReply<DiversifiedReply>>,
+    /// One [`Request`], served against the worker's pinned epoch; the reply
+    /// arm always matches the request variant.
+    Serve {
+        request: Request,
+        reply: Sender<Reply>,
     },
     /// Testing seam: a request that holds its worker for a fixed duration,
     /// so load-harness tests can inject known service delays and compare
     /// measured queueing against an analytic model. Never constructed in
     /// production.
-    Sleep {
-        dur: Duration,
-        reply: Sender<TimedReply<SearchReply>>,
-    },
+    #[cfg(any(test, feature = "test-seams"))]
+    Sleep { dur: Duration, reply: Sender<Reply> },
     /// Testing seam: a request whose serving code path panics, used by the
     /// containment regression test. Never constructed in production.
-    Panic {
-        reply: Sender<Result<SearchReply, RequestError>>,
-    },
+    #[cfg(any(test, feature = "test-seams"))]
+    Panic { reply: Sender<Reply> },
 }
 
 /// A multi-user keyword-search server over a **live** store: an epoch-
@@ -643,6 +839,9 @@ pub struct SearchService {
 impl SearchService {
     /// Start `workers` threads serving `snapshot` (at least one) as epoch 0,
     /// with no durability: ingested batches live only in memory.
+    ///
+    /// Prefer [`ServiceBuilder`], which configures this and every other
+    /// start mode (durable, sharded) behind one entry point.
     pub fn start(snapshot: Arc<SearchSnapshot>, workers: usize) -> Self {
         Self::start_inner(snapshot, workers, SnapshotEpoch::default(), None)
     }
@@ -653,11 +852,25 @@ impl SearchService {
     /// WAL-logged and fsynced before its epoch is published, so the served
     /// state survives process death — reopen with [`Self::open`] and the
     /// same `opts`. Refuses a directory that already holds a store.
+    ///
+    /// Prefer [`ServiceBuilder`] with [`ServiceBuilder::durable`].
     pub fn start_durable(
         snapshot: Arc<SearchSnapshot>,
         workers: usize,
         dir: &Path,
         opts: &DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        Self::start_durable_with_plan(snapshot, workers, dir, opts, Arc::new(FaultPlan::new()))
+    }
+
+    /// [`Self::start_durable`] with a caller-supplied fault-injection plan
+    /// (the builder's [`ServiceBuilder::fault_plan`] threads through here).
+    pub(crate) fn start_durable_with_plan(
+        snapshot: Arc<SearchSnapshot>,
+        workers: usize,
+        dir: &Path,
+        opts: &DurableOptions,
+        faults: Arc<FaultPlan>,
     ) -> Result<Self, DurabilityError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| DurabilityError::Io(format!("create {}: {e}", dir.display())))?;
@@ -667,7 +880,6 @@ impl SearchService {
                 dir.display()
             )));
         }
-        let faults = Arc::new(FaultPlan::new());
         write_snapshot_file(dir, 0, &snapshot.db, &snapshot.index, &faults)?;
         let wal = Wal::create(dir)?;
         let durability = Durability::fresh(dir.to_path_buf(), wal, faults, opts.checkpoint_every);
@@ -686,10 +898,23 @@ impl SearchService {
     /// serve the newest durable epoch. Records at or below the checkpoint
     /// epoch are skipped, so the post-checkpoint / pre-truncate crash window
     /// never double-applies a batch.
+    ///
+    /// Prefer [`ServiceBuilder`] with [`ServiceBuilder::durable`] and
+    /// [`ServiceBuilder::open`].
     pub fn open(
         dir: &Path,
         workers: usize,
         opts: &DurableOptions,
+    ) -> Result<Self, DurabilityError> {
+        Self::open_with_plan(dir, workers, opts, Arc::new(FaultPlan::new()))
+    }
+
+    /// [`Self::open`] with a caller-supplied fault-injection plan.
+    pub(crate) fn open_with_plan(
+        dir: &Path,
+        workers: usize,
+        opts: &DurableOptions,
+        faults: Arc<FaultPlan>,
     ) -> Result<Self, DurabilityError> {
         let (snap_epoch, mut db, mut index) = read_snapshot_file(dir)?;
         let scan = scan_wal(dir)?;
@@ -727,7 +952,6 @@ impl SearchService {
         } else {
             Wal::create(dir)?
         };
-        let faults = Arc::new(FaultPlan::new());
         let mut durability =
             Durability::fresh(dir.to_path_buf(), wal, faults, opts.checkpoint_every);
         durability.recovery_replayed = replayed;
@@ -936,36 +1160,37 @@ impl SearchService {
     /// Enqueue a top-k *answers* request (the end-to-end hot path). The
     /// ticket resolves to `Err` when the serving worker panicked on this
     /// request (the panic is contained; the worker keeps serving).
+    ///
+    /// Thin wrapper over [`Request::Answers`] through the
+    /// [`ServeRequests`] seam.
     pub fn submit(
         &self,
         query: KeywordQuery,
         k: usize,
     ) -> Ticket<Result<SearchReply, RequestError>> {
-        let (reply, rx) = channel();
-        self.send(Job::Answers { query, k, reply });
-        Ticket(rx)
+        ServeRequests::submit(self, query, k)
     }
 
     /// Enqueue a top-k *interpretations* request (no execution).
-    #[allow(clippy::type_complexity)]
+    ///
+    /// Thin wrapper over [`Request::Interpretations`].
     pub fn submit_interpretations(
         &self,
         query: KeywordQuery,
         k: usize,
-    ) -> Ticket<Result<(Vec<ScoredInterpretation>, GenerationStats), RequestError>> {
-        let (reply, rx) = channel();
-        self.send(Job::Interpretations { query, k, reply });
-        Ticket(rx)
+    ) -> Ticket<Result<InterpretationsReply, RequestError>> {
+        ServeRequests::submit_interpretations(self, query, k)
     }
 
     /// Testing seam for the panic-containment path: a request whose serving
     /// code panics. The reply must arrive as
     /// [`RequestError::WorkerPanicked`] and the worker must survive.
+    #[cfg(any(test, feature = "test-seams"))]
     #[doc(hidden)]
     pub fn submit_panicking(&self) -> Ticket<Result<SearchReply, RequestError>> {
         let (reply, rx) = channel();
         self.send(Job::Panic { reply });
-        Ticket(rx)
+        Ticket::raw(rx).expecting(reply_answers)
     }
 
     /// Blocking convenience: submit and wait.
@@ -1004,46 +1229,35 @@ impl SearchService {
     /// Enqueue a diversified top-k request: Alg. 4.1 over the best
     /// `opts.pool` interpretations, executed through this epoch's shared
     /// caches (at most `opts.cap` JTTs each).
+    ///
+    /// Thin wrapper over [`Request::Diversified`].
     pub fn submit_diversified(
         &self,
         query: KeywordQuery,
         opts: DiversifyOptions,
     ) -> Ticket<Result<DiversifiedReply, RequestError>> {
-        let (reply, rx) = channel();
-        self.send(Job::Diversified { query, opts, reply });
-        Ticket(rx)
+        ServeRequests::submit_diversified(self, query, opts)
     }
 
     /// [`Self::submit`] with a worker-stamped completion instant in the
     /// reply, for open-loop load drivers that measure latency from the
     /// request's scheduled arrival time rather than from `wait`'s return.
+    ///
+    /// Thin wrapper over [`Request::AnswersTimed`].
     pub fn submit_timed(&self, query: KeywordQuery, k: usize) -> Ticket<TimedReply<SearchReply>> {
-        let (reply, rx) = channel();
-        self.send(Job::AnswersTimed { query, k, reply });
-        Ticket(rx)
+        ServeRequests::submit_timed(self, query, k)
     }
 
     /// [`Self::submit_diversified`] with a worker-stamped completion
     /// instant in the reply.
+    ///
+    /// Thin wrapper over [`Request::DiversifiedTimed`].
     pub fn submit_diversified_timed(
         &self,
         query: KeywordQuery,
         opts: DiversifyOptions,
     ) -> Ticket<TimedReply<DiversifiedReply>> {
-        let (reply, rx) = channel();
-        self.send(Job::DiversifiedTimed { query, opts, reply });
-        Ticket(rx)
-    }
-
-    /// Testing seam for the open-loop harness: a request that occupies its
-    /// serving worker for exactly `dur`, replying with an empty, stamped
-    /// [`SearchReply`]. Injecting known service delays makes measured
-    /// queueing comparable against an analytic queue model.
-    #[doc(hidden)]
-    pub fn submit_sleeping(&self, dur: Duration) -> Ticket<TimedReply<SearchReply>> {
-        let (reply, rx) = channel();
-        self.send(Job::Sleep { dur, reply });
-        Ticket(rx)
+        ServeRequests::submit_diversified_timed(self, query, opts)
     }
 
     /// Blocking diversified top-k — warm and contended, the reply is
@@ -1272,6 +1486,8 @@ impl SearchService {
                 .as_ref()
                 .map_or(0, |d| d.checkpoints.load(Ordering::Relaxed)),
             recovery_replayed_batches: self.durability.as_ref().map_or(0, |d| d.recovery_replayed),
+            shard_epoch_swaps: 0,
+            shards_touched: 0,
         }
     }
 
@@ -1289,6 +1505,397 @@ impl Drop for SearchService {
         self.tx.take(); // hang up: workers drain the queue, then exit
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+    }
+}
+
+/// The unified serving seam — **Hot path 8**. One typed [`Request`] enum in,
+/// one [`Ticket`] resolving to the matching [`Reply`] arm out, plus the
+/// ingest/stats/epoch surface a load driver needs. [`SearchService`] and
+/// [`crate::sharded::ShardedService`] both implement it, so harnesses,
+/// differential suites, and examples drive either interchangeably; the
+/// typed `submit_*` and blocking `search*` conveniences are provided
+/// methods over `submit_request`, shared by every implementation.
+pub trait ServeRequests {
+    /// Enqueue one request; the ticket resolves to the matching reply arm.
+    fn submit_request(&self, request: Request) -> Ticket<Reply>;
+
+    /// Apply one insert batch and publish it as the next epoch.
+    fn ingest_batch(&self, batch: &RowBatch) -> Result<IngestReceipt, ServiceError>;
+
+    /// Current serving/cache counters.
+    fn service_stats(&self) -> ServiceStats;
+
+    /// The epoch currently being served.
+    fn serving_epoch(&self) -> SnapshotEpoch;
+
+    /// Testing seam for the open-loop harness: a request that occupies one
+    /// serving worker for exactly `dur`, replying with an empty, stamped
+    /// [`SearchReply`]. Injecting known service delays makes measured
+    /// queueing comparable against an analytic queue model.
+    #[cfg(any(test, feature = "test-seams"))]
+    #[doc(hidden)]
+    fn submit_sleeping(&self, dur: Duration) -> Ticket<TimedReply<SearchReply>>;
+
+    /// Enqueue a top-k *answers* request ([`Request::Answers`]).
+    fn submit(&self, query: KeywordQuery, k: usize) -> Ticket<Result<SearchReply, RequestError>> {
+        self.submit_request(Request::Answers { query, k })
+            .expecting(reply_answers)
+    }
+
+    /// Enqueue a top-k *interpretations* request
+    /// ([`Request::Interpretations`]).
+    fn submit_interpretations(
+        &self,
+        query: KeywordQuery,
+        k: usize,
+    ) -> Ticket<Result<InterpretationsReply, RequestError>> {
+        self.submit_request(Request::Interpretations { query, k })
+            .expecting(reply_interpretations)
+    }
+
+    /// Enqueue a diversified top-k request ([`Request::Diversified`]).
+    fn submit_diversified(
+        &self,
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+    ) -> Ticket<Result<DiversifiedReply, RequestError>> {
+        self.submit_request(Request::Diversified { query, opts })
+            .expecting(reply_diversified)
+    }
+
+    /// [`Self::submit`] with a worker-stamped completion instant
+    /// ([`Request::AnswersTimed`]).
+    fn submit_timed(&self, query: KeywordQuery, k: usize) -> Ticket<TimedReply<SearchReply>> {
+        self.submit_request(Request::AnswersTimed { query, k })
+            .expecting(reply_answers_timed)
+    }
+
+    /// [`Self::submit_diversified`] with a worker-stamped completion
+    /// instant ([`Request::DiversifiedTimed`]).
+    fn submit_diversified_timed(
+        &self,
+        query: KeywordQuery,
+        opts: DiversifyOptions,
+    ) -> Ticket<TimedReply<DiversifiedReply>> {
+        self.submit_request(Request::DiversifiedTimed { query, opts })
+            .expecting(reply_diversified_timed)
+    }
+
+    /// Blocking convenience: submit and wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request failed ([`RequestError`]) or the service shut
+    /// down before replying — a failed request must never masquerade as a
+    /// zero-result query. Callers that need to observe failure as a value
+    /// use [`Self::submit`] + [`Ticket::wait`].
+    fn search(&self, query: &KeywordQuery, k: usize) -> Vec<RankedAnswer> {
+        self.search_versioned(query, k).answers
+    }
+
+    /// [`Self::search`] with the per-request counters.
+    fn search_with_stats(
+        &self,
+        query: &KeywordQuery,
+        k: usize,
+    ) -> (Vec<RankedAnswer>, AnswerStats) {
+        let reply = self.search_versioned(query, k);
+        (reply.answers, reply.stats)
+    }
+
+    /// [`Self::search`] with the serving epoch and counters — the call the
+    /// update-equivalence suites use to match a racing reply against the
+    /// exact database version that produced it. Panics like [`Self::search`]
+    /// when the worker died.
+    fn search_versioned(&self, query: &KeywordQuery, k: usize) -> SearchReply {
+        self.submit(query.clone(), k)
+            .wait()
+            .expect("service shut down before replying")
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Blocking diversified top-k. Panics like [`Self::search`] when the
+    /// serving worker died.
+    fn search_diversified(&self, query: &KeywordQuery, opts: DiversifyOptions) -> DiversifiedReply {
+        self.submit_diversified(query.clone(), opts)
+            .wait()
+            .expect("service shut down before replying")
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// One interactive-construction burst, as the open-loop harness issues
+    /// it: open a session over a `window`-candidate query, materialize its
+    /// answers (at most `limit` JTTs per candidate), and close it. Returns
+    /// whether answers materialized. Services without a session registry
+    /// serve the burst as a plain blocking answers request.
+    fn session_burst(&self, query: &KeywordQuery, window: usize, limit: usize) -> bool {
+        let _ = window;
+        matches!(self.submit(query.clone(), limit).wait(), Some(Ok(_)))
+    }
+}
+
+impl ServeRequests for SearchService {
+    fn submit_request(&self, request: Request) -> Ticket<Reply> {
+        let (reply, rx) = channel();
+        self.send(Job::Serve { request, reply });
+        Ticket::raw(rx)
+    }
+
+    fn ingest_batch(&self, batch: &RowBatch) -> Result<IngestReceipt, ServiceError> {
+        self.ingest(batch).map_err(ServiceError::from)
+    }
+
+    fn service_stats(&self) -> ServiceStats {
+        self.stats()
+    }
+
+    fn serving_epoch(&self) -> SnapshotEpoch {
+        self.current_epoch()
+    }
+
+    #[cfg(any(test, feature = "test-seams"))]
+    fn submit_sleeping(&self, dur: Duration) -> Ticket<TimedReply<SearchReply>> {
+        let (reply, rx) = channel();
+        self.send(Job::Sleep { dur, reply });
+        Ticket::raw(rx).expecting(reply_answers_timed)
+    }
+
+    /// A real registry-backed burst: open, materialize, close — exactly the
+    /// per-burst work the session-mode load harness used to hand-roll.
+    fn session_burst(&self, query: &KeywordQuery, window: usize, limit: usize) -> bool {
+        let view = self.open_session(query, window, SessionConfig::default());
+        let served = self.session_answers(view.id, limit).is_some();
+        self.close_session(view.id);
+        served
+    }
+}
+
+/// One entry point for every way to start a service — **the** constructor
+/// the examples and harnesses use. Consolidates the legacy
+/// [`SearchService::start`] / [`SearchService::start_durable`] /
+/// [`SearchService::open`] triplet plus the sharded router behind a single
+/// configured builder:
+///
+/// ```ignore
+/// let svc = ServiceBuilder::new().workers(4).start(snapshot)?;          // in-memory
+/// let svc = ServiceBuilder::new().durable(dir).start(snapshot)?;       // durable
+/// let svc = ServiceBuilder::new().durable(dir).open()?;                // recover
+/// let svc = ServiceBuilder::new().shards(4).start(snapshot)?;          // sharded
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    workers: usize,
+    shards: usize,
+    session_ttl: Option<Duration>,
+    durable_dir: Option<PathBuf>,
+    durable_opts: DurableOptions,
+    checkpoint_every: Option<usize>,
+    fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceBuilder {
+    pub fn new() -> Self {
+        ServiceBuilder {
+            workers: 2,
+            shards: 1,
+            session_ttl: None,
+            durable_dir: None,
+            durable_opts: DurableOptions::default(),
+            checkpoint_every: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Serving worker threads (per shard on a sharded service; at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Number of shards. `1` (the default) starts a plain [`SearchService`];
+    /// anything larger starts the scatter-gather
+    /// [`crate::sharded::ShardedService`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Idle TTL for abandoned construction sessions
+    /// (see [`SearchService::set_session_ttl`]).
+    pub fn session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = Some(ttl);
+        self
+    }
+
+    /// Make the service durable over `dir` (WAL + checkpoints).
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Durable-store options (catalog bounds, interpreter config).
+    pub fn durable_options(mut self, opts: DurableOptions) -> Self {
+        self.durable_opts = opts;
+        self
+    }
+
+    /// Auto-checkpoint threshold in batches, overriding
+    /// [`DurableOptions::checkpoint_every`].
+    pub fn checkpoint_every(mut self, batches: usize) -> Self {
+        self.checkpoint_every = Some(batches);
+        self
+    }
+
+    /// Fault-injection plan threaded into the durable layer (the recovery
+    /// suite arms kill points through this).
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    fn effective_durable_opts(&self) -> DurableOptions {
+        let mut opts = self.durable_opts.clone();
+        if let Some(every) = self.checkpoint_every {
+            opts.checkpoint_every = every;
+        }
+        opts
+    }
+
+    /// Start a fresh service over `snapshot` with this configuration.
+    pub fn start(&self, snapshot: Arc<SearchSnapshot>) -> Result<KeywordService, ServiceError> {
+        if self.shards > 1 {
+            if self.durable_dir.is_some() {
+                return Err(ServiceError::Unsupported(
+                    "a sharded service cannot be durable yet; drop shards() or durable()".into(),
+                ));
+            }
+            let service =
+                crate::sharded::ShardedService::start(snapshot, self.shards, self.workers);
+            return Ok(KeywordService::Sharded(service));
+        }
+        let service = match &self.durable_dir {
+            Some(dir) => {
+                let faults = self
+                    .fault_plan
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(FaultPlan::new()));
+                SearchService::start_durable_with_plan(
+                    snapshot,
+                    self.workers,
+                    dir,
+                    &self.effective_durable_opts(),
+                    faults,
+                )?
+            }
+            None => SearchService::start(snapshot, self.workers),
+        };
+        service.set_session_ttl(self.session_ttl);
+        Ok(KeywordService::Single(service))
+    }
+
+    /// Recover a durable service from the configured directory.
+    pub fn open(&self) -> Result<KeywordService, ServiceError> {
+        if self.shards > 1 {
+            return Err(ServiceError::Unsupported(
+                "a sharded service cannot be durable yet; drop shards() or durable()".into(),
+            ));
+        }
+        let dir = self.durable_dir.as_ref().ok_or_else(|| {
+            ServiceError::Unsupported("open() requires durable(dir) to be configured".into())
+        })?;
+        let faults = self
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::new()));
+        let service = SearchService::open_with_plan(
+            dir,
+            self.workers,
+            &self.effective_durable_opts(),
+            faults,
+        )?;
+        service.set_session_ttl(self.session_ttl);
+        Ok(KeywordService::Single(service))
+    }
+}
+
+/// A started service of either topology, returned by [`ServiceBuilder`].
+/// Implements [`ServeRequests`] by delegation, so callers that only speak
+/// the request seam never need to know which variant they hold.
+// The size skew between the two handles is irrelevant: a process holds a
+// handful of services, never collections of them.
+#[allow(clippy::large_enum_variant)]
+pub enum KeywordService {
+    Single(SearchService),
+    Sharded(crate::sharded::ShardedService),
+}
+
+impl KeywordService {
+    /// The single-shard service, when this is one (for the session registry
+    /// and the durability surface, which have no sharded counterpart yet).
+    pub fn as_single(&self) -> Option<&SearchService> {
+        match self {
+            KeywordService::Single(s) => Some(s),
+            KeywordService::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded service, when this is one.
+    pub fn as_sharded(&self) -> Option<&crate::sharded::ShardedService> {
+        match self {
+            KeywordService::Single(_) => None,
+            KeywordService::Sharded(s) => Some(s),
+        }
+    }
+}
+
+impl ServeRequests for KeywordService {
+    fn submit_request(&self, request: Request) -> Ticket<Reply> {
+        match self {
+            KeywordService::Single(s) => s.submit_request(request),
+            KeywordService::Sharded(s) => s.submit_request(request),
+        }
+    }
+
+    fn ingest_batch(&self, batch: &RowBatch) -> Result<IngestReceipt, ServiceError> {
+        match self {
+            KeywordService::Single(s) => ServeRequests::ingest_batch(s, batch),
+            KeywordService::Sharded(s) => ServeRequests::ingest_batch(s, batch),
+        }
+    }
+
+    fn service_stats(&self) -> ServiceStats {
+        match self {
+            KeywordService::Single(s) => s.service_stats(),
+            KeywordService::Sharded(s) => s.service_stats(),
+        }
+    }
+
+    fn serving_epoch(&self) -> SnapshotEpoch {
+        match self {
+            KeywordService::Single(s) => s.serving_epoch(),
+            KeywordService::Sharded(s) => s.serving_epoch(),
+        }
+    }
+
+    #[cfg(any(test, feature = "test-seams"))]
+    fn submit_sleeping(&self, dur: Duration) -> Ticket<TimedReply<SearchReply>> {
+        match self {
+            KeywordService::Single(s) => s.submit_sleeping(dur),
+            KeywordService::Sharded(s) => s.submit_sleeping(dur),
+        }
+    }
+
+    fn session_burst(&self, query: &KeywordQuery, window: usize, limit: usize) -> bool {
+        match self {
+            KeywordService::Single(s) => s.session_burst(query, window, limit),
+            KeywordService::Sharded(s) => s.session_burst(query, window, limit),
         }
     }
 }
@@ -1312,139 +1919,141 @@ fn worker_loop(
             Ok(guard) => Arc::clone(&guard),
             Err(_) => return, // writer panicked mid-swap; shut down
         };
-        let interpreter = state.snapshot.interpreter();
-        // Serving code runs under `catch_unwind`: a panicking query must
-        // come back to its client as a typed [`RequestError`], not as a
-        // hung-up channel — and the worker must survive to take the next
-        // job. `AssertUnwindSafe` is sound here because the shared caches
-        // only ever admit *complete* entries (a panic mid-query cannot have
-        // published partial derived state), and everything else the closure
-        // touches dies with the request.
         match job {
-            Job::Answers { query, k, reply } => {
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
-                    let (answers, stats) = interpreter.answers_top_k_with_caches(
-                        &query,
-                        k,
-                        ExecOptions::default(),
-                        &mut gen_cache,
-                        &mut exec_cache,
-                    );
-                    SearchReply {
-                        epoch: state.epoch,
-                        answers,
-                        stats,
-                    }
-                }));
+            Job::Serve { request, reply } => {
+                let out = serve_request(&state, request);
                 // Count before replying so a client that just got its answer
                 // never observes a stale total.
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(out.map_err(panic_to_error)); // client may have given up: fine
+                let _ = reply.send(out); // client may have given up: fine
             }
-            Job::Interpretations { query, k, reply } => {
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                    interpreter.top_k_with_cache(&query, k, true, &mut gen_cache)
-                }));
-                served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(out.map_err(panic_to_error));
-            }
-            Job::Diversified { query, opts, reply } => {
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
-                    let out = QueryPipeline::new(
-                        &interpreter,
-                        ExecOptions::default(),
-                        &mut gen_cache,
-                        &mut exec_cache,
-                    )
-                    .diversified(&query, opts);
-                    DiversifiedReply {
-                        epoch: state.epoch,
-                        answers: out.answers,
-                        pool: out.pool,
-                        stats: out.stats,
-                    }
-                }));
-                served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(out.map_err(panic_to_error));
-            }
-            Job::AnswersTimed { query, k, reply } => {
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
-                    let (answers, stats) = interpreter.answers_top_k_with_caches(
-                        &query,
-                        k,
-                        ExecOptions::default(),
-                        &mut gen_cache,
-                        &mut exec_cache,
-                    );
-                    SearchReply {
-                        epoch: state.epoch,
-                        answers,
-                        stats,
-                    }
-                }));
-                served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(TimedReply {
-                    completed_at: Instant::now(),
-                    result: out.map_err(panic_to_error),
-                });
-            }
-            Job::DiversifiedTimed { query, opts, reply } => {
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
-                    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
-                    let out = QueryPipeline::new(
-                        &interpreter,
-                        ExecOptions::default(),
-                        &mut gen_cache,
-                        &mut exec_cache,
-                    )
-                    .diversified(&query, opts);
-                    DiversifiedReply {
-                        epoch: state.epoch,
-                        answers: out.answers,
-                        pool: out.pool,
-                        stats: out.stats,
-                    }
-                }));
-                served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(TimedReply {
-                    completed_at: Instant::now(),
-                    result: out.map_err(panic_to_error),
-                });
-            }
+            #[cfg(any(test, feature = "test-seams"))]
             Job::Sleep { dur, reply } => {
                 std::thread::sleep(dur);
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(TimedReply {
+                let _ = reply.send(Reply::AnswersTimed(TimedReply {
                     completed_at: Instant::now(),
                     result: Ok(SearchReply {
                         epoch: state.epoch,
+                        shard_epochs: Vec::new(),
                         answers: Vec::new(),
                         stats: AnswerStats::default(),
                     }),
-                });
+                }));
             }
+            #[cfg(any(test, feature = "test-seams"))]
             Job::Panic { reply } => {
                 let out = catch_unwind(|| -> SearchReply {
                     panic!("injected worker panic (testing seam)");
                 });
                 served.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(out.map_err(panic_to_error));
+                let _ = reply.send(Reply::Answers(out.map_err(panic_to_error)));
             }
         }
     }
 }
 
+/// Serve one [`Request`] against a pinned serving state, always producing
+/// the matching [`Reply`] arm. Serving code runs under `catch_unwind`: a
+/// panicking query must come back to its client as a typed
+/// [`RequestError`], not as a hung-up channel — and the worker must survive
+/// to take the next job. `AssertUnwindSafe` is sound here because the
+/// shared caches only ever admit *complete* entries (a panic mid-query
+/// cannot have published partial derived state), and everything else the
+/// closure touches dies with the request.
+fn serve_request(state: &ServingState, request: Request) -> Reply {
+    let interpreter = state.snapshot.interpreter();
+    match request {
+        Request::Answers { query, k } => Reply::Answers(
+            catch_unwind(AssertUnwindSafe(|| {
+                answers_on_state(state, &interpreter, &query, k)
+            }))
+            .map_err(panic_to_error),
+        ),
+        Request::Interpretations { query, k } => Reply::Interpretations(
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+                interpreter.top_k_with_cache(&query, k, true, &mut gen_cache)
+            }))
+            .map_err(panic_to_error),
+        ),
+        Request::Diversified { query, opts } => Reply::Diversified(
+            catch_unwind(AssertUnwindSafe(|| {
+                diversified_on_state(state, &interpreter, &query, opts)
+            }))
+            .map_err(panic_to_error),
+        ),
+        Request::AnswersTimed { query, k } => {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                answers_on_state(state, &interpreter, &query, k)
+            }));
+            Reply::AnswersTimed(TimedReply {
+                completed_at: Instant::now(),
+                result: out.map_err(panic_to_error),
+            })
+        }
+        Request::DiversifiedTimed { query, opts } => {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                diversified_on_state(state, &interpreter, &query, opts)
+            }));
+            Reply::DiversifiedTimed(TimedReply {
+                completed_at: Instant::now(),
+                result: out.map_err(panic_to_error),
+            })
+        }
+    }
+}
+
+fn answers_on_state(
+    state: &ServingState,
+    interpreter: &Interpreter<'_>,
+    query: &KeywordQuery,
+    k: usize,
+) -> SearchReply {
+    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+    let (answers, stats) = interpreter.answers_top_k_with_caches(
+        query,
+        k,
+        ExecOptions::default(),
+        &mut gen_cache,
+        &mut exec_cache,
+    );
+    SearchReply {
+        epoch: state.epoch,
+        shard_epochs: Vec::new(),
+        answers,
+        stats,
+    }
+}
+
+fn diversified_on_state(
+    state: &ServingState,
+    interpreter: &Interpreter<'_>,
+    query: &KeywordQuery,
+    opts: DiversifyOptions,
+) -> DiversifiedReply {
+    let mut gen_cache = NonemptyCache::with_shared(Arc::clone(&state.nonempty));
+    let mut exec_cache = ExecCache::with_shared(Arc::clone(&state.exec));
+    let out = QueryPipeline::new(
+        interpreter,
+        ExecOptions::default(),
+        &mut gen_cache,
+        &mut exec_cache,
+    )
+    .diversified(query, opts);
+    DiversifiedReply {
+        epoch: state.epoch,
+        shard_epochs: Vec::new(),
+        answers: out.answers,
+        pool: out.pool,
+        stats: out.stats,
+    }
+}
+
 /// Render a caught panic payload as the typed reply error. Panics raised by
 /// `panic!("…")` carry `&str` or `String`; anything else gets a fixed tag.
-fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> RequestError {
+pub(crate) fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> RequestError {
     let message = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

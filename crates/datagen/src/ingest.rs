@@ -20,7 +20,7 @@
 //! reproduces the same row ids, which is what lets the differential suite
 //! compare a live-updated service byte-for-byte against a cold rebuild.
 
-use keybridge_relstore::{Database, RowBatch, RowId, TableId};
+use keybridge_relstore::{assign_shards, Database, RowBatch, RowId, ShardAssignment, TableId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -181,6 +181,28 @@ pub fn holdout_plan(db: &Database, cfg: IngestConfig) -> IngestPlan {
         .collect();
 
     IngestPlan { initial, batches }
+}
+
+/// A holdout split plus the shard directory of the **full** fixture: the
+/// placement every row — preloaded *and* held out — gets when the complete
+/// database is partitioned into `shards` FK-closed shards. Booting a
+/// sharded service from `plan.initial` with this assignment and replaying
+/// `plan.batches` lands every row exactly where a cold partitioning of the
+/// full fixture would put it, so the differential suites can compare the
+/// live-updated sharded service against a cold full-corpus rebuild.
+#[derive(Debug, Clone)]
+pub struct ShardedIngestPlan {
+    pub plan: IngestPlan,
+    pub assignment: ShardAssignment,
+}
+
+/// [`holdout_plan`] plus a shard directory computed over the full `db`
+/// *before* the holdout split. Deterministic per seed and shard count.
+pub fn sharded_holdout_plan(db: &Database, cfg: IngestConfig, shards: usize) -> ShardedIngestPlan {
+    ShardedIngestPlan {
+        assignment: assign_shards(db, shards),
+        plan: holdout_plan(db, cfg),
+    }
 }
 
 /// One operation of a mixed read/write workload.

@@ -26,7 +26,10 @@ pub mod yago;
 
 pub use freebase::{FreebaseConfig, FreebaseDataset};
 pub use imdb::{ImdbConfig, ImdbDataset};
-pub use ingest::{holdout_plan, IngestConfig, IngestPlan, MixedOp, MixedWorkload};
+pub use ingest::{
+    holdout_plan, sharded_holdout_plan, IngestConfig, IngestPlan, MixedOp, MixedWorkload,
+    ShardedIngestPlan,
+};
 pub use lyrics::{LyricsConfig, LyricsDataset};
 pub use names::{NamePool, ZipfSampler};
 pub use querylog::{

@@ -35,6 +35,8 @@ pub enum RelError {
     BrokenForeignKey { table: TableId, row: u32 },
     /// A join tree handed to the executor is malformed.
     MalformedJoinTree(String),
+    /// A row is not covered by a shard assignment (partitioning).
+    UnassignedRow { table: String, key: i64 },
 }
 
 impl fmt::Display for RelError {
@@ -77,6 +79,9 @@ impl fmt::Display for RelError {
                 write!(f, "broken foreign key at table #{} row {row}", table.0)
             }
             RelError::MalformedJoinTree(msg) => write!(f, "malformed join tree: {msg}"),
+            RelError::UnassignedRow { table, key } => {
+                write!(f, "row `{table}`:{key} not covered by shard assignment")
+            }
         }
     }
 }

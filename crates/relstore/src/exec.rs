@@ -215,6 +215,37 @@ impl ExecStats {
 /// One result: a row id per join-tree node (a joining tuple tree).
 pub type JoinedRow = Vec<RowId>;
 
+/// A forced join order for the hash-join executor: the seed node plus the
+/// edge indexes in attach order. [`plan_join_order`] replicates exactly the
+/// choices `ExecStrategy::HashJoin` makes on its own, but from bare
+/// cardinalities — so a coordinator can compute one plan from *global*
+/// (cross-shard summed) cardinalities and force every shard to execute the
+/// same order, keeping a scatter-gather execution bit-identical to a
+/// single-store run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Node index the columnar batches are seeded from.
+    pub seed: usize,
+    /// Edge indexes into [`JoinTree::edges`], in attach order.
+    pub attach: Vec<usize>,
+}
+
+/// Output of the semi-join reduction pre-pass ([`reduce_join_tree`]): fully
+/// materialized, fully reduced per-node row sets, the pre-reduction (given)
+/// cardinalities the join planner keys on, and the reduction counters.
+#[derive(Debug, Clone)]
+pub struct ReducedTree {
+    /// Per node: surviving candidate rows, sorted where the reducer sorts
+    /// them. Empty sets mean the join has no results.
+    pub sets: Vec<Vec<RowId>>,
+    /// Per node: candidate rows *before* reduction (free nodes count their
+    /// full table) — the quantity seed selection keys on.
+    pub given: Vec<usize>,
+    /// `semijoin_rows_in` / `semijoin_rows_out` for this reduction; the
+    /// join-phase counters stay zero.
+    pub stats: ExecStats,
+}
+
 /// Result rows plus execution counters.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOutcome {
@@ -289,6 +320,39 @@ fn execute_hash_join(
     candidates: &Candidates,
     opts: ExecOptions,
 ) -> RelResult<ExecOutcome> {
+    let reduced = reduce_join_tree(db, tree, candidates)?;
+    let mut stats = reduced.stats;
+    if reduced.sets.iter().any(Vec::is_empty) {
+        return Ok(ExecOutcome {
+            rows: Vec::new(),
+            stats,
+        });
+    }
+    let sizes: Vec<usize> = reduced.sets.iter().map(Vec::len).collect();
+    let plan = plan_join_order(tree, &reduced.given, &sizes);
+    let out = execute_reduced(db, tree, reduced.sets, &plan, opts)?;
+    stats.absorb(&out.stats);
+    Ok(ExecOutcome {
+        rows: out.rows,
+        stats,
+    })
+}
+
+/// The semi-join reduction pre-pass of the hash-join strategy, exposed on
+/// its own so sharded executions can reduce locally, exchange only the
+/// resulting cardinalities, and then run [`execute_reduced`] under a plan
+/// forced by a coordinator.
+pub fn reduce_join_tree(
+    db: &Database,
+    tree: &JoinTree,
+    candidates: &Candidates,
+) -> RelResult<ReducedTree> {
+    tree.validate(db)?;
+    if candidates.per_node.len() != tree.nodes.len() {
+        return Err(RelError::MalformedJoinTree(
+            "candidate arity mismatch".into(),
+        ));
+    }
     let n = tree.nodes.len();
     let mut stats = ExecStats::default();
 
@@ -452,29 +516,27 @@ fn execute_hash_join(
         .iter()
         .map(|s| s.as_ref().expect("reduced sets are materialized").len())
         .sum();
-    if sets.iter().any(|s| s.as_ref().is_some_and(Vec::is_empty)) {
-        return Ok(ExecOutcome {
-            rows: Vec::new(),
-            stats,
-        });
-    }
+    let given: Vec<usize> = (0..n).map(given_card).collect();
+    let sets: Vec<Vec<RowId>> = sets
+        .into_iter()
+        .map(|s| s.expect("reduced sets are materialized"))
+        .collect();
+    Ok(ReducedTree { sets, given, stats })
+}
 
-    // Columnar binding batches: one column per joined node, all of equal
-    // length. Full reduction guarantees every partial binding extends to at
-    // least one distinct result, so each batch can be truncated to `limit`.
-    let cap = opts.limit;
-    let mut cols: Vec<Option<Vec<RowId>>> = vec![None; n];
-    let mut seed_col = std::mem::take(&mut sets[seed]).expect("reduced sets are materialized");
-    seed_col.truncate(cap);
-    stats.intermediate_bindings += seed_col.len();
-    let mut batch_len = seed_col.len();
-    cols[seed] = Some(seed_col);
+/// Replicate the hash-join executor's order choices from per-node *given*
+/// cardinalities (pre-reduction) and reduced set sizes: the seed is the
+/// first node with minimal given cardinality, then the edge whose new node
+/// has the smallest reduced set is attached, the live edge list evolving by
+/// `swap_remove` exactly as in execution — so ties break identically.
+pub fn plan_join_order(tree: &JoinTree, given: &[usize], reduced: &[usize]) -> JoinPlan {
+    let n = tree.nodes.len();
+    let seed = (0..n).min_by_key(|&i| given[i]).expect("non-empty");
     let mut joined = vec![false; n];
     joined[seed] = true;
-
     let mut remaining: Vec<usize> = (0..tree.edges.len()).collect();
+    let mut attach = Vec::with_capacity(tree.edges.len());
     while !remaining.is_empty() {
-        // Attach the edge whose new node has the smallest reduced set.
         let (pos, &ei) = remaining
             .iter()
             .enumerate()
@@ -485,11 +547,58 @@ fn execute_hash_join(
             .min_by_key(|(_, &ei)| {
                 let e = &tree.edges[ei];
                 let new = if joined[e.a] { e.b } else { e.a };
-                sets[new].as_ref().map_or(0, Vec::len)
+                reduced[new]
             })
             .expect("connected tree always has an attachable edge");
         remaining.swap_remove(pos);
+        let e = &tree.edges[ei];
+        let new = if joined[e.a] { e.b } else { e.a };
+        joined[new] = true;
+        attach.push(ei);
+    }
+    JoinPlan { seed, attach }
+}
+
+/// The join phase of the hash-join strategy over already-reduced sets,
+/// following a [`JoinPlan`] instead of choosing its own order. With the plan
+/// produced by [`plan_join_order`] on this store's own cardinalities this is
+/// bit-identical to `ExecStrategy::HashJoin`; under a coordinator-forced
+/// plan every participating store joins in the same order.
+///
+/// Columnar binding batches: one column per joined node, all of equal
+/// length. Full reduction guarantees every partial binding extends to at
+/// least one distinct result, so each batch can be truncated to `limit`.
+pub fn execute_reduced(
+    db: &Database,
+    tree: &JoinTree,
+    mut sets: Vec<Vec<RowId>>,
+    plan: &JoinPlan,
+    opts: ExecOptions,
+) -> RelResult<ExecOutcome> {
+    let n = tree.nodes.len();
+    let mut stats = ExecStats::default();
+    if sets.iter().any(Vec::is_empty) {
+        return Ok(ExecOutcome {
+            rows: Vec::new(),
+            stats,
+        });
+    }
+    let cap = opts.limit;
+    let mut cols: Vec<Option<Vec<RowId>>> = vec![None; n];
+    let mut seed_col = std::mem::take(&mut sets[plan.seed]);
+    seed_col.truncate(cap);
+    stats.intermediate_bindings += seed_col.len();
+    let mut batch_len = seed_col.len();
+    cols[plan.seed] = Some(seed_col);
+    let mut joined = vec![false; n];
+    joined[plan.seed] = true;
+
+    for &ei in &plan.attach {
         let edge = tree.edges[ei];
+        debug_assert!(
+            joined[edge.a] != joined[edge.b],
+            "plan attaches a non-attachable edge"
+        );
         let (known, new) = if joined[edge.a] {
             (edge.a, edge.b)
         } else {
@@ -504,7 +613,7 @@ fn execute_hash_join(
 
         // Build a hash table over the new node's reduced candidates, keyed
         // by join key. The pk side has unique keys; the fk side may not.
-        let new_set = sets[new].as_ref().expect("reduced sets are materialized");
+        let new_set = &sets[new];
         let mut build: HashMap<i64, Vec<RowId>> = HashMap::with_capacity(new_set.len());
         for &r in new_set {
             if let Some(k) = join_key(db, new_table, r, &fk, !known_fk) {

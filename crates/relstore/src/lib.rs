@@ -42,6 +42,7 @@ mod database;
 mod error;
 mod exec;
 mod graph;
+mod partition;
 mod schema;
 pub mod snapshot;
 mod value;
@@ -49,10 +50,14 @@ mod value;
 pub use database::{Database, RowBatch, TableStore};
 pub use error::{BatchError, RelError, RelResult};
 pub use exec::{
-    execute_join_tree, execute_join_tree_with_stats, Candidates, ExecOptions, ExecOutcome,
-    ExecStats, ExecStrategy, JoinTree, JoinTreeEdge, JoinedRow,
+    execute_join_tree, execute_join_tree_with_stats, execute_reduced, plan_join_order,
+    reduce_join_tree, Candidates, ExecOptions, ExecOutcome, ExecStats, ExecStrategy, JoinPlan,
+    JoinTree, JoinTreeEdge, JoinedRow, ReducedTree,
 };
 pub use graph::{GraphEdge, SchemaGraph};
+pub use partition::{
+    assign_shards, fk_parents, hash_shard, split_database, ShardAssignment, ShardSplit,
+};
 pub use schema::{
     AttrId, AttrRef, AttributeDef, FkId, ForeignKey, Schema, SchemaBuilder, TableBuilder, TableDef,
     TableId, TableKind,

@@ -200,8 +200,25 @@ impl InvertedIndex {
     /// tables without text attributes are a no-op. Schema-name terms need no
     /// maintenance: the schema is immutable.
     pub fn index_row(&mut self, db: &Database, table: TableId, row: RowId) {
-        let tdef = db.schema().table(table);
-        let stored = db.table(table).row(row);
+        self.index_row_values(db.schema(), table, row, db.table(table).row(row));
+    }
+
+    /// [`Self::index_row`] for a row that is *not* stored in a local
+    /// [`Database`]: the caller supplies the schema and the row's values
+    /// directly. The sharded coordinator uses this to keep its global index
+    /// current — routed rows land in per-shard stores under shard-local ids,
+    /// so the coordinator indexes the batch's values under the row's global
+    /// id instead of re-reading a store. Bit-identical in effect to
+    /// [`Self::index_row`] over a database holding `values` at `row`.
+    pub fn index_row_values(
+        &mut self,
+        schema: &keybridge_relstore::Schema,
+        table: TableId,
+        row: RowId,
+        values: &[keybridge_relstore::Value],
+    ) {
+        let tdef = schema.table(table);
+        let stored = values;
         for (aid, _) in tdef.text_attrs() {
             let aref = AttrRef { table, attr: aid };
             let stats = self.attr_stats.entry(aref).or_default();
@@ -444,6 +461,26 @@ impl InvertedIndex {
         if !self.term_lists(terms, attr, &mut lists) {
             return alpha / denom;
         }
+        let joint = self
+            .joint_occurrences(terms, attr)
+            .expect("term_lists succeeded");
+        (joint as f64 + alpha) / denom
+    }
+
+    /// Total combination occurrences of `terms` within single values of
+    /// `attr` (the numerator of [`Self::joint_atf`] before smoothing): each
+    /// row contributes `min_i tf(term_i)`. `None` when some term has no
+    /// postings in `attr` at all — callers merging several indexes need to
+    /// distinguish "absent here" (skip) from "present with zero joint
+    /// occurrences" (count).
+    pub fn joint_occurrences(&self, terms: &[String], attr: AttrRef) -> Option<u64> {
+        if terms.is_empty() {
+            return None;
+        }
+        let mut lists: Vec<&TermAttrEntry> = Vec::with_capacity(terms.len());
+        if !self.term_lists(terms, attr, &mut lists) {
+            return None;
+        }
         let (probe, rest) = lists.split_first().expect("terms nonempty");
         let mut joint: u64 = 0;
         'rows: for &(row, tf0) in &probe.rows {
@@ -456,7 +493,62 @@ impl InvertedIndex {
             }
             joint += m as u64;
         }
-        (joint as f64 + alpha) / denom
+        Some(joint)
+    }
+
+    /// Flat iteration over every `(term, attribute, postings)` triple, for
+    /// building merged views over several indexes. Order is unspecified
+    /// (hash-map iteration); merging callers must sort.
+    pub fn term_attr_postings(&self) -> impl Iterator<Item = (&str, AttrRef, &TermAttrEntry)> {
+        self.dict.iter().flat_map(|(term, entry)| {
+            entry
+                .attrs
+                .iter()
+                .zip(&entry.postings)
+                .map(move |(&attr, p)| (term.as_str(), attr, p))
+        })
+    }
+}
+
+/// The slice of index functionality the interpretation-generation layer
+/// consumes: candidate harvesting ([`TermIndex::attrs_containing`],
+/// [`TermIndex::schema_matches`]), predicate non-emptiness
+/// ([`TermIndex::has_row_with_all`]), and the smoothed (joint) attribute
+/// term frequencies the probability model scores with. Implemented by
+/// [`InvertedIndex`] and by merged multi-shard views, so one generation
+/// code path serves both a single store and a sharded coordinator.
+pub trait TermIndex {
+    /// The attributes in which `term` occurs, sorted.
+    fn attrs_containing(&self, term: &str) -> &[AttrRef];
+    /// Schema elements whose name contains `term`.
+    fn schema_matches(&self, term: &str) -> &[SchemaTarget];
+    /// Whether at least one row of `attr` contains *all* of `terms`.
+    fn has_row_with_all(&self, terms: &[String], attr: AttrRef) -> bool;
+    /// Attribute term frequency with additive smoothing (Eq. 3.8).
+    fn atf(&self, term: &str, attr: AttrRef, alpha: f64) -> f64;
+    /// Joint attribute term frequency of a keyword bag (DivQ, Eq. 4.2).
+    fn joint_atf(&self, terms: &[String], attr: AttrRef, alpha: f64) -> f64;
+}
+
+impl TermIndex for InvertedIndex {
+    fn attrs_containing(&self, term: &str) -> &[AttrRef] {
+        InvertedIndex::attrs_containing(self, term)
+    }
+
+    fn schema_matches(&self, term: &str) -> &[SchemaTarget] {
+        InvertedIndex::schema_matches(self, term)
+    }
+
+    fn has_row_with_all(&self, terms: &[String], attr: AttrRef) -> bool {
+        InvertedIndex::has_row_with_all(self, terms, attr)
+    }
+
+    fn atf(&self, term: &str, attr: AttrRef, alpha: f64) -> f64 {
+        InvertedIndex::atf(self, term, attr, alpha)
+    }
+
+    fn joint_atf(&self, terms: &[String], attr: AttrRef, alpha: f64) -> f64 {
+        InvertedIndex::joint_atf(self, terms, attr, alpha)
     }
 }
 

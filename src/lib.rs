@@ -107,6 +107,22 @@
 //! a never-crashed service's (`tests/recovery.rs` proves this at every
 //! injected kill point); `examples/quickstart.rs` §8 walks the
 //! checkpoint → crash → reopen cycle.
+//!
+//! ## Sharded scatter-gather serving
+//!
+//! The same request surface scales out horizontally.
+//! [`core::ServiceBuilder`] with `.shards(k)` partitions the rows into k
+//! FK-closed shards ([`relstore::assign_shards`]) and starts a
+//! [`core::ShardedService`]: per-shard worker pools, epoch chains, and
+//! cache generations behind one coordinator that scatters each request,
+//! merges the per-shard streams, and replies **byte-identically** to the
+//! single-shard service (`tests/sharded.rs` proves this on every fixture
+//! under concurrent mixed-mode load). Ingested batches route to their
+//! owning shards and advance only those shards' epochs; replies carry the
+//! per-shard epoch vector. Both deployments implement the
+//! [`core::ServeRequests`] trait — one typed [`core::Request`] enum in,
+//! one [`core::Reply`] ticket out — so callers are deployment-agnostic;
+//! `examples/quickstart.rs` §9 walks the sharded end-to-end.
 
 pub use keybridge_core as core;
 pub use keybridge_datagen as datagen;

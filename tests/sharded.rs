@@ -1,0 +1,588 @@
+//! Sharded scatter-gather correctness: a K-shard `ShardedService` must be
+//! **byte-identical** — same interpretations, bit-exact scores, same joining
+//! tuple trees in global row ids, same key sets, same order — to the
+//! single-shard oracle on all four datagen fixtures, under concurrent
+//! mixed-mode load and while a writer swaps shard epochs mid-replay. Plus
+//! the routing contract (a batch touching shards {i, j} bumps *only* those
+//! shards' epochs) and the legacy-wrapper ⇔ `Request`-enum equivalence of
+//! the unified serving seam.
+
+use keybridge::core::{
+    DiversifiedReply, DiversifyOptions, InterpreterConfig, KeywordQuery, RankedAnswer, Reply,
+    Request, ScoredInterpretation, SearchService, SearchSnapshot, ServeRequests, ServiceBuilder,
+    ShardedService, TemplateCatalog,
+};
+use keybridge::datagen::{
+    sharded_holdout_plan, FreebaseConfig, FreebaseDataset, ImdbConfig, ImdbDataset, IngestConfig,
+    LyricsConfig, LyricsDataset, Workload, WorkloadConfig, YagoConfig, YagoOntology,
+};
+use keybridge::index::{InvertedIndex, Tokenizer};
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+/// Render one answer with bit-exact scores so "identical" means identical.
+fn canon(answers: &[RankedAnswer]) -> String {
+    let mut out = String::new();
+    for a in answers {
+        out.push_str(&format!(
+            "tpl={:?} bindings={:?} score_bits={:016x} jtt={:?} keys={:?}\n",
+            a.interpretation.template,
+            a.interpretation.bindings,
+            a.log_score.to_bits(),
+            a.jtt,
+            a.keys.iter().map(|k| (k.table, k.pk)).collect::<Vec<_>>(),
+        ));
+    }
+    out
+}
+
+/// Bit-exact rendering of a diversified reply (modulo uncompared stats).
+fn canon_div(reply: &DiversifiedReply) -> String {
+    let mut out = format!("pool={}\n", reply.pool);
+    for a in &reply.answers {
+        out.push_str(&format!(
+            "tpl={:?} bindings={:?} score_bits={:016x} rel_bits={:016x} rank={} atoms={:?} keys={:?}\n",
+            a.interpretation.template,
+            a.interpretation.bindings,
+            a.log_score.to_bits(),
+            a.relevance.to_bits(),
+            a.pool_rank,
+            a.atoms,
+            a.keys.iter().map(|k| (k.table, k.pk)).collect::<Vec<_>>(),
+        ));
+    }
+    out
+}
+
+fn canon_interps(interps: &[ScoredInterpretation]) -> String {
+    let mut out = String::new();
+    for s in interps {
+        out.push_str(&format!(
+            "tpl={:?} bindings={:?} score_bits={:016x}\n",
+            s.interpretation.template,
+            s.interpretation.bindings,
+            s.log_score.to_bits(),
+        ));
+    }
+    out
+}
+
+/// The cold single-threaded reference: a fresh interpreter per query.
+fn reference(snapshot: &SearchSnapshot, queries: &[Vec<String>], k: usize) -> Vec<String> {
+    queries
+        .iter()
+        .map(|terms| {
+            let q = KeywordQuery::from_terms(terms.clone());
+            canon(&snapshot.interpreter().answers_top_k(&q, k))
+        })
+        .collect()
+}
+
+// --- fixtures (same seeds as tests/service.rs) ------------------------------
+
+fn imdb_log() -> (Arc<SearchSnapshot>, Vec<Vec<String>>) {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(99)).unwrap();
+    let w = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: 123,
+            n_queries: 8,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries = w.queries.iter().map(|q| q.keywords.clone()).collect();
+    let snap = SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 50_000).unwrap();
+    (Arc::new(snap), queries)
+}
+
+fn lyrics_log() -> (Arc<SearchSnapshot>, Vec<Vec<String>>) {
+    let data = LyricsDataset::generate(LyricsConfig::tiny(7)).unwrap();
+    let w = Workload::lyrics(
+        &data,
+        WorkloadConfig {
+            seed: 21,
+            n_queries: 8,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries = w.queries.iter().map(|q| q.keywords.clone()).collect();
+    let snap = SearchSnapshot::build(data.db, InterpreterConfig::default(), 4, 50_000).unwrap();
+    (Arc::new(snap), queries)
+}
+
+fn token_log(
+    db: &keybridge::relstore::Database,
+    table: keybridge::relstore::TableId,
+    n: usize,
+) -> Vec<Vec<String>> {
+    let tok = Tokenizer::new();
+    let mut out = Vec::new();
+    for i in 0..db.table(table).len().min(12) as u32 {
+        let row = db.table(table).row(keybridge::relstore::RowId(i));
+        let toks = tok.tokenize(row[1].as_text().unwrap_or(""));
+        if let Some(t) = toks.first() {
+            out.push(vec![t.clone()]);
+        }
+        if out.len() >= n {
+            break;
+        }
+    }
+    assert!(!out.is_empty(), "no tokens drawn from fixture");
+    out
+}
+
+fn freebase_log() -> (Arc<SearchSnapshot>, Vec<Vec<String>>) {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 6,
+        types_per_domain: 4,
+        topics: 300,
+        rows_per_table: 12,
+        seed: 5,
+    })
+    .unwrap();
+    let queries = token_log(&fb.db, fb.topic, 6);
+    let snap = SearchSnapshot::build(fb.db, InterpreterConfig::default(), 2, 50_000).unwrap();
+    (Arc::new(snap), queries)
+}
+
+fn yago_log() -> (Arc<SearchSnapshot>, Vec<Vec<String>>) {
+    let fb = FreebaseDataset::generate(FreebaseConfig {
+        domains: 6,
+        types_per_domain: 4,
+        topics: 400,
+        rows_per_table: 15,
+        seed: 31,
+    })
+    .unwrap();
+    let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);
+    let queries = token_log(&fb.db, yago.gold[0].1, 5);
+    let snap = SearchSnapshot::build(fb.db, InterpreterConfig::default(), 2, 50_000).unwrap();
+    (Arc::new(snap), queries)
+}
+
+// --- scatter-gather differential --------------------------------------------
+
+/// Replay `queries` through a K=4 sharded service from `clients` concurrent
+/// threads, mixing answer and diversified requests, and assert every reply
+/// is byte-identical to the single-shard cold oracle.
+fn assert_sharded_identical(
+    snapshot: Arc<SearchSnapshot>,
+    queries: &[Vec<String>],
+    workers: usize,
+    clients: usize,
+    k: usize,
+) {
+    let expected = Arc::new(reference(&snapshot, queries, k));
+    // Diversified oracle: the single-shard service (itself proven identical
+    // to the pipeline in tests/diversify.rs).
+    let single = SearchService::start(Arc::clone(&snapshot), workers);
+    let expected_div: Arc<Vec<String>> = Arc::new(
+        queries
+            .iter()
+            .map(|terms| {
+                let q = KeywordQuery::from_terms(terms.clone());
+                canon_div(&single.search_diversified(&q, DiversifyOptions::default()))
+            })
+            .collect(),
+    );
+    drop(single);
+
+    let service = ServiceBuilder::new()
+        .workers(workers)
+        .shards(SHARDS)
+        .start(snapshot)
+        .unwrap();
+    let sharded = service.as_sharded().expect("shards(4) builds sharded");
+    assert_eq!(sharded.shard_count(), SHARDS);
+    let service = Arc::new(service);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let service = Arc::clone(&service);
+            let expected = Arc::clone(&expected);
+            let expected_div = Arc::clone(&expected_div);
+            let queries = queries.to_vec();
+            scope.spawn(move || {
+                for i in 0..queries.len() {
+                    let j = (i + c * 3) % queries.len();
+                    let q = KeywordQuery::from_terms(queries[j].clone());
+                    let reply = service.search_versioned(&q, k);
+                    assert_eq!(
+                        reply.shard_epochs.len(),
+                        SHARDS,
+                        "reply must carry the per-shard epoch vector"
+                    );
+                    assert_eq!(
+                        canon(&reply.answers),
+                        expected[j],
+                        "client {c}: query {:?} diverged from the single-shard oracle",
+                        queries[j]
+                    );
+                    // Every other query doubles as a diversified probe.
+                    if i % 2 == c % 2 {
+                        let div = service.search_diversified(&q, DiversifyOptions::default());
+                        assert_eq!(div.shard_epochs.len(), SHARDS);
+                        assert_eq!(
+                            canon_div(&div),
+                            expected_div[j],
+                            "client {c}: diversified {:?} diverged",
+                            queries[j]
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = service.service_stats();
+    assert!(stats.served >= clients * queries.len());
+    assert!(stats.nonempty_entries > 0, "shared cache never populated");
+}
+
+#[test]
+fn sharded_identical_imdb() {
+    let (snap, queries) = imdb_log();
+    assert_sharded_identical(snap, &queries, 4, 4, 5);
+}
+
+#[test]
+fn sharded_identical_lyrics() {
+    let (snap, queries) = lyrics_log();
+    assert_sharded_identical(snap, &queries, 4, 4, 5);
+}
+
+#[test]
+fn sharded_identical_freebase() {
+    let (snap, queries) = freebase_log();
+    assert_sharded_identical(snap, &queries, 4, 4, 5);
+}
+
+#[test]
+fn sharded_identical_yago() {
+    let (snap, queries) = yago_log();
+    assert_sharded_identical(snap, &queries, 4, 4, 5);
+}
+
+// --- routing: only touched shards swap epochs --------------------------------
+
+#[test]
+fn ingest_bumps_only_touched_shard_epochs() {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(99)).unwrap();
+    let sharded_plan = sharded_holdout_plan(
+        &data.db,
+        IngestConfig {
+            seed: 77,
+            holdout: 0.25,
+            batches: 4,
+        },
+        SHARDS,
+    );
+    let plan = &sharded_plan.plan;
+    let schema = data.db.schema().clone();
+    let snap = Arc::new(
+        SearchSnapshot::build(
+            plan.initial.clone(),
+            InterpreterConfig::default(),
+            4,
+            50_000,
+        )
+        .unwrap(),
+    );
+    let service = ShardedService::start_with_assignment(snap, sharded_plan.assignment.clone(), 2);
+
+    let mut expected_swaps = 0usize;
+    let mut touched_union = std::collections::BTreeSet::new();
+    for (b, batch) in plan.batches.iter().enumerate() {
+        // The full-corpus directory pins every held-out row's shard, so the
+        // touched set is known before the ingest.
+        let touched: std::collections::BTreeSet<usize> = batch
+            .iter()
+            .map(|(t, row)| {
+                let pk = row[schema.table(*t).pk.0 as usize].as_int().unwrap();
+                sharded_plan
+                    .assignment
+                    .shard_of(*t, pk)
+                    .expect("full-corpus directory covers held-out rows")
+            })
+            .collect();
+        assert!(!touched.is_empty());
+
+        let before = service.shard_epochs();
+        let receipt = service.ingest(batch).unwrap();
+        let after = service.shard_epochs();
+        assert_eq!(receipt.epoch.0, b as u64 + 1, "one global epoch per batch");
+        assert_eq!(receipt.rows, batch.len());
+        for s in 0..SHARDS {
+            if touched.contains(&s) {
+                assert_eq!(
+                    after[s].0,
+                    before[s].0 + 1,
+                    "batch {b}: touched shard {s} must advance exactly once"
+                );
+            } else {
+                assert_eq!(
+                    after[s], before[s],
+                    "batch {b}: untouched shard {s} must keep its epoch"
+                );
+            }
+        }
+        expected_swaps += touched.len();
+        touched_union.extend(touched);
+    }
+    let stats = service.service_stats();
+    assert_eq!(stats.epoch_swaps, plan.batches.len());
+    assert_eq!(stats.shard_epoch_swaps, expected_swaps);
+    assert_eq!(stats.shards_touched, touched_union.len());
+    assert_eq!(stats.rows_ingested, plan.total_rows());
+    assert!(
+        expected_swaps < plan.batches.len() * SHARDS || SHARDS == 1,
+        "fixture too dense: every batch touched every shard, isolation unobserved"
+    );
+}
+
+// --- writer swaps shard epochs mid-replay ------------------------------------
+
+/// Eight clients replay an overlapping log through a K=4 sharded service
+/// while a writer ingests batches mid-replay. Every reply must match the
+/// *unsharded* cold oracle of exactly the global epoch it reports.
+#[test]
+fn sharded_writer_swaps_epochs_mid_replay() {
+    let data = ImdbDataset::generate(ImdbConfig::tiny(99)).unwrap();
+    let w = Workload::imdb(
+        &data,
+        WorkloadConfig {
+            seed: 123,
+            n_queries: 8,
+            mc_fraction: 0.5,
+        },
+    );
+    let queries: Vec<Vec<String>> = w.queries.iter().map(|q| q.keywords.clone()).collect();
+    let k = 5;
+    let sharded_plan = sharded_holdout_plan(
+        &data.db,
+        IngestConfig {
+            seed: 77,
+            holdout: 0.25,
+            batches: 4,
+        },
+        SHARDS,
+    );
+    let plan = &sharded_plan.plan;
+    let catalog = TemplateCatalog::enumerate(&data.db, 4, 50_000).unwrap();
+
+    // One cold unsharded single-threaded oracle per epoch.
+    let mut oracle_db = plan.initial.clone();
+    let oracle_for = |db: &keybridge::relstore::Database| -> Vec<String> {
+        let index = InvertedIndex::build(db);
+        let snap = SearchSnapshot::new(
+            db.clone(),
+            index,
+            catalog.clone(),
+            InterpreterConfig::default(),
+        );
+        queries
+            .iter()
+            .map(|terms| {
+                let q = KeywordQuery::from_terms(terms.clone());
+                canon(&snap.interpreter().answers_top_k(&q, k))
+            })
+            .collect()
+    };
+    let mut oracles: Vec<Vec<String>> = vec![oracle_for(&oracle_db)];
+    for batch in &plan.batches {
+        oracle_db.insert_batch(batch).unwrap();
+        oracles.push(oracle_for(&oracle_db));
+    }
+
+    let service = Arc::new(ShardedService::start_with_assignment(
+        Arc::new(SearchSnapshot::new(
+            plan.initial.clone(),
+            InvertedIndex::build(&plan.initial),
+            catalog,
+            InterpreterConfig::default(),
+        )),
+        sharded_plan.assignment.clone(),
+        4,
+    ));
+
+    // Warm epoch 0 before the race so the first swap provably displaces a
+    // populated cache generation.
+    let warm = service.search_versioned(&KeywordQuery::from_terms(queries[0].clone()), k);
+    assert_eq!(canon(&warm.answers), oracles[0][0]);
+
+    std::thread::scope(|scope| {
+        for c in 0..8usize {
+            let service = Arc::clone(&service);
+            let queries = queries.clone();
+            let oracles = &oracles;
+            scope.spawn(move || {
+                for pass in 0..2 {
+                    for i in 0..queries.len() {
+                        let j = if c % 2 == 0 {
+                            (i + c) % queries.len()
+                        } else {
+                            (queries.len() - 1 + c - i) % queries.len()
+                        };
+                        let q = KeywordQuery::from_terms(queries[j].clone());
+                        let reply = service.search_versioned(&q, k);
+                        let epoch = reply.epoch.0 as usize;
+                        assert!(epoch < oracles.len(), "impossible epoch {epoch}");
+                        assert_eq!(
+                            canon(&reply.answers),
+                            oracles[epoch][j],
+                            "pass {pass} client {c}: {:?} does not match the \
+                             epoch-{epoch} unsharded oracle — sharding or \
+                             cross-epoch state leaked",
+                            queries[j]
+                        );
+                    }
+                }
+            });
+        }
+        let writer = Arc::clone(&service);
+        let batches = plan.batches.clone();
+        scope.spawn(move || {
+            for batch in &batches {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                writer.ingest(batch).unwrap();
+            }
+        });
+    });
+
+    let stats = service.service_stats();
+    assert_eq!(stats.epoch_swaps, plan.batches.len());
+    assert_eq!(stats.epoch, plan.batches.len() as u64);
+    assert!(stats.shard_epoch_swaps >= stats.epoch_swaps);
+    assert!(stats.stale_evictions > 0, "swaps displaced no cached state");
+    // The settled service serves the final epoch, byte-identical to the
+    // full-fixture unsharded oracle.
+    for (j, terms) in queries.iter().enumerate() {
+        let reply = service.search_versioned(&KeywordQuery::from_terms(terms.clone()), k);
+        assert_eq!(reply.epoch.0 as usize, plan.batches.len());
+        assert_eq!(canon(&reply.answers), oracles[plan.batches.len()][j]);
+    }
+}
+
+// --- legacy wrappers ⇔ Request enum ------------------------------------------
+
+/// Every legacy convenience wrapper must be byte-equivalent to issuing its
+/// `Request` arm through `submit_request` directly — on any implementation
+/// of the seam.
+fn assert_wrappers_match<S: ServeRequests>(service: &S, queries: &[Vec<String>], k: usize) {
+    for terms in queries {
+        let q = KeywordQuery::from_terms(terms.clone());
+
+        // Answers: raw enum vs blocking wrapper vs typed submit.
+        let raw = match service
+            .submit_request(Request::Answers {
+                query: q.clone(),
+                k,
+            })
+            .wait()
+            .expect("service alive")
+        {
+            Reply::Answers(Ok(r)) => r,
+            _ => panic!("Request::Answers must resolve to Reply::Answers"),
+        };
+        let wrapped = service.search_versioned(&q, k);
+        assert_eq!(canon(&raw.answers), canon(&wrapped.answers));
+        assert_eq!(raw.epoch, wrapped.epoch);
+        assert_eq!(raw.shard_epochs, wrapped.shard_epochs);
+        let typed = service
+            .submit(q.clone(), k)
+            .wait()
+            .expect("service alive")
+            .expect("request served");
+        assert_eq!(canon(&raw.answers), canon(&typed.answers));
+        let (answers, _) = service.search_with_stats(&q, k);
+        assert_eq!(canon(&raw.answers), canon(&answers));
+        assert_eq!(canon(&raw.answers), canon(&service.search(&q, k)));
+
+        // Timed answers: same payload, plus a stamp.
+        let timed = service
+            .submit_timed(q.clone(), k)
+            .wait()
+            .expect("service alive");
+        let timed_reply = timed.result.expect("request served");
+        assert_eq!(canon(&raw.answers), canon(&timed_reply.answers));
+        assert_eq!(raw.epoch, timed_reply.epoch);
+
+        // Interpretations.
+        let raw_i = match service
+            .submit_request(Request::Interpretations {
+                query: q.clone(),
+                k,
+            })
+            .wait()
+            .expect("service alive")
+        {
+            Reply::Interpretations(Ok(r)) => r,
+            _ => panic!("Request::Interpretations must resolve to Reply::Interpretations"),
+        };
+        let typed_i = service
+            .submit_interpretations(q.clone(), k)
+            .wait()
+            .expect("service alive")
+            .expect("request served");
+        assert_eq!(canon_interps(&raw_i.0), canon_interps(&typed_i.0));
+
+        // Diversified, plain and timed.
+        let opts = DiversifyOptions::default();
+        let raw_d = match service
+            .submit_request(Request::Diversified {
+                query: q.clone(),
+                opts,
+            })
+            .wait()
+            .expect("service alive")
+        {
+            Reply::Diversified(Ok(r)) => r,
+            _ => panic!("Request::Diversified must resolve to Reply::Diversified"),
+        };
+        let wrapped_d = service.search_diversified(&q, opts);
+        assert_eq!(canon_div(&raw_d), canon_div(&wrapped_d));
+        assert_eq!(raw_d.epoch, wrapped_d.epoch);
+        assert_eq!(raw_d.shard_epochs, wrapped_d.shard_epochs);
+        let timed_d = service
+            .submit_diversified_timed(q.clone(), opts)
+            .wait()
+            .expect("service alive");
+        assert_eq!(
+            canon_div(&raw_d),
+            canon_div(&timed_d.result.expect("served"))
+        );
+    }
+}
+
+/// The wrapper ⇔ enum equivalence on both seam implementations, all four
+/// fixtures.
+fn assert_wrappers_match_both(snap: Arc<SearchSnapshot>, queries: &[Vec<String>]) {
+    let single = SearchService::start(Arc::clone(&snap), 2);
+    assert_wrappers_match(&single, queries, 5);
+    drop(single);
+    let sharded = ShardedService::start(snap, SHARDS, 2);
+    assert_wrappers_match(&sharded, queries, 5);
+}
+
+#[test]
+fn wrappers_match_request_enum_imdb() {
+    let (snap, queries) = imdb_log();
+    assert_wrappers_match_both(snap, &queries);
+}
+
+#[test]
+fn wrappers_match_request_enum_lyrics() {
+    let (snap, queries) = lyrics_log();
+    assert_wrappers_match_both(snap, &queries);
+}
+
+#[test]
+fn wrappers_match_request_enum_freebase() {
+    let (snap, queries) = freebase_log();
+    assert_wrappers_match_both(snap, &queries);
+}
+
+#[test]
+fn wrappers_match_request_enum_yago() {
+    let (snap, queries) = yago_log();
+    assert_wrappers_match_both(snap, &queries);
+}
