@@ -16,6 +16,7 @@ fn main() {
         topics: 20_000,
         rows_per_table: 25,
         seed: 61,
+        scale: 1.0,
     })
     .expect("generation succeeds");
     let yago = YagoOntology::generate(

@@ -142,6 +142,7 @@ fn bench_freebase(c: &mut Criterion) {
         topics: 10_000,
         rows_per_table: 25,
         seed: 5,
+        scale: 1.0,
     })
     .unwrap();
     let index = InvertedIndex::build(&fb.db);

@@ -24,6 +24,7 @@ fn open_loop_rung(c: &mut Criterion) {
         movies: 500,
         companies: 50,
         avg_cast: 3,
+        scale: 1.0,
     })
     .expect("generation succeeds");
     let workload = Workload::imdb(

@@ -20,6 +20,7 @@ fn serve_throughput(c: &mut Criterion) {
         movies: 500,
         companies: 50,
         avg_cast: 3,
+        scale: 1.0,
     })
     .expect("generation succeeds");
     let workload = Workload::imdb(

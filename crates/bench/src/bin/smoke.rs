@@ -5,15 +5,20 @@
 //! `SearchService` replaying a seeded query log at 1/2/4/8 workers with QPS
 //! and p50/p95/p99 latency.
 //!
+//! With `--scale`, a storage-footprint tier regenerates the profile's IMDB
+//! fixture at scale factors 1/10/50 and records rows, build time, snapshot
+//! bytes (interned/delta-coded vs. the naive v1 representation), bytes/row,
+//! approximate resident heap bytes, and single-worker QPS per scale.
+//!
 //! ```text
-//! # CI: quick profile, serve replay, enforced regression gate + artifact
+//! # CI: quick profile, serve replay, scale tier, regression gate + artifact
 //! cargo run --release -p keybridge-bench --bin smoke -- \
-//!     --smoke --serve --check BENCH_baseline.json --out BENCH_current.json
+//!     --smoke --serve --scale --check BENCH_baseline.json --out BENCH_current.json
 //! # refresh the committed baseline (same profile CI checks against!)
 //! cargo run --release -p keybridge-bench --bin smoke -- \
-//!     --smoke --serve --out BENCH_baseline.json
+//!     --smoke --serve --scale --out BENCH_baseline.json
 //! # full profile, local trend spotting
-//! cargo run --release -p keybridge-bench --bin smoke -- --serve
+//! cargo run --release -p keybridge-bench --bin smoke -- --serve --scale
 //! ```
 //!
 //! Counts (spaces, materializations, prunes) are deterministic per seed and
@@ -90,6 +95,7 @@ impl Profile {
                 movies: 500,
                 companies: 50,
                 avg_cast: 3,
+                scale: 1.0,
             },
             runs: 3,
             serve_queries: 48,
@@ -104,6 +110,42 @@ impl Profile {
 
 /// Worker counts of the serve replay (the 1/2/4/8 ladder of the issue).
 const SERVE_WORKERS: &[usize] = &[1, 2, 4, 8];
+
+/// Scale factors of the `--scale` storage-footprint tier.
+const SCALES: &[u32] = &[1, 10, 50];
+
+/// Queries replayed (single worker) per scale for the `qps_scaleN` figures.
+const SCALE_QUERIES: usize = 24;
+
+/// One rung of the `--scale` tier: the profile's IMDB fixture regenerated at
+/// `scale`, with its storage footprint measured on the snapshot codecs (a
+/// pure function of content, machine-independent) and on the deterministic
+/// heap model of `Database::approx_heap_bytes`.
+struct ScaleRun {
+    scale: u32,
+    rows: usize,
+    build_ms: f64,
+    /// Interned v2 store snapshot vs. what the v1 per-cell-String codec
+    /// would have written for identical content.
+    store_bytes: u64,
+    store_bytes_naive: u64,
+    /// Delta-varint v2 index snapshot vs. the v1 fixed-width postings.
+    index_bytes: u64,
+    index_bytes_naive: u64,
+    heap_bytes: u64,
+    heap_bytes_naive: u64,
+    qps: f64,
+}
+
+impl ScaleRun {
+    fn bytes_per_row(&self) -> f64 {
+        (self.store_bytes + self.index_bytes) as f64 / self.rows.max(1) as f64
+    }
+
+    fn bytes_per_row_naive(&self) -> f64 {
+        (self.store_bytes_naive + self.index_bytes_naive) as f64 / self.rows.max(1) as f64
+    }
+}
 
 /// Shard count of the scatter-gather phase.
 const SHARDS: usize = 4;
@@ -129,11 +171,13 @@ fn main() {
     let mut sweep_out_path: Option<String> = None;
     let mut profile = Profile::full();
     let mut serve = false;
+    let mut scale = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => profile = Profile::quick(),
             "--serve" => serve = true,
+            "--scale" => scale = true,
             "--out" => {
                 out_path = args.get(i + 1).cloned();
                 i += 1;
@@ -149,8 +193,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other}\n\
-                     usage: smoke [--smoke] [--serve] [--out FILE] [--check BASELINE] \
-                     [--sweep-out FILE]"
+                     usage: smoke [--smoke] [--serve] [--scale] [--out FILE] \
+                     [--check BASELINE] [--sweep-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -290,6 +334,115 @@ fn main() {
         std::process::exit(1);
     }
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // == scale: the storage-footprint tier. Regenerate the profile's IMDB
+    //    fixture at scale 1/10/50, measure the interned/delta-coded snapshot
+    //    codecs against the naive v1 representation of identical content,
+    //    and replay a short seeded log for a per-scale QPS figure. ==
+    let mut scale_runs: Vec<ScaleRun> = Vec::new();
+    let mut scale_gate_failure: Option<String> = None;
+    if scale {
+        println!(
+            "\n== scale (IMDB fixture at x1/x10/x50, {} profile) ==",
+            profile.name
+        );
+        for &s in SCALES {
+            let cfg = ImdbConfig {
+                scale: s as f64,
+                ..profile.imdb
+            };
+            let t = Instant::now();
+            let data = ImdbDataset::generate(cfg).expect("generation succeeds");
+            let build_ms = t.elapsed().as_secs_f64() * 1e3;
+            let rows = data.db.total_rows();
+            let store_bytes = data
+                .db
+                .snapshot_bytes()
+                .expect("store fits the codec")
+                .len() as u64;
+            let store_bytes_naive = data.db.naive_snapshot_bytes();
+            let heap_bytes = data.db.approx_heap_bytes();
+            let heap_bytes_naive = data.db.naive_heap_bytes();
+            let index = InvertedIndex::build(&data.db);
+            let index_bytes = index.snapshot_bytes().expect("index fits the codec").len() as u64;
+            let index_bytes_naive = index.naive_snapshot_bytes();
+            let workload = Workload::imdb(
+                &data,
+                WorkloadConfig {
+                    seed: 7,
+                    n_queries: SCALE_QUERIES,
+                    mc_fraction: 0.5,
+                },
+            );
+            let queries: Vec<Vec<String>> = workload
+                .queries
+                .iter()
+                .map(|q| q.keywords.clone())
+                .collect();
+            let catalog = TemplateCatalog::enumerate(&data.db, 4, 100_000).expect("medium schema");
+            let snapshot = Arc::new(SearchSnapshot::new(
+                data.db,
+                index,
+                catalog,
+                InterpreterConfig::default(),
+            ));
+            let mut qps: Vec<f64> = (0..3)
+                .map(|_| replay_serve(&snapshot, &queries, 1, 5).qps)
+                .collect();
+            qps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let run = ScaleRun {
+                scale: s,
+                rows,
+                build_ms,
+                store_bytes,
+                store_bytes_naive,
+                index_bytes,
+                index_bytes_naive,
+                heap_bytes,
+                heap_bytes_naive,
+                qps: qps[qps.len() / 2],
+            };
+            println!(
+                "  x{:<3}: {:>8} rows in {:>8.1} ms   {:>6.1} B/row on disk \
+                 (naive {:>6.1})   heap {:>6.2} MiB (naive {:>6.2})   {:>7.1} qps",
+                run.scale,
+                run.rows,
+                run.build_ms,
+                run.bytes_per_row(),
+                run.bytes_per_row_naive(),
+                run.heap_bytes as f64 / (1024.0 * 1024.0),
+                run.heap_bytes_naive as f64 / (1024.0 * 1024.0),
+                run.qps,
+            );
+            scale_runs.push(run);
+        }
+        // The tier's two hard gates (deferred like the serve gate so the
+        // snapshot is still written as the CI artifact): the x50 fixture
+        // must clear 100k rows, and at x10 the interned + delta-coded
+        // snapshot must be at least 25% smaller than the naive codec.
+        if let Some(r50) = scale_runs.iter().find(|r| r.scale == 50) {
+            if r50.rows < 100_000 {
+                scale_gate_failure = Some(format!(
+                    "scale-50 fixture built only {} rows (need >= 100000)",
+                    r50.rows
+                ));
+            }
+        }
+        if let Some(r10) = scale_runs.iter().find(|r| r.scale == 10) {
+            let packed = r10.store_bytes + r10.index_bytes;
+            let naive = r10.store_bytes_naive + r10.index_bytes_naive;
+            if packed * 4 > naive * 3 && scale_gate_failure.is_none() {
+                scale_gate_failure = Some(format!(
+                    "scale-10 snapshot is {packed} bytes vs {naive} naive — \
+                     less than the required 25% saving"
+                ));
+            }
+        }
+    }
+
     // == serve: query-log replay through the concurrent SearchService. ==
     let mut serve_runs: Vec<ServeRun> = Vec::new();
     let mut div_run: Option<DivServeRun> = None;
@@ -299,9 +452,6 @@ fn main() {
     let mut sharded_run: Option<(OpenLoopRun, ServiceStats)> = None;
     let mut sweep_workers = 0usize;
     let mut serve_gate_failure: Option<String> = None;
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     if serve {
         let workload = Workload::imdb(
             &data,
@@ -635,7 +785,8 @@ fn main() {
         sharded_run = Some((run, stats));
     }
 
-    match &serve_gate_failure {
+    let gate_failure = serve_gate_failure.or(scale_gate_failure);
+    match &gate_failure {
         None => println!("\nSMOKE OK"),
         Some(why) => eprintln!("\nSMOKE FAIL (exit deferred until snapshot written): {why}"),
     }
@@ -668,6 +819,7 @@ fn main() {
         sweep_outcome.as_ref(),
         sharded_run.as_ref(),
         sweep_workers,
+        &scale_runs,
     );
 
     if let Some(path) = &out_path {
@@ -696,7 +848,7 @@ fn main() {
         }
     }
 
-    if let Some(why) = serve_gate_failure {
+    if let Some(why) = gate_failure {
         eprintln!("SMOKE FAIL: {why}");
         std::process::exit(1);
     }
@@ -726,6 +878,7 @@ fn render_json(
     sweep: Option<&SweepOutcome>,
     sharded: Option<&(OpenLoopRun, ServiceStats)>,
     sweep_workers: usize,
+    scale_runs: &[ScaleRun],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -876,6 +1029,47 @@ fn render_json(
             s.push_str(&format!("    \"p95_sharded_ms\": {:.3}", run.p95_ms));
         }
         s.push('\n');
+        s.push_str("  }");
+    }
+    if !scale_runs.is_empty() {
+        s.push_str(",\n  \"scale\": {\n");
+        s.push_str(&format!("    \"scale_cores\": {cores},\n"));
+        for (i, r) in scale_runs.iter().enumerate() {
+            let n = r.scale;
+            let comma = if i + 1 < scale_runs.len() { "," } else { "" };
+            s.push_str(&format!("    \"scale{n}_rows\": {},\n", r.rows));
+            s.push_str(&format!("    \"scale{n}_build_ms\": {:.3},\n", r.build_ms));
+            s.push_str(&format!(
+                "    \"scale{n}_store_bytes\": {},\n",
+                r.store_bytes
+            ));
+            s.push_str(&format!(
+                "    \"scale{n}_store_bytes_naive\": {},\n",
+                r.store_bytes_naive
+            ));
+            s.push_str(&format!(
+                "    \"scale{n}_index_bytes\": {},\n",
+                r.index_bytes
+            ));
+            s.push_str(&format!(
+                "    \"scale{n}_index_bytes_naive\": {},\n",
+                r.index_bytes_naive
+            ));
+            s.push_str(&format!("    \"scale{n}_heap_bytes\": {},\n", r.heap_bytes));
+            s.push_str(&format!(
+                "    \"scale{n}_heap_bytes_naive\": {},\n",
+                r.heap_bytes_naive
+            ));
+            s.push_str(&format!(
+                "    \"scale{n}_bytes_per_row\": {:.2},\n",
+                r.bytes_per_row()
+            ));
+            s.push_str(&format!(
+                "    \"scale{n}_bytes_per_row_naive\": {:.2},\n",
+                r.bytes_per_row_naive()
+            ));
+            s.push_str(&format!("    \"qps_scale{n}\": {:.1}{comma}\n", r.qps));
+        }
         s.push_str("  }");
     }
     s.push_str("\n}\n");

@@ -895,6 +895,26 @@ const SERVE_ONLY_COUNTER_KEYS: &[&str] = &[
     "capacity_rps",
 ];
 
+/// Keys emitted only by `--scale` runs (the storage-footprint tier). Like
+/// the serve-only keys, their absence from a run without a scale section is
+/// excused; their presence gates through the usual name-convention rules.
+fn is_scale_key(key: &str) -> bool {
+    key.starts_with("qps_scale") || (key.starts_with("scale") && key != "scale_cores")
+}
+
+/// The scale tier's deterministic footprint counters: fixture row counts
+/// and the interned/delta-coded snapshot sizes are pure functions of the
+/// generator seed and the codecs, so they gate with `counter_factor` on any
+/// machine — this is the memory-footprint regression gate. The `_naive`
+/// reference sizes and the heap model stay informational.
+fn is_scale_counter(key: &str) -> bool {
+    key.starts_with("scale")
+        && (key.ends_with("_rows")
+            || key.ends_with("_store_bytes")
+            || key.ends_with("_index_bytes")
+            || key.ends_with("_bytes_per_row"))
+}
+
 /// String keys that must match exactly for two snapshots to be comparable
 /// at all (a quick-profile run must never be diffed against a full-profile
 /// baseline).
@@ -932,6 +952,11 @@ pub fn check_regression(
     // counters and the single-threaded wall-clock sections still gate.
     let serve_comparable = base.get("serve_cores") == cur.get("serve_cores");
     let cur_has_serve = cur.contains_key("serve_cores");
+    // The scale tier carries its own comparability marker, so a baseline
+    // recorded with `--serve --scale` still gates its footprint counters
+    // against a `--scale`-only run (and vice versa).
+    let scale_comparable = base.get("scale_cores") == cur.get("scale_cores");
+    let cur_has_scale = cur.contains_key("scale_cores");
     let mut violations = Vec::new();
     for (key, bval) in &base {
         let serve_counter = SERVE_ONLY_COUNTER_KEYS.contains(&key.as_str());
@@ -941,8 +966,13 @@ pub fn check_regression(
         // counters stay gated: none of them is a rate, so none matches
         // these name patterns.
         if !serve_comparable
+            && !key.starts_with("qps_scale")
             && (key.starts_with("qps_") || key.contains("_ms_w") || key == "capacity_rps")
         {
+            continue;
+        }
+        // The per-scale replay QPS follows the scale tier's own marker.
+        if !scale_comparable && key.starts_with("qps_scale") {
             continue;
         }
         let BaselineValue::Num(b) = bval else {
@@ -961,14 +991,17 @@ pub fn check_regression(
                 || key.starts_with("wall_")
                 || key.starts_with("qps_")
                 || key == "capacity_rps"
-                || COUNTER_KEYS.contains(&key.as_str()));
+                || COUNTER_KEYS.contains(&key.as_str())
+                || is_scale_counter(key));
         let Some(BaselineValue::Num(c)) = cur.get(key) else {
             // Only a gated metric is required to be present; informational
             // keys (e.g. the serve section of a --check run without
             // --serve) may come and go. Ingest/diversification counters are
             // gated but live in the serve section, so they are only
-            // *required* when the current run produced one.
-            let excused = serve_counter && !cur_has_serve;
+            // *required* when the current run produced one — and the scale
+            // tier's keys likewise only when the run passed --scale.
+            let excused =
+                (serve_counter && !cur_has_serve) || (is_scale_key(key) && !cur_has_scale);
             if gated && !excused {
                 violations.push(format!("metric {key} missing from current run"));
             }
@@ -998,7 +1031,9 @@ pub fn check_regression(
                     cfg.wall_factor
                 ));
             }
-        } else if COUNTER_KEYS.contains(&key.as_str()) && c > b * cfg.counter_factor + 1e-9 {
+        } else if (COUNTER_KEYS.contains(&key.as_str()) || is_scale_counter(key))
+            && c > b * cfg.counter_factor + 1e-9
+        {
             violations.push(format!(
                 "counter regression: {key} {c:.0} vs baseline {b:.0} \
                  (>{:.2}x)",
@@ -1029,7 +1064,20 @@ mod baseline_tests {
     "capacity_rps": 800.0, "p95_at_capacity_ms": 12.0,
     "openloop_search_ops": 216, "openloop_diversified_ops": 10,
     "openloop_session_ops": 9, "openloop_ingest_ops": 5,
-    "shard_epoch_swaps": 8, "shards_touched": 4, "p95_sharded_ms": 6.0 }
+    "shard_epoch_swaps": 8, "shards_touched": 4, "p95_sharded_ms": 6.0 },
+  "scale": { "scale_cores": 8,
+    "scale1_rows": 3068, "scale1_build_ms": 40.0,
+    "scale1_store_bytes": 100000, "scale1_store_bytes_naive": 150000,
+    "scale1_index_bytes": 50000, "scale1_index_bytes_naive": 90000,
+    "scale1_heap_bytes": 400000, "scale1_heap_bytes_naive": 600000,
+    "scale1_bytes_per_row": 48.9, "scale1_bytes_per_row_naive": 78.2,
+    "qps_scale1": 900.0,
+    "scale10_rows": 30518, "scale10_build_ms": 400.0,
+    "scale10_store_bytes": 1000000, "scale10_store_bytes_naive": 1500000,
+    "scale10_index_bytes": 500000, "scale10_index_bytes_naive": 900000,
+    "scale10_heap_bytes": 4000000, "scale10_heap_bytes_naive": 6000000,
+    "scale10_bytes_per_row": 49.2, "scale10_bytes_per_row_naive": 78.6,
+    "qps_scale10": 120.0 }
 }"#;
 
     fn with(key: &str, val: &str) -> String {
@@ -1301,6 +1349,94 @@ mod baseline_tests {
     }
 
     #[test]
+    fn scale_footprint_counters_gate_even_across_core_counts() {
+        // Snapshot sizes and fixture row counts are pure functions of the
+        // generator seed and the codecs: growth is a storage regression on
+        // any machine (this is the memory-footprint gate of the issue).
+        let cur = with("scale10_store_bytes", "1200000")
+            .replace("\"scale_cores\": 8", "\"scale_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("scale10_store_bytes")), "{v:?}");
+        let cur = with("scale10_index_bytes", "600000");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("scale10_index_bytes")), "{v:?}");
+        let cur = with("scale1_bytes_per_row", "60.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(
+            v.iter().any(|s| s.contains("scale1_bytes_per_row")),
+            "{v:?}"
+        );
+        let cur = with("scale10_rows", "40000");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("scale10_rows")), "{v:?}");
+        // Within the 1.05x counter slack: fine.
+        let cur = with("scale10_store_bytes", "1040000");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scale_naive_references_and_heap_model_are_informational() {
+        // The `_naive` sizes exist to be compared against, not gated, and
+        // the heap model is an accounting figure, not a budget.
+        let cur = with("scale10_store_bytes_naive", "3000000");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        let cur = with("scale1_bytes_per_row_naive", "200.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        let cur = with("scale10_heap_bytes", "9000000");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scale_qps_follows_the_scale_cores_marker() {
+        // The per-scale replay QPS is machine-dependent and follows the
+        // scale tier's own comparability marker...
+        let cur = with("qps_scale10", "60.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("qps_scale10")), "{v:?}");
+        let cur = with("qps_scale10", "60.0").replace("\"scale_cores\": 8", "\"scale_cores\": 2");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        // ...not the serve marker: a serve-core mismatch alone does not
+        // excuse a scale-tier throughput collapse.
+        let cur = with("qps_scale10", "60.0").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("qps_scale10")), "{v:?}");
+    }
+
+    #[test]
+    fn scale_build_time_gates_like_wall_clock() {
+        let cur = with("scale10_build_ms", "700.0");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("scale10_build_ms")), "{v:?}");
+        // Within the 1.5x wall gate: fine.
+        let cur = with("scale10_build_ms", "550.0");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scale_keys_excused_without_scale_section() {
+        // A --check run without --scale emits no scale keys; the tier goes
+        // informational instead of reporting every key missing.
+        let start = BASE.find(",\n  \"scale\"").unwrap();
+        let end = BASE.rfind('}').unwrap();
+        let cur = format!("{}\n{}", &BASE[..start], &BASE[end..]);
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn check_without_serve_section_passes() {
         // A --check run without --serve emits no serve keys at all; the
         // serve metrics go informational instead of reporting "missing".
@@ -1383,6 +1519,7 @@ pub fn freebase_fixture(
         types_per_domain,
         topics,
         rows_per_table: 25,
+        scale: 1.0,
     })
     .expect("generation succeeds");
     let index = InvertedIndex::build(&fb.db);

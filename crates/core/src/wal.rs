@@ -256,7 +256,7 @@ impl Wal {
         }
         let mut payload = Vec::new();
         put_u64(&mut payload, seq);
-        payload.extend_from_slice(&encode_batch(batch));
+        payload.extend_from_slice(&encode_batch(batch)?);
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
@@ -423,8 +423,8 @@ pub fn write_snapshot_file(
     out.extend_from_slice(SNAP_MAGIC);
     put_u32(&mut out, SNAP_VERSION);
     put_u64(&mut out, epoch);
-    put_section(&mut out, SEC_DB, &db.snapshot_bytes());
-    put_section(&mut out, SEC_INDEX, &index.snapshot_bytes());
+    put_section(&mut out, SEC_DB, &db.snapshot_bytes()?);
+    put_section(&mut out, SEC_INDEX, &index.snapshot_bytes()?);
 
     let tmp = dir.join(SNAPSHOT_TMP);
     let path = dir.join(SNAPSHOT_FILE);

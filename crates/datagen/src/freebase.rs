@@ -134,6 +134,12 @@ const TYPE_WORDS: &[&str] = &[
 
 /// Sizing knobs: `domains × types_per_domain` type tables plus one `topic`
 /// table.
+///
+/// `scale` multiplies the *instance* counts — `topics` and `rows_per_table`
+/// — via [`crate::scale_rows`], keeping the schema breadth (domain and type
+/// counts) and the Zipf membership skew fixed so type-table selectivity
+/// against the topic universe stays realistic. `scale: 1.0` reproduces the
+/// historical fixture bit for bit.
 #[derive(Debug, Clone, Copy)]
 pub struct FreebaseConfig {
     pub seed: u64,
@@ -143,6 +149,7 @@ pub struct FreebaseConfig {
     pub topics: usize,
     /// Rows per type table (each row links one topic into the type).
     pub rows_per_table: usize,
+    pub scale: f64,
 }
 
 impl Default for FreebaseConfig {
@@ -153,6 +160,7 @@ impl Default for FreebaseConfig {
             types_per_domain: 10,
             topics: 4000,
             rows_per_table: 25,
+            scale: 1.0,
         }
     }
 }
@@ -166,6 +174,7 @@ impl FreebaseConfig {
             types_per_domain: 4,
             topics: 300,
             rows_per_table: 12,
+            scale: 1.0,
         }
     }
 
@@ -178,6 +187,7 @@ impl FreebaseConfig {
             types_per_domain: 70,
             topics: 60_000,
             rows_per_table: 30,
+            scale: 1.0,
         }
     }
 }
@@ -201,6 +211,8 @@ impl FreebaseDataset {
     /// Generate a dataset.
     pub fn generate(cfg: FreebaseConfig) -> RelResult<Self> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n_topics = crate::scale_rows(cfg.topics, cfg.scale);
+        let n_rows_per_table = crate::scale_rows(cfg.rows_per_table, cfg.scale);
         let pool = NamePool::new();
 
         // Domain and table names first (schema building needs them all).
@@ -245,8 +257,8 @@ impl FreebaseDataset {
         let topic = db.schema().table_id("topic").expect("declared above");
 
         // Topic universe: mixture of person names and titles.
-        let mut topic_names = Vec::with_capacity(cfg.topics);
-        for i in 0..cfg.topics {
+        let mut topic_names = Vec::with_capacity(n_topics);
+        for i in 0..n_topics {
             let name = if rng.gen_bool(0.5) {
                 pool.person_name(&mut rng)
             } else {
@@ -261,7 +273,7 @@ impl FreebaseDataset {
 
         // Type tables: each row links one topic. Topics are drawn with a
         // Zipf skew, so popular topics span many domains (Fig. 6.2 shape).
-        let zipf = crate::names::ZipfSampler::new(cfg.topics, 0.7);
+        let zipf = crate::names::ZipfSampler::new(n_topics, 0.7);
         let mut domains = Vec::with_capacity(cfg.domains);
         let mut next_row_id: i64 = 1;
         for (d, names) in table_names.iter().enumerate() {
@@ -270,7 +282,7 @@ impl FreebaseDataset {
                 let tid = db.schema().table_id(n).expect("declared above");
                 tables.push(tid);
                 let mut seen = std::collections::HashSet::new();
-                for _ in 0..cfg.rows_per_table {
+                for _ in 0..n_rows_per_table {
                     let t = zipf.sample(&mut rng);
                     if !seen.insert(t) {
                         continue; // a topic appears at most once per type

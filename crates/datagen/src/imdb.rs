@@ -14,6 +14,12 @@ use rand::{Rng, SeedableRng};
 
 /// Sizing knobs for the generator. Row counts are per table; `avg_cast` is
 /// the mean number of actors per movie.
+///
+/// `scale` multiplies every row *count* via [`crate::scale_rows`] while
+/// leaving the per-movie fan-out (`avg_cast`, one `directs` row) untouched,
+/// so foreign-key selectivity stays realistic as the corpus grows. Expected
+/// rows: `18 + (companies + actors + directors)·s + movies·s·(avg_cast + 2)`.
+/// `scale: 1.0` reproduces the historical fixture bit for bit.
 #[derive(Debug, Clone, Copy)]
 pub struct ImdbConfig {
     pub seed: u64,
@@ -22,6 +28,7 @@ pub struct ImdbConfig {
     pub movies: usize,
     pub companies: usize,
     pub avg_cast: usize,
+    pub scale: f64,
 }
 
 impl Default for ImdbConfig {
@@ -33,6 +40,7 @@ impl Default for ImdbConfig {
             movies: 2000,
             companies: 150,
             avg_cast: 3,
+            scale: 1.0,
         }
     }
 }
@@ -47,6 +55,7 @@ impl ImdbConfig {
             movies: 80,
             companies: 10,
             avg_cast: 2,
+            scale: 1.0,
         }
     }
 }
@@ -135,15 +144,19 @@ impl ImdbDataset {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let pool = NamePool::new();
+        let n_companies = crate::scale_rows(cfg.companies, cfg.scale);
+        let n_actors = crate::scale_rows(cfg.actors, cfg.scale);
+        let n_directors = crate::scale_rows(cfg.directors, cfg.scale);
+        let n_movies = crate::scale_rows(cfg.movies, cfg.scale);
 
         for (i, g) in GENRES.iter().enumerate() {
             db.insert(genre, vec![Value::Int(i as i64 + 1), Value::text(*g)])?;
         }
-        for i in 0..cfg.companies {
+        for i in 0..n_companies {
             let name = format!("{} pictures", pool.word(&mut rng));
             db.insert(company, vec![Value::Int(i as i64 + 1), Value::text(name)])?;
         }
-        for i in 0..cfg.actors {
+        for i in 0..n_actors {
             db.insert(
                 actor,
                 vec![
@@ -152,7 +165,7 @@ impl ImdbDataset {
                 ],
             )?;
         }
-        for i in 0..cfg.directors {
+        for i in 0..n_directors {
             db.insert(
                 director,
                 vec![
@@ -162,12 +175,12 @@ impl ImdbDataset {
             )?;
         }
         let mut acts_id: i64 = 1;
-        for i in 0..cfg.movies {
+        for i in 0..n_movies {
             let mid = i as i64 + 1;
             // ~20% of titles embed a surname: the title/person ambiguity.
             let title = pool.title(&mut rng, 1, 3, 0.2);
             let year = rng.gen_range(1950..=2012);
-            let cid = rng.gen_range(1..=cfg.companies.max(1)) as i64;
+            let cid = rng.gen_range(1..=n_companies.max(1)) as i64;
             let gid = rng.gen_range(1..=GENRES.len()) as i64;
             db.insert(
                 movie,
@@ -181,7 +194,7 @@ impl ImdbDataset {
             )?;
             let cast = rng.gen_range(1..=cfg.avg_cast * 2 - 1);
             for _ in 0..cast {
-                let aid = rng.gen_range(1..=cfg.actors) as i64;
+                let aid = rng.gen_range(1..=n_actors) as i64;
                 let role = pool.person_name(&mut rng);
                 db.insert(
                     acts,
@@ -194,7 +207,7 @@ impl ImdbDataset {
                 )?;
                 acts_id += 1;
             }
-            let did = rng.gen_range(1..=cfg.directors) as i64;
+            let did = rng.gen_range(1..=n_directors) as i64;
             // One directs row per movie: its id coincides with `mid`.
             db.insert(
                 directs,
@@ -247,6 +260,41 @@ mod tests {
                 .map(|(_, r)| r[1].to_string())
                 .collect();
         assert_eq!(row_a, row_b);
+    }
+
+    #[test]
+    fn scale_ten_golden_counts() {
+        // The CI-gated golden counts for the `--scale` tier: exact entity
+        // table sizes at scale 10, derived from the documented formulas.
+        let cfg = ImdbConfig {
+            scale: 10.0,
+            ..ImdbConfig::tiny(7)
+        };
+        let d = ImdbDataset::generate(cfg).unwrap();
+        assert_eq!(d.db.table(d.actor).len(), 600);
+        assert_eq!(d.db.table(d.director).len(), 200);
+        assert_eq!(d.db.table(d.movie).len(), 800);
+        assert_eq!(d.db.table(d.company).len(), 100);
+        assert_eq!(d.db.table(d.genre).len(), 18);
+        assert_eq!(d.db.table(d.directs).len(), 800);
+        assert!(d.db.table(d.acts).len() >= 800);
+        d.db.validate().unwrap();
+    }
+
+    #[test]
+    fn scale_one_reproduces_unscaled_fixture() {
+        // `scale: 1.0` must be bit-identical to the historical generator:
+        // same rng consumption, same rows, same snapshot bytes.
+        let a = ImdbDataset::generate(ImdbConfig::tiny(9)).unwrap();
+        let b = ImdbDataset::generate(ImdbConfig {
+            scale: 1.0,
+            ..ImdbConfig::tiny(9)
+        })
+        .unwrap();
+        assert_eq!(
+            a.db.snapshot_bytes().unwrap(),
+            b.db.snapshot_bytes().unwrap()
+        );
     }
 
     #[test]

@@ -15,6 +15,31 @@
 //! All generators take an explicit `u64` seed; identical seeds produce
 //! identical bytes, which makes every experiment in the repository
 //! reproducible.
+//!
+//! ## Scale factors
+//!
+//! Every fixture config carries a `scale: f64` knob (default `1.0`, which
+//! reproduces the historical fixtures bit for bit). Entity/relation *counts*
+//! grow as [`scale_rows`]`(base, scale)` = `max(1, round(base × scale))`,
+//! while per-row fan-out ratios (cast size, songs per album, Zipf skew) stay
+//! fixed, so foreign-key selectivity remains realistic as the corpus grows.
+//! Primary keys are dense `1..=n` sequences and every id computation runs in
+//! `i64`/`u64`; [`scale_rows`] rejects counts past `2^31`, far below any
+//! overflow or pk-collision boundary.
+//!
+//! Expected total row counts (`E[rows](scale)`, defaults shown):
+//!
+//! | fixture | formula | scale 1 | scale 10 | scale 50 |
+//! |---|---|---|---|---|
+//! | IMDB | `18 + (companies+actors+directors)·s + movies·s·(avg_cast+2)` | ~12,068 | ~120,518 | ~602,518 |
+//! | IMDB (bench quick) | `18 + 550·s + 500·s·5` | ~3,068 | ~30,518 | ~152,518 |
+//! | Lyrics | `(artists+albums+songs)·s + links` | ~17,400 | ~174,000 | ~870,000 |
+//! | Freebase | `topics·s + domains·types·min(rows·s, …)` | ~9,000 | ~90,000 | ~450,000 |
+//! | YAGO | `leaf_categories·s` categories over the Freebase topics | 800 | 8,000 | 40,000 |
+//!
+//! (`acts` and the junction tables are stochastic; the table shows means.
+//! Expected resident footprint is ~100–150 bytes/row with the interned
+//! store — see `crates/bench/README.md` for measuring it.)
 
 pub mod freebase;
 pub mod imdb;
@@ -36,3 +61,58 @@ pub use querylog::{
     IntentBinding, IntentSpec, TemplateUsage, Workload, WorkloadConfig, WorkloadQuery,
 };
 pub use yago::{CategoryKind, YagoCategory, YagoConfig, YagoOntology};
+
+/// Effective row count of a fixture table under a scale factor:
+/// `max(1, round(base × scale))` (zero stays zero). Panics on non-finite or
+/// non-positive scales and on results past `2^31` — the explicit pk-space
+/// budget keeping dense `1..=n` integer keys and the `u32` row-id mint far
+/// from overflow at any supported scale.
+pub fn scale_rows(base: usize, scale: f64) -> usize {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "scale must be a positive finite number, got {scale}"
+    );
+    let scaled = (base as f64 * scale).round();
+    assert!(
+        scaled < (1u64 << 31) as f64,
+        "scaled row count {scaled} exceeds the 2^31 pk-space budget"
+    );
+    if base == 0 {
+        0
+    } else {
+        (scaled as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::scale_rows;
+
+    #[test]
+    fn identity_at_scale_one() {
+        for n in [0usize, 1, 7, 1500, 60_000] {
+            assert_eq!(scale_rows(n, 1.0), n);
+        }
+    }
+
+    #[test]
+    fn rounds_and_clamps() {
+        assert_eq!(scale_rows(3, 0.4), 1); // rounds to 1.2 → 1
+        assert_eq!(scale_rows(3, 0.1), 1); // min 1 for non-empty bases
+        assert_eq!(scale_rows(0, 10.0), 0); // zero stays zero
+        assert_eq!(scale_rows(400, 50.0), 20_000);
+        assert_eq!(scale_rows(1500, 2.5), 3750);
+    }
+
+    #[test]
+    #[should_panic(expected = "pk-space budget")]
+    fn rejects_overflowing_scale() {
+        scale_rows(1 << 30, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nan_scale() {
+        scale_rows(10, f64::NAN);
+    }
+}

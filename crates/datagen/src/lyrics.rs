@@ -13,12 +13,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Sizing knobs.
+///
+/// `scale` multiplies every row count via [`crate::scale_rows`] while the
+/// junction fan-out (collaboration rate, one `album_song` row per song)
+/// stays fixed; `scale: 1.0` reproduces the historical fixture bit for bit.
+/// Expected rows: `(artists + albums + songs)·s + 1.1·albums·s + songs·s`.
 #[derive(Debug, Clone, Copy)]
 pub struct LyricsConfig {
     pub seed: u64,
     pub artists: usize,
     pub albums: usize,
     pub songs: usize,
+    pub scale: f64,
 }
 
 impl Default for LyricsConfig {
@@ -28,6 +34,7 @@ impl Default for LyricsConfig {
             artists: 600,
             albums: 1200,
             songs: 6000,
+            scale: 1.0,
         }
     }
 }
@@ -40,6 +47,7 @@ impl LyricsConfig {
             artists: 30,
             albums: 60,
             songs: 200,
+            scale: 1.0,
         }
     }
 }
@@ -95,8 +103,11 @@ impl LyricsDataset {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let pool = NamePool::new();
+        let n_artists = crate::scale_rows(cfg.artists, cfg.scale);
+        let n_albums = crate::scale_rows(cfg.albums, cfg.scale);
+        let n_songs = crate::scale_rows(cfg.songs, cfg.scale);
 
-        for i in 0..cfg.artists {
+        for i in 0..n_artists {
             // Half the artists are person names, half band-style word pairs.
             let name = if rng.gen_bool(0.5) {
                 pool.person_name(&mut rng)
@@ -105,7 +116,7 @@ impl LyricsDataset {
             };
             db.insert(artist, vec![Value::Int(i as i64 + 1), Value::text(name)])?;
         }
-        for i in 0..cfg.albums {
+        for i in 0..n_albums {
             let title = pool.title(&mut rng, 1, 3, 0.1);
             let year = rng.gen_range(1960..=2012);
             db.insert(
@@ -118,8 +129,8 @@ impl LyricsDataset {
             )?;
         }
         let mut aa_id: i64 = 1;
-        for i in 0..cfg.albums {
-            let artist_id = rng.gen_range(1..=cfg.artists) as i64;
+        for i in 0..n_albums {
+            let artist_id = rng.gen_range(1..=n_artists) as i64;
             db.insert(
                 artist_album,
                 vec![
@@ -131,7 +142,7 @@ impl LyricsDataset {
             aa_id += 1;
             // 10% of albums are collaborations with a second artist.
             if rng.gen_bool(0.1) {
-                let other = rng.gen_range(1..=cfg.artists) as i64;
+                let other = rng.gen_range(1..=n_artists) as i64;
                 db.insert(
                     artist_album,
                     vec![
@@ -143,7 +154,7 @@ impl LyricsDataset {
                 aa_id += 1;
             }
         }
-        for i in 0..cfg.songs {
+        for i in 0..n_songs {
             let sid = i as i64 + 1;
             let title = pool.title(&mut rng, 1, 3, 0.1);
             let lyrics: Vec<String> = (0..rng.gen_range(4..=9))
@@ -157,7 +168,7 @@ impl LyricsDataset {
                     Value::text(lyrics.join(" ")),
                 ],
             )?;
-            let album_id = rng.gen_range(1..=cfg.albums) as i64;
+            let album_id = rng.gen_range(1..=n_albums) as i64;
             // One album_song row per song: its id coincides with `sid`.
             db.insert(
                 album_song,

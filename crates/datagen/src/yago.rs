@@ -61,6 +61,11 @@ pub struct YagoCategory {
 }
 
 /// Sizing knobs for the ontology generator.
+///
+/// `scale` multiplies the leaf-category count via [`crate::scale_rows`] —
+/// instance populations ride on the paired [`FreebaseDataset`]'s own scale,
+/// since categories draw from its topic universe. `scale: 1.0` reproduces
+/// the historical fixture bit for bit.
 #[derive(Debug, Clone, Copy)]
 pub struct YagoConfig {
     pub seed: u64,
@@ -77,6 +82,7 @@ pub struct YagoConfig {
     /// Fraction of a conceptual category's instances that are noise
     /// (drawn from other tables).
     pub noise: f64,
+    pub scale: f64,
 }
 
 impl Default for YagoConfig {
@@ -89,6 +95,7 @@ impl Default for YagoConfig {
             conceptual_fraction: 0.45,
             coverage: 0.65,
             noise: 0.08,
+            scale: 1.0,
         }
     }
 }
@@ -121,6 +128,7 @@ impl YagoOntology {
     pub fn generate(cfg: YagoConfig, fb: &FreebaseDataset) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let pool = NamePool::new();
+        let n_leaves = crate::scale_rows(cfg.leaf_categories, cfg.scale);
 
         let mut categories = vec![YagoCategory {
             name: "entity".to_owned(),
@@ -161,7 +169,7 @@ impl YagoOntology {
         let all_topics = fb.db.table(fb.topic).len() as i64;
 
         let mut gold = Vec::new();
-        for li in 0..cfg.leaf_categories {
+        for li in 0..n_leaves {
             let parent = wordnet_leaves[rng.gen_range(0..wordnet_leaves.len())];
             let depth = cfg.wordnet_depth + 1;
             let idx = categories.len();

@@ -4,6 +4,40 @@ use crate::error::{BatchError, RelError, RelResult};
 use crate::schema::{AttrRef, FkId, Schema, TableId};
 use crate::value::{RowId, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Hard per-table row capacity: `RowId` is a `u32`, so a table can hold at
+/// most `u32::MAX + 1` rows before ids would wrap.
+const DEFAULT_MAX_ROWS: usize = (u32::MAX as usize) + 1;
+
+/// Per-database string dictionary. Every text cell is canonicalized to one
+/// shared [`Arc<str>`] per distinct string, identified by a dense `u32`
+/// symbol id. Duplicated values (names, titles, roles — the bulk of any
+/// fixture's text) are stored once, and cloning rows or the whole database
+/// only bumps reference counts.
+#[derive(Debug, Clone, Default)]
+struct StringArena {
+    syms: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl StringArena {
+    /// Canonicalize `s`: returns the arena's shared handle for its contents,
+    /// registering it under the next symbol id on first sight.
+    fn intern(&mut self, s: Arc<str>) -> Arc<str> {
+        if let Some(&id) = self.ids.get(&*s) {
+            return self.syms[id as usize].clone();
+        }
+        let id = u32::try_from(self.syms.len()).expect("string arena exhausted u32 symbol space");
+        self.syms.push(s.clone());
+        self.ids.insert(s.clone(), id);
+        s
+    }
+
+    fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+}
 
 /// One batch of rows to insert, in application order. The unit of the live
 /// ingestion path: [`Database::insert_batch`] validates the whole batch —
@@ -62,6 +96,11 @@ pub struct Database {
     /// Per table: the `(fk index, column)` pairs of foreign keys that
     /// originate in that table. Precomputed so inserts stay allocation-free.
     table_fk_cols: Vec<Vec<(usize, usize)>>,
+    /// Interned text values shared by every row.
+    arena: StringArena,
+    /// Per-table row capacity. Always [`DEFAULT_MAX_ROWS`] in production;
+    /// tests lower it to exercise the `TableFull` boundary.
+    max_rows: usize,
 }
 
 impl Database {
@@ -78,6 +117,8 @@ impl Database {
             tables,
             fk_index,
             table_fk_cols,
+            arena: StringArena::default(),
+            max_rows: DEFAULT_MAX_ROWS,
         }
     }
 
@@ -146,16 +187,30 @@ impl Database {
             .ok_or(RelError::BadPrimaryKey { table })
     }
 
-    /// Insert a row. Checks arity, types, and primary-key integrity, and
-    /// maintains the pk and fk hash indexes. Returns the new row's id.
-    pub fn insert(&mut self, table: TableId, row: Vec<Value>) -> RelResult<RowId> {
+    /// Insert a row. Checks arity, types, primary-key integrity, and table
+    /// capacity (a `RowId` is a `u32`; a table at capacity reports
+    /// [`RelError::TableFull`] instead of silently wrapping ids), interns
+    /// every text cell into the database's string arena, and maintains the
+    /// pk and fk hash indexes. Returns the new row's id.
+    pub fn insert(&mut self, table: TableId, mut row: Vec<Value>) -> RelResult<RowId> {
         let pk_val = self.check_shape(table, &row)?;
-        let store = &mut self.tables[table.0 as usize];
-        let id = RowId(store.rows.len() as u32);
+        let store = &self.tables[table.0 as usize];
+        let len = store.rows.len();
+        if len >= self.max_rows {
+            return Err(RelError::TableFull { table });
+        }
+        let id = RowId(len as u32);
         if store.pk_index.contains_key(&pk_val) {
             return Err(RelError::BadPrimaryKey { table });
         }
-        store.pk_index.insert(pk_val, id);
+        // Checks passed: canonicalize text cells through the arena (rejected
+        // rows never touch it) and commit to the indexes and row storage.
+        for v in &mut row {
+            if let Value::Text(s) = v {
+                *s = self.arena.intern(s.clone());
+            }
+        }
+        self.tables[table.0 as usize].pk_index.insert(pk_val, id);
 
         // Maintain fk indexes for every fk whose referencing side is `table`.
         for &(fk_idx, col) in &self.table_fk_cols[table.0 as usize] {
@@ -244,6 +299,16 @@ impl Database {
                     batch_row: i,
                 });
             }
+            // Every batch row carries a distinct pk, so `new_pks[t].len()` is
+            // the number of rows this batch adds to table `t` so far. Reject
+            // in phase 1 if the table would cross its `u32` row-id capacity,
+            // so phase 2 can still never fail.
+            if self.tables[t].len() + new_pks[t].len() > self.max_rows {
+                return Err(BatchError::TableFull {
+                    table: self.schema.table(*table).name.clone(),
+                    batch_row: i,
+                });
+            }
         }
         for (i, (table, row)) in batch.iter().enumerate() {
             for &(fk_idx, col) in &self.table_fk_cols[table.0 as usize] {
@@ -293,6 +358,94 @@ impl Database {
             }
         }
         Ok(())
+    }
+
+    /// Number of distinct interned strings in the arena.
+    pub fn symbol_count(&self) -> usize {
+        self.arena.syms.len()
+    }
+
+    /// The dense `u32` symbol id the arena assigned to `s`, if `s` occurs in
+    /// any stored text cell. Ids reflect first-insertion order of this
+    /// database instance and are *not* serialized — snapshots derive their
+    /// own canonical dictionary from row order.
+    pub fn symbol_id(&self, s: &str) -> Option<u32> {
+        self.arena.lookup(s)
+    }
+
+    /// Total bytes of distinct interned string payloads.
+    pub fn symbol_bytes(&self) -> u64 {
+        self.arena.syms.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Deterministic approximation of row-storage heap bytes. Counts logical
+    /// content — per-row and per-cell struct sizes, one copy of each interned
+    /// string, pk/fk index entries — not allocator capacities, so the result
+    /// is a pure function of database content (identical across machines and
+    /// runs) and can be regression-gated like any other counter.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        // Struct-size constants for the accounting model (64-bit targets):
+        // a row's `Vec<Value>` header, the `Value` enum (discriminant + the
+        // 16-byte `Arc<str>` fat pointer), a pk-index entry, an fk posting,
+        // and an `Arc` strong/weak refcount header per interned string.
+        const ROW_VEC: u64 = 24;
+        const CELL: u64 = 24;
+        const PK_ENTRY: u64 = 16;
+        const FK_ENTRY: u64 = 12;
+        const ARC_HEADER: u64 = 16;
+        let mut bytes = 0u64;
+        for t in &self.tables {
+            bytes += t.rows.len() as u64 * (ROW_VEC + PK_ENTRY);
+            for r in &t.rows {
+                bytes += r.len() as u64 * CELL;
+            }
+        }
+        for s in &self.arena.syms {
+            bytes += s.len() as u64 + ARC_HEADER;
+        }
+        for idx in &self.fk_index {
+            for rows in idx.values() {
+                bytes += rows.len() as u64 * FK_ENTRY;
+            }
+        }
+        bytes
+    }
+
+    /// What [`Self::approx_heap_bytes`] would report for the pre-interning
+    /// representation, where every text cell owned its own `String` copy.
+    /// The difference between the two is exactly the interning win, computed
+    /// over identical content with identical constants.
+    pub fn naive_heap_bytes(&self) -> u64 {
+        const ROW_VEC: u64 = 24;
+        const CELL: u64 = 24;
+        const PK_ENTRY: u64 = 16;
+        const FK_ENTRY: u64 = 12;
+        let mut bytes = 0u64;
+        for t in &self.tables {
+            bytes += t.rows.len() as u64 * (ROW_VEC + PK_ENTRY);
+            for r in &t.rows {
+                bytes += r.len() as u64 * CELL;
+                for v in r {
+                    if let Some(s) = v.as_text() {
+                        bytes += s.len() as u64;
+                    }
+                }
+            }
+        }
+        for idx in &self.fk_index {
+            for rows in idx.values() {
+                bytes += rows.len() as u64 * FK_ENTRY;
+            }
+        }
+        bytes
+    }
+
+    /// Lower the per-table row capacity. Testing seam for the
+    /// [`RelError::TableFull`] boundary — the real `u32::MAX + 1` limit is
+    /// not reachable in a test.
+    #[cfg(test)]
+    pub(crate) fn set_max_rows_for_test(&mut self, n: usize) {
+        self.max_rows = n;
     }
 }
 
@@ -557,5 +710,102 @@ mod tests {
         }
         let ids: Vec<u32> = db.table(actor).rows().map(|(r, _)| r.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insert_reports_table_full_at_capacity() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        db.set_max_rows_for_test(2);
+        db.insert(actor, vec![Value::Int(1), Value::text("a")])
+            .unwrap();
+        db.insert(actor, vec![Value::Int(2), Value::text("b")])
+            .unwrap();
+        let err = db
+            .insert(actor, vec![Value::Int(3), Value::text("c")])
+            .unwrap_err();
+        assert_eq!(err, RelError::TableFull { table: actor });
+        // The rejected row left no trace: not in storage, pk not indexed,
+        // its strings not interned.
+        assert_eq!(db.table(actor).len(), 2);
+        assert_eq!(db.table(actor).by_pk(3), None);
+        assert_eq!(db.symbol_id("c"), None);
+    }
+
+    #[test]
+    fn insert_batch_reports_table_full_atomically() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        db.set_max_rows_for_test(2);
+        db.insert(actor, vec![Value::Int(1), Value::text("a")])
+            .unwrap();
+        // Second batch row crosses capacity: whole batch rejected, error
+        // pins the offending row.
+        let batch: RowBatch = vec![
+            (actor, vec![Value::Int(2), Value::text("b")]),
+            (actor, vec![Value::Int(3), Value::text("c")]),
+        ];
+        assert_eq!(
+            db.insert_batch(&batch).unwrap_err(),
+            BatchError::TableFull {
+                table: "actor".into(),
+                batch_row: 1,
+            }
+        );
+        assert_eq!(db.table(actor).len(), 1, "failed batch must insert nothing");
+        // A batch that exactly fills the table is fine.
+        let ok: RowBatch = vec![(actor, vec![Value::Int(2), Value::text("b")])];
+        db.insert_batch(&ok).unwrap();
+        assert_eq!(db.table(actor).len(), 2);
+    }
+
+    #[test]
+    fn text_cells_are_interned() {
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        let movie = db.schema().table_id("movie").unwrap();
+        db.insert(actor, vec![Value::Int(1), Value::text("terminal")])
+            .unwrap();
+        db.insert(
+            movie,
+            vec![Value::Int(1), Value::text("terminal"), Value::Int(2004)],
+        )
+        .unwrap();
+        db.insert(actor, vec![Value::Int(2), Value::text("volcano")])
+            .unwrap();
+        // Two distinct strings across three text cells.
+        assert_eq!(db.symbol_count(), 2);
+        assert_eq!(db.symbol_bytes(), "terminal".len() as u64 + 7);
+        assert_eq!(db.symbol_id("terminal"), Some(0));
+        assert_eq!(db.symbol_id("volcano"), Some(1));
+        // Both "terminal" cells share one allocation.
+        let a = db.cell(
+            actor,
+            RowId(0),
+            crate::schema::AttrRef {
+                table: actor,
+                attr: crate::schema::AttrId(1),
+            },
+        );
+        let m = db.cell(
+            movie,
+            RowId(0),
+            crate::schema::AttrRef {
+                table: movie,
+                attr: crate::schema::AttrId(1),
+            },
+        );
+        match (a, m) {
+            (Value::Text(x), Value::Text(y)) => assert!(std::sync::Arc::ptr_eq(x, y)),
+            other => panic!("expected text cells, got {other:?}"),
+        }
+        // The accounting model sees the dedup: interned footprint charges
+        // "terminal" once (plus an Arc header), the naive model charges the
+        // payload per cell — with repeated strings, interning wins.
+        for i in 10..110 {
+            db.insert(actor, vec![Value::Int(i), Value::text("terminal")])
+                .unwrap();
+        }
+        assert!(db.approx_heap_bytes() < db.naive_heap_bytes());
     }
 }

@@ -37,6 +37,9 @@ pub enum RelError {
     MalformedJoinTree(String),
     /// A row is not covered by a shard assignment (partitioning).
     UnassignedRow { table: String, key: i64 },
+    /// The table is at its `u32` row-id capacity; inserting one more row
+    /// would wrap ids and corrupt the store.
+    TableFull { table: TableId },
 }
 
 impl fmt::Display for RelError {
@@ -82,6 +85,9 @@ impl fmt::Display for RelError {
             RelError::UnassignedRow { table, key } => {
                 write!(f, "row `{table}`:{key} not covered by shard assignment")
             }
+            RelError::TableFull { table } => {
+                write!(f, "table #{} is at row-id capacity", table.0)
+            }
         }
     }
 }
@@ -126,6 +132,9 @@ pub enum BatchError {
         key: i64,
         batch_row: usize,
     },
+    /// Applying the batch would push the table past its `u32` row-id
+    /// capacity. Reported during validation, so nothing is inserted.
+    TableFull { table: String, batch_row: usize },
 }
 
 impl fmt::Display for BatchError {
@@ -170,6 +179,10 @@ impl fmt::Display for BatchError {
                 f,
                 "batch row {batch_row}: foreign key `{table}.{attr}` = {key} \
                  references no parent row"
+            ),
+            BatchError::TableFull { table, batch_row } => write!(
+                f,
+                "batch row {batch_row}: table `{table}` is at row-id capacity"
             ),
         }
     }
@@ -216,6 +229,7 @@ mod tests {
                 row: 5,
             },
             RelError::MalformedJoinTree("cycle".into()),
+            RelError::TableFull { table: TableId(0) },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());
@@ -265,6 +279,13 @@ mod tests {
                     batch_row: 5,
                 },
                 &["acts.actor_id", "99", "no parent"],
+            ),
+            (
+                BatchError::TableFull {
+                    table: "acts".into(),
+                    batch_row: 4,
+                },
+                &["acts", "row 4", "capacity"],
             ),
         ];
         for (e, needles) in samples {

@@ -44,6 +44,10 @@ pub enum SnapshotError {
     BadChecksum { section: u8 },
     /// Structurally invalid content (bad tags, inconsistent counts, …).
     Corrupt(String),
+    /// A length does not fit its fixed-width `u32` prefix. Surfaced at
+    /// *encode* time — the alternative, a silent `as u32` truncation, would
+    /// produce a "valid-looking" snapshot whose reader materializes garbage.
+    TooLarge { what: &'static str, len: usize },
     /// Decoded rows were rejected by the relational engine.
     Rel(RelError),
 }
@@ -61,6 +65,9 @@ impl fmt::Display for SnapshotError {
                 write!(f, "checksum mismatch in snapshot section {section}")
             }
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::TooLarge { what, len } => {
+                write!(f, "{what} of {len} bytes exceeds the u32 length prefix")
+            }
             SnapshotError::Rel(e) => write!(f, "snapshot rows rejected: {e}"),
         }
     }
@@ -135,10 +142,50 @@ pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Length-prefixed UTF-8 string.
-pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+/// Checked conversion of a length/count to its fixed-width `u32` encoding.
+/// Every `put_u32(.., n as u32)` in the codecs goes through this, so an
+/// oversized payload surfaces as [`SnapshotError::TooLarge`] instead of a
+/// silently truncated prefix.
+pub fn len_u32(what: &'static str, len: usize) -> Result<u32, SnapshotError> {
+    u32::try_from(len).map_err(|_| SnapshotError::TooLarge { what, len })
+}
+
+/// Length-prefixed UTF-8 string. Fails with [`SnapshotError::TooLarge`] if
+/// the string cannot carry a `u32` length prefix.
+pub fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), SnapshotError> {
+    put_u32(out, len_u32("string", s.len())?);
     out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// LEB128 varints. Counts, dictionary ids, and integer cells use these in the
+// dictionary-encoded snapshot format: small values (the overwhelmingly common
+// case) cost one byte instead of four or eight, and a length can never
+// outgrow its prefix.
+// ---------------------------------------------------------------------------
+
+/// Unsigned LEB128.
+pub fn put_varu64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Unsigned LEB128, `u32` domain.
+pub fn put_varu32(out: &mut Vec<u8>, v: u32) {
+    put_varu64(out, v as u64);
+}
+
+/// Zigzag-mapped signed LEB128 (small magnitudes of either sign stay short).
+pub fn put_vari64(out: &mut Vec<u8>, v: i64) {
+    put_varu64(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
 /// Append one framed section: tag, payload length, payload CRC-32, payload.
@@ -204,6 +251,34 @@ impl<'a> Cursor<'a> {
             .map_err(|_| SnapshotError::Corrupt("non-UTF-8 string".into()))
     }
 
+    /// Unsigned LEB128, up to 10 bytes.
+    pub fn varu64(&mut self) -> Result<u64, SnapshotError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                if shift == 63 && (b & 0x7E) != 0 {
+                    return Err(SnapshotError::Corrupt("varint overflows u64".into()));
+                }
+                return Ok(v);
+            }
+        }
+        Err(SnapshotError::Corrupt("varint longer than 10 bytes".into()))
+    }
+
+    /// Unsigned LEB128 constrained to the `u32` domain.
+    pub fn varu32(&mut self) -> Result<u32, SnapshotError> {
+        let v = self.varu64()?;
+        u32::try_from(v).map_err(|_| SnapshotError::Corrupt("varint overflows u32".into()))
+    }
+
+    /// Zigzag-mapped signed LEB128.
+    pub fn vari64(&mut self) -> Result<i64, SnapshotError> {
+        let u = self.varu64()?;
+        Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+    }
+
     /// Read one framed section, verifying its tag and CRC. Returns the
     /// payload slice.
     pub fn section(&mut self, expected_tag: u8) -> Result<&'a [u8], SnapshotError> {
@@ -231,7 +306,7 @@ const VAL_NULL: u8 = 0;
 const VAL_INT: u8 = 1;
 const VAL_TEXT: u8 = 2;
 
-pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub fn put_value(out: &mut Vec<u8>, v: &Value) -> Result<(), SnapshotError> {
     match v {
         Value::Null => put_u8(out, VAL_NULL),
         Value::Int(i) => {
@@ -240,33 +315,34 @@ pub fn put_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Text(s) => {
             put_u8(out, VAL_TEXT);
-            put_str(out, s);
+            put_str(out, s)?;
         }
     }
+    Ok(())
 }
 
 pub fn read_value(c: &mut Cursor<'_>) -> Result<Value, SnapshotError> {
     match c.u8()? {
         VAL_NULL => Ok(Value::Null),
         VAL_INT => Ok(Value::Int(c.i64()?)),
-        VAL_TEXT => Ok(Value::Text(c.str()?)),
+        VAL_TEXT => Ok(Value::text(c.str()?)),
         tag => Err(SnapshotError::Corrupt(format!("unknown value tag {tag}"))),
     }
 }
 
 /// Encode one [`RowBatch`] — the WAL record payload. Self-describing (each
 /// row carries its table id and arity), so a decoder needs no schema.
-pub fn encode_batch(batch: &RowBatch) -> Vec<u8> {
+pub fn encode_batch(batch: &RowBatch) -> Result<Vec<u8>, SnapshotError> {
     let mut out = Vec::new();
-    put_u32(&mut out, batch.len() as u32);
+    put_u32(&mut out, len_u32("batch row count", batch.len())?);
     for (table, row) in batch {
         put_u32(&mut out, table.0);
-        put_u32(&mut out, row.len() as u32);
+        put_u32(&mut out, len_u32("batch row arity", row.len())?);
         for v in row {
-            put_value(&mut out, v);
+            put_value(&mut out, v)?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Decode a [`RowBatch`] encoded by [`encode_batch`].
@@ -294,9 +370,14 @@ pub fn decode_batch(bytes: &[u8]) -> Result<RowBatch, SnapshotError> {
 // ---------------------------------------------------------------------------
 
 const DB_MAGIC: &[u8; 8] = b"KBRELDB1";
-const DB_VERSION: u32 = 1;
+/// Version 2: dictionary-encoded text cells + varint integers. Each distinct
+/// string is stored once in a dictionary section; cells reference it by a
+/// varint symbol id, and integer cells/row counts are varints — the on-disk
+/// analog of the in-memory string arena.
+const DB_VERSION: u32 = 2;
 const SEC_SCHEMA: u8 = 1;
 const SEC_ROWS: u8 = 2;
+const SEC_DICT: u8 = 3;
 
 const KIND_ENTITY: u8 = 0;
 const KIND_RELATION: u8 = 1;
@@ -304,10 +385,17 @@ const TY_INT: u8 = 0;
 const TY_TEXT: u8 = 1;
 
 impl Database {
-    /// Serialize the whole database — schema and rows — into the compact,
-    /// versioned snapshot format. Deterministic: the same database always
-    /// yields the same bytes.
-    pub fn snapshot_bytes(&self) -> Vec<u8> {
+    /// Serialize the whole database — schema, string dictionary, and rows —
+    /// into the compact, versioned snapshot format. Deterministic: the same
+    /// *logical content* always yields the same bytes. In particular the
+    /// dictionary is ordered by first occurrence in the table-major, RowId-
+    /// ordered row walk — not by arena insertion order, which depends on the
+    /// interleaving of live inserts across tables and would differ between
+    /// an ingesting database and its decoded twin.
+    ///
+    /// Fails only with [`SnapshotError::TooLarge`], when some component
+    /// cannot carry its fixed-width length prefix.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
         let mut out = Vec::new();
         out.extend_from_slice(DB_MAGIC);
         put_u32(&mut out, DB_VERSION);
@@ -315,9 +403,9 @@ impl Database {
         // Schema section: tables (name, kind, pk, attrs) then foreign keys.
         let schema = self.schema();
         let mut sec = Vec::new();
-        put_u32(&mut sec, schema.table_count() as u32);
+        put_u32(&mut sec, len_u32("table count", schema.table_count())?);
         for (_, t) in schema.tables() {
-            put_str(&mut sec, &t.name);
+            put_str(&mut sec, &t.name)?;
             put_u8(
                 &mut sec,
                 match t.kind {
@@ -326,9 +414,9 @@ impl Database {
                 },
             );
             put_u32(&mut sec, t.pk.0);
-            put_u32(&mut sec, t.attrs.len() as u32);
+            put_u32(&mut sec, len_u32("attribute count", t.attrs.len())?);
             for a in &t.attrs {
-                put_str(&mut sec, &a.name);
+                put_str(&mut sec, &a.name)?;
                 put_u8(
                     &mut sec,
                     match a.ty {
@@ -338,7 +426,7 @@ impl Database {
                 );
             }
         }
-        put_u32(&mut sec, schema.fk_count() as u32);
+        put_u32(&mut sec, len_u32("foreign key count", schema.fk_count())?);
         for (_, fk) in schema.fks() {
             put_u32(&mut sec, fk.from.table.0);
             put_u32(&mut sec, fk.from.attr.0);
@@ -346,21 +434,92 @@ impl Database {
         }
         put_section(&mut out, SEC_SCHEMA, &sec);
 
+        // Dictionary section: every distinct text-cell string once, in
+        // canonical first-occurrence order of the row walk below.
+        let mut ids: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut dict: Vec<&str> = Vec::new();
+        for (tid, _) in schema.tables() {
+            for (_, row) in self.table(tid).rows() {
+                for v in row {
+                    if let Some(s) = v.as_text() {
+                        if !ids.contains_key(s) {
+                            ids.insert(s, len_u32("dictionary symbol count", dict.len())?);
+                            dict.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        let mut sec = Vec::new();
+        put_varu32(&mut sec, len_u32("dictionary symbol count", dict.len())?);
+        for s in &dict {
+            put_varu64(&mut sec, s.len() as u64);
+            sec.extend_from_slice(s.as_bytes());
+        }
+        put_section(&mut out, SEC_DICT, &sec);
+
         // One rows section per table, rows in RowId order — the order they
         // are re-inserted in on load, preserving every RowId. Per-table
         // sections keep the door open for a lazy per-table (mmap) reader.
+        // Cells are one tag byte plus a varint payload: zigzag integers,
+        // dictionary symbol ids for text.
         for (tid, _) in schema.tables() {
             let mut sec = Vec::new();
             let store = self.table(tid);
-            put_u32(&mut sec, store.len() as u32);
+            put_varu64(&mut sec, store.len() as u64);
             for (_, row) in store.rows() {
                 for v in row {
-                    put_value(&mut sec, v);
+                    match v {
+                        Value::Null => put_u8(&mut sec, VAL_NULL),
+                        Value::Int(i) => {
+                            put_u8(&mut sec, VAL_INT);
+                            put_vari64(&mut sec, *i);
+                        }
+                        Value::Text(s) => {
+                            put_u8(&mut sec, VAL_TEXT);
+                            let id = ids.get(&**s).copied().expect("dictionary built above");
+                            put_varu32(&mut sec, id);
+                        }
+                    }
                 }
             }
             put_section(&mut out, SEC_ROWS, &sec);
         }
-        out
+        Ok(out)
+    }
+
+    /// Size of the *pre-diet* (version 1) encoding of this database's
+    /// content: fixed 8-byte integers and every text cell carrying its own
+    /// length-prefixed string copy, no dictionary. Deterministic and cheap
+    /// (no allocation); the smoke bench records it next to the real snapshot
+    /// size so the storage-diet win is measurable per fixture.
+    pub fn naive_snapshot_bytes(&self) -> u64 {
+        const FRAME: u64 = 13; // section tag + u64 length + crc32
+        let schema = self.schema();
+        let mut total = 12u64; // magic + version
+        let mut sec = 4u64; // table count
+        for (_, t) in schema.tables() {
+            sec += 4 + t.name.len() as u64 + 1 + 4 + 4;
+            for a in &t.attrs {
+                sec += 4 + a.name.len() as u64 + 1;
+            }
+        }
+        sec += 4 + schema.fk_count() as u64 * 12;
+        total += FRAME + sec;
+        for (tid, _) in schema.tables() {
+            let mut sec = 4u64; // row count
+            for (_, row) in self.table(tid).rows() {
+                for v in row {
+                    sec += match v {
+                        Value::Null => 1,
+                        Value::Int(_) => 9,
+                        Value::Text(s) => 5 + s.len() as u64,
+                    };
+                }
+            }
+            total += FRAME + sec;
+        }
+        total
     }
 
     /// Decode a snapshot produced by [`Self::snapshot_bytes`]. The schema is
@@ -457,6 +616,25 @@ impl Database {
         let schema = b.finish()?;
         let mut db = Database::new(schema);
 
+        // Dictionary section: the shared string table the text cells below
+        // reference. Each entry becomes one `Arc<str>`, cloned per cell.
+        let dict_bytes = c.section(SEC_DICT)?;
+        let mut dc = Cursor::new(dict_bytes);
+        let n_syms = dc.varu32()? as usize;
+        let mut dict: Vec<std::sync::Arc<str>> = Vec::with_capacity(n_syms.min(1 << 20));
+        for _ in 0..n_syms {
+            let len = dc.varu64()? as usize;
+            let bytes = dc.take(len)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| SnapshotError::Corrupt("non-UTF-8 dictionary entry".into()))?;
+            dict.push(std::sync::Arc::from(s));
+        }
+        if dc.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes in dictionary section".into(),
+            ));
+        }
+
         // Rows sections, one per table, insertion order = RowId order. Bulk
         // `insert` is the right primitive: FK validation already happened
         // before the snapshot was written, and parents may follow children
@@ -466,11 +644,24 @@ impl Database {
             let mut rc = Cursor::new(rows_bytes);
             let tid = crate::schema::TableId(ti as u32);
             let arity = db.schema().table(tid).attrs.len();
-            let n_rows = rc.u32()? as usize;
+            let n_rows = rc.varu64()? as usize;
             for _ in 0..n_rows {
                 let mut row = Vec::with_capacity(arity);
                 for _ in 0..arity {
-                    row.push(read_value(&mut rc)?);
+                    row.push(match rc.u8()? {
+                        VAL_NULL => Value::Null,
+                        VAL_INT => Value::Int(rc.vari64()?),
+                        VAL_TEXT => {
+                            let id = rc.varu32()? as usize;
+                            let s = dict.get(id).ok_or_else(|| {
+                                SnapshotError::Corrupt(format!("dictionary id {id} out of range"))
+                            })?;
+                            Value::Text(s.clone())
+                        }
+                        tag => {
+                            return Err(SnapshotError::Corrupt(format!("unknown value tag {tag}")))
+                        }
+                    });
                 }
                 db.insert(tid, row)?;
             }
@@ -492,8 +683,9 @@ impl Database {
     /// atomic replacement (the service checkpoint) write to a temp file and
     /// rename; this primitive just persists bytes durably.
     pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = self.snapshot_bytes()?;
         let mut f = File::create(path)?;
-        f.write_all(&self.snapshot_bytes())?;
+        f.write_all(&bytes)?;
         f.sync_all()?;
         Ok(())
     }
@@ -571,7 +763,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let db = sample_db();
-        let bytes = db.snapshot_bytes();
+        let bytes = db.snapshot_bytes().unwrap();
         let back = Database::from_snapshot_bytes(&bytes).unwrap();
         assert_eq!(back.schema().table_count(), db.schema().table_count());
         assert_eq!(back.schema().fk_count(), db.schema().fk_count());
@@ -585,7 +777,7 @@ mod tests {
         }
         back.validate().unwrap();
         // Determinism: re-encoding the decoded database is byte-identical.
-        assert_eq!(back.snapshot_bytes(), bytes);
+        assert_eq!(back.snapshot_bytes().unwrap(), bytes);
     }
 
     #[test]
@@ -593,15 +785,15 @@ mod tests {
         let mut b = SchemaBuilder::new();
         b.table("t", TableKind::Entity).pk("id").text_attr("x");
         let db = Database::new(b.finish().unwrap());
-        let back = Database::from_snapshot_bytes(&db.snapshot_bytes()).unwrap();
+        let back = Database::from_snapshot_bytes(&db.snapshot_bytes().unwrap()).unwrap();
         assert_eq!(back.total_rows(), 0);
-        assert_eq!(back.snapshot_bytes(), db.snapshot_bytes());
+        assert_eq!(back.snapshot_bytes().unwrap(), db.snapshot_bytes().unwrap());
     }
 
     #[test]
     fn bad_magic_and_version_rejected() {
         let db = sample_db();
-        let mut bytes = db.snapshot_bytes();
+        let mut bytes = db.snapshot_bytes().unwrap();
         let mut wrong = bytes.clone();
         wrong[0] = b'X';
         assert_eq!(
@@ -618,7 +810,7 @@ mod tests {
     #[test]
     fn flipped_payload_byte_fails_checksum() {
         let db = sample_db();
-        let mut bytes = db.snapshot_bytes();
+        let mut bytes = db.snapshot_bytes().unwrap();
         // Flip a byte well inside the schema section payload.
         let i = 40;
         bytes[i] ^= 0xFF;
@@ -635,7 +827,7 @@ mod tests {
     #[test]
     fn every_truncation_fails_soft() {
         let db = sample_db();
-        let bytes = db.snapshot_bytes();
+        let bytes = db.snapshot_bytes().unwrap();
         for cut in 0..bytes.len() {
             let err = Database::from_snapshot_bytes(&bytes[..cut]).unwrap_err();
             // Never a panic, never a partially loaded Ok.
@@ -652,13 +844,13 @@ mod tests {
                 vec![Value::Int(8), Value::Null, Value::Int(-3), Value::text("")],
             ),
         ];
-        let bytes = encode_batch(&batch);
+        let bytes = encode_batch(&batch).unwrap();
         assert_eq!(decode_batch(&bytes).unwrap(), batch);
         for cut in 0..bytes.len() {
             assert!(decode_batch(&bytes[..cut]).is_err());
         }
         let empty: RowBatch = vec![];
-        assert_eq!(decode_batch(&encode_batch(&empty)).unwrap(), empty);
+        assert_eq!(decode_batch(&encode_batch(&empty).unwrap()).unwrap(), empty);
     }
 
     #[test]
@@ -668,11 +860,137 @@ mod tests {
             std::env::temp_dir().join(format!("keybridge-snapshot-test-{}.kb", std::process::id()));
         db.save_snapshot(&path).unwrap();
         let back = Database::load_snapshot(&path).unwrap();
-        assert_eq!(back.snapshot_bytes(), db.snapshot_bytes());
+        assert_eq!(back.snapshot_bytes().unwrap(), db.snapshot_bytes().unwrap());
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(
             Database::load_snapshot(&path).unwrap_err(),
             SnapshotError::Io(_)
         ));
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        let u64s = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &u64s {
+            put_varu64(&mut buf, v);
+        }
+        let i64s = [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN];
+        for &v in &i64s {
+            put_vari64(&mut buf, v);
+        }
+        put_varu32(&mut buf, u32::MAX);
+        let mut c = Cursor::new(&buf);
+        for &v in &u64s {
+            assert_eq!(c.varu64().unwrap(), v);
+        }
+        for &v in &i64s {
+            assert_eq!(c.vari64().unwrap(), v);
+        }
+        assert_eq!(c.varu32().unwrap(), u32::MAX);
+        assert_eq!(c.remaining(), 0);
+        // A u64-range varint read through the u32 reader is rejected.
+        let mut big = Vec::new();
+        put_varu64(&mut big, u32::MAX as u64 + 1);
+        assert!(matches!(
+            Cursor::new(&big).varu32().unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        // Truncated varint fails soft.
+        let mut cont = Vec::new();
+        put_varu64(&mut cont, u64::MAX);
+        assert_eq!(
+            Cursor::new(&cont[..5]).varu64().unwrap_err(),
+            SnapshotError::Truncated
+        );
+    }
+
+    #[test]
+    fn len_u32_rejects_oversized() {
+        // The 4 GiB boundary itself, without allocating 4 GiB.
+        assert_eq!(len_u32("string", u32::MAX as usize).unwrap(), u32::MAX);
+        assert_eq!(
+            len_u32("string", u32::MAX as usize + 1).unwrap_err(),
+            SnapshotError::TooLarge {
+                what: "string",
+                len: u32::MAX as usize + 1,
+            }
+        );
+        let err = len_u32("batch row count", usize::MAX).unwrap_err();
+        assert!(err.to_string().contains("batch row count"), "{err}");
+    }
+
+    #[test]
+    fn dictionary_order_is_canonical_not_insert_order() {
+        // Two databases with identical content built through different
+        // insert interleavings (live ingest vs. table-major reload) must
+        // produce byte-identical snapshots: the dictionary is derived from
+        // the row walk, not from arena insertion order.
+        let build = |interleaved: bool| {
+            let mut b = SchemaBuilder::new();
+            b.table("a", TableKind::Entity).pk("id").text_attr("x");
+            b.table("m", TableKind::Entity).pk("id").text_attr("y");
+            let mut db = Database::new(b.finish().unwrap());
+            let a = db.schema().table_id("a").unwrap();
+            let m = db.schema().table_id("m").unwrap();
+            if interleaved {
+                // "zulu" enters the arena first, via table m.
+                db.insert(m, vec![Value::Int(1), Value::text("zulu")])
+                    .unwrap();
+                db.insert(a, vec![Value::Int(1), Value::text("alpha")])
+                    .unwrap();
+                db.insert(m, vec![Value::Int(2), Value::text("alpha")])
+                    .unwrap();
+            } else {
+                db.insert(a, vec![Value::Int(1), Value::text("alpha")])
+                    .unwrap();
+                db.insert(m, vec![Value::Int(1), Value::text("zulu")])
+                    .unwrap();
+                db.insert(m, vec![Value::Int(2), Value::text("alpha")])
+                    .unwrap();
+            }
+            db
+        };
+        assert_eq!(
+            build(true).snapshot_bytes().unwrap(),
+            build(false).snapshot_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn dictionary_encoding_beats_naive_on_repeated_strings() {
+        let mut b = SchemaBuilder::new();
+        b.table("t", TableKind::Entity).pk("id").text_attr("x");
+        let mut db = Database::new(b.finish().unwrap());
+        let t = db.schema().table_id("t").unwrap();
+        for i in 0..200 {
+            let s = if i % 2 == 0 {
+                "tom hanks"
+            } else {
+                "the terminal"
+            };
+            db.insert(t, vec![Value::Int(i), Value::text(s)]).unwrap();
+        }
+        let real = db.snapshot_bytes().unwrap().len() as u64;
+        let naive = db.naive_snapshot_bytes();
+        assert!(
+            real * 4 < naive * 3,
+            "dictionary snapshot ({real} B) should be at least 25% smaller \
+             than the pre-diet encoding ({naive} B)"
+        );
+        // And the compact form still roundtrips exactly.
+        let back = Database::from_snapshot_bytes(&db.snapshot_bytes().unwrap()).unwrap();
+        assert_eq!(back.snapshot_bytes().unwrap(), db.snapshot_bytes().unwrap());
     }
 }

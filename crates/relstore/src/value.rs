@@ -1,6 +1,7 @@
 //! Scalar values and row identifiers.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a row within one table. Rows are append-only, so a `RowId` is
 /// stable for the lifetime of the [`crate::Database`].
@@ -34,16 +35,22 @@ impl fmt::Display for ValueType {
 }
 
 /// A scalar cell value.
+///
+/// Text payloads are shared [`Arc<str>`] handles rather than owned `String`s:
+/// the [`crate::Database`] interns every text cell into a per-database string
+/// arena, so cloning a row — or the whole database, as the ingest path does
+/// for its writer copy — bumps reference counts instead of deep-copying every
+/// string. Equality and hashing compare string *contents*, exactly as before.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     Int(i64),
-    Text(String),
+    Text(Arc<str>),
     Null,
 }
 
 impl Value {
     /// Convenience constructor for text values.
-    pub fn text(s: impl Into<String>) -> Self {
+    pub fn text(s: impl Into<Arc<str>>) -> Self {
         Value::Text(s.into())
     }
 
@@ -65,6 +72,15 @@ impl Value {
 
     /// The text payload, if any.
     pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(&**s),
+            _ => None,
+        }
+    }
+
+    /// The shared text handle, if any. Cloning the returned `Arc` is a
+    /// refcount bump; used by the arena to canonicalize without re-allocating.
+    pub fn as_text_arc(&self) -> Option<&Arc<str>> {
         match self {
             Value::Text(s) => Some(s),
             _ => None,
@@ -95,13 +111,13 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_owned())
+        Value::Text(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::Text(Arc::from(v))
     }
 }
 
@@ -147,5 +163,15 @@ mod tests {
     #[test]
     fn row_id_index() {
         assert_eq!(RowId(9).index(), 9);
+    }
+
+    #[test]
+    fn text_clone_shares_allocation() {
+        let v = Value::text("shared payload");
+        let w = v.clone();
+        let (a, b) = (v.as_text_arc().unwrap(), w.as_text_arc().unwrap());
+        assert!(Arc::ptr_eq(a, b));
+        assert_eq!(v.as_text(), Some("shared payload"));
+        assert_eq!(Value::Int(1).as_text_arc(), None);
     }
 }

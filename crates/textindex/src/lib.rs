@@ -18,5 +18,5 @@
 mod index;
 mod token;
 
-pub use index::{AttrStats, InvertedIndex, SchemaTarget, TermAttrEntry, TermIndex};
+pub use index::{AttrStats, InvertedIndex, Postings, SchemaTarget, TermAttrEntry, TermIndex};
 pub use token::Tokenizer;

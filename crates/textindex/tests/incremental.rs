@@ -88,7 +88,11 @@ fn assert_equivalent(live: &InvertedIndex, rebuilt: &InvertedIndex, ctx: &str) {
         for &attr in rebuilt.attrs_containing(term) {
             let a = live.postings(term, attr).expect("live has term/attr");
             let b = rebuilt.postings(term, attr).expect("rebuilt has term/attr");
-            assert_eq!(a.rows, b.rows, "{ctx}: postings({term}, {attr:?})");
+            assert_eq!(
+                a.rows().collect::<Vec<_>>(),
+                b.rows().collect::<Vec<_>>(),
+                "{ctx}: postings({term}, {attr:?})"
+            );
             assert_eq!(
                 a.occurrences, b.occurrences,
                 "{ctx}: occurrences({term}, {attr:?})"

@@ -23,6 +23,7 @@ fn main() {
         topics: 20_000,
         rows_per_table: 25,
         seed: 9,
+        scale: 1.0,
     };
     let t0 = Instant::now();
     let fb = FreebaseDataset::generate(cfg).expect("generation succeeds");

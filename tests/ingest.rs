@@ -176,6 +176,7 @@ fn freebase_fixture() -> (Database, Vec<Vec<String>>) {
         topics: 300,
         rows_per_table: 12,
         seed: 5,
+        scale: 1.0,
     })
     .unwrap();
     let queries = token_log(&fb.db, fb.topic, 5);
@@ -191,6 +192,7 @@ fn yago_fixture() -> (Database, Vec<Vec<String>>) {
         topics: 400,
         rows_per_table: 15,
         seed: 31,
+        scale: 1.0,
     })
     .unwrap();
     let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);

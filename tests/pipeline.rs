@@ -182,6 +182,7 @@ fn freebase_ontology_beats_plain_options() {
         topics: 1500,
         rows_per_table: 20,
         seed: 77,
+        scale: 1.0,
     })
     .unwrap();
     let index = InvertedIndex::build(&fb.db);
@@ -236,6 +237,7 @@ fn yago_matching_recovers_gold_end_to_end() {
         topics: 1200,
         rows_per_table: 20,
         seed: 31,
+        scale: 1.0,
     })
     .unwrap();
     let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);
@@ -466,6 +468,7 @@ fn golden_answers_freebase() {
         topics: 300,
         rows_per_table: 12,
         seed: 5,
+        scale: 1.0,
     })
     .unwrap();
     let index = InvertedIndex::build(&fb.db);
@@ -521,6 +524,7 @@ fn golden_answers_yago() {
         topics: 400,
         rows_per_table: 15,
         seed: 31,
+        scale: 1.0,
     })
     .unwrap();
     let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);

@@ -99,13 +99,13 @@ impl Oracle {
     ) -> Oracle {
         let mut db = initial.clone();
         let mut answers = vec![cold_answers(&db, catalog, queries)];
-        let mut db_bytes = vec![db.snapshot_bytes()];
-        let mut index_bytes = vec![InvertedIndex::build(&db).snapshot_bytes()];
+        let mut db_bytes = vec![db.snapshot_bytes().unwrap()];
+        let mut index_bytes = vec![InvertedIndex::build(&db).snapshot_bytes().unwrap()];
         for batch in batches {
             db.insert_batch(batch).unwrap();
             answers.push(cold_answers(&db, catalog, queries));
-            db_bytes.push(db.snapshot_bytes());
-            index_bytes.push(InvertedIndex::build(&db).snapshot_bytes());
+            db_bytes.push(db.snapshot_bytes().unwrap());
+            index_bytes.push(InvertedIndex::build(&db).snapshot_bytes().unwrap());
         }
         Oracle {
             answers,
@@ -241,12 +241,12 @@ fn assert_crash_equivalence(
         // whole, byte for byte — database and incrementally-replayed index.
         let snap = recovered.snapshot();
         assert_eq!(
-            snap.db.snapshot_bytes(),
+            snap.db.snapshot_bytes().unwrap(),
             oracle.db_bytes[durable],
             "recovered database not byte-identical at {point}"
         );
         assert_eq!(
-            snap.index.snapshot_bytes(),
+            snap.index.snapshot_bytes().unwrap(),
             oracle.index_bytes[durable],
             "recovered index not byte-identical at {point}"
         );
@@ -325,6 +325,7 @@ fn freebase_fixture() -> (Database, Vec<Vec<String>>) {
         topics: 300,
         rows_per_table: 12,
         seed: 5,
+        scale: 1.0,
     })
     .unwrap();
     let queries = token_log(&fb.db, fb.topic, 5);
@@ -338,6 +339,7 @@ fn yago_fixture() -> (Database, Vec<Vec<String>>) {
         topics: 400,
         rows_per_table: 15,
         seed: 31,
+        scale: 1.0,
     })
     .unwrap();
     let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);
@@ -447,12 +449,12 @@ fn torn_wal_tail_at_every_byte_recovers_prefix() {
         );
         let snap = recovered.snapshot();
         assert_eq!(
-            snap.db.snapshot_bytes(),
+            snap.db.snapshot_bytes().unwrap(),
             oracle.db_bytes[expected_batches],
             "partial batch visible after cut at byte {cut}"
         );
         assert_eq!(
-            snap.index.snapshot_bytes(),
+            snap.index.snapshot_bytes().unwrap(),
             oracle.index_bytes[expected_batches],
             "index diverged after cut at byte {cut}"
         );

@@ -139,6 +139,7 @@ fn freebase_log() -> (Arc<SearchSnapshot>, Vec<Vec<String>>) {
         topics: 300,
         rows_per_table: 12,
         seed: 5,
+        scale: 1.0,
     })
     .unwrap();
     let queries = token_log(&fb.db, fb.topic, 6);
@@ -153,6 +154,7 @@ fn yago_log() -> (Arc<SearchSnapshot>, Vec<Vec<String>>) {
         topics: 400,
         rows_per_table: 15,
         seed: 31,
+        scale: 1.0,
     })
     .unwrap();
     let yago = YagoOntology::generate(YagoConfig::tiny(32), &fb);
