@@ -1,0 +1,105 @@
+//! Postings-intersection microbench: the three codepaths of
+//! `for_each_joint_row` over the adaptive postings representation.
+//!
+//! * **bitmap-AND** — every list dense enough for the fixed-width bitmap
+//!   repr: the joint walk is a word-at-a-time AND over the overlap window;
+//! * **varint-leapfrog** — every list sparse (LEB128 gap coding): k-way
+//!   leapfrog with linear varint seeks;
+//! * **mixed** — a dense bitmap probed by a sparse gaps list: leapfrog
+//!   advance, but the bitmap cursor seeks by bit arithmetic instead of
+//!   decoding.
+//!
+//! Each scenario asserts the representations it claims to measure (the
+//! density threshold picked the repr, not the bench), so the `--test` run
+//! CI does is also a cheap correctness pass over the dispatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use keybridge_index::{for_each_joint_row, PostingsRepr, TermAttrEntry};
+use keybridge_relstore::RowId;
+use std::time::Duration;
+
+/// A postings list of `n` rows at fixed `stride` starting at `offset`, with
+/// cycling term frequencies. Density is 1/stride, so the canonical repr is
+/// Bitmap for stride <= 32 and Gaps above (for n >= 16).
+fn entry(stride: u32, n: u32, offset: u32) -> TermAttrEntry {
+    let pairs: Vec<(RowId, u32)> = (0..n)
+        .map(|i| (RowId(offset + i * stride), i % 7 + 1))
+        .collect();
+    TermAttrEntry::from_pairs(&pairs)
+}
+
+/// Intersection size via the joint walk — the measured routine.
+fn joint_count(lists: &[&TermAttrEntry]) -> usize {
+    let mut count = 0usize;
+    for_each_joint_row(lists, |_, _| {
+        count += 1;
+        true
+    });
+    count
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    // Dense lists: coprime strides so the intersection is sparse relative
+    // to either input — the AND walk does real skipping work.
+    let dense_a = entry(2, 40_000, 0);
+    let dense_b = entry(3, 26_000, 0);
+    let dense_c = entry(5, 16_000, 0);
+    for e in [&dense_a, &dense_b, &dense_c] {
+        assert_eq!(e.repr(), PostingsRepr::Bitmap, "dense lists must pack");
+    }
+    // Sparse lists over the same row universe (offset 8 keeps them on the
+    // even rows, so they genuinely overlap the dense lists: the mixed probe
+    // hits dense_b every third row instead of never).
+    let sparse_a = entry(40, 2_000, 8);
+    let sparse_b = entry(48, 1_600, 8);
+    for e in [&sparse_a, &sparse_b] {
+        assert_eq!(e.repr(), PostingsRepr::Gaps, "sparse lists must stay gaps");
+    }
+
+    c.bench_function("intersect_bitmap_and_2way", |b| {
+        b.iter(|| joint_count(&[&dense_a, &dense_b]))
+    });
+    c.bench_function("intersect_bitmap_and_3way", |b| {
+        b.iter(|| joint_count(&[&dense_a, &dense_b, &dense_c]))
+    });
+    c.bench_function("intersect_varint_leapfrog_2way", |b| {
+        b.iter(|| joint_count(&[&sparse_a, &sparse_b]))
+    });
+    c.bench_function("intersect_mixed_bitmap_probe", |b| {
+        b.iter(|| joint_count(&[&dense_b, &sparse_a]))
+    });
+
+    let sizes = [
+        joint_count(&[&dense_a, &dense_b]),
+        joint_count(&[&dense_a, &dense_b, &dense_c]),
+        joint_count(&[&sparse_a, &sparse_b]),
+        joint_count(&[&dense_b, &sparse_a]),
+    ];
+    assert!(
+        sizes.iter().all(|&n| n > 0),
+        "every scenario must produce a non-empty intersection: {sizes:?}"
+    );
+    println!(
+        "sizes: and2 {}  and3 {}  leapfrog {}  mixed {}",
+        sizes[0], sizes[1], sizes[2], sizes[3],
+    );
+}
+
+/// `cargo bench ... -- --test` (the CI lint job) shrinks the run to a
+/// smoke-speed correctness pass; the assertions above still fire.
+fn config() -> Criterion {
+    if std::env::args().any(|a| a == "--test") {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+    } else {
+        Criterion::default()
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets = bench_intersect
+);
+criterion_main!(benches);

@@ -854,6 +854,9 @@ const COUNTER_KEYS: &[&str] = &[
     "openloop_ingest_ops",
     "shard_epoch_swaps",
     "shards_touched",
+    "shard_rows_skipped",
+    "batch_cols",
+    "batch_allocs",
 ];
 
 /// The serve-phase deterministic counters: the ingest epoch/eviction
@@ -884,6 +887,10 @@ const SERVE_ONLY_COUNTER_KEYS: &[&str] = &[
     // holdout plan, and the shard directory — machine-independent.
     "shard_epoch_swaps",
     "shards_touched",
+    // Rows the sharded coordinator's bounded top-k merge gathered but never
+    // examined: a pure function of the fixture, the holdout plan, and the
+    // shard directory, so it gates on any machine.
+    "shard_rows_skipped",
     // Not a counter, but serve-section-only like the rest: its absence from
     // a run without a serve section must be excused, while its presence
     // gates through the `_ms` wall-clock rule.
@@ -1053,7 +1060,8 @@ mod baseline_tests {
   "fixture": "imdb-quick",
   "profile": "quick",
   "nonempty_probes": 10,
-  "executor": { "hashjoin_probes": 100, "semijoin_rows_in": 5000 },
+  "executor": { "hashjoin_probes": 100, "semijoin_rows_in": 5000,
+    "batch_cols": 400, "batch_allocs": 12, "arena_bytes_peak": 32768 },
   "wall_clock_ms": { "answers_top10_4kw_ms": 1.000 },
   "serve": { "serve_cores": 8, "qps_w1": 200.0, "p50_ms_w1": 1.0, "p50_ms_w4": 2.0, "p95_ms_w1": 3.0,
     "qps_diversified": 120.0, "div_pool_items": 40, "div_selected": 30,
@@ -1064,7 +1072,8 @@ mod baseline_tests {
     "capacity_rps": 800.0, "p95_at_capacity_ms": 12.0,
     "openloop_search_ops": 216, "openloop_diversified_ops": 10,
     "openloop_session_ops": 9, "openloop_ingest_ops": 5,
-    "shard_epoch_swaps": 8, "shards_touched": 4, "p95_sharded_ms": 6.0 },
+    "shard_epoch_swaps": 8, "shards_touched": 4, "shard_rows_skipped": 90,
+    "p95_sharded_ms": 6.0 },
   "scale": { "scale_cores": 8,
     "scale1_rows": 3068, "scale1_build_ms": 40.0,
     "scale1_store_bytes": 100000, "scale1_store_bytes_naive": 150000,
@@ -1077,6 +1086,7 @@ mod baseline_tests {
     "scale10_index_bytes": 500000, "scale10_index_bytes_naive": 900000,
     "scale10_heap_bytes": 4000000, "scale10_heap_bytes_naive": 6000000,
     "scale10_bytes_per_row": 49.2, "scale10_bytes_per_row_naive": 78.6,
+    "scale10_rss_bytes": 60000000,
     "qps_scale10": 120.0 }
 }"#;
 
@@ -1264,6 +1274,57 @@ mod baseline_tests {
             !v.iter().any(|s| s.contains("shard")),
             "serve-only shard counters must be excused without a serve section: {v:?}"
         );
+    }
+
+    #[test]
+    fn arena_counters_gate_but_peak_bytes_are_informational() {
+        // batch_cols / batch_allocs are pure functions of the replay plan
+        // and the arena policy: growth means the executor started
+        // allocating per batch again.
+        let cur = with("batch_cols", "480");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("batch_cols")), "{v:?}");
+        let cur = with("batch_allocs", "24");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("batch_allocs")), "{v:?}");
+        // The arena's peak footprint tracks Vec growth policy, not behavior:
+        // informational.
+        let cur = with("arena_bytes_peak", "99999999");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn bounded_merge_skip_counter_gates_even_across_core_counts() {
+        // shard_rows_skipped is a pure function of fixture + plan + shard
+        // directory: growth means shards started over-fetching rows the
+        // coordinator throws away.
+        let cur =
+            with("shard_rows_skipped", "120").replace("\"serve_cores\": 8", "\"serve_cores\": 2");
+        let v = check_regression(BASE, &cur, CheckConfig::default()).unwrap();
+        assert!(v.iter().any(|s| s.contains("shard_rows_skipped")), "{v:?}");
+        // Within the 1.05x counter slack: fine.
+        let cur = with("shard_rows_skipped", "93");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scale_rss_probe_is_informational() {
+        // RSS is an OS-level measurement (page-cache and allocator noise):
+        // recorded next to the heap model for honesty, never gated.
+        let cur = with("scale10_rss_bytes", "999999999");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
+        // And a baseline recorded with the probe must not fail a current
+        // run that lacks it (non-Linux hosts).
+        let cur = BASE.replace("\"scale10_rss_bytes\": 60000000,", "");
+        assert!(check_regression(BASE, &cur, CheckConfig::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

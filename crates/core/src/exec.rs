@@ -24,8 +24,8 @@ use crate::template::TemplateCatalog;
 use crate::QueryInterpretation;
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{
-    execute_join_tree_with_stats, AttrRef, Candidates, Database, ExecOptions, ExecStats, JoinedRow,
-    RelResult, RowId, TableId,
+    execute_join_tree_with_stats_in, AttrRef, BatchArena, Candidates, Database, ExecOptions,
+    ExecStats, JoinedRow, RelResult, RowId, TableId,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
@@ -239,6 +239,10 @@ pub struct ExecCache {
     predicate_rows: HashMap<PredicateKey, Arc<Vec<RowId>>>,
     results: HashMap<QueryInterpretation, CachedExecution>,
     shared: Option<Arc<SharedExecCache>>,
+    /// Columnar batch arena reused by every execution routed through this
+    /// cache: one query's capacity growth pays for the whole candidate
+    /// list's joins (the `batch_allocs` counter measures exactly this).
+    pub(crate) arena: BatchArena,
     /// Predicate row sets served from the cache (local or shared).
     pub predicate_hits: usize,
     /// Whole executions served from the cache (local or shared).
@@ -546,7 +550,18 @@ fn execute_inner(
 
     let bound = bound_nodes(interp, n);
     let candidates = Candidates { per_node };
-    let outcome = execute_join_tree_with_stats(db, &tpl.tree, &candidates, opts)?;
+    // Cached executions share the cache's arena across the whole candidate
+    // list; uncached one-shot executions pay for a fresh one.
+    let outcome = match cache.as_deref_mut() {
+        Some(c) => execute_join_tree_with_stats_in(db, &tpl.tree, &candidates, opts, &mut c.arena)?,
+        None => execute_join_tree_with_stats_in(
+            db,
+            &tpl.tree,
+            &candidates,
+            opts,
+            &mut BatchArena::new(),
+        )?,
+    };
     let (keys, all_keys) = collect_result_keys(db, &tpl.tree.nodes, &bound, &outcome.rows);
     Ok(ExecutedResult {
         jtts: outcome.rows,

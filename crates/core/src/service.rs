@@ -542,6 +542,10 @@ pub struct ServiceStats {
     /// Distinct shards ever touched by ingest on a sharded service.
     /// Always 0 on a single-shard service.
     pub shards_touched: usize,
+    /// Rows gathered from shards but never examined by the coordinator's
+    /// bounded top-k merge (it stops once the global prefix is provably
+    /// complete). Always 0 on a single-shard service.
+    pub shard_rows_skipped: usize,
 }
 
 /// Receipt of one accepted ingest batch.
@@ -1488,6 +1492,7 @@ impl SearchService {
             recovery_replayed_batches: self.durability.as_ref().map_or(0, |d| d.recovery_replayed),
             shard_epoch_swaps: 0,
             shards_touched: 0,
+            shard_rows_skipped: 0,
         }
     }
 

@@ -61,9 +61,9 @@ use std::time::Instant;
 
 use keybridge_index::InvertedIndex;
 use keybridge_relstore::{
-    assign_shards, execute_reduced, hash_shard, plan_join_order, reduce_join_tree, split_database,
-    AttrRef, BatchError, Candidates, Database, ExecOptions, ExecStats, JoinPlan, JoinTree,
-    JoinedRow, RelResult, RowBatch, RowId, Schema, ShardAssignment, TableId,
+    assign_shards, execute_reduced_in, hash_shard, plan_join_order, reduce_join_tree,
+    split_database, AttrRef, BatchError, Candidates, Database, ExecOptions, ExecStats, JoinPlan,
+    JoinTree, JoinedRow, RelResult, RowBatch, RowId, Schema, ShardAssignment, TableId,
 };
 
 use crate::exec::{bound_nodes, intersect_sorted, with_result_cache};
@@ -214,6 +214,9 @@ struct ServeCtx {
     current: Arc<Mutex<Arc<ShardSet>>>,
     pools: Arc<Vec<Arc<WorkerPool>>>,
     served: Arc<AtomicUsize>,
+    /// Gathered-but-never-merged rows: what the bounded top-k merge left
+    /// unconsumed once the global prefix was provably complete.
+    shard_rows_skipped: Arc<AtomicUsize>,
 }
 
 impl Clone for ServeCtx {
@@ -224,6 +227,7 @@ impl Clone for ServeCtx {
             current: Arc::clone(&self.current),
             pools: Arc::clone(&self.pools),
             served: Arc::clone(&self.served),
+            shard_rows_skipped: Arc::clone(&self.shard_rows_skipped),
         }
     }
 }
@@ -320,6 +324,7 @@ impl ShardedService {
                 current: Arc::new(Mutex::new(set)),
                 pools: Arc::new(pools),
                 served: Arc::new(AtomicUsize::new(0)),
+                shard_rows_skipped: Arc::new(AtomicUsize::new(0)),
             },
             writer: Mutex::new(ShardedWriter {
                 assignment,
@@ -614,6 +619,7 @@ impl ServeRequests for ShardedService {
             checkpoints: 0,
             recovery_replayed_batches: 0,
             shard_epoch_swaps: self.shard_epoch_swaps.load(Ordering::Relaxed),
+            shard_rows_skipped: self.ctx.shard_rows_skipped.load(Ordering::Relaxed),
             shards_touched: self
                 .writer
                 .lock()
@@ -1119,25 +1125,52 @@ fn scatter_execute(
     for run in &runs {
         let _ = run.plan_tx.send(Some(plan.clone()));
     }
-    let mut merged: Vec<JoinedRow> = Vec::new();
+    let mut shard_rows: Vec<Vec<JoinedRow>> = Vec::with_capacity(runs.len());
     for run in &runs {
         match run.out_rx.recv() {
             Ok(Ok((rows, exec_stats))) => {
                 stats.absorb(&exec_stats);
-                merged.extend(rows);
+                shard_rows.push(rows);
             }
             Ok(Err(e)) => return Err(e),
             Err(_) => panic!("shard worker disappeared during execution"),
         }
     }
 
-    // Merge: the executor enumerates lexicographically by the plan's
-    // visit-order row tuple, and shard row maps are monotone, so sorting
-    // the concatenated prefixes by the *global* visit tuple and truncating
-    // reproduces the global enumeration's prefix exactly.
+    // Bounded merge: the executor enumerates lexicographically by the plan's
+    // visit-order row tuple, and shard row maps are monotone, so each shard's
+    // prefix arrives already sorted by the *global* visit tuple. Cross-shard
+    // tuples never compare equal (row ownership is disjoint), so a k-way
+    // streaming min-merge that stops at `opts.limit` yields byte-for-byte the
+    // same prefix as concatenate + sort + truncate — without ever looking at
+    // the rows the merge leaves behind.
     let visit = visit_order(tree, &plan);
-    merged.sort_unstable_by(|a, b| visit.iter().map(|&v| a[v]).cmp(visit.iter().map(|&v| b[v])));
-    merged.truncate(opts.limit);
+    fn key<'a>(visit: &'a [usize], row: &'a JoinedRow) -> impl Iterator<Item = RowId> + 'a {
+        visit.iter().map(move |&v| row[v])
+    }
+    let total: usize = shard_rows.iter().map(Vec::len).sum();
+    let mut idx = vec![0usize; shard_rows.len()];
+    let mut merged: Vec<JoinedRow> = Vec::with_capacity(opts.limit.min(total));
+    while merged.len() < opts.limit {
+        let mut best: Option<usize> = None;
+        for (s, rows) in shard_rows.iter().enumerate() {
+            if idx[s] < rows.len()
+                && best.is_none_or(|b| {
+                    key(&visit, &rows[idx[s]])
+                        .cmp(key(&visit, &shard_rows[b][idx[b]]))
+                        .is_lt()
+                })
+            {
+                best = Some(s);
+            }
+        }
+        let Some(s) = best else { break };
+        merged.push(std::mem::take(&mut shard_rows[s][idx[s]]));
+        idx[s] += 1;
+    }
+    let consumed: usize = idx.iter().sum();
+    ctx.shard_rows_skipped
+        .fetch_add(total - consumed, Ordering::Relaxed);
     stats.result_count = merged.len();
     let bound = bound_nodes(interp, n);
     let (keys, all_keys) = collect_result_keys(&set.pk_maps, &tree.nodes, &bound, &merged);
@@ -1213,19 +1246,22 @@ fn shard_execute(
     let Ok(Some(plan)) = plan_rx.recv() else {
         return; // aborted (empty result, error, or coordinator gone)
     };
-    let result = execute_reduced(&shard.db, tree, reduced.sets, &plan, opts).map(|out| {
-        let rows = out
-            .rows
-            .into_iter()
-            .map(|jtt| {
-                jtt.iter()
-                    .enumerate()
-                    .map(|(node, local)| shard.row_map[tree.nodes[node].0 as usize][local.index()])
-                    .collect()
-            })
-            .collect();
-        (rows, out.stats)
-    });
+    let result = execute_reduced_in(&shard.db, tree, reduced.sets, &plan, opts, &mut cache.arena)
+        .map(|out| {
+            let rows = out
+                .rows
+                .into_iter()
+                .map(|jtt| {
+                    jtt.iter()
+                        .enumerate()
+                        .map(|(node, local)| {
+                            shard.row_map[tree.nodes[node].0 as usize][local.index()]
+                        })
+                        .collect()
+                })
+                .collect();
+            (rows, out.stats)
+        });
     let _ = out_tx.send(result);
 }
 

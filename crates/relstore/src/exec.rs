@@ -189,6 +189,17 @@ pub struct ExecStats {
     pub semijoin_rows_out: usize,
     /// Result tuples found (capped at `limit`).
     pub result_count: usize,
+    /// Columnar batch materializations: what the pre-arena executor paid
+    /// one heap allocation for — the selection vector, the new column, and
+    /// every regathered column of every attach step. The arena still does
+    /// this work, but into reused backing storage.
+    pub batch_cols: usize,
+    /// Fresh backing allocations the batch arena performed (capacity
+    /// growth events). Reusing one [`BatchArena`] across batches and
+    /// executions keeps this O(1) per query instead of O(nodes × batches).
+    pub batch_allocs: usize,
+    /// Peak bytes of arena backing capacity observed during execution.
+    pub arena_bytes_peak: usize,
 }
 
 impl ExecStats {
@@ -200,6 +211,11 @@ impl ExecStats {
         self.semijoin_rows_in += other.semijoin_rows_in;
         self.semijoin_rows_out += other.semijoin_rows_out;
         self.result_count += other.result_count;
+        self.batch_cols += other.batch_cols;
+        self.batch_allocs += other.batch_allocs;
+        // A peak, not a flow: aggregation over executions sharing one
+        // arena reports the high-water mark, not a meaningless sum.
+        self.arena_bytes_peak = self.arena_bytes_peak.max(other.arena_bytes_peak);
     }
 
     /// Fraction of candidate rows the semi-join pre-pass removed
@@ -265,12 +281,26 @@ pub fn execute_join_tree(
 }
 
 /// Execute `tree` over `db` with per-node `candidates`, returning rows and
-/// execution counters. Dispatches on [`ExecOptions::strategy`].
+/// execution counters. Dispatches on [`ExecOptions::strategy`]. Uses a
+/// throwaway [`BatchArena`]; repeat executors should hold one and call
+/// [`execute_join_tree_with_stats_in`].
 pub fn execute_join_tree_with_stats(
     db: &Database,
     tree: &JoinTree,
     candidates: &Candidates,
     opts: ExecOptions,
+) -> RelResult<ExecOutcome> {
+    execute_join_tree_with_stats_in(db, tree, candidates, opts, &mut BatchArena::new())
+}
+
+/// [`execute_join_tree_with_stats`] against a caller-held [`BatchArena`]
+/// (the naive strategy ignores it).
+pub fn execute_join_tree_with_stats_in(
+    db: &Database,
+    tree: &JoinTree,
+    candidates: &Candidates,
+    opts: ExecOptions,
+    arena: &mut BatchArena,
 ) -> RelResult<ExecOutcome> {
     tree.validate(db)?;
     if candidates.per_node.len() != tree.nodes.len() {
@@ -279,7 +309,7 @@ pub fn execute_join_tree_with_stats(
         ));
     }
     match opts.strategy {
-        ExecStrategy::HashJoin => execute_hash_join(db, tree, candidates, opts),
+        ExecStrategy::HashJoin => execute_hash_join(db, tree, candidates, opts, arena),
         ExecStrategy::Naive => execute_naive(db, tree, candidates, opts),
     }
 }
@@ -319,6 +349,7 @@ fn execute_hash_join(
     tree: &JoinTree,
     candidates: &Candidates,
     opts: ExecOptions,
+    arena: &mut BatchArena,
 ) -> RelResult<ExecOutcome> {
     let reduced = reduce_join_tree(db, tree, candidates)?;
     let mut stats = reduced.stats;
@@ -330,7 +361,7 @@ fn execute_hash_join(
     }
     let sizes: Vec<usize> = reduced.sets.iter().map(Vec::len).collect();
     let plan = plan_join_order(tree, &reduced.given, &sizes);
-    let out = execute_reduced(db, tree, reduced.sets, &plan, opts)?;
+    let out = execute_reduced_in(db, tree, reduced.sets, &plan, opts, arena)?;
     stats.absorb(&out.stats);
     Ok(ExecOutcome {
         rows: out.rows,
@@ -559,24 +590,99 @@ pub fn plan_join_order(tree: &JoinTree, given: &[usize], reduced: &[usize]) -> J
     JoinPlan { seed, attach }
 }
 
+/// Reusable backing store for the executor's columnar binding batches.
+///
+/// The pre-arena executor allocated one `Vec<RowId>` per joined node per
+/// attach step (the regather), plus a selection vector and the new column —
+/// O(nodes × batches) heap allocations per query. The arena keeps all
+/// columns in one flat `Vec<RowId>` (per-node spans of equal length, in
+/// join order) plus a ping-pong buffer for the regather, *reset but never
+/// freed* between batches — and, when one arena is threaded through a
+/// pipeline via the executor cache, between waves and executions too.
+/// [`ExecStats::batch_allocs`] counts the capacity-growth events that
+/// remain; [`ExecStats::arena_bytes_peak`] records the high-water mark.
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    /// Current batch: `slot` spans of `batch_len` rows each, join order.
+    front: Vec<RowId>,
+    /// Regather target, swapped with `front` after each attach step.
+    back: Vec<RowId>,
+    /// Probe selection indexes into the previous batch.
+    sel: Vec<u32>,
+    /// The attach step's new column, staged before the regather.
+    newcol: Vec<RowId>,
+    /// Cumulative capacity-growth events over the arena's lifetime.
+    allocs: usize,
+}
+
+impl BatchArena {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of backing capacity currently held.
+    fn bytes(&self) -> usize {
+        (self.front.capacity() + self.back.capacity() + self.newcol.capacity())
+            * std::mem::size_of::<RowId>()
+            + self.sel.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Floor on any fresh arena reservation: a cold buffer jumps straight to a
+/// useful capacity (4 KiB of `RowId`s) instead of logging several growth
+/// events while the first small batches warm it.
+const ARENA_MIN_RESERVE: usize = 1024;
+
+/// Reserve `additional` headroom in `v`, counting a capacity growth.
+fn arena_reserve<T>(v: &mut Vec<T>, additional: usize, allocs: &mut usize) {
+    let before = v.capacity();
+    if v.len() + additional <= before {
+        return;
+    }
+    v.reserve(additional.max(ARENA_MIN_RESERVE));
+    if v.capacity() != before {
+        *allocs += 1;
+    }
+}
+
 /// The join phase of the hash-join strategy over already-reduced sets,
 /// following a [`JoinPlan`] instead of choosing its own order. With the plan
 /// produced by [`plan_join_order`] on this store's own cardinalities this is
 /// bit-identical to `ExecStrategy::HashJoin`; under a coordinator-forced
 /// plan every participating store joins in the same order.
 ///
-/// Columnar binding batches: one column per joined node, all of equal
-/// length. Full reduction guarantees every partial binding extends to at
-/// least one distinct result, so each batch can be truncated to `limit`.
+/// Convenience wrapper over [`execute_reduced_in`] with a throwaway arena;
+/// callers executing more than once should hold a [`BatchArena`] and reuse
+/// it.
 pub fn execute_reduced(
     db: &Database,
     tree: &JoinTree,
-    mut sets: Vec<Vec<RowId>>,
+    sets: Vec<Vec<RowId>>,
     plan: &JoinPlan,
     opts: ExecOptions,
 ) -> RelResult<ExecOutcome> {
+    execute_reduced_in(db, tree, sets, plan, opts, &mut BatchArena::new())
+}
+
+/// [`execute_reduced`] against a caller-held [`BatchArena`].
+///
+/// Columnar binding batches: one column span per joined node, all of equal
+/// length, living in the arena. Full reduction guarantees every partial
+/// binding extends to at least one distinct result, so each batch can be
+/// truncated to `limit`. Row output is byte-identical to the historical
+/// per-`Vec` executor — the arena changes where the columns live, never
+/// their contents or order.
+pub fn execute_reduced_in(
+    db: &Database,
+    tree: &JoinTree,
+    sets: Vec<Vec<RowId>>,
+    plan: &JoinPlan,
+    opts: ExecOptions,
+    arena: &mut BatchArena,
+) -> RelResult<ExecOutcome> {
     let n = tree.nodes.len();
     let mut stats = ExecStats::default();
+    let allocs_before = arena.allocs;
     if sets.iter().any(Vec::is_empty) {
         return Ok(ExecOutcome {
             rows: Vec::new(),
@@ -584,14 +690,18 @@ pub fn execute_reduced(
         });
     }
     let cap = opts.limit;
-    let mut cols: Vec<Option<Vec<RowId>>> = vec![None; n];
-    let mut seed_col = std::mem::take(&mut sets[plan.seed]);
-    seed_col.truncate(cap);
-    stats.intermediate_bindings += seed_col.len();
-    let mut batch_len = seed_col.len();
-    cols[plan.seed] = Some(seed_col);
+    // Node -> column span index (in join order) inside the arena.
+    let mut slot: Vec<Option<usize>> = vec![None; n];
+    let seed_set = &sets[plan.seed];
+    let mut batch_len = seed_set.len().min(cap);
+    arena.front.clear();
+    arena_reserve(&mut arena.front, batch_len, &mut arena.allocs);
+    arena.front.extend_from_slice(&seed_set[..batch_len]);
+    stats.intermediate_bindings += batch_len;
+    slot[plan.seed] = Some(0);
     let mut joined = vec![false; n];
     joined[plan.seed] = true;
+    let mut joined_cols = 1usize;
 
     for &ei in &plan.attach {
         let edge = tree.edges[ei];
@@ -621,10 +731,22 @@ pub fn execute_reduced(
             }
         }
 
-        // Probe with every current partial binding; `sel` gathers the batch.
-        let known_col = cols[known].as_ref().expect("joined nodes have columns");
-        let mut sel: Vec<u32> = Vec::with_capacity(batch_len);
-        let mut new_col: Vec<RowId> = Vec::with_capacity(batch_len);
+        // Probe with every current partial binding; `sel` gathers the
+        // batch. Disjoint-field borrows: the known column is a span of
+        // `front`, the staging buffers are `sel`/`newcol`.
+        let BatchArena {
+            front,
+            back,
+            sel,
+            newcol,
+            allocs,
+        } = &mut *arena;
+        let ks = slot[known].expect("joined nodes have columns");
+        let known_col = &front[ks * batch_len..(ks + 1) * batch_len];
+        sel.clear();
+        newcol.clear();
+        arena_reserve(sel, batch_len, allocs);
+        arena_reserve(newcol, batch_len, allocs);
         'probe: for (bi, &krow) in known_col.iter().enumerate() {
             stats.probes += 1;
             let Some(key) = join_key(db, known_table, krow, &fk, known_fk) else {
@@ -634,26 +756,42 @@ pub fn execute_reduced(
                 continue;
             };
             for &m in matches {
-                if new_col.len() >= opts.max_intermediate {
+                if newcol.len() >= opts.max_intermediate {
                     return Err(RelError::MalformedJoinTree(
                         "intermediate result exceeds max_intermediate".into(),
                     ));
                 }
                 sel.push(bi as u32);
-                new_col.push(m);
-                if new_col.len() >= cap {
+                newcol.push(m);
+                if newcol.len() >= cap {
                     break 'probe;
                 }
             }
         }
         stats.batches += 1;
-        stats.intermediate_bindings += new_col.len();
-        batch_len = new_col.len();
-        for col in cols.iter_mut().flatten() {
-            *col = sel.iter().map(|&i| col[i as usize]).collect();
+        stats.intermediate_bindings += newcol.len();
+        // One logical column materialization per regathered span + the new
+        // column + the selection vector: exactly the per-step allocation
+        // count of the pre-arena executor.
+        stats.batch_cols += joined_cols + 2;
+        let new_len = newcol.len();
+
+        // Regather every existing column through `sel` into the back
+        // buffer, append the new column as the next span, and flip.
+        back.clear();
+        arena_reserve(back, (joined_cols + 1) * new_len, allocs);
+        for c in 0..joined_cols {
+            let span = &front[c * batch_len..(c + 1) * batch_len];
+            back.extend(sel.iter().map(|&i| span[i as usize]));
         }
-        cols[new] = Some(new_col);
+        back.extend_from_slice(newcol);
+        std::mem::swap(front, back);
+        slot[new] = Some(joined_cols);
+        joined_cols += 1;
+        batch_len = new_len;
+        stats.arena_bytes_peak = stats.arena_bytes_peak.max(arena.bytes());
         if batch_len == 0 {
+            stats.batch_allocs += arena.allocs - allocs_before;
             return Ok(ExecOutcome {
                 rows: Vec::new(),
                 stats,
@@ -662,13 +800,18 @@ pub fn execute_reduced(
     }
 
     stats.result_count = batch_len;
+    stats.arena_bytes_peak = stats.arena_bytes_peak.max(arena.bytes());
+    stats.batch_allocs += arena.allocs - allocs_before;
     let rows = if opts.count_only {
         Vec::new()
     } else {
         (0..batch_len)
             .map(|i| {
                 (0..n)
-                    .map(|node| cols[node].as_ref().expect("all joined")[i])
+                    .map(|node| {
+                        let c = slot[node].expect("all joined");
+                        arena.front[c * batch_len + i]
+                    })
                     .collect()
             })
             .collect()

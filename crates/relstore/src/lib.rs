@@ -50,9 +50,10 @@ mod value;
 pub use database::{Database, RowBatch, TableStore};
 pub use error::{BatchError, RelError, RelResult};
 pub use exec::{
-    execute_join_tree, execute_join_tree_with_stats, execute_reduced, plan_join_order,
-    reduce_join_tree, Candidates, ExecOptions, ExecOutcome, ExecStats, ExecStrategy, JoinPlan,
-    JoinTree, JoinTreeEdge, JoinedRow, ReducedTree,
+    execute_join_tree, execute_join_tree_with_stats, execute_join_tree_with_stats_in,
+    execute_reduced, execute_reduced_in, plan_join_order, reduce_join_tree, BatchArena, Candidates,
+    ExecOptions, ExecOutcome, ExecStats, ExecStrategy, JoinPlan, JoinTree, JoinTreeEdge, JoinedRow,
+    ReducedTree,
 };
 pub use graph::{GraphEdge, SchemaGraph};
 pub use partition::{

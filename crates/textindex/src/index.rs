@@ -15,9 +15,12 @@
 //!   [`InvertedIndex::has_row_with_all`] is the early-exit variant backing
 //!   the generator's non-emptiness cache.
 //!
-//! Postings are packed as delta-encoded varints ([`TermAttrEntry`]) and
-//! decoded on read, cutting the index's resident footprint on large
-//! fixtures; the on-disk snapshot stores the packed bytes verbatim.
+//! Postings are packed per an adaptive, canonical [`PostingsRepr`]: sparse
+//! lists as delta-encoded varints, dense lists as fixed-width bitmap blocks
+//! ([`TermAttrEntry`]), decoded on read. The repr choice is a pure function
+//! of the posting set, so incremental maintenance, rebuilds, and snapshots
+//! all agree byte-for-byte; the on-disk snapshot stores the packed bytes
+//! verbatim behind a per-entry repr tag.
 
 use crate::token::Tokenizer;
 use keybridge_relstore::snapshot::{
@@ -27,20 +30,48 @@ use keybridge_relstore::snapshot::{
 use keybridge_relstore::{AttrId, AttrRef, Database, RowId, TableId};
 use std::collections::HashMap;
 
-/// Postings of one term within one attribute: row-sorted `(row, tf)` pairs,
-/// stored as delta-encoded LEB128 varints and decoded on read.
+/// Physical layout of one [`TermAttrEntry`]'s packed buffer.
 ///
-/// The packed layout is a *canonical* function of the logical postings — the
-/// first entry stores its row id verbatim, every later entry the strictly
-/// positive gap to its predecessor, each followed by the term frequency.
-/// Appends in row order extend the buffer in place; out-of-order splices
-/// decode, merge, and re-encode, so an incrementally maintained entry is
-/// byte-identical to one rebuilt from scratch, and the snapshot inherits
-/// that guarantee by storing the packed bytes verbatim.
+/// The repr is a *canonical* function of the logical posting set: sparse
+/// lists delta-encode row gaps, dense lists — at least [`BITMAP_MIN_DF`]
+/// postings covering at least 1/[`BITMAP_DENSITY`] of their row span —
+/// switch to a fixed-width bitmap block. Because the choice depends only on
+/// the final set, never on mutation order, splice-equals-rebuild and
+/// snapshot canonicality survive the adaptive layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PostingsRepr {
+    /// Delta-encoded LEB128 `(row gap, tf)` pairs.
+    #[default]
+    Gaps,
+    /// `varu32 base, varu32 nwords`, then `nwords` little-endian `u64`
+    /// words of row-presence bits (bit `i` set = row `base + i` present),
+    /// then `df` LEB128 term frequencies in ascending row order.
+    Bitmap,
+}
+
+/// The bitmap repr needs at least this many postings...
+const BITMAP_MIN_DF: u32 = 16;
+/// ...covering at least `1 / BITMAP_DENSITY` of their row span
+/// (`df * BITMAP_DENSITY >= span`). At the threshold a bitmap costs ~4
+/// bytes of words per posting, comfortably under the 8-byte naive codec.
+const BITMAP_DENSITY: u64 = 32;
+
+/// Postings of one term within one attribute: row-sorted `(row, tf)` pairs,
+/// packed per [`PostingsRepr`] and decoded on read.
+///
+/// The packed layout is a *canonical* function of the logical postings —
+/// both the repr choice and the bytes within each repr are determined by
+/// the final set alone. Appends in row order extend the buffer in place
+/// (re-encoding only when the append flips the canonical repr);
+/// out-of-order splices decode, merge, and re-encode, so an incrementally
+/// maintained entry is byte-identical to one rebuilt from scratch, and the
+/// snapshot inherits that guarantee by storing the packed bytes verbatim.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TermAttrEntry {
-    /// Delta-varint packed `(row gap, tf)` pairs.
+    /// Packed postings, laid out per `repr`.
     packed: Vec<u8>,
+    /// Physical layout of `packed` — always canonical for the stored set.
+    repr: PostingsRepr,
     /// Number of rows containing the term (document frequency).
     df: u32,
     /// Row id of the final posting — the append fast-path base; 0 when empty.
@@ -50,33 +81,151 @@ pub struct TermAttrEntry {
 }
 
 /// Decoding iterator over a packed postings buffer: yields `(row, tf)` in
-/// ascending row order.
+/// ascending row order, whatever the entry's repr.
 #[derive(Debug, Clone)]
 pub struct Postings<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    prev: u32,
-    started: bool,
+    cur: Cur<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum Cur<'a> {
+    Gaps {
+        bytes: &'a [u8],
+        pos: usize,
+        prev: u32,
+        started: bool,
+    },
+    Bitmap {
+        base: u32,
+        words: &'a [u8],
+        tfs: &'a [u8],
+        tf_pos: usize,
+        /// Next bit index to examine.
+        bit: usize,
+    },
 }
 
 impl Iterator for Postings<'_> {
     type Item = (RowId, u32);
 
     fn next(&mut self) -> Option<(RowId, u32)> {
-        if self.pos >= self.bytes.len() {
-            return None;
+        match &mut self.cur {
+            Cur::Gaps {
+                bytes,
+                pos,
+                prev,
+                started,
+            } => {
+                if *pos >= bytes.len() {
+                    return None;
+                }
+                let delta = read_varu32(bytes, pos);
+                let row = if *started { *prev + delta } else { delta };
+                *started = true;
+                *prev = row;
+                let tf = read_varu32(bytes, pos);
+                Some((RowId(row), tf))
+            }
+            Cur::Bitmap {
+                base,
+                words,
+                tfs,
+                tf_pos,
+                bit,
+            } => {
+                let nbits = words.len() * 8;
+                while *bit < nbits {
+                    let byte = *bit / 8;
+                    let masked = words[byte] & (0xFFu8 << (*bit % 8));
+                    if masked != 0 {
+                        let b = byte * 8 + masked.trailing_zeros() as usize;
+                        *bit = b + 1;
+                        let tf = read_varu32(tfs, tf_pos);
+                        return Some((RowId(*base + b as u32), tf));
+                    }
+                    *bit = (byte + 1) * 8;
+                }
+                None
+            }
         }
-        let delta = read_varu32(self.bytes, &mut self.pos);
-        let row = if self.started {
-            self.prev + delta
-        } else {
-            delta
-        };
-        self.started = true;
-        self.prev = row;
-        let tf = read_varu32(self.bytes, &mut self.pos);
-        Some((RowId(row), tf))
     }
+}
+
+impl Postings<'_> {
+    /// First posting with row `>= target`, consuming it — the leapfrog
+    /// probe. Gap lists scan linearly (decoding is the only way forward);
+    /// bitmap lists jump straight to the target's bit, *skipping* the
+    /// overleapt tf varints instead of decoding them.
+    pub fn seek(&mut self, target: RowId) -> Option<(RowId, u32)> {
+        if let Cur::Bitmap {
+            base,
+            words,
+            tfs,
+            tf_pos,
+            bit,
+        } = &mut self.cur
+        {
+            let tbit = target.0.saturating_sub(*base) as usize;
+            if tbit > *bit {
+                let skipped = count_set_bits(words, *bit, tbit.min(words.len() * 8));
+                skip_varints(tfs, tf_pos, skipped);
+                *bit = tbit;
+            }
+            return self.next();
+        }
+        loop {
+            let h = self.next()?;
+            if h.0 >= target {
+                return Some(h);
+            }
+        }
+    }
+}
+
+/// Set bits of `words` in bit range `[from, to)`.
+fn count_set_bits(words: &[u8], from: usize, to: usize) -> usize {
+    let mut n = 0;
+    let mut bit = from;
+    while bit < to {
+        let byte = bit / 8;
+        let end = ((byte + 1) * 8).min(to);
+        let mut mask = words[byte] >> (bit % 8);
+        if end - bit < 8 {
+            mask &= (1u8 << (end - bit)) - 1;
+        }
+        n += mask.count_ones() as usize;
+        bit = end;
+    }
+    n
+}
+
+/// Advance `pos` past `n` LEB128 varints without decoding their values.
+fn skip_varints(bytes: &[u8], pos: &mut usize, n: usize) {
+    for _ in 0..n {
+        while bytes[*pos] & 0x80 != 0 {
+            *pos += 1;
+        }
+        *pos += 1;
+    }
+}
+
+/// Encoded length of `v` as a LEB128 varint.
+fn varu32_len(v: u32) -> usize {
+    let mut n = 1;
+    let mut v = v >> 7;
+    while v != 0 {
+        n += 1;
+        v >>= 7;
+    }
+    n
+}
+
+/// Overwrite the varint at `pos` with `v` — caller guarantees the encoded
+/// lengths match (the in-place bitmap append checks before patching).
+fn write_varu32_at(buf: &mut [u8], pos: usize, v: u32) {
+    let mut tmp = Vec::with_capacity(5);
+    put_varu32(&mut tmp, v);
+    buf[pos..pos + tmp.len()].copy_from_slice(&tmp);
 }
 
 /// Decode one LEB128 `u32` from a trusted in-memory postings buffer.
@@ -124,20 +273,146 @@ impl TermAttrEntry {
         self.df as usize
     }
 
-    /// Iterate the `(row, tf)` postings in ascending row order, decoding the
-    /// packed buffer on the fly.
-    pub fn rows(&self) -> Postings<'_> {
-        Postings {
-            bytes: &self.packed,
-            pos: 0,
-            prev: 0,
-            started: false,
+    /// Physical layout of the packed buffer.
+    pub fn repr(&self) -> PostingsRepr {
+        self.repr
+    }
+
+    /// The canonical repr of a set with `df` postings spanning rows
+    /// `first..=last` — a pure function of the final set, so incremental
+    /// maintenance and from-scratch rebuilds always agree on the layout.
+    fn repr_for(df: u32, first: u32, last: u32) -> PostingsRepr {
+        let span = (last - first) as u64 + 1;
+        if df >= BITMAP_MIN_DF && df as u64 * BITMAP_DENSITY >= span {
+            PostingsRepr::Bitmap
+        } else {
+            PostingsRepr::Gaps
         }
     }
 
-    /// Term frequency in `row`. Postings are row-sorted, so the decode scan
-    /// exits at the first row past the probe.
+    /// Row id of the first posting. Both reprs lead with it: the gaps
+    /// layout stores it verbatim as the first delta, the bitmap layout as
+    /// its base.
+    fn first_row(&self) -> u32 {
+        debug_assert!(self.df > 0);
+        let mut pos = 0;
+        read_varu32(&self.packed, &mut pos)
+    }
+
+    /// Whether `repr` is the canonical layout for the stored set.
+    fn is_canonical(&self) -> bool {
+        self.df == 0 || Self::repr_for(self.df, self.first_row(), self.last) == self.repr
+    }
+
+    /// `(base, words, tfs)` of a bitmap-repr entry, `None` for gaps.
+    fn bitmap_parts(&self) -> Option<(u32, &[u8], &[u8])> {
+        if self.repr != PostingsRepr::Bitmap {
+            return None;
+        }
+        let mut pos = 0;
+        let base = read_varu32(&self.packed, &mut pos);
+        let nwords = read_varu32(&self.packed, &mut pos) as usize;
+        let words_end = pos + nwords * 8;
+        Some((
+            base,
+            &self.packed[pos..words_end],
+            &self.packed[words_end..],
+        ))
+    }
+
+    /// Build the canonical entry holding exactly `pairs` (strictly
+    /// row-sorted): picks the repr once from the final set and encodes it
+    /// in one pass. This is the one re-encode routine every splice and
+    /// repr conversion funnels through.
+    pub fn from_pairs(pairs: &[(RowId, u32)]) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "pairs must be strictly row-sorted"
+        );
+        let mut e = TermAttrEntry::default();
+        if pairs.is_empty() {
+            return e;
+        }
+        let first = pairs[0].0 .0;
+        let last = pairs[pairs.len() - 1].0 .0;
+        e.df = pairs.len() as u32;
+        e.last = last;
+        e.occurrences = pairs.iter().map(|&(_, tf)| tf as u64).sum();
+        e.repr = Self::repr_for(e.df, first, last);
+        match e.repr {
+            PostingsRepr::Gaps => {
+                let mut prev = 0;
+                for (i, &(r, tf)) in pairs.iter().enumerate() {
+                    put_varu32(&mut e.packed, if i == 0 { r.0 } else { r.0 - prev });
+                    put_varu32(&mut e.packed, tf);
+                    prev = r.0;
+                }
+            }
+            PostingsRepr::Bitmap => {
+                put_varu32(&mut e.packed, first);
+                let nwords = (last - first) as usize / 64 + 1;
+                put_varu32(&mut e.packed, nwords as u32);
+                let words_start = e.packed.len();
+                e.packed.resize(words_start + nwords * 8, 0);
+                for &(r, _) in pairs {
+                    let bit = (r.0 - first) as usize;
+                    e.packed[words_start + bit / 8] |= 1 << (bit % 8);
+                }
+                for &(_, tf) in pairs {
+                    put_varu32(&mut e.packed, tf);
+                }
+            }
+        }
+        e
+    }
+
+    /// Decode and rebuild through [`Self::from_pairs`] — the repr
+    /// conversion path.
+    fn reencode(&mut self) {
+        let pairs: Vec<(RowId, u32)> = self.rows().collect();
+        *self = Self::from_pairs(&pairs);
+    }
+
+    /// Iterate the `(row, tf)` postings in ascending row order, decoding the
+    /// packed buffer on the fly.
+    pub fn rows(&self) -> Postings<'_> {
+        match self.bitmap_parts() {
+            Some((base, words, tfs)) => Postings {
+                cur: Cur::Bitmap {
+                    base,
+                    words,
+                    tfs,
+                    tf_pos: 0,
+                    bit: 0,
+                },
+            },
+            None => Postings {
+                cur: Cur::Gaps {
+                    bytes: &self.packed,
+                    pos: 0,
+                    prev: 0,
+                    started: false,
+                },
+            },
+        }
+    }
+
+    /// Term frequency in `row`. Bitmap entries answer with one bit test
+    /// plus a rank into the tf stream; gap entries decode-scan and exit at
+    /// the first row past the probe.
     pub fn tf(&self, row: RowId) -> Option<u32> {
+        if let Some((base, words, tfs)) = self.bitmap_parts() {
+            if row.0 < base || row.0 > self.last {
+                return None;
+            }
+            let bit = (row.0 - base) as usize;
+            if words[bit / 8] & (1 << (bit % 8)) == 0 {
+                return None;
+            }
+            let mut pos = 0;
+            skip_varints(tfs, &mut pos, count_set_bits(words, 0, bit));
+            return Some(read_varu32(tfs, &mut pos));
+        }
         for (r, tf) in self.rows() {
             if r == row {
                 return Some(tf);
@@ -150,18 +425,65 @@ impl TermAttrEntry {
     }
 
     /// Append a posting known to follow every stored row — the fresh-insert
-    /// fast path, since new rows carry the largest id of their table.
+    /// fast path, since new rows carry the largest id of their table. The
+    /// entry stays canonical: an append that flips the repr (density
+    /// crossing the bitmap threshold in either direction) re-encodes.
     fn push(&mut self, row: RowId, tf: u32) {
         debug_assert!(self.df == 0 || row.0 > self.last, "push must stay sorted");
-        let delta = if self.df == 0 {
-            row.0
-        } else {
-            row.0 - self.last
-        };
-        put_varu32(&mut self.packed, delta);
+        match self.repr {
+            PostingsRepr::Gaps => {
+                let delta = if self.df == 0 {
+                    row.0
+                } else {
+                    row.0 - self.last
+                };
+                put_varu32(&mut self.packed, delta);
+                put_varu32(&mut self.packed, tf);
+                self.last = row.0;
+                self.df += 1;
+                self.occurrences += tf as u64;
+                if !self.is_canonical() {
+                    self.reencode();
+                }
+            }
+            PostingsRepr::Bitmap => self.push_bitmap(row, tf),
+        }
+    }
+
+    /// Append onto a bitmap entry: patch the word block and tf stream in
+    /// place when the repr survives the append, otherwise fall back to a
+    /// full canonical re-encode.
+    fn push_bitmap(&mut self, row: RowId, tf: u32) {
+        let mut pos = 0;
+        let base = read_varu32(&self.packed, &mut pos);
+        let nwords_pos = pos;
+        let nwords = read_varu32(&self.packed, &mut pos) as usize;
+        let words_start = pos;
+        let new_bit = (row.0 - base) as usize;
+        let new_nwords = (new_bit / 64 + 1).max(nwords);
+        // Three things can force a re-encode: the append flips the
+        // canonical repr back to gaps (a far-away row craters density), the
+        // `nwords` varint itself grows, or nothing — only the last stays an
+        // in-place patch.
+        if Self::repr_for(self.df + 1, base, row.0) != PostingsRepr::Bitmap
+            || varu32_len(new_nwords as u32) != varu32_len(nwords as u32)
+        {
+            let mut pairs: Vec<(RowId, u32)> = self.rows().collect();
+            pairs.push((row, tf));
+            *self = Self::from_pairs(&pairs);
+            return;
+        }
+        write_varu32_at(&mut self.packed, nwords_pos, new_nwords as u32);
+        if new_nwords > nwords {
+            let tf_start = words_start + nwords * 8;
+            let extra = (new_nwords - nwords) * 8;
+            self.packed
+                .splice(tf_start..tf_start, std::iter::repeat_n(0u8, extra));
+        }
+        self.packed[words_start + new_bit / 8] |= 1 << (new_bit % 8);
         put_varu32(&mut self.packed, tf);
-        self.last = row.0;
         self.df += 1;
+        self.last = row.0;
         self.occurrences += tf as u64;
     }
 
@@ -178,64 +500,152 @@ impl TermAttrEntry {
             Ok(i) => rows[i].1 += tf, // defensive: re-indexed row
             Err(i) => rows.insert(i, (row, tf)),
         }
-        self.packed.clear();
-        self.df = 0;
-        self.last = 0;
-        self.occurrences = 0;
-        for &(r, t) in &rows {
-            self.push(r, t);
+        *self = Self::from_pairs(&rows);
+    }
+
+    /// Convert to the canonical repr if the stored layout disagrees — the
+    /// version-2 snapshot upgrade path (v2 predates the bitmap repr, so its
+    /// dense entries arrive gap-encoded).
+    fn canonicalize(&mut self) {
+        if !self.is_canonical() {
+            self.reencode();
         }
     }
 
     /// Reconstruct an entry from snapshot parts, validating that `packed`
-    /// decodes to exactly `df` strictly increasing postings whose term
-    /// frequencies sum to `occurrences`.
-    fn from_packed(packed: Vec<u8>, df: u32, occurrences: u64) -> Result<Self, SnapshotError> {
-        let mut pos = 0usize;
-        let mut last = 0u32;
-        let mut total = 0u64;
-        for i in 0..df {
-            let delta = checked_varu32(&packed, &mut pos)?;
-            let row = if i == 0 {
-                delta
-            } else {
-                if delta == 0 {
+    /// is a structurally exact encoding of `df` strictly increasing
+    /// postings under `repr` whose term frequencies sum to `occurrences`.
+    /// Canonicality of the repr *choice* is the caller's concern (enforced
+    /// for v3 snapshots, reinstated by conversion for v2).
+    fn from_packed(
+        repr: PostingsRepr,
+        packed: Vec<u8>,
+        df: u32,
+        occurrences: u64,
+    ) -> Result<Self, SnapshotError> {
+        match repr {
+            PostingsRepr::Gaps => {
+                let mut pos = 0usize;
+                let mut last = 0u32;
+                let mut total = 0u64;
+                for i in 0..df {
+                    let delta = checked_varu32(&packed, &mut pos)?;
+                    let row = if i == 0 {
+                        delta
+                    } else {
+                        if delta == 0 {
+                            return Err(SnapshotError::Corrupt(
+                                "packed postings not strictly increasing".into(),
+                            ));
+                        }
+                        last.checked_add(delta).ok_or_else(|| {
+                            SnapshotError::Corrupt("packed postings row id exceeds u32".into())
+                        })?
+                    };
+                    let tf = checked_varu32(&packed, &mut pos)?;
+                    total += tf as u64;
+                    last = row;
+                }
+                if pos != packed.len() {
                     return Err(SnapshotError::Corrupt(
-                        "packed postings not strictly increasing".into(),
+                        "trailing bytes after packed postings".into(),
                     ));
                 }
-                last.checked_add(delta).ok_or_else(|| {
-                    SnapshotError::Corrupt("packed postings row id exceeds u32".into())
-                })?
-            };
-            let tf = checked_varu32(&packed, &mut pos)?;
-            total += tf as u64;
-            last = row;
+                if total != occurrences {
+                    return Err(SnapshotError::Corrupt(
+                        "packed postings occurrence total mismatch".into(),
+                    ));
+                }
+                Ok(TermAttrEntry {
+                    packed,
+                    repr,
+                    df,
+                    last,
+                    occurrences,
+                })
+            }
+            PostingsRepr::Bitmap => {
+                if df == 0 {
+                    return Err(SnapshotError::Corrupt("empty bitmap postings".into()));
+                }
+                let mut pos = 0usize;
+                let base = checked_varu32(&packed, &mut pos)?;
+                let nwords = checked_varu32(&packed, &mut pos)? as usize;
+                let words_len = nwords
+                    .checked_mul(8)
+                    .ok_or_else(|| SnapshotError::Corrupt("bitmap word count overflow".into()))?;
+                let words_end = pos
+                    .checked_add(words_len)
+                    .ok_or_else(|| SnapshotError::Corrupt("bitmap word count overflow".into()))?;
+                let words = packed
+                    .get(pos..words_end)
+                    .ok_or_else(|| SnapshotError::Corrupt("truncated bitmap words".into()))?;
+                if nwords == 0 || words[0] & 1 == 0 {
+                    return Err(SnapshotError::Corrupt(
+                        "bitmap base bit unset (base must be the first row)".into(),
+                    ));
+                }
+                if words[words_len - 8..].iter().all(|&b| b == 0) {
+                    return Err(SnapshotError::Corrupt(
+                        "bitmap trailing empty word (nwords not minimal)".into(),
+                    ));
+                }
+                if count_set_bits(words, 0, words_len * 8) != df as usize {
+                    return Err(SnapshotError::Corrupt("bitmap popcount != df".into()));
+                }
+                let last_byte = words.iter().rposition(|&b| b != 0).expect("nonzero word");
+                let last_bit = last_byte * 8 + 7 - words[last_byte].leading_zeros() as usize;
+                let last = u32::try_from(last_bit)
+                    .ok()
+                    .and_then(|b| base.checked_add(b))
+                    .ok_or_else(|| SnapshotError::Corrupt("bitmap row id exceeds u32".into()))?;
+                pos += words_len;
+                let mut total = 0u64;
+                for _ in 0..df {
+                    total += checked_varu32(&packed, &mut pos)? as u64;
+                }
+                if pos != packed.len() {
+                    return Err(SnapshotError::Corrupt(
+                        "trailing bytes after packed postings".into(),
+                    ));
+                }
+                if total != occurrences {
+                    return Err(SnapshotError::Corrupt(
+                        "packed postings occurrence total mismatch".into(),
+                    ));
+                }
+                Ok(TermAttrEntry {
+                    packed,
+                    repr,
+                    df,
+                    last,
+                    occurrences,
+                })
+            }
         }
-        if pos != packed.len() {
-            return Err(SnapshotError::Corrupt(
-                "trailing bytes after packed postings".into(),
-            ));
-        }
-        if total != occurrences {
-            return Err(SnapshotError::Corrupt(
-                "packed postings occurrence total mismatch".into(),
-            ));
-        }
-        Ok(TermAttrEntry {
-            packed,
-            df,
-            last,
-            occurrences,
-        })
     }
 }
 
-/// Walk the intersection of several row-sorted postings lists by k-way
-/// leapfrog merge, calling `visit(row, min_tf)` for every row present in
-/// *all* lists. `visit` returns `false` to stop early. Linear in the total
-/// decoded length — no per-row binary probes into packed buffers.
-fn for_each_joint_row(lists: &[&TermAttrEntry], mut visit: impl FnMut(RowId, u32) -> bool) {
+/// Walk the intersection of several row-sorted postings lists, calling
+/// `visit(row, min_tf)` for every row present in *all* lists. `visit`
+/// returns `false` to stop early.
+///
+/// All-bitmap intersections take a word-at-a-time AND fast path; any mix
+/// involving a gaps list runs the k-way leapfrog merge, where each advance
+/// [`Postings::seek`]s — bitmap lists jump straight to the target bit
+/// instead of decoding every overleapt posting. Both paths emit the
+/// identical ascending `(row, min_tf)` sequence.
+pub fn for_each_joint_row(lists: &[&TermAttrEntry], mut visit: impl FnMut(RowId, u32) -> bool) {
+    if lists.is_empty() {
+        return;
+    }
+    if lists.len() >= 2
+        && lists
+            .iter()
+            .all(|e| e.repr() == PostingsRepr::Bitmap && e.df > 0)
+    {
+        return joint_bitmap_and(lists, visit);
+    }
     let mut iters: Vec<Postings<'_>> = lists.iter().map(|e| e.rows()).collect();
     let mut heads: Vec<(RowId, u32)> = Vec::with_capacity(iters.len());
     for it in &mut iters {
@@ -248,8 +658,8 @@ fn for_each_joint_row(lists: &[&TermAttrEntry], mut visit: impl FnMut(RowId, u32
         let target = heads.iter().map(|h| h.0).max().expect("lists nonempty");
         let mut aligned = true;
         for (head, it) in heads.iter_mut().zip(&mut iters) {
-            while head.0 < target {
-                match it.next() {
+            if head.0 < target {
+                match it.seek(target) {
                     Some(h) => *head = h,
                     None => return,
                 }
@@ -271,6 +681,80 @@ fn for_each_joint_row(lists: &[&TermAttrEntry], mut visit: impl FnMut(RowId, u32
                 None => return,
             }
         }
+    }
+}
+
+/// 64 presence bits of `words` starting at relative bit `r0` (which may be
+/// negative or run past the end — out-of-range bits read as zero): bit `j`
+/// of the result = bit `r0 + j` of the bitmap.
+fn bits_at(words: &[u8], r0: i64) -> u64 {
+    let byte0 = r0.div_euclid(8);
+    let sh = r0.rem_euclid(8) as u32;
+    let mut buf = [0u8; 8];
+    for (j, b) in buf.iter_mut().enumerate() {
+        let k = byte0 + j as i64;
+        if k >= 0 && (k as usize) < words.len() {
+            *b = words[k as usize];
+        }
+    }
+    let lo = u64::from_le_bytes(buf);
+    if sh == 0 {
+        lo
+    } else {
+        let k = byte0 + 8;
+        let hi = if k >= 0 && (k as usize) < words.len() {
+            words[k as usize] as u64
+        } else {
+            0
+        };
+        (lo >> sh) | (hi << (64 - sh))
+    }
+}
+
+/// The all-bitmap fast path of [`for_each_joint_row`]: AND the (mutually
+/// unaligned) word blocks 64 rows at a time over the lists' overlapping
+/// span, then rank each surviving row into every list's tf stream through a
+/// monotone [`Postings::seek`] cursor. Total work is one word-AND sweep of
+/// the span plus one sequential tf-stream pass per list — no per-row heap
+/// leapfrogging.
+fn joint_bitmap_and(lists: &[&TermAttrEntry], mut visit: impl FnMut(RowId, u32) -> bool) {
+    let parts: Vec<(u32, &[u8])> = lists
+        .iter()
+        .map(|e| {
+            let (base, words, _) = e.bitmap_parts().expect("all lists bitmap");
+            (base, words)
+        })
+        .collect();
+    let lo = parts.iter().map(|&(b, _)| b).max().expect("lists nonempty");
+    let hi = lists.iter().map(|e| e.last).min().expect("lists nonempty");
+    if hi < lo {
+        return;
+    }
+    let mut tf_cursors: Vec<Postings<'_>> = lists.iter().map(|e| e.rows()).collect();
+    let mut a = lo as u64;
+    while a <= hi as u64 {
+        let mut word = !0u64;
+        for &(base, words) in &parts {
+            word &= bits_at(words, a as i64 - base as i64);
+            if word == 0 {
+                break;
+            }
+        }
+        while word != 0 {
+            let b = word.trailing_zeros();
+            word &= word - 1;
+            let row = RowId(a as u32 + b);
+            let mut min_tf = u32::MAX;
+            for cur in &mut tf_cursors {
+                let (r, tf) = cur.seek(row).expect("row set in every bitmap");
+                debug_assert_eq!(r, row);
+                min_tf = min_tf.min(tf);
+            }
+            if !visit(row, min_tf) {
+                return;
+            }
+        }
+        a += 64;
     }
 }
 
@@ -767,10 +1251,19 @@ impl TermIndex for InvertedIndex {
 // ---------------------------------------------------------------------------
 
 const IDX_MAGIC: &[u8; 8] = b"KBTIDX01";
-/// Version 2: delta-varint packed postings stored verbatim, varint counts,
-/// checked length prefixes. Version-1 snapshots are rejected (rebuild from
-/// the store instead — the WAL/snapshot recovery path always can).
-const IDX_VERSION: u32 = 2;
+/// Version 3: adds a one-byte [`PostingsRepr`] tag per dictionary entry so
+/// dense lists snapshot their bitmap blocks verbatim. Version-2 snapshots
+/// (all gaps, no tag) are still readable — their dense entries are
+/// canonicalized to bitmaps on load, so a loaded v2 index re-snapshots to
+/// the same bytes a fresh build would. Version-1 snapshots are rejected
+/// (rebuild from the store instead — the WAL/snapshot recovery path always
+/// can).
+const IDX_VERSION: u32 = 3;
+/// Oldest still-readable snapshot version.
+const IDX_MIN_VERSION: u32 = 2;
+/// [`PostingsRepr`] tags of the v3 dictionary section.
+const REPR_GAPS: u8 = 0;
+const REPR_BITMAP: u8 = 1;
 const SEC_TOKENIZER: u8 = 1;
 const SEC_ATTR_STATS: u8 = 2;
 const SEC_DICT: u8 = 3;
@@ -838,8 +1331,16 @@ impl InvertedIndex {
                 put_attr_ref(&mut sec, *aref);
                 put_varu64(&mut sec, posting.occurrences);
                 put_varu32(&mut sec, posting.df);
-                // The packed buffer is canonical, so writing it verbatim
-                // keeps snapshots bit-identical to a from-scratch rebuild.
+                put_u8(
+                    &mut sec,
+                    match posting.repr {
+                        PostingsRepr::Gaps => REPR_GAPS,
+                        PostingsRepr::Bitmap => REPR_BITMAP,
+                    },
+                );
+                // The packed buffer (repr choice included) is canonical, so
+                // writing it verbatim keeps snapshots bit-identical to a
+                // from-scratch rebuild.
                 put_varu32(&mut sec, len_u32("packed postings", posting.packed.len())?);
                 sec.extend_from_slice(&posting.packed);
             }
@@ -920,7 +1421,7 @@ impl InvertedIndex {
             return Err(SnapshotError::BadMagic);
         }
         let version = c.u32()?;
-        if version != IDX_VERSION {
+        if !(IDX_MIN_VERSION..=IDX_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
 
@@ -961,12 +1462,35 @@ impl InvertedIndex {
                 let aref = read_attr_ref(&mut dc)?;
                 let occurrences = dc.varu64()?;
                 let df = dc.varu32()?;
+                let repr = if version >= 3 {
+                    match dc.u8()? {
+                        REPR_GAPS => PostingsRepr::Gaps,
+                        REPR_BITMAP => PostingsRepr::Bitmap,
+                        k => {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "unknown postings repr tag {k}"
+                            )))
+                        }
+                    }
+                } else {
+                    PostingsRepr::Gaps
+                };
                 let packed_len = dc.varu32()? as usize;
                 let packed = dc.take(packed_len)?.to_vec();
+                let mut posting = TermAttrEntry::from_packed(repr, packed, df, occurrences)?;
+                if version >= 3 {
+                    // v3 stores the canonical repr; a mismatched tag means
+                    // the snapshot was not produced by this encoder.
+                    if !posting.is_canonical() {
+                        return Err(SnapshotError::Corrupt("non-canonical postings repr".into()));
+                    }
+                } else {
+                    // v2 predates the bitmap repr: upgrade dense entries so
+                    // the loaded index is byte-identical to a fresh build.
+                    posting.canonicalize();
+                }
                 entry.attrs.push(aref);
-                entry
-                    .postings
-                    .push(TermAttrEntry::from_packed(packed, df, occurrences)?);
+                entry.postings.push(posting);
             }
             dict.insert(term, entry);
         }
@@ -1380,35 +1904,330 @@ mod tests {
             for _ in 0..n {
                 entry.upsert(RowId(rng.below(1 << 16) as u32), rng.below(7) as u32 + 1);
             }
-            let back =
-                TermAttrEntry::from_packed(entry.packed.clone(), entry.df, entry.occurrences)
-                    .unwrap();
+            let back = TermAttrEntry::from_packed(
+                entry.repr,
+                entry.packed.clone(),
+                entry.df,
+                entry.occurrences,
+            )
+            .unwrap();
             assert_eq!(back, entry);
         }
     }
 
     #[test]
     fn from_packed_rejects_malformed_buffers() {
+        use PostingsRepr::Gaps;
         let mut entry = TermAttrEntry::default();
         entry.push(RowId(3), 2);
         entry.push(RowId(9), 1);
         // Wrong df: trailing bytes after the declared postings.
-        assert!(TermAttrEntry::from_packed(entry.packed.clone(), 1, 3).is_err());
+        assert!(TermAttrEntry::from_packed(Gaps, entry.packed.clone(), 1, 3).is_err());
         // Wrong occurrence total.
-        assert!(TermAttrEntry::from_packed(entry.packed.clone(), 2, 4).is_err());
+        assert!(TermAttrEntry::from_packed(Gaps, entry.packed.clone(), 2, 4).is_err());
         // Truncated buffer.
         let cut = entry.packed[..entry.packed.len() - 1].to_vec();
-        assert!(TermAttrEntry::from_packed(cut, 2, 3).is_err());
+        assert!(TermAttrEntry::from_packed(Gaps, cut, 2, 3).is_err());
         // Zero delta = non-increasing rows.
         let mut bad = Vec::new();
         put_varu32(&mut bad, 5);
         put_varu32(&mut bad, 1);
         put_varu32(&mut bad, 0);
         put_varu32(&mut bad, 1);
-        assert!(TermAttrEntry::from_packed(bad, 2, 2).is_err());
+        assert!(TermAttrEntry::from_packed(Gaps, bad, 2, 2).is_err());
         // Varint overflowing u32.
         let over = vec![0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
-        assert!(TermAttrEntry::from_packed(over, 1, 1).is_err());
+        assert!(TermAttrEntry::from_packed(Gaps, over, 1, 1).is_err());
+    }
+
+    /// A dense entry for the bitmap-repr tests: `df` consecutive-ish rows
+    /// starting at `base` with tf = (row % 5) + 1.
+    fn dense_entry(base: u32, df: u32) -> TermAttrEntry {
+        let pairs: Vec<(RowId, u32)> = (0..df)
+            .map(|i| (RowId(base + i * 2), (base + i * 2) % 5 + 1))
+            .collect();
+        TermAttrEntry::from_pairs(&pairs)
+    }
+
+    #[test]
+    fn bitmap_repr_kicks_in_exactly_at_the_density_threshold() {
+        // df = 16 rows over span 512 sits exactly on df*32 >= span.
+        let spread = |df: u32, span: u32| -> TermAttrEntry {
+            let mut pairs: Vec<(RowId, u32)> = (0..df - 1).map(|i| (RowId(i), 1)).collect();
+            pairs.push((RowId(span - 1), 1)); // span = last - first + 1
+            TermAttrEntry::from_pairs(&pairs)
+        };
+        assert_eq!(spread(16, 512).repr(), PostingsRepr::Bitmap);
+        assert_eq!(spread(16, 513).repr(), PostingsRepr::Gaps);
+        assert_eq!(spread(17, 513).repr(), PostingsRepr::Bitmap);
+        // df below the floor stays gaps however dense.
+        let tiny: Vec<(RowId, u32)> = (0..15).map(|i| (RowId(i), 1)).collect();
+        assert_eq!(TermAttrEntry::from_pairs(&tiny).repr(), PostingsRepr::Gaps);
+        // ...and one more row over the same span flips it.
+        let full: Vec<(RowId, u32)> = (0..16).map(|i| (RowId(i), 1)).collect();
+        assert_eq!(
+            TermAttrEntry::from_pairs(&full).repr(),
+            PostingsRepr::Bitmap
+        );
+    }
+
+    #[test]
+    fn bitmap_postings_match_vec_model() {
+        // Property: entries maintained through random upserts over a dense
+        // universe (rows below 600, up to 300 of them) agree with the Vec
+        // model on every observable, land on the canonical repr of their
+        // final set, and are byte-identical to a from-scratch rebuild —
+        // whether that rebuild arrives by incremental pushes or one
+        // from_pairs encode.
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        let mut saw_bitmap = false;
+        for _case in 0..200 {
+            let mut entry = TermAttrEntry::default();
+            let mut model: Vec<(RowId, u32)> = Vec::new();
+            let n = rng.below(300) as usize;
+            for _ in 0..n {
+                let row = RowId(rng.below(600) as u32);
+                let tf = rng.below(5) as u32 + 1;
+                entry.upsert(row, tf);
+                match model.binary_search_by_key(&row, |&(r, _)| r) {
+                    Ok(i) => model[i].1 += tf,
+                    Err(i) => model.insert(i, (row, tf)),
+                }
+            }
+            saw_bitmap |= entry.repr() == PostingsRepr::Bitmap;
+            assert_eq!(entry.df(), model.len());
+            assert_eq!(
+                entry.occurrences,
+                model.iter().map(|&(_, tf)| tf as u64).sum::<u64>()
+            );
+            assert_eq!(entry.rows().collect::<Vec<_>>(), model);
+            for &(r, tf) in &model {
+                assert_eq!(entry.tf(r), Some(tf));
+            }
+            assert_eq!(entry.tf(RowId(u32::MAX)), None);
+            assert!(entry.is_canonical(), "repr must match the final set");
+            let mut pushed = TermAttrEntry::default();
+            for &(r, tf) in &model {
+                pushed.push(r, tf);
+            }
+            assert_eq!(entry, pushed, "splice must equal push-rebuild");
+            assert_eq!(
+                entry,
+                TermAttrEntry::from_pairs(&model),
+                "splice must equal one-shot encode"
+            );
+            // Snapshot codec round-trip, canonicality check included.
+            let back = TermAttrEntry::from_packed(
+                entry.repr,
+                entry.packed.clone(),
+                entry.df,
+                entry.occurrences,
+            )
+            .unwrap();
+            assert_eq!(back, entry);
+            assert!(back.is_canonical());
+        }
+        assert!(saw_bitmap, "dense universe must exercise the bitmap repr");
+    }
+
+    #[test]
+    fn joint_rows_agree_across_repr_mixes() {
+        // Property: for_each_joint_row (word-AND fast path, leapfrog-into-
+        // bitmap, and pure gaps merge) matches a brute-force model
+        // intersection for every repr mix.
+        let mut rng = XorShift(0x2545F4914F6CDD1D);
+        for case in 0..200 {
+            let k = 2 + rng.below(3) as usize;
+            let mut entries = Vec::new();
+            let mut models: Vec<Vec<(RowId, u32)>> = Vec::new();
+            for _ in 0..k {
+                let dense = rng.below(2) == 0;
+                let universe = if dense { 400 } else { 1 << 14 };
+                let n = rng.below(if dense { 200 } else { 40 }) as usize;
+                let mut model: Vec<(RowId, u32)> = Vec::new();
+                for _ in 0..n {
+                    let row = RowId(rng.below(universe) as u32);
+                    let tf = rng.below(6) as u32 + 1;
+                    match model.binary_search_by_key(&row, |&(r, _)| r) {
+                        Ok(i) => model[i].1 += tf,
+                        Err(i) => model.insert(i, (row, tf)),
+                    }
+                }
+                entries.push(TermAttrEntry::from_pairs(&model));
+                models.push(model);
+            }
+            let lists: Vec<&TermAttrEntry> = entries.iter().collect();
+            let mut got = Vec::new();
+            for_each_joint_row(&lists, |row, min_tf| {
+                got.push((row, min_tf));
+                true
+            });
+            let mut want = Vec::new();
+            for &(row, tf0) in &models[0] {
+                let mut min_tf = tf0;
+                let mut everywhere = true;
+                for m in &models[1..] {
+                    match m.binary_search_by_key(&row, |&(r, _)| r) {
+                        Ok(i) => min_tf = min_tf.min(m[i].1),
+                        Err(_) => {
+                            everywhere = false;
+                            break;
+                        }
+                    }
+                }
+                if everywhere {
+                    want.push((row, min_tf));
+                }
+            }
+            assert_eq!(got, want, "case {case}");
+            // Early exit stops after the first joint row on both paths.
+            let mut first = None;
+            for_each_joint_row(&lists, |row, min_tf| {
+                first = Some((row, min_tf));
+                false
+            });
+            assert_eq!(first, want.first().copied(), "case {case} early exit");
+        }
+    }
+
+    #[test]
+    fn from_packed_rejects_malformed_bitmap_buffers() {
+        use PostingsRepr::Bitmap;
+        let entry = dense_entry(100, 32);
+        assert_eq!(entry.repr(), Bitmap);
+        let (packed, df, occ) = (entry.packed.clone(), entry.df, entry.occurrences);
+        // The well-formed buffer round-trips.
+        assert!(TermAttrEntry::from_packed(Bitmap, packed.clone(), df, occ).is_ok());
+        // Popcount must equal df.
+        assert!(TermAttrEntry::from_packed(Bitmap, packed.clone(), df - 1, occ).is_err());
+        // Occurrence total mismatch.
+        assert!(TermAttrEntry::from_packed(Bitmap, packed.clone(), df, occ + 1).is_err());
+        // Truncated tf stream.
+        let cut = packed[..packed.len() - 1].to_vec();
+        assert!(TermAttrEntry::from_packed(Bitmap, cut, df, occ).is_err());
+        // Trailing garbage.
+        let mut long = packed.clone();
+        long.push(0);
+        assert!(TermAttrEntry::from_packed(Bitmap, long, df, occ).is_err());
+        // Base bit unset: the first word's bit 0 must be set.
+        let mut unset = packed.clone();
+        let mut pos = 0;
+        read_varu32(&unset, &mut pos); // base
+        read_varu32(&unset, &mut pos); // nwords
+        assert_eq!(unset[pos] & 1, 1);
+        unset[pos] &= !1;
+        assert!(TermAttrEntry::from_packed(Bitmap, unset, df, occ).is_err());
+        // Empty bitmap is never canonical.
+        assert!(TermAttrEntry::from_packed(Bitmap, Vec::new(), 0, 0).is_err());
+        // A trailing all-zero word (nwords not minimal) is rejected. Build
+        // one by hand: base 0, 2 words, 16 rows all in word 0.
+        let mut padded = Vec::new();
+        put_varu32(&mut padded, 0);
+        put_varu32(&mut padded, 2);
+        padded.extend_from_slice(&0xFFFFu64.to_le_bytes());
+        padded.extend_from_slice(&0u64.to_le_bytes());
+        for _ in 0..16 {
+            put_varu32(&mut padded, 1);
+        }
+        assert!(TermAttrEntry::from_packed(Bitmap, padded, 16, 16).is_err());
+    }
+
+    #[test]
+    fn v2_snapshots_load_and_canonicalize() {
+        // A version-2 snapshot (gap-encoded entries, no repr tag) of an
+        // index whose dense entries would canonically be bitmaps must load,
+        // upgrade those entries, and re-snapshot byte-identically to a
+        // fresh v3 encode of the same index.
+        let mut db = db();
+        let actor = db.schema().table_id("actor").unwrap();
+        // Bulk up "tom" in actor.name until its postings go dense.
+        let mut idx = InvertedIndex::build(&db);
+        for i in 0..40 {
+            let r = db
+                .insert(actor, vec![Value::Int(100 + i), Value::text("Tom Surname")])
+                .unwrap();
+            idx.index_row(&db, actor, r);
+        }
+        let name = aref(&db, "actor", "name");
+        assert_eq!(
+            idx.postings("tom", name).unwrap().repr(),
+            PostingsRepr::Bitmap
+        );
+        let v3 = idx.snapshot_bytes().unwrap();
+        // Re-encode the snapshot as version 2 by hand: rewrite the version
+        // word and re-emit the dictionary section with gap-encoded entries
+        // and no repr tags.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(IDX_MAGIC);
+        put_u32(&mut v2, 2);
+        let mut c = Cursor::new(&v3);
+        c.take(8).unwrap();
+        c.u32().unwrap();
+        put_section(&mut v2, SEC_TOKENIZER, c.section(SEC_TOKENIZER).unwrap());
+        put_section(&mut v2, SEC_ATTR_STATS, c.section(SEC_ATTR_STATS).unwrap());
+        let mut sec = Vec::new();
+        let mut terms: Vec<&String> = idx.dict.keys().collect();
+        terms.sort_unstable();
+        put_varu32(&mut sec, terms.len() as u32);
+        for term in terms {
+            let entry = &idx.dict[term];
+            put_str(&mut sec, term).unwrap();
+            put_varu32(&mut sec, entry.attrs.len() as u32);
+            for (aref, posting) in entry.attrs.iter().zip(&entry.postings) {
+                put_attr_ref(&mut sec, *aref);
+                put_varu64(&mut sec, posting.occurrences);
+                put_varu32(&mut sec, posting.df);
+                // v2 stored every entry gap-encoded.
+                let pairs: Vec<(RowId, u32)> = posting.rows().collect();
+                let mut gaps = Vec::new();
+                let mut prev = 0;
+                for (i, &(r, tf)) in pairs.iter().enumerate() {
+                    put_varu32(&mut gaps, if i == 0 { r.0 } else { r.0 - prev });
+                    put_varu32(&mut gaps, tf);
+                    prev = r.0;
+                }
+                put_varu32(&mut sec, gaps.len() as u32);
+                sec.extend_from_slice(&gaps);
+            }
+        }
+        put_section(&mut v2, SEC_DICT, &sec);
+        c.section(SEC_DICT).unwrap(); // skip the v3 dictionary (cursor is sequential)
+        put_section(
+            &mut v2,
+            SEC_SCHEMA_TERMS,
+            c.section(SEC_SCHEMA_TERMS).unwrap(),
+        );
+        let back = InvertedIndex::from_snapshot_bytes(&v2).unwrap();
+        assert_eq!(
+            back.postings("tom", name).unwrap().repr(),
+            PostingsRepr::Bitmap,
+            "dense v2 entry must canonicalize to bitmap on load"
+        );
+        assert_eq!(back.snapshot_bytes().unwrap(), v3);
+    }
+
+    #[test]
+    fn v3_snapshot_rejects_non_canonical_repr_tag() {
+        // Flip one dense entry of a real snapshot back to gap encoding
+        // (keeping its v3 tag byte consistent with the bytes) — the loader
+        // must reject the non-canonical repr choice.
+        let entry = dense_entry(0, 32);
+        assert_eq!(entry.repr(), PostingsRepr::Bitmap);
+        let pairs: Vec<(RowId, u32)> = entry.rows().collect();
+        let mut gaps = Vec::new();
+        let mut prev = 0;
+        for (i, &(r, tf)) in pairs.iter().enumerate() {
+            put_varu32(&mut gaps, if i == 0 { r.0 } else { r.0 - prev });
+            put_varu32(&mut gaps, tf);
+            prev = r.0;
+        }
+        let decoded =
+            TermAttrEntry::from_packed(PostingsRepr::Gaps, gaps, entry.df, entry.occurrences)
+                .unwrap();
+        assert!(
+            !decoded.is_canonical(),
+            "a dense gaps entry is structurally valid but non-canonical"
+        );
     }
 
     #[test]

@@ -18,5 +18,8 @@
 mod index;
 mod token;
 
-pub use index::{AttrStats, InvertedIndex, Postings, SchemaTarget, TermAttrEntry, TermIndex};
+pub use index::{
+    for_each_joint_row, AttrStats, InvertedIndex, Postings, PostingsRepr, SchemaTarget,
+    TermAttrEntry, TermIndex,
+};
 pub use token::Tokenizer;
